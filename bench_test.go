@@ -1,0 +1,281 @@
+// Package repro's benchmark suite: one Benchmark per figure of the paper's
+// evaluation, each reporting throughput (tps) and tail latency (p999-us)
+// via b.ReportMetric. These are the smoke-scale counterparts of the full
+// `plorrepro` figure suites — same code paths, shorter runs.
+//
+//	go test -bench=. -benchmem                 # everything
+//	go test -bench=Fig06 -benchtime=1x         # one figure
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/db"
+	"repro/internal/harness"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+// benchWorkers is the worker count used across the figure benches.
+const benchWorkers = 8
+
+// benchYCSB returns a bench-scale YCSB config.
+func benchYCSB(base ycsb.Config) ycsb.Config {
+	base.Records = 20_000
+	base.RecordSize = 256
+	return base
+}
+
+// runPoint executes one configuration sized for a bench iteration and
+// reports its figure metrics.
+func runPoint(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	cfg.Warmup = 100 * time.Millisecond
+	if cfg.Measure == 0 {
+		cfg.Measure = 700 * time.Millisecond
+	}
+	b.ResetTimer()
+	m, err := harness.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(m.Throughput(), "tps")
+	b.ReportMetric(m.P999us(), "p999-us")
+	b.ReportMetric(float64(m.Latency.P50())/1e3, "p50-us")
+	b.ReportMetric(m.AbortRatio()*100, "abort-%")
+}
+
+func backoff(p db.Protocol) bool {
+	switch p {
+	case db.NoWait, db.WaitDie, db.Silo, db.TicToc, db.MOCC:
+		return true
+	}
+	return false
+}
+
+func sevenProtocols() []db.Protocol {
+	return []db.Protocol{db.NoWait, db.WaitDie, db.WoundWait, db.Silo, db.MOCC, db.TicToc, db.Plor}
+}
+
+// BenchmarkFig01 — motivation (§2.3): 2PL variants vs Silo on YCSB-A at
+// low and high skew.
+func BenchmarkFig01(b *testing.B) {
+	for _, theta := range []float64{0.5, 0.99} {
+		for _, p := range []db.Protocol{db.NoWait, db.WaitDie, db.WoundWait, db.Silo} {
+			b.Run(fmt.Sprintf("theta=%.2f/%s", theta, p), func(b *testing.B) {
+				cfg := benchYCSB(ycsb.A())
+				cfg.Theta = theta
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff: backoff(p), Workload: harness.NewYCSB(cfg, benchWorkers)})
+			})
+		}
+	}
+}
+
+// BenchmarkFig06 — YCSB-A stored procedures, all seven protocols.
+func BenchmarkFig06(b *testing.B) {
+	for _, p := range sevenProtocols() {
+		b.Run(string(p), func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+				Backoff:  backoff(p),
+				Workload: harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)})
+		})
+	}
+}
+
+// BenchmarkFig07 — TPC-C with one warehouse, stored procedures.
+func BenchmarkFig07(b *testing.B) {
+	for _, p := range sevenProtocols() {
+		b.Run(string(p), func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+				Backoff:  backoff(p),
+				Workload: harness.NewTPCC(tpcc.DefaultConfig(), benchWorkers)})
+		})
+	}
+}
+
+// BenchmarkFig08 — interactive processing over the simulated network.
+func BenchmarkFig08(b *testing.B) {
+	protos := append(sevenProtocols(), db.PlorDWA)
+	b.Run("ycsb-a", func(b *testing.B) {
+		for _, p := range protos {
+			b.Run(string(p), func(b *testing.B) {
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Interactive: true, RTT: 4 * time.Microsecond, Backoff: backoff(p),
+					Workload: harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)})
+			})
+		}
+	})
+	b.Run("tpcc", func(b *testing.B) {
+		for _, p := range []db.Protocol{db.WoundWait, db.Silo, db.Plor, db.PlorDWA} {
+			b.Run(string(p), func(b *testing.B) {
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Interactive: true, RTT: 4 * time.Microsecond, Backoff: backoff(p),
+					Workload: harness.NewTPCC(tpcc.DefaultConfig(), benchWorkers)})
+			})
+		}
+	})
+}
+
+// BenchmarkFig09 — varying contention: YCSB skew sweep and TPC-C warehouse
+// sweep for the two headline protocols.
+func BenchmarkFig09(b *testing.B) {
+	for _, theta := range []float64{0.3, 0.7, 0.99} {
+		for _, p := range []db.Protocol{db.Silo, db.Plor} {
+			b.Run(fmt.Sprintf("ycsb-theta=%.2f/%s", theta, p), func(b *testing.B) {
+				cfg := benchYCSB(ycsb.A())
+				cfg.Theta = theta
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff: backoff(p), Workload: harness.NewYCSB(cfg, benchWorkers)})
+			})
+		}
+	}
+	for _, wh := range []int{1, 4} {
+		for _, p := range []db.Protocol{db.Silo, db.Plor} {
+			b.Run(fmt.Sprintf("tpcc-wh=%d/%s", wh, p), func(b *testing.B) {
+				cfg := tpcc.DefaultConfig()
+				cfg.Warehouses = wh
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff: backoff(p), Workload: harness.NewTPCC(cfg, benchWorkers)})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 — read-intensive YCSB-B at two record sizes.
+func BenchmarkFig10(b *testing.B) {
+	for _, size := range []int{1024, 16} {
+		for _, p := range sevenProtocols() {
+			b.Run(fmt.Sprintf("size=%d/%s", size, p), func(b *testing.B) {
+				cfg := benchYCSB(ycsb.B())
+				cfg.RecordSize = size
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff: backoff(p), Workload: harness.NewYCSB(cfg, benchWorkers)})
+			})
+		}
+	}
+}
+
+// plorFactorProtos are the Fig. 11/12 ablation points.
+var plorFactorProtos = []struct {
+	label string
+	proto db.Protocol
+}{
+	{"WOUND_WAIT", db.WoundWait},
+	{"Baseline-PLOR", db.PlorBase},
+	{"+LF-Locker", db.Plor},
+	{"+DWA", db.PlorDWA},
+}
+
+// BenchmarkFig11 — factor analysis on YCSB-B' and YCSB-A.
+func BenchmarkFig11(b *testing.B) {
+	for _, f := range plorFactorProtos {
+		b.Run("bprime/"+f.label, func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: f.proto, Workers: benchWorkers,
+				Workload: harness.NewYCSB(benchYCSB(ycsb.BPrime()), benchWorkers)})
+		})
+		b.Run("ycsba/"+f.label, func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: f.proto, Workers: benchWorkers,
+				Workload: harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)})
+		})
+	}
+}
+
+// BenchmarkFig12 — execution-time breakdown (abort ratio reported; the
+// category split is printed by `plorrepro -fig 12`).
+func BenchmarkFig12(b *testing.B) {
+	for _, f := range plorFactorProtos {
+		b.Run(f.label, func(b *testing.B) {
+			cfg := harness.Config{Protocol: f.proto, Workers: benchWorkers,
+				Instrument: true,
+				Workload:   harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)}
+			cfg.Warmup = 100 * time.Millisecond
+			cfg.Measure = 700 * time.Millisecond
+			b.ResetTimer()
+			m, err := harness.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			fr := m.Breakdown.Fractions()
+			b.ReportMetric(m.Throughput(), "tps")
+			b.ReportMetric(m.Breakdown.AbortRatio()*100, "abort-%")
+			b.ReportMetric(fr[2]*100, "rw-wait-%")
+			b.ReportMetric(fr[3]*100, "ww-wait-%")
+		})
+	}
+}
+
+// BenchmarkFig13 — big-transaction size sweep, Plor vs Silo.
+func BenchmarkFig13(b *testing.B) {
+	for _, p := range []db.Protocol{db.Plor, db.Silo} {
+		for _, big := range []int{16, 64, 128} {
+			b.Run(fmt.Sprintf("%s/big=%d", p, big), func(b *testing.B) {
+				wl := harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)
+				wl.BigOps = big
+				runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff: backoff(p), Workload: wl})
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 — persistent logging on TPC-C.
+func BenchmarkFig14(b *testing.B) {
+	for _, p := range []db.Protocol{db.WoundWait, db.Silo, db.Plor} {
+		b.Run("redo/"+string(p), func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+				Logging: db.LogRedo, Backoff: backoff(p),
+				Workload: harness.NewTPCC(tpcc.DefaultConfig(), benchWorkers)})
+		})
+	}
+	for _, p := range []db.Protocol{db.WoundWait, db.Plor} {
+		b.Run("undo/"+string(p), func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+				Logging: db.LogUndo, Backoff: backoff(p),
+				Workload: harness.NewTPCC(tpcc.DefaultConfig(), benchWorkers)})
+		})
+	}
+}
+
+// BenchmarkAblationAdmission — the paper's §6.2.1 future-work suggestion:
+// Plor's throughput dips ~10% past its peak worker count; admission control
+// (capping in-flight transactions) recovers it. Compare uncapped vs capped
+// at an oversubscribed worker count.
+func BenchmarkAblationAdmission(b *testing.B) {
+	const oversub = 24
+	for _, maxActive := range []int{0, benchWorkers} {
+		name := "uncapped"
+		if maxActive > 0 {
+			name = fmt.Sprintf("cap=%d", maxActive)
+		}
+		b.Run(name, func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: db.Plor, Workers: oversub,
+				MaxActive: maxActive,
+				Workload:  harness.NewYCSB(benchYCSB(ycsb.A()), oversub)})
+		})
+	}
+}
+
+// BenchmarkFig15 — deadline commit priority (Plor-RT).
+func BenchmarkFig15(b *testing.B) {
+	variants := []struct {
+		label string
+		proto db.Protocol
+		sf    uint64
+	}{
+		{"PLOR", db.Plor, 0},
+		{"PLOR_RT-SF=1K", db.PlorRT, 1000},
+		{"PLOR_RT-SF=10K", db.PlorRT, 10000},
+	}
+	for _, v := range variants {
+		b.Run(v.label, func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: v.proto, SlackFactor: v.sf,
+				Workers:  benchWorkers,
+				Workload: harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)})
+		})
+	}
+}

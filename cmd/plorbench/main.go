@@ -1,0 +1,113 @@
+// Command plorbench runs a single benchmark configuration and prints its
+// metrics — the building block the figure suites are made of.
+//
+// Examples:
+//
+//	plorbench -protocol PLOR -workload ycsb-a -workers 16 -measure 5s
+//	plorbench -protocol SILO -workload tpcc -warehouses 4 -interactive
+//	plorbench -protocol WOUND_WAIT -workload ycsb-b -logging redo
+//	plorbench -protocol PLOR -workload ycsb-a -breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"repro/db"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		protocol    = flag.String("protocol", "PLOR", "CC protocol: PLOR, PLOR+DWA, PLOR_BASE, PLOR_RT, NO_WAIT, WAIT_DIE, WOUND_WAIT, SILO, TICTOC, MOCC")
+		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc")
+		workers     = flag.Int("workers", 8, "closed-loop worker count (1-63)")
+		measure     = flag.Duration("measure", 3*time.Second, "measurement duration")
+		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup duration")
+		records     = flag.Int("records", 100_000, "YCSB table size")
+		recSize     = flag.Int("recsize", 1024, "YCSB record size in bytes")
+		theta       = flag.Float64("theta", -1, "override YCSB zipfian skew")
+		warehouses  = flag.Int("warehouses", 1, "TPC-C warehouses")
+		interactive = flag.Bool("interactive", false, "interactive client/server mode")
+		rtt         = flag.Duration("rtt", 4*time.Microsecond, "simulated network RTT (interactive mode)")
+		logging     = flag.String("logging", "off", "WAL mode: off, redo, undo")
+		slack       = flag.Uint64("slack", 1000, "PLOR_RT slack factor")
+		breakdown   = flag.Bool("breakdown", false, "collect execution-time breakdown")
+		cdf         = flag.Bool("cdf", false, "print the latency CDF tail (p99+)")
+	)
+	flag.Parse()
+	debug.SetGCPercent(400)
+
+	var wl harness.Workload
+	switch *workload {
+	case "ycsb-a", "ycsb-b", "ycsb-bprime":
+		var cfg ycsb.Config
+		switch *workload {
+		case "ycsb-a":
+			cfg = ycsb.A()
+		case "ycsb-b":
+			cfg = ycsb.B()
+		default:
+			cfg = ycsb.BPrime()
+		}
+		cfg.Records = *records
+		cfg.RecordSize = *recSize
+		if *theta >= 0 {
+			cfg.Theta = *theta
+		}
+		wl = harness.NewYCSB(cfg, *workers)
+	case "tpcc":
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = *warehouses
+		wl = harness.NewTPCC(cfg, *workers)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	var logMode db.LogMode
+	switch *logging {
+	case "off":
+		logMode = db.LogOff
+	case "redo":
+		logMode = db.LogRedo
+	case "undo":
+		logMode = db.LogUndo
+	default:
+		fmt.Fprintf(os.Stderr, "unknown logging mode %q\n", *logging)
+		os.Exit(2)
+	}
+
+	proto := db.Protocol(*protocol)
+	cfg := harness.Config{
+		Protocol:    proto,
+		SlackFactor: *slack,
+		Workers:     *workers,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Logging:     logMode,
+		Interactive: *interactive,
+		RTT:         *rtt,
+		Instrument:  *breakdown,
+		Backoff:     proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
+		Workload:    wl,
+	}
+	m, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(m.Row())
+	if *breakdown {
+		fmt.Println("breakdown:", m.Breakdown.String())
+	}
+	if *cdf {
+		fmt.Print(stats.FormatCDF(m.Latency, 0.99))
+	}
+}

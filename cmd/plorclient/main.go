@@ -1,0 +1,98 @@
+// Command plorclient drives a plorserver over TCP with YCSB-A sessions,
+// printing throughput and tail latency — a runnable end-to-end demo of the
+// paper's interactive processing mode (§6.2.2) on a real network stack.
+//
+//	plorclient -addr 127.0.0.1:7070 -sessions 8 -duration 10s
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/db"
+	"repro/internal/cc"
+	"repro/internal/rpc"
+	"repro/internal/stats"
+	"repro/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		sessions = flag.Int("sessions", 8, "concurrent client sessions")
+		duration = flag.Duration("duration", 10*time.Second, "run duration")
+		records  = flag.Int("records", 100_000, "YCSB table size (must match server)")
+	)
+	flag.Parse()
+
+	// Build a client-side view of the schema: table IDs must mirror the
+	// server's creation order, so run the same setup against a throwaway
+	// local DB.
+	shadow, err := db.Open(db.Options{Protocol: db.Plor, Workers: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := ycsb.A()
+	cfg.Records = *records
+	wl := ycsb.SetupSchema(shadow.Inner(), cfg)
+	tables := shadow.Inner().Tables()
+
+	hists := make([]*stats.Histogram, *sessions)
+	var commits, aborts uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*duration)
+	for s := 0; s < *sessions; s++ {
+		hists[s] = stats.NewHistogram()
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			tr, err := rpc.DialTCP(*addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "session %d: %v\n", s, err)
+				return
+			}
+			defer tr.Close()
+			w := rpc.NewClientWorker(tr, tables, uint16(s+1))
+			gen := wl.NewGen(int64(s) + 1)
+			var localCommits, localAborts uint64
+			for time.Now().Before(deadline) {
+				txn := gen.Next()
+				start := time.Now()
+				first := true
+				for {
+					err := w.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly})
+					if err == nil {
+						break
+					}
+					if !cc.IsAborted(err) {
+						if errors.Is(err, cc.ErrNotFound) {
+							break // table smaller than -records; skip
+						}
+						fmt.Fprintf(os.Stderr, "session %d: %v\n", s, err)
+						return
+					}
+					localAborts++
+					first = false
+				}
+				localCommits++
+				hists[s].Record(time.Since(start).Nanoseconds())
+			}
+			mu.Lock()
+			commits += localCommits
+			aborts += localAborts
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+
+	h := stats.MergeAll(hists)
+	fmt.Printf("sessions=%d  tput=%.0f tps  p50=%.1fus  p99=%.1fus  p999=%.1fus  aborts=%d\n",
+		*sessions, float64(commits)/duration.Seconds(),
+		float64(h.P50())/1e3, float64(h.P99())/1e3, float64(h.P999())/1e3, aborts)
+}

@@ -1,0 +1,89 @@
+// Command plorrepro regenerates the paper's figures. Each figure prints
+// result rows (one per protocol/point) whose shapes correspond to the
+// paper's plots.
+//
+// Usage:
+//
+//	plorrepro                 # run every figure at the default scale
+//	plorrepro -fig 6          # run one figure
+//	plorrepro -quick          # small smoke-scale run
+//	plorrepro -measure 5s -threads 1,4,8,16 -records 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to run (1,6,7,...,15); empty = all")
+		quick   = flag.Bool("quick", false, "use the quick smoke scale")
+		measure = flag.Duration("measure", 0, "override measurement duration per point")
+		warmup  = flag.Duration("warmup", 0, "override warmup duration per point")
+		threads = flag.String("threads", "", "override thread sweep, e.g. 1,4,8,16")
+		fixed   = flag.Int("fixed", 0, "override fixed thread count")
+		records = flag.Int("records", 0, "override YCSB table size")
+		list    = flag.Bool("list", false, "list figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range harness.Figures() {
+			fmt.Printf("fig %-3s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	sc := harness.DefaultScale()
+	if *quick {
+		sc = harness.QuickScale()
+	}
+	if *measure > 0 {
+		sc.Measure = *measure
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *threads != "" {
+		sc.Threads = nil
+		for _, s := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -threads entry %q\n", s)
+				os.Exit(2)
+			}
+			sc.Threads = append(sc.Threads, n)
+		}
+	}
+	if *fixed > 0 {
+		sc.FixedThreads = *fixed
+	}
+	if *records > 0 {
+		sc.Records = *records
+	}
+
+	// Tail-latency measurements suffer under frequent GC; trade memory
+	// for quieter pauses, as DESIGN.md documents.
+	debug.SetGCPercent(400)
+
+	start := time.Now()
+	for _, f := range harness.Figures() {
+		if *fig != "" && f.ID != *fig {
+			continue
+		}
+		fmt.Printf("\n=== Figure %s: %s ===\n", f.ID, f.Title)
+		if err := f.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Second))
+}

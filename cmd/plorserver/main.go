@@ -1,0 +1,77 @@
+// Command plorserver runs the storage-engine half of the interactive
+// processing mode (§5) as a real TCP server: it loads a workload's tables
+// and serves per-operation requests from plorclient sessions.
+//
+//	plorserver -addr :7070 -protocol PLOR -workload ycsb-a -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/db"
+	"repro/internal/cc"
+	"repro/internal/rpc"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		protocol   = flag.String("protocol", "PLOR", "CC protocol")
+		workload   = flag.String("workload", "ycsb-a", "ycsb-a, ycsb-b or tpcc")
+		workers    = flag.Int("workers", 16, "max concurrent sessions (1-63)")
+		records    = flag.Int("records", 100_000, "YCSB table size")
+		warehouses = flag.Int("warehouses", 1, "TPC-C warehouses")
+	)
+	flag.Parse()
+
+	d, err := db.Open(db.Options{Protocol: db.Protocol(*protocol), Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ccdb := d.Inner()
+	switch *workload {
+	case "ycsb-a":
+		cfg := ycsb.A()
+		cfg.Records = *records
+		ycsb.Setup(ccdb, cfg)
+	case "ycsb-b":
+		cfg := ycsb.B()
+		cfg.Records = *records
+		ycsb.Setup(ccdb, cfg)
+	case "tpcc":
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = *warehouses
+		tpcc.Setup(ccdb, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	srv := rpc.NewServer(d.Engine(), ccdb)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("plorserver: %s engine serving %s on %s (tables: %v)\n",
+		d.Engine().Name(), *workload, bound, tableNames(ccdb))
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Close()
+}
+
+func tableNames(d *cc.DB) []string {
+	var names []string
+	for _, t := range d.Tables() {
+		names = append(names, t.Name)
+	}
+	return names
+}

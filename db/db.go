@@ -1,0 +1,282 @@
+// Package db is the public API of the Plor reproduction: an embeddable
+// in-memory transactional engine with pluggable concurrency control.
+//
+// Quick start:
+//
+//	d, _ := db.Open(db.Options{Protocol: db.Plor, Workers: 4})
+//	accounts := d.CreateTable("accounts", 8, db.Ordered, 1024)
+//	d.Load(accounts, 1, money(100))
+//	w := d.Worker(1)
+//	_, err := w.Run(func(tx db.Tx) error {
+//	    v, err := tx.ReadForUpdate(accounts, 1)
+//	    if err != nil { return err }
+//	    return tx.Update(accounts, 1, addMoney(v, 50))
+//	}, db.TxnOpts{})
+//
+// Each Worker owns one execution slot; workers are single-goroutine
+// objects, one per concurrent executor (at most 63, a limit inherited from
+// the latch-free locker's per-worker bitmap).
+package db
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/stats"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Protocol selects the concurrency-control scheme.
+type Protocol string
+
+// Supported protocols.
+const (
+	// Plor is the paper's contribution: pessimistic locking, optimistic
+	// reading, WOUND_WAIT conflict resolution at commit.
+	Plor Protocol = "PLOR"
+	// PlorDWA is Plor with delayed write-lock acquisition (§4.1.4).
+	PlorDWA Protocol = "PLOR+DWA"
+	// PlorBase is Plor with the mutex-based locker (Fig. 11 baseline).
+	PlorBase Protocol = "PLOR_BASE"
+	// PlorRT is Plor with real-time deadline commit priority (Fig. 15);
+	// set Options.SlackFactor.
+	PlorRT Protocol = "PLOR_RT"
+	// NoWait, WaitDie and WoundWait are the 2PL variants of §2.1.
+	NoWait    Protocol = "NO_WAIT"
+	WaitDie   Protocol = "WAIT_DIE"
+	WoundWait Protocol = "WOUND_WAIT"
+	// Silo and TicToc are the OCC baselines of §2.2/§7.
+	Silo   Protocol = "SILO"
+	TicToc Protocol = "TICTOC"
+	// MOCC is the hybrid baseline of §7.
+	MOCC Protocol = "MOCC"
+)
+
+// Protocols lists every supported protocol in display order.
+func Protocols() []Protocol {
+	return []Protocol{NoWait, WaitDie, WoundWait, Silo, MOCC, TicToc, Plor}
+}
+
+// LogMode selects persistent logging (Fig. 14).
+type LogMode int
+
+// Logging modes.
+const (
+	LogOff LogMode = iota
+	LogRedo
+	LogUndo
+)
+
+// IndexKind selects a table's index structure.
+type IndexKind = cc.IndexKind
+
+// Index kinds.
+const (
+	// Hashed is a hash index (point lookups only).
+	Hashed = cc.HashIndex
+	// Ordered is a B+tree (point lookups and range scans).
+	Ordered = cc.OrderedIndex
+)
+
+// Tx is the operation interface stored procedures receive.
+type Tx = cc.Tx
+
+// Table is a table handle.
+type Table = cc.Table
+
+// Re-exported sentinel errors.
+var (
+	ErrNotFound  = cc.ErrNotFound
+	ErrDuplicate = cc.ErrDuplicate
+	ErrAborted   = cc.ErrAborted
+)
+
+// IsAborted reports whether err is a retryable conflict abort. Run retries
+// these automatically; Attempt surfaces them.
+func IsAborted(err error) bool { return cc.IsAborted(err) }
+
+// Options configures Open.
+type Options struct {
+	// Protocol selects the CC scheme (default Plor).
+	Protocol Protocol
+	// Workers is the number of worker slots (1..63; default 1).
+	Workers int
+	// Logging selects WAL mode; LogSimLatency models the device's write
+	// latency (default 100 ns, the paper's Optane DCPMM figure).
+	Logging       LogMode
+	LogSimLatency time.Duration
+	// SlackFactor sets the Plor-RT deadline slack (PlorRT only).
+	SlackFactor uint64
+	// Instrument enables the per-worker execution-time breakdown.
+	Instrument bool
+}
+
+// DB is an open database.
+type DB struct {
+	opts   Options
+	engine cc.Engine
+	inner  *cc.DB
+}
+
+// MaxWorkers is the largest supported worker count.
+const MaxWorkers = txn.MaxWorkers
+
+// Open creates a database.
+func Open(opts Options) (*DB, error) {
+	if opts.Protocol == "" {
+		opts.Protocol = Plor
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers < 1 || opts.Workers > MaxWorkers {
+		return nil, fmt.Errorf("db: workers must be in [1,%d], got %d", MaxWorkers, opts.Workers)
+	}
+	engine, err := engineFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner := cc.NewDB(opts.Workers, engine.TableOpts())
+	if opts.Logging != LogOff {
+		mode := wal.Redo
+		if opts.Logging == LogUndo {
+			if !engine.SupportsUndoLogging() {
+				return nil, fmt.Errorf("db: protocol %s cannot run undo logging (no in-place pre-commit writes)", opts.Protocol)
+			}
+			mode = wal.Undo
+		}
+		lat := opts.LogSimLatency
+		if lat == 0 {
+			lat = 100 * time.Nanosecond
+		}
+		inner.Log = wal.NewLogger(mode, opts.Workers, func(int) wal.Device {
+			return wal.NewSimDevice(lat)
+		})
+	}
+	return &DB{opts: opts, engine: engine, inner: inner}, nil
+}
+
+// engineFor maps a Protocol to its engine.
+func engineFor(opts Options) (cc.Engine, error) {
+	switch opts.Protocol {
+	case Plor:
+		return core.New(core.Options{}), nil
+	case PlorDWA:
+		return core.New(core.Options{DWA: true}), nil
+	case PlorBase:
+		return core.New(core.Options{MutexLocker: true}), nil
+	case PlorRT:
+		sf := opts.SlackFactor
+		if sf == 0 {
+			sf = 1000
+		}
+		return core.New(core.Options{SlackFactor: sf}), nil
+	case NoWait:
+		return cc.NewTwoPL(lock.NoWait), nil
+	case WaitDie:
+		return cc.NewTwoPL(lock.WaitDie), nil
+	case WoundWait:
+		return cc.NewTwoPL(lock.WoundWait), nil
+	case Silo:
+		return cc.NewSilo(), nil
+	case TicToc:
+		return cc.NewTicToc(), nil
+	case MOCC:
+		return cc.NewMOCC(), nil
+	}
+	return nil, fmt.Errorf("db: unknown protocol %q", opts.Protocol)
+}
+
+// Engine exposes the underlying engine (for the benchmark harness).
+func (d *DB) Engine() cc.Engine { return d.engine }
+
+// Inner exposes the engine-level database (for the benchmark harness and
+// the interactive-mode server).
+func (d *DB) Inner() *cc.DB { return d.inner }
+
+// CreateTable adds a table with fixed rowSize-byte rows. expected hints the
+// hash index size.
+func (d *DB) CreateTable(name string, rowSize int, kind IndexKind, expected int) *Table {
+	return d.inner.CreateTable(name, rowSize, kind, expected)
+}
+
+// Table looks a table up by name (nil if absent).
+func (d *DB) Table(name string) *Table { return d.inner.Table(name) }
+
+// Load inserts a record outside any transaction (bulk loading). It reports
+// whether the key was new.
+func (d *DB) Load(t *Table, key uint64, val []byte) bool {
+	return d.inner.LoadRecord(t, key, val) != nil
+}
+
+// Worker returns worker slot wid's executor (wid in [1, Workers]). Each
+// slot must be driven by at most one goroutine.
+func (d *DB) Worker(wid int) *Worker {
+	if wid < 1 || wid > d.opts.Workers {
+		panic(fmt.Sprintf("db: worker id %d out of range [1,%d]", wid, d.opts.Workers))
+	}
+	return &Worker{
+		inner: d.engine.NewWorker(d.inner, uint16(wid), d.opts.Instrument),
+		wid:   uint16(wid),
+	}
+}
+
+// TxnOpts parameterizes a transaction.
+type TxnOpts struct {
+	// ReadOnly enables read-only fast paths.
+	ReadOnly bool
+	// ResourceHint estimates records accessed (Plor-RT priority input).
+	ResourceHint int
+	// MaxAttempts bounds Run's retries (0 = unlimited).
+	MaxAttempts int
+}
+
+// Proc is a stored procedure. It must return promptly when any Tx method
+// fails, passing the error through.
+type Proc = cc.Proc
+
+// Worker executes transactions on one worker slot.
+type Worker struct {
+	inner cc.Worker
+	wid   uint16
+}
+
+// WID returns the worker's slot id.
+func (w *Worker) WID() uint16 { return w.wid }
+
+// Attempt runs a single attempt (no retry). It returns nil on commit, an
+// IsAborted error on conflict, or proc's own error after rollback. first
+// distinguishes a fresh transaction from a retry — Plor and the 2PL
+// schemes keep the original timestamp across retries.
+func (w *Worker) Attempt(proc Proc, first bool, opts TxnOpts) error {
+	return w.inner.Attempt(proc, first, cc.AttemptOpts{
+		ReadOnly:     opts.ReadOnly,
+		ResourceHint: opts.ResourceHint,
+	})
+}
+
+// Run executes proc to commit, retrying conflict aborts. It returns the
+// number of attempts and the first non-retryable error (nil on commit).
+func (w *Worker) Run(proc Proc, opts TxnOpts) (int, error) {
+	attempts := 0
+	first := true
+	for {
+		attempts++
+		err := w.Attempt(proc, first, opts)
+		if err == nil || !cc.IsAborted(err) {
+			return attempts, err
+		}
+		if opts.MaxAttempts > 0 && attempts >= opts.MaxAttempts {
+			return attempts, err
+		}
+		first = false
+	}
+}
+
+// Breakdown returns the worker's execution-time accounting (nil unless
+// Options.Instrument was set).
+func (w *Worker) Breakdown() *stats.Breakdown { return w.inner.Breakdown() }

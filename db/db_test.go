@@ -1,0 +1,177 @@
+package db_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/db"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func TestOpenDefaults(t *testing.T) {
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Engine().Name() != "PLOR" {
+		t.Fatalf("default engine = %s", d.Engine().Name())
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := db.Open(db.Options{Workers: 64}); err == nil {
+		t.Fatal("64 workers should exceed the limit")
+	}
+	if _, err := db.Open(db.Options{Workers: -1}); err == nil {
+		t.Fatal("negative workers should fail")
+	}
+	if _, err := db.Open(db.Options{Protocol: "BOGUS"}); err == nil {
+		t.Fatal("unknown protocol should fail")
+	}
+	// OCC protocols reject undo logging (Fig. 14 runs them only under redo).
+	if _, err := db.Open(db.Options{Protocol: db.Silo, Logging: db.LogUndo}); err == nil {
+		t.Fatal("Silo + undo logging should fail")
+	}
+	if _, err := db.Open(db.Options{Protocol: db.Plor, Logging: db.LogUndo}); err != nil {
+		t.Fatalf("Plor supports undo logging: %v", err)
+	}
+}
+
+func TestEveryProtocolOpens(t *testing.T) {
+	all := append(db.Protocols(), db.PlorDWA, db.PlorBase, db.PlorRT)
+	for _, p := range all {
+		d, err := db.Open(db.Options{Protocol: p, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		tbl := d.CreateTable("t", 8, db.Hashed, 16)
+		if !d.Load(tbl, 1, u64(10)) {
+			t.Fatalf("%s: load failed", p)
+		}
+		w := d.Worker(1)
+		if _, err := w.Run(func(tx db.Tx) error {
+			v, err := tx.Read(tbl, 1)
+			if err != nil {
+				return err
+			}
+			if dec(v) != 10 {
+				t.Errorf("%s: read %d", p, dec(v))
+			}
+			return nil
+		}, db.TxnOpts{}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunRetriesToCommit(t *testing.T) {
+	d, err := db.Open(db.Options{Protocol: db.Plor, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := d.CreateTable("counter", 8, db.Hashed, 4)
+	d.Load(tbl, 0, u64(0))
+	const workers, per = 4, 100
+	var wg sync.WaitGroup
+	for i := 1; i <= workers; i++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := d.Worker(wid)
+			for j := 0; j < per; j++ {
+				if _, err := w.Run(func(tx db.Tx) error {
+					v, err := tx.ReadForUpdate(tbl, 0)
+					if err != nil {
+						return err
+					}
+					return tx.Update(tbl, 0, u64(dec(v)+1))
+				}, db.TxnOpts{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	w := d.Worker(1)
+	if _, err := w.Run(func(tx db.Tx) error {
+		v, err := tx.Read(tbl, 0)
+		if err != nil {
+			return err
+		}
+		if dec(v) != workers*per {
+			t.Errorf("counter = %d, want %d", dec(v), workers*per)
+		}
+		return nil
+	}, db.TxnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesUserError(t *testing.T) {
+	d, _ := db.Open(db.Options{Workers: 1})
+	tbl := d.CreateTable("t", 8, db.Hashed, 4)
+	boom := errors.New("boom")
+	w := d.Worker(1)
+	attempts, err := w.Run(func(tx db.Tx) error { return boom }, db.TxnOpts{})
+	if !errors.Is(err, boom) || attempts != 1 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+	_ = tbl
+}
+
+func TestMaxAttempts(t *testing.T) {
+	// Two workers fighting over one record with MaxAttempts=1 must report
+	// aborts to the caller rather than spinning forever. Easiest check:
+	// MaxAttempts caps attempts even when the abort would normally retry.
+	d, _ := db.Open(db.Options{Protocol: db.Plor, Workers: 2})
+	tbl := d.CreateTable("t", 8, db.Hashed, 4)
+	d.Load(tbl, 0, u64(0))
+	// Simulate: attempt always returns user abort via IsAborted? We cannot
+	// force a conflict deterministically here, so just validate the knob's
+	// plumbed behaviour on a clean run: one attempt, committed.
+	w := d.Worker(1)
+	attempts, err := w.Run(func(tx db.Tx) error {
+		_, err := tx.Read(tbl, 0)
+		return err
+	}, db.TxnOpts{MaxAttempts: 1})
+	if err != nil || attempts != 1 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestWorkerBounds(t *testing.T) {
+	d, _ := db.Open(db.Options{Workers: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range worker id should panic")
+		}
+	}()
+	d.Worker(3)
+}
+
+func TestInstrumentedBreakdown(t *testing.T) {
+	d, _ := db.Open(db.Options{Workers: 1, Instrument: true})
+	tbl := d.CreateTable("t", 8, db.Hashed, 4)
+	d.Load(tbl, 1, u64(1))
+	w := d.Worker(1)
+	if w.Breakdown() == nil {
+		t.Fatal("instrumented worker should expose a breakdown")
+	}
+	w.Run(func(tx db.Tx) error { //nolint:errcheck
+		_, err := tx.Read(tbl, 1)
+		return err
+	}, db.TxnOpts{})
+	if w.Breakdown().Commits != 1 {
+		t.Fatalf("commits = %d", w.Breakdown().Commits)
+	}
+}

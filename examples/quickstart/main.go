@@ -1,0 +1,75 @@
+// Quickstart: open a Plor database, create a table, and run transactions
+// through the public API — inserts, reads, read-modify-writes, deletes, and
+// a range scan.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/db"
+)
+
+func enc(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func main() {
+	// Open an engine. Protocol is pluggable: try db.Silo or db.WoundWait.
+	d, err := db.Open(db.Options{Protocol: db.Plor, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ordered table supports point ops and range scans. Rows are
+	// fixed-size byte slices; this example stores one uint64 per row.
+	inventory := d.CreateTable("inventory", 8, db.Ordered, 1024)
+
+	// Bulk-load outside transactions (no CC cost).
+	for sku := uint64(1); sku <= 10; sku++ {
+		d.Load(inventory, sku, enc(sku*100))
+	}
+
+	w := d.Worker(1)
+
+	// A read-modify-write transaction. Run retries conflict aborts until
+	// the transaction commits; the closure must simply return any error a
+	// Tx method hands it.
+	attempts, err := w.Run(func(tx db.Tx) error {
+		stock, err := tx.ReadForUpdate(inventory, 3)
+		if err != nil {
+			return err
+		}
+		return tx.Update(inventory, 3, enc(dec(stock)-25))
+	}, db.TxnOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decremented sku 3 in %d attempt(s)\n", attempts)
+
+	// Inserts and deletes are transactional too.
+	if _, err := w.Run(func(tx db.Tx) error {
+		if err := tx.Insert(inventory, 11, enc(42)); err != nil {
+			return err
+		}
+		return tx.Delete(inventory, 10)
+	}, db.TxnOpts{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A read-committed range scan (what TPC-C's Stock-Level uses).
+	if _, err := w.Run(func(tx db.Tx) error {
+		fmt.Println("inventory:")
+		return tx.ScanRC(inventory, 0, ^uint64(0), func(sku uint64, row []byte) bool {
+			fmt.Printf("  sku %2d = %d\n", sku, dec(row))
+			return true
+		})
+	}, db.TxnOpts{ReadOnly: true}); err != nil {
+		log.Fatal(err)
+	}
+}

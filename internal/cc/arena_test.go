@@ -1,0 +1,110 @@
+package cc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wal"
+)
+
+func TestArenaAllocAndReset(t *testing.T) {
+	a := NewArena(16)
+	s1 := a.Alloc(8)
+	s2 := a.Alloc(8)
+	if len(s1) != 8 || len(s2) != 8 {
+		t.Fatal("wrong sizes")
+	}
+	copy(s1, "AAAAAAAA")
+	copy(s2, "BBBBBBBB")
+	if string(s1) != "AAAAAAAA" {
+		t.Fatal("allocations overlap")
+	}
+	a.Reset()
+	s3 := a.Alloc(8)
+	copy(s3, "CCCCCCCC")
+	if len(s3) != 8 {
+		t.Fatal("post-reset alloc broken")
+	}
+}
+
+func TestArenaGrowPreservesOutstanding(t *testing.T) {
+	a := NewArena(8)
+	s1 := a.Alloc(8)
+	copy(s1, "12345678")
+	// This alloc forces growth; s1 must keep its contents.
+	s2 := a.Alloc(64)
+	copy(s2, bytes.Repeat([]byte{0xEE}, 64))
+	if string(s1) != "12345678" {
+		t.Fatal("growth corrupted an outstanding slice")
+	}
+}
+
+func TestArenaDup(t *testing.T) {
+	a := NewArena(4)
+	src := []byte("hello world")
+	d := a.Dup(src)
+	src[0] = 'X'
+	if string(d) != "hello world" {
+		t.Fatal("Dup did not copy")
+	}
+}
+
+// Property: sequential allocations never alias.
+func TestArenaNoAliasing(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewArena(32)
+		allocs := make([][]byte, 0, len(sizes))
+		for i, n := range sizes {
+			s := a.Alloc(int(n)%64 + 1)
+			for j := range s {
+				s[j] = byte(i)
+			}
+			allocs = append(allocs, s)
+		}
+		for i, s := range allocs {
+			for _, b := range s {
+				if b != byte(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHandleNilSafety(t *testing.T) {
+	// All operations must be no-ops (not panics) when logging is off.
+	for _, h := range []*LogHandle{nil, NewLogHandle(nil, 1)} {
+		if h.Mode() != wal.Off {
+			t.Fatal("nil handle mode should be Off")
+		}
+		h.BeginTxn(1)
+		h.SetTS(2)
+		if err := h.Update(0, 1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		h.Abort()
+	}
+	// Off-mode logger also produces inert handles.
+	l := wal.NewLogger(wal.Off, 1, func(int) wal.Device { return wal.NewSimDevice(0) })
+	h := NewLogHandle(l, 1)
+	if h.Mode() != wal.Off {
+		t.Fatal("off logger should yield Off handles")
+	}
+}
+
+func TestIsAbortedHelper(t *testing.T) {
+	if !IsAborted(errWound) || !IsAborted(errConflict) || !IsAborted(errValidate) {
+		t.Fatal("engine abort errors must satisfy IsAborted")
+	}
+	if IsAborted(ErrNotFound) || IsAborted(ErrDuplicate) || IsAborted(nil) {
+		t.Fatal("non-abort errors must not satisfy IsAborted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package cc defines the engine-level abstractions shared by every
+// concurrency-control protocol in this reproduction — the database handle,
+// tables, the transaction interface stored procedures program against, and
+// the worker/engine plumbing the harness drives — plus the baseline
+// protocols the paper compares Plor to: NO_WAIT, WAIT_DIE, WOUND_WAIT
+// (two-phase locking, §2.1), Silo and TicToc (optimistic, §2.2), and MOCC
+// (hybrid, §7). Plor itself lives in internal/core.
+//
+// Protocol contract. A stored procedure is a Proc closure receiving a Tx.
+// Every Tx method may fail with ErrAborted (wrapped), upon which the
+// procedure must return immediately with that error; Worker.Attempt then
+// rolls back and the caller retries. Byte slices returned by reads are
+// valid only until the attempt ends and must not be modified.
+package cc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Sentinel errors.
+var (
+	// ErrAborted marks a retryable transaction abort (conflict, wound,
+	// validation failure). Check with errors.Is.
+	ErrAborted = errors.New("cc: transaction aborted")
+	// ErrNotFound reports a missing key. It is a logic-level outcome, not
+	// an abort: the transaction may continue.
+	ErrNotFound = errors.New("cc: key not found")
+	// ErrDuplicate reports an Insert on an existing key.
+	ErrDuplicate = errors.New("cc: duplicate key")
+	// ErrIntentionalRollback marks a rollback the workload itself requested
+	// (e.g. TPC-C's 1% invalid-item NewOrders). The harness counts such
+	// transactions as completed, not as conflict aborts.
+	ErrIntentionalRollback = errors.New("cc: intentional rollback")
+)
+
+// IsAborted reports whether err requires the transaction to be retried.
+func IsAborted(err error) bool { return errors.Is(err, ErrAborted) }
+
+// IndexKind selects a table's primary index structure.
+type IndexKind int
+
+const (
+	// HashIndex is the default point-lookup index.
+	HashIndex IndexKind = iota
+	// OrderedIndex is the B+tree, required for range scans.
+	OrderedIndex
+)
+
+// Table couples row storage with its primary-key index.
+type Table struct {
+	ID    uint32
+	Name  string
+	Store *storage.Table
+	Idx   index.Index
+}
+
+// Ranger returns the table's ordered index, or nil for hash-indexed tables.
+func (t *Table) Ranger() index.Ranger {
+	r, _ := t.Idx.(index.Ranger)
+	return r
+}
+
+// DB is a database instance: a registry of workers, a set of tables, and an
+// optional persistent log. One DB is shared by all workers of a run.
+type DB struct {
+	Reg    *txn.Registry
+	Log    *wal.Logger // nil = logging off
+	tables []*Table
+	byName map[string]*Table
+	opts   storage.TableOpts
+}
+
+// NewDB creates a database for up to workers worker threads, allocating
+// per-record lock state according to opts (chosen by the protocol).
+func NewDB(workers int, opts storage.TableOpts) *DB {
+	return &DB{
+		Reg:    txn.NewRegistry(workers),
+		byName: make(map[string]*Table),
+		opts:   opts,
+	}
+}
+
+// CreateTable adds a table. expected hints the hash index size; ignored for
+// ordered tables.
+func (db *DB) CreateTable(name string, rowSize int, kind IndexKind, expected int) *Table {
+	if _, dup := db.byName[name]; dup {
+		panic(fmt.Sprintf("cc: table %q already exists", name))
+	}
+	var idx index.Index
+	if kind == OrderedIndex {
+		idx = index.NewBTree()
+	} else {
+		idx = index.NewHash(expected)
+	}
+	t := &Table{
+		ID:    uint32(len(db.tables)),
+		Name:  name,
+		Store: storage.NewTable(name, rowSize, db.opts),
+		Idx:   idx,
+	}
+	db.tables = append(db.tables, t)
+	db.byName[name] = t
+	return t
+}
+
+// Table looks up a table by name (nil if absent).
+func (db *DB) Table(name string) *Table { return db.byName[name] }
+
+// TableByID looks up a table by its dense ID.
+func (db *DB) TableByID(id uint32) *Table {
+	if int(id) >= len(db.tables) {
+		return nil
+	}
+	return db.tables[id]
+}
+
+// Tables returns all tables in creation order.
+func (db *DB) Tables() []*Table { return db.tables }
+
+// LoadRecord inserts a record outside any transaction (bulk loading).
+// It returns the record, or nil if the key already exists.
+func (db *DB) LoadRecord(t *Table, key uint64, val []byte) *storage.Record {
+	rec := t.Store.Alloc()
+	rec.Key = key
+	copy(rec.Data, val)
+	if !t.Idx.Insert(key, rec) {
+		return nil
+	}
+	return rec
+}
+
+// ApplyRecovered installs the images produced by wal.Recover into the
+// database: non-empty images overwrite (or create) the row, empty images
+// delete the key. It must run before any workers start (recovery is
+// single-threaded, as in the paper's engines).
+func (db *DB) ApplyRecovered(changes map[uint32]map[uint64]wal.Change) error {
+	for tableID, rows := range changes {
+		t := db.TableByID(tableID)
+		if t == nil {
+			return fmt.Errorf("cc: recovered unknown table id %d", tableID)
+		}
+		for key, c := range rows {
+			rec := t.Idx.Get(key)
+			switch {
+			case len(c.Image) == 0: // deletion
+				if rec != nil {
+					rec.SetAbsent()
+					t.Idx.Remove(key)
+				}
+			case rec == nil:
+				if db.LoadRecord(t, key, c.Image) == nil {
+					return fmt.Errorf("cc: recovery insert race on %s/%d", t.Name, key)
+				}
+			default:
+				copy(rec.Data, c.Image)
+				if storage.TIDAbsent(rec.TID.Load()) {
+					rec.ClearAbsent()
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Tx is the operation interface stored procedures use. Implementations are
+// per-protocol and are NOT safe for concurrent use within one transaction.
+type Tx interface {
+	// Read returns the record image for key at serializable isolation.
+	Read(t *Table, key uint64) ([]byte, error)
+	// ReadForUpdate is Read with write intent: pessimistic protocols take
+	// the write lock up front, avoiding upgrade deadlocks.
+	ReadForUpdate(t *Table, key uint64) ([]byte, error)
+	// Update replaces the record image (len(val) == row size). Without a
+	// preceding Read of the same key it is a blind write.
+	Update(t *Table, key uint64, val []byte) error
+	// Insert creates the key. ErrDuplicate if it exists.
+	Insert(t *Table, key uint64, val []byte) error
+	// Delete removes the key.
+	Delete(t *Table, key uint64) error
+	// ReadRC reads at read-committed isolation (no read-set footprint),
+	// as TPC-C's Stock-Level is allowed to (§5).
+	ReadRC(t *Table, key uint64) ([]byte, error)
+	// ScanRC iterates an ordered table at read-committed isolation. The
+	// val bytes passed to fn are valid only during the callback.
+	ScanRC(t *Table, from, to uint64, fn func(key uint64, val []byte) bool) error
+	// WID identifies the executing worker (useful for partitioned logic).
+	WID() uint16
+}
+
+// Proc is a stored procedure.
+type Proc func(tx Tx) error
+
+// AttemptOpts parameterizes one transaction attempt.
+type AttemptOpts struct {
+	// ReadOnly enables read-only fast paths (Plor's dynamic RO mode).
+	ReadOnly bool
+	// ResourceHint estimates the number of records the transaction will
+	// access; the Plor-RT deadline priority (Fig. 15) uses it.
+	ResourceHint int
+}
+
+// Worker executes transactions on behalf of one worker thread. A Worker is
+// not safe for concurrent use.
+type Worker interface {
+	// Attempt runs one attempt of proc. first distinguishes a fresh
+	// transaction from a retry of an aborted one (Plor and the 2PL
+	// schemes keep the original timestamp across retries; that is the
+	// heart of their tail-latency story). It returns nil on commit, an
+	// ErrAborted-wrapped error on conflict abort, or the proc's own error
+	// (after rollback) for logic failures.
+	Attempt(proc Proc, first bool, opts AttemptOpts) error
+	// Breakdown returns the worker's execution-time accounting, or nil if
+	// instrumentation is disabled.
+	Breakdown() *stats.Breakdown
+}
+
+// Engine builds workers for one protocol.
+type Engine interface {
+	// Name is the display name used in result rows (e.g. "WOUND_WAIT").
+	Name() string
+	// TableOpts declares which per-record lock state tables must allocate.
+	TableOpts() storage.TableOpts
+	// NewWorker creates worker wid's executor. instrument enables the
+	// execution-time breakdown (Fig. 12) at some hot-path cost.
+	NewWorker(db *DB, wid uint16, instrument bool) Worker
+	// SupportsUndoLogging reports whether the protocol can run with undo
+	// logging (requires in-place updates; OCC variants cannot — Fig. 14).
+	SupportsUndoLogging() bool
+}
+
+// Arena is a per-worker bump allocator for transaction-lifetime buffers.
+type Arena struct {
+	buf []byte
+	off int
+}
+
+// NewArena pre-sizes the arena.
+func NewArena(n int) *Arena { return &Arena{buf: make([]byte, n)} }
+
+// Alloc returns an n-byte scratch slice valid until Reset.
+func (a *Arena) Alloc(n int) []byte {
+	if a.off+n > len(a.buf) {
+		grow := 2 * len(a.buf)
+		if grow < a.off+n {
+			grow = 2 * (a.off + n)
+		}
+		// Old buffer stays referenced by outstanding slices; abandoned at
+		// Reset.
+		nb := make([]byte, grow)
+		copy(nb, a.buf[:a.off])
+		a.buf = nb
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Dup copies p into the arena.
+func (a *Arena) Dup(p []byte) []byte {
+	s := a.Alloc(len(p))
+	copy(s, p)
+	return s
+}
+
+// Reset discards all allocations.
+func (a *Arena) Reset() { a.off = 0 }

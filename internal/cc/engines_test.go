@@ -1,0 +1,564 @@
+package cc_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/wal"
+)
+
+// allEngines returns one instance of every protocol configuration under
+// test: the six baselines plus four Plor variants.
+func allEngines() []cc.Engine {
+	return []cc.Engine{
+		cc.NewTwoPL(lock.NoWait),
+		cc.NewTwoPL(lock.WaitDie),
+		cc.NewTwoPL(lock.WoundWait),
+		cc.NewSilo(),
+		cc.NewTicToc(),
+		cc.NewMOCC(),
+		core.New(core.Options{}),
+		core.New(core.Options{DWA: true}),
+		core.New(core.Options{MutexLocker: true}),
+		core.New(core.Options{SlackFactor: 1000}),
+	}
+}
+
+// newTestDB builds a DB with one 8-byte ordered table named "t".
+func newTestDB(e cc.Engine, workers int) (*cc.DB, *cc.Table) {
+	db := cc.NewDB(workers, e.TableOpts())
+	t := db.CreateTable("t", 8, cc.OrderedIndex, 1024)
+	return db, t
+}
+
+// u64 encodes a uint64 row.
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func decode(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// runTxn retries proc until it commits or fails with a non-abort error.
+func runTxn(w cc.Worker, proc cc.Proc, opts cc.AttemptOpts) error {
+	first := true
+	for {
+		err := w.Attempt(proc, first, opts)
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+		first = false
+		runtime.Gosched()
+	}
+}
+
+func TestEngineBasicCRUD(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 2)
+			w := e.NewWorker(db, 1, false)
+
+			// Insert and read back within one transaction.
+			err := runTxn(w, func(tx cc.Tx) error {
+				if err := tx.Insert(tbl, 1, u64(10)); err != nil {
+					return err
+				}
+				v, err := tx.Read(tbl, 1)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 10 {
+					return fmt.Errorf("read-own-insert = %d, want 10", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Read from a second transaction.
+			err = runTxn(w, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 1)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 10 {
+					return fmt.Errorf("committed insert = %d, want 10", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Update (RMW) and verify.
+			err = runTxn(w, func(tx cc.Tx) error {
+				v, err := tx.ReadForUpdate(tbl, 1)
+				if err != nil {
+					return err
+				}
+				return tx.Update(tbl, 1, u64(decode(v)+5))
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = runTxn(w, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 1)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 15 {
+					return fmt.Errorf("after update = %d, want 15", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Delete, then the key is gone.
+			err = runTxn(w, func(tx cc.Tx) error { return tx.Delete(tbl, 1) }, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = runTxn(w, func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, 1); !errors.Is(err, cc.ErrNotFound) {
+					return fmt.Errorf("read deleted key: err = %v, want ErrNotFound", err)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineNotFoundAndDuplicate(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 1)
+			db.LoadRecord(tbl, 7, u64(70))
+			w := e.NewWorker(db, 1, false)
+
+			err := runTxn(w, func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, 99); !errors.Is(err, cc.ErrNotFound) {
+					return fmt.Errorf("missing key: %v", err)
+				}
+				if err := tx.Update(tbl, 99, u64(1)); !errors.Is(err, cc.ErrNotFound) {
+					return fmt.Errorf("update missing: %v", err)
+				}
+				if err := tx.Delete(tbl, 99); !errors.Is(err, cc.ErrNotFound) {
+					return fmt.Errorf("delete missing: %v", err)
+				}
+				if err := tx.Insert(tbl, 7, u64(1)); !errors.Is(err, cc.ErrDuplicate) {
+					return fmt.Errorf("duplicate insert: %v", err)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineAbortedInsertInvisible(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 1)
+			w := e.NewWorker(db, 1, false)
+
+			err := w.Attempt(func(tx cc.Tx) error {
+				if err := tx.Insert(tbl, 42, u64(1)); err != nil {
+					return err
+				}
+				return errBoom // user abort after the insert
+			}, true, cc.AttemptOpts{})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("attempt err = %v", err)
+			}
+			err = runTxn(w, func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, 42); !errors.Is(err, cc.ErrNotFound) {
+					return fmt.Errorf("aborted insert visible: %v", err)
+				}
+				// And the key is insertable again.
+				return tx.Insert(tbl, 42, u64(2))
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineAbortedUpdateRolledBack(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 1)
+			db.LoadRecord(tbl, 1, u64(100))
+			w := e.NewWorker(db, 1, false)
+
+			err := w.Attempt(func(tx cc.Tx) error {
+				if err := tx.Update(tbl, 1, u64(999)); err != nil {
+					return err
+				}
+				return errBoom
+			}, true, cc.AttemptOpts{})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("attempt err = %v", err)
+			}
+			err = runTxn(w, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 1)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 100 {
+					return fmt.Errorf("value after aborted update = %d, want 100", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEngineScanRC(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 1)
+			for k := uint64(0); k < 20; k++ {
+				db.LoadRecord(tbl, k, u64(k*10))
+			}
+			w := e.NewWorker(db, 1, false)
+			err := runTxn(w, func(tx cc.Tx) error {
+				var keys []uint64
+				var sum uint64
+				err := tx.ScanRC(tbl, 5, 14, func(k uint64, v []byte) bool {
+					keys = append(keys, k)
+					sum += decode(v)
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				if len(keys) != 10 || keys[0] != 5 || keys[9] != 14 {
+					return fmt.Errorf("scan keys = %v", keys)
+				}
+				if sum != 950 {
+					return fmt.Errorf("scan sum = %d, want 950", sum)
+				}
+				// ReadRC agrees with Read.
+				v, err := tx.ReadRC(tbl, 5)
+				if err != nil || decode(v) != 50 {
+					return fmt.Errorf("ReadRC = %v %v", v, err)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEngineCounterStress: concurrent increments of a handful of hot
+// records; the final values must equal the number of committed increments
+// (no lost updates — the core serializability smoke test).
+func TestEngineCounterStress(t *testing.T) {
+	const workers, perWorker, keys = 8, 150, 3
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, workers)
+			for k := uint64(0); k < keys; k++ {
+				db.LoadRecord(tbl, k, u64(0))
+			}
+			var wg sync.WaitGroup
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					w := e.NewWorker(db, wid, false)
+					for i := 0; i < perWorker; i++ {
+						k := uint64(i) % keys
+						err := runTxn(w, func(tx cc.Tx) error {
+							v, err := tx.ReadForUpdate(tbl, k)
+							if err != nil {
+								return err
+							}
+							return tx.Update(tbl, k, u64(decode(v)+1))
+						}, cc.AttemptOpts{ResourceHint: 1})
+						if err != nil {
+							t.Errorf("wid %d: %v", wid, err)
+							return
+						}
+					}
+				}(wid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			w := e.NewWorker(db, 1, false)
+			var total uint64
+			err := runTxn(w, func(tx cc.Tx) error {
+				total = 0
+				for k := uint64(0); k < keys; k++ {
+					v, err := tx.Read(tbl, k)
+					if err != nil {
+						return err
+					}
+					total += decode(v)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != workers*perWorker {
+				t.Fatalf("total = %d, want %d (lost updates)", total, workers*perWorker)
+			}
+		})
+	}
+}
+
+// TestEngineBankInvariant: transfers move money between accounts while
+// auditors repeatedly verify the total is conserved — every committed audit
+// must observe the exact invariant (serializability of read-only snapshots).
+func TestEngineBankInvariant(t *testing.T) {
+	const accounts, initial = 16, 1000
+	const transferWorkers, transfers = 4, 120
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, transferWorkers+2)
+			for k := uint64(0); k < accounts; k++ {
+				db.LoadRecord(tbl, k, u64(initial))
+			}
+			stop := make(chan struct{})
+			var movers, auditors sync.WaitGroup
+			for wid := uint16(1); wid <= transferWorkers; wid++ {
+				movers.Add(1)
+				go func(wid uint16) {
+					defer movers.Done()
+					w := e.NewWorker(db, wid, false)
+					rng := uint64(wid) * 2654435761
+					for i := 0; i < transfers; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						from := rng % accounts
+						to := (rng >> 16) % accounts
+						if from == to {
+							to = (to + 1) % accounts
+						}
+						err := runTxn(w, func(tx cc.Tx) error {
+							fv, err := tx.ReadForUpdate(tbl, from)
+							if err != nil {
+								return err
+							}
+							tv, err := tx.ReadForUpdate(tbl, to)
+							if err != nil {
+								return err
+							}
+							if decode(fv) == 0 {
+								return nil // insufficient funds; commit no-op
+							}
+							if err := tx.Update(tbl, from, u64(decode(fv)-1)); err != nil {
+								return err
+							}
+							return tx.Update(tbl, to, u64(decode(tv)+1))
+						}, cc.AttemptOpts{ResourceHint: 2})
+						if err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}(wid)
+			}
+			// Auditor: read-only sums must always equal the invariant.
+			auditors.Add(1)
+			go func() {
+				defer auditors.Done()
+				w := e.NewWorker(db, transferWorkers+1, false)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var sum uint64
+					err := runTxn(w, func(tx cc.Tx) error {
+						sum = 0
+						for k := uint64(0); k < accounts; k++ {
+							v, err := tx.Read(tbl, k)
+							if err != nil {
+								return err
+							}
+							sum += decode(v)
+						}
+						return nil
+					}, cc.AttemptOpts{ReadOnly: true, ResourceHint: accounts})
+					if err != nil {
+						t.Errorf("audit: %v", err)
+						return
+					}
+					if sum != accounts*initial {
+						t.Errorf("audit sum = %d, want %d (serializability violation)", sum, accounts*initial)
+						return
+					}
+				}
+			}()
+			movers.Wait()
+			close(stop)
+			auditors.Wait()
+
+			// Final serial check of the invariant.
+			w := e.NewWorker(db, transferWorkers+2, false)
+			var sum uint64
+			err := runTxn(w, func(tx cc.Tx) error {
+				sum = 0
+				for k := uint64(0); k < accounts; k++ {
+					v, err := tx.Read(tbl, k)
+					if err != nil {
+						return err
+					}
+					sum += decode(v)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != accounts*initial {
+				t.Fatalf("final sum = %d, want %d", sum, accounts*initial)
+			}
+		})
+	}
+}
+
+// TestEngineLoggingRecovery: committed state must be reconstructible from
+// the redo log.
+func TestEngineLoggingRecovery(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db := cc.NewDB(2, e.TableOpts())
+			db.Log = wal.NewLogger(wal.Redo, 2, func(int) wal.Device { return wal.NewSimDevice(0) })
+			tbl := db.CreateTable("t", 8, cc.HashIndex, 64)
+			db.LoadRecord(tbl, 1, u64(11))
+			db.LoadRecord(tbl, 2, u64(22))
+			w := e.NewWorker(db, 1, false)
+
+			if err := runTxn(w, func(tx cc.Tx) error {
+				if err := tx.Update(tbl, 1, u64(100)); err != nil {
+					return err
+				}
+				return tx.Insert(tbl, 3, u64(33))
+			}, cc.AttemptOpts{}); err != nil {
+				t.Fatal(err)
+			}
+			// An aborted transaction must leave no trace in the redo log.
+			errBoom := errors.New("boom")
+			w.Attempt(func(tx cc.Tx) error { //nolint:errcheck
+				tx.Update(tbl, 2, u64(999)) //nolint:errcheck
+				return errBoom
+			}, true, cc.AttemptOpts{})
+
+			rec, err := wal.Recover(wal.Redo, db.Log.Devices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := decode(rec[tbl.ID][1].Image); got != 100 {
+				t.Fatalf("recovered key 1 = %d, want 100", got)
+			}
+			if got := decode(rec[tbl.ID][3].Image); got != 33 {
+				t.Fatalf("recovered key 3 = %d, want 33", got)
+			}
+			if _, ok := rec[tbl.ID][2]; ok {
+				t.Fatal("aborted update leaked into redo log")
+			}
+		})
+	}
+}
+
+// TestEngineUndoLogging: engines that support undo logging must log old
+// images for crash rollback.
+func TestEngineUndoLogging(t *testing.T) {
+	for _, e := range allEngines() {
+		if !e.SupportsUndoLogging() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			db := cc.NewDB(2, e.TableOpts())
+			db.Log = wal.NewLogger(wal.Undo, 2, func(int) wal.Device { return wal.NewSimDevice(0) })
+			tbl := db.CreateTable("t", 8, cc.HashIndex, 64)
+			db.LoadRecord(tbl, 1, u64(7))
+			w := e.NewWorker(db, 1, false)
+			if err := runTxn(w, func(tx cc.Tx) error {
+				return tx.Update(tbl, 1, u64(8))
+			}, cc.AttemptOpts{}); err != nil {
+				t.Fatal(err)
+			}
+			// Committed transaction: recovery has nothing to roll back.
+			rec, err := wal.Recover(wal.Undo, db.Log.Devices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := rec[tbl.ID][1]; ok {
+				t.Fatal("committed undo transaction should not roll back")
+			}
+			// The old image must be in the raw log.
+			found := false
+			for _, d := range db.Log.Devices() {
+				b, _ := d.Contents()
+				if len(b) > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("undo mode logged nothing")
+			}
+		})
+	}
+}
+
+// TestPlorReadOnlyFallback: after ROLockAfterAborts optimistic attempts a
+// read-only transaction switches to read locks and commits.
+func TestPlorReadOnlyFallback(t *testing.T) {
+	e := core.New(core.Options{ROLockAfterAborts: 2})
+	db, tbl := newTestDB(e, 2)
+	db.LoadRecord(tbl, 1, u64(1))
+	w := e.NewWorker(db, 1, false)
+	wr := e.NewWorker(db, 2, false)
+
+	attempts := 0
+	err := runTxn(w, func(tx cc.Tx) error {
+		attempts++
+		if _, err := tx.Read(tbl, 1); err != nil {
+			return err
+		}
+		if attempts <= 2 {
+			// The first two attempts run on the optimistic RO path and
+			// hold no locks, so a nested committed write is safe — and it
+			// invalidates the snapshot, forcing a validation abort.
+			return runTxn(wr, func(tx2 cc.Tx) error {
+				return tx2.Update(tbl, 1, u64(uint64(attempts)*100))
+			}, cc.AttemptOpts{})
+		}
+		return nil
+	}, cc.AttemptOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two optimistic attempts abort at validation; the third takes read
+	// locks (the §4.1.3 fallback) and commits.
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 optimistic aborts + 1 locked commit)", attempts)
+	}
+}

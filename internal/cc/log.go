@@ -1,0 +1,69 @@
+package cc
+
+import "repro/internal/wal"
+
+// Re-exported mode constants keep engine code short.
+const (
+	walOff  = wal.Off
+	walRedo = wal.Redo
+	walUndo = wal.Undo
+)
+
+// LogHandle is a nil-safe wrapper over a worker's log: engines call it
+// unconditionally and it does nothing when logging is off.
+type LogHandle struct {
+	wl *wal.WorkerLog
+}
+
+// NewLogHandle wraps l's per-worker log (l may produce nil).
+func NewLogHandle(l *wal.Logger, wid uint16) *LogHandle {
+	if l == nil || l.Mode() == wal.Off {
+		return &LogHandle{}
+	}
+	return &LogHandle{wl: l.Worker(wid)}
+}
+
+// Mode returns the active logging mode (Off when disabled).
+func (h *LogHandle) Mode() wal.Mode {
+	if h == nil || h.wl == nil {
+		return wal.Off
+	}
+	return h.wl.Mode()
+}
+
+// BeginTxn forwards to the worker log.
+func (h *LogHandle) BeginTxn(ts uint64) {
+	if h != nil && h.wl != nil {
+		h.wl.BeginTxn(ts)
+	}
+}
+
+// SetTS forwards to the worker log (see wal.WorkerLog.SetTS).
+func (h *LogHandle) SetTS(ts uint64) {
+	if h != nil && h.wl != nil {
+		h.wl.SetTS(ts)
+	}
+}
+
+// Update forwards to the worker log.
+func (h *LogHandle) Update(tableID uint32, key uint64, img []byte) error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.Update(tableID, key, img)
+}
+
+// Commit forwards to the worker log.
+func (h *LogHandle) Commit() error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.Commit()
+}
+
+// Abort forwards to the worker log.
+func (h *LogHandle) Abort() {
+	if h != nil && h.wl != nil {
+		h.wl.Abort() //nolint:errcheck // abort markers are best-effort
+	}
+}

@@ -1,0 +1,423 @@
+package cc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/lock"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// MOCCEngine implements mostly-optimistic concurrency control (Wang &
+// Kimura, VLDB'16) as the paper uses it for comparison (§6.1): records
+// carry a temperature that rises when transactions abort because of them;
+// hot records are read under pessimistic locks acquired NO_WAIT-style,
+// cold records are read optimistically, and a Silo-style validation
+// backstops everything. The retrospective lock list is disabled, as in the
+// paper (it assumes deterministic read/write sets).
+//
+// As §7 observes, this combination raises throughput but cannot cut tail
+// latency: neither NO_WAIT nor OCC gives an aborted transaction priority
+// on retry.
+type MOCCEngine struct {
+	// HotThreshold is the temperature at which a record is considered hot.
+	HotThreshold uint64
+}
+
+// NewMOCC builds the engine with the default hot threshold.
+func NewMOCC() *MOCCEngine { return &MOCCEngine{HotThreshold: 8} }
+
+// Name implements Engine.
+func (e *MOCCEngine) Name() string { return "MOCC" }
+
+// TableOpts implements Engine: hot-record locks use the per-record 2PL lock.
+func (e *MOCCEngine) TableOpts() storage.TableOpts {
+	return storage.TableOpts{NeedTwoPL: true}
+}
+
+// SupportsUndoLogging implements Engine.
+func (e *MOCCEngine) SupportsUndoLogging() bool { return false }
+
+// NewWorker implements Engine.
+func (e *MOCCEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
+	w := &moccWorker{
+		db:    db,
+		wid:   wid,
+		ctx:   db.Reg.Ctx(wid),
+		hot:   e.HotThreshold,
+		arena: NewArena(64 << 10),
+		scan:  make([]ScanItem, 0, 128),
+	}
+	if instrument {
+		w.bd = &stats.Breakdown{}
+	}
+	w.wl = NewLogHandle(db.Log, wid)
+	return w
+}
+
+type moccLock struct {
+	rec  *storage.Record
+	mode lock.Mode
+}
+
+type moccWorker struct {
+	db    *DB
+	wid   uint16
+	ctx   *txnCtx
+	hot   uint64
+	arena *Arena
+	rset  []siloRead  // optimistic snapshots (shared shape with Silo)
+	wset  []siloWrite // buffered writes (shared shape with Silo)
+	locks []moccLock  // pessimistic locks held (hot records)
+	req   lock.Req
+	scan  []ScanItem
+	wl    *LogHandle
+	bd    *stats.Breakdown
+}
+
+// txnCtx aliases txn.Ctx.
+type txnCtx = txn.Ctx
+
+// Attempt implements Worker.
+func (w *moccWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	ts := w.db.Reg.NextTS() // fresh each attempt: MOCC has no retry priority
+	w.ctx.Begin(w.wid, ts)
+	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: ts, BD: w.bd}
+	w.arena.Reset()
+	w.rset = w.rset[:0]
+	w.wset = w.wset[:0]
+	w.locks = w.locks[:0]
+	w.wl.BeginTxn(ts)
+
+	if err := proc(w); err != nil {
+		w.abort(0, true)
+		return err
+	}
+	return w.commit()
+}
+
+// heat bumps a record's temperature after it caused an abort.
+func heat(rec *storage.Record) { rec.Meta.Add(1) }
+
+// isHot reports whether the record has crossed the hot threshold.
+func (w *moccWorker) isHot(rec *storage.Record) bool {
+	return rec.Meta.Load() >= w.hot
+}
+
+// holdsLock reports whether we already hold a pessimistic lock ≥ mode.
+func (w *moccWorker) holdsLock(rec *storage.Record, mode lock.Mode) bool {
+	for i := range w.locks {
+		l := &w.locks[i]
+		if l.rec == rec && (l.mode == lock.Exclusive || l.mode == mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// pessimistic acquires the record's 2PL lock NO_WAIT-style, heating the
+// record on conflict.
+func (w *moccWorker) pessimistic(rec *storage.Record, mode lock.Mode) error {
+	if w.holdsLock(rec, mode) {
+		return nil
+	}
+	if err := rec.PL.Acquire(&w.req, mode, lock.NoWait); err != nil {
+		heat(rec)
+		return errConflict
+	}
+	w.locks = append(w.locks, moccLock{rec: rec, mode: mode})
+	return nil
+}
+
+func (w *moccWorker) commit() error {
+	sort.Slice(w.wset, func(i, j int) bool {
+		a, b := &w.wset[i], &w.wset[j]
+		if a.tbl.ID != b.tbl.ID {
+			return a.tbl.ID < b.tbl.ID
+		}
+		return a.key < b.key
+	})
+	// Take pessimistic write locks on hot records first (NO_WAIT), then
+	// TID locks on everything, Silo-style.
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			continue
+		}
+		if w.isHot(e.rec) {
+			if err := w.pessimistic(e.rec, lock.Exclusive); err != nil {
+				w.abort(i, false)
+				return err
+			}
+		}
+	}
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			continue
+		}
+		spins := 0
+		for {
+			if _, ok := e.rec.TIDLock(); ok {
+				break
+			}
+			if spins++; spins > lockSpinLimit {
+				heat(e.rec)
+				w.abort(i, false)
+				return errConflict
+			}
+			runtime.Gosched()
+		}
+	}
+	for _, r := range w.rset {
+		cur := r.rec.TID.Load()
+		if storage.TIDVersion(cur) != storage.TIDVersion(r.tid) ||
+			storage.TIDAbsent(cur) != storage.TIDAbsent(r.tid) {
+			heat(r.rec)
+			w.abort(len(w.wset), false)
+			return errValidate
+		}
+		if cur&(uint64(1)<<63) != 0 && !w.inWset(r.rec) {
+			heat(r.rec)
+			w.abort(len(w.wset), false)
+			return errValidate
+		}
+	}
+	if w.wl.Mode() == walRedo {
+		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks held)
+		for i := range w.wset {
+			e := &w.wset[i]
+			if e.isDelete {
+				w.wl.Update(e.tbl.ID, e.key, nil)
+			} else {
+				w.wl.Update(e.tbl.ID, e.key, e.val)
+			}
+		}
+		if err := w.wl.Commit(); err != nil {
+			w.abort(len(w.wset), false)
+			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+		}
+	} else {
+		w.wl.Commit() //nolint:errcheck
+	}
+	for i := range w.wset {
+		e := &w.wset[i]
+		switch {
+		case e.isDelete:
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TIDUnlockFlags(true, false)
+		case e.isInsert:
+			copy(e.rec.Data, e.val)
+			e.rec.TIDUnlockFlags(false, true)
+		default:
+			copy(e.rec.Data, e.val)
+			e.rec.TIDUnlockFlags(false, false)
+		}
+	}
+	w.releaseLocks()
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+func (w *moccWorker) releaseLocks() {
+	for i := range w.locks {
+		l := &w.locks[i]
+		l.rec.PL.Release(w.wid, l.mode)
+	}
+	w.locks = w.locks[:0]
+}
+
+func (w *moccWorker) abort(lockedUpTo int, fromProc bool) {
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TIDUnlock(false)
+			continue
+		}
+		if !fromProc && i < lockedUpTo {
+			e.rec.TIDUnlock(false)
+		}
+	}
+	w.releaseLocks()
+	w.wset = w.wset[:0]
+	w.rset = w.rset[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+func (w *moccWorker) inWset(rec *storage.Record) bool { return w.findW(rec) != nil }
+
+func (w *moccWorker) findW(rec *storage.Record) *siloWrite {
+	for i := range w.wset {
+		if w.wset[i].rec == rec {
+			return &w.wset[i]
+		}
+	}
+	return nil
+}
+
+// Read implements Tx: hot records are read under a NO_WAIT read lock, cold
+// ones optimistically; both leave a validation entry.
+func (w *moccWorker) Read(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	if w.isHot(rec) {
+		if err := w.pessimistic(rec, lock.Shared); err != nil {
+			return nil, err
+		}
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	w.rset = append(w.rset, siloRead{rec: rec, tid: v})
+	if storage.TIDAbsent(v) {
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ReadForUpdate implements Tx: hot records take the exclusive lock eagerly.
+func (w *moccWorker) ReadForUpdate(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if w.isHot(rec) {
+		if err := w.pessimistic(rec, lock.Exclusive); err != nil {
+			return nil, err
+		}
+	}
+	return w.Read(t, key)
+}
+
+// Update implements Tx.
+func (w *moccWorker) Update(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: update size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		copy(e.val, val)
+		return nil
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	return nil
+}
+
+// Insert implements Tx (Silo-style publication).
+func (w *moccWorker) Insert(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Store.Alloc()
+	rec.Key = key
+	rec.InitAbsent(true)
+	if !t.Idx.Insert(key, rec) {
+		return ErrDuplicate
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	return nil
+}
+
+// Delete implements Tx.
+func (w *moccWorker) Delete(t *Table, key uint64) error {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		e.isDelete = true
+		return nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	w.rset = append(w.rset, siloRead{rec: rec, tid: v})
+	if storage.TIDAbsent(v) {
+		return ErrNotFound
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	return nil
+}
+
+// ReadRC implements Tx.
+func (w *moccWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	if storage.TIDAbsent(v) {
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ScanRC implements Tx.
+func (w *moccWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	w.scan = w.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		w.scan = append(w.scan, ScanItem{k, rec})
+		return true
+	})
+	buf := w.arena.Alloc(t.Store.RowSize)
+	for _, it := range w.scan {
+		if e := w.findW(it.Rec); e != nil {
+			if e.isDelete {
+				continue
+			}
+			if !fn(it.Key, e.val) {
+				return nil
+			}
+			continue
+		}
+		v := it.Rec.StableRead(buf)
+		if storage.TIDAbsent(v) {
+			continue
+		}
+		if !fn(it.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements Tx.
+func (w *moccWorker) WID() uint16 { return w.wid }
+
+// Breakdown implements Worker.
+func (w *moccWorker) Breakdown() *stats.Breakdown { return w.bd }

@@ -1,0 +1,173 @@
+package cc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// occEngines are the two pure-OCC baselines whose validation mechanics
+// these tests pin down.
+func occEngines() []cc.Engine {
+	return []cc.Engine{cc.NewSilo(), cc.NewTicToc()}
+}
+
+// TestOCCReadSetInvalidationAborts: a committed write between a read and
+// the reader's commit must abort the reader (first-updater-wins).
+func TestOCCReadSetInvalidationAborts(t *testing.T) {
+	for _, e := range occEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 2)
+			db.LoadRecord(tbl, 1, u64(10))
+			db.LoadRecord(tbl, 2, u64(20))
+			reader := e.NewWorker(db, 1, false)
+			writer := e.NewWorker(db, 2, false)
+
+			err := reader.Attempt(func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, 1); err != nil {
+					return err
+				}
+				// A conflicting write commits while the reader is running.
+				if err := runTxn(writer, func(tx2 cc.Tx) error {
+					return tx2.Update(tbl, 1, u64(11))
+				}, cc.AttemptOpts{}); err != nil {
+					return err
+				}
+				// Reader also writes key 2 so its commit validates reads.
+				return tx.Update(tbl, 2, u64(21))
+			}, true, cc.AttemptOpts{})
+			if !cc.IsAborted(err) {
+				t.Fatalf("err = %v, want validation abort", err)
+			}
+			// And the reader's buffered write must NOT have been installed.
+			err = runTxn(reader, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 2)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 20 {
+					return fmt.Errorf("aborted write installed: %d", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOCCBlindWriteDoesNotValidate: a pure blind write has no read set, so
+// a concurrent change to the same key does not abort it (last-writer-wins
+// is serializable for blind writes).
+func TestOCCBlindWriteDoesNotValidate(t *testing.T) {
+	for _, e := range occEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 2)
+			db.LoadRecord(tbl, 1, u64(10))
+			w1 := e.NewWorker(db, 1, false)
+			w2 := e.NewWorker(db, 2, false)
+
+			err := w1.Attempt(func(tx cc.Tx) error {
+				if err := tx.Update(tbl, 1, u64(111)); err != nil {
+					return err
+				}
+				return runTxn(w2, func(tx2 cc.Tx) error {
+					return tx2.Update(tbl, 1, u64(222))
+				}, cc.AttemptOpts{})
+			}, true, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatalf("blind write should commit despite interleaving: %v", err)
+			}
+			// w1 committed last; its value wins.
+			err = runTxn(w1, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 1)
+				if err != nil {
+					return err
+				}
+				if decode(v) != 111 {
+					return fmt.Errorf("value = %d, want 111 (last committer)", decode(v))
+				}
+				return nil
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOCCRepeatableSnapshot: two reads of the same key inside one
+// transaction must agree at commit (the second snapshot invalidates the
+// first if a write slipped between them).
+func TestOCCRepeatableSnapshot(t *testing.T) {
+	for _, e := range occEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, 2)
+			db.LoadRecord(tbl, 1, u64(10))
+			db.LoadRecord(tbl, 2, u64(20))
+			reader := e.NewWorker(db, 1, false)
+			writer := e.NewWorker(db, 2, false)
+
+			attempt := 0
+			err := runTxn(reader, func(tx cc.Tx) error {
+				attempt++
+				if _, err := tx.Read(tbl, 1); err != nil {
+					return err
+				}
+				if attempt == 1 {
+					if err := runTxn(writer, func(tx2 cc.Tx) error {
+						return tx2.Update(tbl, 1, u64(uint64(attempt)*100))
+					}, cc.AttemptOpts{}); err != nil {
+						return err
+					}
+				}
+				if _, err := tx.Read(tbl, 1); err != nil {
+					return err
+				}
+				return tx.Update(tbl, 2, u64(1)) // force read validation
+			}, cc.AttemptOpts{})
+			if err != nil && !errors.Is(err, cc.ErrNotFound) {
+				t.Fatal(err)
+			}
+			if attempt < 2 {
+				t.Fatalf("attempts = %d: intervening write must abort attempt 1", attempt)
+			}
+		})
+	}
+}
+
+// TestMOCCHeatsRecordsOnConflict: repeated conflicts push a record over the
+// hot threshold, after which reads lock it pessimistically.
+func TestMOCCHeatsRecordsOnConflict(t *testing.T) {
+	e := cc.NewMOCC()
+	db, tbl := newTestDB(e, 2)
+	db.LoadRecord(tbl, 1, u64(0))
+	db.LoadRecord(tbl, 2, u64(0))
+	rec := tbl.Idx.Get(1)
+
+	victim := e.NewWorker(db, 1, false)
+	writer := e.NewWorker(db, 2, false)
+	// Force validation failures on key 1 until the record heats up. Once
+	// it crosses the hot threshold the victim would hold a pessimistic
+	// read lock, so the nested write must stop (it would NO_WAIT-abort
+	// forever against our own lock).
+	for i := 0; i < 32 && rec.Meta.Load() < e.HotThreshold; i++ {
+		victim.Attempt(func(tx cc.Tx) error { //nolint:errcheck
+			if _, err := tx.Read(tbl, 1); err != nil {
+				return err
+			}
+			if err := runTxn(writer, func(tx2 cc.Tx) error {
+				return tx2.Update(tbl, 1, u64(uint64(i)))
+			}, cc.AttemptOpts{}); err != nil {
+				return err
+			}
+			return tx.Update(tbl, 2, u64(1))
+		}, true, cc.AttemptOpts{})
+	}
+	if rec.Meta.Load() == 0 {
+		t.Fatal("validation failures never heated the record")
+	}
+}

@@ -1,0 +1,356 @@
+package cc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// SiloEngine implements the OCC protocol of Tu et al. (SOSP'13) as the
+// paper describes it in §2.2: invisible reads recording TID snapshots,
+// writes buffered privately, and a commit phase that locks the write set in
+// a deterministic order, validates the read set, and installs. A retried
+// transaction is indistinguishable from a new one — it carries no priority
+// — which is precisely why Silo's 99.9p latency explodes under contention
+// (§2.3.2).
+type SiloEngine struct{}
+
+// NewSilo builds the engine.
+func NewSilo() *SiloEngine { return &SiloEngine{} }
+
+// Name implements Engine.
+func (e *SiloEngine) Name() string { return "SILO" }
+
+// TableOpts implements Engine: Silo needs no per-record lock managers.
+func (e *SiloEngine) TableOpts() storage.TableOpts { return storage.TableOpts{} }
+
+// SupportsUndoLogging implements Engine: Silo never writes in place before
+// commit, so undo logging is meaningless for it (Fig. 14 evaluates it only
+// under redo).
+func (e *SiloEngine) SupportsUndoLogging() bool { return false }
+
+// NewWorker implements Engine.
+func (e *SiloEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
+	w := &siloWorker{
+		db:    db,
+		wid:   wid,
+		arena: NewArena(64 << 10),
+		scan:  make([]ScanItem, 0, 128),
+	}
+	if instrument {
+		w.bd = &stats.Breakdown{}
+	}
+	w.wl = NewLogHandle(db.Log, wid)
+	return w
+}
+
+// lockSpinLimit bounds commit-phase lock spinning; exceeding it means a
+// deadlock is suspected (possible through pre-locked inserts) and the
+// transaction aborts, as in Silo.
+const lockSpinLimit = 1 << 14
+
+type siloRead struct {
+	rec *storage.Record
+	tid uint64 // unlocked TID word observed (version + absent bit)
+}
+
+type siloWrite struct {
+	tbl      *Table
+	rec      *storage.Record
+	key      uint64
+	val      []byte
+	isInsert bool
+	isDelete bool
+}
+
+type siloWorker struct {
+	db    *DB
+	wid   uint16
+	arena *Arena
+	rset  []siloRead
+	wset  []siloWrite
+	scan  []ScanItem
+	wl    *LogHandle
+	bd    *stats.Breakdown
+}
+
+// Attempt implements Worker.
+func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	w.arena.Reset()
+	w.rset = w.rset[:0]
+	w.wset = w.wset[:0]
+	// Silo stamps log records with a fresh serial number every attempt —
+	// aborted attempts never reuse identity (§7, "once a transaction
+	// aborts, it must use a newer timestamp").
+	w.wl.BeginTxn(w.db.Reg.NextTS())
+
+	if err := proc(w); err != nil {
+		w.abort(0, true)
+		return err
+	}
+	return w.commit()
+}
+
+func (w *siloWorker) commit() error {
+	// Phase 1: lock the write set in deterministic (table, key) order.
+	sort.Slice(w.wset, func(i, j int) bool {
+		a, b := &w.wset[i], &w.wset[j]
+		if a.tbl.ID != b.tbl.ID {
+			return a.tbl.ID < b.tbl.ID
+		}
+		return a.key < b.key
+	})
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			continue // pre-locked at insert time
+		}
+		spins := 0
+		for {
+			if _, ok := e.rec.TIDLock(); ok {
+				break
+			}
+			if spins++; spins > lockSpinLimit {
+				w.abort(i, false)
+				return errConflict // deadlock suspected
+			}
+			runtime.Gosched()
+		}
+	}
+	// Phase 2: validate the read set.
+	for _, r := range w.rset {
+		cur := r.rec.TID.Load()
+		if storage.TIDVersion(cur) != storage.TIDVersion(r.tid) ||
+			storage.TIDAbsent(cur) != storage.TIDAbsent(r.tid) {
+			w.abort(len(w.wset), false)
+			return errValidate
+		}
+		if cur&(uint64(1)<<63) != 0 && !w.inWset(r.rec) {
+			w.abort(len(w.wset), false)
+			return errValidate
+		}
+	}
+	// Persist the redo log before installing.
+	if w.wl.Mode() == walRedo {
+		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (TID locks held)
+		for i := range w.wset {
+			e := &w.wset[i]
+			if e.isDelete {
+				w.wl.Update(e.tbl.ID, e.key, nil)
+			} else {
+				w.wl.Update(e.tbl.ID, e.key, e.val)
+			}
+		}
+		if err := w.wl.Commit(); err != nil {
+			w.abort(len(w.wset), false)
+			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+		}
+	} else {
+		w.wl.Commit() //nolint:errcheck // mode off
+	}
+	// Phase 3: install and unlock with a version bump.
+	for i := range w.wset {
+		e := &w.wset[i]
+		switch {
+		case e.isDelete:
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TIDUnlockFlags(true, false)
+		case e.isInsert:
+			copy(e.rec.Data, e.val)
+			e.rec.TIDUnlockFlags(false, true)
+		default:
+			copy(e.rec.Data, e.val)
+			e.rec.TIDUnlockFlags(false, false)
+		}
+	}
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+// abort releases commit-phase locks taken so far (lockedUpTo entries of the
+// sorted write set) plus all pre-locked inserts, and unpublishes inserts.
+// fromProc aborts happen before any commit-phase locking.
+func (w *siloWorker) abort(lockedUpTo int, fromProc bool) {
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TIDUnlock(false) // stays absent: readers see "not found"
+			continue
+		}
+		if !fromProc && i < lockedUpTo {
+			e.rec.TIDUnlock(false)
+		}
+	}
+	w.wset = w.wset[:0]
+	w.rset = w.rset[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+func (w *siloWorker) inWset(rec *storage.Record) bool {
+	return w.findW(rec) != nil
+}
+
+func (w *siloWorker) findW(rec *storage.Record) *siloWrite {
+	for i := range w.wset {
+		if w.wset[i].rec == rec {
+			return &w.wset[i]
+		}
+	}
+	return nil
+}
+
+// Read implements Tx: an invisible read with a TID snapshot.
+func (w *siloWorker) Read(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil { // read-your-writes
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	w.rset = append(w.rset, siloRead{rec: rec, tid: v})
+	if storage.TIDAbsent(v) {
+		// Logically nonexistent (uncommitted insert or committed delete);
+		// the read-set entry still guards against a concurrent commit.
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ReadForUpdate implements Tx; Silo has no pessimistic variant.
+func (w *siloWorker) ReadForUpdate(t *Table, key uint64) ([]byte, error) {
+	return w.Read(t, key)
+}
+
+// Update implements Tx: buffer privately.
+func (w *siloWorker) Update(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: update size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		copy(e.val, val)
+		return nil
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	return nil
+}
+
+// Insert implements Tx: publish the record absent and TID-locked; it turns
+// present at commit.
+func (w *siloWorker) Insert(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Store.Alloc()
+	rec.Key = key
+	rec.InitAbsent(true) // absent + locked
+	if !t.Idx.Insert(key, rec) {
+		return ErrDuplicate
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	return nil
+}
+
+// Delete implements Tx.
+func (w *siloWorker) Delete(t *Table, key uint64) error {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		e.isDelete = true
+		return nil
+	}
+	// Snapshot existence so validation catches a racing delete.
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	w.rset = append(w.rset, siloRead{rec: rec, tid: v})
+	if storage.TIDAbsent(v) {
+		return ErrNotFound
+	}
+	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	return nil
+}
+
+// ReadRC implements Tx: a stable copy with no read-set footprint.
+func (w *siloWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	if storage.TIDAbsent(v) {
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ScanRC implements Tx.
+func (w *siloWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	w.scan = w.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		w.scan = append(w.scan, ScanItem{k, rec})
+		return true
+	})
+	buf := w.arena.Alloc(t.Store.RowSize)
+	for _, it := range w.scan {
+		if e := w.findW(it.Rec); e != nil {
+			if e.isDelete {
+				continue
+			}
+			if !fn(it.Key, e.val) {
+				return nil
+			}
+			continue
+		}
+		v := it.Rec.StableRead(buf)
+		if storage.TIDAbsent(v) {
+			continue
+		}
+		if !fn(it.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements Tx.
+func (w *siloWorker) WID() uint16 { return w.wid }
+
+// Breakdown implements Worker.
+func (w *siloWorker) Breakdown() *stats.Breakdown { return w.bd }

@@ -1,0 +1,416 @@
+package cc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// TicToc word layout, packed into Record.TID:
+//
+//	bit 63     lock
+//	bit 62     absent
+//	bits 15-61 wts (47 bits) — timestamp of the last committed write
+//	bits 0-14  delta (15 bits) — rts = wts + delta
+const (
+	ttLockBit   = uint64(1) << 63
+	ttAbsentBit = uint64(1) << 62
+	ttDeltaBits = 15
+	ttDeltaMask = uint64(1)<<ttDeltaBits - 1
+	ttWtsMask   = (uint64(1)<<47 - 1) << ttDeltaBits
+)
+
+func ttPack(wts, delta uint64, absent bool) uint64 {
+	v := wts<<ttDeltaBits&ttWtsMask | delta&ttDeltaMask
+	if absent {
+		v |= ttAbsentBit
+	}
+	return v
+}
+
+func ttWts(v uint64) uint64    { return v & ttWtsMask >> ttDeltaBits }
+func ttRts(v uint64) uint64    { return ttWts(v) + v&ttDeltaMask }
+func ttLocked(v uint64) bool   { return v&ttLockBit != 0 }
+func ttIsAbsent(v uint64) bool { return v&ttAbsentBit != 0 }
+
+// TicTocEngine implements Yu et al.'s TicToc (SIGMOD'16) as sketched in the
+// paper's §7: transactions carry no a-priori timestamp; a valid commit
+// timestamp is computed lazily from the wts/rts intervals of the records
+// accessed, which admits more serializable schedules than Silo. Like Silo,
+// an aborted transaction restarts with no priority — the tail-latency
+// failure mode Plor fixes.
+type TicTocEngine struct{}
+
+// NewTicToc builds the engine.
+func NewTicToc() *TicTocEngine { return &TicTocEngine{} }
+
+// Name implements Engine.
+func (e *TicTocEngine) Name() string { return "TICTOC" }
+
+// TableOpts implements Engine.
+func (e *TicTocEngine) TableOpts() storage.TableOpts { return storage.TableOpts{} }
+
+// SupportsUndoLogging implements Engine.
+func (e *TicTocEngine) SupportsUndoLogging() bool { return false }
+
+// NewWorker implements Engine.
+func (e *TicTocEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
+	w := &tictocWorker{
+		db:    db,
+		wid:   wid,
+		arena: NewArena(64 << 10),
+		scan:  make([]ScanItem, 0, 128),
+	}
+	if instrument {
+		w.bd = &stats.Breakdown{}
+	}
+	w.wl = NewLogHandle(db.Log, wid)
+	return w
+}
+
+type ttRead struct {
+	rec *storage.Record
+	v   uint64 // word observed at read time
+}
+
+type ttWrite struct {
+	tbl      *Table
+	rec      *storage.Record
+	key      uint64
+	val      []byte
+	isInsert bool
+	isDelete bool
+}
+
+type tictocWorker struct {
+	db    *DB
+	wid   uint16
+	arena *Arena
+	rset  []ttRead
+	wset  []ttWrite
+	scan  []ScanItem
+	wl    *LogHandle
+	bd    *stats.Breakdown
+}
+
+// Attempt implements Worker.
+func (w *tictocWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	w.arena.Reset()
+	w.rset = w.rset[:0]
+	w.wset = w.wset[:0]
+	w.wl.BeginTxn(w.db.Reg.NextTS()) // log stamp only; not a CC timestamp
+
+	if err := proc(w); err != nil {
+		w.abort(0, true)
+		return err
+	}
+	return w.commit()
+}
+
+// stableWord spins until the word is unlocked and two reads around the data
+// copy agree.
+func ttStableRead(rec *storage.Record, buf []byte) uint64 {
+	for i := 0; ; i++ {
+		v1 := rec.TID.Load()
+		if ttLocked(v1) {
+			if i > 2 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		copy(buf, rec.Data)
+		if rec.TID.Load() == v1 {
+			return v1
+		}
+	}
+}
+
+func (w *tictocWorker) commit() error {
+	// Lock the write set in deterministic order.
+	sort.Slice(w.wset, func(i, j int) bool {
+		a, b := &w.wset[i], &w.wset[j]
+		if a.tbl.ID != b.tbl.ID {
+			return a.tbl.ID < b.tbl.ID
+		}
+		return a.key < b.key
+	})
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			continue
+		}
+		spins := 0
+		for {
+			v := e.rec.TID.Load()
+			if !ttLocked(v) && e.rec.TID.CompareAndSwap(v, v|ttLockBit) {
+				break
+			}
+			if spins++; spins > lockSpinLimit {
+				w.abort(i, false)
+				return errConflict
+			}
+			runtime.Gosched()
+		}
+	}
+	// Compute the commit timestamp: above every locked record's rts, and at
+	// or above every read's wts.
+	var ct uint64
+	for i := range w.wset {
+		if v := ttRts(w.wset[i].rec.TID.Load()) + 1; v > ct {
+			ct = v
+		}
+	}
+	for i := range w.rset {
+		if v := ttWts(w.rset[i].v); v > ct {
+			ct = v
+		}
+	}
+	// Validate the read set, extending rts where needed.
+	for i := range w.rset {
+		r := &w.rset[i]
+		if ttRts(r.v) >= ct {
+			continue
+		}
+		for {
+			v := r.rec.TID.Load()
+			if ttWts(v) != ttWts(r.v) || ttIsAbsent(v) != ttIsAbsent(r.v) {
+				w.abort(len(w.wset), false)
+				return errValidate
+			}
+			if ttRts(v) >= ct {
+				break // someone already extended past ct
+			}
+			if ttLocked(v) && !w.inWset(r.rec) {
+				w.abort(len(w.wset), false)
+				return errValidate
+			}
+			wts, delta := ttWts(v), ct-ttWts(v)
+			if delta > ttDeltaMask {
+				// The rts extension overflows the delta field. As in the
+				// TicToc paper's timestamp-size handling, shift wts
+				// forward so wts+delta = ct; concurrent readers holding
+				// the old wts abort spuriously, which is rare and safe.
+				wts, delta = ct-ttDeltaMask, ttDeltaMask
+			}
+			nv := v&(ttLockBit|ttAbsentBit) | ttPack(wts, delta, false)
+			if r.rec.TID.CompareAndSwap(v, nv) {
+				break
+			}
+		}
+	}
+	// Persist, then install at wts = rts = ct.
+	if w.wl.Mode() == walRedo {
+		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks held)
+		for i := range w.wset {
+			e := &w.wset[i]
+			if e.isDelete {
+				w.wl.Update(e.tbl.ID, e.key, nil)
+			} else {
+				w.wl.Update(e.tbl.ID, e.key, e.val)
+			}
+		}
+		if err := w.wl.Commit(); err != nil {
+			w.abort(len(w.wset), false)
+			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+		}
+	} else {
+		w.wl.Commit() //nolint:errcheck
+	}
+	for i := range w.wset {
+		e := &w.wset[i]
+		switch {
+		case e.isDelete:
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TID.Store(ttPack(ct, 0, true))
+		default:
+			copy(e.rec.Data, e.val)
+			e.rec.TID.Store(ttPack(ct, 0, false))
+		}
+	}
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+func (w *tictocWorker) abort(lockedUpTo int, fromProc bool) {
+	for i := range w.wset {
+		e := &w.wset[i]
+		if e.isInsert {
+			e.tbl.Idx.Remove(e.key)
+			e.rec.TID.Store(ttPack(0, 0, true)) // unlock, stay absent
+			continue
+		}
+		if !fromProc && i < lockedUpTo {
+			for {
+				v := e.rec.TID.Load()
+				if e.rec.TID.CompareAndSwap(v, v&^ttLockBit) {
+					break
+				}
+			}
+		}
+	}
+	w.wset = w.wset[:0]
+	w.rset = w.rset[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+func (w *tictocWorker) inWset(rec *storage.Record) bool { return w.findW(rec) != nil }
+
+func (w *tictocWorker) findW(rec *storage.Record) *ttWrite {
+	for i := range w.wset {
+		if w.wset[i].rec == rec {
+			return &w.wset[i]
+		}
+	}
+	return nil
+}
+
+// Read implements Tx.
+func (w *tictocWorker) Read(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := ttStableRead(rec, buf)
+	w.rset = append(w.rset, ttRead{rec: rec, v: v})
+	if ttIsAbsent(v) {
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ReadForUpdate implements Tx.
+func (w *tictocWorker) ReadForUpdate(t *Table, key uint64) ([]byte, error) {
+	return w.Read(t, key)
+}
+
+// Update implements Tx.
+func (w *tictocWorker) Update(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: update size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		copy(e.val, val)
+		return nil
+	}
+	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	return nil
+}
+
+// Insert implements Tx.
+func (w *tictocWorker) Insert(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Store.Alloc()
+	rec.Key = key
+	rec.TID.Store(ttPack(0, 0, true) | ttLockBit)
+	if !t.Idx.Insert(key, rec) {
+		return ErrDuplicate
+	}
+	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	return nil
+}
+
+// Delete implements Tx.
+func (w *tictocWorker) Delete(t *Table, key uint64) error {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return ErrNotFound
+		}
+		e.isDelete = true
+		return nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := ttStableRead(rec, buf)
+	w.rset = append(w.rset, ttRead{rec: rec, v: v})
+	if ttIsAbsent(v) {
+		return ErrNotFound
+	}
+	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	return nil
+}
+
+// ReadRC implements Tx.
+func (w *tictocWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if e := w.findW(rec); e != nil {
+		if e.isDelete {
+			return nil, ErrNotFound
+		}
+		return e.val, nil
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := ttStableRead(rec, buf)
+	if ttIsAbsent(v) {
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// ScanRC implements Tx.
+func (w *tictocWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	w.scan = w.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		w.scan = append(w.scan, ScanItem{k, rec})
+		return true
+	})
+	buf := w.arena.Alloc(t.Store.RowSize)
+	for _, it := range w.scan {
+		if e := w.findW(it.Rec); e != nil {
+			if e.isDelete {
+				continue
+			}
+			if !fn(it.Key, e.val) {
+				return nil
+			}
+			continue
+		}
+		v := ttStableRead(it.Rec, buf)
+		if ttIsAbsent(v) {
+			continue
+		}
+		if !fn(it.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements Tx.
+func (w *tictocWorker) WID() uint16 { return w.wid }
+
+// Breakdown implements Worker.
+func (w *tictocWorker) Breakdown() *stats.Breakdown { return w.bd }

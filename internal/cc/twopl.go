@@ -1,0 +1,394 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Static abort reasons (pre-wrapped so the abort path does not allocate).
+var (
+	errWound    = fmt.Errorf("%w: wounded by conflicting transaction", ErrAborted)
+	errConflict = fmt.Errorf("%w: lock conflict", ErrAborted)
+	errValidate = fmt.Errorf("%w: validation failed", ErrAborted)
+)
+
+// TwoPLEngine runs transactions under classic two-phase locking with one of
+// the three deadlock-avoidance schemes of §2.1. Updates are applied in
+// place under exclusive locks (hence undo images), locks are held to commit
+// (strict 2PL), and a retried transaction keeps its original timestamp so
+// WAIT_DIE and WOUND_WAIT age aborted transactions into higher priority.
+type TwoPLEngine struct {
+	scheme lock.Scheme
+}
+
+// NewTwoPL builds the engine for the given scheme.
+func NewTwoPL(s lock.Scheme) *TwoPLEngine { return &TwoPLEngine{scheme: s} }
+
+// Name implements Engine.
+func (e *TwoPLEngine) Name() string { return e.scheme.String() }
+
+// TableOpts implements Engine.
+func (e *TwoPLEngine) TableOpts() storage.TableOpts {
+	return storage.TableOpts{NeedTwoPL: true}
+}
+
+// SupportsUndoLogging implements Engine: 2PL writes in place, so undo
+// logging is natural.
+func (e *TwoPLEngine) SupportsUndoLogging() bool { return true }
+
+// NewWorker implements Engine.
+func (e *TwoPLEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
+	w := &twoplWorker{
+		db:     db,
+		wid:    wid,
+		ctx:    db.Reg.Ctx(wid),
+		scheme: e.scheme,
+		arena:  NewArena(64 << 10),
+		scan:   make([]ScanItem, 0, 128),
+	}
+	if instrument {
+		w.bd = &stats.Breakdown{}
+	}
+	w.wl = NewLogHandle(db.Log, wid)
+	return w
+}
+
+// tplAccess records one locked record of the running transaction.
+type tplAccess struct {
+	tbl      *Table
+	rec      *storage.Record
+	key      uint64
+	mode     lock.Mode // strongest mode held
+	undo     []byte    // pre-image if written (nil otherwise)
+	isInsert bool
+	isDelete bool
+}
+
+// scanItem buffers (key, record) pairs collected during an index scan, so
+// record locks are never taken while index latches are held.
+type ScanItem struct {
+	Key uint64
+	Rec *storage.Record
+}
+
+type twoplWorker struct {
+	db     *DB
+	wid    uint16
+	ctx    *txn.Ctx
+	scheme lock.Scheme
+	ts     uint64
+	req    lock.Req
+	arena  *Arena
+	acc    []tplAccess
+	scan   []ScanItem
+	wl     *LogHandle
+	bd     *stats.Breakdown
+}
+
+// LogHandle is a nil-safe wrapper defined in log.go.
+
+// Attempt implements Worker.
+func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	if first {
+		w.ts = w.db.Reg.NextTS()
+	}
+	w.ctx.Begin(w.wid, w.ts)
+	w.arena.Reset()
+	w.acc = w.acc[:0]
+	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: w.ts, BD: w.bd}
+	w.wl.BeginTxn(w.ts)
+
+	if err := proc(w); err != nil {
+		w.rollback()
+		return err
+	}
+	// A wound can land at any point; the final check keeps wounded
+	// transactions from committing.
+	if w.ctx.Aborted() {
+		w.rollback()
+		return errWound
+	}
+	// Persist before releasing locks: redo logs new images now, undo
+	// logged old images during execution and only needs the marker.
+	if w.wl.Mode() == walRedo {
+		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks still held)
+		for i := range w.acc {
+			a := &w.acc[i]
+			if a.undo == nil && !a.isInsert && !a.isDelete {
+				continue
+			}
+			if a.isDelete {
+				w.wl.Update(a.tbl.ID, a.key, nil)
+			} else {
+				w.wl.Update(a.tbl.ID, a.key, a.rec.Data)
+			}
+		}
+	}
+	if err := w.wl.Commit(); err != nil {
+		w.rollback()
+		return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+	}
+	// Commit point: finalize inserts/deletes, release every lock.
+	for i := range w.acc {
+		a := &w.acc[i]
+		if a.isDelete {
+			a.tbl.Idx.Remove(a.key)
+		} else if a.isInsert {
+			a.rec.ClearAbsent()
+		}
+		a.rec.PL.Release(w.wid, a.mode)
+	}
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+// rollback undoes in-place effects in reverse order and releases locks.
+func (w *twoplWorker) rollback() {
+	for i := len(w.acc) - 1; i >= 0; i-- {
+		a := &w.acc[i]
+		switch {
+		case a.isInsert:
+			a.tbl.Idx.Remove(a.key) // record stays absent (dead)
+		default:
+			if a.undo != nil {
+				copy(a.rec.Data, a.undo)
+			}
+			if a.isDelete {
+				a.rec.ClearAbsent()
+			}
+		}
+		a.rec.PL.Release(w.wid, a.mode)
+	}
+	w.acc = w.acc[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+// find returns the access entry for rec, or nil.
+func (w *twoplWorker) find(rec *storage.Record) *tplAccess {
+	for i := range w.acc {
+		if w.acc[i].rec == rec {
+			return &w.acc[i]
+		}
+	}
+	return nil
+}
+
+// acquire takes the lock in mode, translating lock errors to abort errors.
+func (w *twoplWorker) acquire(rec *storage.Record, mode lock.Mode) error {
+	switch err := rec.PL.Acquire(&w.req, mode, w.scheme); err {
+	case nil:
+		return nil
+	case lock.ErrKilled:
+		return errWound
+	default:
+		return errConflict
+	}
+}
+
+// lockedRead locks rec in mode (reusing/upgrading an existing access) and
+// returns its access entry.
+func (w *twoplWorker) lockedRead(t *Table, rec *storage.Record, key uint64, mode lock.Mode) (*tplAccess, error) {
+	if a := w.find(rec); a != nil {
+		if mode == lock.Exclusive && a.mode == lock.Shared {
+			if err := w.acquire(rec, lock.Exclusive); err != nil {
+				return nil, err
+			}
+			a.mode = lock.Exclusive
+		}
+		return a, nil
+	}
+	if err := w.acquire(rec, mode); err != nil {
+		return nil, err
+	}
+	w.acc = append(w.acc, tplAccess{tbl: t, rec: rec, key: key, mode: mode})
+	return &w.acc[len(w.acc)-1], nil
+}
+
+// Read implements Tx.
+func (w *twoplWorker) Read(t *Table, key uint64) ([]byte, error) {
+	return w.read(t, key, lock.Shared)
+}
+
+// ReadForUpdate implements Tx.
+func (w *twoplWorker) ReadForUpdate(t *Table, key uint64) ([]byte, error) {
+	return w.read(t, key, lock.Exclusive)
+}
+
+func (w *twoplWorker) read(t *Table, key uint64, mode lock.Mode) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	a, err := w.lockedRead(t, rec, key, mode)
+	if err != nil {
+		return nil, err
+	}
+	if storage.TIDAbsent(rec.TID.Load()) && !a.isInsert {
+		return nil, ErrNotFound
+	}
+	return rec.Data, nil
+}
+
+// Update implements Tx: an in-place write under the exclusive lock, with
+// the pre-image saved for rollback (and undo-logged when configured).
+func (w *twoplWorker) Update(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: update size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	a, err := w.lockedRead(t, rec, key, lock.Exclusive)
+	if err != nil {
+		return err
+	}
+	if storage.TIDAbsent(rec.TID.Load()) && !a.isInsert {
+		return ErrNotFound
+	}
+	if a.undo == nil && !a.isInsert {
+		a.undo = w.arena.Dup(rec.Data)
+		if w.wl.Mode() == walUndo {
+			if err := w.wl.Update(t.ID, key, a.undo); err != nil {
+				return fmt.Errorf("%w: undo log: %v", ErrAborted, err)
+			}
+		}
+	}
+	copy(rec.Data, val)
+	return nil
+}
+
+// Insert implements Tx. The record is published exclusive-locked and
+// absent; it becomes visible at commit.
+func (w *twoplWorker) Insert(t *Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Store.Alloc()
+	rec.Key = key
+	rec.InitAbsent(false)
+	copy(rec.Data, val)
+	if err := w.acquire(rec, lock.Exclusive); err != nil {
+		return err // cannot happen on a fresh record, but be safe
+	}
+	if !t.Idx.Insert(key, rec) {
+		rec.PL.Release(w.wid, lock.Exclusive)
+		return ErrDuplicate
+	}
+	w.acc = append(w.acc, tplAccess{tbl: t, rec: rec, key: key, mode: lock.Exclusive, isInsert: true})
+	if w.wl.Mode() == walUndo {
+		// Old state: key absent (empty image).
+		if err := w.wl.Update(t.ID, key, nil); err != nil {
+			return fmt.Errorf("%w: undo log: %v", ErrAborted, err)
+		}
+	}
+	return nil
+}
+
+// Delete implements Tx: the record is marked absent in place; the index
+// entry is removed at commit.
+func (w *twoplWorker) Delete(t *Table, key uint64) error {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return ErrNotFound
+	}
+	a, err := w.lockedRead(t, rec, key, lock.Exclusive)
+	if err != nil {
+		return err
+	}
+	if storage.TIDAbsent(rec.TID.Load()) {
+		return ErrNotFound
+	}
+	if a.undo == nil {
+		a.undo = w.arena.Dup(rec.Data)
+		if w.wl.Mode() == walUndo {
+			if err := w.wl.Update(t.ID, key, a.undo); err != nil {
+				return fmt.Errorf("%w: undo log: %v", ErrAborted, err)
+			}
+		}
+	}
+	rec.SetAbsent()
+	a.isDelete = true
+	return nil
+}
+
+// ReadRC implements Tx: lock, copy, release immediately (§6.1: "2PL
+// releases the lock immediately after accessing a new record").
+func (w *twoplWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	if a := w.find(rec); a != nil { // already locked by us
+		if storage.TIDAbsent(rec.TID.Load()) && !a.isInsert {
+			return nil, ErrNotFound
+		}
+		return rec.Data, nil
+	}
+	if err := w.acquire(rec, lock.Shared); err != nil {
+		return nil, err
+	}
+	if storage.TIDAbsent(rec.TID.Load()) {
+		rec.PL.Release(w.wid, lock.Shared)
+		return nil, ErrNotFound
+	}
+	out := w.arena.Dup(rec.Data)
+	rec.PL.Release(w.wid, lock.Shared)
+	return out, nil
+}
+
+// ScanRC implements Tx. Key/record pairs are collected first so record
+// locks are never taken under index latches.
+func (w *twoplWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	w.scan = w.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		w.scan = append(w.scan, ScanItem{k, rec})
+		return true
+	})
+	buf := w.arena.Alloc(t.Store.RowSize)
+	for _, it := range w.scan {
+		if a := w.find(it.Rec); a != nil {
+			if storage.TIDAbsent(it.Rec.TID.Load()) && !a.isInsert {
+				continue
+			}
+			if !fn(it.Key, it.Rec.Data) {
+				return nil
+			}
+			continue
+		}
+		if err := w.acquire(it.Rec, lock.Shared); err != nil {
+			return err
+		}
+		absent := storage.TIDAbsent(it.Rec.TID.Load())
+		if !absent {
+			copy(buf, it.Rec.Data)
+		}
+		it.Rec.PL.Release(w.wid, lock.Shared)
+		if absent {
+			continue
+		}
+		if !fn(it.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements Tx.
+func (w *twoplWorker) WID() uint16 { return w.wid }
+
+// Breakdown implements Worker.
+func (w *twoplWorker) Breakdown() *stats.Breakdown { return w.bd }

@@ -1,0 +1,640 @@
+// Package core implements Plor — pessimistic locking with optimistic
+// reading — the paper's contribution (§3, §4).
+//
+// Protocol summary. A transaction acquires a read or write lock before
+// every record access (pessimistic locking), but lock acquisition never
+// checks for conflicts: readers insert themselves into the reader list
+// ignoring any write-lock owner, and writers buffer their updates privately
+// (optimistic reading). Conflict detection is delayed to the commit phase:
+//
+//	Phase 1 — upgrade every write-set lock to exclusive mode (append the
+//	          excl_sig to the reader list), wound all younger readers, and
+//	          wait for older readers to drain.
+//	Phase 2 — release read locks.
+//	Phase 3 — install buffered updates into the row store and release the
+//	          write locks (handing each to its oldest waiter).
+//
+// Conflicts are resolved WOUND_WAIT-style on the commit priority stored in
+// the lock state: an aborted transaction retries with its ORIGINAL
+// timestamp, so it ages into the oldest — hence unkillable — transaction,
+// which bounds tail latency (§4.1.3 "Liveness").
+//
+// Options cover the paper's ablations: the mutex-based locker (Baseline
+// Plor, Fig. 11), delayed write-lock acquisition (§4.1.4, Fig. 8/11/12),
+// the dynamic read-only path (§4.1.3), and the real-time deadline priority
+// of Fig. 15.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/lock"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Static abort reasons (no allocation on the abort path).
+var (
+	errWound    = fmt.Errorf("%w: wounded by conflicting transaction", cc.ErrAborted)
+	errValidate = fmt.Errorf("%w: read-only validation failed", cc.ErrAborted)
+)
+
+// Options selects Plor variants.
+type Options struct {
+	// MutexLocker switches to the per-record mutex-based locker: the
+	// "Baseline Plor" configuration the latch-free locker is ablated
+	// against in Fig. 11.
+	MutexLocker bool
+	// DWA enables delayed write-lock acquisition (§4.1.4): blind writes
+	// lock only at commit; read-modify-writes hold a read lock and upgrade
+	// at commit, with the write set sorted for deadlock freedom.
+	DWA bool
+	// SlackFactor, when non-zero, switches the commit priority from the
+	// arrival timestamp to the real-time deadline AT + SF·RT of Fig. 15
+	// (RT is AttemptOpts.ResourceHint).
+	SlackFactor uint64
+	// ROLockAfterAborts is the number of optimistic attempts a read-only
+	// transaction gets before falling back to read locks (§4.1.3; the
+	// paper uses 3).
+	ROLockAfterAborts int
+}
+
+// Engine builds Plor workers.
+type Engine struct {
+	opts Options
+}
+
+// New builds a Plor engine. The zero Options value is the paper's default
+// configuration (latch-free locker, no DWA, arrival-timestamp priority,
+// read-only fallback after 3 aborts).
+func New(opts Options) *Engine {
+	if opts.ROLockAfterAborts == 0 {
+		opts.ROLockAfterAborts = 3
+	}
+	return &Engine{opts: opts}
+}
+
+// Name implements cc.Engine.
+func (e *Engine) Name() string {
+	switch {
+	case e.opts.SlackFactor != 0:
+		return fmt.Sprintf("PLOR_RT(SF=%d)", e.opts.SlackFactor)
+	case e.opts.MutexLocker && e.opts.DWA:
+		return "PLOR_BASE+DWA"
+	case e.opts.MutexLocker:
+		return "PLOR_BASE"
+	case e.opts.DWA:
+		return "PLOR+DWA"
+	}
+	return "PLOR"
+}
+
+// TableOpts implements cc.Engine.
+func (e *Engine) TableOpts() storage.TableOpts {
+	return storage.TableOpts{NeedMutexLocker: e.opts.MutexLocker}
+}
+
+// SupportsUndoLogging implements cc.Engine: Plor logs old images right
+// before each Phase-3 install (Fig. 14b).
+func (e *Engine) SupportsUndoLogging() bool { return true }
+
+// NewWorker implements cc.Engine.
+func (e *Engine) NewWorker(db *cc.DB, wid uint16, instrument bool) cc.Worker {
+	w := &worker{
+		db:    db,
+		wid:   wid,
+		ctx:   db.Reg.Ctx(wid),
+		opts:  e.opts,
+		arena: cc.NewArena(64 << 10),
+		scan:  make([]cc.ScanItem, 0, 128),
+	}
+	if instrument {
+		w.bd = &stats.Breakdown{}
+	}
+	w.wl = cc.NewLogHandle(db.Log, wid)
+	return w
+}
+
+// access is one record touched by the running transaction.
+type access struct {
+	tbl      *cc.Table
+	rec      *storage.Record
+	lk       lock.Locker
+	key      uint64
+	val      []byte // buffered new image (nil for inserts: data in place)
+	roTID    uint64 // TID snapshot on the optimistic read-only path
+	ro       bool   // entry belongs to the optimistic read-only path
+	rlocked  bool
+	wlocked  bool
+	excl     bool // exclusive mode already set (inserts)
+	written  bool
+	isInsert bool
+	isDelete bool
+}
+
+type worker struct {
+	db       *cc.DB
+	wid      uint16
+	ctx      *txn.Ctx
+	opts     Options
+	ts       uint64
+	attempts int
+	roMode   bool
+	req      lock.Req
+	acc      []access
+	arena    *cc.Arena
+	scan     []cc.ScanItem
+	wl       *cc.LogHandle
+	bd       *stats.Breakdown
+}
+
+// Attempt implements cc.Worker.
+func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
+	if first {
+		w.ts = w.db.Reg.NextTS()
+		w.attempts = 0
+	} else {
+		w.attempts++
+	}
+	// Dynamic read-only handling: run optimistically (Silo-style) first;
+	// take read locks only after repeated aborts.
+	w.roMode = opts.ReadOnly && w.attempts < w.opts.ROLockAfterAborts
+
+	prio := w.ts
+	if w.opts.SlackFactor != 0 {
+		prio = w.ts + w.opts.SlackFactor*uint64(opts.ResourceHint)
+	}
+	w.ctx.BeginWithPriority(w.wid, w.ts, prio)
+	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: prio, BD: w.bd}
+	w.arena.Reset()
+	w.acc = w.acc[:0]
+	w.wl.BeginTxn(w.ts)
+
+	if err := proc(w); err != nil {
+		w.rollback()
+		return err
+	}
+	return w.commit()
+}
+
+// commit runs the three-phase commit of Fig. 5.
+func (w *worker) commit() error {
+	if w.roMode {
+		return w.commitReadOnly()
+	}
+	if w.ctx.Aborted() {
+		w.rollback()
+		return errWound
+	}
+	// DWA: acquire the deferred write locks now, in deterministic order.
+	if w.opts.DWA {
+		sort.Slice(w.acc, func(i, j int) bool {
+			a, b := &w.acc[i], &w.acc[j]
+			if a.tbl.ID != b.tbl.ID {
+				return a.tbl.ID < b.tbl.ID
+			}
+			return a.key < b.key
+		})
+		for i := range w.acc {
+			a := &w.acc[i]
+			if (a.written || a.isDelete) && !a.wlocked {
+				if err := a.lk.AcquireWrite(&w.req); err != nil {
+					w.rollback()
+					return errWound
+				}
+				a.wlocked = true
+			}
+		}
+	}
+	// Phase 1: upgrade write-set locks to exclusive mode, wounding younger
+	// readers and waiting for older ones. The transaction is still
+	// killable here; afterwards it is not.
+	for i := range w.acc {
+		a := &w.acc[i]
+		if !a.wlocked || a.excl {
+			continue
+		}
+		if err := a.lk.MakeExclusive(&w.req); err != nil {
+			w.rollback()
+			return errWound
+		}
+		a.excl = true
+	}
+	// Past Phase 1: wounds may still flip our status bit, but we ignore
+	// them — killers wait on the lock words themselves, and Begin clears
+	// the stale bit (paper §4.1.3).
+	if err := w.persist(); err != nil {
+		w.rollback()
+		return err
+	}
+	// Phase 2: release read locks.
+	for i := range w.acc {
+		a := &w.acc[i]
+		if a.rlocked {
+			a.lk.ReleaseRead(w.wid)
+			a.rlocked = false
+		}
+	}
+	// Phase 3: install buffered updates and release write locks.
+	for i := range w.acc {
+		a := &w.acc[i]
+		if !a.wlocked {
+			continue
+		}
+		if a.written || a.isDelete {
+			w.install(a)
+		}
+		a.lk.ReleaseWrite(w.wid)
+		a.wlocked = false
+	}
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+// install publishes one write-set entry into the row store. The TID lock
+// bit serializes against optimistic (seqlock) readers.
+func (w *worker) install(a *access) {
+	for {
+		if _, ok := a.rec.TIDLock(); ok {
+			break
+		}
+	}
+	switch {
+	case a.isDelete:
+		a.tbl.Idx.Remove(a.key)
+		a.rec.TIDUnlockFlags(true, false)
+	case a.isInsert:
+		// Data was written at insert time under exclusive mode.
+		a.rec.TIDUnlockFlags(false, true)
+	default:
+		copy(a.rec.Data, a.val)
+		a.rec.TIDUnlockFlags(false, false)
+	}
+}
+
+// persist writes the WAL according to the configured mode. Under redo the
+// new images are flushed with the commit marker before any install; under
+// undo each old image is appended before its in-place install and the
+// marker afterwards (callers invoke persist before Phase 3, so under undo
+// we log old images here — the records are exclusive, hence stable).
+func (w *worker) persist() error {
+	switch w.wl.Mode() {
+	case wal.Redo:
+		// Stamp with a commit-order sequence: exclusive locks are held, so
+		// per-key stamp order equals install order even though this
+		// transaction's CC timestamp may be old (retries reuse it).
+		w.wl.SetTS(w.db.Reg.NextTS())
+		for i := range w.acc {
+			a := &w.acc[i]
+			switch {
+			case a.isDelete:
+				w.wl.Update(a.tbl.ID, a.key, nil)
+			case a.isInsert:
+				w.wl.Update(a.tbl.ID, a.key, a.rec.Data)
+			case a.written:
+				w.wl.Update(a.tbl.ID, a.key, a.val)
+			}
+		}
+		if err := w.wl.Commit(); err != nil {
+			return fmt.Errorf("%w: log commit: %v", cc.ErrAborted, err)
+		}
+	case wal.Undo:
+		for i := range w.acc {
+			a := &w.acc[i]
+			switch {
+			case a.isInsert:
+				w.wl.Update(a.tbl.ID, a.key, nil) // old state: absent
+			case a.written || a.isDelete:
+				w.wl.Update(a.tbl.ID, a.key, a.rec.Data) // old image
+			}
+		}
+		if err := w.wl.Commit(); err != nil {
+			return fmt.Errorf("%w: log commit: %v", cc.ErrAborted, err)
+		}
+	default:
+		w.wl.Commit() //nolint:errcheck // mode off
+	}
+	return nil
+}
+
+// commitReadOnly validates the optimistic read-only snapshot (§4.1.3).
+func (w *worker) commitReadOnly() error {
+	for i := range w.acc {
+		a := &w.acc[i]
+		if a.rec.TID.Load() != a.roTID {
+			w.rollbackRO()
+			return errValidate
+		}
+	}
+	w.acc = w.acc[:0]
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+func (w *worker) rollbackRO() {
+	w.acc = w.acc[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+// rollback releases everything and unpublishes inserts, in reverse order.
+func (w *worker) rollback() {
+	if w.roMode {
+		w.rollbackRO()
+		return
+	}
+	for i := len(w.acc) - 1; i >= 0; i-- {
+		a := &w.acc[i]
+		if a.isInsert {
+			a.tbl.Idx.Remove(a.key) // record stays absent (dead)
+		}
+		if a.rlocked {
+			a.lk.ReleaseRead(w.wid)
+		}
+		if a.wlocked {
+			a.lk.ReleaseWrite(w.wid) // also clears exclusive mode
+		}
+	}
+	w.acc = w.acc[:0]
+	w.wl.Abort()
+	if w.bd != nil {
+		w.bd.Aborts++
+	}
+}
+
+// find returns the access entry for rec, or nil.
+func (w *worker) find(rec *storage.Record) *access {
+	for i := range w.acc {
+		if w.acc[i].rec == rec {
+			return &w.acc[i]
+		}
+	}
+	return nil
+}
+
+// Read implements cc.Tx: insert into the reader list ignoring any write
+// owner; block only on exclusive mode (a committing writer).
+func (w *worker) Read(t *cc.Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, cc.ErrNotFound
+	}
+	if a := w.find(rec); a != nil {
+		return readBack(a)
+	}
+	if w.roMode {
+		buf := w.arena.Alloc(t.Store.RowSize)
+		v := rec.StableRead(buf)
+		w.acc = append(w.acc, access{tbl: t, rec: rec, key: key, val: buf, roTID: v, ro: true})
+		if storage.TIDAbsent(v) {
+			return nil, cc.ErrNotFound
+		}
+		return buf, nil
+	}
+	if w.ctx.Aborted() {
+		return nil, errWound
+	}
+	lk := rec.Locker()
+	if err := lk.AcquireRead(&w.req); err != nil {
+		return nil, errWound
+	}
+	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, rlocked: true})
+	if storage.TIDAbsent(rec.TID.Load()) {
+		return nil, cc.ErrNotFound
+	}
+	return rec.Data, nil
+}
+
+// readBack serves a read against an existing access entry.
+func readBack(a *access) ([]byte, error) {
+	if a.isDelete {
+		return nil, cc.ErrNotFound
+	}
+	if a.written && a.val != nil {
+		return a.val, nil
+	}
+	if a.ro { // optimistic read-only copy
+		if storage.TIDAbsent(a.roTID) {
+			return nil, cc.ErrNotFound
+		}
+		return a.val, nil
+	}
+	if storage.TIDAbsent(a.rec.TID.Load()) && !a.isInsert {
+		return nil, cc.ErrNotFound
+	}
+	return a.rec.Data, nil
+}
+
+// ReadForUpdate implements cc.Tx. Without DWA the write lock is taken up
+// front (paper Fig. 3); with DWA it is a plain read whose lock upgrades at
+// commit (§4.1.4).
+func (w *worker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
+	if w.opts.DWA {
+		return w.Read(t, key)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, cc.ErrNotFound
+	}
+	if a := w.find(rec); a != nil {
+		if !a.wlocked {
+			if err := a.lk.AcquireWrite(&w.req); err != nil {
+				return nil, errWound
+			}
+			a.wlocked = true
+		}
+		return readBack(a)
+	}
+	if w.ctx.Aborted() {
+		return nil, errWound
+	}
+	lk := rec.Locker()
+	if err := lk.AcquireWrite(&w.req); err != nil {
+		return nil, errWound
+	}
+	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, wlocked: true})
+	if storage.TIDAbsent(rec.TID.Load()) {
+		return nil, cc.ErrNotFound
+	}
+	return rec.Data, nil
+}
+
+// Update implements cc.Tx: buffer the new image privately; the write lock
+// is taken now (baseline) or at commit (DWA).
+func (w *worker) Update(t *cc.Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("core: update size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return cc.ErrNotFound
+	}
+	a := w.find(rec)
+	if a == nil {
+		if w.ctx.Aborted() {
+			return errWound
+		}
+		lk := rec.Locker()
+		w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key})
+		a = &w.acc[len(w.acc)-1]
+		if !w.opts.DWA { // blind write locks immediately in baseline mode
+			if err := lk.AcquireWrite(&w.req); err != nil {
+				return errWound
+			}
+			a.wlocked = true
+		}
+	} else if a.isDelete {
+		return cc.ErrNotFound
+	} else if !w.opts.DWA && !a.wlocked {
+		if err := a.lk.AcquireWrite(&w.req); err != nil {
+			return errWound
+		}
+		a.wlocked = true
+	}
+	if a.isInsert {
+		copy(a.rec.Data, val) // still private: exclusive since insertion
+		return nil
+	}
+	if a.val == nil {
+		a.val = w.arena.Dup(val)
+	} else {
+		copy(a.val, val)
+	}
+	a.written = true
+	return nil
+}
+
+// Insert implements cc.Tx (§4.1.3): the record is created write-locked and
+// in exclusive mode, published absent, and becomes visible at Phase 3.
+func (w *worker) Insert(t *cc.Table, key uint64, val []byte) error {
+	if len(val) != t.Store.RowSize {
+		return fmt.Errorf("core: insert size %d != row size %d", len(val), t.Store.RowSize)
+	}
+	if w.ctx.Aborted() {
+		return errWound
+	}
+	rec := t.Store.Alloc()
+	rec.Key = key
+	rec.InitAbsent(false)
+	copy(rec.Data, val)
+	lk := rec.Locker()
+	if err := lk.AcquireWrite(&w.req); err != nil {
+		return errWound // cannot happen on a fresh record
+	}
+	if err := lk.MakeExclusive(&w.req); err != nil {
+		lk.ReleaseWrite(w.wid)
+		return errWound
+	}
+	if !t.Idx.Insert(key, rec) {
+		lk.ReleaseWrite(w.wid)
+		return cc.ErrDuplicate
+	}
+	w.acc = append(w.acc, access{
+		tbl: t, rec: rec, lk: lk, key: key,
+		wlocked: true, excl: true, written: true, isInsert: true,
+	})
+	return nil
+}
+
+// Delete implements cc.Tx.
+func (w *worker) Delete(t *cc.Table, key uint64) error {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return cc.ErrNotFound
+	}
+	a := w.find(rec)
+	if a == nil {
+		if w.ctx.Aborted() {
+			return errWound
+		}
+		lk := rec.Locker()
+		w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key})
+		a = &w.acc[len(w.acc)-1]
+		if !w.opts.DWA {
+			if err := lk.AcquireWrite(&w.req); err != nil {
+				return errWound
+			}
+			a.wlocked = true
+		}
+	} else if a.isDelete {
+		return cc.ErrNotFound
+	} else if !w.opts.DWA && !a.wlocked {
+		if err := a.lk.AcquireWrite(&w.req); err != nil {
+			return errWound
+		}
+		a.wlocked = true
+	}
+	if storage.TIDAbsent(rec.TID.Load()) && !a.isInsert {
+		return cc.ErrNotFound
+	}
+	a.isDelete = true
+	return nil
+}
+
+// ReadRC implements cc.Tx: a stable copy with no footprint (read
+// committed), used by TPC-C Stock-Level (§5).
+func (w *worker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, cc.ErrNotFound
+	}
+	if a := w.find(rec); a != nil {
+		return readBack(a)
+	}
+	buf := w.arena.Alloc(t.Store.RowSize)
+	v := rec.StableRead(buf)
+	if storage.TIDAbsent(v) {
+		return nil, cc.ErrNotFound
+	}
+	return buf, nil
+}
+
+// ScanRC implements cc.Tx.
+func (w *worker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("core: table %q has no ordered index", t.Name)
+	}
+	w.scan = w.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		w.scan = append(w.scan, cc.ScanItem{Key: k, Rec: rec})
+		return true
+	})
+	buf := w.arena.Alloc(t.Store.RowSize)
+	for _, it := range w.scan {
+		if a := w.find(it.Rec); a != nil {
+			img, err := readBack(a)
+			if err != nil {
+				continue // deleted or absent
+			}
+			if !fn(it.Key, img) {
+				return nil
+			}
+			continue
+		}
+		v := it.Rec.StableRead(buf)
+		if storage.TIDAbsent(v) {
+			continue
+		}
+		if !fn(it.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements cc.Tx.
+func (w *worker) WID() uint16 { return w.wid }
+
+// Breakdown implements cc.Worker.
+func (w *worker) Breakdown() *stats.Breakdown { return w.bd }

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/storage"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func newDB(e *Engine, workers int) (*cc.DB, *cc.Table) {
+	d := cc.NewDB(workers, e.TableOpts())
+	t := d.CreateTable("t", 8, cc.OrderedIndex, 256)
+	for k := uint64(0); k < 32; k++ {
+		d.LoadRecord(t, k, u64(k))
+	}
+	return d, t
+}
+
+func commit(t *testing.T, w cc.Worker, proc cc.Proc, opts cc.AttemptOpts) {
+	t.Helper()
+	first := true
+	for {
+		err := w.Attempt(proc, first, opts)
+		if err == nil {
+			return
+		}
+		if !cc.IsAborted(err) {
+			t.Fatal(err)
+		}
+		first = false
+		runtime.Gosched()
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	cases := map[string]Options{
+		"PLOR":           {},
+		"PLOR+DWA":       {DWA: true},
+		"PLOR_BASE":      {MutexLocker: true},
+		"PLOR_BASE+DWA":  {MutexLocker: true, DWA: true},
+		"PLOR_RT(SF=42)": {SlackFactor: 42},
+	}
+	for want, opts := range cases {
+		if got := New(opts).Name(); got != want {
+			t.Errorf("Name(%+v) = %q, want %q", opts, got, want)
+		}
+	}
+}
+
+func TestTableOptsFollowLocker(t *testing.T) {
+	if New(Options{}).TableOpts().NeedMutexLocker {
+		t.Fatal("latch-free engine must not allocate mutex lockers")
+	}
+	if !New(Options{MutexLocker: true}).TableOpts().NeedMutexLocker {
+		t.Fatal("baseline engine needs mutex lockers")
+	}
+	if !New(Options{}).SupportsUndoLogging() {
+		t.Fatal("Plor supports undo logging (Fig. 14b)")
+	}
+}
+
+// TestBaselineTakesWriteLocksEagerly: without DWA, Update acquires the
+// write lock during the read phase, so a second writer observes the owner.
+func TestBaselineTakesWriteLocksEagerly(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	w1 := e.NewWorker(d, 1, false)
+
+	var ownerDuringProc uint64
+	commit(t, w1, func(tx cc.Tx) error {
+		if err := tx.Update(tbl, 5, u64(55)); err != nil {
+			return err
+		}
+		ownerDuringProc = tbl.Idx.Get(5).LF.OwnerWord()
+		return nil
+	}, cc.AttemptOpts{})
+	if ownerDuringProc == 0 {
+		t.Fatal("baseline Plor should hold the write lock during the read phase")
+	}
+	if got := tbl.Idx.Get(5).LF.OwnerWord(); got != 0 {
+		t.Fatalf("write lock leaked after commit: %x", got)
+	}
+}
+
+// TestDWADefersWriteLocks: with DWA, the write lock is not held during the
+// read phase — only at commit.
+func TestDWADefersWriteLocks(t *testing.T) {
+	e := New(Options{DWA: true})
+	d, tbl := newDB(e, 2)
+	w1 := e.NewWorker(d, 1, false)
+
+	var ownerDuringProc uint64 = 1 // sentinel
+	commit(t, w1, func(tx cc.Tx) error {
+		if err := tx.Update(tbl, 5, u64(55)); err != nil {
+			return err
+		}
+		ownerDuringProc = tbl.Idx.Get(5).LF.OwnerWord()
+		return nil
+	}, cc.AttemptOpts{})
+	if ownerDuringProc != 0 {
+		t.Fatal("DWA must not hold write locks in the read phase")
+	}
+	w2 := e.NewWorker(d, 2, false)
+	commit(t, w2, func(tx cc.Tx) error {
+		v, err := tx.Read(tbl, 5)
+		if err != nil {
+			return err
+		}
+		if dec(v) != 55 {
+			return fmt.Errorf("DWA commit lost: %d", dec(v))
+		}
+		return nil
+	}, cc.AttemptOpts{})
+}
+
+// TestOptimisticReadingIgnoresWriteLock: a reader is not blocked by a held
+// write lock during the owner's read phase — the essence of Fig. 2c.
+func TestOptimisticReadingIgnoresWriteLock(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	w1 := e.NewWorker(d, 1, false)
+	w2 := e.NewWorker(d, 2, false)
+
+	stop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	commit(t, w1, func(tx cc.Tx) error {
+		if err := tx.Update(tbl, 7, u64(700)); err != nil {
+			return err // write lock now held, update buffered privately
+		}
+		// While w1 is mid-read-phase, w2 reads the same record; it must
+		// complete immediately and see the OLD value.
+		go func() {
+			readerDone <- w2.Attempt(func(tx2 cc.Tx) error {
+				v, err := tx2.Read(tbl, 7)
+				if err != nil {
+					return err
+				}
+				if dec(v) != 7 {
+					return fmt.Errorf("reader saw dirty value %d", dec(v))
+				}
+				return nil
+			}, true, cc.AttemptOpts{})
+		}()
+		select {
+		case err := <-readerDone:
+			close(stop)
+			return err
+		case <-time.After(5 * time.Second):
+			return errors.New("reader blocked behind a read-phase write lock")
+		}
+	}, cc.AttemptOpts{})
+	select {
+	case <-stop:
+	default:
+		t.Fatal("reader never completed")
+	}
+}
+
+// TestCommitPriorityByTimestamp: the oldest transaction wins conflicts — a
+// younger committer touching the same record is wounded.
+func TestCommitPriorityByTimestamp(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	old := e.NewWorker(d, 1, false)
+	young := e.NewWorker(d, 2, false)
+
+	// Start the old transaction first (smaller ts) and make it read key 3.
+	// Then a younger writer commits to key 3: it must wait for or wound...
+	// in Plor the YOUNGER writer's MakeExclusive waits for the OLDER
+	// reader, so the old transaction commits first.
+	order := make([]string, 0, 2)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		commit(t, old, func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 3); err != nil {
+				return err
+			}
+			close(started)
+			time.Sleep(50 * time.Millisecond) // hold the read lock a while
+			return nil
+		}, cc.AttemptOpts{})
+		mu.Lock()
+		order = append(order, "old")
+		mu.Unlock()
+	}()
+	<-started
+	commit(t, young, func(tx cc.Tx) error {
+		return tx.Update(tbl, 3, u64(33))
+	}, cc.AttemptOpts{})
+	mu.Lock()
+	order = append(order, "young")
+	mu.Unlock()
+	wg.Wait()
+	if order[0] != "old" {
+		t.Fatalf("commit order %v: younger writer overtook an older reader", order)
+	}
+}
+
+// TestRTPriorityInvertsOrder: with deadline priority, a small-resource
+// transaction outranks an earlier large one (Fig. 15's mechanism).
+func TestRTPriorityInvertsOrder(t *testing.T) {
+	e := New(Options{SlackFactor: 1_000_000})
+	d, _ := newDB(e, 2)
+	early := e.NewWorker(d, 1, false)
+	late := e.NewWorker(d, 2, false)
+
+	// Early transaction with a huge resource hint gets a late deadline.
+	if err := early.Attempt(func(tx cc.Tx) error { return nil }, true,
+		cc.AttemptOpts{ResourceHint: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Attempt(func(tx cc.Tx) error { return nil }, true,
+		cc.AttemptOpts{ResourceHint: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Peek at the published priorities: the later small transaction must
+	// have the numerically smaller (higher) priority.
+	pEarly := d.Reg.Ctx(1).Priority()
+	pLate := d.Reg.Ctx(2).Priority()
+	if pLate >= pEarly {
+		t.Fatalf("deadline priority broken: early=%d late=%d", pEarly, pLate)
+	}
+}
+
+// TestReadOnlyOptimisticNoFootprint: an RO transaction on the optimistic
+// path must not leave reader bits behind.
+func TestReadOnlyOptimisticNoFootprint(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 1)
+	w := e.NewWorker(d, 1, false)
+	commit(t, w, func(tx cc.Tx) error {
+		_, err := tx.Read(tbl, 1)
+		return err
+	}, cc.AttemptOpts{ReadOnly: true})
+	if n := tbl.Idx.Get(1).LF.ReaderCount(0); n != 0 {
+		t.Fatalf("optimistic RO read left %d reader bits", n)
+	}
+}
+
+// TestInsertVisibilityAcrossCommit: a concurrent reader either misses the
+// key entirely (before commit) or sees the committed value — never a
+// partial state.
+func TestInsertVisibilityAcrossCommit(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	ins := e.NewWorker(d, 1, false)
+	rd := e.NewWorker(d, 2, false)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // reader hammers the soon-to-exist key
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := rd.Attempt(func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 999)
+				if errors.Is(err, cc.ErrNotFound) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if dec(v) != 9990 {
+					t.Errorf("reader saw partial insert: %d", dec(v))
+				}
+				return nil
+			}, true, cc.AttemptOpts{})
+			if err != nil && !cc.IsAborted(err) {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	commit(t, ins, func(tx cc.Tx) error {
+		return tx.Insert(tbl, 999, u64(9990))
+	}, cc.AttemptOpts{})
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestDeleteThenReadOwnTxn covers write-set interactions around deletes.
+func TestDeleteThenReadOwnTxn(t *testing.T) {
+	for _, opts := range []Options{{}, {DWA: true}} {
+		e := New(opts)
+		d, tbl := newDB(e, 1)
+		w := e.NewWorker(d, 1, false)
+		commit(t, w, func(tx cc.Tx) error {
+			if err := tx.Delete(tbl, 4); err != nil {
+				return err
+			}
+			if _, err := tx.Read(tbl, 4); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("read-own-delete: %v", err)
+			}
+			if err := tx.Update(tbl, 4, u64(44)); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("update-own-delete: %v", err)
+			}
+			if err := tx.Delete(tbl, 4); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("double delete: %v", err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		commit(t, w, func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 4); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("deleted key visible: %v", err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+	}
+}
+
+// TestUpdateAfterReadUpgrades: read followed by update of the same record
+// lands in both sets and commits atomically, in baseline and DWA modes.
+func TestUpdateAfterReadUpgrades(t *testing.T) {
+	for _, opts := range []Options{{}, {DWA: true}, {MutexLocker: true}} {
+		e := New(opts)
+		t.Run(e.Name(), func(t *testing.T) {
+			d, tbl := newDB(e, 4)
+			var wg sync.WaitGroup
+			const workers, per = 4, 100
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					w := e.NewWorker(d, wid, false)
+					for i := 0; i < per; i++ {
+						commit(t, w, func(tx cc.Tx) error {
+							v, err := tx.Read(tbl, 0) // plain read first
+							if err != nil {
+								return err
+							}
+							return tx.Update(tbl, 0, u64(dec(v)+1))
+						}, cc.AttemptOpts{})
+					}
+				}(wid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			w := e.NewWorker(d, 1, false)
+			commit(t, w, func(tx cc.Tx) error {
+				v, err := tx.Read(tbl, 0)
+				if err != nil {
+					return err
+				}
+				if dec(v) != workers*per {
+					t.Errorf("counter = %d, want %d", dec(v), workers*per)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+		})
+	}
+}
+
+// TestScanRCSkipsUncommittedInsert: a read-committed scan must not block on
+// (or surface) an uncommitted insert's row.
+func TestScanRCSkipsUncommittedInsert(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	ins := e.NewWorker(d, 1, false)
+	scan := e.NewWorker(d, 2, false)
+
+	commit(t, ins, func(tx cc.Tx) error {
+		if err := tx.Insert(tbl, 1000, u64(1)); err != nil {
+			return err
+		}
+		// Mid-transaction: a concurrent RC scan should finish and skip
+		// key 1000.
+		done := make(chan error, 1)
+		go func() {
+			done <- scan.Attempt(func(tx2 cc.Tx) error {
+				seen := false
+				err := tx2.ScanRC(tbl, 900, 1100, func(k uint64, _ []byte) bool {
+					if k == 1000 {
+						seen = true
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				if seen {
+					return errors.New("RC scan surfaced an uncommitted insert")
+				}
+				return nil
+			}, true, cc.AttemptOpts{})
+		}()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(5 * time.Second):
+			return errors.New("RC scan blocked on uncommitted insert")
+		}
+	}, cc.AttemptOpts{})
+}
+
+// TestWoundedProcSurfacesAbort: once wounded, subsequent operations of the
+// victim fail fast with a retryable error.
+func TestWoundedProcSurfacesAbort(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 2)
+	w := e.NewWorker(d, 1, false)
+
+	attempt := 0
+	commit(t, w, func(tx cc.Tx) error {
+		attempt++
+		if _, err := tx.Read(tbl, 1); err != nil {
+			return err
+		}
+		if attempt == 1 {
+			// Simulate a wound landing mid-transaction.
+			ctx := d.Reg.Ctx(1)
+			ctx.Kill(ctx.Load())
+		}
+		_, err := tx.Read(tbl, 2)
+		return err
+	}, cc.AttemptOpts{})
+	if attempt < 2 {
+		t.Fatalf("attempts = %d: wound should have forced a retry", attempt)
+	}
+}
+
+// TestInstallBumpsVersion: Phase 3 installs must advance the record's TID
+// so optimistic read-only validation catches them.
+func TestInstallBumpsVersion(t *testing.T) {
+	e := New(Options{})
+	d, tbl := newDB(e, 1)
+	w := e.NewWorker(d, 1, false)
+	rec := tbl.Idx.Get(2)
+	before := storage.TIDVersion(rec.TID.Load())
+	commit(t, w, func(tx cc.Tx) error {
+		return tx.Update(tbl, 2, u64(22))
+	}, cc.AttemptOpts{})
+	after := storage.TIDVersion(rec.TID.Load())
+	if after <= before {
+		t.Fatalf("install did not bump version: %d -> %d", before, after)
+	}
+}

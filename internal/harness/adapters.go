@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cc"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+// autoYield decides whether workloads should yield between operations:
+// required whenever workers can outnumber the processors actually running
+// them, which is where operation-level interleaving would otherwise vanish.
+func autoYield(workers int) bool {
+	return workers > runtime.GOMAXPROCS(0)
+}
+
+// YCSB adapts the YCSB workload to the harness.
+type YCSB struct {
+	Cfg ycsb.Config
+	// BigOps overrides the big-transaction size (Fig. 13 sweeps it).
+	BigOps int
+	// Seed offsets per-worker generator seeds.
+	Seed int64
+	// MarkReadOnly passes the read-only hint for all-read transactions,
+	// routing them through Plor's §4.1.3 optimistic path. Off by default:
+	// DBx1000's YCSB does not classify transactions, and the optimistic
+	// path's row copies would shift Plor out of the no-copy group the
+	// paper's Fig. 10 places it in. (TPC-C always marks Order-Status and
+	// Stock-Level read-only, exercising the path either way.)
+	MarkReadOnly bool
+
+	w       *ycsb.Workload
+	workers int
+}
+
+// NewYCSB builds the adapter; workers informs the yield heuristic.
+func NewYCSB(cfg ycsb.Config, workers int) *YCSB {
+	cfg.Yield = cfg.Yield || autoYield(workers)
+	return &YCSB{Cfg: cfg, workers: workers}
+}
+
+// Name implements Workload.
+func (y *YCSB) Name() string {
+	return fmt.Sprintf("ycsb(θ=%.2f,r=%.0f%%)", y.Cfg.Theta, y.Cfg.ReadRatio*100)
+}
+
+// Setup implements Workload.
+func (y *YCSB) Setup(d *cc.DB) { y.w = ycsb.Setup(d, y.Cfg) }
+
+// NewSource implements Workload.
+func (y *YCSB) NewSource(wid uint16) Source {
+	g := y.w.NewGen(y.Seed*1000 + int64(wid))
+	g.BigOpsOverride = y.BigOps
+	return ycsbSource{g: g, markRO: y.MarkReadOnly}
+}
+
+type ycsbSource struct {
+	g      *ycsb.Gen
+	markRO bool
+}
+
+func (s ycsbSource) Next() Unit {
+	t := s.g.Next()
+	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly && s.markRO, Hint: len(t.Ops)}
+}
+
+// TPCC adapts the TPC-C workload to the harness.
+type TPCC struct {
+	Cfg  tpcc.Config
+	Seed int64
+
+	w       *tpcc.Workload
+	workers int
+}
+
+// NewTPCC builds the adapter.
+func NewTPCC(cfg tpcc.Config, workers int) *TPCC {
+	cfg.Yield = cfg.Yield || autoYield(workers)
+	return &TPCC{Cfg: cfg, workers: workers}
+}
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return fmt.Sprintf("tpcc(wh=%d)", t.Cfg.Warehouses) }
+
+// Setup implements Workload.
+func (t *TPCC) Setup(d *cc.DB) { t.w = tpcc.Setup(d, t.Cfg) }
+
+// NewSource implements Workload.
+func (t *TPCC) NewSource(wid uint16) Source {
+	return tpccSource{t.w.NewGen(wid, t.Seed*1000+int64(wid))}
+}
+
+type tpccSource struct{ g *tpcc.Gen }
+
+func (s tpccSource) Next() Unit {
+	t := s.g.Next()
+	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly, Hint: t.Hint}
+}

@@ -1,0 +1,453 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/db"
+	"repro/internal/stats"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+// Scale controls how big the experiment runs are. The paper's hardware was
+// a 36-core dual-socket server; this reproduction targets whatever machine
+// it runs on, so thread sweeps and durations are configurable.
+type Scale struct {
+	// Threads is the worker sweep for throughput/latency curves.
+	Threads []int
+	// TPCCThreads is the (usually smaller) sweep for TPC-C figures —
+	// loading a warehouse costs far more than measuring it, so the sweep
+	// is kept tighter.
+	TPCCThreads []int
+	// FixedThreads is the worker count for single-point figures (the
+	// paper uses 20).
+	FixedThreads int
+	// Warmup and Measure are per-run phases.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Records scales the YCSB table (paper: 10M rows; scaled down for
+	// laptop-class machines — contention lives in the Zipfian head, which
+	// is insensitive to table size).
+	Records int
+	// RecordSize is the YCSB row size (paper default 1 KB).
+	RecordSize int
+}
+
+// DefaultScale suits a small machine; QuickScale is for smoke runs.
+func DefaultScale() Scale {
+	return Scale{
+		Threads:      []int{1, 2, 4, 8, 12, 16, 20, 24, 32},
+		TPCCThreads:  []int{2, 8, 16},
+		FixedThreads: 20,
+		Warmup:       500 * time.Millisecond,
+		Measure:      3 * time.Second,
+		Records:      100_000,
+		RecordSize:   1024,
+	}
+}
+
+// QuickScale shrinks everything for fast smoke runs and unit benches.
+func QuickScale() Scale {
+	return Scale{
+		Threads:      []int{2, 8, 16},
+		TPCCThreads:  []int{2, 8},
+		FixedThreads: 8,
+		Warmup:       100 * time.Millisecond,
+		Measure:      500 * time.Millisecond,
+		Records:      20_000,
+		RecordSize:   256,
+	}
+}
+
+// ycsbCfg builds a YCSB config at the scale.
+func (sc Scale) ycsbCfg(base ycsb.Config) ycsb.Config {
+	base.Records = sc.Records
+	base.RecordSize = sc.RecordSize
+	return base
+}
+
+// needsBackoff reports whether the protocol livelocks without retry
+// backoff: NO_WAIT/Silo/TicToc/MOCC retries carry no priority, and
+// WAIT_DIE's young victims must back off or they re-barge past the older
+// waiter forever (DBx1000 applies abort backoff to these schemes too).
+// WOUND_WAIT and Plor need none — wounding plus oldest-first queues already
+// guarantee progress.
+func needsBackoff(p db.Protocol) bool {
+	switch p {
+	case db.NoWait, db.WaitDie, db.Silo, db.TicToc, db.MOCC:
+		return true
+	}
+	return false
+}
+
+// runAndPrint executes one configuration and prints its row.
+func runAndPrint(w io.Writer, cfg Config) (*stats.Metrics, error) {
+	m, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, m.Row())
+	return m, nil
+}
+
+// sweep runs cfg across the thread counts, printing one row per point.
+func sweep(w io.Writer, sc Scale, mk func(threads int) Config) error {
+	for _, n := range sc.Threads {
+		if _, err := runAndPrint(w, mk(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepTPCC is sweep over the TPC-C thread list.
+func sweepTPCC(w io.Writer, sc Scale, mk func(threads int) Config) error {
+	threads := sc.TPCCThreads
+	if len(threads) == 0 {
+		threads = sc.Threads
+	}
+	for _, n := range threads {
+		if _, err := runAndPrint(w, mk(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig1 reproduces the motivation experiment (§2.3): 2PL variants vs Silo
+// on YCSB-A at low (θ=0.5) and high (θ=0.99) skew, sweeping threads.
+func Fig1(w io.Writer, sc Scale) error {
+	protos := []db.Protocol{db.NoWait, db.WaitDie, db.WoundWait, db.Silo}
+	for _, theta := range []float64{0.5, 0.99} {
+		fmt.Fprintf(w, "--- Fig 1: YCSB-A θ=%.2f (999p latency vs throughput) ---\n", theta)
+		for _, p := range protos {
+			cfg := sc.ycsbCfg(ycsb.A())
+			cfg.Theta = theta
+			err := sweep(w, sc, func(n int) Config {
+				return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+					Backoff: needsBackoff(p), Workload: NewYCSB(cfg, n)}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// allProtocols is the seven-way comparison of Figs. 6-9.
+func allProtocols() []db.Protocol {
+	return []db.Protocol{db.NoWait, db.WaitDie, db.WoundWait, db.Silo, db.MOCC, db.TicToc, db.Plor}
+}
+
+// Fig6 reproduces Fig. 6: YCSB-A θ=0.99 stored procedures — (a) 999p vs
+// throughput across the thread sweep, (b) latency CDF at FixedThreads.
+func Fig6(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 6a: YCSB-A (θ=0.99, 50r/50w) 999p vs throughput ---")
+	for _, p := range allProtocols() {
+		err := sweep(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Backoff: needsBackoff(p), Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "--- Fig 6b: latency CDF at %d workers (0.99+ quantiles) ---\n", sc.FixedThreads)
+	for _, p := range allProtocols() {
+		m, err := Run(Config{Protocol: p, Workers: sc.FixedThreads, Warmup: sc.Warmup,
+			Measure: sc.Measure, Backoff: needsBackoff(p),
+			Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), sc.FixedThreads)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s CDF tail:\n%s", m.Label, stats.FormatCDF(m.Latency, 0.99))
+	}
+	return nil
+}
+
+// Fig7 reproduces Fig. 7: TPC-C with one warehouse, stored procedures.
+func Fig7(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 7a: TPC-C (1 warehouse) 999p vs throughput ---")
+	for _, p := range allProtocols() {
+		err := sweepTPCC(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Backoff: needsBackoff(p), Workload: NewTPCC(tpcc.DefaultConfig(), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "--- Fig 7b: latency CDF at %d workers (0.90+ quantiles) ---\n", sc.FixedThreads)
+	for _, p := range allProtocols() {
+		m, err := Run(Config{Protocol: p, Workers: sc.FixedThreads, Warmup: sc.Warmup,
+			Measure: sc.Measure, Backoff: needsBackoff(p),
+			Workload: NewTPCC(tpcc.DefaultConfig(), sc.FixedThreads)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s CDF tail:\n%s", m.Label, stats.FormatCDF(m.Latency, 0.90))
+	}
+	return nil
+}
+
+// Fig8 reproduces Fig. 8: interactive processing over the simulated
+// network, YCSB-A and TPC-C, including Plor+DWA.
+func Fig8(w io.Writer, sc Scale) error {
+	protos := append(allProtocols(), db.PlorDWA)
+	const rtt = 4 * time.Microsecond // eRPC-over-InfiniBand ballpark
+	fmt.Fprintln(w, "--- Fig 8a: interactive YCSB-A ---")
+	for _, p := range protos {
+		err := sweep(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Interactive: true, RTT: rtt, Backoff: needsBackoff(p),
+				Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "--- Fig 8b: interactive TPC-C (1 warehouse) ---")
+	for _, p := range protos {
+		err := sweepTPCC(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Interactive: true, RTT: rtt, Backoff: needsBackoff(p),
+				Workload: NewTPCC(tpcc.DefaultConfig(), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig9 reproduces Fig. 9: varying contention — YCSB-A θ ∈ {0.3..0.99} and
+// TPC-C warehouses ∈ {1..20}, at FixedThreads workers.
+func Fig9(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 9a: YCSB-A with varying skew ---")
+	for _, theta := range []float64{0.3, 0.5, 0.7, 0.9, 0.99} {
+		for _, p := range allProtocols() {
+			cfg := sc.ycsbCfg(ycsb.A())
+			cfg.Theta = theta
+			label := fmt.Sprintf("%s θ=%.2f", p, theta)
+			if _, err := runAndPrint(w, Config{Protocol: p, Workers: sc.FixedThreads,
+				Warmup: sc.Warmup, Measure: sc.Measure, Backoff: needsBackoff(p),
+				Label: label, Workload: NewYCSB(cfg, sc.FixedThreads)}); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintln(w, "--- Fig 9b: TPC-C with varying warehouses ---")
+	for _, wh := range []int{1, 2, 4} {
+		for _, p := range allProtocols() {
+			cfg := tpcc.DefaultConfig()
+			cfg.Warehouses = wh
+			label := fmt.Sprintf("%s wh=%d", p, wh)
+			if _, err := runAndPrint(w, Config{Protocol: p, Workers: sc.FixedThreads,
+				Warmup: sc.Warmup, Measure: sc.Measure, Backoff: needsBackoff(p),
+				Label: label, Workload: NewTPCC(cfg, sc.FixedThreads)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig10 reproduces Fig. 10: YCSB-B throughput scaling with 1 KB and small
+// records.
+func Fig10(w io.Writer, sc Scale) error {
+	for _, size := range []int{sc.RecordSize, 16} {
+		fmt.Fprintf(w, "--- Fig 10: YCSB-B (θ=0.5, 95r/5w) record size %dB ---\n", size)
+		for _, p := range allProtocols() {
+			cfg := sc.ycsbCfg(ycsb.B())
+			cfg.RecordSize = size
+			err := sweep(w, sc, func(n int) Config {
+				return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+					Backoff: needsBackoff(p), Workload: NewYCSB(cfg, n)}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// plorFactors are the Fig. 11/12 ablation configurations.
+func plorFactors() []struct {
+	Label    string
+	Protocol db.Protocol
+} {
+	return []struct {
+		Label    string
+		Protocol db.Protocol
+	}{
+		{"WOUND_WAIT", db.WoundWait},
+		{"Baseline-PLOR", db.PlorBase},
+		{"+LF-Locker", db.Plor},
+		{"+DWA", db.PlorDWA},
+	}
+}
+
+// Fig11 reproduces Fig. 11: the factor analysis on YCSB-B′ (θ=0.8) and
+// YCSB-A.
+func Fig11(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 11a: factor analysis, YCSB-B' (θ=0.8) throughput ---")
+	for _, f := range plorFactors() {
+		cfg := sc.ycsbCfg(ycsb.BPrime())
+		if _, err := runAndPrint(w, Config{Protocol: f.Protocol, Workers: sc.FixedThreads,
+			Warmup: sc.Warmup, Measure: sc.Measure, Label: f.Label,
+			Workload: NewYCSB(cfg, sc.FixedThreads)}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "--- Fig 11b: factor analysis, YCSB-A 999p vs throughput ---")
+	for _, f := range plorFactors() {
+		err := sweep(w, sc, func(n int) Config {
+			return Config{Protocol: f.Protocol, Workers: n, Warmup: sc.Warmup,
+				Measure: sc.Measure, Label: f.Label,
+				Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig12 reproduces Fig. 12: the execution-time breakdown with abort
+// ratios, at FixedThreads and at a higher thread count.
+func Fig12(w io.Writer, sc Scale) error {
+	configs := plorFactors()
+	configs = append(configs, struct {
+		Label    string
+		Protocol db.Protocol
+	}{"SILO", db.Silo}, struct {
+		Label    string
+		Protocol db.Protocol
+	}{"TICTOC", db.TicToc})
+	for _, threads := range []int{sc.FixedThreads, sc.FixedThreads + sc.FixedThreads/2} {
+		fmt.Fprintf(w, "--- Fig 12: execution breakdown @ %d workers (YCSB-A) ---\n", threads)
+		for _, f := range configs {
+			m, err := Run(Config{Protocol: f.Protocol, Workers: threads,
+				Warmup: sc.Warmup, Measure: sc.Measure, Instrument: true,
+				Backoff: needsBackoff(f.Protocol), Label: f.Label,
+				Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), threads)})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-16s %s\n", f.Label, m.Breakdown.String())
+		}
+	}
+	return nil
+}
+
+// Fig13 reproduces Fig. 13: the effect of big-transaction size on tail
+// latency, Plor vs Silo.
+func Fig13(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 13: 999p latency vs big-transaction size (YCSB-A) ---")
+	for _, p := range []db.Protocol{db.Plor, db.Silo} {
+		for _, big := range []int{16, 32, 64, 128} {
+			wl := NewYCSB(sc.ycsbCfg(ycsb.A()), sc.FixedThreads)
+			wl.BigOps = big
+			label := fmt.Sprintf("%s big=%d", p, big)
+			if _, err := runAndPrint(w, Config{Protocol: p, Workers: sc.FixedThreads,
+				Warmup: sc.Warmup, Measure: sc.Measure, Backoff: needsBackoff(p),
+				Label: label, Workload: wl}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig14 reproduces Fig. 14: persistent logging (redo and undo) on TPC-C.
+func Fig14(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "--- Fig 14a: redo logging, TPC-C (1 warehouse) ---")
+	for _, p := range allProtocols() {
+		err := sweepTPCC(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Logging: db.LogRedo, Backoff: needsBackoff(p),
+				Workload: NewTPCC(tpcc.DefaultConfig(), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "--- Fig 14b: undo logging, TPC-C (1 warehouse; 2PL schemes + Plor only) ---")
+	for _, p := range []db.Protocol{db.NoWait, db.WaitDie, db.WoundWait, db.Plor} {
+		err := sweepTPCC(w, sc, func(n int) Config {
+			return Config{Protocol: p, Workers: n, Warmup: sc.Warmup, Measure: sc.Measure,
+				Logging: db.LogUndo, Backoff: needsBackoff(p),
+				Workload: NewTPCC(tpcc.DefaultConfig(), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig15 reproduces Fig. 15: deadline commit priority (Plor-RT) vs arrival
+// timestamps, on YCSB-A and TPC-C.
+func Fig15(w io.Writer, sc Scale) error {
+	type variant struct {
+		Label string
+		Proto db.Protocol
+		SF    uint64
+	}
+	variants := []variant{
+		{"PLOR", db.Plor, 0},
+		{"PLOR_RT(SF=1K)", db.PlorRT, 1000},
+		{"PLOR_RT(SF=10K)", db.PlorRT, 10000},
+	}
+	fmt.Fprintln(w, "--- Fig 15a: commit priority, YCSB-A ---")
+	for _, v := range variants {
+		err := sweep(w, sc, func(n int) Config {
+			return Config{Protocol: v.Proto, SlackFactor: v.SF, Workers: n,
+				Warmup: sc.Warmup, Measure: sc.Measure, Label: v.Label,
+				Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "--- Fig 15b: commit priority, TPC-C (1 warehouse) ---")
+	for _, v := range variants {
+		err := sweepTPCC(w, sc, func(n int) Config {
+			return Config{Protocol: v.Proto, SlackFactor: v.SF, Workers: n,
+				Warmup: sc.Warmup, Measure: sc.Measure, Label: v.Label,
+				Workload: NewTPCC(tpcc.DefaultConfig(), n)}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, sc Scale) error
+}
+
+// Figures lists every figure of the paper's evaluation.
+func Figures() []Figure {
+	return []Figure{
+		{"1", "Motivation: 2PL vs OCC tail latency and throughput", Fig1},
+		{"6", "YCSB-A stored procedures: 999p vs throughput + CDF", Fig6},
+		{"7", "TPC-C (1 warehouse) stored procedures", Fig7},
+		{"8", "Interactive processing (YCSB-A, TPC-C)", Fig8},
+		{"9", "Varying contention levels", Fig9},
+		{"10", "YCSB-B throughput (1KB and small records)", Fig10},
+		{"11", "Factor analysis (Baseline / +LF locker / +DWA)", Fig11},
+		{"12", "Execution-time breakdown and abort ratios", Fig12},
+		{"13", "Effect of big-transaction size on tail latency", Fig13},
+		{"14", "Persistent logging: redo and undo modes", Fig14},
+		{"15", "Commit priority: deadlines (Plor-RT) vs arrival order", Fig15},
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// microScale shrinks figure runs to smoke size.
+func microScale() Scale {
+	return Scale{
+		Threads:      []int{2},
+		FixedThreads: 2,
+		Warmup:       20 * time.Millisecond,
+		Measure:      120 * time.Millisecond,
+		Records:      5_000,
+		RecordSize:   64,
+	}
+}
+
+func TestFiguresInventory(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 11 {
+		t.Fatalf("figures = %d, want 11 (every experiment in the paper)", len(figs))
+	}
+	want := []string{"1", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"}
+	for i, f := range figs {
+		if f.ID != want[i] {
+			t.Fatalf("figure %d id = %s, want %s", i, f.ID, want[i])
+		}
+		if f.Run == nil || f.Title == "" {
+			t.Fatalf("figure %s incomplete", f.ID)
+		}
+	}
+}
+
+// TestYCSBFiguresSmoke executes every YCSB-based figure at micro scale.
+func TestYCSBFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := microScale()
+	for _, fig := range Figures() {
+		switch fig.ID {
+		case "1", "6", "10", "11", "12", "13":
+		default:
+			continue // TPC-C figures covered separately
+		}
+		t.Run("fig"+fig.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := fig.Run(&sb, sc); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), "tput=") &&
+				!strings.Contains(sb.String(), "%") {
+				t.Fatalf("figure %s produced no rows:\n%s", fig.ID, sb.String())
+			}
+		})
+	}
+}
+
+// TestTPCCFigureSmoke executes one TPC-C-based figure end to end (loading a
+// warehouse is expensive; the others share the same code paths).
+func TestTPCCFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := microScale()
+	var sb strings.Builder
+	if err := Fig7(&sb, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tput=") {
+		t.Fatalf("fig 7 produced no rows:\n%s", sb.String())
+	}
+}
+
+// TestFig15Smoke covers the Plor-RT sweep (YCSB half only).
+func TestFig15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := microScale()
+	var sb strings.Builder
+	// Run only the YCSB half by invoking the figure and accepting the
+	// TPC-C half's cost at micro scale (one warehouse, 3 variants).
+	if err := Fig15(io.MultiWriter(&sb), sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PLOR_RT(SF=1000)") &&
+		!strings.Contains(sb.String(), "PLOR_RT(SF=1K)") {
+		t.Fatalf("fig 15 missing RT rows:\n%s", sb.String())
+	}
+}

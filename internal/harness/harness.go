@@ -1,0 +1,279 @@
+// Package harness runs benchmark experiments: it wires an engine, a
+// workload, and a worker fleet together, drives a closed-loop run for a
+// fixed duration, and returns the throughput / latency / breakdown metrics
+// the paper's figures plot.
+//
+// Measurement methodology follows §6.1: requests are generated locally by
+// the workers (stored-procedure mode) or by client sessions over a
+// simulated network (interactive mode); a transaction's end-to-end latency
+// is measured from its FIRST invocation to its commit, so aborted attempts
+// accumulate into the committed transaction's latency — the effect that
+// makes abort-prone protocols heavy-tailed.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/db"
+	"repro/internal/cc"
+	"repro/internal/rpc"
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// Workload abstracts a benchmark: it loads tables into a database and then
+// produces per-worker transaction sources.
+type Workload interface {
+	// Name labels result rows.
+	Name() string
+	// Setup creates and loads the tables.
+	Setup(d *cc.DB)
+	// NewSource returns worker wid's transaction stream.
+	NewSource(wid uint16) Source
+}
+
+// Source generates transactions for one worker.
+type Source interface {
+	Next() Unit
+}
+
+// Unit is one generated transaction.
+type Unit struct {
+	Proc     cc.Proc
+	ReadOnly bool
+	Hint     int
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Protocol and SlackFactor select the engine (see package db).
+	Protocol    db.Protocol
+	SlackFactor uint64
+	// Workers is the closed-loop worker count.
+	Workers int
+	// Warmup and Measure are the run phases; only Measure is recorded.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Logging enables the WAL (Fig. 14); LogLatency models the device
+	// (default 100 ns).
+	Logging    db.LogMode
+	LogLatency time.Duration
+	// Interactive runs the split client/server mode over a simulated
+	// network with the given round-trip time (Fig. 8).
+	Interactive bool
+	RTT         time.Duration
+	// Instrument collects the execution-time breakdown (Fig. 12).
+	Instrument bool
+	// Backoff enables randomized retry backoff. Protocols whose retries
+	// carry no priority (NO_WAIT, Silo, ...) livelock without it; Plor
+	// and WOUND_WAIT do not need it.
+	Backoff bool
+	// MaxActive, when > 0, caps the number of transactions admitted
+	// concurrently (admission control). The paper observes Plor's
+	// throughput dipping ~10% past its peak thread count and suggests
+	// admission control as the fix (§6.2.1); this knob implements it and
+	// the AblationAdmission bench measures it.
+	MaxActive int
+	// Workload supplies the tables and transactions.
+	Workload Workload
+	// Label overrides the result row label.
+	Label string
+}
+
+// engineName resolves the display name for the config's protocol.
+func (c *Config) label() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	name := string(c.Protocol)
+	if c.Protocol == db.PlorRT {
+		name = fmt.Sprintf("PLOR_RT(SF=%d)", c.SlackFactor)
+	}
+	return name
+}
+
+// Run executes the experiment and returns its metrics.
+func Run(cfg Config) (*stats.Metrics, error) {
+	if cfg.Workload == nil {
+		return nil, errors.New("harness: no workload")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = time.Second
+	}
+	engine, err := engineFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ccdb := cc.NewDB(cfg.Workers, engine.TableOpts())
+	if cfg.Logging != db.LogOff {
+		mode := wal.Redo
+		if cfg.Logging == db.LogUndo {
+			if !engine.SupportsUndoLogging() {
+				return nil, fmt.Errorf("harness: %s cannot run undo logging", engine.Name())
+			}
+			mode = wal.Undo
+		}
+		lat := cfg.LogLatency
+		if lat == 0 {
+			lat = 100 * time.Nanosecond
+		}
+		ccdb.Log = wal.NewLogger(mode, cfg.Workers, func(int) wal.Device {
+			return wal.NewSimDevice(lat)
+		})
+	}
+	cfg.Workload.Setup(ccdb)
+
+	// Build executors: local workers, or interactive clients whose server
+	// sessions share the same database.
+	workers := make([]cc.Worker, cfg.Workers+1)
+	transports := make([]rpc.Transport, 0, cfg.Workers)
+	for wid := 1; wid <= cfg.Workers; wid++ {
+		if cfg.Interactive {
+			tr := rpc.NewChanTransport(engine, ccdb, uint16(wid), cfg.RTT)
+			transports = append(transports, tr)
+			workers[wid] = rpc.NewClientWorker(tr, ccdb.Tables(), uint16(wid))
+		} else {
+			workers[wid] = engine.NewWorker(ccdb, uint16(wid), cfg.Instrument)
+		}
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+
+	var (
+		start        = time.Now()
+		recordAfter  = start.Add(cfg.Warmup)
+		deadline     = recordAfter.Add(cfg.Measure)
+		hists        = make([]*stats.Histogram, cfg.Workers+1)
+		commits      = make([]uint64, cfg.Workers+1)
+		aborts       = make([]uint64, cfg.Workers+1)
+		measureStart time.Time
+		wg           sync.WaitGroup
+	)
+	// Admission control: a semaphore bounding in-flight transactions.
+	var admit chan struct{}
+	if cfg.MaxActive > 0 && cfg.MaxActive < cfg.Workers {
+		admit = make(chan struct{}, cfg.MaxActive)
+	}
+	for wid := 1; wid <= cfg.Workers; wid++ {
+		hists[wid] = stats.NewHistogram()
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			worker := workers[wid]
+			src := cfg.Workload.NewSource(uint16(wid))
+			h := hists[wid]
+			rng := uint64(wid)*0x9E3779B97F4A7C15 + 12345
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				recording := now.After(recordAfter)
+				unit := src.Next()
+				if admit != nil {
+					admit <- struct{}{}
+				}
+				opts := cc.AttemptOpts{ReadOnly: unit.ReadOnly, ResourceHint: unit.Hint}
+				txnStart := now
+				first := true
+				retries := 0
+				for {
+					err := worker.Attempt(unit.Proc, first, opts)
+					if err == nil || errors.Is(err, cc.ErrIntentionalRollback) {
+						break
+					}
+					if !cc.IsAborted(err) {
+						panic(fmt.Sprintf("harness: worker %d: non-retryable error: %v", wid, err))
+					}
+					if recording {
+						aborts[wid]++
+					}
+					first = false
+					retries++
+					if cfg.Backoff {
+						// Randomized exponential backoff in yields.
+						rng = rng*6364136223846793005 + 1442695040888963407
+						max := 1 << min(retries, 6)
+						n := int(rng>>33) % max
+						bd := breakdownOf(worker)
+						t0 := time.Now()
+						for i := 0; i < n; i++ {
+							runtime.Gosched()
+						}
+						if bd != nil {
+							bd.Add(stats.Backoff, time.Since(t0))
+						}
+					} else {
+						runtime.Gosched()
+					}
+					// Give up on transactions that started before the
+					// deadline but cannot finish long after it (safety
+					// valve; does not trigger in practice).
+					if time.Since(txnStart) > cfg.Measure+30*time.Second {
+						if admit != nil {
+							<-admit
+						}
+						return
+					}
+				}
+				if admit != nil {
+					<-admit
+				}
+				if recording {
+					commits[wid]++
+					h.Record(time.Since(txnStart).Nanoseconds())
+				}
+			}
+		}(wid)
+	}
+	// Mark the measurement window's actual start for throughput math.
+	measureStart = recordAfter
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	if elapsed > cfg.Measure {
+		elapsed = cfg.Measure // workers stop at the deadline
+	}
+
+	m := &stats.Metrics{
+		Label:   cfg.label() + "/" + cfg.Workload.Name(),
+		Workers: cfg.Workers,
+		Elapsed: elapsed,
+		Latency: stats.MergeAll(hists[1:]),
+	}
+	for wid := 1; wid <= cfg.Workers; wid++ {
+		m.Commits += commits[wid]
+		m.Aborts += aborts[wid]
+		if bd := breakdownOf(workers[wid]); bd != nil {
+			m.Breakdown.Merge(bd)
+		}
+	}
+	return m, nil
+}
+
+// breakdownOf fetches a worker's breakdown if instrumented.
+func breakdownOf(w cc.Worker) *stats.Breakdown {
+	return w.Breakdown()
+}
+
+// engineFor builds the engine for a config via the public factory.
+func engineFor(cfg Config) (cc.Engine, error) {
+	d, err := db.Open(db.Options{
+		Protocol:    cfg.Protocol,
+		Workers:     1, // engine factory only; the real DB is built here
+		SlackFactor: cfg.SlackFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.Engine(), nil
+}

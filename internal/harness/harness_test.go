@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/db"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+func tinyYCSB(workers int) *YCSB {
+	cfg := ycsb.A()
+	cfg.Records = 2000
+	cfg.RecordSize = 64
+	return NewYCSB(cfg, workers)
+}
+
+func TestRunStoredProcedure(t *testing.T) {
+	m, err := Run(Config{
+		Protocol: db.Plor,
+		Workers:  4,
+		Warmup:   50 * time.Millisecond,
+		Measure:  300 * time.Millisecond,
+		Workload: tinyYCSB(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if m.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if m.Latency.Count() != m.Commits {
+		t.Fatalf("latency samples %d != commits %d", m.Latency.Count(), m.Commits)
+	}
+	if !strings.Contains(m.Label, "PLOR") {
+		t.Fatalf("label = %q", m.Label)
+	}
+}
+
+func TestRunEveryProtocolSmoke(t *testing.T) {
+	for _, p := range db.Protocols() {
+		t.Run(string(p), func(t *testing.T) {
+			m, err := Run(Config{
+				Protocol: p,
+				Workers:  3,
+				Measure:  150 * time.Millisecond,
+				Backoff:  p == db.NoWait || p == db.Silo || p == db.TicToc || p == db.MOCC,
+				Workload: tinyYCSB(3),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Commits == 0 {
+				t.Fatal("no commits")
+			}
+		})
+	}
+}
+
+func TestRunInteractive(t *testing.T) {
+	m, err := Run(Config{
+		Protocol:    db.PlorDWA,
+		Workers:     3,
+		Measure:     250 * time.Millisecond,
+		Interactive: true,
+		RTT:         2 * time.Microsecond,
+		Workload:    tinyYCSB(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Fatal("no commits in interactive mode")
+	}
+}
+
+func TestRunWithLogging(t *testing.T) {
+	for _, mode := range []db.LogMode{db.LogRedo, db.LogUndo} {
+		m, err := Run(Config{
+			Protocol:   db.Plor,
+			Workers:    2,
+			Measure:    150 * time.Millisecond,
+			Logging:    mode,
+			LogLatency: 100 * time.Nanosecond,
+			Workload:   tinyYCSB(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Commits == 0 {
+			t.Fatal("no commits with logging")
+		}
+	}
+	// OCC + undo is rejected.
+	if _, err := Run(Config{
+		Protocol: db.Silo,
+		Workers:  1,
+		Measure:  50 * time.Millisecond,
+		Logging:  db.LogUndo,
+		Workload: tinyYCSB(1),
+	}); err == nil {
+		t.Fatal("Silo with undo logging should fail")
+	}
+}
+
+func TestRunInstrumented(t *testing.T) {
+	m, err := Run(Config{
+		Protocol:   db.Plor,
+		Workers:    3,
+		Measure:    200 * time.Millisecond,
+		Instrument: true,
+		Workload:   tinyYCSB(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Breakdown.Commits == 0 {
+		t.Fatal("breakdown not collected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Protocol: db.Plor}); err == nil {
+		t.Fatal("missing workload should error")
+	}
+	if _, err := Run(Config{Protocol: "NOPE", Workload: tinyYCSB(1), Measure: time.Millisecond}); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}
+
+func TestRunWithAdmissionControl(t *testing.T) {
+	m, err := Run(Config{
+		Protocol:  db.Plor,
+		Workers:   6,
+		MaxActive: 2,
+		Measure:   200 * time.Millisecond,
+		Workload:  tinyYCSB(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Fatal("no commits with admission control")
+	}
+}
+
+func TestTPCCAdapterSmoke(t *testing.T) {
+	m, err := Run(Config{
+		Protocol: db.Plor,
+		Workers:  2,
+		Measure:  300 * time.Millisecond,
+		Workload: NewTPCC(tpcc.Config{Warehouses: 1, InvalidItemPct: 1}, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Fatal("no TPC-C commits")
+	}
+}

@@ -1,0 +1,324 @@
+package index
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// btreeOrder is the maximum number of keys per node. Splits are preemptive
+// (any full node encountered on the way down is split first), so a parent
+// always has room for the separator its splitting child pushes up, and the
+// writer never holds more than a parent/child lock pair.
+const btreeOrder = 32
+
+// BTree is a concurrent B+tree mapping uint64 → *storage.Record. Readers
+// descend with hand-over-hand read latches; writers descend with write
+// latches and preemptive splits; leaves are chained for range scans.
+// Deletions remove keys from leaves without rebalancing (standard for
+// in-memory OLTP engines; empty leaves are skipped by scans).
+type BTree struct {
+	mu    sync.RWMutex // guards the root pointer
+	root  bnode
+	count atomic.Int64
+}
+
+type bnode interface {
+	lock()
+	unlock()
+	rlock()
+	runlock()
+	full() bool
+}
+
+type inner struct {
+	mu       sync.RWMutex
+	keys     []uint64 // len(children) == len(keys)+1
+	children []bnode
+}
+
+type leaf struct {
+	mu   sync.RWMutex
+	keys []uint64
+	vals []*storage.Record
+	next *leaf
+}
+
+func (n *inner) lock()      { n.mu.Lock() }
+func (n *inner) unlock()    { n.mu.Unlock() }
+func (n *inner) rlock()     { n.mu.RLock() }
+func (n *inner) runlock()   { n.mu.RUnlock() }
+func (n *inner) full() bool { return len(n.keys) >= btreeOrder }
+
+func (n *leaf) lock()      { n.mu.Lock() }
+func (n *leaf) unlock()    { n.mu.Unlock() }
+func (n *leaf) rlock()     { n.mu.RLock() }
+func (n *leaf) runlock()   { n.mu.RUnlock() }
+func (n *leaf) full() bool { return len(n.keys) >= btreeOrder }
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &leaf{
+		keys: make([]uint64, 0, btreeOrder),
+		vals: make([]*storage.Record, 0, btreeOrder),
+	}}
+}
+
+// route returns the child index to follow for key k: the first separator
+// greater than k.
+func (n *inner) route(k uint64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > k })
+}
+
+// find returns the position of k in the leaf and whether it is present.
+func (l *leaf) find(k uint64) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= k })
+	return i, i < len(l.keys) && l.keys[i] == k
+}
+
+// lockedRoot returns the root locked in the requested mode, immune to
+// concurrent root swaps.
+func (t *BTree) lockedRoot(write bool) bnode {
+	t.mu.RLock()
+	n := t.root
+	if write {
+		n.lock()
+	} else {
+		n.rlock()
+	}
+	t.mu.RUnlock()
+	return n
+}
+
+// Get implements Index.
+func (t *BTree) Get(key uint64) *storage.Record {
+	n := t.lockedRoot(false)
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		ch := in.children[in.route(key)]
+		ch.rlock()
+		in.runlock()
+		n = ch
+	}
+	lf := n.(*leaf)
+	i, ok := lf.find(key)
+	var rec *storage.Record
+	if ok {
+		rec = lf.vals[i]
+	}
+	lf.runlock()
+	return rec
+}
+
+// Insert implements Index.
+func (t *BTree) Insert(key uint64, rec *storage.Record) bool {
+	for {
+		n := t.lockedRoot(true)
+		if n.full() {
+			n.unlock()
+			t.splitRootIfFull()
+			continue
+		}
+		inserted := t.insertFrom(n, key, rec)
+		if inserted {
+			t.count.Add(1)
+		}
+		return inserted
+	}
+}
+
+// insertFrom descends from the locked, non-full node n and inserts. It
+// reports whether a new mapping was created (false = duplicate key).
+func (t *BTree) insertFrom(n bnode, key uint64, rec *storage.Record) bool {
+	for {
+		in, isInner := n.(*inner)
+		if !isInner {
+			break
+		}
+		i := in.route(key)
+		ch := in.children[i]
+		ch.lock()
+		if ch.full() {
+			sep, sib := split(ch)
+			// Parent is non-full by invariant: insert separator.
+			in.keys = append(in.keys, 0)
+			copy(in.keys[i+1:], in.keys[i:])
+			in.keys[i] = sep
+			in.children = append(in.children, nil)
+			copy(in.children[i+2:], in.children[i+1:])
+			in.children[i+1] = sib
+			if key >= sep {
+				ch.unlock()
+				ch = sib
+			} else {
+				sib.unlock()
+			}
+		}
+		in.unlock()
+		n = ch
+	}
+	lf := n.(*leaf)
+	i, exists := lf.find(key)
+	if exists {
+		lf.unlock()
+		return false
+	}
+	lf.keys = append(lf.keys, 0)
+	copy(lf.keys[i+1:], lf.keys[i:])
+	lf.keys[i] = key
+	lf.vals = append(lf.vals, nil)
+	copy(lf.vals[i+1:], lf.vals[i:])
+	lf.vals[i] = rec
+	lf.unlock()
+	return true
+}
+
+// split divides the locked full node n, returning the separator key and the
+// new (locked) right sibling.
+func split(n bnode) (uint64, bnode) {
+	switch v := n.(type) {
+	case *leaf:
+		mid := len(v.keys) / 2
+		sib := &leaf{
+			keys: append(make([]uint64, 0, btreeOrder), v.keys[mid:]...),
+			vals: append(make([]*storage.Record, 0, btreeOrder), v.vals[mid:]...),
+			next: v.next,
+		}
+		sib.lock()
+		v.keys = v.keys[:mid]
+		v.vals = v.vals[:mid]
+		v.next = sib
+		return sib.keys[0], sib
+	case *inner:
+		mid := len(v.keys) / 2
+		sep := v.keys[mid]
+		sib := &inner{
+			keys:     append(make([]uint64, 0, btreeOrder), v.keys[mid+1:]...),
+			children: append(make([]bnode, 0, btreeOrder+1), v.children[mid+1:]...),
+		}
+		sib.lock()
+		v.keys = v.keys[:mid]
+		v.children = v.children[:mid+1]
+		return sep, sib
+	}
+	panic("index: unknown node type")
+}
+
+// splitRootIfFull grows the tree by one level when the root is full.
+func (t *BTree) splitRootIfFull() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.root
+	old.lock()
+	if !old.full() {
+		old.unlock()
+		return
+	}
+	sep, sib := split(old)
+	t.root = &inner{
+		keys:     append(make([]uint64, 0, btreeOrder), sep),
+		children: append(make([]bnode, 0, btreeOrder+1), old, sib),
+	}
+	sib.unlock()
+	old.unlock()
+}
+
+// Remove implements Index.
+func (t *BTree) Remove(key uint64) bool {
+	n := t.lockedRoot(true)
+	for {
+		in, isInner := n.(*inner)
+		if !isInner {
+			break
+		}
+		ch := in.children[in.route(key)]
+		ch.lock()
+		in.unlock()
+		n = ch
+	}
+	lf := n.(*leaf)
+	i, ok := lf.find(key)
+	if ok {
+		lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+		lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+		t.count.Add(-1)
+	}
+	lf.unlock()
+	return ok
+}
+
+// Len implements Index.
+func (t *BTree) Len() int { return int(t.count.Load()) }
+
+// Scan implements Ranger.
+func (t *BTree) Scan(from, to uint64, fn func(uint64, *storage.Record) bool) {
+	if from > to {
+		return
+	}
+	n := t.lockedRoot(false)
+	for {
+		in, isInner := n.(*inner)
+		if !isInner {
+			break
+		}
+		ch := in.children[in.route(from)]
+		ch.rlock()
+		in.runlock()
+		n = ch
+	}
+	lf := n.(*leaf)
+	i, _ := lf.find(from)
+	for {
+		for ; i < len(lf.keys); i++ {
+			k := lf.keys[i]
+			if k > to {
+				lf.runlock()
+				return
+			}
+			if !fn(k, lf.vals[i]) {
+				lf.runlock()
+				return
+			}
+		}
+		next := lf.next
+		if next == nil {
+			lf.runlock()
+			return
+		}
+		next.rlock()
+		lf.runlock()
+		lf = next
+		i = 0
+	}
+}
+
+// First implements Ranger.
+func (t *BTree) First(from, to uint64) (uint64, *storage.Record, bool) {
+	var k uint64
+	var rec *storage.Record
+	found := false
+	t.Scan(from, to, func(key uint64, r *storage.Record) bool {
+		k, rec, found = key, r, true
+		return false
+	})
+	return k, rec, found
+}
+
+// Last implements Ranger. It walks the range, which is fine for the short
+// ranges OLTP workloads scan (orders of one customer, a district's pending
+// deliveries).
+func (t *BTree) Last(from, to uint64) (uint64, *storage.Record, bool) {
+	var k uint64
+	var rec *storage.Record
+	found := false
+	t.Scan(from, to, func(key uint64, r *storage.Record) bool {
+		k, rec, found = key, r, true
+		return true
+	})
+	return k, rec, found
+}

@@ -1,0 +1,104 @@
+package index
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+const hashStripes = 256 // power of two
+
+// Hash is a chained hash table with striped reader/writer locks. The bucket
+// count is fixed at construction (sized from the expected cardinality), as
+// in DBx1000; chains absorb overflow.
+type Hash struct {
+	buckets []*hashEntry
+	mask    uint64
+	shift   uint
+	stripes [hashStripes]sync.RWMutex
+	count   atomic.Int64
+}
+
+type hashEntry struct {
+	key  uint64
+	rec  *storage.Record
+	next *hashEntry
+}
+
+// NewHash creates a hash index sized for about expected keys.
+func NewHash(expected int) *Hash {
+	if expected < 16 {
+		expected = 16
+	}
+	n := 1 << bits.Len(uint(expected-1)) // next power of two ≥ expected
+	return &Hash{
+		buckets: make([]*hashEntry, n),
+		mask:    uint64(n - 1),
+		shift:   uint(64 - bits.Len(uint(n-1))),
+	}
+}
+
+// hash mixes the key with the 64-bit golden ratio (Fibonacci hashing).
+func (h *Hash) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> h.shift & h.mask
+}
+
+func (h *Hash) stripe(b uint64) *sync.RWMutex {
+	return &h.stripes[b&(hashStripes-1)]
+}
+
+// Get implements Index.
+func (h *Hash) Get(key uint64) *storage.Record {
+	b := h.hash(key)
+	mu := h.stripe(b)
+	mu.RLock()
+	for e := h.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			mu.RUnlock()
+			return e.rec
+		}
+	}
+	mu.RUnlock()
+	return nil
+}
+
+// Insert implements Index.
+func (h *Hash) Insert(key uint64, rec *storage.Record) bool {
+	b := h.hash(key)
+	mu := h.stripe(b)
+	mu.Lock()
+	for e := h.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			mu.Unlock()
+			return false
+		}
+	}
+	h.buckets[b] = &hashEntry{key: key, rec: rec, next: h.buckets[b]}
+	mu.Unlock()
+	h.count.Add(1)
+	return true
+}
+
+// Remove implements Index.
+func (h *Hash) Remove(key uint64) bool {
+	b := h.hash(key)
+	mu := h.stripe(b)
+	mu.Lock()
+	p := &h.buckets[b]
+	for e := *p; e != nil; e = e.next {
+		if e.key == key {
+			*p = e.next
+			mu.Unlock()
+			h.count.Add(-1)
+			return true
+		}
+		p = &e.next
+	}
+	mu.Unlock()
+	return false
+}
+
+// Len implements Index.
+func (h *Hash) Len() int { return int(h.count.Load()) }

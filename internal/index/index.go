@@ -1,0 +1,40 @@
+// Package index provides the two index structures of the engine:
+//
+//   - Hash: a striped-lock chained hash table, used for primary-key point
+//     lookups (DBx1000's default index).
+//   - BTree: a concurrent B+tree with per-node reader/writer latches,
+//     hand-over-hand locking on reads, and preemptive splits on writes.
+//     It stands in for Masstree as the ordered index and supports the
+//     range scans TPC-C needs (Delivery, Order-Status, Stock-Level).
+//
+// Both map uint64 keys to *storage.Record. Composite keys (warehouse,
+// district, ...) are packed into uint64 by the workload packages.
+package index
+
+import "repro/internal/storage"
+
+// Index is the interface the engine uses for point operations. BTree
+// additionally offers ordered scans.
+type Index interface {
+	// Get returns the record mapped to key, or nil.
+	Get(key uint64) *storage.Record
+	// Insert maps key to rec if absent; it reports whether the insert
+	// happened (false = duplicate key).
+	Insert(key uint64, rec *storage.Record) bool
+	// Remove deletes the mapping; it reports whether the key was present.
+	Remove(key uint64) bool
+	// Len returns the number of live mappings.
+	Len() int
+}
+
+// Ranger is implemented by ordered indexes.
+type Ranger interface {
+	Index
+	// Scan calls fn for each mapping with from ≤ key ≤ to in ascending
+	// order until fn returns false.
+	Scan(from, to uint64, fn func(key uint64, rec *storage.Record) bool)
+	// First returns the smallest mapping in [from, to], if any.
+	First(from, to uint64) (uint64, *storage.Record, bool)
+	// Last returns the largest mapping in [from, to], if any.
+	Last(from, to uint64) (uint64, *storage.Record, bool)
+}

@@ -1,0 +1,363 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+// mkRecs returns n distinct records from a scratch table.
+func mkRecs(n int) []*storage.Record {
+	tbl := storage.NewTable("scratch", 8, storage.TableOpts{})
+	out := make([]*storage.Record, n)
+	for i := range out {
+		out[i] = tbl.Alloc()
+	}
+	return out
+}
+
+// impls builds one fresh instance of every Index implementation.
+func impls() map[string]func() Index {
+	return map[string]func() Index{
+		"hash":  func() Index { return NewHash(1024) },
+		"btree": func() Index { return NewBTree() },
+	}
+}
+
+func TestIndexBasicOps(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			idx := mk()
+			recs := mkRecs(3)
+			if idx.Get(42) != nil {
+				t.Fatal("empty index should miss")
+			}
+			if !idx.Insert(42, recs[0]) {
+				t.Fatal("first insert failed")
+			}
+			if idx.Insert(42, recs[1]) {
+				t.Fatal("duplicate insert should fail")
+			}
+			if idx.Get(42) != recs[0] {
+				t.Fatal("get returned wrong record")
+			}
+			if idx.Len() != 1 {
+				t.Fatalf("len = %d", idx.Len())
+			}
+			if !idx.Remove(42) {
+				t.Fatal("remove failed")
+			}
+			if idx.Remove(42) {
+				t.Fatal("second remove should fail")
+			}
+			if idx.Get(42) != nil || idx.Len() != 0 {
+				t.Fatal("key still visible after remove")
+			}
+			// Reinsertion after removal works.
+			if !idx.Insert(42, recs[2]) || idx.Get(42) != recs[2] {
+				t.Fatal("reinsert failed")
+			}
+		})
+	}
+}
+
+// Property: any sequence of insert/remove operations leaves the index
+// agreeing with a map-based reference model.
+func TestIndexMatchesReferenceModel(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				idx := mk()
+				ref := make(map[uint64]*storage.Record)
+				recs := mkRecs(1)
+				rec := recs[0]
+				for op := 0; op < 2000; op++ {
+					k := uint64(rng.Intn(300)) // small space forces collisions
+					switch rng.Intn(3) {
+					case 0: // insert
+						_, exists := ref[k]
+						if idx.Insert(k, rec) == exists {
+							t.Logf("insert(%d) disagreed with model (exists=%v)", k, exists)
+							return false
+						}
+						if !exists {
+							ref[k] = rec
+						}
+					case 1: // remove
+						_, exists := ref[k]
+						if idx.Remove(k) != exists {
+							t.Logf("remove(%d) disagreed (exists=%v)", k, exists)
+							return false
+						}
+						delete(ref, k)
+					default: // get
+						got := idx.Get(k)
+						_, exists := ref[k]
+						if (got != nil) != exists {
+							t.Logf("get(%d) disagreed (exists=%v)", k, exists)
+							return false
+						}
+					}
+				}
+				return idx.Len() == len(ref)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestIndexConcurrentDisjointInserts(t *testing.T) {
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			idx := mk()
+			const goroutines, per = 8, 3000
+			rec := mkRecs(1)[0]
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						k := uint64(g*per + i)
+						if !idx.Insert(k, rec) {
+							t.Errorf("insert(%d) failed", k)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if idx.Len() != goroutines*per {
+				t.Fatalf("len = %d, want %d", idx.Len(), goroutines*per)
+			}
+			for k := uint64(0); k < goroutines*per; k++ {
+				if idx.Get(k) == nil {
+					t.Fatalf("key %d missing", k)
+				}
+			}
+		})
+	}
+}
+
+func TestIndexConcurrentInsertRace(t *testing.T) {
+	// All goroutines race to insert the same keys; exactly one must win
+	// each key.
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			idx := mk()
+			const goroutines, keys = 8, 2000
+			rec := mkRecs(1)[0]
+			var wins sync.Map
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := uint64(0); k < keys; k++ {
+						if idx.Insert(k, rec) {
+							if _, dup := wins.LoadOrStore(k, true); dup {
+								t.Errorf("key %d inserted twice", k)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			n := 0
+			wins.Range(func(_, _ any) bool { n++; return true })
+			if n != keys || idx.Len() != keys {
+				t.Fatalf("winners=%d len=%d, want %d", n, idx.Len(), keys)
+			}
+		})
+	}
+}
+
+func TestBTreeScanOrdered(t *testing.T) {
+	bt := NewBTree()
+	rec := mkRecs(1)[0]
+	keys := rand.New(rand.NewSource(1)).Perm(5000)
+	for _, k := range keys {
+		bt.Insert(uint64(k)*2, rec) // even keys only
+	}
+	var got []uint64
+	bt.Scan(100, 400, func(k uint64, _ *storage.Record) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []uint64
+	for k := uint64(100); k <= 400; k += 2 {
+		want = append(want, k)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early termination.
+	count := 0
+	bt.Scan(0, 1<<62, func(uint64, *storage.Record) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early-terminated scan visited %d", count)
+	}
+	// Inverted and empty ranges.
+	bt.Scan(10, 5, func(uint64, *storage.Record) bool {
+		t.Fatal("inverted range must visit nothing")
+		return false
+	})
+	bt.Scan(101, 101, func(uint64, *storage.Record) bool {
+		t.Fatal("odd key should not exist")
+		return false
+	})
+}
+
+func TestBTreeFirstLast(t *testing.T) {
+	bt := NewBTree()
+	rec := mkRecs(1)[0]
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		bt.Insert(k, rec)
+	}
+	if k, _, ok := bt.First(15, 45); !ok || k != 20 {
+		t.Fatalf("First(15,45) = %d,%v", k, ok)
+	}
+	if k, _, ok := bt.Last(15, 45); !ok || k != 40 {
+		t.Fatalf("Last(15,45) = %d,%v", k, ok)
+	}
+	if _, _, ok := bt.First(21, 29); ok {
+		t.Fatal("empty range should report not-found")
+	}
+	if k, _, ok := bt.Last(50, 1<<62); !ok || k != 50 {
+		t.Fatalf("Last at boundary = %d,%v", k, ok)
+	}
+}
+
+func TestBTreeScanMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		ref := make(map[uint64]bool)
+		rec := mkRecs(1)[0]
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(4000))
+			if rng.Intn(4) == 0 {
+				bt.Remove(k)
+				delete(ref, k)
+			} else if bt.Insert(k, rec) {
+				ref[k] = true
+			}
+		}
+		lo := uint64(rng.Intn(2000))
+		hi := lo + uint64(rng.Intn(2000))
+		var got []uint64
+		bt.Scan(lo, hi, func(k uint64, _ *storage.Record) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []uint64
+		for k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentMixed(t *testing.T) {
+	bt := NewBTree()
+	rec := mkRecs(1)[0]
+	// Pre-populate stable keys that scans can rely on.
+	for k := uint64(0); k < 1000; k++ {
+		bt.Insert(k*10, rec)
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers churn a disjoint key region (odd keys).
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(10000))*10 + 1
+				if rng.Intn(2) == 0 {
+					bt.Insert(k, rec)
+				} else {
+					bt.Remove(k)
+				}
+			}
+		}(g)
+	}
+	// Readers continuously verify the stable keys remain visible and
+	// ordered.
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1)
+				n := 0
+				bt.Scan(0, 9990, func(k uint64, _ *storage.Record) bool {
+					if int64(k) <= prev {
+						t.Error("scan order violated")
+						return false
+					}
+					prev = int64(k)
+					if k%10 == 0 {
+						n++
+					}
+					return true
+				})
+				if n != 1000 {
+					t.Errorf("stable keys visible = %d, want 1000", n)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestBTreeLenTracksCount(t *testing.T) {
+	bt := NewBTree()
+	rec := mkRecs(1)[0]
+	for k := uint64(0); k < 500; k++ {
+		bt.Insert(k, rec)
+	}
+	for k := uint64(0); k < 500; k += 2 {
+		bt.Remove(k)
+	}
+	if bt.Len() != 250 {
+		t.Fatalf("len = %d, want 250", bt.Len())
+	}
+}

@@ -1,0 +1,211 @@
+package lock
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/txn"
+)
+
+// LatchFree is Plor's per-record lock (§4.2): three 8-byte atomic words.
+//
+//	w    — the packed context word of the current write-lock owner (0 = free)
+//	wait — bitmap of worker IDs waiting for the write lock (the paper's 𝕎)
+//	rd   — bitmap of worker IDs holding read locks (the paper's ℝ);
+//	       bit 63 is excl_sig, appended when the owner upgrades to
+//	       exclusive mode in commit Phase 1.
+//
+// The zero value is an unlocked lock.
+type LatchFree struct {
+	w    atomic.Uint64
+	wait atomic.Uint64
+	rd   atomic.Uint64
+}
+
+// Locker is the per-record interface Plor's protocol code uses, satisfied
+// by both LatchFree and MutexLocker so the Fig. 11 locker ablation swaps
+// implementations without touching the protocol.
+type Locker interface {
+	// AcquireRead inserts the requester into the reader list, ignoring any
+	// write-lock owner (optimistic reading). If the lock is in exclusive
+	// mode (a writer is committing), the requester wounds the committer if
+	// it is older and waits until exclusive mode ends.
+	AcquireRead(r *Req) error
+	// ReleaseRead removes the requester from the reader list.
+	ReleaseRead(wid uint16)
+	// AcquireWrite obtains the write lock, resolving write-write conflicts
+	// WOUND_WAIT-style: younger owners are wounded; otherwise the requester
+	// joins the waiter list and the oldest running waiter takes over when
+	// the lock frees.
+	AcquireWrite(r *Req) error
+	// ReleaseWrite drops exclusive mode (if set) and frees the write lock.
+	// Only the owner may call it.
+	ReleaseWrite(wid uint16)
+	// MakeExclusive performs commit Phase 1 for this record: it appends
+	// excl_sig to the reader list, wounds all younger readers, and waits
+	// for remaining readers to leave. The caller must hold the write lock.
+	MakeExclusive(r *Req) error
+	// ReaderCount reports the number of current readers (excluding wid),
+	// used by tests and assertions.
+	ReaderCount(exceptWID uint16) int
+}
+
+// --- read locks ---
+
+// AcquireRead implements Locker. Fast path: one fetch-OR.
+func (l *LatchFree) AcquireRead(r *Req) error {
+	bit := widBit(r.WID)
+	for {
+		prev := l.rd.Or(bit)
+		if prev&exclSig == 0 {
+			return nil // no committer in Phase 1/3; done
+		}
+		// A committing writer holds exclusive mode. Retract our entry so
+		// the committer does not wait on us, wound it if we are older,
+		// then wait for exclusive mode to end (paper Fig. 4 lines 3-6).
+		l.rd.And(^bit)
+		if err := l.woundAndWaitExcl(r); err != nil {
+			return err
+		}
+		// Exclusive mode ended; retry the insertion.
+	}
+}
+
+// woundAndWaitExcl wounds the current writer if the requester is older and
+// waits until excl_sig clears.
+func (l *LatchFree) woundAndWaitExcl(r *Req) error {
+	return timedWait(r, catRW, func() (bool, error) {
+		if l.rd.Load()&exclSig == 0 {
+			return true, nil
+		}
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		if w := l.w.Load(); w != 0 && w != r.Word && r.Prio < r.Reg.PriorityOf(w) {
+			r.Reg.Ctx(txn.WID(w)).Kill(w)
+		}
+		return false, nil
+	})
+}
+
+// ReleaseRead implements Locker.
+func (l *LatchFree) ReleaseRead(wid uint16) {
+	l.rd.And(^widBit(wid))
+}
+
+// ReaderCount implements Locker.
+func (l *LatchFree) ReaderCount(exceptWID uint16) int {
+	m := l.rd.Load() &^ exclSig
+	if exceptWID != 0 {
+		m &^= widBit(exceptWID)
+	}
+	return bits.OnesCount64(m)
+}
+
+// --- write locks ---
+
+// AcquireWrite implements Locker.
+func (l *LatchFree) AcquireWrite(r *Req) error {
+	if l.w.Load() == r.Word {
+		return nil // re-entrant: already own it (RMW upgrade path)
+	}
+	bit := widBit(r.WID)
+	l.wait.Or(bit)
+	err := timedWait(r, catWW, func() (bool, error) {
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		w := l.w.Load()
+		if w == 0 {
+			// Contend only when we are the oldest running waiter; this
+			// realises the paper's "grant the lock to the oldest waiter"
+			// handover without an atomic multi-word grant.
+			if l.oldestRunningWaiter(r.Reg) == r.WID &&
+				l.w.CompareAndSwap(0, r.Word) {
+				return true, nil
+			}
+			return false, nil
+		}
+		// WOUND: kill the owner if it is younger than us. Re-checking every
+		// iteration also repairs the paper's "inconsistent case" where a
+		// handover installs a younger owner after we sampled w.
+		if r.Prio < r.Reg.PriorityOf(w) {
+			r.Reg.Ctx(txn.WID(w)).Kill(w)
+		}
+		return false, nil
+	})
+	l.wait.And(^bit)
+	return err
+}
+
+// oldestRunningWaiter scans the waiter bitmap and returns the worker ID of
+// the highest-priority (lowest value) waiter that is still running. Aborted
+// waiters are skipped — they will notice their death and retract.
+func (l *LatchFree) oldestRunningWaiter(reg *txn.Registry) uint16 {
+	m := l.wait.Load()
+	best := uint16(0)
+	bestPrio := ^uint64(0)
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		wid := uint16(i + 1)
+		c := reg.Ctx(wid)
+		if c.Aborted() {
+			continue
+		}
+		if p := c.Priority(); p < bestPrio {
+			bestPrio, best = p, wid
+		}
+	}
+	return best
+}
+
+// ReleaseWrite implements Locker. The caller must be the owner.
+func (l *LatchFree) ReleaseWrite(wid uint16) {
+	l.rd.And(^exclSig) // disable exclusive mode if we had set it
+	l.w.Store(0)       // free; waiters self-elect oldest-first
+}
+
+// MakeExclusive implements Locker (commit Phase 1, paper Fig. 5 lines 4-10).
+func (l *LatchFree) MakeExclusive(r *Req) error {
+	l.rd.Or(exclSig)
+	myBit := widBit(r.WID)
+	killed := uint64(0) // reader bits we have already wounded
+	return timedWait(r, catRW, func() (bool, error) {
+		m := l.rd.Load() &^ (exclSig | myBit)
+		if m == 0 {
+			return true, nil // no other readers remain; record is ours
+		}
+		if r.Ctx.Aborted() {
+			// Still Phase 1: we can be wounded ourselves. The caller will
+			// clear exclusive mode via ReleaseWrite on the abort path.
+			return false, ErrKilled
+		}
+		for mm := m &^ killed; mm != 0; {
+			i := bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			wid := uint16(i + 1)
+			c := r.Reg.Ctx(wid)
+			w := c.Load()
+			if r.Prio < r.Reg.PriorityOf(w) {
+				c.Kill(w)
+				killed |= uint64(1) << i
+			}
+		}
+		// Wait for remaining readers — older ones until they commit, and
+		// wounded ones until they notice death and retract. Waiting for
+		// wounded readers too keeps the install in Phase 3 free of torn
+		// reads (a doomed reader never copies bytes mid-install).
+		return false, nil
+	})
+}
+
+// OwnerWord returns the current write owner's packed word (0 if free).
+// Exposed for tests and for protocol assertions.
+func (l *LatchFree) OwnerWord() uint64 { return l.w.Load() }
+
+// ExclSet reports whether the lock is in exclusive mode.
+func (l *LatchFree) ExclSet() bool { return l.rd.Load()&exclSig != 0 }
+
+// WaiterBits returns the waiter bitmap (for tests).
+func (l *LatchFree) WaiterBits() uint64 { return l.wait.Load() }

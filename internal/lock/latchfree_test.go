@@ -1,0 +1,402 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// newReq builds a Req for worker wid running a transaction with timestamp
+// ts in registry reg.
+func newReq(reg *txn.Registry, wid uint16, ts uint64) *Req {
+	c := reg.Ctx(wid)
+	c.Begin(wid, ts)
+	return &Req{Reg: reg, Ctx: c, WID: wid, Word: c.Load(), Prio: ts}
+}
+
+// lockerImpls returns fresh instances of both Plor locker implementations,
+// so every semantic test runs against LatchFree and MutexLocker alike.
+func lockerImpls() map[string]func() Locker {
+	return map[string]func() Locker{
+		"latchfree": func() Locker { return &LatchFree{} },
+		"mutex":     func() Locker { return &MutexLocker{} },
+	}
+}
+
+func TestLockerReadBasics(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			r1 := newReq(reg, 1, 10)
+			r2 := newReq(reg, 2, 20)
+			if err := l.AcquireRead(r1); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.AcquireRead(r2); err != nil {
+				t.Fatal(err)
+			}
+			if n := l.ReaderCount(0); n != 2 {
+				t.Fatalf("reader count = %d, want 2", n)
+			}
+			if n := l.ReaderCount(1); n != 1 {
+				t.Fatalf("reader count except 1 = %d, want 1", n)
+			}
+			l.ReleaseRead(1)
+			l.ReleaseRead(2)
+			if n := l.ReaderCount(0); n != 0 {
+				t.Fatalf("reader count after release = %d", n)
+			}
+		})
+	}
+}
+
+func TestLockerReadersIgnoreWriteOwner(t *testing.T) {
+	// Optimistic reading: a held write lock must not block readers.
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			w := newReq(reg, 1, 10)
+			if err := l.AcquireWrite(w); err != nil {
+				t.Fatal(err)
+			}
+			rd := newReq(reg, 2, 20)
+			done := make(chan error, 1)
+			go func() { done <- l.AcquireRead(rd) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("reader blocked behind a write lock (should ignore it)")
+			}
+		})
+	}
+}
+
+func TestLockerWriteMutualExclusionAndReentry(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			w1 := newReq(reg, 1, 10)
+			if err := l.AcquireWrite(w1); err != nil {
+				t.Fatal(err)
+			}
+			// Re-entrant acquire by the same transaction succeeds at once.
+			if err := l.AcquireWrite(w1); err != nil {
+				t.Fatal("re-entrant acquire failed:", err)
+			}
+			// A younger writer wounds nothing (owner is older) and waits.
+			w2 := newReq(reg, 2, 20)
+			got := make(chan error, 1)
+			go func() { got <- l.AcquireWrite(w2) }()
+			select {
+			case err := <-got:
+				t.Fatalf("younger writer should wait, got %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+			if reg.Ctx(1).Aborted() {
+				t.Fatal("older owner must not be wounded by younger requester")
+			}
+			l.ReleaseWrite(1)
+			if err := <-got; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseWrite(2)
+		})
+	}
+}
+
+func TestLockerWoundYoungerOwner(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			young := newReq(reg, 1, 100)
+			if err := l.AcquireWrite(young); err != nil {
+				t.Fatal(err)
+			}
+			old := newReq(reg, 2, 5)
+			got := make(chan error, 1)
+			go func() { got <- l.AcquireWrite(old) }()
+
+			// The young owner must get wounded; simulate its poll loop.
+			deadline := time.After(2 * time.Second)
+			for !reg.Ctx(1).Aborted() {
+				select {
+				case <-deadline:
+					t.Fatal("younger owner never wounded")
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+			l.ReleaseWrite(1) // the wounded owner aborts and releases
+			if err := <-got; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseWrite(2)
+		})
+	}
+}
+
+func TestLockerWaiterWoundedWhileWaiting(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			owner := newReq(reg, 1, 5)
+			if err := l.AcquireWrite(owner); err != nil {
+				t.Fatal(err)
+			}
+			waiter := newReq(reg, 2, 50)
+			got := make(chan error, 1)
+			go func() { got <- l.AcquireWrite(waiter) }()
+			time.Sleep(20 * time.Millisecond)
+			// Someone wounds the waiter: the wait loop must exit ErrKilled.
+			reg.Ctx(2).Kill(waiter.Word)
+			select {
+			case err := <-got:
+				if !errors.Is(err, ErrKilled) {
+					t.Fatalf("err = %v, want ErrKilled", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("wounded waiter never exited")
+			}
+			l.ReleaseWrite(1)
+		})
+	}
+}
+
+func TestLockerMakeExclusiveKillsYoungerReaders(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			younger := newReq(reg, 2, 100)
+			if err := l.AcquireRead(younger); err != nil {
+				t.Fatal(err)
+			}
+			committer := newReq(reg, 1, 10)
+			if err := l.AcquireWrite(committer); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- l.MakeExclusive(committer) }()
+
+			// The younger reader gets wounded; once it notices, it
+			// releases its read lock and the committer proceeds.
+			deadline := time.After(2 * time.Second)
+			for !reg.Ctx(2).Aborted() {
+				select {
+				case <-deadline:
+					t.Fatal("younger reader never wounded")
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+			l.ReleaseRead(2)
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseWrite(1)
+		})
+	}
+}
+
+func TestLockerMakeExclusiveWaitsForOlderReader(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			older := newReq(reg, 2, 3)
+			if err := l.AcquireRead(older); err != nil {
+				t.Fatal(err)
+			}
+			committer := newReq(reg, 1, 10)
+			if err := l.AcquireWrite(committer); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- l.MakeExclusive(committer) }()
+			select {
+			case err := <-done:
+				t.Fatalf("committer should wait for older reader, got %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+			if reg.Ctx(2).Aborted() {
+				t.Fatal("older reader must not be wounded")
+			}
+			l.ReleaseRead(2) // older reader commits
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseWrite(1)
+		})
+	}
+}
+
+func TestLockerReaderBlockedByExclusiveWoundsYoungerCommitter(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			committer := newReq(reg, 1, 100)
+			if err := l.AcquireWrite(committer); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.MakeExclusive(committer); err != nil {
+				t.Fatal(err)
+			}
+			// An older reader arrives during Phase 1/3: it wounds the
+			// committer and waits for exclusive mode to end.
+			older := newReq(reg, 2, 5)
+			done := make(chan error, 1)
+			go func() { done <- l.AcquireRead(older) }()
+			deadline := time.After(2 * time.Second)
+			for !reg.Ctx(1).Aborted() {
+				select {
+				case <-deadline:
+					t.Fatal("younger committer never wounded by older reader")
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+			l.ReleaseWrite(1) // committer aborts, dropping exclusive mode
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseRead(2)
+		})
+	}
+}
+
+func TestLockerYoungerReaderWaitsForExclusive(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(4)
+			l := mk()
+			committer := newReq(reg, 1, 5)
+			if err := l.AcquireWrite(committer); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.MakeExclusive(committer); err != nil {
+				t.Fatal(err)
+			}
+			younger := newReq(reg, 2, 100)
+			done := make(chan error, 1)
+			go func() { done <- l.AcquireRead(younger) }()
+			select {
+			case err := <-done:
+				t.Fatalf("younger reader should block on exclusive mode, got %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+			if reg.Ctx(1).Aborted() {
+				t.Fatal("older committer must not be wounded by younger reader")
+			}
+			l.ReleaseWrite(1) // commit completes
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			l.ReleaseRead(2)
+		})
+	}
+}
+
+func TestLockerOldestWaiterWinsHandover(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			reg := txn.NewRegistry(8)
+			l := mk()
+			owner := newReq(reg, 1, 1)
+			if err := l.AcquireWrite(owner); err != nil {
+				t.Fatal(err)
+			}
+			// Two waiters: wid 2 (younger, ts 30) and wid 3 (older, ts 20).
+			type res struct {
+				wid uint16
+				at  time.Time
+			}
+			order := make(chan res, 2)
+			var wg sync.WaitGroup
+			for _, w := range []struct {
+				wid uint16
+				ts  uint64
+			}{{2, 30}, {3, 20}} {
+				wg.Add(1)
+				go func(wid uint16, ts uint64) {
+					defer wg.Done()
+					r := newReq(reg, wid, ts)
+					if err := l.AcquireWrite(r); err != nil {
+						t.Errorf("wid %d: %v", wid, err)
+						return
+					}
+					order <- res{wid, time.Now()}
+					time.Sleep(5 * time.Millisecond)
+					l.ReleaseWrite(wid)
+				}(w.wid, w.ts)
+			}
+			time.Sleep(30 * time.Millisecond) // let both enqueue
+			l.ReleaseWrite(1)
+			wg.Wait()
+			first := <-order
+			if first.wid != 3 {
+				t.Fatalf("lock handed to wid %d first, want oldest waiter 3", first.wid)
+			}
+		})
+	}
+}
+
+// TestLockerWriteStress verifies mutual exclusion of the write lock under
+// wounding: a counter incremented only under the lock must observe no lost
+// updates, and every goroutine must eventually commit (starvation freedom).
+func TestLockerWriteStress(t *testing.T) {
+	for name, mk := range lockerImpls() {
+		t.Run(name, func(t *testing.T) {
+			const workers, rounds = 8, 300
+			reg := txn.NewRegistry(workers)
+			l := mk()
+			var counter int64 // protected by l's write lock
+			var inCS atomic.Int64
+			var wg sync.WaitGroup
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						ts := reg.NextTS()
+						for {
+							r := newReq(reg, wid, ts) // retries reuse ts
+							err := l.AcquireWrite(r)
+							if err != nil {
+								continue // wounded: retry with same ts
+							}
+							if r.Ctx.Aborted() {
+								// Wounded after acquiring: release, retry.
+								l.ReleaseWrite(wid)
+								continue
+							}
+							if inCS.Add(1) != 1 {
+								t.Error("two writers inside critical section")
+							}
+							counter++
+							inCS.Add(-1)
+							l.ReleaseWrite(wid)
+							break
+						}
+					}
+				}(wid)
+			}
+			wg.Wait()
+			if counter != workers*rounds {
+				t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*rounds)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Package lock implements the three per-record lock managers used by the
+// reproduction:
+//
+//   - LatchFree: Plor's latch-free locker (§4.2) — three 8-byte atomic
+//     words: the writer word w, the writer-waiter bitmap W, and the reader
+//     bitmap R whose most significant bit is the exclusive-mode signal
+//     (excl_sig). One bit per worker, at most 63 workers.
+//   - MutexLocker: the same Plor lock semantics guarded by a per-record
+//     mutex. This is the "Baseline Plor" configuration ablated in Fig. 11.
+//   - TwoPL: a classic two-phase-locking lock with shared/exclusive modes
+//     and NO_WAIT / WAIT_DIE / WOUND_WAIT conflict handling (§2.1).
+//
+// Lock methods never block the OS thread for long: waits spin briefly and
+// then yield to the Go scheduler, polling the caller's context word so that
+// wounded transactions notice their own death (the paper's PollOnce).
+package lock
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/txn"
+)
+
+// ErrKilled is returned from a wait loop when the waiting transaction was
+// wounded (its status bit flipped to aborted) by a conflicting transaction.
+var ErrKilled = errors.New("lock: transaction wounded")
+
+// ErrConflict is returned when the scheme resolves a conflict by aborting
+// the requester itself (NO_WAIT always; WAIT_DIE when the requester is
+// younger than an owner).
+var ErrConflict = errors.New("lock: conflict, requester must abort")
+
+// Req carries the requesting transaction's identity through lock calls.
+// It is built once per transaction attempt and reused for every lock.
+type Req struct {
+	Reg  *txn.Registry
+	Ctx  *txn.Ctx // the requester's own context
+	WID  uint16
+	Word uint64 // packed wid|ts|running word of this attempt
+	Prio uint64 // commit priority (== ts unless Plor-RT)
+
+	// BD, when non-nil, accrues blocked time into the execution-time
+	// breakdown (Fig. 12). Nil disables all timing on the hot path.
+	BD *stats.Breakdown
+}
+
+// widBit returns the bitmap bit for a worker. Worker IDs 1..63 map to bits
+// 0..62; bit 63 is reserved for excl_sig in reader bitmaps.
+func widBit(wid uint16) uint64 { return 1 << (wid - 1) }
+
+const exclSig = uint64(1) << 63
+
+// Breakdown categories charged by wait loops.
+const (
+	catRW = stats.ConflictRW
+	catWW = stats.ConflictWW
+)
+
+// spinner implements the wait policy used by every lock loop: a few busy
+// iterations, then cooperative yields. On the single-core machines this
+// reproduction targets, yielding immediately is essential — the lock
+// holder cannot run until the waiter gives up the processor.
+type spinner struct{ n int }
+
+func (s *spinner) spin() {
+	s.n++
+	if s.n < 4 {
+		return
+	}
+	runtime.Gosched()
+}
+
+// timedWait wraps a wait loop body with optional breakdown accounting.
+// body returns (done, err); timedWait loops until done or error.
+func timedWait(r *Req, cat stats.Category, body func() (bool, error)) error {
+	if r.BD == nil {
+		var sp spinner
+		for {
+			done, err := body()
+			if done || err != nil {
+				return err
+			}
+			sp.spin()
+		}
+	}
+	start := time.Now()
+	var sp spinner
+	for {
+		done, err := body()
+		if done || err != nil {
+			r.BD.Add(cat, time.Since(start))
+			return err
+		}
+		sp.spin()
+	}
+}

@@ -1,0 +1,176 @@
+package lock
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// MutexLocker implements the same Plor lock semantics as LatchFree, but
+// serializes every state change behind a per-record mutex. This is the
+// "Baseline Plor" configuration of the paper's factor analysis (Fig. 11):
+// the protocol is identical, only the lock primitive is heavier, which is
+// exactly the cost the latch-free locker removes.
+type MutexLocker struct {
+	mu      sync.Mutex
+	readers uint64 // bitmap of reader worker IDs
+	excl    bool   // exclusive mode (the excl_sig entry)
+	owner   uint64 // write owner's packed context word, 0 if free
+	waiters uint64 // bitmap of write waiters
+}
+
+var _ Locker = (*MutexLocker)(nil)
+
+// AcquireRead implements Locker.
+func (l *MutexLocker) AcquireRead(r *Req) error {
+	bit := widBit(r.WID)
+	return timedWait(r, catRW, func() (bool, error) {
+		l.mu.Lock()
+		if !l.excl {
+			l.readers |= bit
+			l.mu.Unlock()
+			return true, nil
+		}
+		owner := l.owner
+		l.mu.Unlock()
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		if owner != 0 && owner != r.Word && r.Prio < r.Reg.PriorityOf(owner) {
+			r.Reg.Ctx(txn.WID(owner)).Kill(owner)
+		}
+		return false, nil
+	})
+}
+
+// ReleaseRead implements Locker.
+func (l *MutexLocker) ReleaseRead(wid uint16) {
+	l.mu.Lock()
+	l.readers &^= widBit(wid)
+	l.mu.Unlock()
+}
+
+// ReaderCount implements Locker.
+func (l *MutexLocker) ReaderCount(exceptWID uint16) int {
+	l.mu.Lock()
+	m := l.readers
+	if exceptWID != 0 {
+		m &^= widBit(exceptWID)
+	}
+	l.mu.Unlock()
+	return bits.OnesCount64(m)
+}
+
+// AcquireWrite implements Locker.
+func (l *MutexLocker) AcquireWrite(r *Req) error {
+	bit := widBit(r.WID)
+	l.mu.Lock()
+	if l.owner == r.Word {
+		l.mu.Unlock()
+		return nil
+	}
+	l.waiters |= bit
+	l.mu.Unlock()
+
+	err := timedWait(r, catWW, func() (bool, error) {
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		l.mu.Lock()
+		if l.owner == 0 {
+			if l.oldestRunningWaiterLocked(r.Reg) == r.WID {
+				l.owner = r.Word
+				l.mu.Unlock()
+				return true, nil
+			}
+			l.mu.Unlock()
+			return false, nil
+		}
+		owner := l.owner
+		l.mu.Unlock()
+		if r.Prio < r.Reg.PriorityOf(owner) {
+			r.Reg.Ctx(txn.WID(owner)).Kill(owner)
+		}
+		return false, nil
+	})
+
+	l.mu.Lock()
+	l.waiters &^= bit
+	l.mu.Unlock()
+	return err
+}
+
+func (l *MutexLocker) oldestRunningWaiterLocked(reg *txn.Registry) uint16 {
+	m := l.waiters
+	best := uint16(0)
+	bestPrio := ^uint64(0)
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		wid := uint16(i + 1)
+		c := reg.Ctx(wid)
+		if c.Aborted() {
+			continue
+		}
+		if p := c.Priority(); p < bestPrio {
+			bestPrio, best = p, wid
+		}
+	}
+	return best
+}
+
+// ReleaseWrite implements Locker.
+func (l *MutexLocker) ReleaseWrite(wid uint16) {
+	l.mu.Lock()
+	l.excl = false
+	l.owner = 0
+	l.mu.Unlock()
+}
+
+// MakeExclusive implements Locker.
+func (l *MutexLocker) MakeExclusive(r *Req) error {
+	myBit := widBit(r.WID)
+	l.mu.Lock()
+	l.excl = true
+	l.mu.Unlock()
+
+	killed := uint64(0)
+	return timedWait(r, catRW, func() (bool, error) {
+		l.mu.Lock()
+		m := l.readers &^ myBit
+		l.mu.Unlock()
+		if m == 0 {
+			return true, nil
+		}
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		for mm := m &^ killed; mm != 0; {
+			i := bits.TrailingZeros64(mm)
+			mm &= mm - 1
+			wid := uint16(i + 1)
+			c := r.Reg.Ctx(wid)
+			w := c.Load()
+			if r.Prio < r.Reg.PriorityOf(w) {
+				c.Kill(w)
+				killed |= uint64(1) << i
+			}
+		}
+		return false, nil
+	})
+}
+
+// OwnerWord returns the current write owner's word (for tests).
+func (l *MutexLocker) OwnerWord() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.owner
+}
+
+// ExclSet reports whether exclusive mode is on (for tests).
+func (l *MutexLocker) ExclSet() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.excl
+}

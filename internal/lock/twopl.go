@@ -1,0 +1,241 @@
+package lock
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// Scheme selects the deadlock-avoidance policy of a TwoPL lock (§2.1).
+type Scheme int
+
+const (
+	// NoWait aborts the requester whenever a conflicting lock is held.
+	NoWait Scheme = iota
+	// WaitDie lets the requester wait only if it is older than every
+	// current owner; otherwise the requester dies (aborts).
+	WaitDie
+	// WoundWait wounds (kills) every younger owner and then waits.
+	WoundWait
+)
+
+// String returns the scheme's conventional name.
+func (s Scheme) String() string {
+	switch s {
+	case NoWait:
+		return "NO_WAIT"
+	case WaitDie:
+		return "WAIT_DIE"
+	case WoundWait:
+		return "WOUND_WAIT"
+	}
+	return "UNKNOWN"
+}
+
+// TwoPL is a classic shared/exclusive record lock with owner tracking and
+// scheme-dependent conflict resolution. All state is guarded by a mutex —
+// deliberately so: the paper's §2.3.1 attributes part of 2PL's throughput
+// gap to exactly this locking overhead.
+//
+// Owner timestamps are read from the context registry: while a worker's bit
+// is set in an owner bitmap it is still executing the transaction that took
+// the lock (locks are released before a transaction ends), so its current
+// registry word identifies the owning transaction.
+type TwoPL struct {
+	mu      sync.Mutex
+	readers uint64 // bitmap of shared owners
+	writer  uint16 // worker ID of the exclusive owner (0 = none)
+	waiters uint64 // bitmap of waiting workers (both modes)
+}
+
+// Mode is the requested lock mode.
+type Mode int
+
+const (
+	// Shared is a read lock.
+	Shared Mode = iota
+	// Exclusive is a write lock.
+	Exclusive
+)
+
+// Acquire obtains the lock in the given mode under the given scheme.
+// It returns nil on success, ErrConflict if the scheme says the requester
+// must abort, or ErrKilled if the requester was wounded while waiting.
+func (l *TwoPL) Acquire(r *Req, mode Mode, scheme Scheme) error {
+	bit := widBit(r.WID)
+
+	l.mu.Lock()
+	// Fresh requests may take a compatible lock immediately — except under
+	// WOUND_WAIT, where a waiting (older) transaction blocks later
+	// requests: the queue is drained oldest-first with no barging. This is
+	// exactly the behaviour §6.2.1 contrasts against WAIT_DIE, whose
+	// compatible fresh readers bypass write waiters. Without the no-barge
+	// rule an old writer livelocks behind an endless stream of readers it
+	// keeps wounding.
+	if l.compatibleLocked(r.WID, bit, mode) &&
+		(scheme != WoundWait || l.preferredWaiterLocked(r, scheme, mode)) {
+		l.grantLocked(r.WID, bit, mode)
+		l.mu.Unlock()
+		return nil
+	}
+	// Conflict. NO_WAIT resolves immediately.
+	if scheme == NoWait {
+		l.mu.Unlock()
+		return ErrConflict
+	}
+	if scheme == WaitDie && !l.olderThanAllOwnersLocked(r, bit) {
+		l.mu.Unlock()
+		return ErrConflict // DIE
+	}
+	if scheme == WoundWait {
+		l.woundYoungerOwnersLocked(r, bit, mode)
+	}
+	l.waiters |= bit
+	l.mu.Unlock()
+
+	cat := catWW
+	if mode == Shared {
+		cat = catRW
+	}
+	err := timedWait(r, cat, func() (bool, error) {
+		if r.Ctx.Aborted() {
+			return false, ErrKilled
+		}
+		l.mu.Lock()
+		if l.compatibleLocked(r.WID, bit, mode) && l.preferredWaiterLocked(r, scheme, mode) {
+			l.grantLocked(r.WID, bit, mode)
+			l.waiters &^= bit
+			l.mu.Unlock()
+			return true, nil
+		}
+		if scheme == WaitDie && !l.olderThanAllOwnersLocked(r, bit) {
+			l.waiters &^= bit
+			l.mu.Unlock()
+			return false, ErrConflict // an older owner appeared: die
+		}
+		if scheme == WoundWait {
+			l.woundYoungerOwnersLocked(r, bit, mode)
+		}
+		l.mu.Unlock()
+		return false, nil
+	})
+	if err != nil {
+		l.mu.Lock()
+		l.waiters &^= bit
+		l.mu.Unlock()
+	}
+	return err
+}
+
+// compatibleLocked reports whether wid may take the lock in mode right now.
+func (l *TwoPL) compatibleLocked(wid uint16, bit uint64, mode Mode) bool {
+	switch mode {
+	case Shared:
+		return l.writer == 0 || l.writer == wid
+	default: // Exclusive
+		othersRead := l.readers &^ bit
+		return (l.writer == 0 || l.writer == wid) && othersRead == 0
+	}
+}
+
+// grantLocked records ownership. Upgrades drop the shared bit.
+func (l *TwoPL) grantLocked(wid uint16, bit uint64, mode Mode) {
+	if mode == Shared {
+		l.readers |= bit
+		return
+	}
+	l.writer = wid
+	l.readers &^= bit // an upgrade subsumes the shared lock
+}
+
+// olderThanAllOwnersLocked implements the WAIT_DIE eligibility test.
+func (l *TwoPL) olderThanAllOwnersLocked(r *Req, bit uint64) bool {
+	if l.writer != 0 && l.writer != r.WID {
+		if r.Reg.Ctx(l.writer).Priority() <= r.Prio {
+			return false
+		}
+	}
+	for m := l.readers &^ bit; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		if r.Reg.Ctx(uint16(i+1)).Priority() <= r.Prio {
+			return false
+		}
+	}
+	return true
+}
+
+// woundYoungerOwnersLocked kills every INCOMPATIBLE owner whose priority is
+// younger (numerically larger) than the requester's: a shared request only
+// conflicts with the writer; an exclusive request conflicts with everyone.
+func (l *TwoPL) woundYoungerOwnersLocked(r *Req, bit uint64, mode Mode) {
+	kill := func(wid uint16) {
+		c := r.Reg.Ctx(wid)
+		w := c.Load()
+		if !txn.IsAborted(w) && r.Prio < r.Reg.PriorityOf(w) {
+			c.Kill(w)
+		}
+	}
+	if l.writer != 0 && l.writer != r.WID {
+		kill(l.writer)
+	}
+	if mode == Exclusive {
+		for m := l.readers &^ bit; m != 0; {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			kill(uint16(i + 1))
+		}
+	}
+}
+
+// preferredWaiterLocked enforces the grant order the paper analyses in
+// §2.3.2: WOUND_WAIT grants the lock to the oldest waiting transaction,
+// WAIT_DIE to the newest (largest timestamp) waiter. A waiter only takes a
+// free lock when it is the preferred one, so the queue policy emerges from
+// self-election. Shared requests are exempt from blocking on other shared
+// waiters.
+func (l *TwoPL) preferredWaiterLocked(r *Req, scheme Scheme, mode Mode) bool {
+	if scheme == NoWait {
+		return true
+	}
+	m := l.waiters &^ widBit(r.WID)
+	if m == 0 {
+		return true
+	}
+	best := r.Prio
+	for mm := m; mm != 0; {
+		i := bits.TrailingZeros64(mm)
+		mm &= mm - 1
+		c := r.Reg.Ctx(uint16(i + 1))
+		if c.Aborted() {
+			continue
+		}
+		p := c.Priority()
+		if scheme == WoundWait && p < best {
+			return false // an older waiter has precedence
+		}
+		if scheme == WaitDie && p > best {
+			return false // a newer waiter has precedence
+		}
+	}
+	return true
+}
+
+// Release drops wid's ownership in the given mode.
+func (l *TwoPL) Release(wid uint16, mode Mode) {
+	l.mu.Lock()
+	if mode == Shared {
+		l.readers &^= widBit(wid)
+	} else if l.writer == wid {
+		l.writer = 0
+	}
+	l.mu.Unlock()
+}
+
+// HeldBy reports wid's current ownership (for tests).
+func (l *TwoPL) HeldBy(wid uint16) (shared, exclusive bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readers&widBit(wid) != 0, l.writer == wid
+}

@@ -1,0 +1,258 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+func TestSchemeString(t *testing.T) {
+	if NoWait.String() != "NO_WAIT" || WaitDie.String() != "WAIT_DIE" ||
+		WoundWait.String() != "WOUND_WAIT" || Scheme(9).String() != "UNKNOWN" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestTwoPLSharedCompatible(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	r1 := newReq(reg, 1, 10)
+	r2 := newReq(reg, 2, 20)
+	if err := l.Acquire(r1, Shared, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(r2, Shared, NoWait); err != nil {
+		t.Fatal("shared locks must be compatible:", err)
+	}
+	s, e := l.HeldBy(1)
+	if !s || e {
+		t.Fatal("wid 1 should hold shared only")
+	}
+	l.Release(1, Shared)
+	l.Release(2, Shared)
+}
+
+func TestTwoPLNoWaitConflicts(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	w := newReq(reg, 1, 10)
+	if err := l.Acquire(w, Exclusive, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	r := newReq(reg, 2, 20)
+	if err := l.Acquire(r, Shared, NoWait); !errors.Is(err, ErrConflict) {
+		t.Fatalf("read vs writer under NO_WAIT: err = %v, want ErrConflict", err)
+	}
+	if err := l.Acquire(r, Exclusive, NoWait); !errors.Is(err, ErrConflict) {
+		t.Fatalf("write vs writer under NO_WAIT: err = %v, want ErrConflict", err)
+	}
+	l.Release(1, Exclusive)
+	// After release both succeed.
+	if err := l.Acquire(r, Exclusive, NoWait); err != nil {
+		t.Fatal(err)
+	}
+	l.Release(2, Exclusive)
+}
+
+func TestTwoPLWaitDieYoungerDies(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	old := newReq(reg, 1, 5)
+	if err := l.Acquire(old, Exclusive, WaitDie); err != nil {
+		t.Fatal(err)
+	}
+	young := newReq(reg, 2, 50)
+	if err := l.Acquire(young, Exclusive, WaitDie); !errors.Is(err, ErrConflict) {
+		t.Fatalf("younger requester must die, got %v", err)
+	}
+	l.Release(1, Exclusive)
+}
+
+func TestTwoPLWaitDieOlderWaits(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	young := newReq(reg, 1, 50)
+	if err := l.Acquire(young, Exclusive, WaitDie); err != nil {
+		t.Fatal(err)
+	}
+	old := newReq(reg, 2, 5)
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(old, Exclusive, WaitDie) }()
+	select {
+	case err := <-done:
+		t.Fatalf("older requester should wait, got %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if reg.Ctx(1).Aborted() {
+		t.Fatal("WAIT_DIE must never wound the owner")
+	}
+	l.Release(1, Exclusive)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release(2, Exclusive)
+}
+
+func TestTwoPLWoundWaitKillsYoungerOwner(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	young := newReq(reg, 1, 50)
+	if err := l.Acquire(young, Exclusive, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	old := newReq(reg, 2, 5)
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(old, Exclusive, WoundWait) }()
+	deadline := time.After(2 * time.Second)
+	for !reg.Ctx(1).Aborted() {
+		select {
+		case <-deadline:
+			t.Fatal("younger owner never wounded")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Release(1, Exclusive) // wounded owner aborts and releases
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release(2, Exclusive)
+}
+
+func TestTwoPLWoundWaitSharedOwnersSurviveOlderReader(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	r1 := newReq(reg, 1, 50)
+	if err := l.Acquire(r1, Shared, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	// An older shared requester is compatible: no wounds.
+	r2 := newReq(reg, 2, 5)
+	if err := l.Acquire(r2, Shared, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Ctx(1).Aborted() {
+		t.Fatal("compatible shared request must not wound")
+	}
+	l.Release(1, Shared)
+	l.Release(2, Shared)
+}
+
+func TestTwoPLUpgrade(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	r := newReq(reg, 1, 10)
+	if err := l.Acquire(r, Shared, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade with no other readers succeeds immediately.
+	if err := l.Acquire(r, Exclusive, WoundWait); err != nil {
+		t.Fatal("upgrade failed:", err)
+	}
+	s, e := l.HeldBy(1)
+	if s || !e {
+		t.Fatalf("after upgrade: shared=%v exclusive=%v, want exclusive only", s, e)
+	}
+	l.Release(1, Exclusive)
+}
+
+func TestTwoPLUpgradeConflictWoundsYoungerReader(t *testing.T) {
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	older := newReq(reg, 1, 5)
+	younger := newReq(reg, 2, 50)
+	if err := l.Acquire(older, Shared, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(younger, Shared, WoundWait); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(older, Exclusive, WoundWait) }()
+	deadline := time.After(2 * time.Second)
+	for !reg.Ctx(2).Aborted() {
+		select {
+		case <-deadline:
+			t.Fatal("younger reader never wounded during upgrade")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Release(2, Shared)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release(1, Exclusive)
+}
+
+func TestTwoPLWaitDieFreshReaderBypassesWaiters(t *testing.T) {
+	// The paper's §6.2.1 TPC-C anecdote: under WAIT_DIE, while a writer
+	// waits, a fresh compatible shared request still succeeds.
+	reg := txn.NewRegistry(4)
+	var l TwoPL
+	reader := newReq(reg, 1, 10)
+	if err := l.Acquire(reader, Shared, WaitDie); err != nil {
+		t.Fatal(err)
+	}
+	writer := newReq(reg, 2, 5) // older: allowed to wait
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(writer, Exclusive, WaitDie) }()
+	time.Sleep(20 * time.Millisecond)
+	fresh := newReq(reg, 3, 20)
+	if err := l.Acquire(fresh, Shared, WaitDie); err != nil {
+		t.Fatalf("fresh shared request should bypass write waiter: %v", err)
+	}
+	l.Release(3, Shared)
+	l.Release(1, Shared)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release(2, Exclusive)
+}
+
+func TestTwoPLStressMutualExclusion(t *testing.T) {
+	for _, scheme := range []Scheme{NoWait, WaitDie, WoundWait} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const workers, rounds = 8, 200
+			reg := txn.NewRegistry(workers)
+			var l TwoPL
+			var counter int64
+			var inCS atomic.Int64
+			var wg sync.WaitGroup
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						ts := reg.NextTS()
+						for {
+							r := newReq(reg, wid, ts)
+							if err := l.Acquire(r, Exclusive, scheme); err != nil {
+								continue // abort, retry with same ts
+							}
+							if r.Ctx.Aborted() {
+								l.Release(wid, Exclusive)
+								continue
+							}
+							if inCS.Add(1) != 1 {
+								t.Error("mutual exclusion violated")
+							}
+							counter++
+							inCS.Add(-1)
+							l.Release(wid, Exclusive)
+							break
+						}
+					}
+				}(wid)
+			}
+			wg.Wait()
+			if counter != workers*rounds {
+				t.Fatalf("counter = %d, want %d", counter, workers*rounds)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/stats"
+)
+
+// Transport carries one session's request/response stream. Call must not
+// be invoked concurrently; responses alias transport-owned memory valid
+// until the next Call.
+type Transport interface {
+	Call(req *Request, resp *Response) error
+	Close() error
+}
+
+// Client-side abort errors.
+var (
+	errRemoteAbort = fmt.Errorf("%w: aborted by storage engine", cc.ErrAborted)
+	errRemoteError = errors.New("rpc: remote error")
+)
+
+// ClientWorker drives transactions over a transport. It implements
+// cc.Worker, and the cc.Tx it passes to procedures issues one RPC per
+// record operation — the interactive processing model of §5.
+type ClientWorker struct {
+	tr     Transport
+	tables []*cc.Table
+	wid    uint16
+	arena  *cc.Arena
+	req    Request
+	resp   Response
+	dead   bool // current transaction already ended server-side
+	bd     *stats.Breakdown
+}
+
+// NewClientWorker builds a worker over an established transport. tables
+// must mirror the server's creation order (IDs index into it).
+func NewClientWorker(tr Transport, tables []*cc.Table, wid uint16) *ClientWorker {
+	return &ClientWorker{tr: tr, tables: tables, wid: wid, arena: cc.NewArena(64 << 10)}
+}
+
+// Attempt implements cc.Worker.
+func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
+	c.arena.Reset()
+	c.dead = false
+	c.req = Request{Op: OpBegin, First: first, RO: opts.ReadOnly, Hint: uint32(opts.ResourceHint)}
+	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+		return err
+	}
+	if c.resp.Status != StatusOK {
+		return errRemoteError
+	}
+	if err := proc(c); err != nil {
+		if c.dead {
+			// The failing operation's response already ended the
+			// transaction server-side; nothing to send.
+			if c.bd != nil {
+				c.bd.Aborts++
+			}
+			return err
+		}
+		// Client-side logic error: request a rollback.
+		c.req = Request{Op: OpAbort}
+		if terr := c.tr.Call(&c.req, &c.resp); terr != nil {
+			return terr
+		}
+		if c.bd != nil {
+			c.bd.Aborts++
+		}
+		return err
+	}
+	c.req = Request{Op: OpCommit}
+	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+		return err
+	}
+	switch c.resp.Status {
+	case StatusOK:
+		if c.bd != nil {
+			c.bd.Commits++
+		}
+		return nil
+	case StatusAborted:
+		if c.bd != nil {
+			c.bd.Aborts++
+		}
+		return errRemoteAbort
+	default:
+		return errRemoteError
+	}
+}
+
+// Breakdown implements cc.Worker.
+func (c *ClientWorker) Breakdown() *stats.Breakdown { return c.bd }
+
+// call performs one data operation RPC and normalizes the status.
+func (c *ClientWorker) call() ([]byte, error) {
+	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+		return nil, err
+	}
+	switch c.resp.Status {
+	case StatusOK:
+		return c.resp.Val, nil
+	case StatusNotFound:
+		return nil, cc.ErrNotFound
+	case StatusDuplicate:
+		return nil, cc.ErrDuplicate
+	case StatusAborted:
+		c.dead = true
+		return nil, errRemoteAbort
+	default:
+		c.dead = true
+		return nil, errRemoteError
+	}
+}
+
+// Read implements cc.Tx.
+func (c *ClientWorker) Read(t *cc.Table, key uint64) ([]byte, error) {
+	c.req = Request{Op: OpRead, Table: t.ID, Key: key}
+	v, err := c.call()
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// ReadForUpdate implements cc.Tx.
+func (c *ClientWorker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
+	c.req = Request{Op: OpReadForUpdate, Table: t.ID, Key: key}
+	v, err := c.call()
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// Update implements cc.Tx.
+func (c *ClientWorker) Update(t *cc.Table, key uint64, val []byte) error {
+	c.req = Request{Op: OpUpdate, Table: t.ID, Key: key, Val: val}
+	_, err := c.call()
+	return err
+}
+
+// Insert implements cc.Tx.
+func (c *ClientWorker) Insert(t *cc.Table, key uint64, val []byte) error {
+	c.req = Request{Op: OpInsert, Table: t.ID, Key: key, Val: val}
+	_, err := c.call()
+	return err
+}
+
+// Delete implements cc.Tx.
+func (c *ClientWorker) Delete(t *cc.Table, key uint64) error {
+	c.req = Request{Op: OpDelete, Table: t.ID, Key: key}
+	_, err := c.call()
+	return err
+}
+
+// ReadRC implements cc.Tx.
+func (c *ClientWorker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
+	c.req = Request{Op: OpReadRC, Table: t.ID, Key: key}
+	v, err := c.call()
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// ScanRC implements cc.Tx: the server returns the batch, the callback runs
+// client-side.
+func (c *ClientWorker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	c.req = Request{Op: OpScanRC, Table: t.ID, Key: from, Key2: to, Limit: MaxScanRows}
+	if _, err := c.call(); err != nil {
+		return err
+	}
+	for _, row := range c.resp.Rows {
+		if !fn(row.Key, row.Val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WID implements cc.Tx.
+func (c *ClientWorker) WID() uint16 { return c.wid }
+
+// --- channel transport (simulated network) ---
+
+// ChanTransport is an in-process transport: the server session runs in its
+// own goroutine; Call injects a busy-wait round-trip latency, modelling the
+// paper's eRPC-over-InfiniBand setup at microsecond fidelity (sleeping
+// would quantize to the scheduler tick).
+type ChanTransport struct {
+	rtt    time.Duration
+	reqCh  chan *Request
+	respCh chan *Response
+	done   chan struct{}
+	reqBuf Request
+}
+
+// NewChanTransport starts a session over engine e bound to worker wid and
+// returns the client's transport. rtt is the modelled per-call round trip.
+func NewChanTransport(e cc.Engine, db *cc.DB, wid uint16, rtt time.Duration) *ChanTransport {
+	t := &ChanTransport{
+		rtt:    rtt,
+		reqCh:  make(chan *Request),
+		respCh: make(chan *Response),
+		done:   make(chan struct{}),
+	}
+	sess := NewSession(e, db, wid)
+	go func() {
+		defer close(t.done)
+		_ = sess.Serve(
+			func(req *Request) error {
+				r, ok := <-t.reqCh
+				if !ok {
+					return errTransportClosed
+				}
+				*req = *r
+				return nil
+			},
+			func(resp *Response) error {
+				t.respCh <- resp
+				return nil
+			},
+		)
+	}()
+	return t
+}
+
+var errTransportClosed = errors.New("rpc: transport closed")
+
+// Call implements Transport.
+func (t *ChanTransport) Call(req *Request, resp *Response) error {
+	if t.rtt > 0 {
+		spinFor(t.rtt)
+	}
+	t.reqBuf = *req
+	select {
+	case t.reqCh <- &t.reqBuf:
+	case <-t.done:
+		return errTransportClosed
+	}
+	select {
+	case r := <-t.respCh:
+		*resp = *r
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	close(t.reqCh)
+	<-t.done
+	return nil
+}
+
+// spinFor busy-waits d (see wal.SimDevice for rationale).
+func spinFor(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// --- TCP transport ---
+
+// TCPTransport dials a Server over TCP.
+type TCPTransport struct {
+	conn net.Conn
+	fr   *framer
+}
+
+// DialTCP connects to a server at addr.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn, fr: newFramer(conn)}, nil
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(req *Request, resp *Response) error {
+	if err := t.fr.writeRequest(req); err != nil {
+		return err
+	}
+	return t.fr.readResponse(resp)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error { return t.conn.Close() }

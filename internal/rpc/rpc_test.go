@@ -1,0 +1,352 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func decode(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func newServerDB(e cc.Engine, workers int) (*cc.DB, *cc.Table) {
+	db := cc.NewDB(workers, e.TableOpts())
+	tbl := db.CreateTable("t", 8, cc.OrderedIndex, 256)
+	for k := uint64(0); k < 100; k++ {
+		db.LoadRecord(tbl, k, u64(k))
+	}
+	return db, tbl
+}
+
+func runClientTxn(w cc.Worker, proc cc.Proc, opts cc.AttemptOpts) error {
+	first := true
+	for {
+		err := w.Attempt(proc, first, opts)
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+		first = false
+		runtime.Gosched()
+	}
+}
+
+func TestRequestResponseCodecs(t *testing.T) {
+	f := func(op byte, table uint32, key, key2 uint64, limit, hint uint32, first, ro, last bool, val []byte) bool {
+		req := Request{
+			Op: OpCode(op), Table: table, Key: key, Key2: key2,
+			Limit: limit, Hint: hint, First: first, RO: ro, Last: last, Val: val,
+		}
+		buf := appendRequest(nil, &req)
+		var got Request
+		if err := decodeRequest(buf[4:], &got); err != nil {
+			return false
+		}
+		return got.Op == req.Op && got.Table == req.Table && got.Key == req.Key &&
+			got.Key2 == req.Key2 && got.Limit == req.Limit && got.Hint == req.Hint &&
+			got.First == req.First && got.RO == req.RO && got.Last == req.Last &&
+			string(got.Val) == string(req.Val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseCodecWithRows(t *testing.T) {
+	resp := Response{
+		Status: StatusOK,
+		Val:    []byte("hello"),
+		Rows: []ScanRow{
+			{Key: 1, Val: []byte("a")},
+			{Key: 99, Val: []byte("bcd")},
+			{Key: 3, Val: nil},
+		},
+	}
+	buf := appendResponse(nil, &resp)
+	var got Response
+	if err := decodeResponse(buf[4:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK || string(got.Val) != "hello" || len(got.Rows) != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Rows[1].Key != 99 || string(got.Rows[1].Val) != "bcd" {
+		t.Fatalf("row 1 = %+v", got.Rows[1])
+	}
+}
+
+func TestDecodeTruncatedFrames(t *testing.T) {
+	var req Request
+	if err := decodeRequest([]byte{1, 2, 3}, &req); err == nil {
+		t.Fatal("short request should error")
+	}
+	full := appendRequest(nil, &Request{Op: OpRead, Val: []byte("xyz")})
+	if err := decodeRequest(full[4:len(full)-2], &req); err == nil {
+		t.Fatal("truncated value should error")
+	}
+	var resp Response
+	if err := decodeResponse([]byte{0}, &resp); err == nil {
+		t.Fatal("short response should error")
+	}
+}
+
+// eachTransport runs fn under both a channel transport and a TCP transport,
+// each against its own fresh server database.
+func eachTransport(t *testing.T, e cc.Engine, workers int,
+	fn func(t *testing.T, mk func(wid uint16) (Transport, []*cc.Table))) {
+	t.Run("chan", func(t *testing.T) {
+		db, _ := newServerDB(e, workers)
+		fn(t, func(wid uint16) (Transport, []*cc.Table) {
+			return NewChanTransport(e, db, wid, 0), db.Tables()
+		})
+	})
+	t.Run("tcp", func(t *testing.T) {
+		db, _ := newServerDB(e, workers)
+		srv := NewServer(e, db)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		fn(t, func(wid uint16) (Transport, []*cc.Table) {
+			tr, err := DialTCP(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr, db.Tables()
+		})
+	})
+}
+
+func TestInteractiveCRUD(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 4, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		tr, tables := mk(1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, 1)
+		tbl := tables[0]
+
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 5)
+			if err != nil {
+				return err
+			}
+			if decode(v) != 5 {
+				return fmt.Errorf("read = %d, want 5", decode(v))
+			}
+			if err := tx.Update(tbl, 5, u64(500)); err != nil {
+				return err
+			}
+			v, err = tx.Read(tbl, 5) // read-your-writes across RPC
+			if err != nil {
+				return err
+			}
+			if decode(v) != 500 {
+				return fmt.Errorf("RYW = %d, want 500", decode(v))
+			}
+			if err := tx.Insert(tbl, 1000, u64(1)); err != nil {
+				return err
+			}
+			if err := tx.Insert(tbl, 1000, u64(2)); !errors.Is(err, cc.ErrDuplicate) {
+				return fmt.Errorf("dup insert: %v", err)
+			}
+			if _, err := tx.Read(tbl, 9999); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("missing key: %v", err)
+			}
+			return tx.Delete(tbl, 6)
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify in a second transaction.
+		err = runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 5)
+			if err != nil || decode(v) != 500 {
+				return fmt.Errorf("update lost: %v %v", v, err)
+			}
+			if _, err := tx.Read(tbl, 6); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("delete lost: %v", err)
+			}
+			v, err = tx.ReadRC(tbl, 1000)
+			if err != nil || decode(v) != 1 {
+				return fmt.Errorf("insert lost: %v %v", v, err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInteractiveScan(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 2, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		tr, tables := mk(1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, 1)
+		tbl := tables[0]
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			var keys []uint64
+			var sum uint64
+			err := tx.ScanRC(tbl, 10, 19, func(k uint64, v []byte) bool {
+				keys = append(keys, k)
+				sum += decode(v)
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if len(keys) != 10 || keys[0] != 10 || keys[9] != 19 || sum != 145 {
+				return fmt.Errorf("scan keys=%v sum=%d", keys, sum)
+			}
+			// Early stop client-side.
+			n := 0
+			if err := tx.ScanRC(tbl, 0, 99, func(uint64, []byte) bool {
+				n++
+				return n < 3
+			}); err != nil {
+				return err
+			}
+			if n != 3 {
+				return fmt.Errorf("early stop visited %d", n)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInteractiveClientAbortRollsBack(t *testing.T) {
+	e := core.New(core.Options{})
+	errBoom := errors.New("boom")
+	eachTransport(t, e, 2, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		tr, tables := mk(1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, 1)
+		tbl := tables[0]
+		err := w.Attempt(func(tx cc.Tx) error {
+			if err := tx.Update(tbl, 7, u64(777)); err != nil {
+				return err
+			}
+			return errBoom
+		}, true, cc.AttemptOpts{})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("attempt err = %v", err)
+		}
+		err = runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 7)
+			if err != nil {
+				return err
+			}
+			if decode(v) != 7 {
+				return fmt.Errorf("client abort not rolled back: %d", decode(v))
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestInteractiveConcurrentCounter exercises conflicts across sessions:
+// increments from multiple interactive clients must not lose updates, and
+// retried transactions must keep working across the abort protocol.
+func TestInteractiveConcurrentCounter(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 6, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		const clients, per = 4, 40
+		var wg sync.WaitGroup
+		for c := uint16(1); c <= clients; c++ {
+			tr, tables := mk(c)
+			wg.Add(1)
+			go func(tr Transport, tables []*cc.Table, wid uint16) {
+				defer wg.Done()
+				defer tr.Close()
+				w := NewClientWorker(tr, tables, wid)
+				tbl := tables[0]
+				for i := 0; i < per; i++ {
+					err := runClientTxn(w, func(tx cc.Tx) error {
+						v, err := tx.ReadForUpdate(tbl, 0)
+						if err != nil {
+							return err
+						}
+						return tx.Update(tbl, 0, u64(decode(v)+1))
+					}, cc.AttemptOpts{ResourceHint: 1})
+					if err != nil {
+						t.Errorf("client %d: %v", wid, err)
+						return
+					}
+				}
+			}(tr, tables, c)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		tr, tables := mk(clients + 1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, clients+1)
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tables[0], 0)
+			if err != nil {
+				return err
+			}
+			if decode(v) != clients*per {
+				return fmt.Errorf("counter = %d, want %d", decode(v), clients*per)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestChanTransportLatencyInjection(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 2)
+	tr := NewChanTransport(e, db, 1, 200*time.Microsecond)
+	defer tr.Close()
+	w := NewClientWorker(tr, db.Tables(), 1)
+	start := time.Now()
+	if err := runClientTxn(w, func(tx cc.Tx) error {
+		_, err := tx.Read(db.Tables()[0], 1)
+		return err
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Begin + Read + Commit = 3 calls ≥ 600 µs of injected latency.
+	if el := time.Since(start); el < 600*time.Microsecond {
+		t.Fatalf("elapsed %v, want ≥ 600µs of injected RTT", el)
+	}
+}
+
+func TestServerRejectsNonBeginFirst(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 2)
+	tr := NewChanTransport(e, db, 1, 0)
+	defer tr.Close()
+	var resp Response
+	if err := tr.Call(&Request{Op: OpRead, Key: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError {
+		t.Fatalf("status = %d, want StatusError", resp.Status)
+	}
+}

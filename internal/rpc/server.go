@@ -1,0 +1,316 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/cc"
+)
+
+// errClientAbort signals a client-requested rollback inside a session proc.
+var errClientAbort = errors.New("rpc: client abort")
+
+// errReported ends a transaction whose terminal status was already sent in
+// the failing operation's response — Serve owes the client nothing more.
+var errReported = errors.New("rpc: terminal status already reported")
+
+// Session executes one client's transactions against a server-side worker.
+// It is driven by recv/send callbacks so the same state machine serves the
+// channel and TCP transports.
+type Session struct {
+	db     *cc.DB
+	worker cc.Worker
+	tables []*cc.Table
+	rows   []ScanRow
+}
+
+// NewSession binds worker wid of engine e to a new session.
+func NewSession(e cc.Engine, db *cc.DB, wid uint16) *Session {
+	return &Session{
+		db:     db,
+		worker: e.NewWorker(db, wid, false),
+		tables: db.Tables(),
+		rows:   make([]ScanRow, 0, 256),
+	}
+}
+
+// Serve processes requests until recv fails (client gone). Protocol: each
+// request gets exactly one response. A transaction is bracketed by OpBegin
+// and OpCommit/OpAbort; the response to OpCommit carries the final
+// commit/abort status. An operation that aborts the transaction replies
+// StatusAborted and implicitly ends it.
+func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) error {
+	var req Request
+	var resp Response
+	for {
+		if err := recv(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if req.Op != OpBegin {
+			resp = Response{Status: StatusError}
+			if err := send(&resp); err != nil {
+				return err
+			}
+			continue
+		}
+		opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint)}
+		first := req.First
+
+		var commErr error
+		err := s.worker.Attempt(func(tx cc.Tx) error {
+			resp = Response{Status: StatusOK}
+			if commErr = send(&resp); commErr != nil {
+				return commErr
+			}
+			for {
+				if commErr = recv(&req); commErr != nil {
+					return commErr // connection lost: roll back
+				}
+				switch req.Op {
+				case OpCommit:
+					return nil
+				case OpAbort:
+					return errClientAbort
+				default:
+					abort := s.apply(tx, &req, &resp)
+					if commErr = send(&resp); commErr != nil {
+						return commErr
+					}
+					if abort != nil {
+						return abort
+					}
+				}
+			}
+		}, first, opts)
+
+		if commErr != nil {
+			return commErr // transport failed mid-transaction
+		}
+		switch {
+		case err == nil:
+			// Reply to the OpCommit that ended the proc.
+			resp = Response{Status: StatusOK}
+		case errors.Is(err, errReported):
+			// The terminal status went out on the failing operation's
+			// response; loop for the next Begin.
+			continue
+		case errors.Is(err, errClientAbort):
+			resp = Response{Status: StatusAborted} // acknowledged rollback
+		case cc.IsAborted(err):
+			resp = Response{Status: StatusAborted} // aborted at commit
+		default:
+			resp = Response{Status: StatusError}
+		}
+		if err := send(&resp); err != nil {
+			return err
+		}
+	}
+}
+
+// apply executes one data operation; non-nil return aborts the transaction.
+func (s *Session) apply(tx cc.Tx, req *Request, resp *Response) error {
+	if int(req.Table) >= len(s.tables) {
+		*resp = Response{Status: StatusError}
+		return nil
+	}
+	t := s.tables[req.Table]
+	var val []byte
+	var err error
+	switch req.Op {
+	case OpRead:
+		val, err = tx.Read(t, req.Key)
+	case OpReadForUpdate:
+		val, err = tx.ReadForUpdate(t, req.Key)
+	case OpUpdate:
+		err = tx.Update(t, req.Key, req.Val)
+	case OpInsert:
+		err = tx.Insert(t, req.Key, req.Val)
+	case OpDelete:
+		err = tx.Delete(t, req.Key)
+	case OpReadRC:
+		val, err = tx.ReadRC(t, req.Key)
+	case OpScanRC:
+		return s.applyScan(tx, t, req, resp)
+	default:
+		*resp = Response{Status: StatusError}
+		return nil
+	}
+	switch {
+	case err == nil:
+		*resp = Response{Status: StatusOK, Val: val}
+		return nil
+	case errors.Is(err, cc.ErrNotFound):
+		*resp = Response{Status: StatusNotFound}
+		return nil
+	case errors.Is(err, cc.ErrDuplicate):
+		*resp = Response{Status: StatusDuplicate}
+		return nil
+	case cc.IsAborted(err):
+		*resp = Response{Status: StatusAborted}
+		return errReported
+	default:
+		*resp = Response{Status: StatusError}
+		return errReported
+	}
+}
+
+func (s *Session) applyScan(tx cc.Tx, t *cc.Table, req *Request, resp *Response) error {
+	limit := int(req.Limit)
+	if limit <= 0 || limit > MaxScanRows {
+		limit = MaxScanRows
+	}
+	s.rows = s.rows[:0]
+	err := tx.ScanRC(t, req.Key, req.Key2, func(k uint64, v []byte) bool {
+		if req.Last {
+			// Keep only the most recent row.
+			if len(s.rows) == 0 {
+				s.rows = append(s.rows, ScanRow{})
+			}
+			row := &s.rows[0]
+			row.Key = k
+			row.Val = append(row.Val[:0], v...)
+			return true
+		}
+		s.rows = append(s.rows, ScanRow{Key: k, Val: append([]byte(nil), v...)})
+		return len(s.rows) < limit
+	})
+	if err != nil {
+		if cc.IsAborted(err) {
+			*resp = Response{Status: StatusAborted}
+		} else {
+			*resp = Response{Status: StatusError}
+		}
+		return errReported
+	}
+	*resp = Response{Status: StatusOK, Rows: s.rows}
+	return nil
+}
+
+// --- TCP server ---
+
+// Server accepts TCP connections, binding each to a session/worker slot.
+type Server struct {
+	Engine cc.Engine
+	DB     *cc.DB
+
+	mu      sync.Mutex
+	nextWID uint16
+	ln      net.Listener
+}
+
+// NewServer builds a TCP server over an engine and database.
+func NewServer(e cc.Engine, db *cc.DB) *Server {
+	return &Server{Engine: e, DB: db}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:7070"). It returns the
+// bound address (useful with port 0).
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.nextWID++
+		wid := s.nextWID
+		s.mu.Unlock()
+		if int(wid) > s.DB.Reg.Workers() {
+			conn.Close() // out of worker slots
+			continue
+		}
+		go s.handle(conn, wid)
+	}
+}
+
+func (s *Server) handle(conn net.Conn, wid uint16) {
+	defer conn.Close()
+	sess := NewSession(s.Engine, s.DB, wid)
+	fr := newFramer(conn)
+	_ = sess.Serve(
+		func(req *Request) error { return fr.readRequest(req) },
+		func(resp *Response) error { return fr.writeResponse(resp) },
+	)
+}
+
+// framer reads/writes length-prefixed frames on a net.Conn.
+type framer struct {
+	conn net.Conn
+	rbuf []byte
+	wbuf []byte
+}
+
+func newFramer(conn net.Conn) *framer {
+	return &framer{conn: conn, rbuf: make([]byte, 0, 4096), wbuf: make([]byte, 0, 4096)}
+}
+
+func (f *framer) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if n > 64<<20 {
+		return nil, fmt.Errorf("rpc: frame too large (%d)", n)
+	}
+	if cap(f.rbuf) < n {
+		f.rbuf = make([]byte, n)
+	}
+	buf := f.rbuf[:n]
+	if _, err := io.ReadFull(f.conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (f *framer) readRequest(req *Request) error {
+	b, err := f.readFrame()
+	if err != nil {
+		return err
+	}
+	return decodeRequest(b, req)
+}
+
+func (f *framer) readResponse(resp *Response) error {
+	b, err := f.readFrame()
+	if err != nil {
+		return err
+	}
+	return decodeResponse(b, resp)
+}
+
+func (f *framer) writeRequest(req *Request) error {
+	f.wbuf = appendRequest(f.wbuf[:0], req)
+	_, err := f.conn.Write(f.wbuf)
+	return err
+}
+
+func (f *framer) writeResponse(resp *Response) error {
+	f.wbuf = appendResponse(f.wbuf[:0], resp)
+	_, err := f.conn.Write(f.wbuf)
+	return err
+}

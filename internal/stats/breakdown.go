@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Category labels one slice of a worker's execution time, matching the
+// paper's Fig. 12 breakdown.
+type Category int
+
+const (
+	// Useful is transaction logic, index probes, and data movement.
+	Useful Category = iota
+	// Locking is CPU spent acquiring and releasing locks (not waiting).
+	Locking
+	// ConflictRW is time spent blocked on read-write conflicts.
+	ConflictRW
+	// ConflictWW is time spent blocked on write-write conflicts.
+	ConflictWW
+	// Backoff is time slept between an abort and the retry.
+	Backoff
+	// Other is everything else (harness, commit bookkeeping, logging).
+	Other
+
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	"useful", "locking", "rw-conflict", "ww-conflict", "backoff", "other",
+}
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if c < 0 || c >= numCategories {
+		return "invalid"
+	}
+	return categoryNames[c]
+}
+
+// Breakdown accumulates per-category execution time for one worker. It is
+// not synchronized: each worker owns one and the harness merges them.
+type Breakdown struct {
+	ns [numCategories]int64
+
+	// Abort accounting, used for the abort-ratio annotations in Fig. 12.
+	Commits uint64
+	Aborts  uint64
+}
+
+// Add charges d to category c.
+func (b *Breakdown) Add(c Category, d time.Duration) { b.ns[c] += int64(d) }
+
+// AddNS charges ns nanoseconds to category c.
+func (b *Breakdown) AddNS(c Category, ns int64) { b.ns[c] += ns }
+
+// NS returns the nanoseconds charged to category c.
+func (b *Breakdown) NS(c Category) int64 { return b.ns[c] }
+
+// Merge adds o's accounting into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for i := range b.ns {
+		b.ns[i] += o.ns[i]
+	}
+	b.Commits += o.Commits
+	b.Aborts += o.Aborts
+}
+
+// Reset clears all counters.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// Total returns the sum across categories.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b.ns {
+		t += v
+	}
+	return t
+}
+
+// AbortRatio returns aborts / (aborts + commits), the quantity printed above
+// each bar in the paper's Fig. 12.
+func (b *Breakdown) AbortRatio() float64 {
+	n := b.Aborts + b.Commits
+	if n == 0 {
+		return 0
+	}
+	return float64(b.Aborts) / float64(n)
+}
+
+// Fractions returns each category's share of total time, in category order.
+func (b *Breakdown) Fractions() [int(numCategories)]float64 {
+	var out [int(numCategories)]float64
+	t := b.Total()
+	if t == 0 {
+		return out
+	}
+	for i, v := range b.ns {
+		out[i] = float64(v) / float64(t)
+	}
+	return out
+}
+
+// String renders the breakdown as "cat=pp.p%" fields plus the abort ratio.
+func (b *Breakdown) String() string {
+	var s strings.Builder
+	fr := b.Fractions()
+	for i, f := range fr {
+		if i > 0 {
+			s.WriteByte(' ')
+		}
+		fmt.Fprintf(&s, "%s=%.1f%%", Category(i), f*100)
+	}
+	fmt.Fprintf(&s, " abort=%.1f%%", b.AbortRatio()*100)
+	return s.String()
+}

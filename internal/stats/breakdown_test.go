@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulate(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 3*time.Second)
+	b.Add(Locking, time.Second)
+	b.AddNS(ConflictWW, int64(time.Second))
+	if b.Total() != int64(5*time.Second) {
+		t.Fatalf("total = %d", b.Total())
+	}
+	fr := b.Fractions()
+	if math.Abs(fr[Useful]-0.6) > 1e-9 {
+		t.Fatalf("useful fraction = %f, want 0.6", fr[Useful])
+	}
+	if math.Abs(fr[Locking]-0.2) > 1e-9 || math.Abs(fr[ConflictWW]-0.2) > 1e-9 {
+		t.Fatalf("fractions wrong: %v", fr)
+	}
+}
+
+func TestBreakdownMergeAndAbortRatio(t *testing.T) {
+	a := Breakdown{Commits: 80, Aborts: 20}
+	b := Breakdown{Commits: 20, Aborts: 30}
+	a.Add(Backoff, time.Millisecond)
+	b.Add(Backoff, time.Millisecond)
+	a.Merge(&b)
+	if a.Commits != 100 || a.Aborts != 50 {
+		t.Fatalf("merge lost counts: %+v", a)
+	}
+	if got := a.AbortRatio(); math.Abs(got-50.0/150.0) > 1e-9 {
+		t.Fatalf("abort ratio = %f", got)
+	}
+	if a.NS(Backoff) != int64(2*time.Millisecond) {
+		t.Fatalf("backoff ns = %d", a.NS(Backoff))
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	var b Breakdown
+	if b.AbortRatio() != 0 {
+		t.Fatal("empty abort ratio should be 0")
+	}
+	fr := b.Fractions()
+	for _, f := range fr {
+		if f != 0 {
+			t.Fatal("empty fractions should be 0")
+		}
+	}
+}
+
+func TestBreakdownReset(t *testing.T) {
+	var b Breakdown
+	b.Add(Other, time.Second)
+	b.Commits = 5
+	b.Reset()
+	if b.Total() != 0 || b.Commits != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Useful.String() != "useful" || Backoff.String() != "backoff" {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() != "invalid" {
+		t.Fatal("out-of-range category should be invalid")
+	}
+	var b Breakdown
+	b.Add(Useful, time.Second)
+	b.Commits = 1
+	if s := b.String(); !strings.Contains(s, "useful=100.0%") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i) * 1000) // 0..999 us in ns
+	}
+	m := &Metrics{
+		Label:   "test",
+		Workers: 4,
+		Elapsed: 2 * time.Second,
+		Commits: 1000,
+		Aborts:  500,
+		Latency: h,
+	}
+	if got := m.Throughput(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("throughput = %f", got)
+	}
+	if got := m.AbortRatio(); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("abort ratio = %f", got)
+	}
+	if m.P999us() < 950 || m.P999us() > 1000 {
+		t.Fatalf("p999us = %f", m.P999us())
+	}
+	if !strings.Contains(m.Row(), "test") {
+		t.Fatal("row should contain label")
+	}
+	zero := &Metrics{Latency: NewHistogram()}
+	if zero.Throughput() != 0 || zero.AbortRatio() != 0 {
+		t.Fatal("zero metrics should report 0")
+	}
+}

@@ -1,0 +1,243 @@
+// Package stats provides the measurement machinery used by the benchmark
+// harness: log-bucketed latency histograms, execution-time breakdowns, and
+// throughput accounting.
+//
+// The histogram is a fixed-size, HDR-style structure: values are bucketed by
+// their binary magnitude with a fixed number of linear sub-buckets per
+// magnitude, bounding relative error while keeping Record allocation-free.
+// Each worker owns a private Histogram; the harness merges them after a run,
+// so recording requires no synchronization.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const (
+	// subBucketBits gives 64 linear sub-buckets per power of two,
+	// bounding the relative quantization error to about 1.6%.
+	subBucketBits  = 6
+	subBucketCount = 1 << subBucketBits
+	// magnitudes covers values up to 2^40 ns (~18 minutes), far beyond
+	// any transaction latency we measure.
+	magnitudes  = 41
+	bucketCount = magnitudes * subBucketCount
+)
+
+// Histogram records non-negative int64 values (nanoseconds by convention)
+// into logarithmic buckets. The zero value is ready to use.
+type Histogram struct {
+	counts [bucketCount]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: -1}
+}
+
+// bucketIndex maps a value to its bucket. Values < subBucketCount fall in
+// the first magnitude and are stored exactly.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBucketCount {
+		return int(v)
+	}
+	mag := bits.Len64(uint64(v)) - subBucketBits // ≥ 1
+	if mag >= magnitudes {
+		mag = magnitudes - 1
+		return mag*subBucketCount + subBucketCount - 1
+	}
+	sub := int(v>>uint(mag)) & (subBucketCount - 1)
+	return mag*subBucketCount + sub
+}
+
+// bucketLow returns the smallest value that maps to bucket i; used to
+// reconstruct representative values when reporting quantiles.
+func bucketLow(i int) int64 {
+	mag := i / subBucketCount
+	sub := int64(i % subBucketCount)
+	if mag == 0 {
+		return sub
+	}
+	// For mag ≥ 1 the sub-bucket value retains the leading bit of v>>mag,
+	// so shifting it back yields the bucket's lower bound.
+	return sub << uint(mag)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds all observations from o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.total > 0 {
+		if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: -1}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average of recorded values, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1). For the
+// extremes it returns the exact recorded Min/Max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P50, P99 and P999 are convenience accessors for the quantiles the paper
+// reports.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// CDFPoint is one (latency, cumulative fraction) sample of the distribution.
+type CDFPoint struct {
+	Value    int64   // latency in the recorded unit (ns)
+	Fraction float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the cumulative distribution over occupied buckets, suitable
+// for regenerating the paper's latency-distribution plots (Figs. 6b, 7b).
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, 64)
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		pts = append(pts, CDFPoint{Value: bucketLow(i), Fraction: float64(seen) / float64(h.total)})
+	}
+	return pts
+}
+
+// QuantileAt inverts the CDF: it returns the cumulative fraction of
+// observations ≤ v.
+func (h *Histogram) QuantileAt(v int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	idx := bucketIndex(v)
+	var seen uint64
+	for i := 0; i <= idx && i < bucketCount; i++ {
+		seen += h.counts[i]
+	}
+	return float64(seen) / float64(h.total)
+}
+
+// String summarizes the distribution for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d",
+		h.total, h.Mean(), h.P50(), h.P99(), h.P999(), h.max)
+}
+
+// MergeAll merges a set of per-worker histograms into one.
+func MergeAll(hs []*Histogram) *Histogram {
+	out := NewHistogram()
+	for _, h := range hs {
+		if h != nil {
+			out.Merge(h)
+		}
+	}
+	return out
+}
+
+// FormatCDF renders the CDF as "value_us fraction" lines starting at the
+// from quantile, mirroring the paper's log-scale CDF plots.
+func FormatCDF(h *Histogram, from float64) string {
+	var b strings.Builder
+	pts := h.CDF()
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Fraction >= from })
+	for ; i < len(pts); i++ {
+		fmt.Fprintf(&b, "%8.1f us  %.5f\n", float64(pts[i].Value)/1e3, pts[i].Fraction)
+	}
+	return b.String()
+}

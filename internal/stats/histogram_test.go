@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose lower bound does not exceed
+	// it, and the relative quantization error must stay under 2%.
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20, 1<<40 - 1} {
+		i := bucketIndex(v)
+		low := bucketLow(i)
+		if low > v {
+			t.Fatalf("bucketLow(%d)=%d exceeds value %d", i, low, v)
+		}
+		if v >= subBucketCount {
+			if err := float64(v-low) / float64(v); err > 0.02 {
+				t.Fatalf("value %d: bucket low %d, relative error %.3f", v, low, err)
+			}
+		} else if low != v {
+			t.Fatalf("small value %d should be exact, got %d", v, low)
+		}
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 0.01 {
+		t.Fatalf("mean = %f, want 500.5", got)
+	}
+	p50 := h.P50()
+	if p50 < 480 || p50 > 520 {
+		t.Fatalf("p50 = %d, want ~500", p50)
+	}
+	p999 := h.P999()
+	if p999 < 970 || p999 > 1000 {
+		t.Fatalf("p999 = %d, want ~999", p999)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative value should clamp to 0: %v", h)
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(7)
+	h.Record(70000)
+	if h.Quantile(0) != 7 {
+		t.Fatalf("q0 = %d, want exact min 7", h.Quantile(0))
+	}
+	if h.Quantile(1) != 70000 {
+		t.Fatalf("q1 = %d, want exact max 70000", h.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(int64(i))
+		b.Record(int64(i + 1000))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	// Merging an empty histogram must not disturb min.
+	a.Merge(NewHistogram())
+	if a.Min() != 0 {
+		t.Fatalf("min disturbed by empty merge: %d", a.Min())
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	hs := []*Histogram{NewHistogram(), nil, NewHistogram()}
+	hs[0].Record(10)
+	hs[2].Record(20)
+	m := MergeAll(hs)
+	if m.Count() != 2 || m.Min() != 10 || m.Max() != 20 {
+		t.Fatalf("MergeAll wrong: %v", m)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(5)
+	if h.Min() != 5 {
+		t.Fatalf("min after reset+record = %d", h.Min())
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i))
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevV, prevF := int64(-1), 0.0
+	for _, p := range pts {
+		if p.Value <= prevV && prevV >= 0 {
+			t.Fatalf("CDF values not increasing: %d after %d", p.Value, prevV)
+		}
+		if p.Fraction < prevF {
+			t.Fatalf("CDF fractions not monotone: %f after %f", p.Fraction, prevF)
+		}
+		prevV, prevF = p.Value, p.Fraction
+	}
+	if last := pts[len(pts)-1].Fraction; math.Abs(last-1.0) > 1e-9 {
+		t.Fatalf("CDF must end at 1.0, got %f", last)
+	}
+}
+
+func TestQuantileAt(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i))
+	}
+	if f := h.QuantileAt(50); f < 0.45 || f > 0.55 {
+		t.Fatalf("QuantileAt(50) = %f, want ~0.5", f)
+	}
+	if f := h.QuantileAt(1 << 30); f != 1.0 {
+		t.Fatalf("QuantileAt(huge) = %f, want 1", f)
+	}
+}
+
+// Property: for any set of values, histogram quantiles approximate exact
+// order statistics within the bucket quantization error.
+func TestQuantileApproximatesSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(800)
+		vals := make([]int64, n)
+		h := NewHistogram()
+		for i := range vals {
+			v := rng.Int63n(1 << 30)
+			vals[i] = v
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(n))]
+			got := h.Quantile(q)
+			// Allow bucket error (±2%) plus neighboring-rank slack.
+			lo, hi := exact, exact
+			idx := int(q * float64(n))
+			if idx > 2 {
+				lo = vals[idx-3]
+			}
+			if idx+3 < n {
+				hi = vals[idx+3]
+			}
+			if float64(got) < float64(lo)*0.97-1 || float64(got) > float64(hi)*1.03+1 {
+				t.Logf("q=%.2f exact=%d got=%d lo=%d hi=%d", q, exact, got, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i * 1000))
+	}
+	s := FormatCDF(h, 0.9)
+	if s == "" {
+		t.Fatal("expected non-empty CDF rendering")
+	}
+}

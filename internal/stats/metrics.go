@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics is the result of one benchmark run: everything needed to print a
+// row of any figure in the paper.
+type Metrics struct {
+	// Workload / configuration echo for report labelling.
+	Label   string
+	Workers int
+
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+	// Commits and Aborts count transaction outcomes in the window.
+	Commits uint64
+	Aborts  uint64
+
+	// Latency is the end-to-end committed-transaction latency distribution,
+	// measured from a transaction's FIRST invocation (aborted attempts
+	// included), matching the paper's measurement methodology.
+	Latency *Histogram
+
+	// Breakdown aggregates the per-worker execution-time split (Fig. 12).
+	Breakdown Breakdown
+}
+
+// Throughput returns committed transactions per second.
+func (m *Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Commits) / m.Elapsed.Seconds()
+}
+
+// AbortRatio returns aborts / (aborts + commits).
+func (m *Metrics) AbortRatio() float64 {
+	n := m.Aborts + m.Commits
+	if n == 0 {
+		return 0
+	}
+	return float64(m.Aborts) / float64(n)
+}
+
+// P999us returns the 99.9th percentile latency in microseconds.
+func (m *Metrics) P999us() float64 { return float64(m.Latency.P999()) / 1e3 }
+
+// P50us returns the median latency in microseconds.
+func (m *Metrics) P50us() float64 { return float64(m.Latency.P50()) / 1e3 }
+
+// Row renders a figure-style result row.
+func (m *Metrics) Row() string {
+	return fmt.Sprintf("%-28s workers=%-3d tput=%10.0f tps  p50=%8.1fus  p99=%8.1fus  p999=%8.1fus  abort=%5.1f%%",
+		m.Label, m.Workers, m.Throughput(), m.P50us(),
+		float64(m.Latency.P99())/1e3, m.P999us(), m.AbortRatio()*100)
+}

@@ -1,0 +1,164 @@
+// Package storage implements the in-memory row store: fixed-size rows
+// allocated from per-table slabs (to keep GC pressure off the hot path),
+// each carrying the per-record concurrency-control state used by the
+// protocols in internal/cc and internal/core.
+//
+// The layout mirrors DBx1000's row_t: every record embeds the lightweight
+// state all protocols share (the latch-free lock words and a version/TID
+// word), and optionally points at heavier lock managers (a per-record
+// mutex-based Plor locker or a 2PL lock) that are allocated only when the
+// selected protocol needs them.
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lock"
+)
+
+// Record is one row plus its concurrency-control state.
+type Record struct {
+	// LF is Plor's latch-free locker (three 8-byte words); unused by other
+	// protocols but cheap enough to embed unconditionally.
+	LF lock.LatchFree
+
+	// TID is the protocol's per-record version word:
+	//   Plor       — commit counter used by the optimistic read-only path
+	//   Silo/MOCC  — TID word (lock bit 63 | version)
+	//   TicToc     — packed wts/delta/lock word
+	TID atomic.Uint64
+
+	// Meta is spare protocol state: MOCC stores the record temperature.
+	Meta atomic.Uint64
+
+	// ML is the mutex-based Plor locker (Baseline Plor, Fig. 11); nil
+	// unless the table was created with NeedMutexLocker.
+	ML *lock.MutexLocker
+
+	// PL is the 2PL lock; nil unless the table was created with NeedTwoPL.
+	PL *lock.TwoPL
+
+	// Key is the primary key the record was inserted under; kept on the
+	// record so undo/redo log entries and debug dumps can name it.
+	Key uint64
+
+	// Data is the row image, a slice into the owning table's slab arena.
+	Data []byte
+}
+
+// Locker returns the Plor locker for this record: the mutex-based one when
+// allocated (Baseline Plor), otherwise the latch-free one.
+func (r *Record) Locker() lock.Locker {
+	if r.ML != nil {
+		return r.ML
+	}
+	return &r.LF
+}
+
+// TID word layout (Plor, Silo, MOCC): bit 63 = lock, bit 62 = absent,
+// bits 0..61 = version. The absent bit marks records that are published in
+// an index but logically nonexistent: not-yet-committed inserts and
+// committed deletes. Reads that encounter it report "not found"; optimistic
+// validators catch concurrent transitions because clearing/setting it bumps
+// the version.
+const (
+	tidLockBit   = uint64(1) << 63
+	tidAbsentBit = uint64(1) << 62
+	tidVerMask   = tidAbsentBit - 1
+)
+
+// TIDLock attempts to set the TID lock bit; it returns the pre-lock version
+// and whether the lock was obtained.
+func (r *Record) TIDLock() (uint64, bool) {
+	v := r.TID.Load()
+	if v&tidLockBit != 0 {
+		return v, false
+	}
+	return v, r.TID.CompareAndSwap(v, v|tidLockBit)
+}
+
+// TIDUnlock clears the lock bit, optionally bumping the version (commit).
+func (r *Record) TIDUnlock(bump bool) {
+	v := r.TID.Load()
+	nv := v &^ tidLockBit
+	if bump {
+		nv++
+	}
+	r.TID.Store(nv)
+}
+
+// TIDUnlockFlags clears the lock bit, bumps the version, and adjusts the
+// absent bit in one atomic publication — the install step of the OCC
+// engines (update: neither flag; committed insert: clearAbsent; committed
+// delete: setAbsent).
+func (r *Record) TIDUnlockFlags(setAbsent, clearAbsent bool) {
+	v := r.TID.Load() &^ tidLockBit
+	if setAbsent {
+		v |= tidAbsentBit
+	}
+	if clearAbsent {
+		v &^= tidAbsentBit
+	}
+	r.TID.Store(v + 1)
+}
+
+// TIDStable spins until the TID word is unlocked and returns it. It yields
+// to the scheduler between probes.
+func (r *Record) TIDStable() uint64 {
+	for i := 0; ; i++ {
+		v := r.TID.Load()
+		if v&tidLockBit == 0 {
+			return v
+		}
+		yield(i)
+	}
+}
+
+// TIDLocked reports whether the TID lock bit is set.
+func (r *Record) TIDLocked() bool { return r.TID.Load()&tidLockBit != 0 }
+
+// TIDVersion extracts the version counter from a TID word.
+func TIDVersion(v uint64) uint64 { return v & tidVerMask }
+
+// TIDAbsent reports whether a TID word carries the absent bit.
+func TIDAbsent(v uint64) bool { return v&tidAbsentBit != 0 }
+
+// SetAbsent marks the record logically nonexistent and bumps the version so
+// optimistic readers holding the old version fail validation.
+func (r *Record) SetAbsent() {
+	v := r.TID.Load()
+	r.TID.Store((v | tidAbsentBit) + 1)
+}
+
+// ClearAbsent makes the record logically existent, bumping the version.
+// The caller must exclude concurrent TID mutations (hold the TID lock or
+// the record's write lock).
+func (r *Record) ClearAbsent() {
+	v := r.TID.Load()
+	r.TID.Store((v &^ tidAbsentBit) + 1)
+}
+
+// InitAbsent stamps a freshly allocated record as absent, optionally with
+// the TID lock held (Silo-style inserts). Safe only before the record is
+// published to an index.
+func (r *Record) InitAbsent(locked bool) {
+	v := tidAbsentBit
+	if locked {
+		v |= tidLockBit
+	}
+	r.TID.Store(v)
+}
+
+// StableRead copies the record image into buf with seqlock semantics: it
+// spins while the TID is locked and retries until two TID reads around the
+// copy agree. It returns the (unlocked) TID word observed. buf must be at
+// least len(r.Data) bytes.
+func (r *Record) StableRead(buf []byte) uint64 {
+	for {
+		v1 := r.TIDStable()
+		copy(buf, r.Data)
+		if r.TID.Load() == v1 {
+			return v1
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+)
+
+// yield backs off inside storage-level spin loops.
+func yield(i int) {
+	if i > 2 {
+		runtime.Gosched()
+	}
+}
+
+// slabRecords is the number of records allocated per slab. Slabs bound the
+// size of any single allocation and let tables grow concurrently.
+const slabRecords = 4096
+
+// TableOpts selects which optional per-record lock managers a table
+// allocates. They are chosen by the CC protocol the engine runs.
+type TableOpts struct {
+	// NeedMutexLocker allocates a mutex-based Plor locker per record
+	// (Baseline Plor, Fig. 11 ablation).
+	NeedMutexLocker bool
+	// NeedTwoPL allocates a 2PL lock per record (NO_WAIT / WAIT_DIE /
+	// WOUND_WAIT schemes).
+	NeedTwoPL bool
+}
+
+// slab is one allocation unit: a records array plus the backing row arena.
+type slab struct {
+	recs  []Record
+	arena []byte
+}
+
+// Table is a fixed-row-size, append-only row store. Rows are never freed
+// individually (aborted inserts leave a dead record in the slab, as in the
+// paper's engine); the index determines visibility.
+type Table struct {
+	Name    string
+	RowSize int
+	opts    TableOpts
+
+	mu    sync.Mutex
+	slabs atomic.Pointer[[]*slab]
+	next  atomic.Uint64 // global row cursor: slab = next/slabRecords
+}
+
+// NewTable creates an empty table with fixed rowSize bytes per row.
+func NewTable(name string, rowSize int, opts TableOpts) *Table {
+	if rowSize <= 0 {
+		panic(fmt.Sprintf("storage: invalid row size %d for table %q", rowSize, name))
+	}
+	t := &Table{Name: name, RowSize: rowSize, opts: opts}
+	empty := make([]*slab, 0, 16)
+	t.slabs.Store(&empty)
+	return t
+}
+
+// newSlab allocates one slab, including optional heavy lock state.
+func (t *Table) newSlab() *slab {
+	s := &slab{
+		recs:  make([]Record, slabRecords),
+		arena: make([]byte, slabRecords*t.RowSize),
+	}
+	for i := range s.recs {
+		r := &s.recs[i]
+		r.Data = s.arena[i*t.RowSize : (i+1)*t.RowSize : (i+1)*t.RowSize]
+		if t.opts.NeedMutexLocker {
+			r.ML = &lock.MutexLocker{}
+		}
+		if t.opts.NeedTwoPL {
+			r.PL = &lock.TwoPL{}
+		}
+	}
+	return s
+}
+
+// Alloc returns a fresh zeroed record owned by the caller. Safe for
+// concurrent use.
+func (t *Table) Alloc() *Record {
+	idx := t.next.Add(1) - 1
+	slabIdx := int(idx / slabRecords)
+	off := int(idx % slabRecords)
+	for {
+		slabs := *t.slabs.Load()
+		if slabIdx < len(slabs) {
+			return &slabs[slabIdx].recs[off]
+		}
+		t.grow(slabIdx + 1)
+	}
+}
+
+// grow extends the slab directory to at least n slabs.
+func (t *Table) grow(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.slabs.Load()
+	if len(cur) >= n {
+		return
+	}
+	next := make([]*slab, len(cur), max(n, 2*len(cur)+1))
+	copy(next, cur)
+	for len(next) < n {
+		next = append(next, t.newSlab())
+	}
+	t.slabs.Store(&next)
+}
+
+// Allocated returns the number of records handed out (live + dead).
+func (t *Table) Allocated() int { return int(t.next.Load()) }
+
+// Opts returns the table's lock-allocation options.
+func (t *Table) Opts() TableOpts { return t.opts }
+
+// Catalog names the tables of a database.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create adds a table; it panics on duplicate names (schema setup is a
+// programming-time concern, not a runtime one).
+func (c *Catalog) Create(name string, rowSize int, opts TableOpts) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[name]; dup {
+		panic(fmt.Sprintf("storage: table %q already exists", name))
+	}
+	t := NewTable(name, rowSize, opts)
+	c.tables[name] = t
+	return t
+}
+
+// Table looks a table up by name, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Names returns all table names (unordered).
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

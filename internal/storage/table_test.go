@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAllocDistinctRows(t *testing.T) {
+	tbl := NewTable("t", 64, TableOpts{})
+	a := tbl.Alloc()
+	b := tbl.Alloc()
+	if a == b {
+		t.Fatal("Alloc returned the same record twice")
+	}
+	if len(a.Data) != 64 || len(b.Data) != 64 {
+		t.Fatalf("row sizes = %d/%d, want 64", len(a.Data), len(b.Data))
+	}
+	a.Data[0] = 0xAA
+	if b.Data[0] != 0 {
+		t.Fatal("rows share backing bytes")
+	}
+	if tbl.Allocated() != 2 {
+		t.Fatalf("allocated = %d", tbl.Allocated())
+	}
+}
+
+func TestTableAllocCrossesSlabs(t *testing.T) {
+	tbl := NewTable("t", 8, TableOpts{})
+	seen := make(map[*Record]bool)
+	for i := 0; i < slabRecords*2+10; i++ {
+		r := tbl.Alloc()
+		if seen[r] {
+			t.Fatalf("duplicate record at %d", i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestTableAllocConcurrent(t *testing.T) {
+	tbl := NewTable("t", 16, TableOpts{})
+	const goroutines, per = 8, 3000
+	var mu sync.Mutex
+	seen := make(map[*Record]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]*Record, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, tbl.Alloc())
+			}
+			mu.Lock()
+			for _, r := range local {
+				if seen[r] {
+					t.Error("record allocated twice")
+				}
+				seen[r] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Fatalf("unique records = %d, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestTableOpts(t *testing.T) {
+	plain := NewTable("plain", 8, TableOpts{}).Alloc()
+	if plain.ML != nil || plain.PL != nil {
+		t.Fatal("plain table should not allocate heavy lockers")
+	}
+	heavy := NewTable("heavy", 8, TableOpts{NeedMutexLocker: true, NeedTwoPL: true}).Alloc()
+	if heavy.ML == nil || heavy.PL == nil {
+		t.Fatal("heavy table must allocate both lockers")
+	}
+	// Locker() prefers the mutex locker when present.
+	if heavy.Locker() != heavy.ML {
+		t.Fatal("Locker() should return the mutex locker when allocated")
+	}
+	if plain.Locker() != &plain.LF {
+		t.Fatal("Locker() should fall back to the latch-free locker")
+	}
+}
+
+func TestTableInvalidRowSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable with rowSize 0 should panic")
+		}
+	}()
+	NewTable("bad", 0, TableOpts{})
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tb := c.Create("warehouse", 128, TableOpts{})
+	if c.Table("warehouse") != tb {
+		t.Fatal("lookup failed")
+	}
+	if c.Table("missing") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	c.Create("district", 64, TableOpts{})
+	names := c.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Create should panic")
+		}
+	}()
+	c.Create("warehouse", 128, TableOpts{})
+}
+
+func TestTIDLockUnlock(t *testing.T) {
+	var r Record
+	v, ok := r.TIDLock()
+	if !ok || v != 0 {
+		t.Fatalf("first lock: v=%d ok=%v", v, ok)
+	}
+	if !r.TIDLocked() {
+		t.Fatal("lock bit not set")
+	}
+	if _, ok := r.TIDLock(); ok {
+		t.Fatal("second lock must fail")
+	}
+	r.TIDUnlock(true)
+	if r.TIDLocked() {
+		t.Fatal("unlock did not clear the bit")
+	}
+	if got := r.TID.Load(); got != 1 {
+		t.Fatalf("version after bump = %d, want 1", got)
+	}
+	r.TIDLock()
+	r.TIDUnlock(false)
+	if got := r.TID.Load(); got != 1 {
+		t.Fatalf("version after no-bump unlock = %d, want 1", got)
+	}
+	if got := r.TIDStable(); got != 1 {
+		t.Fatalf("TIDStable = %d", got)
+	}
+}
+
+func TestTIDVersionStripsFlagBits(t *testing.T) {
+	f := func(v uint64) bool {
+		ver := v & tidVerMask
+		return TIDVersion(v|tidLockBit) == ver &&
+			TIDVersion(v|tidAbsentBit) == ver &&
+			TIDVersion(v|tidLockBit|tidAbsentBit) == ver
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsentBit(t *testing.T) {
+	var r Record
+	r.InitAbsent(false)
+	if !TIDAbsent(r.TID.Load()) {
+		t.Fatal("InitAbsent did not set absent")
+	}
+	v0 := TIDVersion(r.TID.Load())
+	r.ClearAbsent()
+	v := r.TID.Load()
+	if TIDAbsent(v) {
+		t.Fatal("ClearAbsent did not clear")
+	}
+	if TIDVersion(v) != v0+1 {
+		t.Fatal("ClearAbsent must bump version")
+	}
+	r.SetAbsent()
+	v2 := r.TID.Load()
+	if !TIDAbsent(v2) || TIDVersion(v2) != v0+2 {
+		t.Fatalf("SetAbsent wrong: %x", v2)
+	}
+	var l Record
+	l.InitAbsent(true)
+	if !l.TIDLocked() || !TIDAbsent(l.TID.Load()) {
+		t.Fatal("InitAbsent(locked) must set both bits")
+	}
+	// Unlock with bump keeps absent, bumps version.
+	l.TIDUnlock(true)
+	lv := l.TID.Load()
+	if l.TIDLocked() || !TIDAbsent(lv) || TIDVersion(lv) != 1 {
+		t.Fatalf("unlock-with-bump wrong: %x", lv)
+	}
+}
+
+func TestStableRead(t *testing.T) {
+	tbl := NewTable("t", 8, TableOpts{})
+	r := tbl.Alloc()
+	copy(r.Data, "abcdefgh")
+	buf := make([]byte, 8)
+	v := r.StableRead(buf)
+	if string(buf) != "abcdefgh" || v != 0 {
+		t.Fatalf("stable read = %q v=%d", buf, v)
+	}
+}
+
+func TestTIDLockConcurrent(t *testing.T) {
+	var r Record
+	var counter int64
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					if _, ok := r.TIDLock(); ok {
+						break
+					}
+					yield(3)
+				}
+				counter++
+				r.TIDUnlock(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*per {
+		t.Fatalf("counter = %d, want %d (TID lock not exclusive)", counter, goroutines*per)
+	}
+	if got := TIDVersion(r.TID.Load()); got != goroutines*per {
+		t.Fatalf("version = %d, want %d", got, goroutines*per)
+	}
+}

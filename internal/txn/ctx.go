@@ -1,0 +1,177 @@
+// Package txn implements the worker-context machinery of the Plor paper
+// (§4.1.1): each worker thread owns a packed 64-bit context word combining
+// its worker ID, the timestamp of its current transaction, and a 1-bit
+// running/aborted status. Conflicting transactions kill each other by
+// atomically toggling the status bit of the victim's word; the CAS carries
+// the observed timestamp, so a kill lands only while the victim still runs
+// that same transaction (paper §4.1.3, "Liveness").
+//
+// The package also provides the global monotonic timestamp allocator and
+// the per-worker priority slots used by the Plor-RT deadline-priority
+// variant (Fig. 15).
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MaxWorkers is the largest supported worker count. The latch-free locker
+// assigns each worker one bit of an 8-byte word and reserves the 64th bit
+// as the exclusive-mode signal, so at most 63 workers fit — the same limit
+// as the paper's implementation.
+const MaxWorkers = 63
+
+// Context word layout: [wid:16][ts:47][status:1]
+//
+//	bits 48..63  worker ID (non-zero for valid words; wid 0 is reserved so a
+//	             zero word can mean "no owner" in lock state)
+//	bits  1..47  transaction timestamp
+//	bit       0  status: 0 = running, 1 = aborted
+const (
+	statusBits = 1
+	tsBits     = 47
+	widBits    = 16
+
+	tsShift  = statusBits
+	widShift = statusBits + tsBits
+
+	abortedBit = uint64(1)
+	tsMask     = (uint64(1)<<tsBits - 1) << tsShift
+	widMask    = (uint64(1)<<widBits - 1) << widShift
+
+	// MaxTS is the largest representable timestamp.
+	MaxTS = uint64(1)<<tsBits - 1
+)
+
+// Pack builds a context word. wid must be in [1, MaxWorkers]; ts must fit
+// in 47 bits.
+func Pack(wid uint16, ts uint64, aborted bool) uint64 {
+	w := uint64(wid)<<widShift | (ts<<tsShift)&tsMask
+	if aborted {
+		w |= abortedBit
+	}
+	return w
+}
+
+// WID extracts the worker ID from a context word.
+func WID(w uint64) uint16 { return uint16(w >> widShift) }
+
+// TS extracts the timestamp from a context word.
+func TS(w uint64) uint64 { return (w & tsMask) >> tsShift }
+
+// IsAborted reports whether the word's status bit is set.
+func IsAborted(w uint64) bool { return w&abortedBit != 0 }
+
+// Ctx is one worker's shared context. Other workers read and CAS the word
+// concurrently, so it is cache-line padded to avoid false sharing across
+// the registry array.
+type Ctx struct {
+	word atomic.Uint64
+	// prio is the commit-priority value used by wound-wait comparisons.
+	// By default it equals the transaction timestamp; the Plor-RT variant
+	// stores a deadline here instead. Lower value = higher priority.
+	prio atomic.Uint64
+	_    [6]uint64 // pad to a full cache line
+}
+
+// Begin activates a new (or retried) transaction on this context: it stores
+// wid|ts|running unconditionally, clearing any stale aborted bit left over
+// from a kill that landed after the previous transaction ended.
+func (c *Ctx) Begin(wid uint16, ts uint64) {
+	c.word.Store(Pack(wid, ts, false))
+	c.prio.Store(ts)
+}
+
+// BeginWithPriority is Begin with an explicit commit priority (Plor-RT).
+func (c *Ctx) BeginWithPriority(wid uint16, ts, prio uint64) {
+	c.word.Store(Pack(wid, ts, false))
+	c.prio.Store(prio)
+}
+
+// Load returns the current packed word.
+func (c *Ctx) Load() uint64 { return c.word.Load() }
+
+// Priority returns the context's current commit priority.
+func (c *Ctx) Priority() uint64 { return c.prio.Load() }
+
+// Aborted reports whether the current word carries the aborted bit. Workers
+// poll this while waiting on locks (the paper's PollOnce).
+func (c *Ctx) Aborted() bool { return IsAborted(c.word.Load()) }
+
+// Kill attempts to abort the transaction identified by the observed word.
+// It fails (returns false) if the target has moved on to a different
+// timestamp or is already aborted, which makes kills race-free with respect
+// to transaction turnover.
+func (c *Ctx) Kill(observed uint64) bool {
+	if IsAborted(observed) {
+		return false
+	}
+	return c.word.CompareAndSwap(observed, observed|abortedBit)
+}
+
+// KillCurrent loads the word and kills it if it is running with timestamp
+// ts. It returns true if this call (or a concurrent one) aborted that
+// transaction.
+func (c *Ctx) KillCurrent(ts uint64) bool {
+	w := c.word.Load()
+	if TS(w) != ts {
+		return false // already a different transaction
+	}
+	if IsAborted(w) {
+		return true
+	}
+	return c.word.CompareAndSwap(w, w|abortedBit)
+}
+
+// Registry holds the context array shared by all workers (the paper's
+// ctx_arr[]) and the global timestamp counter.
+type Registry struct {
+	ctxs []Ctx
+	ts   atomic.Uint64
+}
+
+// NewRegistry creates a registry for n workers (1 ≤ n ≤ MaxWorkers).
+// Worker IDs run from 1 to n; index 0 is reserved.
+func NewRegistry(n int) *Registry {
+	if n < 1 || n > MaxWorkers {
+		panic(fmt.Sprintf("txn: worker count %d out of range [1,%d]", n, MaxWorkers))
+	}
+	return &Registry{ctxs: make([]Ctx, n+1)}
+}
+
+// Workers returns the number of registered workers.
+func (r *Registry) Workers() int { return len(r.ctxs) - 1 }
+
+// Ctx returns worker wid's context. wid must be in [1, Workers()].
+func (r *Registry) Ctx(wid uint16) *Ctx { return &r.ctxs[wid] }
+
+// NextTS allocates the next monotonic timestamp. Timestamps are unique
+// across the run, so priority comparisons never tie.
+func (r *Registry) NextTS() uint64 {
+	ts := r.ts.Add(1)
+	if ts > MaxTS {
+		panic("txn: timestamp space exhausted")
+	}
+	return ts
+}
+
+// CurrentTS returns the most recently allocated timestamp.
+func (r *Registry) CurrentTS() uint64 { return r.ts.Load() }
+
+// PriorityOf returns the commit priority of the worker identified by the
+// packed word w, as currently published in the registry. If that worker has
+// moved to a different timestamp, the word's own timestamp is returned
+// (the historical priority of the observed transaction).
+func (r *Registry) PriorityOf(w uint64) uint64 {
+	wid := WID(w)
+	if wid == 0 || int(wid) >= len(r.ctxs) {
+		return TS(w)
+	}
+	c := &r.ctxs[wid]
+	cur := c.word.Load()
+	if TS(cur) == TS(w) {
+		return c.prio.Load()
+	}
+	return TS(w)
+}

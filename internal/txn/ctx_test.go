@@ -1,0 +1,223 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(wid uint16, ts uint64, aborted bool) bool {
+		ts &= MaxTS
+		w := Pack(wid, ts, aborted)
+		return WID(w) == wid && TS(w) == ts && IsAborted(w) == aborted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackDistinctFields(t *testing.T) {
+	// Status bit must not leak into ts or wid.
+	w := Pack(5, 100, true)
+	if TS(w) != 100 || WID(w) != 5 || !IsAborted(w) {
+		t.Fatalf("pack(5,100,true) decoded wrong: wid=%d ts=%d ab=%v", WID(w), TS(w), IsAborted(w))
+	}
+	if Pack(5, 100, false) == w {
+		t.Fatal("aborted bit did not change the word")
+	}
+}
+
+func TestCtxBeginClearsAbort(t *testing.T) {
+	var c Ctx
+	c.Begin(3, 10)
+	if c.Aborted() {
+		t.Fatal("fresh transaction should be running")
+	}
+	if !c.Kill(c.Load()) {
+		t.Fatal("kill of running txn should succeed")
+	}
+	if !c.Aborted() {
+		t.Fatal("status should be aborted after kill")
+	}
+	// A retried or new transaction overwrites the stale aborted bit.
+	c.Begin(3, 11)
+	if c.Aborted() {
+		t.Fatal("Begin must clear stale aborted bit")
+	}
+}
+
+func TestKillRequiresSameTimestamp(t *testing.T) {
+	var c Ctx
+	c.Begin(1, 10)
+	stale := c.Load()
+	c.Begin(1, 20) // moved on to a new transaction
+	if c.Kill(stale) {
+		t.Fatal("kill with a stale word must fail")
+	}
+	if c.Aborted() {
+		t.Fatal("new transaction must be unaffected by stale kill")
+	}
+	if c.KillCurrent(10) {
+		t.Fatal("KillCurrent with old ts must fail")
+	}
+	if !c.KillCurrent(20) {
+		t.Fatal("KillCurrent with live ts must succeed")
+	}
+}
+
+func TestKillIdempotent(t *testing.T) {
+	var c Ctx
+	c.Begin(1, 5)
+	w := c.Load()
+	if !c.Kill(w) {
+		t.Fatal("first kill should succeed")
+	}
+	if c.Kill(w) {
+		t.Fatal("second kill with pre-abort word should fail (already aborted)")
+	}
+	if !c.KillCurrent(5) {
+		t.Fatal("KillCurrent on already-aborted txn should report true")
+	}
+}
+
+func TestRegistryTimestampsMonotonic(t *testing.T) {
+	r := NewRegistry(4)
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		ts := r.NextTS()
+		if ts <= prev {
+			t.Fatalf("timestamp not monotonic: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	if r.CurrentTS() != prev {
+		t.Fatalf("CurrentTS = %d, want %d", r.CurrentTS(), prev)
+	}
+}
+
+func TestRegistryTimestampsUniqueConcurrent(t *testing.T) {
+	r := NewRegistry(8)
+	const perG, goroutines = 2000, 8
+	seen := make([]uint64, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seen[g*perG+i] = r.NextTS()
+			}
+		}(g)
+	}
+	wg.Wait()
+	set := make(map[uint64]struct{}, len(seen))
+	for _, ts := range seen {
+		if _, dup := set[ts]; dup {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		set[ts] = struct{}{}
+	}
+}
+
+func TestRegistryBounds(t *testing.T) {
+	for _, bad := range []int{0, -1, MaxWorkers + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRegistry(%d) should panic", bad)
+				}
+			}()
+			NewRegistry(bad)
+		}()
+	}
+	r := NewRegistry(MaxWorkers)
+	if r.Workers() != MaxWorkers {
+		t.Fatalf("workers = %d", r.Workers())
+	}
+}
+
+func TestPriorityDefaultsToTS(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Ctx(1)
+	c.Begin(1, 42)
+	if c.Priority() != 42 {
+		t.Fatalf("priority = %d, want ts 42", c.Priority())
+	}
+	if p := r.PriorityOf(c.Load()); p != 42 {
+		t.Fatalf("PriorityOf = %d", p)
+	}
+}
+
+func TestPriorityOverride(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Ctx(1)
+	c.BeginWithPriority(1, 42, 7)
+	if c.Priority() != 7 {
+		t.Fatalf("priority = %d, want 7", c.Priority())
+	}
+	w := c.Load()
+	if p := r.PriorityOf(w); p != 7 {
+		t.Fatalf("PriorityOf live txn = %d, want 7", p)
+	}
+	// After the worker moves on, the historical word falls back to its ts.
+	c.Begin(1, 50)
+	if p := r.PriorityOf(w); p != 42 {
+		t.Fatalf("PriorityOf stale word = %d, want 42", p)
+	}
+}
+
+func TestPriorityOfInvalidWID(t *testing.T) {
+	r := NewRegistry(2)
+	w := Pack(0, 9, false)
+	if p := r.PriorityOf(w); p != 9 {
+		t.Fatalf("PriorityOf wid=0 = %d, want ts", p)
+	}
+	w = Pack(60, 9, false) // beyond registry size
+	if p := r.PriorityOf(w); p != 9 {
+		t.Fatalf("PriorityOf out-of-range wid = %d, want ts", p)
+	}
+}
+
+// Property: concurrent kills and Begins never leave a context aborted with
+// a *new* timestamp — i.e., a kill can only land on the word it observed.
+func TestConcurrentKillBeginRace(t *testing.T) {
+	var c Ctx
+	var wrongKills atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the owner: runs transactions 1..n
+		defer wg.Done()
+		for ts := uint64(1); ts < 20000; ts++ {
+			c.Begin(1, ts)
+			// Simulate some work, then check outcome coherence.
+			w := c.Load()
+			if TS(w) != ts {
+				wrongKills.Add(1)
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() { // killers using possibly stale observations
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := c.Load()
+				c.Kill(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if wrongKills.Load() != 0 {
+		t.Fatalf("%d loads observed a foreign timestamp", wrongKills.Load())
+	}
+}

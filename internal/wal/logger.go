@@ -1,0 +1,293 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Mode selects the logging discipline (Fig. 14).
+type Mode int
+
+const (
+	// Off disables logging entirely (the paper's default configuration).
+	Off Mode = iota
+	// Redo logs new record images at commit time, before they are
+	// installed in place. Aborted transactions log nothing.
+	Redo
+	// Undo logs old record images immediately before each in-place
+	// modification, then a commit or abort marker.
+	Undo
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Redo:
+		return "redo"
+	case Undo:
+		return "undo"
+	}
+	return "unknown"
+}
+
+// Record kinds in the on-log format.
+const (
+	kindUpdate byte = 1
+	kindCommit byte = 2
+	kindAbort  byte = 3
+)
+
+// Logger coordinates per-worker logs over per-worker devices, mirroring the
+// paper's setup where each worker logs to its local Optane DIMM.
+type Logger struct {
+	mode Mode
+	devs []Device
+}
+
+// NewLogger builds a logger with one device per worker (index 1..n used).
+func NewLogger(mode Mode, workers int, mkDev func(wid int) Device) *Logger {
+	l := &Logger{mode: mode, devs: make([]Device, workers+1)}
+	for wid := 1; wid <= workers; wid++ {
+		l.devs[wid] = mkDev(wid)
+	}
+	return l
+}
+
+// Mode returns the logging discipline.
+func (l *Logger) Mode() Mode { return l.mode }
+
+// Worker returns worker wid's log handle.
+func (l *Logger) Worker(wid uint16) *WorkerLog {
+	return &WorkerLog{dev: l.devs[wid], mode: l.mode, buf: make([]byte, 0, 4096)}
+}
+
+// Devices returns the underlying devices (for recovery).
+func (l *Logger) Devices() []Device {
+	out := make([]Device, 0, len(l.devs))
+	for _, d := range l.devs {
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WorkerLog is one worker's logging handle. Not safe for concurrent use —
+// each worker owns exactly one, like everything else on a worker's hot path.
+type WorkerLog struct {
+	dev  Device
+	mode Mode
+	buf  []byte
+	ts   uint64
+}
+
+// Mode returns the handle's logging discipline.
+func (w *WorkerLog) Mode() Mode { return w.mode }
+
+// SetTS overrides the transaction stamp for subsequent entries. Redo
+// logging must stamp entries with a COMMIT-time sequence number drawn while
+// the write locks are held: protocols that reuse their start timestamp
+// across retries (Plor, 2PL) can commit out of start-timestamp order, and
+// recovery keeps the highest stamp per key.
+func (w *WorkerLog) SetTS(ts uint64) { w.ts = ts }
+
+// BeginTxn resets the handle for a new transaction attempt.
+func (w *WorkerLog) BeginTxn(ts uint64) {
+	w.buf = w.buf[:0]
+	w.ts = ts
+}
+
+// entry layout: kind(1) ts(8) tableID(4) key(8) len(4) image(len)
+func appendEntry(buf []byte, kind byte, ts uint64, tableID uint32, key uint64, img []byte) []byte {
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint32(buf, tableID)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img)))
+	return append(buf, img...)
+}
+
+// Update logs a record image. Under Redo, img is the new image and it is
+// buffered until Commit. Under Undo, img is the old image and it is
+// appended durably right away — it must hit the log before the in-place
+// write it protects.
+func (w *WorkerLog) Update(tableID uint32, key uint64, img []byte) error {
+	switch w.mode {
+	case Redo:
+		w.buf = appendEntry(w.buf, kindUpdate, w.ts, tableID, key, img)
+		return nil
+	case Undo:
+		w.buf = appendEntry(w.buf[:0], kindUpdate, w.ts, tableID, key, img)
+		_, err := w.dev.Append(w.buf)
+		w.buf = w.buf[:0]
+		return err
+	}
+	return nil
+}
+
+// Commit durably ends the transaction: under Redo it flushes the buffered
+// new images plus a commit marker in one append; under Undo it appends the
+// commit marker.
+func (w *WorkerLog) Commit() error {
+	if w.mode == Off {
+		return nil
+	}
+	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, 0, nil)
+	_, err := w.dev.Append(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Abort ends the transaction on the abort path: Redo discards the buffer
+// (nothing was logged), Undo appends an abort marker so recovery rolls the
+// transaction back.
+func (w *WorkerLog) Abort() error {
+	if w.mode != Undo {
+		w.buf = w.buf[:0]
+		return nil
+	}
+	w.buf = appendEntry(w.buf[:0], kindAbort, w.ts, 0, 0, nil)
+	_, err := w.dev.Append(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// --- recovery ---
+
+// Change is one recovered record image.
+type Change struct {
+	TS      uint64
+	TableID uint32
+	Key     uint64
+	Image   []byte
+}
+
+// errTruncated reports a log that ends mid-record (treated as a clean end
+// by Recover, as a crash can truncate the tail).
+var errTruncated = errors.New("wal: truncated record")
+
+// parse iterates the entries of one device's byte stream.
+func parse(data []byte, fn func(kind byte, c Change) error) error {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 25 {
+			return errTruncated
+		}
+		kind := data[off]
+		ts := binary.LittleEndian.Uint64(data[off+1:])
+		tid := binary.LittleEndian.Uint32(data[off+9:])
+		key := binary.LittleEndian.Uint64(data[off+13:])
+		n := int(binary.LittleEndian.Uint32(data[off+21:]))
+		off += 25
+		if len(data)-off < n {
+			return errTruncated
+		}
+		img := data[off : off+n]
+		off += n
+		if kind != kindUpdate && kind != kindCommit && kind != kindAbort {
+			return fmt.Errorf("wal: corrupt entry kind %d", kind)
+		}
+		if err := fn(kind, Change{TS: ts, TableID: tid, Key: key, Image: img}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover replays the logs of all devices and returns, per (table, key),
+// the image that must be in the database after recovery:
+//
+//	Redo — the latest committed new image (by transaction timestamp).
+//	Undo — the OLD image of every update belonging to a transaction that
+//	       has no commit marker (i.e. must be rolled back).
+//
+// Truncated tails are tolerated: a record cut off by a crash is ignored,
+// along with everything after it on that device.
+func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
+	if mode != Redo && mode != Undo {
+		return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
+	}
+	result := make(map[uint32]map[uint64]Change)
+	put := func(c Change) {
+		m := result[c.TableID]
+		if m == nil {
+			m = make(map[uint64]Change)
+			result[c.TableID] = m
+		}
+		if prev, ok := m[c.Key]; !ok || c.TS >= prev.TS {
+			img := make([]byte, len(c.Image))
+			copy(img, c.Image)
+			c.Image = img
+			m[c.Key] = c
+		}
+	}
+	for _, d := range devs {
+		data, err := d.Contents()
+		if err != nil {
+			return nil, err
+		}
+		switch mode {
+		case Redo:
+			// Two passes per device: find committed timestamps, then apply
+			// their updates.
+			committed := make(map[uint64]bool)
+			err := parse(data, func(kind byte, c Change) error {
+				if kind == kindCommit {
+					committed[c.TS] = true
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errTruncated) {
+				return nil, err
+			}
+			err = parse(data, func(kind byte, c Change) error {
+				if kind == kindUpdate && committed[c.TS] {
+					put(c)
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errTruncated) {
+				return nil, err
+			}
+		case Undo:
+			ended := make(map[uint64]bool) // committed or aborted-and-marked
+			err := parse(data, func(kind byte, c Change) error {
+				if kind == kindCommit || kind == kindAbort {
+					ended[c.TS] = true
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errTruncated) {
+				return nil, err
+			}
+			// Updates of unfinished transactions must be rolled back to the
+			// FIRST logged old image (the pre-transaction value).
+			firstSeen := make(map[uint32]map[uint64]bool)
+			err = parse(data, func(kind byte, c Change) error {
+				if kind != kindUpdate || ended[c.TS] {
+					return nil
+				}
+				m := firstSeen[c.TableID]
+				if m == nil {
+					m = make(map[uint64]bool)
+					firstSeen[c.TableID] = m
+				}
+				if !m[c.Key] {
+					m[c.Key] = true
+					c.TS = ^uint64(0) // force precedence of first image
+					put(c)
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errTruncated) {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestModeString(t *testing.T) {
+	if Off.String() != "off" || Redo.String() != "redo" || Undo.String() != "undo" ||
+		Mode(9).String() != "unknown" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestSimDeviceAppendAndContents(t *testing.T) {
+	d := NewSimDevice(0)
+	off1, err := d.Append([]byte("hello"))
+	if err != nil || off1 != 0 {
+		t.Fatalf("append 1: off=%d err=%v", off1, err)
+	}
+	off2, _ := d.Append([]byte("world"))
+	if off2 != 5 {
+		t.Fatalf("append 2: off=%d", off2)
+	}
+	got, _ := d.Contents()
+	if string(got) != "helloworld" {
+		t.Fatalf("contents = %q", got)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestSimDeviceLatency(t *testing.T) {
+	d := NewSimDevice(200 * time.Microsecond)
+	start := time.Now()
+	d.Append([]byte("x"))
+	if el := time.Since(start); el < 200*time.Microsecond {
+		t.Fatalf("append returned in %v, want ≥ 200µs of modelled latency", el)
+	}
+}
+
+func TestSimDeviceConcurrentAppends(t *testing.T) {
+	d := NewSimDevice(0)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(g)}, 10)
+			for i := 0; i < per; i++ {
+				if _, err := d.Append(payload); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got, _ := d.Contents()
+	if len(got) != goroutines*per*10 {
+		t.Fatalf("lost appends: %d bytes", len(got))
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	d, err := NewFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Append([]byte("abc"))
+	d.Append([]byte("def"))
+	got, err := d.Contents()
+	if err != nil || string(got) != "abcdef" {
+		t.Fatalf("contents = %q, err=%v", got, err)
+	}
+}
+
+func TestRedoLoggingAndRecovery(t *testing.T) {
+	l := NewLogger(Redo, 2, func(int) Device { return NewSimDevice(0) })
+	if l.Mode() != Redo {
+		t.Fatal("mode")
+	}
+	w1 := l.Worker(1)
+
+	// Committed transaction: both updates must survive.
+	w1.BeginTxn(10)
+	w1.Update(1, 100, []byte("v1"))
+	w1.Update(2, 200, []byte("v2"))
+	if err := w1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted transaction logs nothing under redo.
+	w1.BeginTxn(11)
+	w1.Update(1, 300, []byte("dead"))
+	w1.Abort()
+
+	// A later committed transaction overwrites key 100.
+	w2 := l.Worker(2)
+	w2.BeginTxn(12)
+	w2.Update(1, 100, []byte("v3"))
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(Redo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec[1][100].Image); got != "v3" {
+		t.Fatalf("key 100 = %q, want v3 (latest committed wins)", got)
+	}
+	if got := string(rec[2][200].Image); got != "v2" {
+		t.Fatalf("key 200 = %q", got)
+	}
+	if _, ok := rec[1][300]; ok {
+		t.Fatal("aborted update must not be recovered")
+	}
+}
+
+func TestUndoLoggingAndRecovery(t *testing.T) {
+	l := NewLogger(Undo, 1, func(int) Device { return NewSimDevice(0) })
+	w := l.Worker(1)
+
+	// Committed transaction: no rollback needed.
+	w.BeginTxn(10)
+	w.Update(1, 100, []byte("old1"))
+	w.Commit()
+
+	// Crashed transaction (no marker at all): roll back to first old image.
+	w.BeginTxn(11)
+	w.Update(1, 200, []byte("orig"))
+	w.Update(1, 200, []byte("mid")) // second write in same txn
+	// ... crash: no Commit/Abort marker.
+
+	rec, err := Recover(Undo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec[1][100]; ok {
+		t.Fatal("committed transaction must not be rolled back")
+	}
+	if got := string(rec[1][200].Image); got != "orig" {
+		t.Fatalf("rollback image = %q, want the FIRST old image", got)
+	}
+}
+
+func TestUndoAbortMarkerMeansRolledBack(t *testing.T) {
+	// An abort marker means the engine already rolled back in memory; the
+	// log's job at recovery is still to undo it, because the in-place
+	// write may have hit the (simulated) persistent heap. Our engines roll
+	// back in memory and write the marker, so recovery treats marked
+	// aborts like commits (no further rollback needed? No: the undo write
+	// preceded the in-place change which was then reverted in memory; the
+	// persistent image equals the old image again, so nothing to do).
+	l := NewLogger(Undo, 1, func(int) Device { return NewSimDevice(0) })
+	w := l.Worker(1)
+	w.BeginTxn(5)
+	w.Update(1, 1, []byte("before"))
+	w.Abort()
+	rec, err := Recover(Undo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec[1][1]; ok {
+		t.Fatal("aborted-and-marked transaction must not appear in rollback set")
+	}
+}
+
+func TestSetTSCommitOrderWins(t *testing.T) {
+	// A transaction with an OLD start timestamp that commits LAST must win
+	// recovery — engines achieve this by restamping redo entries with a
+	// commit-order sequence via SetTS while holding their write locks.
+	l := NewLogger(Redo, 2, func(int) Device { return NewSimDevice(0) })
+	young := l.Worker(1)
+	old := l.Worker(2)
+
+	young.BeginTxn(9)
+	young.SetTS(100) // commits first
+	young.Update(1, 5, []byte("young"))
+	young.Commit()
+
+	old.BeginTxn(5) // older CC timestamp (a long-retried transaction)
+	old.SetTS(101)  // but a later commit point
+	old.Update(1, 5, []byte("old"))
+	old.Commit()
+
+	rec, err := Recover(Redo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec[1][5].Image); got != "old" {
+		t.Fatalf("recovered %q; the later COMMIT must win regardless of start ts", got)
+	}
+}
+
+func TestRecoverTruncatedTail(t *testing.T) {
+	dev := NewSimDevice(0)
+	l := &Logger{mode: Redo, devs: []Device{nil, dev}}
+	w := l.Worker(1)
+	w.BeginTxn(1)
+	w.Update(1, 7, []byte("ok"))
+	w.Commit()
+	// Simulate a crash mid-append: write garbage half-record.
+	dev.Append([]byte{kindUpdate, 9, 9})
+	rec, err := Recover(Redo, []Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec[1][7].Image); got != "ok" {
+		t.Fatalf("key 7 = %q", got)
+	}
+}
+
+func TestRecoverCorruptKind(t *testing.T) {
+	dev := NewSimDevice(0)
+	bad := appendEntry(nil, 77, 1, 1, 1, []byte("x"))
+	dev.Append(bad)
+	if _, err := Recover(Redo, []Device{dev}); err == nil {
+		t.Fatal("corrupt kind should error")
+	}
+}
+
+func TestRecoverOffMode(t *testing.T) {
+	if _, err := Recover(Off, nil); err == nil {
+		t.Fatal("recover with mode off should error")
+	}
+}
+
+func TestOffModeLogsNothing(t *testing.T) {
+	dev := NewSimDevice(0)
+	l := &Logger{mode: Off, devs: []Device{nil, dev}}
+	w := l.Worker(1)
+	w.BeginTxn(1)
+	w.Update(1, 1, []byte("x"))
+	w.Commit()
+	w.Abort()
+	if dev.Len() != 0 {
+		t.Fatalf("off mode wrote %d bytes", dev.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package tpcc
+
+// rand64 is a splitmix64 stream; TPC-C generation needs speed and
+// reproducibility, not cryptographic quality.
+type rand64 struct{ s uint64 }
+
+func newRand(seed uint64) *rand64 {
+	return &rand64{s: seed*0x9E3779B97F4A7C15 + 1}
+}
+
+func (r *rand64) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// n returns a uniform value in [0, n).
+func (r *rand64) n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// between returns a uniform value in [lo, hi] inclusive.
+func (r *rand64) between(lo, hi uint64) uint64 {
+	return lo + r.n(hi-lo+1)
+}
+
+// f returns a float64 in [0, 1).
+func (r *rand64) f() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// perm returns a random permutation of [0, n).
+func (r *rand64) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.n(uint64(i + 1)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// TPC-C NURand constants (clause 2.1.6). The C values are fixed here; the
+// spec's run/load C delta rule is irrelevant for benchmarking.
+const (
+	cLoadName = 157
+	cRunName  = 201 // |cLoadName-cRunName| in [65,119] per clause 2.1.6.1
+	cCustID   = 259
+	cItemID   = 7911
+)
+
+// nuRand implements the non-uniform random function NURand(A, x, y).
+func nuRand(r *rand64, a, x, y, c uint64) uint64 {
+	return ((r.between(0, a)|r.between(x, y))+c)%(y-x+1) + x
+}
+
+// custID draws a customer id in [1, CustPerDist] per NURand(1023, ...).
+func custID(r *rand64) int {
+	return int(nuRand(r, 1023, 1, CustPerDist, cCustID))
+}
+
+// itemID draws an item id in [1, Items] per NURand(8191, ...).
+func itemID(r *rand64) int {
+	return int(nuRand(r, 8191, 1, Items, cItemID))
+}
+
+// lastNameIdx draws a last-name index in [0, 999] per NURand(255, ...),
+// the run-time distribution for Payment/Order-Status.
+func lastNameIdx(r *rand64) int {
+	return int(nuRand(r, 255, 0, 999, cRunName))
+}

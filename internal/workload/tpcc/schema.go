@@ -1,0 +1,427 @@
+// Package tpcc implements the TPC-C benchmark as the paper runs it (§6.1):
+// nine tables, the five standard transactions in the default mix (45%
+// NewOrder, 43% Payment, 4% each OrderStatus/Delivery/StockLevel), remote
+// warehouse accesses (1% per NewOrder item line, 15% of Payments), customer
+// lookup by last name (60%), and Stock-Level at read-committed isolation.
+//
+// Secondary indexes (customer-by-name, order-by-customer) are modelled as
+// index tables whose 8-byte rows hold the primary key of the base row —
+// maintained through ordinary transactional inserts, so visibility and
+// rollback come for free from the CC protocol.
+package tpcc
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cc"
+)
+
+// Scale constants (TPC-C standard).
+const (
+	DistPerWH   = 10
+	CustPerDist = 3000
+	Items       = 100_000
+	InitOrders  = 3000 // orders preloaded per district
+	NewOrderLo  = 2101 // first order id still in NEW-ORDER at load
+)
+
+// Row sizes, representative of the full TPC-C schema (fields we do not
+// model are padding).
+const (
+	warehouseSize = 96
+	districtSize  = 104
+	customerSize  = 656
+	historySize   = 48
+	newOrderSize  = 8
+	orderSize     = 32
+	orderLineSize = 56
+	itemSize      = 88
+	stockSize     = 312
+	idxRowSize    = 8 // index tables store the base primary key
+)
+
+// Config scales the workload.
+type Config struct {
+	// Warehouses is the warehouse count (the paper uses 1 for high
+	// contention, up to 20 in Fig. 9b).
+	Warehouses int
+	// InvalidItemPct aborts roughly this percent of NewOrders with an
+	// unused item id, per the TPC-C spec (1%). Set negative to disable.
+	InvalidItemPct float64
+	// Yield inserts a scheduler yield after record operations, creating
+	// operation-level interleaving on machines with fewer cores than
+	// workers (see ycsb.Config.Yield).
+	Yield bool
+}
+
+// DefaultConfig is the paper's high-contention setup.
+func DefaultConfig() Config { return Config{Warehouses: 1, InvalidItemPct: 1} }
+
+// Tables bundles every TPC-C table handle.
+type Tables struct {
+	Warehouse *cc.Table
+	District  *cc.Table
+	Customer  *cc.Table
+	History   *cc.Table
+	NewOrder  *cc.Table // ordered: Delivery pops the oldest entry
+	Order     *cc.Table // ordered by (w,d,o)
+	OrderLine *cc.Table // ordered: Stock-Level scans recent lines
+	Item      *cc.Table
+	Stock     *cc.Table
+
+	// Index tables (secondary indexes as rows holding primary keys).
+	CustByName  *cc.Table // (w,d,nameIdx,c) → customer key
+	OrderByCust *cc.Table // (w,d,c,o) → order key
+}
+
+// --- key packing -----------------------------------------------------------
+//
+// Composite keys pack into uint64 so B+tree order matches TPC-C's natural
+// order (district-major, then sequence).
+
+// WKey returns the warehouse primary key.
+func WKey(w int) uint64 { return uint64(w) }
+
+// DKey returns the district primary key.
+func DKey(w, d int) uint64 { return uint64(w)*DistPerWH + uint64(d) }
+
+// CKey returns the customer primary key.
+func CKey(w, d, c int) uint64 { return DKey(w, d)*CustPerDist + uint64(c) }
+
+// OKey returns the order primary key; orders sort by id within a district.
+func OKey(w, d, o int) uint64 { return DKey(w, d)<<32 | uint64(o) }
+
+// NOKey returns the new-order primary key (same shape as OKey).
+func NOKey(w, d, o int) uint64 { return OKey(w, d, o) }
+
+// OLKey returns the order-line primary key (order key plus line number).
+func OLKey(w, d, o, ol int) uint64 { return OKey(w, d, o)<<4 | uint64(ol) }
+
+// IKey returns the item primary key.
+func IKey(i int) uint64 { return uint64(i) }
+
+// SKey returns the stock primary key.
+func SKey(w, i int) uint64 { return uint64(w)<<32 | uint64(i) }
+
+// CNameKey returns the customer-by-name index key: district-major, then the
+// last-name index (0..999), then customer id for uniqueness.
+func CNameKey(w, d, nameIdx, c int) uint64 {
+	return (DKey(w, d)<<10|uint64(nameIdx))<<12 | uint64(c)
+}
+
+// OCustKey returns the order-by-customer index key: customer-major, then
+// order id, so Last() finds a customer's most recent order.
+func OCustKey(w, d, c, o int) uint64 {
+	return CKey(w, d, c)<<24 | uint64(o)
+}
+
+// --- row codecs --------------------------------------------------------
+//
+// Rows are fixed-layout little-endian; only the fields the transactions
+// touch are modelled, the rest is padding. Codecs read/write in place.
+
+// Warehouse row: YTD (8) TAX (8) pad.
+type Warehouse struct {
+	YTD uint64 // money in cents
+	Tax uint64 // basis points
+}
+
+// EncodeTo writes the row image.
+func (r *Warehouse) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], r.YTD)
+	binary.LittleEndian.PutUint64(b[8:], r.Tax)
+}
+
+// DecodeWarehouse parses a row image.
+func DecodeWarehouse(b []byte) Warehouse {
+	return Warehouse{
+		YTD: binary.LittleEndian.Uint64(b[0:]),
+		Tax: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// District row: NextOID (8) YTD (8) Tax (8) pad.
+type District struct {
+	NextOID uint64
+	YTD     uint64
+	Tax     uint64
+}
+
+// EncodeTo writes the row image.
+func (r *District) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], r.NextOID)
+	binary.LittleEndian.PutUint64(b[8:], r.YTD)
+	binary.LittleEndian.PutUint64(b[16:], r.Tax)
+}
+
+// DecodeDistrict parses a row image.
+func DecodeDistrict(b []byte) District {
+	return District{
+		NextOID: binary.LittleEndian.Uint64(b[0:]),
+		YTD:     binary.LittleEndian.Uint64(b[8:]),
+		Tax:     binary.LittleEndian.Uint64(b[16:]),
+	}
+}
+
+// Customer row: Balance (8, signed cents) YTDPayment (8) PaymentCnt (4)
+// DeliveryCnt (4) NameIdx (4) pad (discount, credit, the 500-byte data
+// field, ... are padding).
+type Customer struct {
+	Balance     int64
+	YTDPayment  uint64
+	PaymentCnt  uint32
+	DeliveryCnt uint32
+	NameIdx     uint32 // last-name index 0..999
+}
+
+// EncodeTo writes the row image.
+func (r *Customer) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(r.Balance))
+	binary.LittleEndian.PutUint64(b[8:], r.YTDPayment)
+	binary.LittleEndian.PutUint32(b[16:], r.PaymentCnt)
+	binary.LittleEndian.PutUint32(b[20:], r.DeliveryCnt)
+	binary.LittleEndian.PutUint32(b[24:], r.NameIdx)
+}
+
+// DecodeCustomer parses a row image.
+func DecodeCustomer(b []byte) Customer {
+	return Customer{
+		Balance:     int64(binary.LittleEndian.Uint64(b[0:])),
+		YTDPayment:  binary.LittleEndian.Uint64(b[8:]),
+		PaymentCnt:  binary.LittleEndian.Uint32(b[16:]),
+		DeliveryCnt: binary.LittleEndian.Uint32(b[20:]),
+		NameIdx:     binary.LittleEndian.Uint32(b[24:]),
+	}
+}
+
+// Order row: CID (4) OLCnt (4) CarrierID (4) Entry (8) pad.
+type Order struct {
+	CID       uint32
+	OLCnt     uint32
+	CarrierID uint32
+	Entry     uint64
+}
+
+// EncodeTo writes the row image.
+func (r *Order) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], r.CID)
+	binary.LittleEndian.PutUint32(b[4:], r.OLCnt)
+	binary.LittleEndian.PutUint32(b[8:], r.CarrierID)
+	binary.LittleEndian.PutUint64(b[12:], r.Entry)
+}
+
+// DecodeOrder parses a row image.
+func DecodeOrder(b []byte) Order {
+	return Order{
+		CID:       binary.LittleEndian.Uint32(b[0:]),
+		OLCnt:     binary.LittleEndian.Uint32(b[4:]),
+		CarrierID: binary.LittleEndian.Uint32(b[8:]),
+		Entry:     binary.LittleEndian.Uint64(b[12:]),
+	}
+}
+
+// OrderLine row: ItemID (4) SupplyW (4) Qty (4) pad4 Amount (8)
+// DeliveryD (8) pad.
+type OrderLine struct {
+	ItemID    uint32
+	SupplyW   uint32
+	Qty       uint32
+	Amount    uint64
+	DeliveryD uint64
+}
+
+// EncodeTo writes the row image.
+func (r *OrderLine) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], r.ItemID)
+	binary.LittleEndian.PutUint32(b[4:], r.SupplyW)
+	binary.LittleEndian.PutUint32(b[8:], r.Qty)
+	binary.LittleEndian.PutUint64(b[16:], r.Amount)
+	binary.LittleEndian.PutUint64(b[24:], r.DeliveryD)
+}
+
+// DecodeOrderLine parses a row image.
+func DecodeOrderLine(b []byte) OrderLine {
+	return OrderLine{
+		ItemID:    binary.LittleEndian.Uint32(b[0:]),
+		SupplyW:   binary.LittleEndian.Uint32(b[4:]),
+		Qty:       binary.LittleEndian.Uint32(b[8:]),
+		Amount:    binary.LittleEndian.Uint64(b[16:]),
+		DeliveryD: binary.LittleEndian.Uint64(b[24:]),
+	}
+}
+
+// Item row: Price (8) pad.
+type Item struct {
+	Price uint64
+}
+
+// EncodeTo writes the row image.
+func (r *Item) EncodeTo(b []byte) { binary.LittleEndian.PutUint64(b[0:], r.Price) }
+
+// DecodeItem parses a row image.
+func DecodeItem(b []byte) Item {
+	return Item{Price: binary.LittleEndian.Uint64(b[0:])}
+}
+
+// Stock row: Qty (8) YTD (8) OrderCnt (4) RemoteCnt (4) pad (the S_DIST_xx
+// strings and data field are padding).
+type Stock struct {
+	Qty       uint64
+	YTD       uint64
+	OrderCnt  uint32
+	RemoteCnt uint32
+}
+
+// EncodeTo writes the row image.
+func (r *Stock) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], r.Qty)
+	binary.LittleEndian.PutUint64(b[8:], r.YTD)
+	binary.LittleEndian.PutUint32(b[16:], r.OrderCnt)
+	binary.LittleEndian.PutUint32(b[20:], r.RemoteCnt)
+}
+
+// DecodeStock parses a row image.
+func DecodeStock(b []byte) Stock {
+	return Stock{
+		Qty:       binary.LittleEndian.Uint64(b[0:]),
+		YTD:       binary.LittleEndian.Uint64(b[8:]),
+		OrderCnt:  binary.LittleEndian.Uint32(b[16:]),
+		RemoteCnt: binary.LittleEndian.Uint32(b[20:]),
+	}
+}
+
+// putU64 writes an 8-byte index-table row.
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// getU64 reads an 8-byte index-table row.
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// Workload is a loaded TPC-C database.
+type Workload struct {
+	Cfg Config
+	T   Tables
+}
+
+// Setup creates and bulk-loads all nine tables plus the index tables.
+func Setup(db *cc.DB, cfg Config) *Workload {
+	if cfg.Warehouses < 1 {
+		panic("tpcc: need at least one warehouse")
+	}
+	wh := cfg.Warehouses
+	t := Tables{
+		Warehouse:   db.CreateTable("warehouse", warehouseSize, cc.HashIndex, wh),
+		District:    db.CreateTable("district", districtSize, cc.HashIndex, wh*DistPerWH),
+		Customer:    db.CreateTable("customer", customerSize, cc.HashIndex, wh*DistPerWH*CustPerDist),
+		History:     db.CreateTable("history", historySize, cc.HashIndex, wh*DistPerWH*CustPerDist),
+		NewOrder:    db.CreateTable("new_order", newOrderSize, cc.OrderedIndex, 0),
+		Order:       db.CreateTable("oorder", orderSize, cc.OrderedIndex, 0),
+		OrderLine:   db.CreateTable("order_line", orderLineSize, cc.OrderedIndex, 0),
+		Item:        db.CreateTable("item", itemSize, cc.HashIndex, Items),
+		Stock:       db.CreateTable("stock", stockSize, cc.HashIndex, wh*Items),
+		CustByName:  db.CreateTable("customer_by_name", idxRowSize, cc.OrderedIndex, 0),
+		OrderByCust: db.CreateTable("order_by_customer", idxRowSize, cc.OrderedIndex, 0),
+	}
+	w := &Workload{Cfg: cfg, T: t}
+	w.load(db)
+	return w
+}
+
+// load populates initial data per the TPC-C spec's shapes (deterministic
+// pseudo-random content; quantities and prices in plausible ranges).
+func (w *Workload) load(db *cc.DB) {
+	rng := newRand(42)
+	buf := make([]byte, 1024)
+
+	for i := 1; i <= Items; i++ {
+		it := Item{Price: 100 + rng.n(9900)}
+		row := buf[:itemSize]
+		clear(row)
+		it.EncodeTo(row)
+		db.LoadRecord(w.T.Item, IKey(i), row)
+	}
+	for wid := 1; wid <= w.Cfg.Warehouses; wid++ {
+		wr := Warehouse{YTD: 30000000, Tax: rng.n(2000)}
+		row := buf[:warehouseSize]
+		clear(row)
+		wr.EncodeTo(row)
+		db.LoadRecord(w.T.Warehouse, WKey(wid), row)
+
+		for i := 1; i <= Items; i++ {
+			st := Stock{Qty: 10 + rng.n(91)}
+			row := buf[:stockSize]
+			clear(row)
+			st.EncodeTo(row)
+			db.LoadRecord(w.T.Stock, SKey(wid, i), row)
+		}
+		for d := 1; d <= DistPerWH; d++ {
+			dr := District{NextOID: InitOrders + 1, YTD: 3000000, Tax: rng.n(2000)}
+			row := buf[:districtSize]
+			clear(row)
+			dr.EncodeTo(row)
+			db.LoadRecord(w.T.District, DKey(wid, d), row)
+
+			for c := 1; c <= CustPerDist; c++ {
+				nameIdx := lastNameIdxForLoad(c, rng)
+				cr := Customer{Balance: -1000, NameIdx: uint32(nameIdx)}
+				row := buf[:customerSize]
+				clear(row)
+				cr.EncodeTo(row)
+				db.LoadRecord(w.T.Customer, CKey(wid, d, c), row)
+
+				irow := buf[:idxRowSize]
+				putU64(irow, CKey(wid, d, c))
+				db.LoadRecord(w.T.CustByName, CNameKey(wid, d, nameIdx, c), irow)
+			}
+			// Initial orders with a random customer permutation, the last
+			// 900 still undelivered (in NEW-ORDER).
+			perm := rng.perm(CustPerDist)
+			for o := 1; o <= InitOrders; o++ {
+				cid := perm[o-1] + 1
+				olCnt := 5 + int(rng.n(11))
+				carrier := uint32(1 + rng.n(10))
+				if o >= NewOrderLo {
+					carrier = 0 // undelivered
+				}
+				or := Order{CID: uint32(cid), OLCnt: uint32(olCnt), CarrierID: carrier, Entry: rng.n(1 << 30)}
+				row := buf[:orderSize]
+				clear(row)
+				or.EncodeTo(row)
+				db.LoadRecord(w.T.Order, OKey(wid, d, o), row)
+
+				irow := buf[:idxRowSize]
+				putU64(irow, OKey(wid, d, o))
+				db.LoadRecord(w.T.OrderByCust, OCustKey(wid, d, cid, o), irow)
+
+				for ol := 1; ol <= olCnt; ol++ {
+					olr := OrderLine{
+						ItemID:  uint32(1 + rng.n(Items)),
+						SupplyW: uint32(wid),
+						Qty:     5,
+						Amount:  rng.n(999900),
+					}
+					if o < NewOrderLo {
+						olr.DeliveryD = or.Entry
+					}
+					row := buf[:orderLineSize]
+					clear(row)
+					olr.EncodeTo(row)
+					db.LoadRecord(w.T.OrderLine, OLKey(wid, d, o, ol), row)
+				}
+				if o >= NewOrderLo {
+					row := buf[:newOrderSize]
+					clear(row)
+					db.LoadRecord(w.T.NewOrder, NOKey(wid, d, o), row)
+				}
+			}
+		}
+	}
+}
+
+// lastNameIdxForLoad spreads customer last names per the TPC-C rule:
+// the first 1000 customers get names 0..999, the rest NURand(255).
+func lastNameIdxForLoad(c int, r *rand64) int {
+	if c <= 1000 {
+		return c - 1
+	}
+	return int(nuRand(r, 255, 0, 999, cLoadName))
+}

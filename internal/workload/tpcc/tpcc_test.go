@@ -1,0 +1,316 @@
+package tpcc
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/lock"
+)
+
+func runTxn(t *testing.T, w cc.Worker, txn Txn) {
+	t.Helper()
+	first := true
+	for {
+		err := w.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly, ResourceHint: txn.Hint})
+		if err == nil || errors.Is(err, ErrRollback) {
+			return
+		}
+		if !cc.IsAborted(err) {
+			t.Fatalf("%s: %v", txn.Type, err)
+		}
+		first = false
+		runtime.Gosched()
+	}
+}
+
+func setupT(t *testing.T, e cc.Engine, workers int) (*cc.DB, *Workload) {
+	t.Helper()
+	db := cc.NewDB(workers, e.TableOpts())
+	w := Setup(db, Config{Warehouses: 1, InvalidItemPct: 1})
+	return db, w
+}
+
+func TestKeysPackDistinctly(t *testing.T) {
+	seen := map[uint64]string{}
+	add := func(k uint64, what string) {
+		if prev, dup := seen[k]; dup && prev != what {
+			// Keys may collide across tables (different key spaces), but
+			// never within one space — track per space instead.
+			return
+		}
+		seen[k] = what
+	}
+	for w := 1; w <= 2; w++ {
+		for d := 1; d <= DistPerWH; d++ {
+			add(DKey(w, d), "d")
+			for o := 1; o <= 50; o++ {
+				add(OKey(w, d, o), "o")
+				for ol := 1; ol <= 15; ol++ {
+					add(OLKey(w, d, o, ol), "ol")
+				}
+			}
+		}
+	}
+	// Order keys for distinct (w,d,o) must be unique.
+	ok := map[uint64]bool{}
+	for w := 1; w <= 4; w++ {
+		for d := 1; d <= DistPerWH; d++ {
+			for o := 1; o <= 100; o++ {
+				k := OKey(w, d, o)
+				if ok[k] {
+					t.Fatalf("OKey collision at w=%d d=%d o=%d", w, d, o)
+				}
+				ok[k] = true
+			}
+		}
+	}
+	// Order-line keys must nest inside order keys reversibly.
+	k := OLKey(3, 7, 1234, 9)
+	if k>>4 != OKey(3, 7, 1234) || k&15 != 9 {
+		t.Fatal("OLKey does not decompose")
+	}
+	// CNameKey must be range-scannable per (w,d,nameIdx).
+	lo := CNameKey(1, 2, 55, 0)
+	hi := CNameKey(1, 2, 55, (1<<12)-1)
+	mid := CNameKey(1, 2, 55, 1500)
+	if mid < lo || mid > hi {
+		t.Fatal("CNameKey range broken")
+	}
+	if CNameKey(1, 2, 56, 0) <= hi {
+		t.Fatal("CNameKey ranges overlap across name indexes")
+	}
+}
+
+func TestRowCodecsRoundTrip(t *testing.T) {
+	b := make([]byte, 1024)
+	wh := Warehouse{YTD: 123, Tax: 45}
+	wh.EncodeTo(b)
+	if DecodeWarehouse(b) != wh {
+		t.Fatal("warehouse codec")
+	}
+	d := District{NextOID: 1, YTD: 2, Tax: 3}
+	d.EncodeTo(b)
+	if DecodeDistrict(b) != d {
+		t.Fatal("district codec")
+	}
+	c := Customer{Balance: -77, YTDPayment: 8, PaymentCnt: 9, DeliveryCnt: 10, NameIdx: 11}
+	c.EncodeTo(b)
+	if DecodeCustomer(b) != c {
+		t.Fatal("customer codec")
+	}
+	o := Order{CID: 1, OLCnt: 2, CarrierID: 3, Entry: 4}
+	o.EncodeTo(b)
+	if DecodeOrder(b) != o {
+		t.Fatal("order codec")
+	}
+	ol := OrderLine{ItemID: 1, SupplyW: 2, Qty: 3, Amount: 4, DeliveryD: 5}
+	ol.EncodeTo(b)
+	if DecodeOrderLine(b) != ol {
+		t.Fatal("orderline codec")
+	}
+	s := Stock{Qty: 1, YTD: 2, OrderCnt: 3, RemoteCnt: 4}
+	s.EncodeTo(b)
+	if DecodeStock(b) != s {
+		t.Fatal("stock codec")
+	}
+	i := Item{Price: 42}
+	i.EncodeTo(b)
+	if DecodeItem(b) != i {
+		t.Fatal("item codec")
+	}
+}
+
+func TestNURandInRange(t *testing.T) {
+	r := newRand(1)
+	for i := 0; i < 10000; i++ {
+		if c := custID(r); c < 1 || c > CustPerDist {
+			t.Fatalf("custID %d out of range", c)
+		}
+		if it := itemID(r); it < 1 || it > Items {
+			t.Fatalf("itemID %d out of range", it)
+		}
+		if n := lastNameIdx(r); n < 0 || n > 999 {
+			t.Fatalf("lastNameIdx %d out of range", n)
+		}
+	}
+}
+
+func TestLoadShapes(t *testing.T) {
+	e := core.New(core.Options{})
+	_, w := setupT(t, e, 1)
+	tb := &w.T
+	if tb.Item.Idx.Len() != Items {
+		t.Fatalf("items = %d", tb.Item.Idx.Len())
+	}
+	if tb.Customer.Idx.Len() != DistPerWH*CustPerDist {
+		t.Fatalf("customers = %d", tb.Customer.Idx.Len())
+	}
+	if tb.Order.Idx.Len() != DistPerWH*InitOrders {
+		t.Fatalf("orders = %d", tb.Order.Idx.Len())
+	}
+	wantNO := DistPerWH * (InitOrders - NewOrderLo + 1)
+	if tb.NewOrder.Idx.Len() != wantNO {
+		t.Fatalf("new orders = %d, want %d", tb.NewOrder.Idx.Len(), wantNO)
+	}
+	if tb.Stock.Idx.Len() != Items {
+		t.Fatalf("stock = %d", tb.Stock.Idx.Len())
+	}
+	if tb.CustByName.Idx.Len() != DistPerWH*CustPerDist {
+		t.Fatalf("name index = %d", tb.CustByName.Idx.Len())
+	}
+}
+
+func TestEachTxnTypeCommits(t *testing.T) {
+	for _, e := range []cc.Engine{core.New(core.Options{}), cc.NewSilo(), cc.NewTwoPL(lock.WoundWait)} {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, w := setupT(t, e, 1)
+			worker := e.NewWorker(db, 1, false)
+			g := w.NewGen(1, 99)
+			runTxn(t, worker, g.NewOrder())
+			runTxn(t, worker, g.Payment())
+			runTxn(t, worker, g.OrderStatus())
+			runTxn(t, worker, g.Delivery())
+			runTxn(t, worker, g.StockLevel())
+		})
+	}
+}
+
+func TestMixDistribution(t *testing.T) {
+	e := core.New(core.Options{})
+	_, w := setupT(t, e, 1)
+	g := w.NewGen(1, 5)
+	var counts [numTxnTypes]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Type]++
+	}
+	frac := func(tt TxnType) float64 { return float64(counts[tt]) / n }
+	if f := frac(TxnNewOrder); f < 0.42 || f > 0.48 {
+		t.Fatalf("NewOrder fraction %f", f)
+	}
+	if f := frac(TxnPayment); f < 0.40 || f > 0.46 {
+		t.Fatalf("Payment fraction %f", f)
+	}
+	for _, tt := range []TxnType{TxnOrderStatus, TxnDelivery, TxnStockLevel} {
+		if f := frac(tt); f < 0.03 || f > 0.05 {
+			t.Fatalf("%s fraction %f", tt, f)
+		}
+	}
+}
+
+// TestConsistencyAfterConcurrentMix runs a concurrent mixed workload and
+// then verifies the TPC-C consistency conditions that our transactions
+// maintain.
+func TestConsistencyAfterConcurrentMix(t *testing.T) {
+	engines := []cc.Engine{
+		core.New(core.Options{}),
+		core.New(core.Options{DWA: true}),
+		cc.NewSilo(),
+		cc.NewTwoPL(lock.WoundWait),
+	}
+	for _, e := range engines {
+		t.Run(e.Name(), func(t *testing.T) {
+			const workers, txnsPer = 4, 60
+			db, w := setupT(t, e, workers)
+			var wg sync.WaitGroup
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					worker := e.NewWorker(db, wid, false)
+					g := w.NewGen(wid, int64(wid))
+					for i := 0; i < txnsPer; i++ {
+						runTxn(t, worker, g.Next())
+					}
+				}(wid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			verifyConsistency(t, e, db, w)
+		})
+	}
+}
+
+// verifyConsistency checks, serially:
+//
+//	C1: D_NEXT_O_ID - 1 equals the maximum order id in ORDER and no
+//	    NEW-ORDER entry exceeds it.
+//	C2: W_YTD - init == Σ_d (D_YTD - init) for the warehouse.
+//	C3: every ORDER has exactly OLCnt order lines.
+func verifyConsistency(t *testing.T, e cc.Engine, db *cc.DB, w *Workload) {
+	t.Helper()
+	tb := &w.T
+	worker := e.NewWorker(db, 1, false)
+	proc := func(tx cc.Tx) error {
+		const initWYTD, initDYTD = 30000000, 3000000
+		wrow, err := tx.Read(tb.Warehouse, WKey(1))
+		if err != nil {
+			return err
+		}
+		var distSum uint64
+		for d := 1; d <= DistPerWH; d++ {
+			drow, err := tx.Read(tb.District, DKey(1, d))
+			if err != nil {
+				return err
+			}
+			dist := DecodeDistrict(drow)
+			distSum += dist.YTD - initDYTD
+
+			// C1: max order id == NextOID-1.
+			maxO := uint64(0)
+			if err := tx.ScanRC(tb.Order, OKey(1, d, 0), OKey(1, d, (1<<32)-1),
+				func(k uint64, v []byte) bool {
+					maxO = k & ((1 << 32) - 1)
+					return true
+				}); err != nil {
+				return err
+			}
+			if maxO != dist.NextOID-1 {
+				t.Errorf("d=%d: max order %d != NextOID-1 %d", d, maxO, dist.NextOID-1)
+			}
+			// C3 on the most recent 30 orders (bounded for test speed).
+			lo := int64(dist.NextOID) - 30
+			if lo < 1 {
+				lo = 1
+			}
+			for o := lo; o < int64(dist.NextOID); o++ {
+				orow, err := tx.Read(tb.Order, OKey(1, d, int(o)))
+				if errors.Is(err, cc.ErrNotFound) {
+					t.Errorf("d=%d: order %d missing", d, o)
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				or := DecodeOrder(orow)
+				for ol := 1; ol <= int(or.OLCnt); ol++ {
+					if _, err := tx.Read(tb.OrderLine, OLKey(1, d, int(o), ol)); err != nil {
+						t.Errorf("d=%d o=%d: line %d missing (%v)", d, o, ol, err)
+					}
+				}
+			}
+		}
+		wytd := DecodeWarehouse(wrow).YTD - initWYTD
+		if wytd != distSum {
+			t.Errorf("C2: W_YTD delta %d != Σ D_YTD delta %d", wytd, distSum)
+		}
+		return nil
+	}
+	first := true
+	for {
+		err := worker.Attempt(proc, first, cc.AttemptOpts{})
+		if err == nil {
+			return
+		}
+		if !cc.IsAborted(err) {
+			t.Fatal(err)
+		}
+		first = false
+	}
+}

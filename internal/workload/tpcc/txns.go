@@ -1,0 +1,549 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/cc"
+)
+
+// ErrRollback marks a transaction the TPC-C spec rolls back intentionally
+// (the ~1% of NewOrders carrying an invalid item). It is not a conflict
+// abort: the harness counts it as a completed (rolled-back) transaction.
+var ErrRollback = cc.ErrIntentionalRollback
+
+// errInsertRace converts a duplicate-key insert into a retryable abort:
+// under OCC engines two NewOrders can optimistically read the same
+// D_NEXT_O_ID and race to insert the same order key. The loser's district
+// read would fail validation at commit anyway; the duplicate merely
+// detects the conflict early. (Locking engines serialize D_NEXT_O_ID via
+// the district write lock, so they never hit this.)
+var errInsertRace = fmt.Errorf("%w: lost an order-id insert race", cc.ErrAborted)
+
+// insertOrRace runs an insert whose key was derived from optimistically
+// read state, translating ErrDuplicate into a retryable abort.
+func insertOrRace(tx cc.Tx, t *cc.Table, key uint64, val []byte) error {
+	err := tx.Insert(t, key, val)
+	if errors.Is(err, cc.ErrDuplicate) {
+		return errInsertRace
+	}
+	return err
+}
+
+// TxnType labels the five TPC-C transactions.
+type TxnType int
+
+// The five transaction types.
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	numTxnTypes
+)
+
+// String returns the transaction's name.
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "NewOrder"
+	case TxnPayment:
+		return "Payment"
+	case TxnOrderStatus:
+		return "OrderStatus"
+	case TxnDelivery:
+		return "Delivery"
+	case TxnStockLevel:
+		return "StockLevel"
+	}
+	return "Unknown"
+}
+
+// Txn is one generated TPC-C transaction.
+type Txn struct {
+	Type     TxnType
+	ReadOnly bool
+	Hint     int // resource estimate for Plor-RT (records touched)
+	Proc     cc.Proc
+}
+
+// Gen produces transactions for one worker. Not safe for concurrent use.
+type Gen struct {
+	w     *Workload
+	rng   *rand64
+	wid   uint16
+	homeW int
+	hseq  uint64
+
+	line  [16]orderLineReq
+	items map[uint32]struct{} // scratch for StockLevel distinct items
+	row   []byte              // scratch row buffer
+}
+
+type orderLineReq struct {
+	item    int
+	supplyW int
+	qty     uint64
+}
+
+// NewGen creates worker wid's generator. Its home warehouse is derived from
+// wid so load spreads across warehouses.
+func (w *Workload) NewGen(wid uint16, seed int64) *Gen {
+	return &Gen{
+		w:     w,
+		rng:   newRand(uint64(seed)*2654435761 + uint64(wid)),
+		wid:   wid,
+		homeW: int(uint64(wid-1)%uint64(w.Cfg.Warehouses)) + 1,
+		items: make(map[uint32]struct{}, 64),
+		row:   make([]byte, 1024),
+	}
+}
+
+// yield cedes the processor between record operations when configured.
+func (g *Gen) yield() {
+	if g.w.Cfg.Yield {
+		runtime.Gosched()
+	}
+}
+
+// Next draws a transaction from the standard mix: 45% NewOrder, 43%
+// Payment, 4% each Order-Status / Delivery / Stock-Level.
+func (g *Gen) Next() Txn {
+	switch p := g.rng.n(100); {
+	case p < 45:
+		return g.NewOrder()
+	case p < 88:
+		return g.Payment()
+	case p < 92:
+		return g.OrderStatus()
+	case p < 96:
+		return g.Delivery()
+	default:
+		return g.StockLevel()
+	}
+}
+
+// otherWarehouse picks a warehouse ≠ w (or w when only one exists).
+func (g *Gen) otherWarehouse(w int) int {
+	if g.w.Cfg.Warehouses == 1 {
+		return w
+	}
+	for {
+		o := int(g.rng.between(1, uint64(g.w.Cfg.Warehouses)))
+		if o != w {
+			return o
+		}
+	}
+}
+
+// NewOrder generates a New-Order transaction (TPC-C §2.4).
+func (g *Gen) NewOrder() Txn {
+	t := &g.w.T
+	w := g.homeW
+	d := int(g.rng.between(1, DistPerWH))
+	c := custID(g.rng)
+	nLines := int(g.rng.between(5, 15))
+	invalid := g.w.Cfg.InvalidItemPct > 0 && g.rng.f()*100 < g.w.Cfg.InvalidItemPct
+	for i := 0; i < nLines; i++ {
+		l := &g.line[i]
+		l.item = itemID(g.rng)
+		l.supplyW = w
+		if g.rng.n(100) == 0 { // 1% per line: remote supply warehouse
+			l.supplyW = g.otherWarehouse(w)
+		}
+		l.qty = g.rng.between(1, 10)
+	}
+	if invalid {
+		g.line[nLines-1].item = Items + 1 // unused id → rollback
+	}
+	lines := g.line[:nLines]
+
+	proc := func(tx cc.Tx) error {
+		wrow, err := tx.Read(t.Warehouse, WKey(w))
+		if err != nil {
+			return err
+		}
+		_ = DecodeWarehouse(wrow).Tax
+
+		drow, err := tx.ReadForUpdate(t.District, DKey(w, d))
+		if err != nil {
+			return err
+		}
+		dist := DecodeDistrict(drow)
+		o := int(dist.NextOID)
+		dist.NextOID++
+		buf := g.row[:districtSize]
+		copy(buf, drow)
+		dist.EncodeTo(buf)
+		if err := tx.Update(t.District, DKey(w, d), buf); err != nil {
+			return err
+		}
+		g.yield()
+
+		if _, err := tx.Read(t.Customer, CKey(w, d, c)); err != nil {
+			return err
+		}
+
+		or := Order{CID: uint32(c), OLCnt: uint32(len(lines)), Entry: 1}
+		obuf := g.row[:orderSize]
+		clear(obuf)
+		or.EncodeTo(obuf)
+		if err := insertOrRace(tx, t.Order, OKey(w, d, o), obuf); err != nil {
+			return err
+		}
+		ibuf := g.row[:idxRowSize]
+		putU64(ibuf, OKey(w, d, o))
+		if err := insertOrRace(tx, t.OrderByCust, OCustKey(w, d, c, o), ibuf); err != nil {
+			return err
+		}
+		nbuf := g.row[:newOrderSize]
+		clear(nbuf)
+		if err := insertOrRace(tx, t.NewOrder, NOKey(w, d, o), nbuf); err != nil {
+			return err
+		}
+
+		for i, l := range lines {
+			irow, err := tx.Read(t.Item, IKey(l.item))
+			if errors.Is(err, cc.ErrNotFound) {
+				return ErrRollback // spec: 1% intentional rollback
+			}
+			if err != nil {
+				return err
+			}
+			price := DecodeItem(irow).Price
+
+			skey := SKey(l.supplyW, l.item)
+			srow, err := tx.ReadForUpdate(t.Stock, skey)
+			if err != nil {
+				return err
+			}
+			st := DecodeStock(srow)
+			if st.Qty >= l.qty+10 {
+				st.Qty -= l.qty
+			} else {
+				st.Qty = st.Qty - l.qty + 91
+			}
+			st.YTD += l.qty
+			st.OrderCnt++
+			if l.supplyW != w {
+				st.RemoteCnt++
+			}
+			sbuf := g.row[:stockSize]
+			copy(sbuf, srow)
+			st.EncodeTo(sbuf)
+			if err := tx.Update(t.Stock, skey, sbuf); err != nil {
+				return err
+			}
+
+			olr := OrderLine{
+				ItemID:  uint32(l.item),
+				SupplyW: uint32(l.supplyW),
+				Qty:     uint32(l.qty),
+				Amount:  l.qty * price,
+			}
+			olbuf := g.row[:orderLineSize]
+			clear(olbuf)
+			olr.EncodeTo(olbuf)
+			if err := insertOrRace(tx, t.OrderLine, OLKey(w, d, o, i+1), olbuf); err != nil {
+				return err
+			}
+			g.yield()
+		}
+		return nil
+	}
+	return Txn{Type: TxnNewOrder, Hint: 6 + 3*nLines, Proc: proc}
+}
+
+// Payment generates a Payment transaction (TPC-C §2.5).
+func (g *Gen) Payment() Txn {
+	t := &g.w.T
+	w := g.homeW
+	d := int(g.rng.between(1, DistPerWH))
+	cw, cd := w, d
+	if g.rng.n(100) < 15 { // 15% remote customer
+		cw = g.otherWarehouse(w)
+		cd = int(g.rng.between(1, DistPerWH))
+	}
+	byName := g.rng.n(100) < 60
+	nameIdx := lastNameIdx(g.rng)
+	cid := custID(g.rng)
+	amount := g.rng.between(100, 500000)
+	hkey := uint64(g.wid)<<40 | g.hseq
+	g.hseq++
+
+	proc := func(tx cc.Tx) error {
+		wrow, err := tx.ReadForUpdate(t.Warehouse, WKey(w))
+		if err != nil {
+			return err
+		}
+		wh := DecodeWarehouse(wrow)
+		wh.YTD += amount
+		wbuf := g.row[:warehouseSize]
+		copy(wbuf, wrow)
+		wh.EncodeTo(wbuf)
+		if err := tx.Update(t.Warehouse, WKey(w), wbuf); err != nil {
+			return err
+		}
+		g.yield()
+
+		drow, err := tx.ReadForUpdate(t.District, DKey(w, d))
+		if err != nil {
+			return err
+		}
+		dist := DecodeDistrict(drow)
+		dist.YTD += amount
+		dbuf := g.row[:districtSize]
+		copy(dbuf, drow)
+		dist.EncodeTo(dbuf)
+		if err := tx.Update(t.District, DKey(w, d), dbuf); err != nil {
+			return err
+		}
+		g.yield()
+
+		c := cid
+		if byName {
+			c, err = lookupByName(tx, t, cw, cd, nameIdx)
+			if err != nil {
+				return err
+			}
+		}
+		ckey := CKey(cw, cd, c)
+		crow, err := tx.ReadForUpdate(t.Customer, ckey)
+		if err != nil {
+			return err
+		}
+		cust := DecodeCustomer(crow)
+		cust.Balance -= int64(amount)
+		cust.YTDPayment += amount
+		cust.PaymentCnt++
+		cbuf := g.row[:customerSize]
+		copy(cbuf, crow)
+		cust.EncodeTo(cbuf)
+		if err := tx.Update(t.Customer, ckey, cbuf); err != nil {
+			return err
+		}
+
+		hbuf := g.row[:historySize]
+		clear(hbuf)
+		putU64(hbuf, amount)
+		return tx.Insert(t.History, hkey, hbuf)
+	}
+	return Txn{Type: TxnPayment, Hint: 4, Proc: proc}
+}
+
+// lookupByName resolves a customer id by last name: collect the matching
+// customers (sorted by id) and pick the middle one, per TPC-C §2.5.2.2.
+func lookupByName(tx cc.Tx, t *Tables, w, d, nameIdx int) (int, error) {
+	lo := CNameKey(w, d, nameIdx, 0)
+	hi := CNameKey(w, d, nameIdx, (1<<12)-1)
+	var ids []int // small; escapes rarely matter at 4% frequency
+	err := tx.ScanRC(t.CustByName, lo, hi, func(k uint64, v []byte) bool {
+		ids = append(ids, int(k&((1<<12)-1)))
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("tpcc: no customer with name index %d: %w", nameIdx, cc.ErrNotFound)
+	}
+	return ids[len(ids)/2], nil
+}
+
+// OrderStatus generates an Order-Status transaction (TPC-C §2.6).
+func (g *Gen) OrderStatus() Txn {
+	t := &g.w.T
+	w := g.homeW
+	d := int(g.rng.between(1, DistPerWH))
+	byName := g.rng.n(100) < 60
+	nameIdx := lastNameIdx(g.rng)
+	cid := custID(g.rng)
+
+	proc := func(tx cc.Tx) error {
+		c := cid
+		if byName {
+			var err error
+			c, err = lookupByName(tx, t, w, d, nameIdx)
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := tx.Read(t.Customer, CKey(w, d, c)); err != nil {
+			return err
+		}
+		// Most recent order of the customer via the order-by-customer
+		// index table.
+		lo := OCustKey(w, d, c, 0)
+		hi := OCustKey(w, d, c, (1<<24)-1)
+		var okey uint64
+		found := false
+		err := tx.ScanRC(t.OrderByCust, lo, hi, func(k uint64, v []byte) bool {
+			okey = getU64(v)
+			found = true
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if !found {
+			return nil // customer has no orders yet
+		}
+		orow, err := tx.Read(t.Order, okey)
+		if errors.Is(err, cc.ErrNotFound) {
+			return nil // index raced a concurrent insert's rollback
+		}
+		if err != nil {
+			return err
+		}
+		or := DecodeOrder(orow)
+		for ol := 1; ol <= int(or.OLCnt); ol++ {
+			if _, err := tx.Read(t.OrderLine, okey<<4|uint64(ol)); err != nil {
+				if errors.Is(err, cc.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	return Txn{Type: TxnOrderStatus, ReadOnly: true, Hint: 14, Proc: proc}
+}
+
+// Delivery generates a Delivery transaction (TPC-C §2.7), processed as a
+// single transaction over all ten districts as in DBx1000.
+func (g *Gen) Delivery() Txn {
+	t := &g.w.T
+	w := g.homeW
+	carrier := uint32(g.rng.between(1, 10))
+
+	proc := func(tx cc.Tx) error {
+		for d := 1; d <= DistPerWH; d++ {
+			// Oldest undelivered order in the district.
+			lo := NOKey(w, d, 0)
+			hi := NOKey(w, d, (1<<32)-1)
+			var noKey uint64
+			found := false
+			if err := tx.ScanRC(t.NewOrder, lo, hi, func(k uint64, v []byte) bool {
+				noKey = k
+				found = true
+				return false // first = oldest
+			}); err != nil {
+				return err
+			}
+			if !found {
+				continue
+			}
+			if err := tx.Delete(t.NewOrder, noKey); err != nil {
+				if errors.Is(err, cc.ErrNotFound) {
+					continue // another Delivery got it first
+				}
+				return err
+			}
+			okey := noKey
+			orow, err := tx.ReadForUpdate(t.Order, okey)
+			if err != nil {
+				if errors.Is(err, cc.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			or := DecodeOrder(orow)
+			or.CarrierID = carrier
+			obuf := g.row[:orderSize]
+			copy(obuf, orow)
+			or.EncodeTo(obuf)
+			if err := tx.Update(t.Order, okey, obuf); err != nil {
+				return err
+			}
+
+			var sum uint64
+			for ol := 1; ol <= int(or.OLCnt); ol++ {
+				olkey := okey<<4 | uint64(ol)
+				olrow, err := tx.ReadForUpdate(t.OrderLine, olkey)
+				if err != nil {
+					if errors.Is(err, cc.ErrNotFound) {
+						continue
+					}
+					return err
+				}
+				olr := DecodeOrderLine(olrow)
+				sum += olr.Amount
+				olr.DeliveryD = 1
+				olbuf := g.row[:orderLineSize]
+				copy(olbuf, olrow)
+				olr.EncodeTo(olbuf)
+				if err := tx.Update(t.OrderLine, olkey, olbuf); err != nil {
+					return err
+				}
+			}
+
+			ckey := CKey(w, d, int(or.CID))
+			crow, err := tx.ReadForUpdate(t.Customer, ckey)
+			if err != nil {
+				return err
+			}
+			cust := DecodeCustomer(crow)
+			cust.Balance += int64(sum)
+			cust.DeliveryCnt++
+			cbuf := g.row[:customerSize]
+			copy(cbuf, crow)
+			cust.EncodeTo(cbuf)
+			if err := tx.Update(t.Customer, ckey, cbuf); err != nil {
+				return err
+			}
+			g.yield()
+		}
+		return nil
+	}
+	return Txn{Type: TxnDelivery, Hint: 120, Proc: proc}
+}
+
+// StockLevel generates a Stock-Level transaction (TPC-C §2.8). Per the
+// paper (§5, §6.1) it runs at read-committed isolation: all reads are RC.
+func (g *Gen) StockLevel() Txn {
+	t := &g.w.T
+	w := g.homeW
+	d := int(g.rng.between(1, DistPerWH))
+	threshold := g.rng.between(10, 20)
+
+	proc := func(tx cc.Tx) error {
+		drow, err := tx.ReadRC(t.District, DKey(w, d))
+		if err != nil {
+			return err
+		}
+		next := DecodeDistrict(drow).NextOID
+		oLo := int64(next) - 20
+		if oLo < 1 {
+			oLo = 1
+		}
+		clear(g.items)
+		err = tx.ScanRC(t.OrderLine,
+			OLKey(w, d, int(oLo), 0), OLKey(w, d, int(next)-1, 15),
+			func(k uint64, v []byte) bool {
+				g.items[DecodeOrderLine(v).ItemID] = struct{}{}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		low := 0
+		for item := range g.items {
+			srow, err := tx.ReadRC(t.Stock, SKey(w, int(item)))
+			if err != nil {
+				if errors.Is(err, cc.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			if DecodeStock(srow).Qty < threshold {
+				low++
+			}
+			g.yield()
+		}
+		_ = low
+		return nil
+	}
+	return Txn{Type: TxnStockLevel, ReadOnly: true, Hint: 200, Proc: proc}
+}

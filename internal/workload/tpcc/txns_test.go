@@ -1,0 +1,237 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// fixture shares one loaded warehouse across the behavior tests (loading
+// is the expensive part).
+type fixture struct {
+	db *cc.DB
+	w  *Workload
+	e  cc.Engine
+}
+
+var shared *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if shared == nil {
+		e := core.New(core.Options{})
+		db := cc.NewDB(4, e.TableOpts())
+		w := Setup(db, Config{Warehouses: 1, InvalidItemPct: 0})
+		shared = &fixture{db: db, w: w, e: e}
+	}
+	return shared
+}
+
+func exec(t *testing.T, f *fixture, txn Txn) error {
+	t.Helper()
+	worker := f.e.NewWorker(f.db, 1, false)
+	first := true
+	for {
+		err := worker.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly, ResourceHint: txn.Hint})
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+		first = false
+	}
+}
+
+func readDistrict(t *testing.T, f *fixture, w, d int) District {
+	t.Helper()
+	var out District
+	if err := exec(t, f, Txn{Proc: func(tx cc.Tx) error {
+		row, err := tx.Read(f.w.T.District, DKey(w, d))
+		if err != nil {
+			return err
+		}
+		out = DecodeDistrict(row)
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNewOrderCreatesOrderAndLines(t *testing.T) {
+	f := getFixture(t)
+	g := f.w.NewGen(1, 7)
+
+	before := readDistrict(t, f, g.homeW, 0+1)
+	// Generate NewOrders until one hits district 1.
+	var txn Txn
+	for {
+		txn = g.NewOrder()
+		// The district is baked into the closure; re-generate until the
+		// next-order id of district 1 moves.
+		if err := exec(t, f, txn); err != nil && !errors.Is(err, ErrRollback) {
+			t.Fatal(err)
+		}
+		after := readDistrict(t, f, g.homeW, 1)
+		if after.NextOID > before.NextOID {
+			break
+		}
+	}
+	after := readDistrict(t, f, g.homeW, 1)
+	o := int(after.NextOID) - 1
+
+	// The order, its order-lines, and the NEW-ORDER entry must exist.
+	if err := exec(t, f, Txn{Proc: func(tx cc.Tx) error {
+		orow, err := tx.Read(f.w.T.Order, OKey(g.homeW, 1, o))
+		if err != nil {
+			return err
+		}
+		or := DecodeOrder(orow)
+		if or.OLCnt < 5 || or.OLCnt > 15 {
+			t.Errorf("order line count = %d", or.OLCnt)
+		}
+		for ol := 1; ol <= int(or.OLCnt); ol++ {
+			if _, err := tx.Read(f.w.T.OrderLine, OLKey(g.homeW, 1, o, ol)); err != nil {
+				t.Errorf("missing order line %d: %v", ol, err)
+			}
+		}
+		if _, err := tx.Read(f.w.T.NewOrder, NOKey(g.homeW, 1, o)); err != nil {
+			t.Errorf("missing NEW-ORDER entry: %v", err)
+		}
+		// Secondary index points back at the order.
+		irow, err := tx.Read(f.w.T.OrderByCust, OCustKey(g.homeW, 1, int(or.CID), o))
+		if err != nil {
+			return err
+		}
+		if getU64(irow) != OKey(g.homeW, 1, o) {
+			t.Error("order-by-customer index row wrong")
+		}
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderInvalidItemRollsBack(t *testing.T) {
+	e := core.New(core.Options{})
+	db := cc.NewDB(1, e.TableOpts())
+	w := Setup(db, Config{Warehouses: 1, InvalidItemPct: 100}) // always invalid
+	g := w.NewGen(1, 3)
+	worker := e.NewWorker(db, 1, false)
+
+	before := w.T.Order.Idx.Len()
+	txn := g.NewOrder()
+	err := worker.Attempt(txn.Proc, true, cc.AttemptOpts{})
+	if !errors.Is(err, ErrRollback) {
+		t.Fatalf("err = %v, want ErrRollback", err)
+	}
+	if w.T.Order.Idx.Len() != before {
+		t.Fatal("rolled-back NewOrder leaked an order")
+	}
+}
+
+func TestPaymentUpdatesBalancesAndYTD(t *testing.T) {
+	f := getFixture(t)
+	g := f.w.NewGen(1, 11)
+
+	var wBefore Warehouse
+	if err := exec(t, f, Txn{Proc: func(tx cc.Tx) error {
+		row, err := tx.Read(f.w.T.Warehouse, WKey(g.homeW))
+		if err != nil {
+			return err
+		}
+		wBefore = DecodeWarehouse(row)
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec(t, f, g.Payment()); err != nil {
+		t.Fatal(err)
+	}
+	var wAfter Warehouse
+	if err := exec(t, f, Txn{Proc: func(tx cc.Tx) error {
+		row, err := tx.Read(f.w.T.Warehouse, WKey(g.homeW))
+		if err != nil {
+			return err
+		}
+		wAfter = DecodeWarehouse(row)
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if wAfter.YTD <= wBefore.YTD {
+		t.Fatalf("warehouse YTD did not grow: %d -> %d", wBefore.YTD, wAfter.YTD)
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	f := getFixture(t)
+	g := f.w.NewGen(1, 13)
+	before := f.w.T.NewOrder.Idx.Len()
+	if before == 0 {
+		t.Skip("no pending new orders left in shared fixture")
+	}
+	if err := exec(t, f, g.Delivery()); err != nil {
+		t.Fatal(err)
+	}
+	after := f.w.T.NewOrder.Idx.Len()
+	if after >= before {
+		t.Fatalf("delivery did not drain NEW-ORDER: %d -> %d", before, after)
+	}
+	// Up to one order per district is delivered per transaction.
+	if before-after > DistPerWH {
+		t.Fatalf("delivery drained too many: %d", before-after)
+	}
+}
+
+func TestOrderStatusAndStockLevelReadOnly(t *testing.T) {
+	f := getFixture(t)
+	g := f.w.NewGen(1, 17)
+	os := g.OrderStatus()
+	if !os.ReadOnly {
+		t.Fatal("OrderStatus must be read-only")
+	}
+	if err := exec(t, f, os); err != nil {
+		t.Fatal(err)
+	}
+	sl := g.StockLevel()
+	if !sl.ReadOnly {
+		t.Fatal("StockLevel must be read-only")
+	}
+	if err := exec(t, f, sl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupByNameFindsMiddleCustomer(t *testing.T) {
+	f := getFixture(t)
+	worker := f.e.NewWorker(f.db, 1, false)
+	err := worker.Attempt(func(tx cc.Tx) error {
+		// Name index 5 exists for the first 1000 customers (c=6) plus any
+		// NURand extras; the middle match must decode to a valid customer.
+		c, err := lookupByName(tx, &f.w.T, 1, 1, 5)
+		if err != nil {
+			return err
+		}
+		if c < 1 || c > CustPerDist {
+			t.Errorf("customer id %d out of range", c)
+		}
+		_, err = tx.Read(f.w.T.Customer, CKey(1, 1, c))
+		return err
+	}, true, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnTypeStrings(t *testing.T) {
+	want := map[TxnType]string{
+		TxnNewOrder: "NewOrder", TxnPayment: "Payment", TxnOrderStatus: "OrderStatus",
+		TxnDelivery: "Delivery", TxnStockLevel: "StockLevel", TxnType(99): "Unknown",
+	}
+	for k, v := range want {
+		if k.String() != v {
+			t.Errorf("%d.String() = %s, want %s", k, k.String(), v)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workloads the
+// paper evaluates (§6.1): single-table transactions whose keys follow a
+// Zipfian distribution with tunable skew θ, a configurable read ratio, and
+// the paper's bimodal transaction-size mix (90% small transactions of 4
+// operations, 10% big ones of 16, Fig. 13 varies the big size).
+//
+//	YCSB-A  — 50% reads / 50% writes, θ = 0.99 (high contention)
+//	YCSB-B  — 95% reads /  5% writes, θ = 0.5  (read-intensive)
+//	YCSB-B′ — YCSB-B at θ = 0.8 (medium contention, Fig. 11a)
+package ycsb
+
+import (
+	"math"
+	"runtime"
+
+	"repro/internal/cc"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Records is the table cardinality.
+	Records int
+	// RecordSize is the row size in bytes (the paper's default is 1 KB;
+	// Fig. 10b uses small records).
+	RecordSize int
+	// Theta is the Zipfian skew (0 = uniform-ish, 0.99 = the YCSB default
+	// "high contention").
+	Theta float64
+	// ReadRatio is the fraction of operations that are reads.
+	ReadRatio float64
+	// SmallOps/BigOps are the bimodal transaction sizes; BigFrac is the
+	// fraction of big transactions.
+	SmallOps int
+	BigOps   int
+	BigFrac  float64
+	// Yield inserts a scheduler yield after every operation. On machines
+	// with fewer cores than workers this is what creates operation-level
+	// interleaving (otherwise goroutines run whole transactions between
+	// preemption points and conflicts vanish); it models per-operation
+	// application work.
+	Yield bool
+}
+
+// A reads 50/50 at θ=0.99 — the paper's high-contention workload.
+func A() Config {
+	return Config{Records: 100_000, RecordSize: 1024, Theta: 0.99,
+		ReadRatio: 0.5, SmallOps: 4, BigOps: 16, BigFrac: 0.1}
+}
+
+// B reads 95/5 at θ=0.5 — the paper's read-intensive workload.
+func B() Config {
+	return Config{Records: 100_000, RecordSize: 1024, Theta: 0.5,
+		ReadRatio: 0.95, SmallOps: 4, BigOps: 16, BigFrac: 0.1}
+}
+
+// BPrime is YCSB-B at θ=0.8, the medium-contention setting of Fig. 11a.
+func BPrime() Config {
+	c := B()
+	c.Theta = 0.8
+	return c
+}
+
+// Workload is a loaded YCSB table plus shared Zipfian state.
+type Workload struct {
+	Cfg Config
+	Tbl *cc.Table
+	zc  zipfConsts
+}
+
+// TableName is the YCSB table's catalog name.
+const TableName = "usertable"
+
+// SetupSchema creates the YCSB table and generator state without loading
+// rows. Remote clients use it to mirror the server's schema (table IDs and
+// key distribution) without holding the data.
+func SetupSchema(db *cc.DB, cfg Config) *Workload {
+	tbl := db.CreateTable(TableName, cfg.RecordSize, cc.HashIndex, cfg.Records)
+	return &Workload{Cfg: cfg, Tbl: tbl, zc: newZipfConsts(uint64(cfg.Records), cfg.Theta)}
+}
+
+// Setup creates and bulk-loads the YCSB table.
+func Setup(db *cc.DB, cfg Config) *Workload {
+	w := SetupSchema(db, cfg)
+	row := make([]byte, cfg.RecordSize)
+	for k := 0; k < cfg.Records; k++ {
+		for i := range row {
+			row[i] = byte(k + i)
+		}
+		if db.LoadRecord(w.Tbl, uint64(k), row) == nil {
+			panic("ycsb: duplicate key during load")
+		}
+	}
+	return w
+}
+
+// zipfConsts holds the precomputed constants of the YCSB Zipfian generator
+// (Gray et al., "Quickly generating billion-record synthetic databases").
+type zipfConsts struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 1 + 0.5^theta
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+func newZipfConsts(n uint64, theta float64) zipfConsts {
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return zipfConsts{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  1 + math.Pow(0.5, theta),
+	}
+}
+
+// next maps a uniform u ∈ [0,1) to a Zipf-distributed rank in [0, n).
+// Rank 0 is the hottest key.
+func (z *zipfConsts) next(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// OpKind is one operation of a transaction.
+type OpKind uint8
+
+const (
+	// OpRead reads a record.
+	OpRead OpKind = iota
+	// OpWrite blind-writes a full record.
+	OpWrite
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Txn is one generated transaction: its operation list, whether it is
+// read-only, and a prebuilt stored procedure.
+type Txn struct {
+	Ops      []Op
+	ReadOnly bool
+	Proc     cc.Proc
+}
+
+// Gen produces transactions for one worker. Not safe for concurrent use.
+type Gen struct {
+	w   *Workload
+	rng uint64
+	ops []Op
+	val []byte
+
+	// BigOpsOverride, when > 0, replaces Cfg.BigOps (Fig. 13 sweeps it).
+	BigOpsOverride int
+}
+
+// NewGen creates a per-worker generator with its own RNG stream.
+func (w *Workload) NewGen(seed int64) *Gen {
+	g := &Gen{w: w, rng: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+	g.val = make([]byte, w.Cfg.RecordSize)
+	for i := range g.val {
+		g.val[i] = byte(i * 7)
+	}
+	return g
+}
+
+// splitmix64 advances the RNG.
+func (g *Gen) next64() uint64 {
+	g.rng += 0x9E3779B97F4A7C15
+	z := g.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// uniform returns a float64 in [0, 1).
+func (g *Gen) uniform() float64 {
+	return float64(g.next64()>>11) / float64(1<<53)
+}
+
+// Next generates the next transaction. The returned Txn (including its Ops
+// slice) is valid until the following call to Next.
+func (g *Gen) Next() Txn {
+	cfg := g.w.Cfg
+	n := cfg.SmallOps
+	if g.uniform() < cfg.BigFrac {
+		n = cfg.BigOps
+		if g.BigOpsOverride > 0 {
+			n = g.BigOpsOverride
+		}
+	}
+	g.ops = g.ops[:0]
+	ro := true
+	for i := 0; i < n; i++ {
+		kind := OpRead
+		if g.uniform() >= cfg.ReadRatio {
+			kind = OpWrite
+			ro = false
+		}
+		g.ops = append(g.ops, Op{Kind: kind, Key: g.w.zc.next(g.uniform())})
+	}
+	ops := g.ops
+	tbl := g.w.Tbl
+	val := g.val
+	yield := cfg.Yield
+	proc := func(tx cc.Tx) error {
+		for _, op := range ops {
+			if op.Kind == OpRead {
+				if _, err := tx.Read(tbl, op.Key); err != nil {
+					return err
+				}
+			} else {
+				if err := tx.Update(tbl, op.Key, val); err != nil {
+					return err
+				}
+			}
+			if yield {
+				runtime.Gosched()
+			}
+		}
+		return nil
+	}
+	return Txn{Ops: ops, ReadOnly: ro, Proc: proc}
+}

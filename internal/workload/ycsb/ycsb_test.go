@@ -1,0 +1,168 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+func smallCfg() Config {
+	c := A()
+	c.Records = 2000
+	c.RecordSize = 64
+	return c
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, theta := range []float64{0.3, 0.5, 0.8, 0.99} {
+		z := newZipfConsts(1000, theta)
+		for i := 0; i < 100000; i++ {
+			u := float64(i) / 100000
+			k := z.next(u)
+			if k >= 1000 {
+				t.Fatalf("theta=%v: key %d out of range", theta, k)
+			}
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher theta must concentrate more mass on the hottest key.
+	counts := func(theta float64) float64 {
+		z := newZipfConsts(1000, theta)
+		g := &Gen{rng: 12345}
+		hot := 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			if z.next(g.uniform()) == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	low, high := counts(0.5), counts(0.99)
+	if high <= low {
+		t.Fatalf("hot-key mass: theta 0.99 (%f) should exceed theta 0.5 (%f)", high, low)
+	}
+	// At theta=0.99 over 1000 keys, the hottest key draws several percent.
+	if high < 0.02 {
+		t.Fatalf("theta 0.99 hot-key mass %f implausibly low", high)
+	}
+}
+
+func TestZipfZetaMatchesDirectSum(t *testing.T) {
+	got := zeta(100, 0.99)
+	var want float64
+	for i := 1; i <= 100; i++ {
+		want += 1 / math.Pow(float64(i), 0.99)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("zeta = %f, want %f", got, want)
+	}
+}
+
+func TestGenBimodalSizes(t *testing.T) {
+	db := cc.NewDB(1, core.New(core.Options{}).TableOpts())
+	w := Setup(db, smallCfg())
+	g := w.NewGen(7)
+	small, big := 0, 0
+	for i := 0; i < 5000; i++ {
+		txn := g.Next()
+		switch len(txn.Ops) {
+		case w.Cfg.SmallOps:
+			small++
+		case w.Cfg.BigOps:
+			big++
+		default:
+			t.Fatalf("unexpected txn size %d", len(txn.Ops))
+		}
+	}
+	frac := float64(big) / float64(small+big)
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("big-txn fraction = %f, want ≈0.10", frac)
+	}
+}
+
+func TestGenBigOpsOverride(t *testing.T) {
+	db := cc.NewDB(1, core.New(core.Options{}).TableOpts())
+	w := Setup(db, smallCfg())
+	g := w.NewGen(7)
+	g.BigOpsOverride = 64
+	seen := false
+	for i := 0; i < 1000; i++ {
+		txn := g.Next()
+		if len(txn.Ops) == 64 {
+			seen = true
+		} else if len(txn.Ops) != w.Cfg.SmallOps {
+			t.Fatalf("unexpected size %d with override", len(txn.Ops))
+		}
+	}
+	if !seen {
+		t.Fatal("override size never generated")
+	}
+}
+
+func TestGenReadOnlyFlag(t *testing.T) {
+	db := cc.NewDB(1, core.New(core.Options{}).TableOpts())
+	cfg := smallCfg()
+	cfg.ReadRatio = 1.0
+	w := Setup(db, cfg)
+	g := w.NewGen(3)
+	for i := 0; i < 100; i++ {
+		txn := g.Next()
+		if !txn.ReadOnly {
+			t.Fatal("all-read workload should generate read-only txns")
+		}
+		for _, op := range txn.Ops {
+			if op.Kind != OpRead {
+				t.Fatal("read ratio 1.0 generated a write")
+			}
+		}
+	}
+}
+
+func TestGenProcExecutes(t *testing.T) {
+	e := core.New(core.Options{})
+	db := cc.NewDB(2, e.TableOpts())
+	w := Setup(db, smallCfg())
+	g := w.NewGen(11)
+	worker := e.NewWorker(db, 1, false)
+	for i := 0; i < 200; i++ {
+		txn := g.Next()
+		first := true
+		for {
+			err := worker.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly, ResourceHint: len(txn.Ops)})
+			if err == nil {
+				break
+			}
+			if !cc.IsAborted(err) {
+				t.Fatalf("txn %d: %v", i, err)
+			}
+			first = false
+		}
+	}
+}
+
+func TestWorkloadPresets(t *testing.T) {
+	a, b, bp := A(), B(), BPrime()
+	if a.ReadRatio != 0.5 || a.Theta != 0.99 {
+		t.Fatalf("YCSB-A preset wrong: %+v", a)
+	}
+	if b.ReadRatio != 0.95 || b.Theta != 0.5 {
+		t.Fatalf("YCSB-B preset wrong: %+v", b)
+	}
+	if bp.Theta != 0.8 || bp.ReadRatio != 0.95 {
+		t.Fatalf("YCSB-B' preset wrong: %+v", bp)
+	}
+}
+
+func TestSetupLoadsAllRecords(t *testing.T) {
+	db := cc.NewDB(1, core.New(core.Options{}).TableOpts())
+	cfg := smallCfg()
+	w := Setup(db, cfg)
+	if w.Tbl.Idx.Len() != cfg.Records {
+		t.Fatalf("loaded %d records, want %d", w.Tbl.Idx.Len(), cfg.Records)
+	}
+}
