@@ -18,6 +18,7 @@ import (
 
 	"repro/db"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload/tpcc"
 	"repro/internal/workload/ycsb"
@@ -40,6 +41,9 @@ func main() {
 		slack       = flag.Uint64("slack", 1000, "PLOR_RT slack factor")
 		breakdown   = flag.Bool("breakdown", false, "collect execution-time breakdown")
 		cdf         = flag.Bool("cdf", false, "print the latency CDF tail (p99+)")
+		trace       = flag.Bool("trace", false, "enable the obs event tracer; prints abort causes and a per-phase latency attribution table")
+		hotlocks    = flag.Int("hotlocks", 0, "sample lock contention and print the top-K hot records")
+		rttSleep    = flag.Bool("rtt-sleep", false, "simulate the interactive RTT with time.Sleep instead of busy-waiting")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
@@ -86,17 +90,20 @@ func main() {
 
 	proto := db.Protocol(*protocol)
 	cfg := harness.Config{
-		Protocol:    proto,
-		SlackFactor: *slack,
-		Workers:     *workers,
-		Warmup:      *warmup,
-		Measure:     *measure,
-		Logging:     logMode,
-		Interactive: *interactive,
-		RTT:         *rtt,
-		Instrument:  *breakdown,
-		Backoff:     proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
-		Workload:    wl,
+		Protocol:     proto,
+		SlackFactor:  *slack,
+		Workers:      *workers,
+		Warmup:       *warmup,
+		Measure:      *measure,
+		Logging:      logMode,
+		Interactive:  *interactive,
+		RTT:          *rtt,
+		Instrument:   *breakdown,
+		Trace:        *trace,
+		ProfileLocks: *hotlocks > 0,
+		RTTSleep:     *rttSleep,
+		Backoff:      proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
+		Workload:     wl,
 	}
 	m, err := harness.Run(cfg)
 	if err != nil {
@@ -106,6 +113,22 @@ func main() {
 	fmt.Println(m.Row())
 	if *breakdown {
 		fmt.Println("breakdown:", m.Breakdown.String())
+	}
+	if *trace {
+		fmt.Println("aborts:", m.CauseSummary())
+		if m.Attribution != nil {
+			fmt.Print(m.Attribution.Format())
+		}
+	}
+	if *hotlocks > 0 {
+		fmt.Printf("hot locks (top %d by contention score):\n", *hotlocks)
+		top := obs.TopHotLocks(*hotlocks)
+		if len(top) == 0 {
+			fmt.Println("  (no contended records sampled)")
+		}
+		for _, hr := range top {
+			fmt.Printf("  %-12s key=%-12d samples=%-8d score=%d\n", hr.Table, hr.Key, hr.Samples, hr.Score)
+		}
 	}
 	if *cdf {
 		fmt.Print(stats.FormatCDF(m.Latency, 0.99))

@@ -31,6 +31,7 @@ func main() {
 		threads = flag.String("threads", "", "override thread sweep, e.g. 1,4,8,16")
 		fixed   = flag.Int("fixed", 0, "override fixed thread count")
 		records = flag.Int("records", 0, "override YCSB table size")
+		trace   = flag.Bool("trace", false, "run breakdown figures with the obs tracer (adds abort causes + latency attribution)")
 		list    = flag.Bool("list", false, "list figures and exit")
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 	if *records > 0 {
 		sc.Records = *records
 	}
+	sc.Trace = *trace
 
 	// Tail-latency measurements suffer under frequent GC; trade memory
 	// for quieter pauses, as DESIGN.md documents.

@@ -3,16 +3,23 @@
 // and serves per-operation requests from plorclient sessions.
 //
 //	plorserver -addr :7070 -protocol PLOR -workload ycsb-a -workers 16
+//
+// With -metrics-addr the server also exposes live observability over HTTP:
+// Prometheus-text counters and latency quantiles on /metrics, the trace
+// ring on /debug/trace (when -trace is set), and the lock-contention
+// profiler's top-K report on /debug/hotlocks.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"repro/db"
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/workload/tpcc"
 	"repro/internal/workload/ycsb"
@@ -26,6 +33,8 @@ func main() {
 		workers    = flag.Int("workers", 16, "max concurrent sessions (1-63)")
 		records    = flag.Int("records", 100_000, "YCSB table size")
 		warehouses = flag.Int("warehouses", 1, "TPC-C warehouses")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace and /debug/hotlocks on this address (empty = off)")
+		trace      = flag.Bool("trace", false, "enable the obs event tracer (read via /debug/trace)")
 	)
 	flag.Parse()
 
@@ -62,10 +71,29 @@ func main() {
 	fmt.Printf("plorserver: %s engine serving %s on %s (tables: %v)\n",
 		d.Engine().Name(), *workload, bound, tableNames(ccdb))
 
+	if *trace {
+		obs.EnableTrace()
+	}
+	var prof *obs.Profiler
+	if *metrics != "" {
+		prof = obs.NewProfiler(0, ccdb.SampleLockContention)
+		prof.Start()
+		obs.SetProfiler(prof)
+		go func() {
+			if err := http.ListenAndServe(*metrics, obs.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "plorserver: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("plorserver: metrics on http://%s/metrics\n", *metrics)
+	}
+
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	srv.Close()
+	if prof != nil {
+		prof.Stop()
+	}
 }
 
 func tableNames(d *cc.DB) []string {

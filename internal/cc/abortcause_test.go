@@ -1,0 +1,242 @@
+package cc_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/stats"
+)
+
+// TestAbortCauseConflict: a NO_WAIT worker hitting a held write lock must
+// classify the abort as a lock conflict, in both the error and its
+// breakdown counters.
+func TestAbortCauseConflict(t *testing.T) {
+	e := cc.NewTwoPL(lock.NoWait)
+	db, tbl := newTestDB(e, 2)
+	db.LoadRecord(tbl, 1, u64(10))
+	holder := e.NewWorker(db, 1, false)
+	victim := e.NewWorker(db, 2, true)
+
+	err := runTxn(holder, func(tx cc.Tx) error {
+		if _, err := tx.ReadForUpdate(tbl, 1); err != nil {
+			return err
+		}
+		// The write lock is held; NO_WAIT must abort immediately.
+		verr := victim.Attempt(func(tx2 cc.Tx) error {
+			_, err := tx2.ReadForUpdate(tbl, 1)
+			return err
+		}, true, cc.AttemptOpts{})
+		if !cc.IsAborted(verr) {
+			return fmt.Errorf("victim err = %v, want abort", verr)
+		}
+		if c := cc.CauseOf(verr); c != stats.CauseConflict {
+			return fmt.Errorf("victim cause = %v, want conflict", c)
+		}
+		return nil
+	}, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := victim.Breakdown()
+	if bd.Aborts != 1 || bd.AbortCauses[stats.CauseConflict] != 1 {
+		t.Fatalf("victim breakdown: aborts=%d causes=%v", bd.Aborts, bd.AbortCauses)
+	}
+}
+
+// TestAbortCauseValidation: a Silo read invalidated by a concurrent commit
+// must classify as a validation abort.
+func TestAbortCauseValidation(t *testing.T) {
+	e := cc.NewSilo()
+	db, tbl := newTestDB(e, 2)
+	db.LoadRecord(tbl, 1, u64(10))
+	reader := e.NewWorker(db, 1, true)
+	writer := e.NewWorker(db, 2, false)
+
+	err := reader.Attempt(func(tx cc.Tx) error {
+		if _, err := tx.Read(tbl, 1); err != nil {
+			return err
+		}
+		// Invisible reads hold nothing, so the nested update commits and
+		// bumps the record's version behind the reader's snapshot.
+		return runTxn(writer, func(tx2 cc.Tx) error {
+			return tx2.Update(tbl, 1, u64(99))
+		}, cc.AttemptOpts{})
+	}, true, cc.AttemptOpts{})
+	if !cc.IsAborted(err) {
+		t.Fatalf("err = %v, want validation abort", err)
+	}
+	if c := cc.CauseOf(err); c != stats.CauseValidation {
+		t.Fatalf("cause = %v, want validation", c)
+	}
+	bd := reader.Breakdown()
+	if bd.Aborts != 1 || bd.AbortCauses[stats.CauseValidation] != 1 {
+		t.Fatalf("reader breakdown: aborts=%d causes=%v", bd.Aborts, bd.AbortCauses)
+	}
+}
+
+// TestAbortCauseWounded: under Plor, an older transaction requesting a
+// write lock held by a younger one wounds the holder; the victim's abort
+// must classify as wounded.
+func TestAbortCauseWounded(t *testing.T) {
+	const hot, freshBase, nFresh = 1, 100, 50_000
+	e := core.New(core.Options{})
+	db, tbl := newTestDB(e, 3)
+	db.LoadRecord(tbl, hot, u64(0))
+	for i := uint64(0); i < nFresh; i++ {
+		db.LoadRecord(tbl, freshBase+i, u64(i))
+	}
+	old := e.NewWorker(db, 1, false)
+	young := e.NewWorker(db, 2, true)
+
+	oldStarted := make(chan struct{})
+	youngHeld := make(chan struct{})
+	oldDone := make(chan error, 1)
+	go func() {
+		oldDone <- old.Attempt(func(tx cc.Tx) error {
+			// The timestamp is assigned before proc runs, so the young
+			// transaction below is guaranteed to begin later (= lower
+			// commit priority).
+			close(oldStarted)
+			<-youngHeld
+			if _, err := tx.ReadForUpdate(tbl, hot); err != nil {
+				return err
+			}
+			return tx.Update(tbl, hot, u64(7))
+		}, true, cc.AttemptOpts{})
+	}()
+
+	<-oldStarted
+	err := young.Attempt(func(tx cc.Tx) error {
+		if _, err := tx.ReadForUpdate(tbl, hot); err != nil {
+			return err
+		}
+		close(youngHeld)
+		// The older transaction is now waiting on the hot lock and has
+		// wounded us; keep touching fresh records until an operation
+		// observes the wound.
+		for i := uint64(0); i < nFresh; i++ {
+			if _, err := tx.Read(tbl, freshBase+i); err != nil {
+				return err
+			}
+			runtime.Gosched()
+		}
+		return errors.New("never wounded")
+	}, true, cc.AttemptOpts{})
+	if !cc.IsAborted(err) {
+		t.Fatalf("young err = %v, want wound abort", err)
+	}
+	if c := cc.CauseOf(err); c != stats.CauseWounded {
+		t.Fatalf("young cause = %v, want wounded", c)
+	}
+	if oerr := <-oldDone; oerr != nil {
+		t.Fatalf("old txn: %v", oerr)
+	}
+	bd := young.Breakdown()
+	if bd.Aborts != 1 || bd.AbortCauses[stats.CauseWounded] != 1 {
+		t.Fatalf("young breakdown: aborts=%d causes=%v", bd.Aborts, bd.AbortCauses)
+	}
+}
+
+// TestAbortCauseROFallback: Plor's optimistic read-only attempts that fail
+// validation classify as ro-fallback aborts, and retries are counted
+// separately from aborts.
+func TestAbortCauseROFallback(t *testing.T) {
+	e := core.New(core.Options{ROLockAfterAborts: 2})
+	db, tbl := newTestDB(e, 2)
+	db.LoadRecord(tbl, 1, u64(1))
+	w := e.NewWorker(db, 1, true)
+	wr := e.NewWorker(db, 2, false)
+
+	attempts := 0
+	err := runTxn(w, func(tx cc.Tx) error {
+		attempts++
+		if _, err := tx.Read(tbl, 1); err != nil {
+			return err
+		}
+		if attempts <= 2 {
+			// A nested committed write invalidates the optimistic RO
+			// snapshot, forcing a validation abort.
+			return runTxn(wr, func(tx2 cc.Tx) error {
+				return tx2.Update(tbl, 1, u64(uint64(attempts)*100))
+			}, cc.AttemptOpts{})
+		}
+		return nil
+	}, cc.AttemptOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := w.Breakdown()
+	if bd.Commits != 1 || bd.Aborts != 2 || bd.Retries != 2 {
+		t.Fatalf("breakdown: commits=%d aborts=%d retries=%d, want 1/2/2", bd.Commits, bd.Aborts, bd.Retries)
+	}
+	if bd.AbortCauses[stats.CauseROFallback] != 2 {
+		t.Fatalf("causes = %v, want 2 ro-fallback aborts", bd.AbortCauses)
+	}
+}
+
+// TestAbortCausesSumToAborts: under contention, every engine's per-cause
+// counters must partition its total abort count exactly (no abort left
+// unclassified, none double-counted).
+func TestAbortCausesSumToAborts(t *testing.T) {
+	const workers, perWorker, keys = 4, 100, 2
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newTestDB(e, workers)
+			for k := uint64(0); k < keys; k++ {
+				db.LoadRecord(tbl, k, u64(0))
+			}
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var total stats.Breakdown
+			for wid := uint16(1); wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid uint16) {
+					defer wg.Done()
+					w := e.NewWorker(db, wid, true)
+					for i := 0; i < perWorker; i++ {
+						k := uint64(i) % keys
+						err := runTxn(w, func(tx cc.Tx) error {
+							v, err := tx.ReadForUpdate(tbl, k)
+							if err != nil {
+								return err
+							}
+							return tx.Update(tbl, k, u64(decode(v)+1))
+						}, cc.AttemptOpts{ResourceHint: 1})
+						if err != nil {
+							t.Errorf("wid %d: %v", wid, err)
+							return
+						}
+					}
+					mu.Lock()
+					total.Merge(w.Breakdown())
+					mu.Unlock()
+				}(wid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if total.Commits != workers*perWorker {
+				t.Fatalf("commits = %d, want %d", total.Commits, workers*perWorker)
+			}
+			var sum uint64
+			for _, n := range total.AbortCauses {
+				sum += n
+			}
+			if sum != total.Aborts {
+				t.Fatalf("cause sum %d != aborts %d (causes %v)", sum, total.Aborts, total.AbortCauses)
+			}
+			// A retry is counted once per re-attempt, an abort once per
+			// failed attempt; in a run-to-commit loop they must agree.
+			if total.Retries != total.Aborts {
+				t.Fatalf("retries %d != aborts %d", total.Retries, total.Aborts)
+			}
+		})
+	}
+}

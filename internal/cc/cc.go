@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -42,6 +43,37 @@ var (
 
 // IsAborted reports whether err requires the transaction to be retried.
 func IsAborted(err error) bool { return errors.Is(err, ErrAborted) }
+
+// abortError is an abort sentinel carrying a stats.AbortCause. It matches
+// ErrAborted under errors.Is, so existing IsAborted checks see no
+// difference; CauseOf recovers the classification.
+type abortError struct {
+	cause stats.AbortCause
+	msg   string
+}
+
+func (e *abortError) Error() string { return e.msg }
+
+// Is makes errors.Is(err, ErrAborted) true for every abortError.
+func (e *abortError) Is(target error) bool { return target == ErrAborted }
+
+// AbortReason builds a static abort error with a cause classification.
+// Engines declare these once and return them on the abort path, keeping
+// aborts allocation-free.
+func AbortReason(cause stats.AbortCause, msg string) error {
+	return &abortError{cause: cause, msg: msg}
+}
+
+// CauseOf classifies an abort error. Errors that are not cause-tagged
+// (including application errors) classify as CauseOther; wrapped causes
+// (fmt.Errorf with %w) are unwrapped.
+func CauseOf(err error) stats.AbortCause {
+	var ae *abortError
+	if errors.As(err, &ae) {
+		return ae.cause
+	}
+	return stats.CauseOther
+}
 
 // IndexKind selects a table's primary index structure.
 type IndexKind int
@@ -167,6 +199,42 @@ func (db *DB) ApplyRecovered(changes map[uint32]map[uint64]wal.Change) error {
 		}
 	}
 	return nil
+}
+
+// SampleLockContention performs one sampling pass over every record's lock
+// words for the contention profiler, calling emit for each record that is
+// currently contended (queued writers, exclusive-mode commit, or a held
+// write lock with concurrent readers). It reads the per-protocol locker the
+// tables were created with: the 2PL lock when allocated, else the mutex
+// Plor locker, else the latch-free words. The scan takes no locks; results
+// are racy snapshots, which is all sampling needs.
+func (db *DB) SampleLockContention(emit func(s obs.LockSample)) {
+	for _, t := range db.tables {
+		opts := t.Store.Opts()
+		t.Store.EachRecord(func(r *storage.Record) bool {
+			var readers, waiters int
+			var write, excl bool
+			switch {
+			case opts.NeedTwoPL:
+				readers, waiters, write, excl = r.PL.Contention()
+			case opts.NeedMutexLocker:
+				readers, waiters, write, excl = r.ML.Contention()
+			default:
+				readers, waiters, write, excl = r.LF.Contention()
+			}
+			if waiters > 0 || excl || (write && readers > 0) {
+				emit(obs.LockSample{
+					Table:   t.Name,
+					Key:     r.Key,
+					Readers: readers,
+					Waiters: waiters,
+					Write:   write,
+					Excl:    excl,
+				})
+			}
+			return true
+		})
+	}
 }
 
 // Tx is the operation interface stored procedures use. Implementations are

@@ -83,6 +83,9 @@ type txnCtx = txn.Ctx
 
 // Attempt implements Worker.
 func (w *moccWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	if !first && w.bd != nil {
+		w.bd.Retries++
+	}
 	ts := w.db.Reg.NextTS() // fresh each attempt: MOCC has no retry priority
 	w.ctx.Begin(w.wid, ts)
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: ts, BD: w.bd}
@@ -93,7 +96,7 @@ func (w *moccWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.wl.BeginTxn(ts)
 
 	if err := proc(w); err != nil {
-		w.abort(0, true)
+		w.abort(0, true, CauseOf(err))
 		return err
 	}
 	return w.commit()
@@ -149,7 +152,7 @@ func (w *moccWorker) commit() error {
 		}
 		if w.isHot(e.rec) {
 			if err := w.pessimistic(e.rec, lock.Exclusive); err != nil {
-				w.abort(i, false)
+				w.abort(i, false, CauseOf(err))
 				return err
 			}
 		}
@@ -166,7 +169,7 @@ func (w *moccWorker) commit() error {
 			}
 			if spins++; spins > lockSpinLimit {
 				heat(e.rec)
-				w.abort(i, false)
+				w.abort(i, false, stats.CauseConflict)
 				return errConflict
 			}
 			runtime.Gosched()
@@ -177,12 +180,12 @@ func (w *moccWorker) commit() error {
 		if storage.TIDVersion(cur) != storage.TIDVersion(r.tid) ||
 			storage.TIDAbsent(cur) != storage.TIDAbsent(r.tid) {
 			heat(r.rec)
-			w.abort(len(w.wset), false)
+			w.abort(len(w.wset), false, stats.CauseValidation)
 			return errValidate
 		}
 		if cur&(uint64(1)<<63) != 0 && !w.inWset(r.rec) {
 			heat(r.rec)
-			w.abort(len(w.wset), false)
+			w.abort(len(w.wset), false, stats.CauseValidation)
 			return errValidate
 		}
 	}
@@ -197,8 +200,8 @@ func (w *moccWorker) commit() error {
 			}
 		}
 		if err := w.wl.Commit(); err != nil {
-			w.abort(len(w.wset), false)
-			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+			w.abort(len(w.wset), false, stats.CauseLog)
+			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	} else {
 		w.wl.Commit() //nolint:errcheck
@@ -210,10 +213,10 @@ func (w *moccWorker) commit() error {
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlockFlags(true, false)
 		case e.isInsert:
-			copy(e.rec.Data, e.val)
+			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, true)
 		default:
-			copy(e.rec.Data, e.val)
+			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, false)
 		}
 	}
@@ -232,7 +235,7 @@ func (w *moccWorker) releaseLocks() {
 	w.locks = w.locks[:0]
 }
 
-func (w *moccWorker) abort(lockedUpTo int, fromProc bool) {
+func (w *moccWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause) {
 	for i := range w.wset {
 		e := &w.wset[i]
 		if e.isInsert {
@@ -249,7 +252,7 @@ func (w *moccWorker) abort(lockedUpTo int, fromProc bool) {
 	w.rset = w.rset[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 

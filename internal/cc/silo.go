@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 )
@@ -79,6 +81,9 @@ type siloWorker struct {
 
 // Attempt implements Worker.
 func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	if !first && w.bd != nil {
+		w.bd.Retries++
+	}
 	w.arena.Reset()
 	w.rset = w.rset[:0]
 	w.wset = w.wset[:0]
@@ -88,7 +93,7 @@ func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.wl.BeginTxn(w.db.Reg.NextTS())
 
 	if err := proc(w); err != nil {
-		w.abort(0, true)
+		w.abort(0, true, CauseOf(err))
 		return err
 	}
 	return w.commit()
@@ -114,24 +119,32 @@ func (w *siloWorker) commit() error {
 				break
 			}
 			if spins++; spins > lockSpinLimit {
-				w.abort(i, false)
+				w.abort(i, false, stats.CauseConflict)
 				return errConflict // deadlock suspected
 			}
 			runtime.Gosched()
 		}
 	}
 	// Phase 2: validate the read set.
+	var vstart time.Time
+	traced := obs.TraceEnabled()
+	if traced {
+		vstart = time.Now()
+	}
 	for _, r := range w.rset {
 		cur := r.rec.TID.Load()
 		if storage.TIDVersion(cur) != storage.TIDVersion(r.tid) ||
 			storage.TIDAbsent(cur) != storage.TIDAbsent(r.tid) {
-			w.abort(len(w.wset), false)
+			w.abort(len(w.wset), false, stats.CauseValidation)
 			return errValidate
 		}
 		if cur&(uint64(1)<<63) != 0 && !w.inWset(r.rec) {
-			w.abort(len(w.wset), false)
+			w.abort(len(w.wset), false, stats.CauseValidation)
 			return errValidate
 		}
+	}
+	if traced {
+		obs.Emit(obs.Event{Kind: obs.EvValidate, WID: w.wid, Dur: time.Since(vstart).Nanoseconds()})
 	}
 	// Persist the redo log before installing.
 	if w.wl.Mode() == walRedo {
@@ -145,8 +158,8 @@ func (w *siloWorker) commit() error {
 			}
 		}
 		if err := w.wl.Commit(); err != nil {
-			w.abort(len(w.wset), false)
-			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+			w.abort(len(w.wset), false, stats.CauseLog)
+			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	} else {
 		w.wl.Commit() //nolint:errcheck // mode off
@@ -159,10 +172,10 @@ func (w *siloWorker) commit() error {
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlockFlags(true, false)
 		case e.isInsert:
-			copy(e.rec.Data, e.val)
+			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, true)
 		default:
-			copy(e.rec.Data, e.val)
+			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, false)
 		}
 	}
@@ -175,7 +188,7 @@ func (w *siloWorker) commit() error {
 // abort releases commit-phase locks taken so far (lockedUpTo entries of the
 // sorted write set) plus all pre-locked inserts, and unpublishes inserts.
 // fromProc aborts happen before any commit-phase locking.
-func (w *siloWorker) abort(lockedUpTo int, fromProc bool) {
+func (w *siloWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause) {
 	for i := range w.wset {
 		e := &w.wset[i]
 		if e.isInsert {
@@ -191,7 +204,7 @@ func (w *siloWorker) abort(lockedUpTo int, fromProc bool) {
 	w.rset = w.rset[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 

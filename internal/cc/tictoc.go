@@ -98,13 +98,16 @@ type tictocWorker struct {
 
 // Attempt implements Worker.
 func (w *tictocWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
+	if !first && w.bd != nil {
+		w.bd.Retries++
+	}
 	w.arena.Reset()
 	w.rset = w.rset[:0]
 	w.wset = w.wset[:0]
 	w.wl.BeginTxn(w.db.Reg.NextTS()) // log stamp only; not a CC timestamp
 
 	if err := proc(w); err != nil {
-		w.abort(0, true)
+		w.abort(0, true, CauseOf(err))
 		return err
 	}
 	return w.commit()
@@ -121,7 +124,7 @@ func ttStableRead(rec *storage.Record, buf []byte) uint64 {
 			}
 			continue
 		}
-		copy(buf, rec.Data)
+		rec.CopyImage(buf)
 		if rec.TID.Load() == v1 {
 			return v1
 		}
@@ -149,7 +152,7 @@ func (w *tictocWorker) commit() error {
 				break
 			}
 			if spins++; spins > lockSpinLimit {
-				w.abort(i, false)
+				w.abort(i, false, stats.CauseConflict)
 				return errConflict
 			}
 			runtime.Gosched()
@@ -177,14 +180,14 @@ func (w *tictocWorker) commit() error {
 		for {
 			v := r.rec.TID.Load()
 			if ttWts(v) != ttWts(r.v) || ttIsAbsent(v) != ttIsAbsent(r.v) {
-				w.abort(len(w.wset), false)
+				w.abort(len(w.wset), false, stats.CauseValidation)
 				return errValidate
 			}
 			if ttRts(v) >= ct {
 				break // someone already extended past ct
 			}
 			if ttLocked(v) && !w.inWset(r.rec) {
-				w.abort(len(w.wset), false)
+				w.abort(len(w.wset), false, stats.CauseValidation)
 				return errValidate
 			}
 			wts, delta := ttWts(v), ct-ttWts(v)
@@ -213,8 +216,8 @@ func (w *tictocWorker) commit() error {
 			}
 		}
 		if err := w.wl.Commit(); err != nil {
-			w.abort(len(w.wset), false)
-			return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+			w.abort(len(w.wset), false, stats.CauseLog)
+			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	} else {
 		w.wl.Commit() //nolint:errcheck
@@ -226,7 +229,7 @@ func (w *tictocWorker) commit() error {
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TID.Store(ttPack(ct, 0, true))
 		default:
-			copy(e.rec.Data, e.val)
+			e.rec.InstallImage(e.val)
 			e.rec.TID.Store(ttPack(ct, 0, false))
 		}
 	}
@@ -236,7 +239,7 @@ func (w *tictocWorker) commit() error {
 	return nil
 }
 
-func (w *tictocWorker) abort(lockedUpTo int, fromProc bool) {
+func (w *tictocWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause) {
 	for i := range w.wset {
 		e := &w.wset[i]
 		if e.isInsert {
@@ -257,7 +260,7 @@ func (w *tictocWorker) abort(lockedUpTo int, fromProc bool) {
 	w.rset = w.rset[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 

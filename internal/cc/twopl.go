@@ -9,11 +9,13 @@ import (
 	"repro/internal/txn"
 )
 
-// Static abort reasons (pre-wrapped so the abort path does not allocate).
+// Static abort reasons (pre-built so the abort path does not allocate).
+// Each carries its stats.AbortCause; CauseOf recovers it.
 var (
-	errWound    = fmt.Errorf("%w: wounded by conflicting transaction", ErrAborted)
-	errConflict = fmt.Errorf("%w: lock conflict", ErrAborted)
-	errValidate = fmt.Errorf("%w: validation failed", ErrAborted)
+	errWound    = AbortReason(stats.CauseWounded, "cc: aborted: wounded by conflicting transaction")
+	errConflict = AbortReason(stats.CauseConflict, "cc: aborted: lock conflict")
+	errValidate = AbortReason(stats.CauseValidation, "cc: aborted: validation failed")
+	errLogIO    = AbortReason(stats.CauseLog, "cc: aborted: log commit failed")
 )
 
 // TwoPLEngine runs transactions under classic two-phase locking with one of
@@ -95,6 +97,8 @@ type twoplWorker struct {
 func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	if first {
 		w.ts = w.db.Reg.NextTS()
+	} else if w.bd != nil {
+		w.bd.Retries++
 	}
 	w.ctx.Begin(w.wid, w.ts)
 	w.arena.Reset()
@@ -103,13 +107,13 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.wl.BeginTxn(w.ts)
 
 	if err := proc(w); err != nil {
-		w.rollback()
+		w.rollback(CauseOf(err))
 		return err
 	}
 	// A wound can land at any point; the final check keeps wounded
 	// transactions from committing.
 	if w.ctx.Aborted() {
-		w.rollback()
+		w.rollback(stats.CauseWounded)
 		return errWound
 	}
 	// Persist before releasing locks: redo logs new images now, undo
@@ -129,8 +133,8 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 		}
 	}
 	if err := w.wl.Commit(); err != nil {
-		w.rollback()
-		return fmt.Errorf("%w: log commit: %v", ErrAborted, err)
+		w.rollback(stats.CauseLog)
+		return fmt.Errorf("%w: %v", errLogIO, err)
 	}
 	// Commit point: finalize inserts/deletes, release every lock.
 	for i := range w.acc {
@@ -149,7 +153,7 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 }
 
 // rollback undoes in-place effects in reverse order and releases locks.
-func (w *twoplWorker) rollback() {
+func (w *twoplWorker) rollback(cause stats.AbortCause) {
 	for i := len(w.acc) - 1; i >= 0; i-- {
 		a := &w.acc[i]
 		switch {
@@ -168,7 +172,7 @@ func (w *twoplWorker) rollback() {
 	w.acc = w.acc[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 

@@ -28,19 +28,30 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
 
-// Static abort reasons (no allocation on the abort path).
+// Static abort reasons (no allocation on the abort path). Each carries its
+// stats.AbortCause; cc.CauseOf recovers the classification.
 var (
-	errWound    = fmt.Errorf("%w: wounded by conflicting transaction", cc.ErrAborted)
-	errValidate = fmt.Errorf("%w: read-only validation failed", cc.ErrAborted)
+	errWound = cc.AbortReason(stats.CauseWounded, "core: aborted: wounded by conflicting transaction")
+	// errValidate carries CauseROFallback: a failed read-only validation
+	// sends the transaction to the locking fallback path (§4.1.3).
+	errValidate = cc.AbortReason(stats.CauseROFallback, "core: aborted: read-only validation failed")
+	// errUpgrade marks write-write conflicts in commit Phase 1 (exclusive
+	// upgrade or deferred write-lock acquisition). Mechanically the worker
+	// is wounded while upgrading, but the conflict is a commit-time W-W
+	// race, which the taxonomy keeps distinct from execution-time wounds.
+	errUpgrade = cc.AbortReason(stats.CauseWWUpgrade, "core: aborted: write-write upgrade conflict")
+	errLogIO   = cc.AbortReason(stats.CauseLog, "core: aborted: log commit failed")
 )
 
 // Options selects Plor variants.
@@ -159,6 +170,9 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 		w.attempts = 0
 	} else {
 		w.attempts++
+		if w.bd != nil {
+			w.bd.Retries++
+		}
 	}
 	// Dynamic read-only handling: run optimistically (Silo-style) first;
 	// take read locks only after repeated aborts.
@@ -175,7 +189,7 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	w.wl.BeginTxn(w.ts)
 
 	if err := proc(w); err != nil {
-		w.rollback()
+		w.rollback(cc.CauseOf(err))
 		return err
 	}
 	return w.commit()
@@ -187,8 +201,14 @@ func (w *worker) commit() error {
 		return w.commitReadOnly()
 	}
 	if w.ctx.Aborted() {
-		w.rollback()
+		w.rollback(stats.CauseWounded)
 		return errWound
+	}
+	traced := obs.TraceEnabled()
+	var upStart time.Time
+	upgrading := false
+	if traced {
+		upStart = time.Now()
 	}
 	// DWA: acquire the deferred write locks now, in deterministic order.
 	if w.opts.DWA {
@@ -202,9 +222,10 @@ func (w *worker) commit() error {
 		for i := range w.acc {
 			a := &w.acc[i]
 			if (a.written || a.isDelete) && !a.wlocked {
+				upgrading = true
 				if err := a.lk.AcquireWrite(&w.req); err != nil {
-					w.rollback()
-					return errWound
+					w.rollback(stats.CauseWWUpgrade)
+					return errUpgrade
 				}
 				a.wlocked = true
 			}
@@ -218,17 +239,21 @@ func (w *worker) commit() error {
 		if !a.wlocked || a.excl {
 			continue
 		}
+		upgrading = true
 		if err := a.lk.MakeExclusive(&w.req); err != nil {
-			w.rollback()
-			return errWound
+			w.rollback(stats.CauseWWUpgrade)
+			return errUpgrade
 		}
 		a.excl = true
+	}
+	if traced && upgrading {
+		obs.Emit(obs.Event{Kind: obs.EvUpgrade, WID: w.wid, Dur: time.Since(upStart).Nanoseconds()})
 	}
 	// Past Phase 1: wounds may still flip our status bit, but we ignore
 	// them — killers wait on the lock words themselves, and Begin clears
 	// the stale bit (paper §4.1.3).
 	if err := w.persist(); err != nil {
-		w.rollback()
+		w.rollback(cc.CauseOf(err))
 		return err
 	}
 	// Phase 2: release read locks.
@@ -273,7 +298,7 @@ func (w *worker) install(a *access) {
 		// Data was written at insert time under exclusive mode.
 		a.rec.TIDUnlockFlags(false, true)
 	default:
-		copy(a.rec.Data, a.val)
+		a.rec.InstallImage(a.val)
 		a.rec.TIDUnlockFlags(false, false)
 	}
 }
@@ -284,6 +309,11 @@ func (w *worker) install(a *access) {
 // marker afterwards (callers invoke persist before Phase 3, so under undo
 // we log old images here — the records are exclusive, hence stable).
 func (w *worker) persist() error {
+	var wStart time.Time
+	traced := obs.TraceEnabled() && w.wl.Mode() != wal.Off
+	if traced {
+		wStart = time.Now()
+	}
 	switch w.wl.Mode() {
 	case wal.Redo:
 		// Stamp with a commit-order sequence: exclusive locks are held, so
@@ -302,7 +332,7 @@ func (w *worker) persist() error {
 			}
 		}
 		if err := w.wl.Commit(); err != nil {
-			return fmt.Errorf("%w: log commit: %v", cc.ErrAborted, err)
+			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	case wal.Undo:
 		for i := range w.acc {
@@ -315,22 +345,33 @@ func (w *worker) persist() error {
 			}
 		}
 		if err := w.wl.Commit(); err != nil {
-			return fmt.Errorf("%w: log commit: %v", cc.ErrAborted, err)
+			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	default:
 		w.wl.Commit() //nolint:errcheck // mode off
+	}
+	if traced {
+		obs.Emit(obs.Event{Kind: obs.EvWALAppend, WID: w.wid, Dur: time.Since(wStart).Nanoseconds()})
 	}
 	return nil
 }
 
 // commitReadOnly validates the optimistic read-only snapshot (§4.1.3).
 func (w *worker) commitReadOnly() error {
+	var vStart time.Time
+	traced := obs.TraceEnabled()
+	if traced {
+		vStart = time.Now()
+	}
 	for i := range w.acc {
 		a := &w.acc[i]
 		if a.rec.TID.Load() != a.roTID {
-			w.rollbackRO()
+			w.rollbackRO(stats.CauseROFallback)
 			return errValidate
 		}
+	}
+	if traced {
+		obs.Emit(obs.Event{Kind: obs.EvValidate, WID: w.wid, Dur: time.Since(vStart).Nanoseconds()})
 	}
 	w.acc = w.acc[:0]
 	if w.bd != nil {
@@ -339,18 +380,18 @@ func (w *worker) commitReadOnly() error {
 	return nil
 }
 
-func (w *worker) rollbackRO() {
+func (w *worker) rollbackRO(cause stats.AbortCause) {
 	w.acc = w.acc[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 
 // rollback releases everything and unpublishes inserts, in reverse order.
-func (w *worker) rollback() {
+func (w *worker) rollback(cause stats.AbortCause) {
 	if w.roMode {
-		w.rollbackRO()
+		w.rollbackRO(cause)
 		return
 	}
 	for i := len(w.acc) - 1; i >= 0; i-- {
@@ -368,7 +409,7 @@ func (w *worker) rollback() {
 	w.acc = w.acc[:0]
 	w.wl.Abort()
 	if w.bd != nil {
-		w.bd.Aborts++
+		w.bd.CountAbort(cause)
 	}
 }
 
@@ -502,7 +543,7 @@ func (w *worker) Update(t *cc.Table, key uint64, val []byte) error {
 		a.wlocked = true
 	}
 	if a.isInsert {
-		copy(a.rec.Data, val) // still private: exclusive since insertion
+		a.rec.InstallImage(val) // exclusive since insertion; guard vs RO snapshots
 		return nil
 	}
 	if a.val == nil {

@@ -33,6 +33,10 @@ type Scale struct {
 	Records int
 	// RecordSize is the YCSB row size (paper default 1 KB).
 	RecordSize int
+	// Trace runs the breakdown figures with the obs tracer on, adding a
+	// per-phase latency attribution table and abort-cause counts to their
+	// output.
+	Trace bool
 }
 
 // DefaultScale suits a small machine; QuickScale is for smoke runs.
@@ -333,12 +337,16 @@ func Fig12(w io.Writer, sc Scale) error {
 		for _, f := range configs {
 			m, err := Run(Config{Protocol: f.Protocol, Workers: threads,
 				Warmup: sc.Warmup, Measure: sc.Measure, Instrument: true,
-				Backoff: needsBackoff(f.Protocol), Label: f.Label,
+				Trace: sc.Trace, Backoff: needsBackoff(f.Protocol), Label: f.Label,
 				Workload: NewYCSB(sc.ycsbCfg(ycsb.A()), threads)})
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "%-16s %s\n", f.Label, m.Breakdown.String())
+			fmt.Fprintf(w, "%-16s aborts: %s\n", "", m.CauseSummary())
+			if m.Attribution != nil {
+				fmt.Fprint(w, m.Attribution.Format())
+			}
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 
 	"repro/db"
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/stats"
 	"repro/internal/wal"
@@ -78,6 +79,17 @@ type Config struct {
 	// admission control as the fix (§6.2.1); this knob implements it and
 	// the AblationAdmission bench measures it.
 	MaxActive int
+	// Trace enables the obs event tracer for the run and attaches a
+	// per-phase latency attribution table to the returned metrics.
+	Trace bool
+	// TraceRing overrides the per-worker trace ring capacity (events).
+	TraceRing int
+	// ProfileLocks runs the lock-contention sampler during the run; read
+	// the report afterwards with obs.TopHotLocks.
+	ProfileLocks bool
+	// RTTSleep makes the interactive transport sleep the RTT instead of
+	// busy-waiting (see rpc.ChanTransport.UseSleepRTT for the tradeoff).
+	RTTSleep bool
 	// Workload supplies the tables and transactions.
 	Workload Workload
 	// Label overrides the result row label.
@@ -137,8 +149,15 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	for wid := 1; wid <= cfg.Workers; wid++ {
 		if cfg.Interactive {
 			tr := rpc.NewChanTransport(engine, ccdb, uint16(wid), cfg.RTT)
+			if cfg.RTTSleep {
+				tr.UseSleepRTT(true)
+			}
 			transports = append(transports, tr)
-			workers[wid] = rpc.NewClientWorker(tr, ccdb.Tables(), uint16(wid))
+			cw := rpc.NewClientWorker(tr, ccdb.Tables(), uint16(wid))
+			if cfg.Instrument {
+				cw.EnableBreakdown()
+			}
+			workers[wid] = cw
 		} else {
 			workers[wid] = engine.NewWorker(ccdb, uint16(wid), cfg.Instrument)
 		}
@@ -149,6 +168,21 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		}
 	}()
 
+	if cfg.Trace {
+		obs.ResetTrace()
+		if cfg.TraceRing > 0 {
+			obs.SetRingSize(cfg.TraceRing)
+		}
+		obs.EnableTrace()
+		defer obs.DisableTrace()
+	}
+	if cfg.ProfileLocks {
+		prof := obs.NewProfiler(0, ccdb.SampleLockContention)
+		prof.Start()
+		obs.SetProfiler(prof)
+		defer prof.Stop()
+	}
+
 	var (
 		start        = time.Now()
 		recordAfter  = start.Add(cfg.Warmup)
@@ -156,6 +190,8 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		hists        = make([]*stats.Histogram, cfg.Workers+1)
 		commits      = make([]uint64, cfg.Workers+1)
 		aborts       = make([]uint64, cfg.Workers+1)
+		retryCounts  = make([]uint64, cfg.Workers+1)
+		causes       = make([][stats.NumAbortCauses]uint64, cfg.Workers+1)
 		measureStart time.Time
 		wg           sync.WaitGroup
 	)
@@ -185,9 +221,14 @@ func Run(cfg Config) (*stats.Metrics, error) {
 				}
 				opts := cc.AttemptOpts{ReadOnly: unit.ReadOnly, ResourceHint: unit.Hint}
 				txnStart := now
+				traced := obs.TraceEnabled()
+				if traced {
+					obs.Emit(obs.Event{Kind: obs.EvBegin, WID: uint16(wid)})
+				}
 				first := true
 				retries := 0
 				for {
+					attemptStart := time.Now()
 					err := worker.Attempt(unit.Proc, first, opts)
 					if err == nil || errors.Is(err, cc.ErrIntentionalRollback) {
 						break
@@ -195,8 +236,19 @@ func Run(cfg Config) (*stats.Metrics, error) {
 					if !cc.IsAborted(err) {
 						panic(fmt.Sprintf("harness: worker %d: non-retryable error: %v", wid, err))
 					}
+					cause := cc.CauseOf(err)
 					if recording {
 						aborts[wid]++
+						causes[wid][cause]++
+						retryCounts[wid]++
+					}
+					if traced {
+						obs.Emit(obs.Event{
+							Kind:  obs.EvAbort,
+							WID:   uint16(wid),
+							Cause: uint8(cause),
+							Dur:   time.Since(attemptStart).Nanoseconds(),
+						})
 					}
 					first = false
 					retries++
@@ -213,8 +265,14 @@ func Run(cfg Config) (*stats.Metrics, error) {
 						if bd != nil {
 							bd.Add(stats.Backoff, time.Since(t0))
 						}
+						if traced {
+							obs.Emit(obs.Event{Kind: obs.EvBackoff, WID: uint16(wid), Dur: time.Since(t0).Nanoseconds()})
+						}
 					} else {
 						runtime.Gosched()
+					}
+					if traced {
+						obs.Emit(obs.Event{Kind: obs.EvRetry, WID: uint16(wid)})
 					}
 					// Give up on transactions that started before the
 					// deadline but cannot finish long after it (safety
@@ -232,6 +290,9 @@ func Run(cfg Config) (*stats.Metrics, error) {
 				if recording {
 					commits[wid]++
 					h.Record(time.Since(txnStart).Nanoseconds())
+				}
+				if traced {
+					obs.Emit(obs.Event{Kind: obs.EvCommit, WID: uint16(wid), Dur: time.Since(txnStart).Nanoseconds()})
 				}
 			}
 		}(wid)
@@ -253,9 +314,16 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	for wid := 1; wid <= cfg.Workers; wid++ {
 		m.Commits += commits[wid]
 		m.Aborts += aborts[wid]
+		m.Retries += retryCounts[wid]
+		for c := range causes[wid] {
+			m.AbortsByCause[c] += causes[wid][c]
+		}
 		if bd := breakdownOf(workers[wid]); bd != nil {
 			m.Breakdown.Merge(bd)
 		}
+	}
+	if cfg.Trace {
+		m.Attribution = obs.BuildAttribution()
 	}
 	return m, nil
 }

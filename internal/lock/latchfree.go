@@ -209,3 +209,16 @@ func (l *LatchFree) ExclSet() bool { return l.rd.Load()&exclSig != 0 }
 
 // WaiterBits returns the waiter bitmap (for tests).
 func (l *LatchFree) WaiterBits() uint64 { return l.wait.Load() }
+
+// Contention samples the lock's three words for the contention profiler:
+// current readers, queued write waiters, whether the write lock is held,
+// and whether exclusive mode (commit Phase 1) is active. The three loads
+// are independent; the result is a racy snapshot, which is all sampling
+// needs.
+func (l *LatchFree) Contention() (readers, waiters int, writeHeld, excl bool) {
+	rd := l.rd.Load()
+	return bits.OnesCount64(rd &^ exclSig),
+		bits.OnesCount64(l.wait.Load()),
+		l.w.Load() != 0,
+		rd&exclSig != 0
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/txn"
 )
@@ -73,10 +74,13 @@ func (s *spinner) spin() {
 	runtime.Gosched()
 }
 
-// timedWait wraps a wait loop body with optional breakdown accounting.
-// body returns (done, err); timedWait loops until done or error.
+// timedWait wraps a wait loop body with optional breakdown accounting and
+// trace emission. body returns (done, err); timedWait loops until done or
+// error. A lock-wait span is emitted only when the loop actually blocked
+// (at least one failed body iteration), so uncontended acquires stay out
+// of the trace.
 func timedWait(r *Req, cat stats.Category, body func() (bool, error)) error {
-	if r.BD == nil {
+	if r.BD == nil && !obs.TraceEnabled() {
 		var sp spinner
 		for {
 			done, err := body()
@@ -88,12 +92,24 @@ func timedWait(r *Req, cat stats.Category, body func() (bool, error)) error {
 	}
 	start := time.Now()
 	var sp spinner
+	waited := false
 	for {
 		done, err := body()
 		if done || err != nil {
-			r.BD.Add(cat, time.Since(start))
+			d := time.Since(start)
+			if r.BD != nil {
+				r.BD.Add(cat, d)
+			}
+			if waited && obs.TraceEnabled() {
+				kind := obs.EvLockWaitRW
+				if cat == catWW {
+					kind = obs.EvLockWaitWW
+				}
+				obs.Emit(obs.Event{Kind: kind, WID: r.WID, Dur: int64(d)})
+			}
 			return err
 		}
+		waited = true
 		sp.spin()
 	}
 }

@@ -174,3 +174,11 @@ func (l *MutexLocker) ExclSet() bool {
 	defer l.mu.Unlock()
 	return l.excl
 }
+
+// Contention samples the lock state for the contention profiler.
+func (l *MutexLocker) Contention() (readers, waiters int, writeHeld, excl bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return bits.OnesCount64(l.readers), bits.OnesCount64(l.waiters),
+		l.owner != 0, l.excl
+}

@@ -239,3 +239,12 @@ func (l *TwoPL) HeldBy(wid uint16) (shared, exclusive bool) {
 	defer l.mu.Unlock()
 	return l.readers&widBit(wid) != 0, l.writer == wid
 }
+
+// Contention samples the lock state for the contention profiler. A 2PL
+// lock has no exclusive-mode signal, so excl is always false.
+func (l *TwoPL) Contention() (readers, waiters int, writeHeld, excl bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return bits.OnesCount64(l.readers), bits.OnesCount64(l.waiters),
+		l.writer != 0, false
+}

@@ -1,0 +1,43 @@
+package obs
+
+import "repro/internal/stats"
+
+// phaseOrder maps span kinds to attribution-table rows, in display order.
+var phaseOrder = []struct {
+	kind EventKind
+	name string
+}{
+	{EvLockWaitRW, "lock-wait-rw"},
+	{EvLockWaitWW, "lock-wait-ww"},
+	{EvUpgrade, "commit-upgrade"},
+	{EvValidate, "validate"},
+	{EvWALAppend, "wal-append"},
+	{EvRPC, "rpc-call"},
+	{EvBackoff, "backoff"},
+	{EvAbort, "aborted-attempt"},
+	{EvCommit, "txn-total"},
+}
+
+// BuildAttribution folds the buffered trace events into a per-phase
+// latency table (the Fig. 12 breakdown, derived from spans).
+func BuildAttribution() *stats.Attribution {
+	hs := make(map[EventKind]*stats.Histogram, len(phaseOrder))
+	a := &stats.Attribution{}
+	for _, p := range phaseOrder {
+		hs[p.kind] = a.Phase(p.name)
+	}
+	for _, ev := range Events() {
+		if h, ok := hs[ev.Kind]; ok && ev.Dur > 0 {
+			h.Record(ev.Dur)
+		}
+	}
+	// Drop empty rows so the table only shows phases that occurred.
+	kept := a.Phases[:0]
+	for _, p := range a.Phases {
+		if p.H.Count() > 0 {
+			kept = append(kept, p)
+		}
+	}
+	a.Phases = kept
+	return a
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Handler returns the observability HTTP handler:
+//
+//	/metrics        Prometheus text format (counters, quantiles, throughput)
+//	/debug/trace    buffered trace events as JSON (?limit=N, newest last)
+//	/debug/hotlocks top-K hot-record report as JSON (?k=N)
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	h := &httpState{}
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/debug/trace", serveTrace)
+	mux.HandleFunc("/debug/hotlocks", serveHotLocks)
+	return mux
+}
+
+// httpState carries the between-scrape state used for the throughput gauge.
+type httpState struct {
+	mu          sync.Mutex
+	lastScrape  time.Time
+	lastCommits uint64
+}
+
+func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
+	l := Metrics()
+	commits := l.Commits.Load()
+
+	h.mu.Lock()
+	now := time.Now()
+	var tps float64
+	if h.lastScrape.IsZero() {
+		if up := l.Uptime(); up > 0 {
+			tps = float64(commits) / up.Seconds()
+		}
+	} else if dt := now.Sub(h.lastScrape); dt > 0 {
+		tps = float64(commits-h.lastCommits) / dt.Seconds()
+	}
+	h.lastScrape = now
+	h.lastCommits = commits
+	h.mu.Unlock()
+
+	lat := l.LatencySnapshot()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP plor_txn_commits_total Committed transactions.\n")
+	fmt.Fprintf(w, "# TYPE plor_txn_commits_total counter\n")
+	fmt.Fprintf(w, "plor_txn_commits_total %d\n", commits)
+	fmt.Fprintf(w, "# HELP plor_txn_aborts_total Aborted transaction attempts by cause.\n")
+	fmt.Fprintf(w, "# TYPE plor_txn_aborts_total counter\n")
+	for c := stats.AbortCause(0); c < stats.NumAbortCauses; c++ {
+		fmt.Fprintf(w, "plor_txn_aborts_total{cause=%q} %d\n", c.String(), l.AbortCount(c))
+	}
+	fmt.Fprintf(w, "# HELP plor_txn_retries_total Transaction retry attempts.\n")
+	fmt.Fprintf(w, "# TYPE plor_txn_retries_total counter\n")
+	fmt.Fprintf(w, "plor_txn_retries_total %d\n", l.Retries.Load())
+	fmt.Fprintf(w, "# HELP plor_rpc_dial_retries_total Transport redial attempts after transient errors.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_dial_retries_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_dial_retries_total %d\n", l.DialRetries.Load())
+	fmt.Fprintf(w, "# HELP plor_rpc_call_retries_total Per-call retries after transient errors.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_call_retries_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_call_retries_total %d\n", l.CallRetries.Load())
+	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
+	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_txn_latency_ns{quantile=%q} %d\n", q.label, lat.Quantile(q.v))
+	}
+	fmt.Fprintf(w, "# HELP plor_throughput_tps Commit throughput since the previous scrape.\n")
+	fmt.Fprintf(w, "# TYPE plor_throughput_tps gauge\n")
+	fmt.Fprintf(w, "plor_throughput_tps %g\n", tps)
+	fmt.Fprintf(w, "# HELP plor_uptime_seconds Seconds since metrics reset.\n")
+	fmt.Fprintf(w, "# TYPE plor_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "plor_uptime_seconds %g\n", l.Uptime().Seconds())
+}
+
+// traceDTO is the JSON shape of one trace event.
+type traceDTO struct {
+	TS    int64  `json:"ts"`
+	WID   uint16 `json:"wid"`
+	Kind  string `json:"kind"`
+	DurNS int64  `json:"dur_ns"`
+	Arg   uint64 `json:"arg,omitempty"`
+	Cause string `json:"cause,omitempty"`
+}
+
+func serveTrace(w http.ResponseWriter, r *http.Request) {
+	limit := 256
+	if s := r.URL.Query().Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	evs := Events()
+	if len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	out := make([]traceDTO, 0, len(evs))
+	for _, ev := range evs {
+		d := traceDTO{TS: ev.TS, WID: ev.WID, Kind: ev.Kind.String(), DurNS: ev.Dur, Arg: ev.Arg}
+		if ev.Kind == EvAbort {
+			d.Cause = stats.AbortCause(ev.Cause).String()
+		}
+		out = append(out, d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Enabled bool       `json:"enabled"`
+		Events  []traceDTO `json:"events"`
+	}{TraceEnabled(), out})
+}
+
+func serveHotLocks(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if s := r.URL.Query().Get("k"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			k = n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	p := ActiveProfiler()
+	if p == nil {
+		json.NewEncoder(w).Encode(struct {
+			Running bool `json:"running"`
+		}{false})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Running bool        `json:"running"`
+		Rounds  uint64      `json:"rounds"`
+		Top     []HotRecord `json:"top"`
+	}{true, p.Rounds(), p.TopK(k)})
+}

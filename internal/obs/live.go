@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Live holds always-on counters for the metrics endpoint. Counter updates
+// are lock-free atomics; the commit-latency histogram takes a mutex (one
+// uncontended lock per committed transaction, negligible at RPC rates).
+type Live struct {
+	Commits     atomic.Uint64
+	Aborts      atomic.Uint64
+	Retries     atomic.Uint64
+	DialRetries atomic.Uint64 // transport redial attempts (rpc)
+	CallRetries atomic.Uint64 // per-call transient-error retries (rpc)
+
+	causes [stats.NumAbortCauses]atomic.Uint64
+
+	mu    sync.Mutex
+	lat   *stats.Histogram
+	start time.Time
+}
+
+var live = &Live{lat: stats.NewHistogram(), start: time.Now()}
+
+// Metrics returns the process-wide live metrics.
+func Metrics() *Live { return live }
+
+// TxnCommit records one committed transaction and its end-to-end latency.
+func (l *Live) TxnCommit(d time.Duration) {
+	l.Commits.Add(1)
+	l.mu.Lock()
+	l.lat.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+// TxnAbort records one aborted attempt with its cause.
+func (l *Live) TxnAbort(c stats.AbortCause) {
+	l.Aborts.Add(1)
+	if c < 0 || c >= stats.NumAbortCauses {
+		c = stats.CauseOther
+	}
+	l.causes[c].Add(1)
+}
+
+// AbortCount returns the abort counter for cause c.
+func (l *Live) AbortCount(c stats.AbortCause) uint64 {
+	if c < 0 || c >= stats.NumAbortCauses {
+		return 0
+	}
+	return l.causes[c].Load()
+}
+
+// LatencySnapshot returns a copy of the commit-latency histogram.
+func (l *Live) LatencySnapshot() *stats.Histogram {
+	h := stats.NewHistogram()
+	l.mu.Lock()
+	h.Merge(l.lat)
+	l.mu.Unlock()
+	return h
+}
+
+// Uptime returns time since the last Reset (or process start).
+func (l *Live) Uptime() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Since(l.start)
+}
+
+// Reset zeroes every counter and the latency histogram.
+func (l *Live) Reset() {
+	l.Commits.Store(0)
+	l.Aborts.Store(0)
+	l.Retries.Store(0)
+	l.DialRetries.Store(0)
+	l.CallRetries.Store(0)
+	for i := range l.causes {
+		l.causes[i].Store(0)
+	}
+	l.mu.Lock()
+	l.lat.Reset()
+	l.start = time.Now()
+	l.mu.Unlock()
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestRingWraparound checks that a full ring keeps exactly the newest Cap()
+// events, oldest first.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("Cap() = %d, want 64", r.Cap())
+	}
+	const total = 150 // wraps twice
+	for i := 0; i < total; i++ {
+		r.Push(Event{TS: int64(i + 1), Kind: EvCommit, WID: 7})
+	}
+	if got := r.Pushes(); got != total {
+		t.Fatalf("Pushes() = %d, want %d", got, total)
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 64 {
+		t.Fatalf("snapshot length = %d, want 64", len(evs))
+	}
+	// The surviving events are the last 64 pushes, in push order.
+	for i, ev := range evs {
+		want := int64(total - 64 + i + 1)
+		if ev.TS != want {
+			t.Fatalf("event %d: TS = %d, want %d", i, ev.TS, want)
+		}
+		if ev.Kind != EvCommit || ev.WID != 7 {
+			t.Fatalf("event %d: kind/wid corrupted: %+v", i, ev)
+		}
+	}
+}
+
+// TestRingPartialFill checks that a partially-filled ring returns only the
+// written slots.
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 10; i++ {
+		r.Push(Event{TS: int64(i + 1), Kind: EvBegin})
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 10 {
+		t.Fatalf("snapshot length = %d, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.TS != int64(i+1) {
+			t.Fatalf("event %d: TS = %d, want %d", i, ev.TS, i+1)
+		}
+	}
+}
+
+// TestRingConcurrentWriters hammers one ring from many goroutines (the
+// race detector verifies slot claiming and word stores are sound) and then
+// checks every surviving event decodes to a value some writer actually
+// pushed.
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(256)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Push(Event{
+					TS:    int64(i + 1),
+					Dur:   int64(w*perWriter + i),
+					Arg:   uint64(w),
+					Kind:  EvAbort,
+					Cause: uint8(w),
+					WID:   uint16(w),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Pushes(); got != writers*perWriter {
+		t.Fatalf("Pushes() = %d, want %d", got, writers*perWriter)
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != r.Cap() {
+		t.Fatalf("snapshot length = %d, want full ring %d", len(evs), r.Cap())
+	}
+	for i, ev := range evs {
+		// Writers are quiesced, so no torn events: each field must be
+		// internally consistent with the (single) writer that produced it.
+		if ev.Kind != EvAbort || int(ev.WID) >= writers ||
+			uint16(ev.Cause) != ev.WID || ev.Arg != uint64(ev.WID) {
+			t.Fatalf("event %d inconsistent: %+v", i, ev)
+		}
+		if ev.TS < 1 || ev.TS > perWriter {
+			t.Fatalf("event %d: TS %d out of range", i, ev.TS)
+		}
+	}
+}
+
+// TestEmitGate checks the global tracer: nothing is recorded while
+// disabled, events land in per-worker rings while enabled.
+func TestEmitGate(t *testing.T) {
+	ResetTrace()
+	DisableTrace()
+	Emit(Event{Kind: EvBegin, WID: 1})
+	if evs := Events(); len(evs) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(evs))
+	}
+
+	EnableTrace()
+	defer DisableTrace()
+	defer ResetTrace()
+	Emit(Event{Kind: EvBegin, WID: 1})
+	Emit(Event{Kind: EvCommit, WID: 2, Dur: 42})
+	evs := Events()
+	if len(evs) != 2 {
+		t.Fatalf("enabled tracer recorded %d events, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.TS == 0 {
+			t.Fatalf("Emit did not stamp TS: %+v", ev)
+		}
+	}
+	// Events() sorts by timestamp; begin was emitted first.
+	if evs[0].Kind != EvBegin || evs[1].Kind != EvCommit || evs[1].Dur != 42 {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+// TestDisabledEmitOverhead is the overhead guard for the tracing-off hot
+// path: one atomic load and a branch. The bound is deliberately generous
+// (CI machines vary) but catches a regression to allocation or locking,
+// which would cost an order of magnitude more.
+func TestDisabledEmitOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race detector instrumentation dominates the measurement")
+	}
+	DisableTrace()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Emit(Event{Kind: EvCommit, WID: 1, Dur: int64(i)})
+		}
+	})
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled Emit allocates: %d allocs/op", res.AllocsPerOp())
+	}
+	if ns := res.NsPerOp(); ns > 20 {
+		t.Fatalf("disabled Emit costs %d ns/op, want <= 20", ns)
+	}
+}
+
+// BenchmarkEmitDisabled reports the tracing-off cost for manual runs.
+func BenchmarkEmitDisabled(b *testing.B) {
+	DisableTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Emit(Event{Kind: EvCommit, WID: 1, Dur: int64(i)})
+	}
+}
+
+// BenchmarkEmitEnabled reports the tracing-on cost (ring store + TS stamp).
+func BenchmarkEmitEnabled(b *testing.B) {
+	ResetTrace()
+	EnableTrace()
+	defer DisableTrace()
+	defer ResetTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Emit(Event{TS: int64(i + 1), Kind: EvCommit, WID: 1})
+	}
+}
+
+// TestBuildAttribution checks the phase table from a traced event mix.
+func TestBuildAttribution(t *testing.T) {
+	ResetTrace()
+	EnableTrace()
+	Emit(Event{Kind: EvCommit, WID: 1, Dur: int64(50 * time.Microsecond)})
+	Emit(Event{Kind: EvCommit, WID: 2, Dur: int64(70 * time.Microsecond)})
+	Emit(Event{Kind: EvLockWaitWW, WID: 1, Dur: int64(10 * time.Microsecond)})
+	Emit(Event{Kind: EvBegin, WID: 1}) // point event: no duration, no phase
+	DisableTrace()
+	defer ResetTrace()
+
+	at := BuildAttribution()
+	if at == nil {
+		t.Fatal("BuildAttribution returned nil")
+	}
+	byName := map[string]*stats.PhaseStat{}
+	for i := range at.Phases {
+		byName[at.Phases[i].Name] = &at.Phases[i]
+	}
+	if p := byName["txn-total"]; p == nil || p.H.Count() != 2 {
+		t.Fatalf("txn-total phase missing or wrong count: %+v", byName)
+	}
+	if p := byName["lock-wait-ww"]; p == nil || p.H.Count() != 1 {
+		t.Fatalf("lock-wait-ww phase missing: %+v", byName)
+	}
+	if _, ok := byName["begin"]; ok {
+		t.Fatal("zero-duration point events must not form a phase")
+	}
+	out := at.Format()
+	if !strings.Contains(out, "txn-total") || !strings.Contains(out, "p99.9") {
+		t.Fatalf("Format missing expected columns:\n%s", out)
+	}
+}
+
+// TestHTTPMetricsScrape serves /metrics and checks the Prometheus text
+// output carries the live counters.
+func TestHTTPMetricsScrape(t *testing.T) {
+	Metrics().Reset()
+	Metrics().TxnCommit(1500 * time.Microsecond)
+	Metrics().TxnCommit(500 * time.Microsecond)
+	Metrics().TxnAbort(stats.CauseWounded)
+	Metrics().Retries.Add(3)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"plor_txn_commits_total 2",
+		`plor_txn_aborts_total{cause="wounded"} 1`,
+		"plor_txn_retries_total 3",
+		`plor_txn_latency_ns{quantile="0.99"}`,
+		"plor_throughput_tps",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHTTPTraceEndpoint checks /debug/trace round-trips events as JSON.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	ResetTrace()
+	EnableTrace()
+	Emit(Event{Kind: EvAbort, WID: 3, Cause: uint8(stats.CauseValidation), Dur: 1000})
+	Emit(Event{Kind: EvCommit, WID: 3, Dur: 2000})
+	DisableTrace()
+	defer ResetTrace()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace?limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Enabled bool `json:"enabled"`
+		Events  []struct {
+			WID   uint16 `json:"wid"`
+			Kind  string `json:"kind"`
+			DurNS int64  `json:"dur_ns"`
+			Cause string `json:"cause"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Enabled {
+		t.Fatal("trace should report disabled")
+	}
+	if len(payload.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(payload.Events))
+	}
+	ab := payload.Events[0]
+	if ab.Kind != "abort" || ab.Cause != "validation" || ab.WID != 3 || ab.DurNS != 1000 {
+		t.Fatalf("unexpected abort event: %+v", ab)
+	}
+	if payload.Events[1].Kind != "commit" {
+		t.Fatalf("unexpected second event: %+v", payload.Events[1])
+	}
+}
+
+// TestProfilerTopK feeds synthetic samples through the profiler and checks
+// ranking and scoring (waiters weigh double; write/excl add readers+1).
+func TestProfilerTopK(t *testing.T) {
+	samples := []LockSample{
+		{Table: "ycsb", Key: 1, Waiters: 3},                           // score 6
+		{Table: "ycsb", Key: 2, Readers: 2, Write: true},              // score 3
+		{Table: "ycsb", Key: 3, Excl: true},                           // score 1
+		{Table: "stock", Key: 1, Waiters: 1, Readers: 1, Write: true}, // score 4
+	}
+	p := NewProfiler(time.Hour, func(emit func(LockSample)) {
+		for _, s := range samples {
+			emit(s)
+		}
+	})
+	p.sampleOnce()
+	p.sampleOnce()
+	if p.Rounds() != 2 {
+		t.Fatalf("Rounds() = %d, want 2", p.Rounds())
+	}
+	top := p.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d records", len(top))
+	}
+	if top[0].Table != "ycsb" || top[0].Key != 1 || top[0].Score != 12 || top[0].Samples != 2 {
+		t.Fatalf("top record wrong: %+v", top[0])
+	}
+	if top[1].Table != "stock" || top[1].Score != 8 {
+		t.Fatalf("second record wrong: %+v", top[1])
+	}
+	if top[2].Key != 2 || top[2].Score != 6 {
+		t.Fatalf("third record wrong: %+v", top[2])
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LockSample is one contended record observed by a sampling pass over the
+// lockers' state words (latch-free w/wait/rd words, or the mutex lockers'
+// equivalents).
+type LockSample struct {
+	Table   string
+	Key     uint64
+	Readers int  // current shared holders
+	Waiters int  // writers queued on the wait word
+	Write   bool // write lock held
+	Excl    bool // exclusive signal set (PLOR commit phase 1)
+}
+
+// HotRecord is one row of the top-K hot-record report.
+type HotRecord struct {
+	Table   string
+	Key     uint64
+	Samples uint64 // sampling passes in which the record was contended
+	Score   uint64 // contention-weighted score (waiters count double)
+}
+
+// Profiler periodically samples lock state via a caller-supplied callback
+// and accumulates per-record contention scores.
+type Profiler struct {
+	interval time.Duration
+	sample   func(emit func(LockSample))
+
+	mu     sync.Mutex
+	acc    map[hotKey]*HotRecord
+	rounds uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type hotKey struct {
+	table string
+	key   uint64
+}
+
+// NewProfiler returns a profiler that calls sample every interval; sample
+// must invoke emit once per contended record.
+func NewProfiler(interval time.Duration, sample func(emit func(LockSample))) *Profiler {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	return &Profiler{
+		interval: interval,
+		sample:   sample,
+		acc:      make(map[hotKey]*HotRecord),
+	}
+}
+
+// Start launches the sampling goroutine.
+func (p *Profiler) Start() {
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.sampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling and waits for the goroutine to exit.
+func (p *Profiler) Stop() {
+	if p.stop == nil {
+		return
+	}
+	close(p.stop)
+	<-p.done
+	p.stop = nil
+}
+
+// sampleOnce runs one sampling pass and folds the samples into the
+// accumulator. A sample's score weights queued writers double: a waiter
+// represents a stalled transaction, while a reader is only potential
+// conflict. The exclusive signal and a held write lock count once each.
+func (p *Profiler) sampleOnce() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rounds++
+	p.sample(func(s LockSample) {
+		k := hotKey{s.Table, s.Key}
+		hr := p.acc[k]
+		if hr == nil {
+			hr = &HotRecord{Table: s.Table, Key: s.Key}
+			p.acc[k] = hr
+		}
+		hr.Samples++
+		score := uint64(2 * s.Waiters)
+		if s.Write || s.Excl {
+			score += uint64(s.Readers) + 1
+		}
+		hr.Score += score
+	})
+}
+
+// Rounds returns the number of completed sampling passes.
+func (p *Profiler) Rounds() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds
+}
+
+// TopK returns the k hottest records by score, descending.
+func (p *Profiler) TopK(k int) []HotRecord {
+	p.mu.Lock()
+	out := make([]HotRecord, 0, len(p.acc))
+	for _, hr := range p.acc {
+		out = append(out, *hr)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Table != out[b].Table {
+			return out[a].Table < out[b].Table
+		}
+		return out[a].Key < out[b].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+var activeProfiler atomic.Pointer[Profiler]
+
+// SetProfiler publishes p as the process-wide profiler (nil to clear) so
+// the HTTP handler and CLI reports can read it.
+func SetProfiler(p *Profiler) { activeProfiler.Store(p) }
+
+// ActiveProfiler returns the published profiler, or nil.
+func ActiveProfiler() *Profiler { return activeProfiler.Load() }
+
+// TopHotLocks returns the active profiler's top-K report, or nil when no
+// profiler is running.
+func TopHotLocks(k int) []HotRecord {
+	p := ActiveProfiler()
+	if p == nil {
+		return nil
+	}
+	return p.TopK(k)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import "sync/atomic"
+
+// eventWords is the number of 64-bit words one event occupies in a ring:
+// timestamp, duration, argument, and a packed meta word.
+const eventWords = 4
+
+// meta word layout: kind (8 bits) | cause (8 bits) | wid (16 bits) | valid
+// bit. The valid bit distinguishes a written slot from a zero-initialized
+// one even for events whose fields are all zero.
+const metaValid = uint64(1) << 63
+
+// Ring is a fixed-size, allocation-free, concurrent-writer-safe event
+// buffer. Writers claim slots with a fetch-add on pos and store each event
+// as four atomic words; old events are overwritten once the ring wraps.
+//
+// Reads (Snapshot) are racy by design: a reader can observe an event whose
+// four words come from two different writes ("torn" events) while the ring
+// is being written. That is acceptable for a debug tracer — every word is
+// individually atomic (no undefined behavior, race-detector clean), and a
+// torn event merely attributes one sample to a neighboring transaction.
+// Quiesce writers (disable tracing) before reading if exactness matters.
+type Ring struct {
+	mask  uint64
+	pos   atomic.Uint64 // next slot index; total pushes mod 2^64
+	words []atomic.Uint64
+}
+
+// NewRing returns a ring holding n events, rounded up to a power of two
+// (minimum 64).
+func NewRing(n int) *Ring {
+	size := 64
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{
+		mask:  uint64(size - 1),
+		words: make([]atomic.Uint64, size*eventWords),
+	}
+}
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int { return int(r.mask) + 1 }
+
+// Pushes returns the total number of events ever pushed.
+func (r *Ring) Pushes() uint64 { return r.pos.Load() }
+
+// Push stores ev, overwriting the oldest event once the ring is full.
+// Safe for concurrent callers.
+func (r *Ring) Push(ev Event) {
+	slot := (r.pos.Add(1) - 1) & r.mask
+	base := slot * eventWords
+	meta := metaValid | uint64(ev.Kind) | uint64(ev.Cause)<<8 | uint64(ev.WID)<<16
+	r.words[base].Store(uint64(ev.TS))
+	r.words[base+1].Store(uint64(ev.Dur))
+	r.words[base+2].Store(ev.Arg)
+	r.words[base+3].Store(meta)
+}
+
+// Snapshot appends the ring's current contents to out, oldest slot first,
+// skipping never-written slots. See the type comment for read semantics.
+func (r *Ring) Snapshot(out []Event) []Event {
+	n := r.pos.Load()
+	size := r.mask + 1
+	start := uint64(0)
+	count := n
+	if n > size {
+		start = n & r.mask // oldest surviving slot
+		count = size
+	}
+	for i := uint64(0); i < count; i++ {
+		base := ((start + i) & r.mask) * eventWords
+		meta := r.words[base+3].Load()
+		if meta&metaValid == 0 {
+			continue
+		}
+		out = append(out, Event{
+			TS:    int64(r.words[base].Load()),
+			Dur:   int64(r.words[base+1].Load()),
+			Arg:   r.words[base+2].Load(),
+			Kind:  EventKind(meta & 0xff),
+			Cause: uint8(meta >> 8),
+			WID:   uint16(meta >> 16),
+		})
+	}
+	return out
+}

@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"errors"
-	"fmt"
+	"io"
 	"net"
+	"syscall"
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -18,11 +20,27 @@ type Transport interface {
 	Close() error
 }
 
-// Client-side abort errors.
+// Client-side errors. Remote aborts are pre-built per cause so the abort
+// path stays allocation-free and cc.CauseOf classifies them like local
+// aborts.
 var (
-	errRemoteAbort = fmt.Errorf("%w: aborted by storage engine", cc.ErrAborted)
 	errRemoteError = errors.New("rpc: remote error")
+	remoteAborts   [stats.NumAbortCauses]error
 )
+
+func init() {
+	for c := stats.AbortCause(0); c < stats.NumAbortCauses; c++ {
+		remoteAborts[c] = cc.AbortReason(c, "rpc: aborted by storage engine ("+c.String()+")")
+	}
+}
+
+// remoteAbort maps a response's cause byte to its static abort error.
+func remoteAbort(cause uint8) error {
+	if int(cause) < len(remoteAborts) {
+		return remoteAborts[cause]
+	}
+	return remoteAborts[stats.CauseOther]
+}
 
 // ClientWorker drives transactions over a transport. It implements
 // cc.Worker, and the cc.Tx it passes to procedures issues one RPC per
@@ -44,12 +62,35 @@ func NewClientWorker(tr Transport, tables []*cc.Table, wid uint16) *ClientWorker
 	return &ClientWorker{tr: tr, tables: tables, wid: wid, arena: cc.NewArena(64 << 10)}
 }
 
+// EnableBreakdown turns on per-worker commit/abort/cause accounting
+// (Breakdown was previously always nil for interactive workers, so
+// interactive runs silently lost engine-level counters).
+func (c *ClientWorker) EnableBreakdown() {
+	if c.bd == nil {
+		c.bd = &stats.Breakdown{}
+	}
+}
+
+// send performs one RPC, emitting an EvRPC span when tracing is on.
+func (c *ClientWorker) send() error {
+	if !obs.TraceEnabled() {
+		return c.tr.Call(&c.req, &c.resp)
+	}
+	t0 := time.Now()
+	err := c.tr.Call(&c.req, &c.resp)
+	obs.Emit(obs.Event{Kind: obs.EvRPC, WID: c.wid, Arg: uint64(c.req.Op), Dur: time.Since(t0).Nanoseconds()})
+	return err
+}
+
 // Attempt implements cc.Worker.
 func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
+	if !first && c.bd != nil {
+		c.bd.Retries++
+	}
 	c.arena.Reset()
 	c.dead = false
 	c.req = Request{Op: OpBegin, First: first, RO: opts.ReadOnly, Hint: uint32(opts.ResourceHint)}
-	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+	if err := c.send(); err != nil {
 		return err
 	}
 	if c.resp.Status != StatusOK {
@@ -60,22 +101,22 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 			// The failing operation's response already ended the
 			// transaction server-side; nothing to send.
 			if c.bd != nil {
-				c.bd.Aborts++
+				c.bd.CountAbort(cc.CauseOf(err))
 			}
 			return err
 		}
 		// Client-side logic error: request a rollback.
 		c.req = Request{Op: OpAbort}
-		if terr := c.tr.Call(&c.req, &c.resp); terr != nil {
+		if terr := c.send(); terr != nil {
 			return terr
 		}
 		if c.bd != nil {
-			c.bd.Aborts++
+			c.bd.CountAbort(cc.CauseOf(err))
 		}
 		return err
 	}
 	c.req = Request{Op: OpCommit}
-	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+	if err := c.send(); err != nil {
 		return err
 	}
 	switch c.resp.Status {
@@ -86,9 +127,9 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 		return nil
 	case StatusAborted:
 		if c.bd != nil {
-			c.bd.Aborts++
+			c.bd.CountAbort(stats.AbortCause(c.resp.Cause))
 		}
-		return errRemoteAbort
+		return remoteAbort(c.resp.Cause)
 	default:
 		return errRemoteError
 	}
@@ -99,7 +140,7 @@ func (c *ClientWorker) Breakdown() *stats.Breakdown { return c.bd }
 
 // call performs one data operation RPC and normalizes the status.
 func (c *ClientWorker) call() ([]byte, error) {
-	if err := c.tr.Call(&c.req, &c.resp); err != nil {
+	if err := c.send(); err != nil {
 		return nil, err
 	}
 	switch c.resp.Status {
@@ -111,7 +152,7 @@ func (c *ClientWorker) call() ([]byte, error) {
 		return nil, cc.ErrDuplicate
 	case StatusAborted:
 		c.dead = true
-		return nil, errRemoteAbort
+		return nil, remoteAbort(c.resp.Cause)
 	default:
 		c.dead = true
 		return nil, errRemoteError
@@ -194,11 +235,12 @@ func (c *ClientWorker) WID() uint16 { return c.wid }
 // paper's eRPC-over-InfiniBand setup at microsecond fidelity (sleeping
 // would quantize to the scheduler tick).
 type ChanTransport struct {
-	rtt    time.Duration
-	reqCh  chan *Request
-	respCh chan *Response
-	done   chan struct{}
-	reqBuf Request
+	rtt      time.Duration
+	sleepRTT bool
+	reqCh    chan *Request
+	respCh   chan *Response
+	done     chan struct{}
+	reqBuf   Request
 }
 
 // NewChanTransport starts a session over engine e bound to worker wid and
@@ -233,10 +275,25 @@ func NewChanTransport(e cc.Engine, db *cc.DB, wid uint16, rtt time.Duration) *Ch
 
 var errTransportClosed = errors.New("rpc: transport closed")
 
+// UseSleepRTT switches the RTT simulation from busy-wait to time.Sleep.
+//
+// Tradeoff: spinning is accurate at microsecond scale (a sleep quantizes
+// to the scheduler tick, ~1ms on many kernels, so a 5µs RTT becomes
+// ~1000µs) but burns a core per in-flight call — with tens of workers on a
+// small machine the spinners starve the server goroutines and the
+// benchmark measures scheduler pressure, not the protocol. Sleeping frees
+// the cores at the price of RTT fidelity; prefer it for coarse RTTs
+// (≥ ~1ms) or when workers outnumber cores. Call before the first Call.
+func (t *ChanTransport) UseSleepRTT(v bool) { t.sleepRTT = v }
+
 // Call implements Transport.
 func (t *ChanTransport) Call(req *Request, resp *Response) error {
 	if t.rtt > 0 {
-		spinFor(t.rtt)
+		if t.sleepRTT {
+			time.Sleep(t.rtt)
+		} else {
+			spinFor(t.rtt)
+		}
 	}
 	t.reqBuf = *req
 	select {
@@ -269,23 +326,94 @@ func spinFor(d time.Duration) {
 
 // --- TCP transport ---
 
+// RetryPolicy bounds reconnection attempts after transient network errors:
+// exponential backoff starting at Base, capped at Max, with up to 50%
+// random jitter to decorrelate clients reconnecting after a server restart.
+type RetryPolicy struct {
+	Attempts int           // total attempts including the first (min 1)
+	Base     time.Duration // first backoff delay
+	Max      time.Duration // backoff cap
+}
+
+// DefaultRetry is the policy DialTCP uses.
+var DefaultRetry = RetryPolicy{Attempts: 5, Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+
 // TCPTransport dials a Server over TCP.
 type TCPTransport struct {
-	conn net.Conn
-	fr   *framer
+	conn  net.Conn
+	fr    *framer
+	addr  string
+	retry RetryPolicy
 }
 
-// DialTCP connects to a server at addr.
+// DialTCP connects to a server at addr, retrying transient errors under
+// DefaultRetry.
 func DialTCP(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &TCPTransport{conn: conn, fr: newFramer(conn)}, nil
+	return DialTCPRetry(addr, DefaultRetry)
 }
 
-// Call implements Transport.
+// DialTCPRetry connects to addr under an explicit retry policy. Retries are
+// counted in obs.Metrics().DialRetries.
+func DialTCPRetry(addr string, rp RetryPolicy) (*TCPTransport, error) {
+	attempts := rp.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	bo := newBackoff(rp)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			obs.Metrics().DialRetries.Add(1)
+			bo.sleep()
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return &TCPTransport{conn: conn, fr: newFramer(conn), addr: addr, retry: rp}, nil
+		}
+		lastErr = err
+		if !transientNetErr(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// Call implements Transport. A transient failure is retried (with a fresh
+// connection) only when the request is an OpBegin: no transaction is in
+// flight server-side, so re-sending cannot double-apply anything. Failures
+// mid-transaction surface to the caller — the server rolls the transaction
+// back when the connection drops.
 func (t *TCPTransport) Call(req *Request, resp *Response) error {
+	err := t.call1(req, resp)
+	if err == nil || req.Op != OpBegin || !transientNetErr(err) {
+		return err
+	}
+	attempts := t.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	bo := newBackoff(t.retry)
+	for i := 1; i < attempts; i++ {
+		obs.Metrics().CallRetries.Add(1)
+		bo.sleep()
+		conn, derr := net.Dial("tcp", t.addr)
+		if derr != nil {
+			err = derr
+			if !transientNetErr(derr) {
+				break
+			}
+			continue
+		}
+		t.conn.Close()
+		t.conn, t.fr = conn, newFramer(conn)
+		if err = t.call1(req, resp); err == nil || !transientNetErr(err) {
+			break
+		}
+	}
+	return err
+}
+
+func (t *TCPTransport) call1(req *Request, resp *Response) error {
 	if err := t.fr.writeRequest(req); err != nil {
 		return err
 	}
@@ -294,3 +422,52 @@ func (t *TCPTransport) Call(req *Request, resp *Response) error {
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// backoff produces the policy's jittered exponential delays. Jitter comes
+// from a per-backoff LCG seeded with the wall clock — no global rand
+// dependency, no locking.
+type backoff struct {
+	delay time.Duration
+	max   time.Duration
+	seed  uint64
+}
+
+func newBackoff(rp RetryPolicy) *backoff {
+	base := rp.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxD := rp.Max
+	if maxD < base {
+		maxD = base
+	}
+	return &backoff{delay: base, max: maxD, seed: uint64(time.Now().UnixNano()) | 1}
+}
+
+func (b *backoff) sleep() {
+	b.seed = b.seed*6364136223846793005 + 1442695040888963407
+	jitter := time.Duration(b.seed % uint64(b.delay/2+1))
+	time.Sleep(b.delay - b.delay/4 + jitter) // delay ± 25%-ish
+	b.delay *= 2
+	if b.delay > b.max {
+		b.delay = b.max
+	}
+}
+
+// transientNetErr reports whether err looks like a transient connection
+// failure worth retrying: timeouts, refused/reset connections, broken
+// pipes, and clean EOFs from a restarting server.
+func transientNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -65,9 +65,12 @@ type Request struct {
 }
 
 // Response is one server→client message. Rows is used by scans: pairs of
-// (key, row image) packed back to back.
+// (key, row image) packed back to back. Cause accompanies StatusAborted and
+// carries the server-side stats.AbortCause so client breakdowns classify
+// remote aborts the same way local ones are.
 type Response struct {
 	Status uint8
+	Cause  uint8
 	Val    []byte
 	Rows   []ScanRow
 }
@@ -126,7 +129,7 @@ func decodeRequest(b []byte, r *Request) error {
 func appendResponse(buf []byte, resp *Response) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
-	buf = append(buf, resp.Status)
+	buf = append(buf, resp.Status, resp.Cause)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Val)))
 	buf = append(buf, resp.Val...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Rows)))
@@ -141,16 +144,17 @@ func appendResponse(buf []byte, resp *Response) []byte {
 
 // decodeResponse parses a frame body into resp; row values alias b.
 func decodeResponse(b []byte, resp *Response) error {
-	if len(b) < 9 {
+	if len(b) < 10 {
 		return fmt.Errorf("rpc: short response frame")
 	}
 	resp.Status = b[0]
-	n := int(binary.LittleEndian.Uint32(b[1:]))
-	if len(b) < 9+n {
+	resp.Cause = b[1]
+	n := int(binary.LittleEndian.Uint32(b[2:]))
+	if len(b) < 10+n {
 		return fmt.Errorf("rpc: response value truncated")
 	}
-	resp.Val = b[5 : 5+n]
-	off := 5 + n
+	resp.Val = b[6 : 6+n]
+	off := 6 + n
 	rows := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	resp.Rows = resp.Rows[:0]

@@ -6,8 +6,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // errClientAbort signals a client-requested rollback inside a session proc.
@@ -21,10 +24,11 @@ var errReported = errors.New("rpc: terminal status already reported")
 // It is driven by recv/send callbacks so the same state machine serves the
 // channel and TCP transports.
 type Session struct {
-	db     *cc.DB
-	worker cc.Worker
-	tables []*cc.Table
-	rows   []ScanRow
+	db       *cc.DB
+	worker   cc.Worker
+	tables   []*cc.Table
+	rows     []ScanRow
+	txnStart time.Time // first-attempt Begin of the current transaction
 }
 
 // NewSession binds worker wid of engine e to a new session.
@@ -61,6 +65,11 @@ func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) e
 		}
 		opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint)}
 		first := req.First
+		if first {
+			s.txnStart = time.Now()
+		} else {
+			obs.Metrics().Retries.Add(1)
+		}
 
 		var commErr error
 		err := s.worker.Attempt(func(tx cc.Tx) error {
@@ -96,14 +105,19 @@ func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) e
 		case err == nil:
 			// Reply to the OpCommit that ended the proc.
 			resp = Response{Status: StatusOK}
+			obs.Metrics().TxnCommit(time.Since(s.txnStart))
 		case errors.Is(err, errReported):
 			// The terminal status went out on the failing operation's
 			// response; loop for the next Begin.
 			continue
 		case errors.Is(err, errClientAbort):
 			resp = Response{Status: StatusAborted} // acknowledged rollback
+			obs.Metrics().TxnAbort(stats.CauseOther)
 		case cc.IsAborted(err):
-			resp = Response{Status: StatusAborted} // aborted at commit
+			// Aborted at commit; forward the engine's classification.
+			cause := cc.CauseOf(err)
+			resp = Response{Status: StatusAborted, Cause: uint8(cause)}
+			obs.Metrics().TxnAbort(cause)
 		default:
 			resp = Response{Status: StatusError}
 		}
@@ -152,7 +166,9 @@ func (s *Session) apply(tx cc.Tx, req *Request, resp *Response) error {
 		*resp = Response{Status: StatusDuplicate}
 		return nil
 	case cc.IsAborted(err):
-		*resp = Response{Status: StatusAborted}
+		cause := cc.CauseOf(err)
+		*resp = Response{Status: StatusAborted, Cause: uint8(cause)}
+		obs.Metrics().TxnAbort(cause)
 		return errReported
 	default:
 		*resp = Response{Status: StatusError}
@@ -182,7 +198,9 @@ func (s *Session) applyScan(tx cc.Tx, t *cc.Table, req *Request, resp *Response)
 	})
 	if err != nil {
 		if cc.IsAborted(err) {
-			*resp = Response{Status: StatusAborted}
+			cause := cc.CauseOf(err)
+			*resp = Response{Status: StatusAborted, Cause: uint8(cause)}
+			obs.Metrics().TxnAbort(cause)
 		} else {
 			*resp = Response{Status: StatusError}
 		}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribution is a per-phase latency table: for each lifecycle phase of a
+// transaction (lock wait, commit upgrade, validation, WAL append, RPC, ...)
+// it holds the distribution of that phase's duration across the run. It is
+// built from obs traces and reproduces the paper's Fig. 12 breakdown from
+// recorded spans rather than ad-hoc timers.
+type Attribution struct {
+	Phases []PhaseStat
+}
+
+// PhaseStat is one row of the attribution table.
+type PhaseStat struct {
+	Name string
+	H    *Histogram
+}
+
+// Phase returns the histogram for name, creating the row if needed.
+func (a *Attribution) Phase(name string) *Histogram {
+	for i := range a.Phases {
+		if a.Phases[i].Name == name {
+			return a.Phases[i].H
+		}
+	}
+	h := NewHistogram()
+	a.Phases = append(a.Phases, PhaseStat{Name: name, H: h})
+	return h
+}
+
+// Format renders the table with per-phase counts and p50/p99/p99.9 latency
+// in microseconds.
+func (a *Attribution) Format() string {
+	if a == nil || len(a.Phases) == 0 {
+		return "attribution: no traced events\n"
+	}
+	var s strings.Builder
+	fmt.Fprintf(&s, "%-16s %12s %12s %12s %12s\n",
+		"phase", "count", "p50(us)", "p99(us)", "p99.9(us)")
+	for _, p := range a.Phases {
+		if p.H.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&s, "%-16s %12d %12.1f %12.1f %12.1f\n",
+			p.Name, p.H.Count(),
+			float64(p.H.P50())/1e3, float64(p.H.P99())/1e3,
+			float64(p.H.P999())/1e3)
+	}
+	return s.String()
+}

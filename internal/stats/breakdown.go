@@ -39,6 +39,53 @@ func (c Category) String() string {
 	return categoryNames[c]
 }
 
+// AbortCause classifies why a transaction attempt aborted. The taxonomy
+// follows the protocols implemented here: PLOR wound-wait kills (§4.2),
+// 2PL deadlock-avoidance conflicts (NO_WAIT/WAIT_DIE), OCC validation
+// failures (Silo/TicToc/MOCC), PLOR's read-only fallback (§4.4), write-write
+// upgrade conflicts during PLOR's commit phase 1, remote/RPC failures in
+// interactive mode, and WAL commit errors.
+type AbortCause int
+
+const (
+	// CauseOther is an unclassified abort (e.g. application error).
+	CauseOther AbortCause = iota
+	// CauseWounded: killed by a higher-priority (older) transaction.
+	CauseWounded
+	// CauseConflict: lock conflict under NO_WAIT/WAIT_DIE or an OCC
+	// commit-lock spin limit.
+	CauseConflict
+	// CauseValidation: OCC read-set validation failure (Silo/TicToc/MOCC).
+	CauseValidation
+	// CauseROFallback: PLOR read-only snapshot validation failed; the
+	// transaction falls back to the locking path.
+	CauseROFallback
+	// CauseWWUpgrade: write-write conflict while upgrading read locks to
+	// exclusive in PLOR's commit phase 1 (including deferred-write-lock
+	// acquisition).
+	CauseWWUpgrade
+	// CauseRPC: transport or remote-server error in interactive mode.
+	CauseRPC
+	// CauseLog: WAL commit failure.
+	CauseLog
+
+	// NumAbortCauses is the number of abort-cause labels.
+	NumAbortCauses
+)
+
+var causeNames = [NumAbortCauses]string{
+	"other", "wounded", "conflict", "validation", "ro-fallback",
+	"ww-upgrade", "rpc", "log",
+}
+
+// String returns the cause's display name.
+func (c AbortCause) String() string {
+	if c < 0 || c >= NumAbortCauses {
+		return "invalid"
+	}
+	return causeNames[c]
+}
+
 // Breakdown accumulates per-category execution time for one worker. It is
 // not synchronized: each worker owns one and the harness merges them.
 type Breakdown struct {
@@ -47,6 +94,16 @@ type Breakdown struct {
 	// Abort accounting, used for the abort-ratio annotations in Fig. 12.
 	Commits uint64
 	Aborts  uint64
+
+	// Retries counts attempts that re-executed a previously aborted
+	// transaction (engine-level, whole run). Every retry follows an abort,
+	// so Retries ≤ Aborts; the two are tracked separately so an abort that
+	// is never retried is not double-counted as a retry.
+	Retries uint64
+
+	// AbortCauses splits Aborts by cause. Invariant (maintained by
+	// CountAbort): sum(AbortCauses) == Aborts.
+	AbortCauses [NumAbortCauses]uint64
 }
 
 // Add charges d to category c.
@@ -58,6 +115,17 @@ func (b *Breakdown) AddNS(c Category, ns int64) { b.ns[c] += ns }
 // NS returns the nanoseconds charged to category c.
 func (b *Breakdown) NS(c Category) int64 { return b.ns[c] }
 
+// CountAbort records one aborted attempt with its cause, keeping Aborts and
+// the per-cause counters consistent. Callers should prefer this over
+// incrementing Aborts directly.
+func (b *Breakdown) CountAbort(c AbortCause) {
+	b.Aborts++
+	if c < 0 || c >= NumAbortCauses {
+		c = CauseOther
+	}
+	b.AbortCauses[c]++
+}
+
 // Merge adds o's accounting into b.
 func (b *Breakdown) Merge(o *Breakdown) {
 	for i := range b.ns {
@@ -65,6 +133,10 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	}
 	b.Commits += o.Commits
 	b.Aborts += o.Aborts
+	b.Retries += o.Retries
+	for i := range b.AbortCauses {
+		b.AbortCauses[i] += o.AbortCauses[i]
+	}
 }
 
 // Reset clears all counters.
@@ -113,5 +185,25 @@ func (b *Breakdown) String() string {
 		fmt.Fprintf(&s, "%s=%.1f%%", Category(i), f*100)
 	}
 	fmt.Fprintf(&s, " abort=%.1f%%", b.AbortRatio()*100)
+	return s.String()
+}
+
+// CauseString renders the per-cause abort counters plus the retry count,
+// omitting causes with zero aborts.
+func (b *Breakdown) CauseString() string {
+	var s strings.Builder
+	for i, n := range b.AbortCauses {
+		if n == 0 {
+			continue
+		}
+		if s.Len() > 0 {
+			s.WriteByte(' ')
+		}
+		fmt.Fprintf(&s, "%s=%d", AbortCause(i), n)
+	}
+	if s.Len() == 0 {
+		s.WriteString("none")
+	}
+	fmt.Fprintf(&s, " retries=%d", b.Retries)
 	return s.String()
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -18,6 +19,18 @@ type Metrics struct {
 	Commits uint64
 	Aborts  uint64
 
+	// Retries counts attempts that re-executed an aborted transaction in
+	// the window. In the closed-loop harness every abort is retried, so
+	// Retries == Aborts there; interactive/server runs can differ.
+	Retries uint64
+
+	// AbortsByCause splits Aborts by cause as observed by the commit loop
+	// (window-filtered, all engines). Breakdown.AbortCauses is the
+	// engine-level view: whole-run and only populated when per-worker
+	// instrumentation is on. Figures should use one or the other, never
+	// their sum.
+	AbortsByCause [NumAbortCauses]uint64
+
 	// Latency is the end-to-end committed-transaction latency distribution,
 	// measured from a transaction's FIRST invocation (aborted attempts
 	// included), matching the paper's measurement methodology.
@@ -25,6 +38,10 @@ type Metrics struct {
 
 	// Breakdown aggregates the per-worker execution-time split (Fig. 12).
 	Breakdown Breakdown
+
+	// Attribution is the per-phase latency table derived from obs traces;
+	// nil unless the run was traced.
+	Attribution *Attribution
 }
 
 // Throughput returns committed transactions per second.
@@ -47,6 +64,9 @@ func (m *Metrics) AbortRatio() float64 {
 // P999us returns the 99.9th percentile latency in microseconds.
 func (m *Metrics) P999us() float64 { return float64(m.Latency.P999()) / 1e3 }
 
+// P99us returns the 99th percentile latency in microseconds.
+func (m *Metrics) P99us() float64 { return float64(m.Latency.P99()) / 1e3 }
+
 // P50us returns the median latency in microseconds.
 func (m *Metrics) P50us() float64 { return float64(m.Latency.P50()) / 1e3 }
 
@@ -54,5 +74,30 @@ func (m *Metrics) P50us() float64 { return float64(m.Latency.P50()) / 1e3 }
 func (m *Metrics) Row() string {
 	return fmt.Sprintf("%-28s workers=%-3d tput=%10.0f tps  p50=%8.1fus  p99=%8.1fus  p999=%8.1fus  abort=%5.1f%%",
 		m.Label, m.Workers, m.Throughput(), m.P50us(),
-		float64(m.Latency.P99())/1e3, m.P999us(), m.AbortRatio()*100)
+		m.P99us(), m.P999us(), m.AbortRatio()*100)
+}
+
+// CauseSummary renders the per-cause abort counters. It prefers the harness
+// view (AbortsByCause); when that is empty (e.g. metrics merged from raw
+// breakdowns) it falls back to the engine-level Breakdown counters.
+func (m *Metrics) CauseSummary() string {
+	var total uint64
+	for _, n := range m.AbortsByCause {
+		total += n
+	}
+	if total == 0 {
+		return m.Breakdown.CauseString()
+	}
+	var s strings.Builder
+	for i, n := range m.AbortsByCause {
+		if n == 0 {
+			continue
+		}
+		if s.Len() > 0 {
+			s.WriteByte(' ')
+		}
+		fmt.Fprintf(&s, "%s=%d", AbortCause(i), n)
+	}
+	fmt.Fprintf(&s, " retries=%d", m.Retries)
+	return s.String()
 }

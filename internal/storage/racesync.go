@@ -1,0 +1,9 @@
+//go:build !race
+
+package storage
+
+// seqLock/seqUnlock guard the seqlock image copies only under the race
+// detector (see racesync_race.go); in normal builds they are empty and
+// inline to nothing, keeping CopyImage/InstallImage plain copies.
+func (r *Record) seqLock()   {}
+func (r *Record) seqUnlock() {}

@@ -1,0 +1,27 @@
+//go:build race
+
+package storage
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// The seqlock read protocol (StableRead and TicToc's variant) copies record
+// images concurrently with commit-phase installs by design: a torn copy is
+// detected by the surrounding version re-check and discarded. The race
+// detector cannot see that protocol — it flags the unsynchronized byte
+// copies — so race-instrumented builds serialize only the image copies
+// through striped mutexes. Normal builds compile the empty no-ops in
+// racesync.go instead and are unaffected.
+const seqStripes = 1024
+
+var seqMu [seqStripes]sync.Mutex
+
+func (r *Record) seqLock() {
+	seqMu[(uintptr(unsafe.Pointer(r))>>6)%seqStripes].Lock()
+}
+
+func (r *Record) seqUnlock() {
+	seqMu[(uintptr(unsafe.Pointer(r))>>6)%seqStripes].Unlock()
+}

@@ -156,9 +156,30 @@ func (r *Record) InitAbsent(locked bool) {
 func (r *Record) StableRead(buf []byte) uint64 {
 	for {
 		v1 := r.TIDStable()
-		copy(buf, r.Data)
+		r.CopyImage(buf)
 		if r.TID.Load() == v1 {
 			return v1
 		}
 	}
+}
+
+// CopyImage copies the record image into buf. It is the raw copy step of a
+// seqlock-style read: torn copies are the caller's problem (detected via a
+// version re-check and discarded). Under the race detector the copy is
+// additionally serialized with InstallImage so the by-design data race is
+// not reported; normal builds compile it to a plain copy.
+func (r *Record) CopyImage(buf []byte) {
+	r.seqLock()
+	copy(buf, r.Data)
+	r.seqUnlock()
+}
+
+// InstallImage copies val into the record image. The caller must hold the
+// record's write exclusion (the TID lock or a write lock); InstallImage
+// does not synchronize writers with each other. See CopyImage for the
+// race-detector semantics.
+func (r *Record) InstallImage(val []byte) {
+	r.seqLock()
+	copy(r.Data, val)
+	r.seqUnlock()
 }

@@ -114,6 +114,24 @@ func (t *Table) grow(n int) {
 // Allocated returns the number of records handed out (live + dead).
 func (t *Table) Allocated() int { return int(t.next.Load()) }
 
+// EachRecord calls fn for every allocated record (live + dead) until fn
+// returns false. Safe for concurrent use with Alloc; records allocated
+// during iteration may or may not be visited. Used by the lock-contention
+// profiler, which scans lock words without acquiring anything.
+func (t *Table) EachRecord(fn func(r *Record) bool) {
+	n := int(t.next.Load())
+	slabs := *t.slabs.Load()
+	for i := 0; i < n; i++ {
+		slabIdx := i / slabRecords
+		if slabIdx >= len(slabs) {
+			return
+		}
+		if !fn(&slabs[slabIdx].recs[i%slabRecords]) {
+			return
+		}
+	}
+}
+
 // Opts returns the table's lock-allocation options.
 func (t *Table) Opts() TableOpts { return t.opts }
 
