@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: everything must compile, vet clean, and
-# pass the full suite under the race detector.
+# verify is the pre-merge gate: everything must compile, vet clean, pass
+# the full suite under the race detector, and run every benchmark for one
+# iteration (bench-smoke) so harness breakage can't hide behind -run=^$.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-smoke runs the figure benches and the index/core microbenches for
+# a single iteration each — a regression canary that the bench harnesses
+# still execute end to end, not a measurement.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x .
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/

@@ -3,7 +3,7 @@ package cc
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 
 	"repro/internal/lock"
 	"repro/internal/stats"
@@ -71,6 +71,7 @@ type moccWorker struct {
 	arena *Arena
 	rset  []siloRead  // optimistic snapshots (shared shape with Silo)
 	wset  []siloWrite // buffered writes (shared shape with Silo)
+	wmap  RecMap      // rec → wset position, active past RecMapThreshold
 	locks []moccLock  // pessimistic locks held (hot records)
 	req   lock.Req
 	scan  []ScanItem
@@ -92,6 +93,7 @@ func (w *moccWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.arena.Reset()
 	w.rset = w.rset[:0]
 	w.wset = w.wset[:0]
+	w.wmap.Reset()
 	w.locks = w.locks[:0]
 	w.wl.BeginTxn(ts)
 
@@ -136,13 +138,16 @@ func (w *moccWorker) pessimistic(rec *storage.Record, mode lock.Mode) error {
 }
 
 func (w *moccWorker) commit() error {
-	sort.Slice(w.wset, func(i, j int) bool {
-		a, b := &w.wset[i], &w.wset[j]
-		if a.tbl.ID != b.tbl.ID {
-			return a.tbl.ID < b.tbl.ID
+	// Sorted commit order invalidates the position map; validation still
+	// calls inWset, so rebuild it when active.
+	slices.SortFunc(w.wset, siloWriteCompare)
+	if w.wmap.Active() {
+		w.wmap.Reset()
+		w.wmap.Activate(len(w.wset))
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
 		}
-		return a.key < b.key
-	})
+	}
 	// Take pessimistic write locks on hot records first (NO_WAIT), then
 	// TID locks on everything, Silo-style.
 	for i := range w.wset {
@@ -258,13 +263,37 @@ func (w *moccWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 
 func (w *moccWorker) inWset(rec *storage.Record) bool { return w.findW(rec) != nil }
 
+// findW locates rec's write-set entry: a linear scan while the set is
+// small, a RecMap lookup once it outgrows RecMapThreshold.
 func (w *moccWorker) findW(rec *storage.Record) *siloWrite {
+	if w.wmap.Active() {
+		if i, ok := w.wmap.Get(rec); ok {
+			return &w.wset[i]
+		}
+		return nil
+	}
 	for i := range w.wset {
 		if w.wset[i].rec == rec {
 			return &w.wset[i]
 		}
 	}
 	return nil
+}
+
+// noteW indexes the just-appended write-set entry.
+func (w *moccWorker) noteW() {
+	n := len(w.wset)
+	if !w.wmap.Active() {
+		if n <= RecMapThreshold {
+			return
+		}
+		w.wmap.Activate(n)
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
+		}
+		return
+	}
+	w.wmap.Put(w.wset[n-1].rec, n-1)
 }
 
 // Read implements Tx: hot records are read under a NO_WAIT read lock, cold
@@ -325,6 +354,7 @@ func (w *moccWorker) Update(t *Table, key uint64, val []byte) error {
 		return nil
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	w.noteW()
 	return nil
 }
 
@@ -340,6 +370,7 @@ func (w *moccWorker) Insert(t *Table, key uint64, val []byte) error {
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	w.noteW()
 	return nil
 }
 
@@ -363,6 +394,7 @@ func (w *moccWorker) Delete(t *Table, key uint64) error {
 		return ErrNotFound
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	w.noteW()
 	return nil
 }
 

@@ -1,0 +1,109 @@
+package cc
+
+import "repro/internal/storage"
+
+// RecMapThreshold is the access-set size up to which workers keep using
+// the linear scan: small footprints fit in a cache line or two and the
+// scan beats any hashing. Past it, workers activate a RecMap so TPC-C
+// sized footprints (tens of accesses) stop paying O(n²) probe costs.
+const RecMapThreshold = 16
+
+// RecMap is a small open-addressed map from record pointer to the
+// record's position in the worker's access/write-set slice. Hashing uses
+// the record's primary key (stored on the record at insert time);
+// equality is pointer identity, so two tables sharing a key value simply
+// probe one slot further. The zero value is ready to use (inactive).
+//
+// Positions returned by Get are valid only while the backing slice keeps
+// its order — after a commit-phase sort, call Rebuild-style re-insertion
+// (Reset + Put) before trusting positions again.
+type RecMap struct {
+	recs []*storage.Record
+	pos  []int32
+	mask uint64
+	n    int
+	act  bool
+}
+
+// Active reports whether the worker has switched to map lookups.
+func (m *RecMap) Active() bool { return m.act }
+
+// Reset deactivates the map and clears its slots for reuse without
+// freeing the backing arrays.
+func (m *RecMap) Reset() {
+	if !m.act {
+		return
+	}
+	for i := range m.recs {
+		m.recs[i] = nil
+	}
+	m.n = 0
+	m.act = false
+}
+
+// Activate switches the map on, sized for at least capHint entries.
+func (m *RecMap) Activate(capHint int) {
+	size := 64
+	for size < 4*capHint {
+		size *= 2
+	}
+	if size > len(m.recs) {
+		m.recs = make([]*storage.Record, size)
+		m.pos = make([]int32, size)
+		m.mask = uint64(size - 1)
+	}
+	m.n = 0
+	m.act = true
+}
+
+func recHash(rec *storage.Record) uint64 {
+	return rec.Key * 0x9E3779B97F4A7C15
+}
+
+// Put records rec at position p. The caller must not insert the same
+// pointer twice (workers only append a record's first access).
+func (m *RecMap) Put(rec *storage.Record, p int) {
+	if 2*(m.n+1) > len(m.recs) {
+		m.rehash()
+	}
+	i := recHash(rec) & m.mask
+	for m.recs[i] != nil {
+		i = (i + 1) & m.mask
+	}
+	m.recs[i] = rec
+	m.pos[i] = int32(p)
+	m.n++
+}
+
+// Get returns rec's recorded position.
+func (m *RecMap) Get(rec *storage.Record) (int, bool) {
+	i := recHash(rec) & m.mask
+	for {
+		e := m.recs[i]
+		if e == nil {
+			return 0, false
+		}
+		if e == rec {
+			return int(m.pos[i]), true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// rehash doubles the table.
+func (m *RecMap) rehash() {
+	oldRecs, oldPos := m.recs, m.pos
+	size := 2 * len(oldRecs)
+	if size < 64 {
+		size = 64
+	}
+	m.recs = make([]*storage.Record, size)
+	m.pos = make([]int32, size)
+	m.mask = uint64(size - 1)
+	m.n = 0
+	for i, r := range oldRecs {
+		if r != nil {
+			m.Put(r, int(oldPos[i]))
+		}
+	}
+}

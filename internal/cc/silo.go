@@ -1,9 +1,10 @@
 package cc
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/obs"
@@ -74,6 +75,7 @@ type siloWorker struct {
 	arena *Arena
 	rset  []siloRead
 	wset  []siloWrite
+	wmap  RecMap // rec → wset position, active past RecMapThreshold
 	scan  []ScanItem
 	wl    *LogHandle
 	bd    *stats.Breakdown
@@ -87,6 +89,7 @@ func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.arena.Reset()
 	w.rset = w.rset[:0]
 	w.wset = w.wset[:0]
+	w.wmap.Reset()
 	// Silo stamps log records with a fresh serial number every attempt —
 	// aborted attempts never reuse identity (§7, "once a transaction
 	// aborts, it must use a newer timestamp").
@@ -101,13 +104,16 @@ func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 
 func (w *siloWorker) commit() error {
 	// Phase 1: lock the write set in deterministic (table, key) order.
-	sort.Slice(w.wset, func(i, j int) bool {
-		a, b := &w.wset[i], &w.wset[j]
-		if a.tbl.ID != b.tbl.ID {
-			return a.tbl.ID < b.tbl.ID
+	// The sort invalidates the position map, which validation still needs
+	// for inWset, so rebuild it when active.
+	slices.SortFunc(w.wset, siloWriteCompare)
+	if w.wmap.Active() {
+		w.wmap.Reset()
+		w.wmap.Activate(len(w.wset))
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
 		}
-		return a.key < b.key
-	})
+	}
 	for i := range w.wset {
 		e := &w.wset[i]
 		if e.isInsert {
@@ -208,17 +214,49 @@ func (w *siloWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 	}
 }
 
+// siloWriteCompare orders write sets by (table, key); shared with MOCC.
+func siloWriteCompare(a, b siloWrite) int {
+	if c := cmp.Compare(a.tbl.ID, b.tbl.ID); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.key, b.key)
+}
+
 func (w *siloWorker) inWset(rec *storage.Record) bool {
 	return w.findW(rec) != nil
 }
 
+// findW locates rec's write-set entry: a linear scan while the set is
+// small, a RecMap lookup once it outgrows RecMapThreshold.
 func (w *siloWorker) findW(rec *storage.Record) *siloWrite {
+	if w.wmap.Active() {
+		if i, ok := w.wmap.Get(rec); ok {
+			return &w.wset[i]
+		}
+		return nil
+	}
 	for i := range w.wset {
 		if w.wset[i].rec == rec {
 			return &w.wset[i]
 		}
 	}
 	return nil
+}
+
+// noteW indexes the just-appended write-set entry.
+func (w *siloWorker) noteW() {
+	n := len(w.wset)
+	if !w.wmap.Active() {
+		if n <= RecMapThreshold {
+			return
+		}
+		w.wmap.Activate(n)
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
+		}
+		return
+	}
+	w.wmap.Put(w.wset[n-1].rec, n-1)
 }
 
 // Read implements Tx: an invisible read with a TID snapshot.
@@ -266,6 +304,7 @@ func (w *siloWorker) Update(t *Table, key uint64, val []byte) error {
 		return nil
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	w.noteW()
 	return nil
 }
 
@@ -282,6 +321,7 @@ func (w *siloWorker) Insert(t *Table, key uint64, val []byte) error {
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	w.noteW()
 	return nil
 }
 
@@ -306,6 +346,7 @@ func (w *siloWorker) Delete(t *Table, key uint64) error {
 		return ErrNotFound
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	w.noteW()
 	return nil
 }
 

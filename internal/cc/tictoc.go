@@ -1,9 +1,10 @@
 package cc
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -91,6 +92,7 @@ type tictocWorker struct {
 	arena *Arena
 	rset  []ttRead
 	wset  []ttWrite
+	wmap  RecMap // rec → wset position, active past RecMapThreshold
 	scan  []ScanItem
 	wl    *LogHandle
 	bd    *stats.Breakdown
@@ -104,6 +106,7 @@ func (w *tictocWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.arena.Reset()
 	w.rset = w.rset[:0]
 	w.wset = w.wset[:0]
+	w.wmap.Reset()
 	w.wl.BeginTxn(w.db.Reg.NextTS()) // log stamp only; not a CC timestamp
 
 	if err := proc(w); err != nil {
@@ -132,14 +135,17 @@ func ttStableRead(rec *storage.Record, buf []byte) uint64 {
 }
 
 func (w *tictocWorker) commit() error {
-	// Lock the write set in deterministic order.
-	sort.Slice(w.wset, func(i, j int) bool {
-		a, b := &w.wset[i], &w.wset[j]
-		if a.tbl.ID != b.tbl.ID {
-			return a.tbl.ID < b.tbl.ID
+	// Lock the write set in deterministic order. The sort invalidates the
+	// position map, which validation still needs for inWset, so rebuild it
+	// when active.
+	slices.SortFunc(w.wset, ttWriteCompare)
+	if w.wmap.Active() {
+		w.wmap.Reset()
+		w.wmap.Activate(len(w.wset))
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
 		}
-		return a.key < b.key
-	})
+	}
 	for i := range w.wset {
 		e := &w.wset[i]
 		if e.isInsert {
@@ -264,15 +270,47 @@ func (w *tictocWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCau
 	}
 }
 
+// ttWriteCompare orders the write set by (table, key).
+func ttWriteCompare(a, b ttWrite) int {
+	if c := cmp.Compare(a.tbl.ID, b.tbl.ID); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.key, b.key)
+}
+
 func (w *tictocWorker) inWset(rec *storage.Record) bool { return w.findW(rec) != nil }
 
+// findW locates rec's write-set entry: a linear scan while the set is
+// small, a RecMap lookup once it outgrows RecMapThreshold.
 func (w *tictocWorker) findW(rec *storage.Record) *ttWrite {
+	if w.wmap.Active() {
+		if i, ok := w.wmap.Get(rec); ok {
+			return &w.wset[i]
+		}
+		return nil
+	}
 	for i := range w.wset {
 		if w.wset[i].rec == rec {
 			return &w.wset[i]
 		}
 	}
 	return nil
+}
+
+// noteW indexes the just-appended write-set entry.
+func (w *tictocWorker) noteW() {
+	n := len(w.wset)
+	if !w.wmap.Active() {
+		if n <= RecMapThreshold {
+			return
+		}
+		w.wmap.Activate(n)
+		for i := range w.wset {
+			w.wmap.Put(w.wset[i].rec, i)
+		}
+		return
+	}
+	w.wmap.Put(w.wset[n-1].rec, n-1)
 }
 
 // Read implements Tx.
@@ -318,6 +356,7 @@ func (w *tictocWorker) Update(t *Table, key uint64, val []byte) error {
 		return nil
 	}
 	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val)})
+	w.noteW()
 	return nil
 }
 
@@ -333,6 +372,7 @@ func (w *tictocWorker) Insert(t *Table, key uint64, val []byte) error {
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})
+	w.noteW()
 	return nil
 }
 
@@ -356,6 +396,7 @@ func (w *tictocWorker) Delete(t *Table, key uint64) error {
 		return ErrNotFound
 	}
 	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: buf, isDelete: true})
+	w.noteW()
 	return nil
 }
 

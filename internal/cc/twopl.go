@@ -86,6 +86,7 @@ type twoplWorker struct {
 	req    lock.Req
 	arena  *Arena
 	acc    []tplAccess
+	accMap RecMap // rec → acc position, active past RecMapThreshold
 	scan   []ScanItem
 	wl     *LogHandle
 	bd     *stats.Breakdown
@@ -103,6 +104,7 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.ctx.Begin(w.wid, w.ts)
 	w.arena.Reset()
 	w.acc = w.acc[:0]
+	w.accMap.Reset()
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: w.ts, BD: w.bd}
 	w.wl.BeginTxn(w.ts)
 
@@ -176,14 +178,37 @@ func (w *twoplWorker) rollback(cause stats.AbortCause) {
 	}
 }
 
-// find returns the access entry for rec, or nil.
+// find returns the access entry for rec, or nil. Small footprints use a
+// linear scan; past RecMapThreshold, lookups go through the position map.
 func (w *twoplWorker) find(rec *storage.Record) *tplAccess {
+	if w.accMap.Active() {
+		if i, ok := w.accMap.Get(rec); ok {
+			return &w.acc[i]
+		}
+		return nil
+	}
 	for i := range w.acc {
 		if w.acc[i].rec == rec {
 			return &w.acc[i]
 		}
 	}
 	return nil
+}
+
+// noteAcc indexes the just-appended access entry.
+func (w *twoplWorker) noteAcc() {
+	n := len(w.acc)
+	if !w.accMap.Active() {
+		if n <= RecMapThreshold {
+			return
+		}
+		w.accMap.Activate(n)
+		for i := range w.acc {
+			w.accMap.Put(w.acc[i].rec, i)
+		}
+		return
+	}
+	w.accMap.Put(w.acc[n-1].rec, n-1)
 }
 
 // acquire takes the lock in mode, translating lock errors to abort errors.
@@ -214,6 +239,7 @@ func (w *twoplWorker) lockedRead(t *Table, rec *storage.Record, key uint64, mode
 		return nil, err
 	}
 	w.acc = append(w.acc, tplAccess{tbl: t, rec: rec, key: key, mode: mode})
+	w.noteAcc()
 	return &w.acc[len(w.acc)-1], nil
 }
 
@@ -289,6 +315,7 @@ func (w *twoplWorker) Insert(t *Table, key uint64, val []byte) error {
 		return ErrDuplicate
 	}
 	w.acc = append(w.acc, tplAccess{tbl: t, rec: rec, key: key, mode: lock.Exclusive, isInsert: true})
+	w.noteAcc()
 	if w.wl.Mode() == walUndo {
 		// Old state: key absent (empty image).
 		if err := w.wl.Update(t.ID, key, nil); err != nil {

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// BenchmarkDWACommitSort measures the commit-phase write-set ordering in
+// isolation. Run with -benchmem: the switch from sort.Slice (which boxes
+// a closure plus slice header per call) to slices.SortFunc with the
+// package-level comparator must keep this at 0 allocs/op.
+func BenchmarkDWACommitSort(b *testing.B) {
+	tbls := []*cc.Table{{ID: 0}, {ID: 1}, {ID: 2}}
+	const footprint = 48 // roughly a TPC-C New-Order access set
+	base := make([]access, footprint)
+	for i := range base {
+		// Keys laid out so the slice arrives unsorted every iteration.
+		base[i] = access{tbl: tbls[i%len(tbls)], key: uint64((footprint - i) * 7919)}
+	}
+	acc := make([]access, footprint)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(acc, base)
+		slices.SortFunc(acc, accCompare)
+	}
+}

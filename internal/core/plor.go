@@ -26,8 +26,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/cc"
@@ -157,6 +158,7 @@ type worker struct {
 	roMode   bool
 	req      lock.Req
 	acc      []access
+	accMap   cc.RecMap // rec → acc position, active past cc.RecMapThreshold
 	arena    *cc.Arena
 	scan     []cc.ScanItem
 	wl       *cc.LogHandle
@@ -186,6 +188,7 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: prio, BD: w.bd}
 	w.arena.Reset()
 	w.acc = w.acc[:0]
+	w.accMap.Reset()
 	w.wl.BeginTxn(w.ts)
 
 	if err := proc(w); err != nil {
@@ -211,14 +214,13 @@ func (w *worker) commit() error {
 		upStart = time.Now()
 	}
 	// DWA: acquire the deferred write locks now, in deterministic order.
+	// slices.SortFunc with the package-level comparator keeps the commit
+	// path allocation-free (sort.Slice boxes the closure and slice
+	// header). The sort reorders w.acc, so the position map is stale from
+	// here on; nothing below uses find(), and Attempt resets it.
 	if w.opts.DWA {
-		sort.Slice(w.acc, func(i, j int) bool {
-			a, b := &w.acc[i], &w.acc[j]
-			if a.tbl.ID != b.tbl.ID {
-				return a.tbl.ID < b.tbl.ID
-			}
-			return a.key < b.key
-		})
+		slices.SortFunc(w.acc, accCompare)
+		w.accMap.Reset()
 		for i := range w.acc {
 			a := &w.acc[i]
 			if (a.written || a.isDelete) && !a.wlocked {
@@ -282,13 +284,25 @@ func (w *worker) commit() error {
 	return nil
 }
 
+// accCompare orders the write set by (table, key) for deadlock-free
+// deferred lock acquisition.
+func accCompare(a, b access) int {
+	if c := cmp.Compare(a.tbl.ID, b.tbl.ID); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.key, b.key)
+}
+
 // install publishes one write-set entry into the row store. The TID lock
-// bit serializes against optimistic (seqlock) readers.
+// bit serializes against optimistic (seqlock) readers; the holder is
+// another committer's short install section, so back off instead of
+// burning the CPU the holder needs to finish.
 func (w *worker) install(a *access) {
-	for {
+	for i := 0; ; i++ {
 		if _, ok := a.rec.TIDLock(); ok {
 			break
 		}
+		storage.Yield(i)
 	}
 	switch {
 	case a.isDelete:
@@ -413,14 +427,39 @@ func (w *worker) rollback(cause stats.AbortCause) {
 	}
 }
 
-// find returns the access entry for rec, or nil.
+// find returns the access entry for rec, or nil. Small footprints use a
+// linear scan; once the set outgrows cc.RecMapThreshold, noteAcc keeps a
+// record-pointer map so lookups stay O(1) instead of O(n) per access.
 func (w *worker) find(rec *storage.Record) *access {
+	if w.accMap.Active() {
+		if i, ok := w.accMap.Get(rec); ok {
+			return &w.acc[i]
+		}
+		return nil
+	}
 	for i := range w.acc {
 		if w.acc[i].rec == rec {
 			return &w.acc[i]
 		}
 	}
 	return nil
+}
+
+// noteAcc indexes the just-appended access entry, activating the map when
+// the footprint crosses the threshold.
+func (w *worker) noteAcc() {
+	n := len(w.acc)
+	if !w.accMap.Active() {
+		if n <= cc.RecMapThreshold {
+			return
+		}
+		w.accMap.Activate(n)
+		for i := range w.acc {
+			w.accMap.Put(w.acc[i].rec, i)
+		}
+		return
+	}
+	w.accMap.Put(w.acc[n-1].rec, n-1)
 }
 
 // Read implements cc.Tx: insert into the reader list ignoring any write
@@ -437,6 +476,7 @@ func (w *worker) Read(t *cc.Table, key uint64) ([]byte, error) {
 		buf := w.arena.Alloc(t.Store.RowSize)
 		v := rec.StableRead(buf)
 		w.acc = append(w.acc, access{tbl: t, rec: rec, key: key, val: buf, roTID: v, ro: true})
+		w.noteAcc()
 		if storage.TIDAbsent(v) {
 			return nil, cc.ErrNotFound
 		}
@@ -450,6 +490,7 @@ func (w *worker) Read(t *cc.Table, key uint64) ([]byte, error) {
 		return nil, errWound
 	}
 	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, rlocked: true})
+	w.noteAcc()
 	if storage.TIDAbsent(rec.TID.Load()) {
 		return nil, cc.ErrNotFound
 	}
@@ -504,6 +545,7 @@ func (w *worker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
 		return nil, errWound
 	}
 	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, wlocked: true})
+	w.noteAcc()
 	if storage.TIDAbsent(rec.TID.Load()) {
 		return nil, cc.ErrNotFound
 	}
@@ -527,6 +569,7 @@ func (w *worker) Update(t *cc.Table, key uint64, val []byte) error {
 		}
 		lk := rec.Locker()
 		w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key})
+		w.noteAcc()
 		a = &w.acc[len(w.acc)-1]
 		if !w.opts.DWA { // blind write locks immediately in baseline mode
 			if err := lk.AcquireWrite(&w.req); err != nil {
@@ -584,6 +627,7 @@ func (w *worker) Insert(t *cc.Table, key uint64, val []byte) error {
 		tbl: t, rec: rec, lk: lk, key: key,
 		wlocked: true, excl: true, written: true, isInsert: true,
 	})
+	w.noteAcc()
 	return nil
 }
 
@@ -600,6 +644,7 @@ func (w *worker) Delete(t *cc.Table, key uint64) error {
 		}
 		lk := rec.Locker()
 		w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key})
+		w.noteAcc()
 		a = &w.acc[len(w.acc)-1]
 		if !w.opts.DWA {
 			if err := lk.AcquireWrite(&w.req); err != nil {

@@ -1,7 +1,6 @@
 package index
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -10,290 +9,243 @@ import (
 
 // btreeOrder is the maximum number of keys per node. Splits are preemptive
 // (any full node encountered on the way down is split first), so a parent
-// always has room for the separator its splitting child pushes up, and the
-// writer never holds more than a parent/child lock pair.
+// always has room for the separator its splitting child pushes up, and a
+// writer never holds more than a parent/child latch pair.
 const btreeOrder = 32
 
-// BTree is a concurrent B+tree mapping uint64 → *storage.Record. Readers
-// descend with hand-over-hand read latches; writers descend with write
-// latches and preemptive splits; leaves are chained for range scans.
-// Deletions remove keys from leaves without rebalancing (standard for
-// in-memory OLTP engines; empty leaves are skipped by scans).
+// BTree is a concurrent B+tree mapping uint64 → *storage.Record, with
+// optimistic lock coupling (Leis et al., "The ART of Practical
+// Synchronization" style): readers descend with NO latches, validating a
+// per-node version word at every parent→child hand-off and restarting
+// from the root on conflict; writers descend with hand-over-hand mutex
+// coupling and preemptive splits, bumping node versions only around
+// actual mutations. All mutable node state is stored in atomics, so the
+// latch-free read paths are clean under the race detector rather than
+// excused from it. Leaves are chained for range scans. Deletions remove
+// keys from leaves without rebalancing (standard for in-memory OLTP
+// engines; empty leaves are skipped by scans and never unlinked, which is
+// what makes leaf-chain traversal restart-free at the chain level).
 type BTree struct {
-	mu    sync.RWMutex // guards the root pointer
-	root  bnode
+	mu    sync.Mutex // serializes root replacement
+	root  atomic.Pointer[bnode]
 	count atomic.Int64
 }
 
-type bnode interface {
-	lock()
-	unlock()
-	rlock()
-	runlock()
-	full() bool
+// bnode is a B+tree node. One struct serves both roles (leaf reports
+// which): inner nodes use keys[0:n] as separators and kids[0:n+1] as
+// children; leaves use keys[0:n] with vals[0:n] and chain through next.
+//
+// Concurrency contract:
+//   - mu is the writer latch; only writers take it, reader descent never
+//     blocks on it.
+//   - ver is a seqlock version: a writer holding mu wraps each mutation in
+//     beginMutate/endMutate (odd while torn); readers snapshot an even
+//     version, read fields, and revalidate.
+//   - n, keys, kids, vals, next are atomics: individual loads are never
+//     torn, and cross-field consistency is established by version
+//     validation. leaf is immutable after construction.
+type bnode struct {
+	ver  atomic.Uint64
+	mu   sync.Mutex
+	leaf bool
+	n    atomic.Int32
+	keys [btreeOrder]atomic.Uint64
+	kids [btreeOrder + 1]atomic.Pointer[bnode] // inner only
+	vals [btreeOrder]atomic.Pointer[storage.Record] // leaf only
+	next atomic.Pointer[bnode] // leaf chain
 }
 
-type inner struct {
-	mu       sync.RWMutex
-	keys     []uint64 // len(children) == len(keys)+1
-	children []bnode
+// beginMutate marks the node torn (odd version). Caller holds nd.mu.
+func (nd *bnode) beginMutate() { nd.ver.Add(1) }
+
+// endMutate publishes the mutation (even version). Caller holds nd.mu.
+func (nd *bnode) endMutate() { nd.ver.Add(1) }
+
+// stableVer spins past an in-progress mutation and returns an even
+// version to validate against.
+func (nd *bnode) stableVer() uint64 {
+	for i := 0; ; i++ {
+		v := nd.ver.Load()
+		if v&1 == 0 {
+			return v
+		}
+		storage.Yield(i)
+	}
 }
 
-type leaf struct {
-	mu   sync.RWMutex
-	keys []uint64
-	vals []*storage.Record
-	next *leaf
+// validate reports whether the node is still exactly as versioned.
+func (nd *bnode) validate(v uint64) bool { return nd.ver.Load() == v }
+
+func (nd *bnode) full() bool { return int(nd.n.Load()) >= btreeOrder }
+
+// route returns the child index to follow for key k among the first n
+// separators: the first separator greater than k.
+func (nd *bnode) route(k uint64, n int) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nd.keys[mid].Load() > k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
-func (n *inner) lock()      { n.mu.Lock() }
-func (n *inner) unlock()    { n.mu.Unlock() }
-func (n *inner) rlock()     { n.mu.RLock() }
-func (n *inner) runlock()   { n.mu.RUnlock() }
-func (n *inner) full() bool { return len(n.keys) >= btreeOrder }
-
-func (n *leaf) lock()      { n.mu.Lock() }
-func (n *leaf) unlock()    { n.mu.Unlock() }
-func (n *leaf) rlock()     { n.mu.RLock() }
-func (n *leaf) runlock()   { n.mu.RUnlock() }
-func (n *leaf) full() bool { return len(n.keys) >= btreeOrder }
+// search returns the position of k among the leaf's first n keys and
+// whether it is present.
+func (nd *bnode) search(k uint64, n int) (int, bool) {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nd.keys[mid].Load() >= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, lo < n && nd.keys[lo].Load() == k
+}
 
 // NewBTree returns an empty tree.
 func NewBTree() *BTree {
-	return &BTree{root: &leaf{
-		keys: make([]uint64, 0, btreeOrder),
-		vals: make([]*storage.Record, 0, btreeOrder),
-	}}
+	t := &BTree{}
+	t.root.Store(&bnode{leaf: true})
+	return t
 }
 
-// route returns the child index to follow for key k: the first separator
-// greater than k.
-func (n *inner) route(k uint64) int {
-	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > k })
-}
+// ---------------------------------------------------------------------------
+// Latch-free reads
 
-// find returns the position of k in the leaf and whether it is present.
-func (l *leaf) find(k uint64) (int, bool) {
-	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= k })
-	return i, i < len(l.keys) && l.keys[i] == k
-}
-
-// lockedRoot returns the root locked in the requested mode, immune to
-// concurrent root swaps.
-func (t *BTree) lockedRoot(write bool) bnode {
-	t.mu.RLock()
-	n := t.root
-	if write {
-		n.lock()
-	} else {
-		n.rlock()
+// descend walks from the root to the leaf that covers key without taking
+// any latches, validating versions at each hand-off. It returns the leaf
+// and its stable version, or ok=false when a conflict requires a restart
+// from the root.
+func (t *BTree) descend(key uint64) (lf *bnode, ver uint64, ok bool) {
+	nd := t.root.Load()
+	v := nd.stableVer()
+	for !nd.leaf {
+		i := nd.route(key, int(nd.n.Load()))
+		child := nd.kids[i].Load()
+		// The child pointer is only meaningful if the node did not move
+		// under us while we computed the route.
+		if child == nil || !nd.validate(v) {
+			return nil, 0, false
+		}
+		cv := child.stableVer()
+		// Re-check the parent: proves the child was still its child (and
+		// un-split) at the moment we captured cv. A concurrent split
+		// makes the parent odd BEFORE touching the child, so passing this
+		// check means cv predates any redistribution.
+		if !nd.validate(v) {
+			return nil, 0, false
+		}
+		nd, v = child, cv
 	}
-	t.mu.RUnlock()
-	return n
+	return nd, v, true
 }
 
 // Get implements Index.
 func (t *BTree) Get(key uint64) *storage.Record {
-	n := t.lockedRoot(false)
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			break
-		}
-		ch := in.children[in.route(key)]
-		ch.rlock()
-		in.runlock()
-		n = ch
-	}
-	lf := n.(*leaf)
-	i, ok := lf.find(key)
-	var rec *storage.Record
-	if ok {
-		rec = lf.vals[i]
-	}
-	lf.runlock()
-	return rec
-}
-
-// Insert implements Index.
-func (t *BTree) Insert(key uint64, rec *storage.Record) bool {
-	for {
-		n := t.lockedRoot(true)
-		if n.full() {
-			n.unlock()
-			t.splitRootIfFull()
-			continue
-		}
-		inserted := t.insertFrom(n, key, rec)
-		if inserted {
-			t.count.Add(1)
-		}
-		return inserted
-	}
-}
-
-// insertFrom descends from the locked, non-full node n and inserts. It
-// reports whether a new mapping was created (false = duplicate key).
-func (t *BTree) insertFrom(n bnode, key uint64, rec *storage.Record) bool {
-	for {
-		in, isInner := n.(*inner)
-		if !isInner {
-			break
-		}
-		i := in.route(key)
-		ch := in.children[i]
-		ch.lock()
-		if ch.full() {
-			sep, sib := split(ch)
-			// Parent is non-full by invariant: insert separator.
-			in.keys = append(in.keys, 0)
-			copy(in.keys[i+1:], in.keys[i:])
-			in.keys[i] = sep
-			in.children = append(in.children, nil)
-			copy(in.children[i+2:], in.children[i+1:])
-			in.children[i+1] = sib
-			if key >= sep {
-				ch.unlock()
-				ch = sib
-			} else {
-				sib.unlock()
+	for attempt := 0; ; attempt++ {
+		lf, v, ok := t.descend(key)
+		if ok {
+			n := int(lf.n.Load())
+			var rec *storage.Record
+			if i, found := lf.search(key, n); found {
+				rec = lf.vals[i].Load()
+			}
+			if lf.validate(v) {
+				return rec
 			}
 		}
-		in.unlock()
-		n = ch
+		countRestart()
+		storage.Yield(attempt)
 	}
-	lf := n.(*leaf)
-	i, exists := lf.find(key)
-	if exists {
-		lf.unlock()
-		return false
-	}
-	lf.keys = append(lf.keys, 0)
-	copy(lf.keys[i+1:], lf.keys[i:])
-	lf.keys[i] = key
-	lf.vals = append(lf.vals, nil)
-	copy(lf.vals[i+1:], lf.vals[i:])
-	lf.vals[i] = rec
-	lf.unlock()
-	return true
-}
-
-// split divides the locked full node n, returning the separator key and the
-// new (locked) right sibling.
-func split(n bnode) (uint64, bnode) {
-	switch v := n.(type) {
-	case *leaf:
-		mid := len(v.keys) / 2
-		sib := &leaf{
-			keys: append(make([]uint64, 0, btreeOrder), v.keys[mid:]...),
-			vals: append(make([]*storage.Record, 0, btreeOrder), v.vals[mid:]...),
-			next: v.next,
-		}
-		sib.lock()
-		v.keys = v.keys[:mid]
-		v.vals = v.vals[:mid]
-		v.next = sib
-		return sib.keys[0], sib
-	case *inner:
-		mid := len(v.keys) / 2
-		sep := v.keys[mid]
-		sib := &inner{
-			keys:     append(make([]uint64, 0, btreeOrder), v.keys[mid+1:]...),
-			children: append(make([]bnode, 0, btreeOrder+1), v.children[mid+1:]...),
-		}
-		sib.lock()
-		v.keys = v.keys[:mid]
-		v.children = v.children[:mid+1]
-		return sep, sib
-	}
-	panic("index: unknown node type")
-}
-
-// splitRootIfFull grows the tree by one level when the root is full.
-func (t *BTree) splitRootIfFull() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	old := t.root
-	old.lock()
-	if !old.full() {
-		old.unlock()
-		return
-	}
-	sep, sib := split(old)
-	t.root = &inner{
-		keys:     append(make([]uint64, 0, btreeOrder), sep),
-		children: append(make([]bnode, 0, btreeOrder+1), old, sib),
-	}
-	sib.unlock()
-	old.unlock()
-}
-
-// Remove implements Index.
-func (t *BTree) Remove(key uint64) bool {
-	n := t.lockedRoot(true)
-	for {
-		in, isInner := n.(*inner)
-		if !isInner {
-			break
-		}
-		ch := in.children[in.route(key)]
-		ch.lock()
-		in.unlock()
-		n = ch
-	}
-	lf := n.(*leaf)
-	i, ok := lf.find(key)
-	if ok {
-		lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
-		lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
-		t.count.Add(-1)
-	}
-	lf.unlock()
-	return ok
 }
 
 // Len implements Index.
 func (t *BTree) Len() int { return int(t.count.Load()) }
 
-// Scan implements Ranger.
+// scanChunk is one validated snapshot of a leaf's entries in [from, to].
+type scanChunk struct {
+	n    int
+	keys [btreeOrder]uint64
+	vals [btreeOrder]*storage.Record
+	next *bnode
+	more bool // a key > to exists, scan is complete after this chunk
+}
+
+// snapshot copies the leaf's entries with from ≤ key ≤ to under version
+// validation. ok=false means the leaf changed mid-copy and the caller
+// must re-stabilize and retry the same leaf.
+func (lf *bnode) snapshot(from, to uint64, v uint64, c *scanChunk) bool {
+	c.n = 0
+	c.more = false
+	n := int(lf.n.Load())
+	if n > btreeOrder {
+		n = btreeOrder // torn n; validation below will fail
+	}
+	i, _ := lf.search(from, n)
+	for ; i < n; i++ {
+		k := lf.keys[i].Load()
+		if k > to {
+			c.more = true
+			break
+		}
+		c.keys[c.n] = k
+		c.vals[c.n] = lf.vals[i].Load()
+		c.n++
+	}
+	c.next = lf.next.Load()
+	return lf.validate(v)
+}
+
+// Scan implements Ranger. Readers take no latches: each leaf is copied
+// into a bounded on-stack snapshot under version validation, fn runs on
+// the snapshot outside any critical section, and the walk follows the
+// leaf chain. A leaf that changes mid-copy is retried in place — splits
+// only move keys rightward into a chained sibling, and leaves are never
+// unlinked, so forward progress by key order is preserved; keys already
+// delivered are skipped via the advancing lower bound.
 func (t *BTree) Scan(from, to uint64, fn func(uint64, *storage.Record) bool) {
 	if from > to {
 		return
 	}
-	n := t.lockedRoot(false)
-	for {
-		in, isInner := n.(*inner)
-		if !isInner {
+	var lf *bnode
+	var v uint64
+	for attempt := 0; ; attempt++ {
+		var ok bool
+		lf, v, ok = t.descend(from)
+		if ok {
 			break
 		}
-		ch := in.children[in.route(from)]
-		ch.rlock()
-		in.runlock()
-		n = ch
+		countRestart()
+		storage.Yield(attempt)
 	}
-	lf := n.(*leaf)
-	i, _ := lf.find(from)
+	lo := from
+	var c scanChunk
 	for {
-		for ; i < len(lf.keys); i++ {
-			k := lf.keys[i]
-			if k > to {
-				lf.runlock()
-				return
-			}
-			if !fn(k, lf.vals[i]) {
-				lf.runlock()
-				return
-			}
+		if !lf.snapshot(lo, to, v, &c) {
+			countRestart()
+			v = lf.stableVer()
+			continue
 		}
-		next := lf.next
-		if next == nil {
-			lf.runlock()
+		for i := 0; i < c.n; i++ {
+			if !fn(c.keys[i], c.vals[i]) {
+				return
+			}
+			if c.keys[i] == ^uint64(0) {
+				return // delivered the maximum key; lo cannot advance
+			}
+			lo = c.keys[i] + 1
+		}
+		if c.more || c.next == nil {
 			return
 		}
-		next.rlock()
-		lf.runlock()
-		lf = next
-		i = 0
+		lf = c.next
+		v = lf.stableVer()
 	}
 }
 
@@ -321,4 +273,188 @@ func (t *BTree) Last(from, to uint64) (uint64, *storage.Record, bool) {
 		return true
 	})
 	return k, rec, found
+}
+
+// ---------------------------------------------------------------------------
+// Latched writes (hand-over-hand coupling, preemptive splits)
+
+// lockedRoot returns the current root with its writer latch held, immune
+// to concurrent root swaps.
+func (t *BTree) lockedRoot() *bnode {
+	for {
+		nd := t.root.Load()
+		nd.mu.Lock()
+		if t.root.Load() == nd {
+			return nd
+		}
+		nd.mu.Unlock()
+	}
+}
+
+// Insert implements Index.
+func (t *BTree) Insert(key uint64, rec *storage.Record) bool {
+	for {
+		nd := t.lockedRoot()
+		if nd.full() {
+			nd.mu.Unlock()
+			t.splitRootIfFull()
+			continue
+		}
+		inserted := t.insertFrom(nd, key, rec)
+		if inserted {
+			t.count.Add(1)
+		}
+		return inserted
+	}
+}
+
+// insertFrom descends from the locked, non-full node nd and inserts. It
+// reports whether a new mapping was created (false = duplicate key) and
+// releases every latch it takes.
+func (t *BTree) insertFrom(nd *bnode, key uint64, rec *storage.Record) bool {
+	for !nd.leaf {
+		i := nd.route(key, int(nd.n.Load()))
+		ch := nd.kids[i].Load()
+		ch.mu.Lock()
+		if ch.full() {
+			// Version order matters for OLC readers: the parent goes odd
+			// BEFORE the child is redistributed, so a reader that
+			// validated the parent after grabbing the child's version is
+			// guaranteed the child had not yet split.
+			nd.beginMutate()
+			ch.beginMutate()
+			sep, sib := split(ch) // sib returned latched, unpublished
+			nd.insertChild(i, sep, sib)
+			ch.endMutate()
+			nd.endMutate()
+			if key >= sep {
+				ch.mu.Unlock()
+				ch = sib
+			} else {
+				sib.mu.Unlock()
+			}
+		}
+		nd.mu.Unlock()
+		nd = ch
+	}
+	n := int(nd.n.Load())
+	i, exists := nd.search(key, n)
+	if exists {
+		nd.mu.Unlock()
+		return false
+	}
+	nd.beginMutate()
+	for j := n; j > i; j-- {
+		nd.keys[j].Store(nd.keys[j-1].Load())
+		nd.vals[j].Store(nd.vals[j-1].Load())
+	}
+	nd.keys[i].Store(key)
+	nd.vals[i].Store(rec)
+	nd.n.Store(int32(n + 1))
+	nd.endMutate()
+	nd.mu.Unlock()
+	return true
+}
+
+// insertChild slots separator sep and child sib at position i (sib to the
+// right of the split child at i). Caller holds the latch and has the node
+// in a mutation window; the node is non-full by the preemptive-split
+// invariant.
+func (nd *bnode) insertChild(i int, sep uint64, sib *bnode) {
+	n := int(nd.n.Load())
+	for j := n; j > i; j-- {
+		nd.keys[j].Store(nd.keys[j-1].Load())
+	}
+	for j := n + 1; j > i+1; j-- {
+		nd.kids[j].Store(nd.kids[j-1].Load())
+	}
+	nd.keys[i].Store(sep)
+	nd.kids[i+1].Store(sib)
+	nd.n.Store(int32(n + 1))
+}
+
+// split divides the latched full node v inside its mutation window,
+// returning the separator key and the new right sibling. The sibling is
+// returned latched and is not yet reachable from any parent; for leaves
+// it IS immediately reachable through the chain, which is why it is fully
+// populated before v.next is republished.
+func split(v *bnode) (uint64, *bnode) {
+	n := int(v.n.Load())
+	sib := &bnode{leaf: v.leaf}
+	sib.mu.Lock()
+	if v.leaf {
+		mid := n / 2
+		for j := mid; j < n; j++ {
+			sib.keys[j-mid].Store(v.keys[j].Load())
+			sib.vals[j-mid].Store(v.vals[j].Load())
+		}
+		sib.n.Store(int32(n - mid))
+		sib.next.Store(v.next.Load())
+		v.next.Store(sib)
+		v.n.Store(int32(mid))
+		return sib.keys[0].Load(), sib
+	}
+	mid := n / 2
+	sep := v.keys[mid].Load()
+	for j := mid + 1; j < n; j++ {
+		sib.keys[j-mid-1].Store(v.keys[j].Load())
+	}
+	for j := mid + 1; j <= n; j++ {
+		sib.kids[j-mid-1].Store(v.kids[j].Load())
+	}
+	sib.n.Store(int32(n - mid - 1))
+	v.n.Store(int32(mid))
+	return sep, sib
+}
+
+// splitRootIfFull grows the tree by one level when the root is full.
+func (t *BTree) splitRootIfFull() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.root.Load()
+	old.mu.Lock()
+	if !old.full() {
+		old.mu.Unlock()
+		return
+	}
+	old.beginMutate()
+	sep, sib := split(old)
+	nr := &bnode{}
+	nr.keys[0].Store(sep)
+	nr.kids[0].Store(old)
+	nr.kids[1].Store(sib)
+	nr.n.Store(1)
+	// The new root is fully built before publication; readers loading it
+	// concurrently see a consistent two-child node whose old child is
+	// still torn (odd) until endMutate below, making them spin briefly.
+	t.root.Store(nr)
+	old.endMutate()
+	sib.mu.Unlock()
+	old.mu.Unlock()
+}
+
+// Remove implements Index.
+func (t *BTree) Remove(key uint64) bool {
+	nd := t.lockedRoot()
+	for !nd.leaf {
+		ch := nd.kids[nd.route(key, int(nd.n.Load()))].Load()
+		ch.mu.Lock()
+		nd.mu.Unlock()
+		nd = ch
+	}
+	n := int(nd.n.Load())
+	i, ok := nd.search(key, n)
+	if ok {
+		nd.beginMutate()
+		for j := i; j < n-1; j++ {
+			nd.keys[j].Store(nd.keys[j+1].Load())
+			nd.vals[j].Store(nd.vals[j+1].Load())
+		}
+		nd.vals[n-1].Store(nil) // drop the record reference for GC
+		nd.n.Store(int32(n - 1))
+		nd.endMutate()
+		t.count.Add(-1)
+	}
+	nd.mu.Unlock()
+	return ok
 }

@@ -10,21 +10,54 @@ import (
 
 const hashStripes = 256 // power of two
 
-// Hash is a chained hash table with striped reader/writer locks. The bucket
-// count is fixed at construction (sized from the expected cardinality), as
-// in DBx1000; chains absorb overflow.
+// hashReadSpinLimit bounds optimistic read retries before a reader falls
+// back to the stripe mutex, so writer churn cannot starve a reader.
+const hashReadSpinLimit = 8
+
+// Hash is a chained hash table whose reads are latch-free: each stripe
+// carries a seqlock version word, bucket heads and chain links are
+// published atomically, and Get is a pair of atomic loads around an
+// unsynchronized traversal, retried when the stripe version moved. The
+// stripe mutex serializes writers only; readers never touch it except on
+// the starvation fallback. The bucket count is fixed at construction
+// (sized from the expected cardinality), as in DBx1000; chains absorb
+// overflow.
 type Hash struct {
-	buckets []*hashEntry
+	buckets []atomic.Pointer[hashEntry]
 	mask    uint64
 	shift   uint
-	stripes [hashStripes]sync.RWMutex
+	stripes [hashStripes]hashStripe
 	count   atomic.Int64
 }
 
+// hashStripe is one seqlock: ver is odd while a writer is mutating the
+// stripe's buckets; mu serializes the writers. Padded to a cache line so
+// neighboring stripes do not false-share.
+type hashStripe struct {
+	ver atomic.Uint64
+	mu  sync.Mutex
+	_   [64 - 16]byte
+}
+
+// beginWrite enters the stripe's write-side critical section.
+func (s *hashStripe) beginWrite() {
+	s.mu.Lock()
+	s.ver.Add(1) // odd: readers will retry
+}
+
+// endWrite publishes the mutation and reopens optimistic reads.
+func (s *hashStripe) endWrite() {
+	s.ver.Add(1) // even again
+	s.mu.Unlock()
+}
+
+// hashEntry is immutable except for next, which writers republish
+// atomically when unlinking (readers mid-chain keep a consistent view:
+// an unlinked entry's next still points into the live chain).
 type hashEntry struct {
 	key  uint64
 	rec  *storage.Record
-	next *hashEntry
+	next atomic.Pointer[hashEntry]
 }
 
 // NewHash creates a hash index sized for about expected keys.
@@ -34,7 +67,7 @@ func NewHash(expected int) *Hash {
 	}
 	n := 1 << bits.Len(uint(expected-1)) // next power of two ≥ expected
 	return &Hash{
-		buckets: make([]*hashEntry, n),
+		buckets: make([]atomic.Pointer[hashEntry], n),
 		mask:    uint64(n - 1),
 		shift:   uint(64 - bits.Len(uint(n-1))),
 	}
@@ -45,58 +78,94 @@ func (h *Hash) hash(key uint64) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> h.shift & h.mask
 }
 
-func (h *Hash) stripe(b uint64) *sync.RWMutex {
+func (h *Hash) stripe(b uint64) *hashStripe {
 	return &h.stripes[b&(hashStripes-1)]
 }
 
-// Get implements Index.
-func (h *Hash) Get(key uint64) *storage.Record {
-	b := h.hash(key)
-	mu := h.stripe(b)
-	mu.RLock()
-	for e := h.buckets[b]; e != nil; e = e.next {
+// lookup traverses bucket b for key. Safe to run concurrently with
+// writers: heads and links are atomic, entries are never mutated after
+// publication.
+func (h *Hash) lookup(b, key uint64) *storage.Record {
+	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
 		if e.key == key {
-			mu.RUnlock()
 			return e.rec
 		}
 	}
-	mu.RUnlock()
 	return nil
+}
+
+// Get implements Index. The fast path is two atomic loads around the
+// chain walk; a version mismatch (concurrent stripe writer) retries, and
+// sustained churn falls back to the stripe mutex.
+func (h *Hash) Get(key uint64) *storage.Record {
+	b := h.hash(key)
+	s := h.stripe(b)
+	for i := 0; i < hashReadSpinLimit; i++ {
+		v := s.ver.Load()
+		if v&1 != 0 { // writer in progress
+			countRestart()
+			storage.Yield(i)
+			continue
+		}
+		rec := h.lookup(b, key)
+		if s.ver.Load() == v {
+			return rec
+		}
+		countRestart()
+	}
+	// Starvation fallback: read under the writer mutex.
+	s.mu.Lock()
+	rec := h.lookup(b, key)
+	s.mu.Unlock()
+	return rec
 }
 
 // Insert implements Index.
 func (h *Hash) Insert(key uint64, rec *storage.Record) bool {
 	b := h.hash(key)
-	mu := h.stripe(b)
-	mu.Lock()
-	for e := h.buckets[b]; e != nil; e = e.next {
+	s := h.stripe(b)
+	s.mu.Lock()
+	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
 		if e.key == key {
-			mu.Unlock()
+			s.mu.Unlock()
 			return false
 		}
 	}
-	h.buckets[b] = &hashEntry{key: key, rec: rec, next: h.buckets[b]}
-	mu.Unlock()
+	e := &hashEntry{key: key, rec: rec}
+	e.next.Store(h.buckets[b].Load())
+	// Publishing a fully built entry at the head is a single atomic
+	// store; no version bump is needed for reader safety, and skipping it
+	// keeps concurrent readers of this stripe from retrying.
+	h.buckets[b].Store(e)
+	s.mu.Unlock()
 	h.count.Add(1)
 	return true
 }
 
-// Remove implements Index.
+// Remove implements Index. Unlinking rewrites a predecessor's next, so
+// the stripe version is bumped around it: a reader that was standing on
+// the unlinked entry still sees a valid chain, but its Get revalidates
+// and retries rather than returning a just-deleted record as current.
 func (h *Hash) Remove(key uint64) bool {
 	b := h.hash(key)
-	mu := h.stripe(b)
-	mu.Lock()
-	p := &h.buckets[b]
-	for e := *p; e != nil; e = e.next {
+	s := h.stripe(b)
+	s.beginWrite()
+	var prev *hashEntry
+	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
 		if e.key == key {
-			*p = e.next
-			mu.Unlock()
+			next := e.next.Load()
+			if prev == nil {
+				h.buckets[b].Store(next)
+			} else {
+				prev.next.Store(next)
+			}
+			s.endWrite()
 			h.count.Add(-1)
 			return true
 		}
-		p = &e.next
+		prev = e
 	}
-	mu.Unlock()
+	s.endWrite()
 	return false
 }
 

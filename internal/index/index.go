@@ -1,11 +1,17 @@
 // Package index provides the two index structures of the engine:
 //
-//   - Hash: a striped-lock chained hash table, used for primary-key point
-//     lookups (DBx1000's default index).
-//   - BTree: a concurrent B+tree with per-node reader/writer latches,
-//     hand-over-hand locking on reads, and preemptive splits on writes.
-//     It stands in for Masstree as the ordered index and supports the
-//     range scans TPC-C needs (Delivery, Order-Status, Stock-Level).
+//   - Hash: a chained hash table with seqlock-striped latch-free reads
+//     and mutex-serialized writes, used for primary-key point lookups
+//     (DBx1000's default index).
+//   - BTree: a concurrent B+tree with optimistic lock coupling — readers
+//     descend latch-free validating per-node versions, writers use
+//     hand-over-hand latches with preemptive splits. It stands in for
+//     Masstree as the ordered index and supports the range scans TPC-C
+//     needs (Delivery, Order-Status, Stock-Level).
+//
+// Both read paths are latch-free: a reader performs atomic loads only and
+// restarts when a version word moved under it (counted in
+// obs.Metrics().IndexRestarts). See DESIGN.md "Index concurrency".
 //
 // Both map uint64 keys to *storage.Record. Composite keys (warehouse,
 // district, ...) are packed into uint64 by the workload packages.

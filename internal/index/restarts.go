@@ -1,0 +1,13 @@
+package index
+
+import "repro/internal/obs"
+
+// countRestart records one optimistic-read restart (a seqlock or node
+// version moved under a latch-free reader, or the reader found a write in
+// progress). Restarts are expected to be rare — the counter exists so the
+// /metrics endpoint can prove it (plor_index_restarts_total).
+func countRestart() { obs.Metrics().IndexRestarts.Add(1) }
+
+// RestartCount returns the process-wide index read-restart counter; test
+// and bench helpers diff it around a workload.
+func RestartCount() uint64 { return obs.Metrics().IndexRestarts.Load() }

@@ -1,0 +1,275 @@
+package index
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// lcg advances a 64-bit linear congruential generator. Shared by the
+// stress writers and the sequential model replay so both see the same
+// op streams.
+func lcg(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// TestIndexConcurrentStress hammers each implementation with concurrent
+// Get/Insert/Remove (plus Scan for ordered indexes) and then checks the
+// surviving key set against a deterministic replay. Writers own disjoint
+// key partitions (key % writers == id) so the final state is exact;
+// readers and scanners run over the whole space and assert invariants
+// that must hold at every instant.
+func TestIndexConcurrentStress(t *testing.T) {
+	const (
+		writers      = 4
+		readers      = 2
+		opsPerWriter = 3000
+		space        = 1 << 12
+	)
+	for name, mk := range impls() {
+		t.Run(name, func(t *testing.T) {
+			idx := mk()
+			recs := mkRecs(space)
+			var stop atomic.Bool
+			var wgW, wgR sync.WaitGroup
+
+			for w := 0; w < writers; w++ {
+				wgW.Add(1)
+				go func(id uint64) {
+					defer wgW.Done()
+					rng := id*2654435761 + 1
+					for i := 0; i < opsPerWriter; i++ {
+						rng = lcg(rng)
+						key := (rng>>16)%(space/writers)*writers + id
+						if rng&1 == 0 {
+							idx.Insert(key, recs[key])
+						} else {
+							idx.Remove(key)
+						}
+					}
+				}(uint64(w))
+			}
+
+			// Readers: Get must return nil or the one record ever mapped
+			// to that key — never a neighbor's.
+			for r := 0; r < readers; r++ {
+				wgR.Add(1)
+				go func(seed uint64) {
+					defer wgR.Done()
+					rng := seed + 99991
+					for !stop.Load() {
+						rng = lcg(rng)
+						key := (rng >> 16) % space
+						if got := idx.Get(key); got != nil && got != recs[key] {
+							t.Errorf("Get(%d) returned a record from another key", key)
+							return
+						}
+					}
+				}(uint64(r))
+			}
+
+			// Scanner (ordered indexes only): keys strictly ascending and
+			// every record matching its key, even mid-split.
+			if rgr, ok := idx.(Ranger); ok {
+				wgR.Add(1)
+				go func() {
+					defer wgR.Done()
+					for !stop.Load() {
+						last, first := uint64(0), true
+						rgr.Scan(0, space-1, func(k uint64, rec *storage.Record) bool {
+							if !first && k <= last {
+								t.Errorf("scan out of order: %d after %d", k, last)
+								return false
+							}
+							if rec != recs[k] {
+								t.Errorf("scan key %d carries wrong record", k)
+								return false
+							}
+							first, last = false, k
+							return true
+						})
+					}
+				}()
+			}
+
+			wgW.Wait()
+			stop.Store(true)
+			wgR.Wait()
+			if t.Failed() {
+				return
+			}
+
+			// Sequential replay of each writer's stream gives the model.
+			model := make(map[uint64]bool)
+			for w := 0; w < writers; w++ {
+				rng := uint64(w)*2654435761 + 1
+				for i := 0; i < opsPerWriter; i++ {
+					rng = lcg(rng)
+					key := (rng>>16)%(space/writers)*uint64(writers) + uint64(w)
+					model[key] = rng&1 == 0
+				}
+			}
+			live := 0
+			for key, present := range model {
+				got := idx.Get(key)
+				if present {
+					if got != recs[key] {
+						t.Fatalf("key %d: expected present, Get = %v", key, got)
+					}
+					live++
+				} else if got != nil {
+					t.Fatalf("key %d: expected absent, Get returned a record", key)
+				}
+			}
+			if idx.Len() != live {
+				t.Fatalf("Len = %d, model has %d live keys", idx.Len(), live)
+			}
+		})
+	}
+}
+
+// TestBTreeScanDuringSplitTorture runs a scanner in a tight loop while
+// writers grow the tree through repeated leaf and root splits. Anchor
+// keys (multiples of 3) are inserted up front: every scan must observe
+// all of them, in order, regardless of how many splits happen mid-scan.
+// Concurrently inserted filler keys may or may not appear — but never
+// out of order and never duplicated.
+func TestBTreeScanDuringSplitTorture(t *testing.T) {
+	const (
+		anchors = 2000 // keys 0, 3, 6, ... pre-inserted
+		fillers = 4000 // keys ≡ 1, 2 (mod 3) inserted during the scans
+		scans   = 40
+	)
+	tr := NewBTree()
+	recs := mkRecs(3 * anchors)
+	for i := 0; i < anchors; i++ {
+		if !tr.Insert(uint64(3*i), recs[3*i]) {
+			t.Fatalf("anchor insert %d failed", 3*i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Interleave two filler streams so inserts land all over the key
+		// space and keep splitting interior nodes, not just the rightmost.
+		rng := uint64(12345)
+		for i := 0; i < fillers && !stop.Load(); i++ {
+			rng = lcg(rng)
+			k := (rng >> 16) % uint64(3*anchors)
+			if k%3 == 0 {
+				k++
+			}
+			tr.Insert(k, recs[k])
+		}
+	}()
+
+	seen := make([]uint64, 0, 3*anchors)
+	for s := 0; s < scans; s++ {
+		seen = seen[:0]
+		tr.Scan(0, uint64(3*anchors), func(k uint64, rec *storage.Record) bool {
+			seen = append(seen, k)
+			return true
+		})
+		// Strictly ascending ⇒ no duplicates, no reordering across the
+		// leaf-chain hops a split inserts mid-scan.
+		got := 0
+		for i, k := range seen {
+			if i > 0 && k <= seen[i-1] {
+				t.Fatalf("scan %d: key %d not above predecessor %d", s, k, seen[i-1])
+			}
+			if k%3 == 0 {
+				if k != uint64(3*got) {
+					t.Fatalf("scan %d: anchor %d missing (saw %d)", s, 3*got, k)
+				}
+				got++
+			}
+		}
+		if got != anchors {
+			t.Fatalf("scan %d: observed %d/%d anchors", s, got, anchors)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestBTreeVersionValidation exercises the OLC primitives a reader's
+// correctness rests on: a captured stable version must fail validation
+// after any mutation window, including a completed one.
+func TestBTreeVersionValidation(t *testing.T) {
+	tr := NewBTree()
+	recs := mkRecs(4)
+	tr.Insert(10, recs[0])
+	nd := tr.root.Load()
+
+	v := nd.stableVer()
+	if v&1 != 0 {
+		t.Fatalf("stable version is odd: %d", v)
+	}
+	if !nd.validate(v) {
+		t.Fatal("validation failed with no intervening writer")
+	}
+	nd.beginMutate()
+	if nd.validate(v) {
+		t.Fatal("validation passed during a mutation window")
+	}
+	nd.endMutate()
+	if nd.validate(v) {
+		t.Fatal("validation passed across a completed mutation")
+	}
+	if nv := nd.stableVer(); nv != v+2 {
+		t.Fatalf("version advanced by %d, want 2", nv-v)
+	}
+
+	// descend's captured leaf version obeys the same rule: a mutation
+	// after the descent forces Get's retry path.
+	lf, lv, ok := tr.descend(10)
+	if !ok || !lf.leaf {
+		t.Fatal("descend failed on a quiescent tree")
+	}
+	lf.beginMutate()
+	lf.endMutate()
+	if lf.validate(lv) {
+		t.Fatal("leaf validation passed across a mutation")
+	}
+}
+
+// TestHashReaderRestartCounted forces the hash read path into its
+// restart loop: with a stripe held odd by a writer, a concurrent Get
+// must retry (bumping the restart counter), fall back to the stripe
+// mutex, block until the writer finishes, and still return the record.
+func TestHashReaderRestartCounted(t *testing.T) {
+	h := NewHash(64)
+	recs := mkRecs(1)
+	const key = 7
+	h.Insert(key, recs[0])
+
+	before := RestartCount()
+	s := h.stripe(h.hash(key))
+	s.beginWrite()
+
+	got := make(chan *storage.Record)
+	go func() { got <- h.Get(key) }()
+
+	// The reader spins through its optimistic attempts (each counted)
+	// and then blocks on the stripe mutex; wait for the counter to show
+	// the retries before letting it through.
+	for RestartCount() < before+hashReadSpinLimit {
+		runtime.Gosched()
+	}
+	select {
+	case <-got:
+		t.Fatal("Get returned while the stripe was write-locked")
+	default:
+	}
+	s.endWrite()
+	if rec := <-got; rec != recs[0] {
+		t.Fatalf("Get after writer = %v, want the inserted record", rec)
+	}
+	if n := RestartCount() - before; n < hashReadSpinLimit {
+		t.Fatalf("restart counter advanced by %d, want ≥ %d", n, hashReadSpinLimit)
+	}
+}

@@ -70,6 +70,9 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP plor_rpc_call_retries_total Per-call retries after transient errors.\n")
 	fmt.Fprintf(w, "# TYPE plor_rpc_call_retries_total counter\n")
 	fmt.Fprintf(w, "plor_rpc_call_retries_total %d\n", l.CallRetries.Load())
+	fmt.Fprintf(w, "# HELP plor_index_restarts_total Optimistic index-read restarts (seqlock/OLC version conflicts).\n")
+	fmt.Fprintf(w, "# TYPE plor_index_restarts_total counter\n")
+	fmt.Fprintf(w, "plor_index_restarts_total %d\n", l.IndexRestarts.Load())
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

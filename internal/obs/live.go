@@ -18,6 +18,11 @@ type Live struct {
 	DialRetries atomic.Uint64 // transport redial attempts (rpc)
 	CallRetries atomic.Uint64 // per-call transient-error retries (rpc)
 
+	// IndexRestarts counts optimistic index-read restarts: a latch-free
+	// reader (seqlock hash stripe or OLC B+tree node) observed a version
+	// change mid-read and retried. See internal/index.
+	IndexRestarts atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu    sync.Mutex
@@ -78,6 +83,7 @@ func (l *Live) Reset() {
 	l.Retries.Store(0)
 	l.DialRetries.Store(0)
 	l.CallRetries.Store(0)
+	l.IndexRestarts.Store(0)
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}

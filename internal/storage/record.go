@@ -110,7 +110,7 @@ func (r *Record) TIDStable() uint64 {
 		if v&tidLockBit == 0 {
 			return v
 		}
-		yield(i)
+		Yield(i)
 	}
 }
 

@@ -9,8 +9,10 @@ import (
 	"repro/internal/lock"
 )
 
-// yield backs off inside storage-level spin loops.
-func yield(i int) {
+// Yield backs off inside spin loops: the first few probes stay on-CPU,
+// after that the spinner hands its slot to the scheduler. Exported so the
+// engine layers (index readers, commit-phase install) share one policy.
+func Yield(i int) {
 	if i > 2 {
 		runtime.Gosched()
 	}

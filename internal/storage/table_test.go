@@ -215,7 +215,7 @@ func TestTIDLockConcurrent(t *testing.T) {
 					if _, ok := r.TIDLock(); ok {
 						break
 					}
-					yield(3)
+					Yield(3)
 				}
 				counter++
 				r.TIDUnlock(true)
