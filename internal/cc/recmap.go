@@ -75,8 +75,13 @@ func (m *RecMap) Put(rec *storage.Record, p int) {
 	m.n++
 }
 
-// Get returns rec's recorded position.
+// Get returns rec's recorded position. On an inactive map (including the
+// zero value, whose backing arrays are nil) it reports not-found rather
+// than relying on callers to check Active first.
 func (m *RecMap) Get(rec *storage.Record) (int, bool) {
+	if !m.act {
+		return 0, false
+	}
 	i := recHash(rec) & m.mask
 	for {
 		e := m.recs[i]

@@ -1,0 +1,60 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func recmapRecs(n int) []*storage.Record {
+	tbl := storage.NewTable("scratch", 8, storage.TableOpts{})
+	out := make([]*storage.Record, n)
+	for i := range out {
+		out[i] = tbl.Alloc()
+		out[i].Key = uint64(i)
+	}
+	return out
+}
+
+// TestRecMapInactiveGet pins the documented zero-value contract: Get on a
+// never-activated (or Reset) map reports not-found instead of indexing
+// its nil backing arrays.
+func TestRecMapInactiveGet(t *testing.T) {
+	recs := recmapRecs(2)
+	var m RecMap
+	if p, ok := m.Get(recs[0]); ok || p != 0 {
+		t.Fatalf("zero-value Get = (%d, %v), want (0, false)", p, ok)
+	}
+	m.Activate(4)
+	m.Put(recs[0], 3)
+	if p, ok := m.Get(recs[0]); !ok || p != 3 {
+		t.Fatalf("active Get = (%d, %v), want (3, true)", p, ok)
+	}
+	m.Reset()
+	if _, ok := m.Get(recs[0]); ok {
+		t.Fatal("Get found an entry after Reset")
+	}
+}
+
+// TestRecMapPositions covers growth across the rehash boundary: every
+// inserted pointer keeps its recorded position, lookups of other tables'
+// records with colliding keys miss on pointer identity.
+func TestRecMapPositions(t *testing.T) {
+	recs := recmapRecs(200)
+	other := recmapRecs(8) // same Key values, different pointers
+	var m RecMap
+	m.Activate(RecMapThreshold)
+	for i, r := range recs {
+		m.Put(r, i)
+	}
+	for i, r := range recs {
+		if p, ok := m.Get(r); !ok || p != i {
+			t.Fatalf("Get(recs[%d]) = (%d, %v), want (%d, true)", i, p, ok, i)
+		}
+	}
+	for i, r := range other {
+		if _, ok := m.Get(r); ok {
+			t.Fatalf("Get matched a foreign record with key %d", i)
+		}
+	}
+}

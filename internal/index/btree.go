@@ -7,6 +7,11 @@ import (
 	"repro/internal/storage"
 )
 
+// btreeScanSpinLimit bounds in-place snapshot retries on one leaf before
+// a scanner falls back to the leaf's writer latch, so writer churn cannot
+// starve a scan (mirrors hashReadSpinLimit on the hash index).
+const btreeScanSpinLimit = 8
+
 // btreeOrder is the maximum number of keys per node. Splits are preemptive
 // (any full node encountered on the way down is split first), so a parent
 // always has room for the separator its splitting child pushes up, and a
@@ -125,6 +130,13 @@ func NewBTree() *BTree {
 func (t *BTree) descend(key uint64) (lf *bnode, ver uint64, ok bool) {
 	nd := t.root.Load()
 	v := nd.stableVer()
+	// Root re-check (Leis et al.): stabilizing may have waited out a root
+	// split, whose ex-root ends even-versioned but covers only keys below
+	// the pushed-up separator. The version alone cannot expose the swap,
+	// so a reader holding a node that is no longer the root must restart.
+	if t.root.Load() != nd {
+		return nil, 0, false
+	}
 	for !nd.leaf {
 		i := nd.route(key, int(nd.n.Load()))
 		child := nd.kids[i].Load()
@@ -226,12 +238,25 @@ func (t *BTree) Scan(from, to uint64, fn func(uint64, *storage.Record) bool) {
 	}
 	lo := from
 	var c scanChunk
+	spins := 0
 	for {
 		if !lf.snapshot(lo, to, v, &c) {
 			countRestart()
-			v = lf.stableVer()
-			continue
+			spins++
+			if spins < btreeScanSpinLimit {
+				storage.Yield(spins)
+				v = lf.stableVer()
+				continue
+			}
+			// Starvation fallback: writers serialize on lf.mu and close
+			// their mutation window (even version) before releasing it, so
+			// under the latch the leaf is stable and the copy cannot fail
+			// validation.
+			lf.mu.Lock()
+			lf.snapshot(lo, to, lf.ver.Load(), &c)
+			lf.mu.Unlock()
 		}
+		spins = 0
 		for i := 0; i < c.n; i++ {
 			if !fn(c.keys[i], c.vals[i]) {
 				return

@@ -237,6 +237,117 @@ func TestBTreeVersionValidation(t *testing.T) {
 	}
 }
 
+// TestBTreeRootSplitReaderRestart replays the one interleaving a per-node
+// version cannot expose: a reader loads the root pointer, a root split
+// swaps it out, and the reader then stabilizes the EX-root — whose version
+// ends even, so every later validation passes even though the node now
+// covers only keys below the pushed-up separator. The test parks a reader
+// on the torn root (odd version), performs the root swap exactly as
+// splitRootIfFull does, and releases; descend's root re-check must send
+// the reader back to the new root instead of letting it miss the moved key.
+func TestBTreeRootSplitReaderRestart(t *testing.T) {
+	const rounds = 100
+	for r := 0; r < rounds; r++ {
+		tr := NewBTree()
+		recs := mkRecs(btreeOrder)
+		for i := 0; i < btreeOrder; i++ {
+			tr.Insert(uint64(i), recs[i])
+		}
+		old := tr.root.Load()
+		movedKey := uint64(btreeOrder - 1) // lands in the right sibling
+
+		// Tear the root so a reader that has already captured it parks in
+		// stableVer until the swap below is complete.
+		old.mu.Lock()
+		old.beginMutate()
+		got := make(chan *storage.Record)
+		go func() { got <- tr.Get(movedKey) }()
+		for i := 0; i < 64; i++ {
+			runtime.Gosched() // let the reader load old and hit the odd version
+		}
+		sep, sib := split(old)
+		nr := &bnode{}
+		nr.keys[0].Store(sep)
+		nr.kids[0].Store(old)
+		nr.kids[1].Store(sib)
+		nr.n.Store(1)
+		tr.root.Store(nr)
+		old.endMutate()
+		sib.mu.Unlock()
+		old.mu.Unlock()
+
+		if rec := <-got; rec != recs[movedKey] {
+			t.Fatalf("round %d: Get(%d) = %v across a root split, want the inserted record", r, movedKey, rec)
+		}
+		// Document the hazard the re-check closes: the ex-root is even
+		// again (validates cleanly) yet no longer holds the moved key.
+		if v := old.ver.Load(); v&1 != 0 {
+			t.Fatalf("round %d: ex-root left torn (version %d)", r, v)
+		}
+		if _, found := old.search(movedKey, int(old.n.Load())); found {
+			t.Fatalf("round %d: ex-root still holds key %d after the split", r, movedKey)
+		}
+	}
+}
+
+// TestBTreeScanLatchedFallback checks both halves of the scan starvation
+// fix: the invariant the fallback relies on (with the leaf latch held the
+// version cannot move, so a snapshot at the current version always
+// validates), and that a scanner makes progress against a writer mutating
+// the scanned leaf in a tight loop.
+func TestBTreeScanLatchedFallback(t *testing.T) {
+	tr := NewBTree()
+	recs := mkRecs(btreeOrder)
+	const anchors = 8
+	for i := 0; i < anchors; i++ {
+		tr.Insert(uint64(2*i), recs[2*i]) // even anchors, odd keys churn
+	}
+
+	lf, _, ok := tr.descend(0)
+	if !ok || !lf.leaf {
+		t.Fatal("descend failed on a quiescent tree")
+	}
+	var c scanChunk
+	lf.mu.Lock()
+	okSnap := lf.snapshot(0, 2*anchors, lf.ver.Load(), &c)
+	lf.mu.Unlock()
+	if !okSnap {
+		t.Fatal("snapshot failed validation under the leaf latch")
+	}
+	if c.n != anchors {
+		t.Fatalf("latched snapshot copied %d entries, want %d", c.n, anchors)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() { // every op bumps the anchors' leaf version
+			tr.Insert(1, recs[1])
+			tr.Remove(1)
+		}
+	}()
+	for s := 0; s < 200; s++ {
+		seen := 0
+		tr.Scan(0, 2*anchors, func(k uint64, rec *storage.Record) bool {
+			if k%2 == 0 {
+				if k != uint64(2*seen) {
+					t.Errorf("scan %d: anchor %d missing (saw %d)", s, 2*seen, k)
+					return false
+				}
+				seen++
+			}
+			return true
+		})
+		if seen != anchors {
+			t.Fatalf("scan %d: observed %d/%d anchors under writer churn", s, seen, anchors)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
 // TestHashReaderRestartCounted forces the hash read path into its
 // restart loop: with a stripe held odd by a writer, a concurrent Get
 // must retry (bumping the restart counter), fall back to the stripe
