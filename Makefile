@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke
+.PHONY: build test race vet verify bench bench-smoke bench-wal
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,9 @@ bench:
 # still execute end to end, not a measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
-	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/ ./internal/wal/
+
+# bench-wal measures the WAL commit-path disciplines (sync vs group vs
+# async) and the device-level batching effect behind them.
+bench-wal:
+	$(GO) test -run=^$$ -bench=BenchmarkWAL -benchmem ./internal/wal/

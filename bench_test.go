@@ -241,6 +241,29 @@ func BenchmarkFig14(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14Durability — the Fig. 14 durability variant: redo logging
+// on TPC-C under the three WAL commit-path disciplines, at the paper's
+// 100ns device and at a 2µs flash-class device where group commit's
+// batching matters most.
+func BenchmarkFig14Durability(b *testing.B) {
+	for _, lat := range []time.Duration{0, 2 * time.Microsecond} {
+		tag := "100ns"
+		if lat > 0 {
+			tag = "2us"
+		}
+		for _, p := range []db.Protocol{db.WoundWait, db.Plor} {
+			for _, dur := range []db.Durability{db.DurSync, db.DurGroup, db.DurAsync} {
+				b.Run(fmt.Sprintf("%s/%s/%s", tag, p, dur), func(b *testing.B) {
+					runPoint(b, harness.Config{Protocol: p, Workers: benchWorkers,
+						Logging: db.LogRedo, LogDurability: dur, LogLatency: lat,
+						Backoff:  backoff(p),
+						Workload: harness.NewTPCC(tpcc.DefaultConfig(), benchWorkers)})
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationAdmission — the paper's §6.2.1 future-work suggestion:
 // Plor's throughput dips ~10% past its peak worker count; admission control
 // (capping in-flight transactions) recovers it. Compare uncapped vs capped

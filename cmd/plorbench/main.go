@@ -38,6 +38,9 @@ func main() {
 		interactive = flag.Bool("interactive", false, "interactive client/server mode")
 		rtt         = flag.Duration("rtt", 4*time.Microsecond, "simulated network RTT (interactive mode)")
 		logging     = flag.String("logging", "off", "WAL mode: off, redo, undo")
+		walDur      = flag.String("wal-durability", "sync", "WAL commit-path durability: sync (append per commit), group (batched epoch flush, commit waits), async (ack at publish)")
+		walFlush    = flag.Duration("wal-flush-interval", 0, "group-commit coalescing window (0 = flush eagerly)")
+		walLatency  = flag.Duration("wal-latency", 0, "simulated log-device write latency (0 = the paper's 100ns)")
 		slack       = flag.Uint64("slack", 1000, "PLOR_RT slack factor")
 		breakdown   = flag.Bool("breakdown", false, "collect execution-time breakdown")
 		cdf         = flag.Bool("cdf", false, "print the latency CDF tail (p99+)")
@@ -88,22 +91,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	durability, ok := db.ParseDurability(*walDur)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown wal durability %q\n", *walDur)
+		os.Exit(2)
+	}
+
 	proto := db.Protocol(*protocol)
 	cfg := harness.Config{
-		Protocol:     proto,
-		SlackFactor:  *slack,
-		Workers:      *workers,
-		Warmup:       *warmup,
-		Measure:      *measure,
-		Logging:      logMode,
-		Interactive:  *interactive,
-		RTT:          *rtt,
-		Instrument:   *breakdown,
-		Trace:        *trace,
-		ProfileLocks: *hotlocks > 0,
-		RTTSleep:     *rttSleep,
-		Backoff:      proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
-		Workload:     wl,
+		Protocol:         proto,
+		SlackFactor:      *slack,
+		Workers:          *workers,
+		Warmup:           *warmup,
+		Measure:          *measure,
+		Logging:          logMode,
+		LogDurability:    durability,
+		LogFlushInterval: *walFlush,
+		LogLatency:       *walLatency,
+		Interactive:      *interactive,
+		RTT:              *rtt,
+		Instrument:       *breakdown,
+		Trace:            *trace,
+		ProfileLocks:     *hotlocks > 0,
+		RTTSleep:         *rttSleep,
+		Backoff:          proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
+		Workload:         wl,
 	}
 	m, err := harness.Run(cfg)
 	if err != nil {

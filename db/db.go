@@ -71,6 +71,26 @@ const (
 	LogUndo
 )
 
+// Durability selects how commits reach the log device (Fig. 14 variant):
+// sync appends inline, group batches epochs and waits, async acks at
+// publish time. See wal.Durability.
+type Durability = wal.Durability
+
+// Durability modes.
+const (
+	// DurSync performs one synchronous device append per commit.
+	DurSync = wal.DurSync
+	// DurGroup batches commits into flush epochs; commit waits for its
+	// epoch, paying the device latency once per batch instead of per txn.
+	DurGroup = wal.DurGroup
+	// DurAsync returns at publish time; durability trails by up to one
+	// flush round (use DB.FlushWAL to close the gap).
+	DurAsync = wal.DurAsync
+)
+
+// ParseDurability maps a flag string (sync, group, async) to a Durability.
+func ParseDurability(s string) (Durability, bool) { return wal.ParseDurability(s) }
+
 // IndexKind selects a table's index structure.
 type IndexKind = cc.IndexKind
 
@@ -109,6 +129,10 @@ type Options struct {
 	// latency (default 100 ns, the paper's Optane DCPMM figure).
 	Logging       LogMode
 	LogSimLatency time.Duration
+	// LogDurability selects the commit-path discipline (default DurSync);
+	// LogFlushInterval is the group-commit coalescing window (0 = eager).
+	LogDurability    Durability
+	LogFlushInterval time.Duration
 	// SlackFactor sets the Plor-RT deadline slack (PlorRT only).
 	SlackFactor uint64
 	// Instrument enables the per-worker execution-time breakdown.
@@ -153,9 +177,9 @@ func Open(opts Options) (*DB, error) {
 		if lat == 0 {
 			lat = 100 * time.Nanosecond
 		}
-		inner.Log = wal.NewLogger(mode, opts.Workers, func(int) wal.Device {
+		inner.Log = wal.NewLoggerOpts(mode, opts.Workers, func(int) wal.Device {
 			return wal.NewSimDevice(lat)
-		})
+		}, wal.Options{Durability: opts.LogDurability, FlushInterval: opts.LogFlushInterval})
 	}
 	return &DB{opts: opts, engine: engine, inner: inner}, nil
 }
@@ -189,6 +213,28 @@ func engineFor(opts Options) (cc.Engine, error) {
 		return cc.NewMOCC(), nil
 	}
 	return nil, fmt.Errorf("db: unknown protocol %q", opts.Protocol)
+}
+
+// Close drains and stops the WAL group-commit flusher (if any) and closes
+// the log devices. Stop all workers first; a DB without logging needs no
+// Close (it is then a no-op).
+func (d *DB) Close() error {
+	if d.inner.Log == nil {
+		return nil
+	}
+	return d.inner.Log.Close()
+}
+
+// FlushWAL forces a WAL flush round and waits until every commit handed to
+// the flusher before the call is durable — the durability-wait for
+// DurAsync users. Async commits a worker still buffers locally are not
+// covered (the worker's own Sync or Close hands them off); it is a no-op
+// under DurSync and when logging is off.
+func (d *DB) FlushWAL() error {
+	if d.inner.Log == nil {
+		return nil
+	}
+	return d.inner.Log.Flush()
 }
 
 // Engine exposes the underlying engine (for the benchmark harness).

@@ -31,6 +31,24 @@ func (h *LogHandle) Mode() wal.Mode {
 	return h.wl.Mode()
 }
 
+// Durability returns the commit-path durability discipline (DurSync when
+// logging is off — there is nothing to wait for).
+func (h *LogHandle) Durability() wal.Durability {
+	if h == nil || h.wl == nil {
+		return wal.DurSync
+	}
+	return h.wl.Durability()
+}
+
+// LastEpoch returns the flush epoch of the worker's most recent published
+// commit (see wal.WorkerLog.LastEpoch); zero when logging is off or sync.
+func (h *LogHandle) LastEpoch() uint64 {
+	if h == nil || h.wl == nil {
+		return 0
+	}
+	return h.wl.LastEpoch()
+}
+
 // BeginTxn forwards to the worker log.
 func (h *LogHandle) BeginTxn(ts uint64) {
 	if h != nil && h.wl != nil {

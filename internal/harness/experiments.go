@@ -398,6 +398,41 @@ func Fig14(w io.Writer, sc Scale) error {
 	return nil
 }
 
+// Fig14Durability is the Fig. 14 durability variant: redo logging on TPC-C
+// at the fixed thread count, comparing the three WAL commit-path
+// disciplines — sync (one device append per commit), group (batched epoch
+// flush, commit waits for its epoch), and async (ack at publish time). The
+// second block raises the simulated device latency to 2µs (flash-class
+// rather than the paper's 100ns Optane figure), where batching commits into
+// epochs matters far more.
+func Fig14Durability(w io.Writer, sc Scale) error {
+	protos := []db.Protocol{db.WoundWait, db.Silo, db.Plor}
+	modes := []db.Durability{db.DurSync, db.DurGroup, db.DurAsync}
+	run := func(lat time.Duration, tag string) error {
+		for _, p := range protos {
+			for _, dur := range modes {
+				cfg := Config{Protocol: p, Workers: sc.FixedThreads,
+					Warmup: sc.Warmup, Measure: sc.Measure,
+					Logging: db.LogRedo, LogDurability: dur, LogLatency: lat,
+					Backoff: needsBackoff(p),
+					Label:   fmt.Sprintf("%s/%s%s", p, dur, tag),
+					Workload: NewTPCC(tpcc.DefaultConfig(),
+						sc.FixedThreads)}
+				if _, err := runAndPrint(w, cfg); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "--- Fig 14 (durability): redo logging, TPC-C, 100ns device ---")
+	if err := run(0, ""); err != nil { // 0 = the paper's 100ns default
+		return err
+	}
+	fmt.Fprintln(w, "--- Fig 14 (durability): redo logging, TPC-C, 2µs device ---")
+	return run(2*time.Microsecond, "/2us")
+}
+
 // Fig15 reproduces Fig. 15: deadline commit priority (Plor-RT) vs arrival
 // timestamps, on YCSB-A and TPC-C.
 func Fig15(w io.Writer, sc Scale) error {
@@ -456,6 +491,7 @@ func Figures() []Figure {
 		{"12", "Execution-time breakdown and abort ratios", Fig12},
 		{"13", "Effect of big-transaction size on tail latency", Fig13},
 		{"14", "Persistent logging: redo and undo modes", Fig14},
+		{"14d", "Durability modes: sync vs group-commit vs async WAL", Fig14Durability},
 		{"15", "Commit priority: deadlines (Plor-RT) vs arrival order", Fig15},
 	}
 }

@@ -21,10 +21,10 @@ func microScale() Scale {
 
 func TestFiguresInventory(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 11 {
-		t.Fatalf("figures = %d, want 11 (every experiment in the paper)", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("figures = %d, want 12 (every experiment in the paper + the 14d durability variant)", len(figs))
 	}
-	want := []string{"1", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"}
+	want := []string{"1", "6", "7", "8", "9", "10", "11", "12", "13", "14", "14d", "15"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d id = %s, want %s", i, f.ID, want[i])

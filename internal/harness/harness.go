@@ -63,6 +63,12 @@ type Config struct {
 	// (default 100 ns).
 	Logging    db.LogMode
 	LogLatency time.Duration
+	// LogDurability selects the WAL commit-path discipline (sync append
+	// per commit, group-commit epochs, or async publish — the Fig. 14
+	// durability variant); LogFlushInterval is the group-commit
+	// coalescing window (0 = eager).
+	LogDurability    db.Durability
+	LogFlushInterval time.Duration
 	// Interactive runs the split client/server mode over a simulated
 	// network with the given round-trip time (Fig. 8).
 	Interactive bool
@@ -136,9 +142,12 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		if lat == 0 {
 			lat = 100 * time.Nanosecond
 		}
-		ccdb.Log = wal.NewLogger(mode, cfg.Workers, func(int) wal.Device {
+		ccdb.Log = wal.NewLoggerOpts(mode, cfg.Workers, func(int) wal.Device {
 			return wal.NewSimDevice(lat)
-		})
+		}, wal.Options{Durability: cfg.LogDurability, FlushInterval: cfg.LogFlushInterval})
+		// Stop the flusher and flush the async tail once the run is over
+		// (workers have all returned by the time deferred calls run).
+		defer ccdb.Log.Close()
 	}
 	cfg.Workload.Setup(ccdb)
 

@@ -12,6 +12,7 @@ var phaseOrder = []struct {
 	{EvUpgrade, "commit-upgrade"},
 	{EvValidate, "validate"},
 	{EvWALAppend, "wal-append"},
+	{EvWALFlush, "wal-flush"},
 	{EvRPC, "rpc-call"},
 	{EvBackoff, "backoff"},
 	{EvAbort, "aborted-attempt"},

@@ -73,6 +73,32 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP plor_index_restarts_total Optimistic index-read restarts (seqlock/OLC version conflicts).\n")
 	fmt.Fprintf(w, "# TYPE plor_index_restarts_total counter\n")
 	fmt.Fprintf(w, "plor_index_restarts_total %d\n", l.IndexRestarts.Load())
+	fmt.Fprintf(w, "# HELP plor_wal_flush_batches_total Group-commit flush rounds that persisted at least one transaction.\n")
+	fmt.Fprintf(w, "# TYPE plor_wal_flush_batches_total counter\n")
+	fmt.Fprintf(w, "plor_wal_flush_batches_total %d\n", l.WALFlushBatches.Load())
+	fmt.Fprintf(w, "# HELP plor_wal_flushed_txns_total Transactions persisted by group-commit flush rounds.\n")
+	fmt.Fprintf(w, "# TYPE plor_wal_flushed_txns_total counter\n")
+	fmt.Fprintf(w, "plor_wal_flushed_txns_total %d\n", l.WALFlushedTxns.Load())
+	fmt.Fprintf(w, "# HELP plor_wal_flushed_bytes_total Log payload bytes persisted by group-commit flush rounds.\n")
+	fmt.Fprintf(w, "# TYPE plor_wal_flushed_bytes_total counter\n")
+	fmt.Fprintf(w, "plor_wal_flushed_bytes_total %d\n", l.WALFlushedBytes.Load())
+	flushLat, batchSz := l.WALFlushSnapshot()
+	fmt.Fprintf(w, "# HELP plor_wal_flush_latency_ns Group-commit flush-round latency quantiles (ns).\n")
+	fmt.Fprintf(w, "# TYPE plor_wal_flush_latency_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_wal_flush_latency_ns{quantile=%q} %d\n", q.label, flushLat.Quantile(q.v))
+	}
+	fmt.Fprintf(w, "# HELP plor_wal_flush_batch_txns Transactions coalesced per flush round (quantiles).\n")
+	fmt.Fprintf(w, "# TYPE plor_wal_flush_batch_txns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}} {
+		fmt.Fprintf(w, "plor_wal_flush_batch_txns{quantile=%q} %d\n", q.label, batchSz.Quantile(q.v))
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

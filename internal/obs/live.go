@@ -23,14 +23,29 @@ type Live struct {
 	// change mid-read and retried. See internal/index.
 	IndexRestarts atomic.Uint64
 
+	// WALFlushBatches counts group-commit flush rounds that persisted at
+	// least one transaction; WALFlushedTxns and WALFlushedBytes are the
+	// transactions and payload bytes those rounds coalesced. See
+	// internal/wal's flusher.
+	WALFlushBatches atomic.Uint64
+	WALFlushedTxns  atomic.Uint64
+	WALFlushedBytes atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
-	mu    sync.Mutex
-	lat   *stats.Histogram
-	start time.Time
+	mu       sync.Mutex
+	lat      *stats.Histogram
+	flushLat *stats.Histogram // per-round flush latency (ns)
+	batchSz  *stats.Histogram // txns coalesced per flush round
+	start    time.Time
 }
 
-var live = &Live{lat: stats.NewHistogram(), start: time.Now()}
+var live = &Live{
+	lat:      stats.NewHistogram(),
+	flushLat: stats.NewHistogram(),
+	batchSz:  stats.NewHistogram(),
+	start:    time.Now(),
+}
 
 // Metrics returns the process-wide live metrics.
 func Metrics() *Live { return live }
@@ -50,6 +65,29 @@ func (l *Live) TxnAbort(c stats.AbortCause) {
 		c = stats.CauseOther
 	}
 	l.causes[c].Add(1)
+}
+
+// WALFlush records one group-commit flush round that persisted txns
+// transactions totalling bytes of log payload in d.
+func (l *Live) WALFlush(txns, bytes int, d time.Duration) {
+	l.WALFlushBatches.Add(1)
+	l.WALFlushedTxns.Add(uint64(txns))
+	l.WALFlushedBytes.Add(uint64(bytes))
+	l.mu.Lock()
+	l.flushLat.Record(d.Nanoseconds())
+	l.batchSz.Record(int64(txns))
+	l.mu.Unlock()
+}
+
+// WALFlushSnapshot returns copies of the flush-latency and batch-size
+// histograms (ns and txns-per-round respectively).
+func (l *Live) WALFlushSnapshot() (flushLat, batchSize *stats.Histogram) {
+	flushLat, batchSize = stats.NewHistogram(), stats.NewHistogram()
+	l.mu.Lock()
+	flushLat.Merge(l.flushLat)
+	batchSize.Merge(l.batchSz)
+	l.mu.Unlock()
+	return flushLat, batchSize
 }
 
 // AbortCount returns the abort counter for cause c.
@@ -84,11 +122,16 @@ func (l *Live) Reset() {
 	l.DialRetries.Store(0)
 	l.CallRetries.Store(0)
 	l.IndexRestarts.Store(0)
+	l.WALFlushBatches.Store(0)
+	l.WALFlushedTxns.Store(0)
+	l.WALFlushedBytes.Store(0)
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}
 	l.mu.Lock()
 	l.lat.Reset()
+	l.flushLat.Reset()
+	l.batchSz.Reset()
 	l.start = time.Now()
 	l.mu.Unlock()
 }

@@ -44,6 +44,9 @@ const (
 	EvRPC
 	// EvBackoff is time slept between an abort and its retry.
 	EvBackoff
+	// EvWALFlush is one group-commit flush round; Arg is the number of
+	// transactions coalesced into the round's batch.
+	EvWALFlush
 
 	numEventKinds
 )
@@ -51,6 +54,7 @@ const (
 var kindNames = [numEventKinds]string{
 	"none", "begin", "retry", "commit", "abort", "lock-wait-rw",
 	"lock-wait-ww", "upgrade", "validate", "wal-append", "rpc", "backoff",
+	"wal-flush",
 }
 
 // String returns the kind's display name.

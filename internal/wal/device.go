@@ -28,6 +28,25 @@ type Device interface {
 	Close() error
 }
 
+// BatchDevice is an optional Device extension the group-commit flusher
+// uses: Stage appends bytes to the log image without paying the
+// persistence cost, and StartPersist begins making all staged bytes
+// durable, returning a wait function that blocks until they are.
+//
+// Persists started in the same flush round overlap — per-worker devices
+// (DIMMs, files) accept writes independently — so a flusher that calls
+// StartPersist on every device and then waits on each in turn pays the
+// MAX of the device latencies per round, not the sum. Devices that do not
+// implement BatchDevice fall back to one plain Append per round.
+type BatchDevice interface {
+	Device
+	// Stage appends p to the log image without waiting for durability.
+	Stage(p []byte) (int64, error)
+	// StartPersist begins persisting everything staged so far and returns
+	// a function that waits for that persist to complete.
+	StartPersist() func() error
+}
+
 // SimDevice emulates a persistent-memory log region: appends go to memory
 // and each Append busy-waits WriteLatency to model the DCPMM write path.
 // Busy-waiting (not sleeping) mirrors how a CPU store + persist barrier
@@ -54,9 +73,32 @@ func (d *SimDevice) Append(p []byte) (int64, error) {
 	d.buf = append(d.buf, p...)
 	d.mu.Unlock()
 	if d.WriteLatency > 0 {
-		spinFor(d.WriteLatency)
+		waitFor(d.WriteLatency)
 	}
 	return off, nil
+}
+
+// Stage implements BatchDevice: the bytes land in the log image with no
+// modelled latency; the flusher pays it once per round via StartPersist.
+func (d *SimDevice) Stage(p []byte) (int64, error) {
+	d.mu.Lock()
+	off := int64(len(d.buf))
+	d.buf = append(d.buf, p...)
+	d.mu.Unlock()
+	return off, nil
+}
+
+// StartPersist implements BatchDevice. The persist's deadline is fixed at
+// call time, so waits on persists started in the same round overlap.
+func (d *SimDevice) StartPersist() func() error {
+	if d.WriteLatency <= 0 {
+		return func() error { return nil }
+	}
+	deadline := time.Now().Add(d.WriteLatency)
+	return func() error {
+		waitUntil(deadline)
+		return nil
+	}
 }
 
 // Contents implements Device.
@@ -78,21 +120,54 @@ func (d *SimDevice) Len() int {
 	return len(d.buf)
 }
 
-// spinFor busy-waits for roughly d without yielding the processor,
-// modelling a synchronous device write on the commit path.
-func spinFor(d time.Duration) {
+// spinSleepThreshold is the modelled-latency point where waitFor switches
+// from busy-waiting to sleeping. Below it a sleep would quantize to the
+// scheduler tick and wreck the latency model (the same tradeoff as
+// rpc.ChanTransport's sleep-RTT option); above it spinning burns a core
+// per waiter for a delay long enough that sleep precision is fine.
+const spinSleepThreshold = 20 * time.Microsecond
+
+// waitFor models a device delay: busy-wait below spinSleepThreshold for
+// nanosecond accuracy, time.Sleep above it so high simulated latencies do
+// not burn a core per worker.
+func waitFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= spinSleepThreshold {
+		time.Sleep(d)
+		return
+	}
 	start := time.Now()
 	for time.Since(start) < d {
 	}
 }
 
+// waitUntil is waitFor against an absolute deadline.
+func waitUntil(deadline time.Time) {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return
+	}
+	if d >= spinSleepThreshold {
+		time.Sleep(d)
+		return
+	}
+	for time.Now().Before(deadline) {
+	}
+}
+
 // FileDevice appends to a real file. It exists for durability demos and
-// recovery tests; benchmarks use SimDevice.
+// recovery tests; benchmarks use SimDevice. By default writes are left to
+// the page cache (as the seed implementation did); enable fsync with
+// NewFileDeviceFsync or SetFsync to make Append — and group-commit flush
+// rounds via StartPersist — force the bytes to stable storage.
 type FileDevice struct {
-	mu   sync.Mutex
-	f    *os.File
-	off  int64
-	path string
+	mu    sync.Mutex
+	f     *os.File
+	off   int64
+	path  string
+	fsync bool
 }
 
 // NewFileDevice creates (truncating) a file-backed log device.
@@ -104,6 +179,19 @@ func NewFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{f: f, path: path}, nil
 }
 
+// NewFileDeviceFsync is NewFileDevice with fsync-on-flush enabled.
+func NewFileDeviceFsync(path string) (*FileDevice, error) {
+	d, err := NewFileDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	d.fsync = true
+	return d, nil
+}
+
+// SetFsync toggles fsync-on-flush. Call before the device is in use.
+func (d *FileDevice) SetFsync(on bool) { d.fsync = on }
+
 // Append implements Device.
 func (d *FileDevice) Append(p []byte) (int64, error) {
 	d.mu.Lock()
@@ -113,7 +201,33 @@ func (d *FileDevice) Append(p []byte) (int64, error) {
 		return 0, err
 	}
 	d.off += int64(len(p))
+	if d.fsync {
+		if err := d.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
 	return off, nil
+}
+
+// Stage implements BatchDevice: write without forcing to stable storage.
+func (d *FileDevice) Stage(p []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off := d.off
+	if _, err := d.f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	d.off += int64(len(p))
+	return off, nil
+}
+
+// StartPersist implements BatchDevice: one fsync covers every staged
+// write of the flush round (a no-op unless fsync-on-flush is enabled).
+func (d *FileDevice) StartPersist() func() error {
+	if !d.fsync {
+		return func() error { return nil }
+	}
+	return func() error { return d.f.Sync() }
 }
 
 // Contents implements Device.

@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Durability selects how a committed transaction's log entries reach the
+// device (the Silo/SiloR group-commit design space).
+type Durability int
+
+const (
+	// DurSync performs one synchronous Append per transaction on the
+	// committing worker — the seed behavior, and the strictest latency
+	// coupling: every commit pays the full device latency inline.
+	DurSync Durability = iota
+	// DurGroup publishes the transaction's entries into a lock-free
+	// per-worker buffer and parks until the flusher's next epoch makes
+	// them durable. Commit acknowledgement still implies durability, but
+	// the device cost is paid once per flush round, not once per commit.
+	DurGroup
+	// DurAsync publishes and returns immediately: the commit path never
+	// touches the device. Durability trails by up to one flush round;
+	// WaitDurable (or Logger.Flush) closes the gap when callers need it.
+	DurAsync
+)
+
+// String returns the durability mode's flag-style name.
+func (d Durability) String() string {
+	switch d {
+	case DurSync:
+		return "sync"
+	case DurGroup:
+		return "group"
+	case DurAsync:
+		return "async"
+	}
+	return "unknown"
+}
+
+// ParseDurability maps a flag string to a Durability.
+func ParseDurability(s string) (Durability, bool) {
+	switch s {
+	case "sync", "":
+		return DurSync, true
+	case "group":
+		return DurGroup, true
+	case "async":
+		return DurAsync, true
+	}
+	return DurSync, false
+}
+
+// chunk is one published transaction's serialized log entries. Publish
+// hands the committer's buffer off wholesale (no copy on the commit path);
+// the flusher copies it into the round's batch and recycles the chunk.
+type chunk struct {
+	next *chunk
+	buf  []byte
+}
+
+// pubSlot is one worker's lock-free publish list: a Treiber stack the
+// single-threaded worker pushes with CAS and the flusher drains with a
+// single Swap. Push order is reversed on drain to recover FIFO.
+//
+// Drained chunks come back through free — the flusher pushes them, the
+// worker grabs the whole list with one Swap when its private cache runs
+// dry. Recycling per slot (instead of a shared sync.Pool) keeps a chunk
+// cycling between one worker and the flusher. head and free sit on
+// separate cache lines: the worker's publish CAS and the flusher's recycle
+// CAS would otherwise collide on every commit.
+type pubSlot struct {
+	head  atomic.Pointer[chunk]
+	_     [56]byte
+	free  atomic.Pointer[chunk]
+	_     [56]byte
+	local *chunk // worker-private recycle cache; only the owner touches it
+}
+
+// getChunk pops a recycled chunk (worker side, single-threaded per slot).
+func (s *pubSlot) getChunk() *chunk {
+	c := s.local
+	if c == nil {
+		c = s.free.Swap(nil)
+		if c == nil {
+			return &chunk{buf: make([]byte, 0, asyncHandoffBytes)}
+		}
+	}
+	s.local = c.next
+	c.next = nil
+	return c
+}
+
+// putChunk recycles a drained chunk (flusher side).
+func (s *pubSlot) putChunk(c *chunk) {
+	for {
+		old := s.free.Load()
+		c.next = old
+		if s.free.CompareAndSwap(old, c) {
+			return
+		}
+	}
+}
+
+// Flusher is the group-commit pipeline: committers publish serialized
+// transactions into per-worker slots; a dedicated goroutine coalesces
+// everything published each epoch into one framed append per device and
+// advances the durable-epoch watermark, waking parked waiters.
+type Flusher struct {
+	devs     []Device   // indexed by worker id (entry 0 unused)
+	slots    []*pubSlot // indexed by worker id (entry 0 unused)
+	interval time.Duration
+
+	seq     atomic.Uint64 // epoch of the most recently started flush round
+	durable atomic.Uint64 // epoch through which everything published is durable
+	closed  atomic.Bool
+	idle    atomic.Bool // flusher parked; publishers must signal wake
+	errv    atomic.Pointer[flushErr]
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	stage   [][]byte // per-worker staging buffers, reused across rounds
+	waiters []func() error
+}
+
+type flushErr struct{ err error }
+
+// newFlusher builds (but does not start) a flusher over per-worker devs.
+func newFlusher(devs []Device, interval time.Duration) *Flusher {
+	f := &Flusher{
+		devs:     devs,
+		slots:    make([]*pubSlot, len(devs)),
+		interval: interval,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		stage:    make([][]byte, len(devs)),
+	}
+	for i := range f.slots {
+		f.slots[i] = &pubSlot{}
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *Flusher) start() { go f.run() }
+
+// publish pushes p (one transaction's entries, ownership transferred) onto
+// worker slot s and returns the epoch whose completion guarantees p is
+// durable. Lock-free: a CAS loop against the flusher's drain Swap, plus a
+// non-blocking wake when the slot was empty. The returned fresh buffer
+// replaces the committer's (buffer swap instead of copy).
+func (f *Flusher) publish(wid uint16, p []byte) (epoch uint64, fresh []byte) {
+	s := f.slots[wid]
+	c := s.getChunk()
+	c.buf, fresh = p, c.buf[:0]
+	for {
+		old := s.head.Load()
+		c.next = old
+		if s.head.CompareAndSwap(old, c) {
+			// Signal only a parked flusher: an awake one re-scans the slots
+			// before parking (run's double-check), so if this load sees
+			// idle=false the push is already guaranteed to be observed —
+			// the push and the idle-store are both sequentially consistent,
+			// Dekker-style. Skipping the channel send keeps the hot publish
+			// path free of channel contention.
+			if old == nil && f.idle.Load() {
+				select {
+				case f.wake <- struct{}{}:
+				default:
+				}
+			}
+			// Epoch is read AFTER the push: if this load returns e, round
+			// e+1 has not yet started, so its drain Swap — which follows
+			// the load in the total order on s.head — must observe c.
+			return f.seq.Load() + 1, fresh
+		}
+	}
+}
+
+// WaitDurable blocks until everything published before epoch e's flush
+// round is on the device: a brief spin for sub-microsecond rounds, then a
+// park on the flusher's condition variable.
+func (f *Flusher) WaitDurable(e uint64) {
+	if f.durable.Load() >= e {
+		return
+	}
+	for i := 0; i < 128; i++ {
+		if f.durable.Load() >= e || f.closed.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+	f.mu.Lock()
+	for f.durable.Load() < e && !f.closed.Load() {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// DurableEpoch returns the durable-epoch watermark.
+func (f *Flusher) DurableEpoch() uint64 { return f.durable.Load() }
+
+// Err returns the first device error any flush round hit (nil if none).
+func (f *Flusher) Err() error {
+	if fe := f.errv.Load(); fe != nil {
+		return fe.err
+	}
+	return nil
+}
+
+func (f *Flusher) setErr(err error) {
+	if err != nil {
+		f.errv.CompareAndSwap(nil, &flushErr{err: err})
+	}
+}
+
+// flushNow forces a flush round and waits for it, returning any device
+// error the pipeline has hit.
+func (f *Flusher) flushNow() error {
+	e := f.seq.Load() + 1
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+	f.WaitDurable(e)
+	return f.Err()
+}
+
+// close drains every outstanding publication, stops the goroutine, and
+// releases all waiters.
+func (f *Flusher) close() error {
+	select {
+	case <-f.quit:
+	default:
+		close(f.quit)
+	}
+	<-f.done
+	return f.Err()
+}
+
+// pending reports whether any worker slot holds unflushed publications.
+func (f *Flusher) pending() bool {
+	for wid := 1; wid < len(f.slots); wid++ {
+		if f.slots[wid].head.Load() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the flusher goroutine: flush rounds back to back while work keeps
+// arriving, park when the slots run dry. Parking is a Dekker handshake with
+// publish: set idle, re-scan the slots, and only then block — a publisher
+// that pushed before the re-scan is seen here, and one that pushed after it
+// sees idle and signals the wake channel. Either way no publication is
+// stranded, and the steady-state publish path never touches the channel.
+func (f *Flusher) run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.quit:
+			// Final drain: keep flushing until a round finds nothing, so
+			// every already-published chunk (and every epoch a publisher
+			// could be waiting on) is covered, then release all waiters.
+			for f.round() {
+			}
+			f.round() // bump durable past any epoch handed out pre-close
+			f.closed.Store(true)
+			f.mu.Lock()
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		default:
+		}
+		if !f.pending() {
+			f.idle.Store(true)
+			if f.pending() {
+				f.idle.Store(false)
+			} else {
+				select {
+				case <-f.wake:
+					f.idle.Store(false)
+					// Fall through to an unconditional round: flushNow
+					// signals wake precisely to force an (often empty)
+					// round that advances the durable watermark.
+				case <-f.quit:
+					f.idle.Store(false)
+					continue // the quit case above drains and exits
+				}
+			}
+		}
+		if f.interval > 0 {
+			waitFor(f.interval)
+		}
+		// Flush until a round comes up empty. The trailing empty round is
+		// load-bearing, not waste: a publisher races publish's seq read
+		// against this goroutine's seq.Add, so a chunk drained by round r
+		// can hold wait-epoch r+1 — parking right after a non-empty round
+		// could strand that waiter forever. An empty round's Swap proves no
+		// such chunk exists, and it advances durable past every epoch
+		// handed out before it, so parking after one is always safe.
+		for f.round() {
+			if f.interval > 0 {
+				waitFor(f.interval)
+			}
+		}
+	}
+}
+
+// round runs one flush epoch: drain every slot, coalesce each worker's
+// publications into one batch frame, write one Append (or Stage) per
+// device, overlap the persists, advance the watermark, wake waiters.
+// Reports whether any transaction was flushed.
+func (f *Flusher) round() bool {
+	r := f.seq.Add(1)
+	start := time.Now()
+	txns, bytes := 0, 0
+	f.waiters = f.waiters[:0]
+	for wid := 1; wid < len(f.slots); wid++ {
+		c := f.slots[wid].head.Swap(nil)
+		if c == nil {
+			continue
+		}
+		// Reverse the Treiber stack to publication (FIFO) order.
+		var fifo *chunk
+		for c != nil {
+			next := c.next
+			c.next, fifo = fifo, c
+			c = next
+		}
+		// Frame header: kindBatch(1) epoch(8) len(4), payload appended
+		// after, length patched once known.
+		buf := appendFrameHeader(f.stage[wid][:0], r)
+		for c = fifo; c != nil; {
+			buf = append(buf, c.buf...)
+			txns++
+			next := c.next
+			f.slots[wid].putChunk(c)
+			c = next
+		}
+		patchFrameLen(buf)
+		f.stage[wid] = buf
+		bytes += len(buf) - frameHeaderSize
+		dev := f.devs[wid]
+		if bd, ok := dev.(BatchDevice); ok {
+			if _, err := bd.Stage(buf); err != nil {
+				f.setErr(err)
+				continue
+			}
+			f.waiters = append(f.waiters, bd.StartPersist())
+		} else if _, err := dev.Append(buf); err != nil {
+			f.setErr(err)
+		}
+	}
+	// Overlapped persist: every StartPersist above is already in flight;
+	// waiting on each in turn costs the max of the device latencies.
+	for _, wait := range f.waiters {
+		if err := wait(); err != nil {
+			f.setErr(err)
+		}
+	}
+	f.durable.Store(r)
+	f.mu.Lock()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	if txns > 0 {
+		d := time.Since(start)
+		obs.Metrics().WALFlush(txns, bytes, d)
+		if obs.TraceEnabled() {
+			obs.Emit(obs.Event{Kind: obs.EvWALFlush, Dur: d.Nanoseconds(), Arg: uint64(txns)})
+		}
+	}
+	return txns > 0
+}

@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// durModes enumerates the three commit-path disciplines for table tests.
+var durModes = []Durability{DurSync, DurGroup, DurAsync}
+
+func TestDurabilityStringAndParse(t *testing.T) {
+	for _, d := range durModes {
+		got, ok := ParseDurability(d.String())
+		if !ok || got != d {
+			t.Fatalf("ParseDurability(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := ParseDurability("bogus"); ok {
+		t.Fatal("bogus durability parsed")
+	}
+	if d, ok := ParseDurability(""); !ok || d != DurSync {
+		t.Fatal("empty durability must default to sync")
+	}
+	if Durability(9).String() != "unknown" {
+		t.Fatal("unknown durability name")
+	}
+}
+
+// TestRecoveryEquivalenceAcrossDurabilities drives the same committed
+// history through each durability mode and checks recovery lands on the
+// identical state — batch frames must be transparent to Recover.
+func TestRecoveryEquivalenceAcrossDurabilities(t *testing.T) {
+	runHistory := func(dur Durability) map[uint32]map[uint64]Change {
+		l := NewLoggerOpts(Redo, 2, func(int) Device { return NewSimDevice(0) },
+			Options{Durability: dur})
+		w1, w2 := l.Worker(1), l.Worker(2)
+		for i := 0; i < 50; i++ {
+			w1.BeginTxn(uint64(2*i + 1))
+			w1.Update(1, uint64(i%10), []byte(fmt.Sprintf("a%d", i)))
+			if err := w1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			w2.BeginTxn(uint64(2*i + 2))
+			w2.Update(1, uint64(i%10), []byte(fmt.Sprintf("b%d", i)))
+			if err := w2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Aborted transaction must not surface in any mode.
+		w1.BeginTxn(1000)
+		w1.Update(1, 99, []byte("dead"))
+		w1.Abort()
+		if err := l.Close(); err != nil { // drains buffered commits + flusher
+			t.Fatal(err)
+		}
+		rec, err := Recover(Redo, l.Devices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	want := runHistory(DurSync)
+	for _, dur := range []Durability{DurGroup, DurAsync} {
+		got := runHistory(dur)
+		if len(got[1]) != len(want[1]) {
+			t.Fatalf("%v: recovered %d keys, sync recovered %d", dur, len(got[1]), len(want[1]))
+		}
+		for k, w := range want[1] {
+			g, ok := got[1][k]
+			if !ok || string(g.Image) != string(w.Image) || g.TS != w.TS {
+				t.Fatalf("%v: key %d = %+v, want %+v", dur, k, g, w)
+			}
+		}
+		if _, ok := got[1][99]; ok {
+			t.Fatalf("%v: aborted update recovered", dur)
+		}
+	}
+}
+
+// TestGroupCommitConcurrent hammers the flusher from many workers under
+// -race and verifies nothing committed is lost.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const workers, txns = 8, 200
+	l := NewLoggerOpts(Redo, workers, func(int) Device { return NewSimDevice(0) },
+		Options{Durability: DurGroup})
+	var wg sync.WaitGroup
+	for wid := 1; wid <= workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := l.Worker(uint16(wid))
+			for i := 0; i < txns; i++ {
+				ts := uint64(wid*10000 + i)
+				w.BeginTxn(ts)
+				w.Update(1, ts, []byte{byte(wid)})
+				if err := w.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Redo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec[1]) != workers*txns {
+		t.Fatalf("recovered %d keys, want %d", len(rec[1]), workers*txns)
+	}
+}
+
+// TestGroupCommitSingleTxnCompletes is the regression test for the epoch
+// stall: a lone DurGroup commit races its post-publish epoch read against
+// the flusher's round start and can draw epoch r+1 while its chunk flushes
+// in round r. The flusher's trailing empty round must cover it — the
+// commit has to return without any further publications arriving.
+func TestGroupCommitSingleTxnCompletes(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		l := NewLoggerOpts(Redo, 1, func(int) Device { return NewSimDevice(0) },
+			Options{Durability: DurGroup})
+		w := l.Worker(1)
+		done := make(chan error, 1)
+		go func() {
+			w.BeginTxn(1)
+			w.Update(1, 1, []byte("x"))
+			done <- w.Commit()
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("group commit stalled waiting for its flush epoch")
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAsyncSyncMakesDurable checks the async durability-wait contract:
+// after WorkerLog.Sync returns, the commit is on the device even though
+// Commit itself returned before any handoff.
+func TestAsyncSyncMakesDurable(t *testing.T) {
+	l := NewLoggerOpts(Redo, 1, func(int) Device { return NewSimDevice(0) },
+		Options{Durability: DurAsync})
+	w := l.Worker(1)
+	w.BeginTxn(7)
+	w.Update(1, 7, []byte("async"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Redo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec[1][7].Image); got != "async" {
+		t.Fatalf("after Sync, recovered %q", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornBatchFrame cuts a device stream inside a batch frame and checks
+// the torn frame (and everything after it) is dropped while the preceding
+// frames recover intact — the crash semantics of group commit.
+func TestTornBatchFrame(t *testing.T) {
+	l := NewLoggerOpts(Redo, 1, func(int) Device { return NewSimDevice(0) },
+		Options{Durability: DurGroup})
+	w := l.Worker(1)
+	for i := 1; i <= 3; i++ {
+		w.BeginTxn(uint64(i))
+		w.Update(1, uint64(i), []byte(fmt.Sprintf("v%d", i)))
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := l.Devices()[0].Contents()
+	frames := ScanFrames(data)
+	if len(frames) < 2 {
+		t.Fatalf("want ≥2 batch frames, got %d (each strict commit is its own round)", len(frames))
+	}
+	last := frames[len(frames)-1]
+	// Cut inside the last frame's payload: past its header, short of its end.
+	cut := last.Off + frameHeaderSize + last.Len/2
+	if last.Len == 0 {
+		cut = last.Off + frameHeaderSize - 1 // torn mid-header
+	}
+	torn := NewSimDevice(0)
+	torn.Append(data[:cut])
+	rec, err := Recover(Redo, []Device{torn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every frame before the torn one recovers; the torn one is gone.
+	wantKeys := 0
+	for _, fr := range frames[:len(frames)-1] {
+		wantKeys += countCommits(t, data, fr)
+	}
+	if len(rec[1]) != wantKeys {
+		t.Fatalf("recovered %d keys, want %d (torn frame dropped whole)", len(rec[1]), wantKeys)
+	}
+}
+
+// countCommits counts commit markers inside one complete frame's payload.
+func countCommits(t *testing.T, data []byte, fr FrameInfo) int {
+	t.Helper()
+	n := 0
+	payload := data[fr.Off+frameHeaderSize : fr.Off+frameHeaderSize+fr.Len]
+	if err := parseEntries(payload, func(kind byte, c Change) error {
+		if kind == kindCommit {
+			n++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCorruptFrameInterior: a COMPLETE frame whose payload is garbage is
+// corruption, not a torn tail — Recover must refuse it.
+func TestCorruptFrameInterior(t *testing.T) {
+	buf := appendFrameHeader(nil, 1)
+	buf = append(buf, 0xFF, 0xFF, 0xFF) // not a valid entry
+	patchFrameLen(buf)
+	dev := NewSimDevice(0)
+	dev.Append(buf)
+	if _, err := Recover(Redo, []Device{dev}); err == nil {
+		t.Fatal("complete frame with corrupt payload must fail recovery")
+	}
+}
+
+// TestScanFrames checks frame enumeration and its stop-at-torn-tail rule.
+func TestScanFrames(t *testing.T) {
+	unit := appendEntry(nil, kindUpdate, 1, 1, 1, []byte("x"))
+	f1 := appendFrameHeader(nil, 1)
+	f1 = append(f1, unit...)
+	patchFrameLen(f1)
+	f2 := appendFrameHeader(nil, 2)
+	patchFrameLen(f2)
+	data := append(append([]byte{}, f1...), f2...)
+	frames := ScanFrames(data)
+	if len(frames) != 2 || frames[0].Epoch != 1 || frames[1].Epoch != 2 {
+		t.Fatalf("frames = %+v", frames)
+	}
+	if frames[1].Off != len(f1) || frames[0].Len != len(unit) {
+		t.Fatalf("frame geometry wrong: %+v", frames)
+	}
+	if got := ScanFrames(data[:len(f1)+5]); len(got) != 1 {
+		t.Fatalf("torn second frame: got %d frames, want 1", len(got))
+	}
+}
+
+// TestUndoGroupAbortMarker: under group durability the undo abort marker is
+// published without waiting; after Close it must still be on the device so
+// recovery does not roll the transaction back twice.
+func TestUndoGroupAbortMarker(t *testing.T) {
+	l := NewLoggerOpts(Undo, 1, func(int) Device { return NewSimDevice(0) },
+		Options{Durability: DurGroup})
+	w := l.Worker(1)
+	w.BeginTxn(5)
+	w.Update(1, 1, []byte("before")) // write-ahead image: direct append
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Crashed transaction with no marker: must be rolled back.
+	w.BeginTxn(6)
+	w.Update(1, 2, []byte("orig"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Undo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec[1][1]; ok {
+		t.Fatal("marked abort must not be rolled back")
+	}
+	if got := string(rec[1][2].Image); got != "orig" {
+		t.Fatalf("unmarked transaction rollback image = %q", got)
+	}
+}
+
+// TestFileDeviceFsyncFlushRoundTrip is the fsync satellite: a group-commit
+// flush over fsync-enabled FileDevices must round-trip Contents through
+// Recover.
+func TestFileDeviceFsyncFlushRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := NewLoggerOpts(Redo, 2, func(wid int) Device {
+		d, err := NewFileDeviceFsync(filepath.Join(dir, fmt.Sprintf("log-%d", wid)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}, Options{Durability: DurGroup})
+	for wid := uint16(1); wid <= 2; wid++ {
+		w := l.Worker(wid)
+		w.BeginTxn(uint64(wid))
+		w.Update(1, uint64(wid), []byte(fmt.Sprintf("file%d", wid)))
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Redo, l.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wid := uint64(1); wid <= 2; wid++ {
+		if got := string(rec[1][wid].Image); got != fmt.Sprintf("file%d", wid) {
+			t.Fatalf("key %d = %q", wid, got)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlusherDeviceErrorSurfaces: an append failure inside a flush round
+// must surface from the waiting commit and from Logger.Flush.
+func TestFlusherDeviceErrorSurfaces(t *testing.T) {
+	bad := &failDevice{}
+	l := NewLoggerOpts(Redo, 1, func(int) Device { return bad },
+		Options{Durability: DurGroup})
+	w := l.Worker(1)
+	w.BeginTxn(1)
+	w.Update(1, 1, []byte("x"))
+	if err := w.Commit(); err == nil {
+		t.Fatal("commit over a failing device must return the flush error")
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("close must report the flush error")
+	}
+}
+
+type failDevice struct{}
+
+func (d *failDevice) Append(p []byte) (int64, error) { return 0, fmt.Errorf("boom") }
+func (d *failDevice) Contents() ([]byte, error)      { return nil, nil }
+func (d *failDevice) Close() error                   { return nil }
+
+// TestWaitForHybrid sanity-checks both halves of the spin/sleep policy.
+func TestWaitForHybrid(t *testing.T) {
+	start := time.Now()
+	waitFor(5 * time.Microsecond) // spin regime
+	if el := time.Since(start); el < 5*time.Microsecond {
+		t.Fatalf("spun %v, want ≥ 5µs", el)
+	}
+	start = time.Now()
+	waitFor(2 * spinSleepThreshold) // sleep regime
+	if el := time.Since(start); el < 2*spinSleepThreshold {
+		t.Fatalf("slept %v, want ≥ %v", el, 2*spinSleepThreshold)
+	}
+	waitFor(0) // no-op
+	waitUntil(time.Now().Add(-time.Second))
+}

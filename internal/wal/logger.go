@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Mode selects the logging discipline (Fig. 14).
@@ -38,20 +39,68 @@ const (
 	kindUpdate byte = 1
 	kindCommit byte = 2
 	kindAbort  byte = 3
+	// kindBatch frames one flush round's coalesced transactions:
+	// kind(1) epoch(8) len(4) payload(len). The payload is a sequence of
+	// ordinary entries; a tail torn mid-frame drops the whole frame.
+	kindBatch byte = 4
 )
 
-// Logger coordinates per-worker logs over per-worker devices, mirroring the
-// paper's setup where each worker logs to its local Optane DIMM.
-type Logger struct {
-	mode Mode
-	devs []Device
+// frameHeaderSize is the batch-frame header length.
+const frameHeaderSize = 13
+
+// appendFrameHeader starts a batch frame for the given flush epoch; the
+// length field is zero until patchFrameLen fills it in.
+func appendFrameHeader(buf []byte, epoch uint64) []byte {
+	buf = append(buf, kindBatch)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return binary.LittleEndian.AppendUint32(buf, 0)
 }
 
-// NewLogger builds a logger with one device per worker (index 1..n used).
+// patchFrameLen writes the payload length into a frame started at buf[0].
+func patchFrameLen(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[9:frameHeaderSize], uint32(len(buf)-frameHeaderSize))
+}
+
+// Options configures the logger beyond its mode.
+type Options struct {
+	// Durability selects the commit-path discipline (default DurSync).
+	Durability Durability
+	// FlushInterval is the group-commit coalescing window: how long the
+	// flusher holds a round open after the first publication before
+	// flushing. 0 flushes eagerly — the window is then just the time one
+	// round takes, which still coalesces everything published meanwhile.
+	FlushInterval time.Duration
+}
+
+// Logger coordinates per-worker logs over per-worker devices, mirroring the
+// paper's setup where each worker logs to its local Optane DIMM. Under
+// DurGroup/DurAsync it also owns the group-commit flusher.
+type Logger struct {
+	mode Mode
+	dur  Durability
+	devs []Device
+	fl   *Flusher
+	wls  []*WorkerLog // cached handles, for Close-time draining
+}
+
+// NewLogger builds a logger with one device per worker (index 1..n used)
+// using synchronous per-commit durability (the seed discipline).
 func NewLogger(mode Mode, workers int, mkDev func(wid int) Device) *Logger {
-	l := &Logger{mode: mode, devs: make([]Device, workers+1)}
+	return NewLoggerOpts(mode, workers, mkDev, Options{})
+}
+
+// NewLoggerOpts is NewLogger with explicit durability options. Group and
+// async durability start the flusher goroutine; callers must Close the
+// logger to stop it and flush the outstanding tail.
+func NewLoggerOpts(mode Mode, workers int, mkDev func(wid int) Device, o Options) *Logger {
+	l := &Logger{mode: mode, dur: o.Durability,
+		devs: make([]Device, workers+1), wls: make([]*WorkerLog, workers+1)}
 	for wid := 1; wid <= workers; wid++ {
 		l.devs[wid] = mkDev(wid)
+	}
+	if mode != Off && o.Durability != DurSync {
+		l.fl = newFlusher(l.devs, o.FlushInterval)
+		l.fl.start()
 	}
 	return l
 }
@@ -59,9 +108,75 @@ func NewLogger(mode Mode, workers int, mkDev func(wid int) Device) *Logger {
 // Mode returns the logging discipline.
 func (l *Logger) Mode() Mode { return l.mode }
 
-// Worker returns worker wid's log handle.
+// Durability returns the commit-path durability discipline.
+func (l *Logger) Durability() Durability { return l.dur }
+
+// Flusher returns the group-commit flusher (nil under DurSync or Off).
+func (l *Logger) Flusher() *Flusher { return l.fl }
+
+// Worker returns worker wid's log handle. Handles are cached: repeat calls
+// return the same WorkerLog, and Close drains any commits it still buffers.
 func (l *Logger) Worker(wid uint16) *WorkerLog {
-	return &WorkerLog{dev: l.devs[wid], mode: l.mode, buf: make([]byte, 0, 4096)}
+	if int(wid) < len(l.wls) {
+		if w := l.wls[wid]; w != nil {
+			return w
+		}
+	}
+	w := &WorkerLog{
+		dev:  l.devs[wid],
+		mode: l.mode,
+		dur:  l.dur,
+		fl:   l.fl,
+		wid:  wid,
+		buf:  make([]byte, 0, 4096),
+	}
+	if int(wid) < len(l.wls) {
+		l.wls[wid] = w
+	}
+	return w
+}
+
+// Flush forces a flush round and waits until everything published before
+// the call is durable (a no-op under DurSync, where commits already are).
+func (l *Logger) Flush() error {
+	if l.fl == nil {
+		return nil
+	}
+	return l.fl.flushNow()
+}
+
+// WaitDurable blocks until flush epoch e has completed. Epochs are handed
+// out by async commits (WorkerLog.LastEpoch); DurSync loggers have no
+// epochs and return immediately.
+func (l *Logger) WaitDurable(e uint64) {
+	if l.fl != nil {
+		l.fl.WaitDurable(e)
+	}
+}
+
+// Close publishes every worker's locally buffered commits (async mode
+// coalesces before handing off), drains and stops the flusher (releasing
+// all durability waiters), then closes every device. Workers must have
+// stopped first — touching their handles is only safe after quiescence.
+func (l *Logger) Close() error {
+	var first error
+	if l.fl != nil {
+		for _, w := range l.wls {
+			if w != nil {
+				w.publishPending()
+			}
+		}
+		first = l.fl.close()
+	}
+	for _, d := range l.devs {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Devices returns the underlying devices (for recovery).
@@ -75,17 +190,52 @@ func (l *Logger) Devices() []Device {
 	return out
 }
 
+// asyncHandoffBytes is the local coalescing threshold: an async worker
+// hands its buffered commits to the flusher once they exceed this size
+// (SiloR's workers fill local log buffers the same way). Small enough to
+// bound the durability gap to a few dozen transactions, large enough that
+// the cross-core handoff cost amortizes to nothing per commit.
+const asyncHandoffBytes = 4096
+
 // WorkerLog is one worker's logging handle. Not safe for concurrent use —
 // each worker owns exactly one, like everything else on a worker's hot path.
 type WorkerLog struct {
-	dev  Device
-	mode Mode
-	buf  []byte
-	ts   uint64
+	dev       Device
+	mode      Mode
+	dur       Durability
+	fl        *Flusher
+	wid       uint16
+	buf       []byte // current transaction's entries (reset per attempt)
+	pend      []byte // committed units awaiting handoff to the flusher
+	ts        uint64
+	lastEpoch uint64
 }
 
 // Mode returns the handle's logging discipline.
 func (w *WorkerLog) Mode() Mode { return w.mode }
+
+// Durability returns the handle's commit-path durability discipline.
+func (w *WorkerLog) Durability() Durability { return w.dur }
+
+// LastEpoch returns the flush epoch covering every commit this worker has
+// handed to the flusher — the value an async caller passes to
+// Logger.WaitDurable to close its durability gap. Zero before the first
+// handoff. Async commits may still sit in the local buffer past their
+// Commit call; Sync (or Logger.Close) hands them off.
+func (w *WorkerLog) LastEpoch() uint64 { return w.lastEpoch }
+
+// Sync hands off any locally buffered commits and waits until they are
+// durable — the explicit durability point for async mode.
+func (w *WorkerLog) Sync() error {
+	if w.fl == nil {
+		return nil
+	}
+	w.publishPending()
+	if w.lastEpoch > 0 {
+		w.fl.WaitDurable(w.lastEpoch)
+	}
+	return w.fl.Err()
+}
 
 // SetTS overrides the transaction stamp for subsequent entries. Redo
 // logging must stamp entries with a COMMIT-time sequence number drawn while
@@ -112,8 +262,9 @@ func appendEntry(buf []byte, kind byte, ts uint64, tableID uint32, key uint64, i
 
 // Update logs a record image. Under Redo, img is the new image and it is
 // buffered until Commit. Under Undo, img is the old image and it is
-// appended durably right away — it must hit the log before the in-place
-// write it protects.
+// appended durably right away regardless of the durability mode — the
+// write-ahead rule requires it on the device before the in-place write it
+// protects, so batching it would only move the same wait.
 func (w *WorkerLog) Update(tableID uint32, key uint64, img []byte) error {
 	switch w.mode {
 	case Redo:
@@ -128,31 +279,100 @@ func (w *WorkerLog) Update(tableID uint32, key uint64, img []byte) error {
 	return nil
 }
 
-// Commit durably ends the transaction: under Redo it flushes the buffered
-// new images plus a commit marker in one append; under Undo it appends the
-// commit marker.
+// Commit ends the transaction: under Redo the buffered new images plus a
+// commit marker form one unit; under Undo the unit is the commit marker.
+//
+// DurSync appends the unit synchronously (one device wait per commit).
+// DurGroup hands it to the flusher and parks until its flush epoch is
+// durable. DurAsync buffers it locally and returns — the buffer is handed
+// off once it crosses the coalescing threshold (or at Sync/Close), and
+// LastEpoch identifies the epoch to wait on when the caller needs the
+// handed-off commits on the device.
 func (w *WorkerLog) Commit() error {
 	if w.mode == Off {
 		return nil
 	}
 	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, 0, nil)
-	_, err := w.dev.Append(w.buf)
+	err := w.endTxn(w.dur == DurGroup)
 	w.buf = w.buf[:0]
 	return err
 }
 
 // Abort ends the transaction on the abort path: Redo discards the buffer
 // (nothing was logged), Undo appends an abort marker so recovery rolls the
-// transaction back.
+// transaction back. The marker never blocks on a flush round — a missing
+// marker just means recovery performs the same rollback from the log.
 func (w *WorkerLog) Abort() error {
 	if w.mode != Undo {
 		w.buf = w.buf[:0]
 		return nil
 	}
 	w.buf = appendEntry(w.buf[:0], kindAbort, w.ts, 0, 0, nil)
-	_, err := w.dev.Append(w.buf)
+	err := w.endTxn(false)
 	w.buf = w.buf[:0]
 	return err
+}
+
+// endTxn moves the buffered unit toward the device per the durability
+// mode. DurSync appends inline. Otherwise the unit joins the worker-local
+// pending buffer, which is handed to the flusher when the caller needs to
+// wait (DurGroup) or when it crosses the coalescing threshold (DurAsync) —
+// so the async commit path is a short local memcpy, never a device touch
+// or a cross-core handoff. Unit order across workers is free: recovery
+// keys on transaction timestamps, not device byte order.
+func (w *WorkerLog) endTxn(wait bool) error {
+	if w.fl == nil {
+		_, err := w.dev.Append(w.buf)
+		return err
+	}
+	w.pend = append(w.pend, w.buf...)
+	if wait || len(w.pend) >= asyncHandoffBytes {
+		w.publishPending()
+		if wait {
+			w.fl.WaitDurable(w.lastEpoch)
+			return w.fl.Err()
+		}
+	}
+	return nil
+}
+
+// publishPending hands the pending buffer to the flusher, taking a
+// recycled buffer back (buffer swap, no copy on the handoff itself).
+func (w *WorkerLog) publishPending() {
+	if w.fl == nil || len(w.pend) == 0 {
+		return
+	}
+	epoch, fresh := w.fl.publish(w.wid, w.pend)
+	w.pend = fresh[:0]
+	w.lastEpoch = epoch
+}
+
+// FrameInfo describes one batch frame in a device stream; crash tests and
+// log tooling use it to locate flush-round boundaries.
+type FrameInfo struct {
+	Off   int    // byte offset of the frame header
+	Epoch uint64 // flush epoch that wrote the frame
+	Len   int    // payload length (frame occupies frameHeaderSize+Len bytes)
+}
+
+// ScanFrames lists the complete batch frames at the head of one device's
+// byte stream, stopping at the first torn frame or non-frame byte.
+func ScanFrames(data []byte) []FrameInfo {
+	var out []FrameInfo
+	off := 0
+	for off < len(data) && data[off] == kindBatch {
+		if len(data)-off < frameHeaderSize {
+			break
+		}
+		epoch := binary.LittleEndian.Uint64(data[off+1:])
+		n := int(binary.LittleEndian.Uint32(data[off+9:]))
+		if len(data)-off-frameHeaderSize < n {
+			break
+		}
+		out = append(out, FrameInfo{Off: off, Epoch: epoch, Len: n})
+		off += frameHeaderSize + n
+	}
+	return out
 }
 
 // --- recovery ---
@@ -169,32 +389,124 @@ type Change struct {
 // by Recover, as a crash can truncate the tail).
 var errTruncated = errors.New("wal: truncated record")
 
-// parse iterates the entries of one device's byte stream.
+// parse iterates the entries of one device's byte stream: plain entries
+// (sync-durability appends, undo write-ahead images) interleaved with
+// batch frames (group-commit flush rounds). A tail torn mid-entry or
+// mid-frame yields errTruncated — the partial unit and everything after
+// it on the device is ignored, exactly like a crash cut it off.
 func parse(data []byte, fn func(kind byte, c Change) error) error {
+	return parseCapped(data, ^uint64(0), fn)
+}
+
+// parseCapped is parse with SiloR's persistent-epoch bound: complete batch
+// frames whose epoch is >= bound are skipped whole, as if the flush round
+// that wrote them never finished.
+func parseCapped(data []byte, bound uint64, fn func(kind byte, c Change) error) error {
 	off := 0
 	for off < len(data) {
-		if len(data)-off < 25 {
-			return errTruncated
+		if data[off] == kindBatch {
+			if len(data)-off < frameHeaderSize {
+				return errTruncated
+			}
+			epoch := binary.LittleEndian.Uint64(data[off+1:])
+			n := int(binary.LittleEndian.Uint32(data[off+9:]))
+			off += frameHeaderSize
+			if len(data)-off < n {
+				return errTruncated
+			}
+			if epoch >= bound {
+				off += n
+				continue
+			}
+			// Frames are appended whole, so a complete frame with a
+			// malformed interior is corruption, not a torn tail.
+			if err := parseEntries(data[off:off+n], fn); err != nil {
+				if errors.Is(err, errTruncated) {
+					return fmt.Errorf("wal: corrupt batch frame payload")
+				}
+				return err
+			}
+			off += n
+			continue
 		}
-		kind := data[off]
-		ts := binary.LittleEndian.Uint64(data[off+1:])
-		tid := binary.LittleEndian.Uint32(data[off+9:])
-		key := binary.LittleEndian.Uint64(data[off+13:])
-		n := int(binary.LittleEndian.Uint32(data[off+21:]))
-		off += 25
-		if len(data)-off < n {
-			return errTruncated
-		}
-		img := data[off : off+n]
-		off += n
-		if kind != kindUpdate && kind != kindCommit && kind != kindAbort {
-			return fmt.Errorf("wal: corrupt entry kind %d", kind)
-		}
-		if err := fn(kind, Change{TS: ts, TableID: tid, Key: key, Image: img}); err != nil {
+		n, err := parseOne(data[off:], fn)
+		if err != nil {
 			return err
 		}
+		off += n
 	}
 	return nil
+}
+
+// deviceEpochCap returns the first flush epoch NOT guaranteed persisted on
+// this device: the epoch of a batch frame the stream tears inside of (or
+// the successor of the last complete frame when the tear hides the torn
+// frame's header), or ^0 for a stream with no torn frame. Recover takes
+// the minimum across devices as the persistent-epoch bound — under group
+// durability a transaction's writes become visible only after its flush
+// round completes, so any dependency points to a strictly earlier epoch
+// and cutting every device at one epoch keeps a dependency-closed prefix.
+func deviceEpochCap(data []byte) uint64 {
+	off := 0
+	last := uint64(0)
+	for off < len(data) {
+		if data[off] == kindBatch {
+			if len(data)-off < frameHeaderSize {
+				return last + 1 // header torn: epoch unknown, but > last
+			}
+			epoch := binary.LittleEndian.Uint64(data[off+1:])
+			n := int(binary.LittleEndian.Uint32(data[off+9:]))
+			off += frameHeaderSize
+			if len(data)-off < n {
+				return epoch // payload torn mid-frame
+			}
+			last = epoch
+			off += n
+			continue
+		}
+		n, err := parseOne(data[off:], func(byte, Change) error { return nil })
+		if err != nil {
+			return ^uint64(0) // torn plain entry: no epoch implication
+		}
+		off += n
+	}
+	return ^uint64(0)
+}
+
+// parseEntries iterates a flat sequence of plain entries (no frames).
+func parseEntries(data []byte, fn func(kind byte, c Change) error) error {
+	off := 0
+	for off < len(data) {
+		n, err := parseOne(data[off:], fn)
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// parseOne decodes the single entry at data[0] and returns its length.
+func parseOne(data []byte, fn func(kind byte, c Change) error) (int, error) {
+	if len(data) < 25 {
+		return 0, errTruncated
+	}
+	kind := data[0]
+	ts := binary.LittleEndian.Uint64(data[1:])
+	tid := binary.LittleEndian.Uint32(data[9:])
+	key := binary.LittleEndian.Uint64(data[13:])
+	n := int(binary.LittleEndian.Uint32(data[21:]))
+	if len(data)-25 < n {
+		return 0, errTruncated
+	}
+	img := data[25 : 25+n]
+	if kind != kindUpdate && kind != kindCommit && kind != kindAbort {
+		return 0, fmt.Errorf("wal: corrupt entry kind %d", kind)
+	}
+	if err := fn(kind, Change{TS: ts, TableID: tid, Key: key, Image: img}); err != nil {
+		return 0, err
+	}
+	return 25 + n, nil
 }
 
 // Recover replays the logs of all devices and returns, per (table, key),
@@ -205,7 +517,11 @@ func parse(data []byte, fn func(kind byte, c Change) error) error {
 //	       has no commit marker (i.e. must be rolled back).
 //
 // Truncated tails are tolerated: a record cut off by a crash is ignored,
-// along with everything after it on that device.
+// along with everything after it on that device. For batch-framed logs in
+// redo mode a torn frame additionally bounds the persistent epoch: frames
+// at or past the lowest torn epoch are dropped on EVERY device, so the
+// replayed set stays closed under the forward-in-epoch dependencies group
+// commit guarantees.
 func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 	if mode != Redo && mode != Undo {
 		return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
@@ -224,17 +540,32 @@ func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 			m[c.Key] = c
 		}
 	}
-	for _, d := range devs {
-		data, err := d.Contents()
-		if err != nil {
+	datas := make([][]byte, len(devs))
+	for i, d := range devs {
+		var err error
+		if datas[i], err = d.Contents(); err != nil {
 			return nil, err
 		}
+	}
+	// Persistent-epoch bound for batch-framed (group-commit) logs: a torn
+	// frame on ANY device invalidates its flush round everywhere, since the
+	// round's frames on other devices may hold transactions that read state
+	// this device's lost transactions wrote in the same or a later round.
+	bound := ^uint64(0)
+	if mode == Redo {
+		for _, data := range datas {
+			if c := deviceEpochCap(data); c < bound {
+				bound = c
+			}
+		}
+	}
+	for _, data := range datas {
 		switch mode {
 		case Redo:
 			// Two passes per device: find committed timestamps, then apply
 			// their updates.
 			committed := make(map[uint64]bool)
-			err := parse(data, func(kind byte, c Change) error {
+			err := parseCapped(data, bound, func(kind byte, c Change) error {
 				if kind == kindCommit {
 					committed[c.TS] = true
 				}
@@ -243,7 +574,7 @@ func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 			if err != nil && !errors.Is(err, errTruncated) {
 				return nil, err
 			}
-			err = parse(data, func(kind byte, c Change) error {
+			err = parseCapped(data, bound, func(kind byte, c Change) error {
 				if kind == kindUpdate && committed[c.TS] {
 					put(c)
 				}
