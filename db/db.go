@@ -83,8 +83,13 @@ const (
 	// DurGroup batches commits into flush epochs; commit waits for its
 	// epoch, paying the device latency once per batch instead of per txn.
 	DurGroup = wal.DurGroup
-	// DurAsync returns at publish time; durability trails by up to one
-	// flush round (use DB.FlushWAL to close the gap).
+	// DurAsync returns from Commit without touching the device; durability
+	// trails. A worker coalesces commits in a local buffer before handing
+	// them to the flusher, so DB.FlushWAL covers only already-handed-off
+	// commits — Worker.SyncWAL (called from the goroutine driving that
+	// worker) or DB.Close is the full durability point. After a crash,
+	// async recovery is per-transaction atomic but not necessarily
+	// causally consistent across transactions (see wal.Recover).
 	DurAsync = wal.DurAsync
 )
 
@@ -228,7 +233,7 @@ func (d *DB) Close() error {
 // FlushWAL forces a WAL flush round and waits until every commit handed to
 // the flusher before the call is durable — the durability-wait for
 // DurAsync users. Async commits a worker still buffers locally are not
-// covered (the worker's own Sync or Close hands them off); it is a no-op
+// covered (Worker.SyncWAL or DB.Close hands them off); it is a no-op
 // under DurSync and when logging is off.
 func (d *DB) FlushWAL() error {
 	if d.inner.Log == nil {
@@ -265,10 +270,14 @@ func (d *DB) Worker(wid int) *Worker {
 	if wid < 1 || wid > d.opts.Workers {
 		panic(fmt.Sprintf("db: worker id %d out of range [1,%d]", wid, d.opts.Workers))
 	}
-	return &Worker{
+	w := &Worker{
 		inner: d.engine.NewWorker(d.inner, uint16(wid), d.opts.Instrument),
 		wid:   uint16(wid),
 	}
+	if d.inner.Log != nil {
+		w.log = d.inner.Log.Worker(uint16(wid))
+	}
+	return w
 }
 
 // TxnOpts parameterizes a transaction.
@@ -289,10 +298,24 @@ type Proc = cc.Proc
 type Worker struct {
 	inner cc.Worker
 	wid   uint16
+	log   *wal.WorkerLog // nil when logging is off
 }
 
 // WID returns the worker's slot id.
 func (w *Worker) WID() uint16 { return w.wid }
+
+// SyncWAL hands off any commits this worker still buffers locally (the
+// DurAsync coalescing buffer) and waits until they are durable — the
+// per-worker durability point DB.FlushWAL cannot provide, because the
+// local buffer is worker-private state only this worker's goroutine may
+// touch. Call it from the goroutine driving the worker. It is a no-op
+// when logging is off or under DurSync (where commits are already durable).
+func (w *Worker) SyncWAL() error {
+	if w.log == nil {
+		return nil
+	}
+	return w.log.Sync()
+}
 
 // Attempt runs a single attempt (no retry). It returns nil on commit, an
 // IsAborted error on conflict, or proc's own error after rollback. first

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/db"
+	"repro/internal/wal"
 )
 
 func u64(v uint64) []byte {
@@ -173,5 +174,52 @@ func TestInstrumentedBreakdown(t *testing.T) {
 	}, db.TxnOpts{})
 	if w.Breakdown().Commits != 1 {
 		t.Fatalf("commits = %d", w.Breakdown().Commits)
+	}
+}
+
+// TestSyncWALCoversLocalAsyncBuffer: under DurAsync a low-traffic worker's
+// commits sit in its local coalescing buffer, where DB.FlushWAL cannot
+// reach them; Worker.SyncWAL must hand them off and wait for durability.
+func TestSyncWALCoversLocalAsyncBuffer(t *testing.T) {
+	d, err := db.Open(db.Options{
+		Workers: 1, Logging: db.LogRedo, LogDurability: db.DurAsync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := d.CreateTable("t", 8, db.Hashed, 4)
+	d.Load(tbl, 1, u64(1))
+	w := d.Worker(1)
+	if _, err := w.Run(func(tx db.Tx) error {
+		return tx.Update(tbl, 1, u64(2))
+	}, db.TxnOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// FlushWAL alone must not claim the locally buffered commit durable;
+	// SyncWAL is the worker-side durability point.
+	if err := d.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Recover(wal.Redo, d.Inner().Log.Devices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec[tbl.ID][1]
+	if !ok || dec(got.Image) != 2 {
+		t.Fatalf("after SyncWAL, recovered %+v (ok=%v)", got, ok)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncWALNoopWithoutLogging: SyncWAL on a log-free DB must be a no-op.
+func TestSyncWALNoopWithoutLogging(t *testing.T) {
+	d, _ := db.Open(db.Options{Workers: 1})
+	if err := d.Worker(1).SyncWAL(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -24,8 +24,13 @@ const (
 	// the device cost is paid once per flush round, not once per commit.
 	DurGroup
 	// DurAsync publishes and returns immediately: the commit path never
-	// touches the device. Durability trails by up to one flush round;
-	// WaitDurable (or Logger.Flush) closes the gap when callers need it.
+	// touches the device. Durability trails: a worker coalesces commits in
+	// a local buffer and hands them to the flusher only once it fills, so
+	// WaitDurable and Logger.Flush cover handed-off commits only —
+	// WorkerLog.Sync (from the owning worker) or Logger.Close is the full
+	// durability point. Crash recovery of an async log is per-transaction
+	// atomic but not necessarily causally consistent across transactions
+	// (see Recover).
 	DurAsync
 )
 
@@ -189,25 +194,53 @@ func (f *Flusher) publish(wid uint16, p []byte) (epoch uint64, fresh []byte) {
 
 // WaitDurable blocks until everything published before epoch e's flush
 // round is on the device: a brief spin for sub-microsecond rounds, then a
-// park on the flusher's condition variable.
+// park on the flusher's condition variable. It returns early when the
+// flusher is closed or has hit a device error — callers distinguish the
+// cases via Err.
+//
+// The wait self-wakes the flusher. The epoch publish hands out can be one
+// round ahead of any round the flusher schedules on its own: publish reads
+// seq AFTER its push, so a drain racing that read can consume the chunk in
+// round d while the publisher returns wait-epoch d+2 (the flusher having
+// meanwhile run its trailing empty round d+1 and parked). Under quiescence
+// nothing else ever starts round d+2, so waiting without a kick would
+// strand the caller forever.
 func (f *Flusher) WaitDurable(e uint64) {
 	if f.durable.Load() >= e {
 		return
 	}
+	f.kick()
 	for i := 0; i < 128; i++ {
-		if f.durable.Load() >= e || f.closed.Load() {
+		if f.durable.Load() >= e || f.closed.Load() || f.errv.Load() != nil {
 			return
 		}
 		runtime.Gosched()
 	}
 	f.mu.Lock()
-	for f.durable.Load() < e && !f.closed.Load() {
+	for f.durable.Load() < e && !f.closed.Load() && f.errv.Load() == nil {
+		// Re-kick every lap: a forced round advances durable by one, and a
+		// broadcast from an intermediate round must not leave this waiter
+		// parked with no further round scheduled.
+		f.kick()
 		f.cond.Wait()
 	}
 	f.mu.Unlock()
 }
 
-// DurableEpoch returns the durable-epoch watermark.
+// kick forces a flush round: a non-blocking send on the wake channel,
+// which a parked flusher consumes immediately and a busy one drains at its
+// next park attempt — either way one extra (possibly empty) round runs and
+// advances the durable watermark.
+func (f *Flusher) kick() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// DurableEpoch returns the durable-epoch watermark. Once Err is non-nil
+// the watermark is frozen at the last fully persisted round — epochs past
+// it may have lost bytes and are never claimed durable.
 func (f *Flusher) DurableEpoch() uint64 { return f.durable.Load() }
 
 // Err returns the first device error any flush round hit (nil if none).
@@ -228,10 +261,7 @@ func (f *Flusher) setErr(err error) {
 // error the pipeline has hit.
 func (f *Flusher) flushNow() error {
 	e := f.seq.Load() + 1
-	select {
-	case f.wake <- struct{}{}:
-	default:
-	}
+	f.kick()
 	f.WaitDurable(e)
 	return f.Err()
 }
@@ -275,6 +305,8 @@ func (f *Flusher) run() {
 			for f.round() {
 			}
 			f.round() // bump durable past any epoch handed out pre-close
+			// (a flusher with Err pending leaves durable frozen; waiters
+			// are released by closed below and observe the error)
 			f.closed.Store(true)
 			f.mu.Lock()
 			f.cond.Broadcast()
@@ -369,7 +401,13 @@ func (f *Flusher) round() bool {
 			f.setErr(err)
 		}
 	}
-	f.durable.Store(r)
+	// A failed round freezes the watermark: storing r would claim epochs
+	// durable whose bytes never reached a device, and every later round
+	// sits on top of the hole. The broadcast below still runs, so waiters
+	// wake, observe Err, and bail out of WaitDurable.
+	if f.errv.Load() == nil {
+		f.durable.Store(r)
+	}
 	f.mu.Lock()
 	f.cond.Broadcast()
 	f.mu.Unlock()

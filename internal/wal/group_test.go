@@ -351,6 +351,74 @@ func TestFlusherDeviceErrorSurfaces(t *testing.T) {
 	}
 }
 
+// TestWaitDurableWakesParkedFlusher is the regression test for the
+// stranded-waiter race: publish reads the round counter AFTER its push, so
+// a drain racing that read can consume the chunk in round d while the
+// publisher returns wait-epoch d+2 (the flusher meanwhile ran its trailing
+// empty round d+1 and parked). WaitDurable must kick the flusher itself —
+// under quiescence nothing else ever starts round d+2.
+func TestWaitDurableWakesParkedFlusher(t *testing.T) {
+	f := newFlusher([]Device{nil, NewSimDevice(0)}, 0)
+	f.start()
+	unit := appendEntry(nil, kindUpdate, 1, 1, 1, []byte("x"))
+	unit = appendEntry(unit, kindCommit, 1, 0, 0, nil)
+	f.publish(1, unit)
+	// Let the flusher drain the slot, run its trailing empty round, and park.
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.idle.Load() || f.pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The worst epoch publish can hand out in this quiescent state: one
+	// past every round the flusher will run on its own.
+	e := f.seq.Load() + 1
+	done := make(chan struct{})
+	go func() { f.WaitDurable(e); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitDurable stranded on an epoch no round would run")
+	}
+	if f.DurableEpoch() < e {
+		t.Fatalf("durable epoch %d after waiting for %d", f.DurableEpoch(), e)
+	}
+	if err := f.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushErrorFreezesDurableEpoch: a failed round must not advance the
+// durable watermark (DurableEpoch would claim durability for bytes that
+// never reached the device) while waiters still wake and observe Err.
+func TestFlushErrorFreezesDurableEpoch(t *testing.T) {
+	f := newFlusher([]Device{nil, &failDevice{}}, 0)
+	f.start()
+	unit := appendEntry(nil, kindUpdate, 1, 1, 1, []byte("x"))
+	unit = appendEntry(unit, kindCommit, 1, 0, 0, nil)
+	e, _ := f.publish(1, unit)
+	done := make(chan struct{})
+	go func() { f.WaitDurable(e); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitDurable must return once the flusher hits a device error")
+	}
+	if f.Err() == nil {
+		t.Fatal("device error not surfaced")
+	}
+	if f.DurableEpoch() >= e {
+		t.Fatalf("durable epoch %d claims failed round %d durable", f.DurableEpoch(), e)
+	}
+	if err := f.close(); err == nil {
+		t.Fatal("close must report the flush error")
+	}
+	if f.DurableEpoch() >= e {
+		t.Fatal("durable epoch advanced over a failed round at close")
+	}
+}
+
 type failDevice struct{}
 
 func (d *failDevice) Append(p []byte) (int64, error) { return 0, fmt.Errorf("boom") }

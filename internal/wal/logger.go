@@ -136,8 +136,13 @@ func (l *Logger) Worker(wid uint16) *WorkerLog {
 	return w
 }
 
-// Flush forces a flush round and waits until everything published before
+// Flush forces a flush round and waits until everything PUBLISHED before
 // the call is durable (a no-op under DurSync, where commits already are).
+// Async commits a worker still coalesces in its local pend buffer are not
+// published and therefore not covered: WorkerLog state is single-threaded,
+// so only the owning worker's Sync — or Close after worker quiescence —
+// can hand them off. Callers needing a full async durability point must
+// use those, not Flush.
 func (l *Logger) Flush() error {
 	if l.fl == nil {
 		return nil
@@ -442,10 +447,18 @@ func parseCapped(data []byte, bound uint64, fn func(kind byte, c Change) error) 
 // this device: the epoch of a batch frame the stream tears inside of (or
 // the successor of the last complete frame when the tear hides the torn
 // frame's header), or ^0 for a stream with no torn frame. Recover takes
-// the minimum across devices as the persistent-epoch bound — under group
-// durability a transaction's writes become visible only after its flush
-// round completes, so any dependency points to a strictly earlier epoch
-// and cutting every device at one epoch keeps a dependency-closed prefix.
+// the minimum across devices as the persistent-epoch bound.
+//
+// The dependency-closure argument behind the bound holds under GROUP
+// durability only: there a transaction's writes become visible after its
+// flush round completes, so any dependency points to a strictly earlier
+// epoch and cutting every device at one epoch keeps a dependency-closed
+// prefix. Under ASYNC durability writes are installed and visible at
+// commit time while the log unit may still sit in the worker's local pend
+// buffer, so a dependent transaction on another worker can reach the
+// device in an EARLIER epoch than the writer it read from — the bound then
+// still yields a transaction-atomic state, but not necessarily a causally
+// consistent one (see Recover).
 func deviceEpochCap(data []byte) uint64 {
 	off := 0
 	last := uint64(0)
@@ -522,6 +535,15 @@ func parseOne(data []byte, fn func(kind byte, c Change) error) (int, error) {
 // at or past the lowest torn epoch are dropped on EVERY device, so the
 // replayed set stays closed under the forward-in-epoch dependencies group
 // commit guarantees.
+//
+// DurAsync caveat: async commits install their writes before their log
+// unit is published, so device epoch order does not bound dependency
+// order. Recovering an async-mode log still yields per-transaction
+// atomicity (a transaction's updates replay all-or-none, keyed on its
+// commit marker), but a recovered transaction may have read from one that
+// was lost — async trades crash-time causal consistency across
+// transactions for commit latency; use DurGroup when the recovered state
+// must be causally consistent.
 func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 	if mode != Redo && mode != Undo {
 		return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
