@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-wal
+.PHONY: build test race vet verify bench bench-smoke bench-wal bench-rpc
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,15 @@ bench:
 # still execute end to end, not a measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
-	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/ ./internal/wal/
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/ ./internal/wal/ ./internal/rpc/
 
 # bench-wal measures the WAL commit-path disciplines (sync vs group vs
 # async) and the device-level batching effect behind them.
 bench-wal:
 	$(GO) test -run=^$$ -bench=BenchmarkWAL -benchmem ./internal/wal/
+
+# bench-rpc measures the interactive RPC transport: per-op vs batched
+# frames at simulated RTTs, real-TCP per-op vs batch vs mux, and the
+# zero-alloc batched call path.
+bench-rpc:
+	$(GO) test -run=^$$ -bench=BenchmarkRPC -benchmem ./internal/rpc/

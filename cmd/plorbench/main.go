@@ -37,6 +37,7 @@ func main() {
 		warehouses  = flag.Int("warehouses", 1, "TPC-C warehouses")
 		interactive = flag.Bool("interactive", false, "interactive client/server mode")
 		rtt         = flag.Duration("rtt", 4*time.Microsecond, "simulated network RTT (interactive mode)")
+		batch       = flag.Bool("batch", false, "batch independent operations into multi-op frames (interactive mode)")
 		logging     = flag.String("logging", "off", "WAL mode: off, redo, undo")
 		walDur      = flag.String("wal-durability", "sync", "WAL commit-path durability: sync (append per commit), group (batched epoch flush, commit waits), async (ack at publish)")
 		walFlush    = flag.Duration("wal-flush-interval", 0, "group-commit coalescing window (0 = flush eagerly)")
@@ -110,6 +111,7 @@ func main() {
 		LogLatency:       *walLatency,
 		Interactive:      *interactive,
 		RTT:              *rtt,
+		Batch:            *batch,
 		Instrument:       *breakdown,
 		Trace:            *trace,
 		ProfileLocks:     *hotlocks > 0,

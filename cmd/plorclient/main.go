@@ -26,6 +26,8 @@ func main() {
 		sessions = flag.Int("sessions", 8, "concurrent client sessions")
 		duration = flag.Duration("duration", 10*time.Second, "run duration")
 		records  = flag.Int("records", 100_000, "YCSB table size (must match server)")
+		batch    = flag.Bool("batch", false, "batch independent operations into multi-op frames")
+		useMux   = flag.Bool("mux", false, "multiplex all sessions over one shared TCP connection")
 	)
 	flag.Parse()
 
@@ -42,6 +44,19 @@ func main() {
 	wl := ycsb.SetupSchema(shadow.Inner(), cfg)
 	tables := shadow.Inner().Tables()
 
+	// With -mux every session shares one TCP connection (tagged frames, one
+	// coalescing writer); without it each session dials its own.
+	var mc *rpc.MuxConn
+	if *useMux {
+		var err error
+		mc, err = rpc.DialMux(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer mc.Close()
+	}
+
 	hists := make([]*stats.Histogram, *sessions)
 	var commits, aborts uint64
 	var mu sync.Mutex
@@ -52,13 +67,22 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			tr, err := rpc.DialTCP(*addr)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "session %d: %v\n", s, err)
-				return
+			var tr rpc.Transport
+			if mc != nil {
+				tr = mc.NewSession()
+			} else {
+				t, err := rpc.DialTCP(*addr)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "session %d: %v\n", s, err)
+					return
+				}
+				tr = t
 			}
 			defer tr.Close()
 			w := rpc.NewClientWorker(tr, tables, uint16(s+1))
+			if *batch {
+				w.EnableBatching()
+			}
 			gen := wl.NewGen(int64(s) + 1)
 			var localCommits, localAborts uint64
 			for time.Now().Before(deadline) {

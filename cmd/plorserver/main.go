@@ -1,6 +1,10 @@
 // Command plorserver runs the storage-engine half of the interactive
 // processing mode (§5) as a real TCP server: it loads a workload's tables
-// and serves per-operation requests from plorclient sessions.
+// and serves per-operation requests from plorclient sessions. Each accepted
+// connection is sniffed: a plain connection carries one session, a
+// multiplexed one (plorclient -mux) carries many tagged sessions sharing
+// the socket; batched clients (plorclient -batch) send multi-op frames.
+// Session worker slots are drawn from the -workers pool either way.
 //
 //	plorserver -addr :7070 -protocol PLOR -workload ycsb-a -workers 16
 //

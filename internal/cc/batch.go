@@ -1,0 +1,181 @@
+package cc
+
+// This file is the engine-agnostic face of operation batching (the
+// interactive-mode pipelining of rpc's OpBatch frames). Workloads declare
+// independent operations through a Batcher and flush them as a group; over
+// a batching transport the group crosses the network as one round trip,
+// while local engines and non-batching transports execute each operation
+// eagerly at declaration time. Workload code is identical either way.
+
+// Deferred is the handle for one batched operation. Its result is defined
+// once the batch has flushed (or immediately, under eager execution): Val
+// holds a read's row image, Err holds the per-operation outcome
+// (ErrNotFound/ErrDuplicate are soft; abort-class errors end the
+// transaction and repeat on every handle at and after the aborting
+// operation).
+type Deferred struct {
+	Val []byte
+	Err error
+}
+
+// Resolve records the operation's outcome.
+func (d *Deferred) Resolve(val []byte, err error) { d.Val, d.Err = val, err }
+
+// BatchTx is the optional Tx extension a batching transport implements:
+// Defer* stages an operation and returns its handle; FlushOps sends every
+// staged operation as one multi-op frame and resolves the handles.
+// Synchronous Tx operations (and commit) flush pending staged operations
+// first, so program order is preserved.
+type BatchTx interface {
+	Tx
+	// BatchingEnabled reports whether staged operations actually pipeline;
+	// when false, Defer* executes eagerly.
+	BatchingEnabled() bool
+	DeferRead(t *Table, key uint64) *Deferred
+	DeferReadForUpdate(t *Table, key uint64) *Deferred
+	DeferReadRC(t *Table, key uint64) *Deferred
+	DeferUpdate(t *Table, key uint64, val []byte) *Deferred
+	DeferInsert(t *Table, key uint64, val []byte) *Deferred
+	DeferDelete(t *Table, key uint64) *Deferred
+	// FlushOps executes the staged operations. It returns an error only
+	// when the transaction aborted (or the transport failed); soft
+	// per-operation errors are reported on the handles.
+	FlushOps() error
+}
+
+// Batcher adapts any Tx to the deferred-operation style. Bind it to the
+// transaction at the top of a procedure; operations declared through it
+// pipeline when the Tx is a batching BatchTx and run eagerly otherwise.
+// The Batcher owns its handles (recycled across Bind calls), so steady
+// state allocates nothing.
+//
+// Only independent operations may be staged in one batch: a deferred read
+// must not target a key an earlier deferred write in the same unflushed
+// batch may have changed the existence of in a way the caller then
+// branches on — results are not visible until Flush.
+type Batcher struct {
+	tx   Tx
+	bt   BatchTx
+	pool []*Deferred
+	used int
+	err  error // sticky abort (eager mode): later ops never execute
+}
+
+// Bind resets the Batcher onto tx.
+func (b *Batcher) Bind(tx Tx) {
+	b.tx = tx
+	b.bt = nil
+	b.used = 0
+	b.err = nil
+	if bt, ok := tx.(BatchTx); ok && bt.BatchingEnabled() {
+		b.bt = bt
+	}
+}
+
+func (b *Batcher) next() *Deferred {
+	if b.used == len(b.pool) {
+		b.pool = append(b.pool, &Deferred{})
+	}
+	d := b.pool[b.used]
+	b.used++
+	*d = Deferred{}
+	return d
+}
+
+// stuck resolves a handle with the sticky abort (eager mode, dead tx).
+func (b *Batcher) stuck() *Deferred {
+	d := b.next()
+	d.Resolve(nil, b.err)
+	return d
+}
+
+// finish resolves a handle with an eagerly-executed result. Kept
+// closure-free so local (non-batching) execution adds no allocation to
+// the per-operation hot path.
+func (b *Batcher) finish(v []byte, err error) *Deferred {
+	d := b.next()
+	d.Resolve(v, err)
+	if err != nil && IsAborted(err) {
+		b.err = err
+	}
+	return d
+}
+
+// Read stages (or runs) a point read.
+func (b *Batcher) Read(t *Table, key uint64) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferRead(t, key)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	v, err := b.tx.Read(t, key)
+	return b.finish(v, err)
+}
+
+// ReadForUpdate stages (or runs) a read with write intent.
+func (b *Batcher) ReadForUpdate(t *Table, key uint64) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferReadForUpdate(t, key)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	v, err := b.tx.ReadForUpdate(t, key)
+	return b.finish(v, err)
+}
+
+// ReadRC stages (or runs) a read-committed read.
+func (b *Batcher) ReadRC(t *Table, key uint64) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferReadRC(t, key)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	v, err := b.tx.ReadRC(t, key)
+	return b.finish(v, err)
+}
+
+// Update stages (or runs) an update. val is captured at call time.
+func (b *Batcher) Update(t *Table, key uint64, val []byte) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferUpdate(t, key, val)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	return b.finish(nil, b.tx.Update(t, key, val))
+}
+
+// Insert stages (or runs) an insert. val is captured at call time.
+func (b *Batcher) Insert(t *Table, key uint64, val []byte) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferInsert(t, key, val)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	return b.finish(nil, b.tx.Insert(t, key, val))
+}
+
+// Delete stages (or runs) a delete.
+func (b *Batcher) Delete(t *Table, key uint64) *Deferred {
+	if b.bt != nil {
+		return b.bt.DeferDelete(t, key)
+	}
+	if b.err != nil {
+		return b.stuck()
+	}
+	return b.finish(nil, b.tx.Delete(t, key))
+}
+
+// Flush executes everything staged since the last flush. A nil return
+// means every handle is resolved (possibly with soft errors); a non-nil
+// return is an abort-class or transport error and ends the procedure.
+func (b *Batcher) Flush() error {
+	if b.bt != nil {
+		return b.bt.FlushOps()
+	}
+	return b.err
+}

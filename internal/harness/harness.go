@@ -73,6 +73,10 @@ type Config struct {
 	// network with the given round-trip time (Fig. 8).
 	Interactive bool
 	RTT         time.Duration
+	// Batch enables interactive operation batching: workload phases of
+	// independent operations cross the simulated network as one multi-op
+	// frame (one RTT) instead of one round trip per operation.
+	Batch bool
 	// Instrument collects the execution-time breakdown (Fig. 12).
 	Instrument bool
 	// Backoff enables randomized retry backoff. Protocols whose retries
@@ -163,6 +167,9 @@ func Run(cfg Config) (*stats.Metrics, error) {
 			}
 			transports = append(transports, tr)
 			cw := rpc.NewClientWorker(tr, ccdb.Tables(), uint16(wid))
+			if cfg.Batch {
+				cw.EnableBatching()
+			}
 			if cfg.Instrument {
 				cw.EnableBreakdown()
 			}

@@ -18,6 +18,7 @@ package lock
 import (
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -60,15 +61,44 @@ const (
 	catWW = stats.ConflictWW
 )
 
+// remoteHolders marks that lock holders may live across a process
+// boundary: in the interactive TCP mode a transaction holds locks between
+// round trips, so releasing a lock needs the *client process* scheduled by
+// the OS. A waiter that only yields keeps this process runnable at 100%
+// CPU and (on few cores) starves the very process whose next frame would
+// free the lock — waits then stretch to OS-scheduler timescales. With the
+// flag set, wait loops fall back to short sleeps once the yield budget is
+// spent, surrendering the core. rpc.Server.Listen sets it; in-process
+// configurations (stored procedures, the harness's simulated network)
+// leave it off because there yielding is strictly better.
+var remoteHolders atomic.Bool
+
+// SetRemoteHolders toggles the sleep fallback in lock wait loops. Sticky
+// and global: serving remote clients changes the wait economics for every
+// waiter sharing the engine's cores.
+func SetRemoteHolders(on bool) { remoteHolders.Store(on) }
+
+// spinYieldBudget is the number of cooperative yields a waiter spends
+// before it may sleep: generous enough to outlast any in-process critical
+// section, small enough that a cross-process wait parks quickly.
+const spinYieldBudget = 256
+
 // spinner implements the wait policy used by every lock loop: a few busy
 // iterations, then cooperative yields. On the single-core machines this
 // reproduction targets, yielding immediately is essential — the lock
-// holder cannot run until the waiter gives up the processor.
+// holder cannot run until the waiter gives up the processor. Past the
+// yield budget, waiters sleep if holders may be remote (see
+// remoteHolders); the sleep duration is nominal — what matters is
+// descheduling the waiter so the OS runs the holder's process.
 type spinner struct{ n int }
 
 func (s *spinner) spin() {
 	s.n++
 	if s.n < 4 {
+		return
+	}
+	if s.n >= spinYieldBudget && remoteHolders.Load() {
+		time.Sleep(50 * time.Microsecond)
 		return
 	}
 	runtime.Gosched()

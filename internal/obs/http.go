@@ -99,6 +99,27 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	}{{"0.5", 0.5}, {"0.99", 0.99}} {
 		fmt.Fprintf(w, "plor_wal_flush_batch_txns{quantile=%q} %d\n", q.label, batchSz.Quantile(q.v))
 	}
+	fmt.Fprintf(w, "# HELP plor_rpc_batches_total Multi-op RPC request frames served.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_batches_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_batches_total %d\n", l.RPCBatches.Load())
+	fmt.Fprintf(w, "# HELP plor_rpc_batched_ops_total Sub-operations carried by multi-op RPC frames.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_batched_ops_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_batched_ops_total %d\n", l.RPCBatchedOps.Load())
+	fmt.Fprintf(w, "# HELP plor_rpc_bytes_in_total Wire bytes received by the RPC transports.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_bytes_in_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_bytes_in_total %d\n", l.RPCBytesIn.Load())
+	fmt.Fprintf(w, "# HELP plor_rpc_bytes_out_total Wire bytes sent by the RPC transports.\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_bytes_out_total counter\n")
+	fmt.Fprintf(w, "plor_rpc_bytes_out_total %d\n", l.RPCBytesOut.Load())
+	rpcBatch := l.RPCBatchSnapshot()
+	fmt.Fprintf(w, "# HELP plor_rpc_batch_size Sub-operations per multi-op RPC frame (quantiles).\n")
+	fmt.Fprintf(w, "# TYPE plor_rpc_batch_size gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}} {
+		fmt.Fprintf(w, "plor_rpc_batch_size{quantile=%q} %d\n", q.label, rpcBatch.Quantile(q.v))
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

@@ -31,12 +31,21 @@ type Live struct {
 	WALFlushedTxns  atomic.Uint64
 	WALFlushedBytes atomic.Uint64
 
+	// RPCBatches counts multi-op request frames served; RPCBatchedOps is
+	// the sub-operations they carried. RPCBytesIn/RPCBytesOut count wire
+	// bytes (frames incl. length prefixes) crossing the rpc transports.
+	RPCBatches    atomic.Uint64
+	RPCBatchedOps atomic.Uint64
+	RPCBytesIn    atomic.Uint64
+	RPCBytesOut   atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu       sync.Mutex
 	lat      *stats.Histogram
 	flushLat *stats.Histogram // per-round flush latency (ns)
 	batchSz  *stats.Histogram // txns coalesced per flush round
+	rpcBatch *stats.Histogram // sub-ops per multi-op rpc frame
 	start    time.Time
 }
 
@@ -44,6 +53,7 @@ var live = &Live{
 	lat:      stats.NewHistogram(),
 	flushLat: stats.NewHistogram(),
 	batchSz:  stats.NewHistogram(),
+	rpcBatch: stats.NewHistogram(),
 	start:    time.Now(),
 }
 
@@ -77,6 +87,24 @@ func (l *Live) WALFlush(txns, bytes int, d time.Duration) {
 	l.flushLat.Record(d.Nanoseconds())
 	l.batchSz.Record(int64(txns))
 	l.mu.Unlock()
+}
+
+// RPCBatch records one multi-op request frame carrying ops sub-operations.
+func (l *Live) RPCBatch(ops int) {
+	l.RPCBatches.Add(1)
+	l.RPCBatchedOps.Add(uint64(ops))
+	l.mu.Lock()
+	l.rpcBatch.Record(int64(ops))
+	l.mu.Unlock()
+}
+
+// RPCBatchSnapshot returns a copy of the ops-per-batch histogram.
+func (l *Live) RPCBatchSnapshot() *stats.Histogram {
+	h := stats.NewHistogram()
+	l.mu.Lock()
+	h.Merge(l.rpcBatch)
+	l.mu.Unlock()
+	return h
 }
 
 // WALFlushSnapshot returns copies of the flush-latency and batch-size
@@ -125,6 +153,10 @@ func (l *Live) Reset() {
 	l.WALFlushBatches.Store(0)
 	l.WALFlushedTxns.Store(0)
 	l.WALFlushedBytes.Store(0)
+	l.RPCBatches.Store(0)
+	l.RPCBatchedOps.Store(0)
+	l.RPCBytesIn.Store(0)
+	l.RPCBytesOut.Store(0)
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}
@@ -132,6 +164,7 @@ func (l *Live) Reset() {
 	l.lat.Reset()
 	l.flushLat.Reset()
 	l.batchSz.Reset()
+	l.rpcBatch.Reset()
 	l.start = time.Now()
 	l.mu.Unlock()
 }

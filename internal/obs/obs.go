@@ -47,6 +47,9 @@ const (
 	// EvWALFlush is one group-commit flush round; Arg is the number of
 	// transactions coalesced into the round's batch.
 	EvWALFlush
+	// EvRPCBatch is one client-side multi-op RPC frame; Arg is the number
+	// of sub-operations it carried and Dur spans the round trip.
+	EvRPCBatch
 
 	numEventKinds
 )
@@ -54,7 +57,7 @@ const (
 var kindNames = [numEventKinds]string{
 	"none", "begin", "retry", "commit", "abort", "lock-wait-rw",
 	"lock-wait-ww", "upgrade", "validate", "wal-append", "rpc", "backoff",
-	"wal-flush",
+	"wal-flush", "rpc-batch",
 }
 
 // String returns the kind's display name.

@@ -1,0 +1,709 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// --- framer robustness ---
+
+func framerOver(data []byte) *framer {
+	return &framer{r: bytes.NewReader(data), w: io.Discard,
+		rbuf: make([]byte, 0, 64), wbuf: make([]byte, 0, 64)}
+}
+
+func TestFramerTornFrames(t *testing.T) {
+	full := appendReqFrame(nil, &ReqFrame{Reqs: []Request{{Op: OpUpdate, Table: 1, Key: 7, Val: []byte("abcdef")}}})
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"mid-header", full[:2]},
+		{"header-only", full[:4]},
+		{"mid-payload", full[:len(full)-3]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rf ReqFrame
+			err := framerOver(tc.data).readReqFrame(&rf)
+			if err == nil {
+				t.Fatal("torn frame should error")
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("err = %v, want EOF-class", err)
+			}
+		})
+	}
+}
+
+func TestFramerRejectsOversizedFrame(t *testing.T) {
+	for _, n := range []uint32{MaxFrameBytes + 1, 0xFFFFFFFF} {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], n)
+		var rf ReqFrame
+		err := framerOver(hdr[:]).readReqFrame(&rf)
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("length %d: err = %v, want limit error", n, err)
+		}
+	}
+}
+
+func TestFramerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fr := &framer{r: &buf, w: &buf, rbuf: make([]byte, 0, 64), wbuf: make([]byte, 0, 64)}
+
+	in := ReqFrame{Batch: true, Reqs: []Request{
+		{Op: OpRead, Table: 2, Key: 11},
+		{Op: OpUpdate, Table: 3, Key: 12, Val: []byte("payload")},
+		{Op: OpDelete, Table: 4, Key: 13},
+	}}
+	if err := fr.writeReqFrame(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out ReqFrame
+	if err := fr.readReqFrame(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Batch || len(out.Reqs) != 3 || out.Reqs[1].Op != OpUpdate ||
+		string(out.Reqs[1].Val) != "payload" || out.Reqs[2].Key != 13 {
+		t.Fatalf("decoded %+v", out)
+	}
+
+	resp := RespFrame{Batch: true, Resps: []Response{
+		{Status: StatusOK, Val: []byte("v")},
+		{Status: StatusNotFound},
+		{Status: StatusSkipped, Cause: 3},
+	}}
+	if err := fr.writeRespFrame(&resp); err != nil {
+		t.Fatal(err)
+	}
+	var rout RespFrame
+	if err := fr.readRespFrame(&rout); err != nil {
+		t.Fatal(err)
+	}
+	if !rout.Batch || len(rout.Resps) != 3 || string(rout.Resps[0].Val) != "v" ||
+		rout.Resps[2].Status != StatusSkipped || rout.Resps[2].Cause != 3 {
+		t.Fatalf("decoded %+v", rout)
+	}
+}
+
+func TestDecodeReqFrameRejectsBadBatches(t *testing.T) {
+	enc := func(rf *ReqFrame) []byte { return appendReqFrame(nil, rf)[4:] }
+
+	var rf ReqFrame
+	// A non-batchable op inside a batch frame.
+	bad := enc(&ReqFrame{Batch: true, Reqs: []Request{{Op: OpRead, Key: 1}, {Op: OpBegin}}})
+	if err := decodeReqFrame(bad, &rf); err == nil {
+		t.Fatal("batch with OpBegin should be rejected")
+	}
+	// Count beyond the limit.
+	big := enc(&ReqFrame{Batch: true, Reqs: []Request{{Op: OpRead}}})
+	binary.LittleEndian.PutUint32(big[4:], MaxBatchOps+1)
+	if err := decodeReqFrame(big, &rf); err == nil {
+		t.Fatal("oversized batch count should be rejected")
+	}
+	// Zero count.
+	binary.LittleEndian.PutUint32(big[4:], 0)
+	if err := decodeReqFrame(big, &rf); err == nil {
+		t.Fatal("zero batch count should be rejected")
+	}
+	// Truncated mid-body.
+	good := enc(&ReqFrame{Batch: true, Reqs: []Request{
+		{Op: OpUpdate, Key: 1, Val: []byte("abcdef")},
+		{Op: OpRead, Key: 2},
+	}})
+	if err := decodeReqFrame(good[:len(good)-5], &rf); err == nil {
+		t.Fatal("truncated batch should be rejected")
+	}
+}
+
+// --- batched transactions ---
+
+// countingTransport counts frames so tests can assert round-trip economics.
+type countingTransport struct {
+	inner Transport
+	calls int
+}
+
+func (c *countingTransport) Call(rf *ReqFrame, wf *RespFrame) error {
+	c.calls++
+	return c.inner.Call(rf, wf)
+}
+
+func (c *countingTransport) Close() error { return c.inner.Close() }
+
+// TestBatchedTxn covers the deferred-operation path end to end on every
+// transport: multi-op frames, soft per-op errors on handles, read-my-writes
+// short-circuiting (including deletes), and durability of the batch's
+// effects.
+func TestBatchedTxn(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 4, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		tr0, tables := mk(1)
+		ct := &countingTransport{inner: tr0}
+		defer ct.Close()
+		w := NewClientWorker(ct, tables, 1)
+		w.EnableBatching()
+		tbl := tables[0]
+
+		var bat cc.Batcher
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			bat.Bind(tx)
+			// One frame: two reads + a miss + an update + an insert + a
+			// duplicate insert + a delete.
+			r5 := bat.Read(tbl, 5)
+			r6 := bat.ReadForUpdate(tbl, 6)
+			miss := bat.Read(tbl, 9999)
+			up := bat.Update(tbl, 5, u64(500))
+			ins := bat.Insert(tbl, 2000, u64(1))
+			dup := bat.Insert(tbl, 2000, u64(2))
+			del := bat.Delete(tbl, 7)
+			calls := ct.calls
+			if err := bat.Flush(); err != nil {
+				return err
+			}
+			if got := ct.calls - calls; got != 1 {
+				return fmt.Errorf("flush took %d frames, want 1", got)
+			}
+			if r5.Err != nil || decode(r5.Val) != 5 {
+				return fmt.Errorf("r5 = %v %v", r5.Val, r5.Err)
+			}
+			if r6.Err != nil || decode(r6.Val) != 6 {
+				return fmt.Errorf("r6 = %v %v", r6.Val, r6.Err)
+			}
+			if !errors.Is(miss.Err, cc.ErrNotFound) {
+				return fmt.Errorf("miss = %v", miss.Err)
+			}
+			if up.Err != nil || ins.Err != nil || del.Err != nil {
+				return fmt.Errorf("writes: %v %v %v", up.Err, ins.Err, del.Err)
+			}
+			if !errors.Is(dup.Err, cc.ErrDuplicate) {
+				return fmt.Errorf("dup = %v", dup.Err)
+			}
+
+			// Read-my-writes: all four answered client-side, zero frames.
+			calls = ct.calls
+			ryw := bat.Read(tbl, 5)
+			gone := bat.Read(tbl, 7)
+			fresh := bat.ReadRC(tbl, 2000)
+			if err := bat.Flush(); err != nil {
+				return err
+			}
+			if got := ct.calls - calls; got != 0 {
+				return fmt.Errorf("cached reads took %d frames, want 0", got)
+			}
+			if ryw.Err != nil || decode(ryw.Val) != 500 {
+				return fmt.Errorf("ryw = %v %v", ryw.Val, ryw.Err)
+			}
+			if !errors.Is(gone.Err, cc.ErrNotFound) {
+				return fmt.Errorf("deleted key read = %v", gone.Err)
+			}
+			if fresh.Err != nil || decode(fresh.Val) != 1 {
+				return fmt.Errorf("inserted key read = %v %v", fresh.Val, fresh.Err)
+			}
+
+			// Synchronous read also hits the cache.
+			calls = ct.calls
+			v, err := tx.Read(tbl, 5)
+			if err != nil || decode(v) != 500 {
+				return fmt.Errorf("sync ryw = %v %v", v, err)
+			}
+			if got := ct.calls - calls; got != 0 {
+				return fmt.Errorf("sync cached read took %d frames, want 0", got)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Verify the batch's effects committed.
+		err = runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 5)
+			if err != nil || decode(v) != 500 {
+				return fmt.Errorf("update lost: %v %v", v, err)
+			}
+			if _, err := tx.Read(tbl, 7); !errors.Is(err, cc.ErrNotFound) {
+				return fmt.Errorf("delete lost: %v", err)
+			}
+			v, err = tx.Read(tbl, 2000)
+			if err != nil || decode(v) != 1 {
+				return fmt.Errorf("insert lost: %v %v", v, err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBatchedDeferThenSyncOrder checks program order: a synchronous
+// operation flushes staged deferred operations first.
+func TestBatchedDeferThenSyncOrder(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 2, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		tr, tables := mk(1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, 1)
+		w.EnableBatching()
+		tbl := tables[0]
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			up := w.DeferUpdate(tbl, 40, u64(4000))
+			// The sync read of another key must flush the staged update.
+			if _, err := tx.Read(tbl, 41); err != nil {
+				return err
+			}
+			if up.Err != nil {
+				return fmt.Errorf("staged update unresolved after sync op: %v", up.Err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 40)
+			if err != nil || decode(v) != 4000 {
+				return fmt.Errorf("deferred update lost: %v %v", v, err)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBatchAbortSkipsRest drives the wire protocol directly: once a
+// sub-operation ends the transaction, the rest of the frame is answered
+// StatusSkipped and the session accepts a fresh Begin afterwards.
+func TestBatchAbortSkipsRest(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 2)
+	tr := NewChanTransport(e, db, 1, 0)
+	defer tr.Close()
+
+	var wf RespFrame
+	begin := ReqFrame{Reqs: []Request{{Op: OpBegin, First: true}}}
+	if err := tr.Call(&begin, &wf); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Resps[0].Status != StatusOK {
+		t.Fatalf("begin status = %d", wf.Resps[0].Status)
+	}
+	// OpScanRC is not batchable; the channel transport bypasses the wire
+	// codec, so the server's own guard must answer StatusError and skip the
+	// rest of the frame.
+	batch := ReqFrame{Batch: true, Reqs: []Request{
+		{Op: OpRead, Key: 1},
+		{Op: OpScanRC, Key: 0, Key2: 10},
+		{Op: OpRead, Key: 2},
+	}}
+	if err := tr.Call(&batch, &wf); err != nil {
+		t.Fatal(err)
+	}
+	if len(wf.Resps) != 3 {
+		t.Fatalf("arity = %d", len(wf.Resps))
+	}
+	if wf.Resps[0].Status != StatusOK || wf.Resps[1].Status != StatusError ||
+		wf.Resps[2].Status != StatusSkipped {
+		t.Fatalf("statuses = %d %d %d", wf.Resps[0].Status, wf.Resps[1].Status, wf.Resps[2].Status)
+	}
+	// The transaction ended server-side; a new Begin must work.
+	if err := tr.Call(&begin, &wf); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Resps[0].Status != StatusOK {
+		t.Fatalf("re-begin status = %d", wf.Resps[0].Status)
+	}
+	commit := ReqFrame{Reqs: []Request{{Op: OpCommit}}}
+	if err := tr.Call(&commit, &wf); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Resps[0].Status != StatusOK {
+		t.Fatalf("commit status = %d", wf.Resps[0].Status)
+	}
+}
+
+// TestBatchedConcurrentCounter re-runs the conflict/retry test with every
+// client batching: the deferred read-for-update flushes before its value is
+// used, and aborted attempts must recycle cleanly.
+func TestBatchedConcurrentCounter(t *testing.T) {
+	e := core.New(core.Options{})
+	eachTransport(t, e, 6, func(t *testing.T, mk func(uint16) (Transport, []*cc.Table)) {
+		const clients, per = 4, 25
+		var wg sync.WaitGroup
+		for c := uint16(1); c <= clients; c++ {
+			tr, tables := mk(c)
+			wg.Add(1)
+			go func(tr Transport, tables []*cc.Table, wid uint16) {
+				defer wg.Done()
+				defer tr.Close()
+				w := NewClientWorker(tr, tables, wid)
+				w.EnableBatching()
+				tbl := tables[0]
+				var bat cc.Batcher
+				for i := 0; i < per; i++ {
+					err := runClientTxn(w, func(tx cc.Tx) error {
+						bat.Bind(tx)
+						rd := bat.ReadForUpdate(tbl, 0)
+						if err := bat.Flush(); err != nil {
+							return err
+						}
+						if rd.Err != nil {
+							return rd.Err
+						}
+						up := bat.Update(tbl, 0, u64(decode(rd.Val)+1))
+						if err := bat.Flush(); err != nil {
+							return err
+						}
+						return up.Err
+					}, cc.AttemptOpts{ResourceHint: 1})
+					if err != nil {
+						t.Errorf("client %d: %v", wid, err)
+						return
+					}
+				}
+			}(tr, tables, c)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		tr, tables := mk(clients + 1)
+		defer tr.Close()
+		w := NewClientWorker(tr, tables, clients+1)
+		err := runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tables[0], 0)
+			if err != nil {
+				return err
+			}
+			if decode(v) != clients*per {
+				return fmt.Errorf("counter = %d, want %d", decode(v), clients*per)
+			}
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestChanTransportBatchRTT verifies the batching economics the simulated
+// network charges: a multi-op frame pays one round trip, not one per op.
+func TestChanTransportBatchRTT(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 2)
+	const rtt = 200 * time.Microsecond
+	ct := &countingTransport{inner: NewChanTransport(e, db, 1, rtt)}
+	defer ct.Close()
+	w := NewClientWorker(ct, db.Tables(), 1)
+	w.EnableBatching()
+	tbl := db.Tables()[0]
+	var bat cc.Batcher
+	if err := runClientTxn(w, func(tx cc.Tx) error {
+		bat.Bind(tx)
+		for k := uint64(0); k < 16; k++ {
+			bat.Read(tbl, k)
+		}
+		return bat.Flush()
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Each frame is charged one RTT; the whole transaction must cost
+	// Begin + one batch frame + Commit = 3 charges, not 18.
+	if ct.calls != 3 {
+		t.Fatalf("16 batched reads took %d RTT charges, want 3", ct.calls)
+	}
+}
+
+// --- server restart recovery ---
+
+// TestTCPRestartRecovery: a plain TCP client survives a server restart —
+// the next transaction's Begin redials under the retry policy.
+func TestTCPRestartRecovery(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 4)
+	srv := NewServer(e, db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	w := NewClientWorker(tr, db.Tables(), 1)
+	tbl := db.Tables()[0]
+	inc := func(tx cc.Tx) error {
+		v, err := tx.ReadForUpdate(tbl, 3)
+		if err != nil {
+			return err
+		}
+		return tx.Update(tbl, 3, u64(decode(v)+1))
+	}
+	if err := runClientTxn(w, inc, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: sever every connection, rebind the same address.
+	srv.Close()
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer srv.Close()
+	if err := runClientTxn(w, inc, cc.AttemptOpts{}); err != nil {
+		t.Fatalf("post-restart txn: %v", err)
+	}
+	if err := runClientTxn(w, func(tx cc.Tx) error {
+		v, err := tx.Read(tbl, 3)
+		if err != nil {
+			return err
+		}
+		if decode(v) != 5 {
+			return fmt.Errorf("counter = %d, want 5", decode(v))
+		}
+		return nil
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxStressRestart: many sessions hammer batched transactions over one
+// shared connection while the server restarts mid-stream. Sessions must
+// recover through the shared redial and no committed increment may be lost.
+// Run under -race this also exercises the coalescing writer and demux
+// reader concurrency.
+func TestMuxStressRestart(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 12)
+	srv := NewServer(e, db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rp := RetryPolicy{Attempts: 20, Base: time.Millisecond, Max: 20 * time.Millisecond}
+	mc, err := DialMuxRetry(addr, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	const sessions, per = 8, 25
+	deadline := time.Now().Add(30 * time.Second)
+	var wg sync.WaitGroup
+	for sidx := 0; sidx < sessions; sidx++ {
+		wg.Add(1)
+		go func(sidx int) {
+			defer wg.Done()
+			tr := mc.NewSession()
+			defer tr.Close()
+			w := NewClientWorker(tr, db.Tables(), uint16(sidx+1))
+			w.EnableBatching()
+			tbl := db.Tables()[0]
+			key := uint64(10 + sidx) // distinct per session: no conflicts, only restart noise
+			var bat cc.Batcher
+			confirmed := 0
+			for confirmed < per {
+				if time.Now().After(deadline) {
+					t.Errorf("session %d: deadline with %d/%d commits", sidx, confirmed, per)
+					return
+				}
+				first := true
+				var err error
+				for {
+					err = w.Attempt(func(tx cc.Tx) error {
+						bat.Bind(tx)
+						rd := bat.ReadForUpdate(tbl, key)
+						if err := bat.Flush(); err != nil {
+							return err
+						}
+						if rd.Err != nil {
+							return rd.Err
+						}
+						up := bat.Update(tbl, key, u64(decode(rd.Val)+1))
+						if err := bat.Flush(); err != nil {
+							return err
+						}
+						return up.Err
+					}, first, cc.AttemptOpts{})
+					if err == nil || !cc.IsAborted(err) {
+						break
+					}
+					first = false
+				}
+				if err == nil {
+					confirmed++
+					continue
+				}
+				// Transport error around the restart: the whole transaction
+				// re-runs (it either rolled back or, if the commit applied
+				// and only the ack was lost, the retry adds a fresh
+				// increment on top — both keep the count ≥ confirmed).
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(sidx)
+	}
+
+	// Restart the server while the sessions are mid-stream.
+	time.Sleep(60 * time.Millisecond)
+	srv.Close()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	w := NewClientWorker(tr, db.Tables(), sessions+1)
+	err = runClientTxn(w, func(tx cc.Tx) error {
+		for sidx := 0; sidx < sessions; sidx++ {
+			key := uint64(10 + sidx)
+			v, err := tx.Read(db.Tables()[0], key)
+			if err != nil {
+				return err
+			}
+			// Base value of key k is k; each confirmed commit added 1.
+			// Ack-lost commits may add more, never fewer.
+			if got := decode(v) - key; got < per {
+				return fmt.Errorf("session %d: counter +%d, want ≥ %d (lost update)", sidx, got, per)
+			}
+		}
+		return nil
+	}, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxSessionRejectedWithoutSlots: when the worker pool is exhausted a
+// new mux session is rejected with a close frame, and a freed slot makes a
+// later session admissible.
+func TestMuxSessionRejectedWithoutSlots(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 1) // exactly one worker slot
+	srv := NewServer(e, db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	s1 := mc.NewSession()
+	w1 := NewClientWorker(s1, db.Tables(), 1)
+	if err := runClientTxn(w1, func(tx cc.Tx) error {
+		_, err := tx.Read(db.Tables()[0], 1)
+		return err
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The slot is held for the session's lifetime: a second session fails.
+	s2 := mc.NewSession()
+	var wf RespFrame
+	begin := ReqFrame{Reqs: []Request{{Op: OpBegin, First: true}}}
+	if err := s2.Call(&begin, &wf); !errors.Is(err, errSessionClosed) {
+		t.Fatalf("second session err = %v, want session-closed", err)
+	}
+
+	// Closing the first session frees its slot (asynchronously).
+	s1.Close()
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		s3 := mc.NewSession()
+		w3 := NewClientWorker(s3, db.Tables(), 2)
+		if err := runClientTxn(w3, func(tx cc.Tx) error {
+			_, err := tx.Read(db.Tables()[0], 2)
+			return err
+		}, cc.AttemptOpts{}); err == nil {
+			ok = true
+		}
+		s3.Close()
+		if !ok {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("slot never freed after session close")
+	}
+}
+
+// --- allocation discipline ---
+
+// echoTransport resolves every frame successfully in-process, isolating the
+// client-side batched call path for allocation measurement.
+type echoTransport struct {
+	val []byte
+}
+
+func (e *echoTransport) Call(rf *ReqFrame, wf *RespFrame) error {
+	wf.Batch = rf.Batch
+	wf.Resps = sizeResps(wf.Resps, len(rf.Reqs))
+	for i := range rf.Reqs {
+		r := &wf.Resps[i]
+		*r = Response{Status: StatusOK}
+		switch rf.Reqs[i].Op {
+		case OpRead, OpReadForUpdate, OpReadRC:
+			r.Val = e.val
+		}
+	}
+	return nil
+}
+
+func (e *echoTransport) Close() error { return nil }
+
+// TestBatchedCallPathZeroAlloc pins the acceptance criterion: after warmup,
+// a batched transaction allocates nothing on the client call path.
+func TestBatchedCallPathZeroAlloc(t *testing.T) {
+	tbl := &cc.Table{ID: 0}
+	w := NewClientWorker(&echoTransport{val: u64(42)}, []*cc.Table{tbl}, 1)
+	w.EnableBatching()
+	var bat cc.Batcher
+	val := u64(7)
+	attempt := func() {
+		err := w.Attempt(func(tx cc.Tx) error {
+			bat.Bind(tx)
+			for k := uint64(0); k < 8; k++ {
+				bat.Read(tbl, k)
+			}
+			bat.Update(tbl, 3, val)
+			bat.Delete(tbl, 4)
+			return bat.Flush()
+		}, true, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ { // warm pools, arena, and map buckets
+		attempt()
+	}
+	if allocs := testing.AllocsPerRun(200, attempt); allocs != 0 {
+		t.Fatalf("batched call path allocates %.1f per txn, want 0", allocs)
+	}
+}

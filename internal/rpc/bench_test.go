@@ -1,0 +1,151 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// benchTxn is the measured transaction shape: 14 point reads + 2 updates,
+// roughly a YCSB big transaction. ops = 16 data operations; per-op
+// interactive execution costs 18 round trips (Begin/Commit included),
+// batched execution costs 3.
+const benchTxnOps = 16
+
+// benchProc builds the transaction with session-private write keys: the
+// benches measure the transport stack, so cross-session lock waits (whose
+// length is set by the round-trip time, not the protocol) must stay out of
+// the measurement.
+func benchProc(bat *cc.Batcher, tbl *cc.Table, session int, val []byte) cc.Proc {
+	wk := uint64(20 + 2*session)
+	return func(tx cc.Tx) error {
+		bat.Bind(tx)
+		for k := uint64(0); k < benchTxnOps-2; k++ {
+			bat.Read(tbl, k)
+		}
+		bat.Update(tbl, wk, val)
+		bat.Update(tbl, wk+1, val)
+		return bat.Flush()
+	}
+}
+
+// BenchmarkRPCInteractive measures the simulated-network interactive mode
+// (the Fig. 8 setup) per-op vs batched at representative RTTs.
+func BenchmarkRPCInteractive(b *testing.B) {
+	for _, rtt := range []time.Duration{2 * time.Microsecond, 10 * time.Microsecond} {
+		for _, batch := range []bool{false, true} {
+			mode := "perop"
+			if batch {
+				mode = "batch"
+			}
+			b.Run(fmt.Sprintf("rtt=%s/%s", rtt, mode), func(b *testing.B) {
+				e := core.New(core.Options{})
+				db, tbl := newServerDB(e, 2)
+				tr := NewChanTransport(e, db, 1, rtt)
+				defer tr.Close()
+				w := NewClientWorker(tr, db.Tables(), 1)
+				if batch {
+					w.EnableBatching()
+				}
+				var bat cc.Batcher
+				proc := benchProc(&bat, tbl, 0, u64(9))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.Attempt(proc, true, cc.AttemptOpts{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(benchTxnOps*b.N)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkRPCTCP measures the real TCP stack: per-op vs batched frames,
+// and one connection per session vs all sessions multiplexed onto one conn
+// with the coalescing writer.
+func BenchmarkRPCTCP(b *testing.B) {
+	const sessions = 4
+	for _, mode := range []string{"perop", "batch", "batch-mux"} {
+		b.Run(fmt.Sprintf("%s/sessions=%d", mode, sessions), func(b *testing.B) {
+			e := core.New(core.Options{})
+			db, tbl := newServerDB(e, sessions+1)
+			srv := NewServer(e, db)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			var mc *MuxConn
+			if mode == "batch-mux" {
+				if mc, err = DialMux(addr); err != nil {
+					b.Fatal(err)
+				}
+				defer mc.Close()
+			}
+			workers := make([]*ClientWorker, sessions)
+			for s := range workers {
+				var tr Transport
+				if mc != nil {
+					tr = mc.NewSession()
+				} else {
+					if tr, err = DialTCP(addr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				defer tr.Close()
+				workers[s] = NewClientWorker(tr, db.Tables(), uint16(s+1))
+				if mode != "perop" {
+					workers[s].EnableBatching()
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/sessions + 1
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int, w *ClientWorker) {
+					defer wg.Done()
+					var bat cc.Batcher
+					proc := benchProc(&bat, tbl, s, u64(9))
+					for i := 0; i < per; i++ {
+						if err := w.Attempt(proc, true, cc.AttemptOpts{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s, workers[s])
+			}
+			wg.Wait()
+			b.ReportMetric(float64(benchTxnOps*per*sessions)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkRPCBatchedCallPath isolates the client-side batched call path
+// (staging, framing bookkeeping, handle resolution, read-my-writes cache)
+// over an in-process echo transport. The acceptance criterion is 0
+// allocs/op in steady state.
+func BenchmarkRPCBatchedCallPath(b *testing.B) {
+	tbl := &cc.Table{ID: 0}
+	w := NewClientWorker(&echoTransport{val: u64(42)}, []*cc.Table{tbl}, 1)
+	w.EnableBatching()
+	var bat cc.Batcher
+	proc := benchProc(&bat, tbl, 0, u64(7))
+	for i := 0; i < 100; i++ {
+		if err := w.Attempt(proc, true, cc.AttemptOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Attempt(proc, true, cc.AttemptOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

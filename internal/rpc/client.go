@@ -10,13 +10,14 @@ import (
 	"repro/internal/cc"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
-// Transport carries one session's request/response stream. Call must not
-// be invoked concurrently; responses alias transport-owned memory valid
-// until the next Call.
+// Transport carries one session's frame stream. Call must not be invoked
+// concurrently; responses alias transport-owned memory valid until the
+// next Call.
 type Transport interface {
-	Call(req *Request, resp *Response) error
+	Call(rf *ReqFrame, wf *RespFrame) error
 	Close() error
 }
 
@@ -42,18 +43,39 @@ func remoteAbort(cause uint8) error {
 	return remoteAborts[stats.CauseOther]
 }
 
+// wkey identifies a row for the client-side read-my-writes cache.
+type wkey struct {
+	tab uint32
+	key uint64
+}
+
 // ClientWorker drives transactions over a transport. It implements
-// cc.Worker, and the cc.Tx it passes to procedures issues one RPC per
-// record operation — the interactive processing model of §5.
+// cc.Worker, and the cc.Tx it passes to procedures issues RPCs for record
+// operations — the interactive processing model of §5. It also implements
+// cc.BatchTx: operations staged with Defer* cross the network as one
+// multi-op frame on the next flush (one round trip for the whole batch).
 type ClientWorker struct {
 	tr     Transport
 	tables []*cc.Table
 	wid    uint16
 	arena  *cc.Arena
-	req    Request
-	resp   Response
-	dead   bool // current transaction already ended server-side
-	bd     *stats.Breakdown
+	reqF   ReqFrame
+	respF  RespFrame
+
+	pend  []Request      // staged deferred operations
+	defs  []*cc.Deferred // handle for pend[i]
+	dpool []*cc.Deferred // handle freelist, recycled per attempt
+	dused int
+
+	// rmw caches this transaction's acknowledged writes so a later read of
+	// the same key is answered client-side with zero round trips (nil value
+	// = deleted). Only maintained when batching is enabled.
+	rmw map[wkey][]byte
+
+	batching bool
+	dead     bool // current transaction already ended server-side
+	deadErr  error
+	bd       *stats.Breakdown
 }
 
 // NewClientWorker builds a worker over an established transport. tables
@@ -71,15 +93,59 @@ func (c *ClientWorker) EnableBreakdown() {
 	}
 }
 
-// send performs one RPC, emitting an EvRPC span when tracing is on.
-func (c *ClientWorker) send() error {
+// EnableBatching makes the worker advertise deferred-operation pipelining
+// (cc.Batcher then routes through Defer*/FlushOps) and turns on the
+// read-my-writes cache. Defer*/FlushOps work without it — the flag only
+// controls what cc.Batcher chooses and the cache.
+func (c *ClientWorker) EnableBatching() {
+	c.batching = true
+	if c.rmw == nil {
+		c.rmw = make(map[wkey][]byte, 64)
+	}
+}
+
+// BatchingEnabled implements cc.BatchTx.
+func (c *ClientWorker) BatchingEnabled() bool { return c.batching }
+
+// sendFrame performs one transport call, emitting a trace span when on.
+func (c *ClientWorker) sendFrame() error {
 	if !obs.TraceEnabled() {
-		return c.tr.Call(&c.req, &c.resp)
+		return c.tr.Call(&c.reqF, &c.respF)
 	}
 	t0 := time.Now()
-	err := c.tr.Call(&c.req, &c.resp)
-	obs.Emit(obs.Event{Kind: obs.EvRPC, WID: c.wid, Arg: uint64(c.req.Op), Dur: time.Since(t0).Nanoseconds()})
+	err := c.tr.Call(&c.reqF, &c.respF)
+	if c.reqF.Batch {
+		obs.Emit(obs.Event{Kind: obs.EvRPCBatch, WID: c.wid, Arg: uint64(len(c.reqF.Reqs)), Dur: time.Since(t0).Nanoseconds()})
+	} else {
+		obs.Emit(obs.Event{Kind: obs.EvRPC, WID: c.wid, Arg: uint64(c.reqF.Reqs[0].Op), Dur: time.Since(t0).Nanoseconds()})
+	}
 	return err
+}
+
+// stage1 points the request frame at a single operation.
+func (c *ClientWorker) stage1(req Request) {
+	c.reqF.Batch = false
+	c.reqF.Reqs = sizeReqs(c.reqF.Reqs, 1)
+	c.reqF.Reqs[0] = req
+}
+
+// resp0 returns the single response of the last non-batch call.
+func (c *ClientWorker) resp0() *Response { return &c.respF.Resps[0] }
+
+// markDead records that the current transaction ended (server-side abort
+// or transport failure); later deferred operations resolve with the cause.
+func (c *ClientWorker) markDead(err error) {
+	c.dead = true
+	if c.deadErr == nil {
+		c.deadErr = err
+	}
+}
+
+func (c *ClientWorker) deadError() error {
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return errRemoteError
 }
 
 // Attempt implements cc.Worker.
@@ -89,14 +155,27 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 	}
 	c.arena.Reset()
 	c.dead = false
-	c.req = Request{Op: OpBegin, First: first, RO: opts.ReadOnly, Hint: uint32(opts.ResourceHint)}
-	if err := c.send(); err != nil {
+	c.deadErr = nil
+	c.pend = c.pend[:0]
+	c.defs = c.defs[:0]
+	c.dused = 0
+	if len(c.rmw) > 0 {
+		clear(c.rmw)
+	}
+	c.stage1(Request{Op: OpBegin, First: first, RO: opts.ReadOnly, Hint: uint32(opts.ResourceHint)})
+	if err := c.sendFrame(); err != nil {
 		return err
 	}
-	if c.resp.Status != StatusOK {
+	if c.resp0().Status != StatusOK {
 		return errRemoteError
 	}
-	if err := proc(c); err != nil {
+	err := proc(c)
+	if err == nil {
+		// Operations deferred after the procedure's last flush still have
+		// to execute (and can still abort) before the commit point.
+		err = c.flushPending()
+	}
+	if err != nil {
 		if c.dead {
 			// The failing operation's response already ended the
 			// transaction server-side; nothing to send.
@@ -105,9 +184,12 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 			}
 			return err
 		}
-		// Client-side logic error: request a rollback.
-		c.req = Request{Op: OpAbort}
-		if terr := c.send(); terr != nil {
+		// Client-side logic error: request a rollback. Staged operations
+		// never reached the server; drop them.
+		c.pend = c.pend[:0]
+		c.defs = c.defs[:0]
+		c.stage1(Request{Op: OpAbort})
+		if terr := c.sendFrame(); terr != nil {
 			return terr
 		}
 		if c.bd != nil {
@@ -115,11 +197,11 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 		}
 		return err
 	}
-	c.req = Request{Op: OpCommit}
-	if err := c.send(); err != nil {
+	c.stage1(Request{Op: OpCommit})
+	if err := c.sendFrame(); err != nil {
 		return err
 	}
-	switch c.resp.Status {
+	switch r := c.resp0(); r.Status {
 	case StatusOK:
 		if c.bd != nil {
 			c.bd.Commits++
@@ -127,9 +209,9 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 		return nil
 	case StatusAborted:
 		if c.bd != nil {
-			c.bd.CountAbort(stats.AbortCause(c.resp.Cause))
+			c.bd.CountAbort(stats.AbortCause(r.Cause))
 		}
-		return remoteAbort(c.resp.Cause)
+		return remoteAbort(r.Cause)
 	default:
 		return errRemoteError
 	}
@@ -138,72 +220,123 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 // Breakdown implements cc.Worker.
 func (c *ClientWorker) Breakdown() *stats.Breakdown { return c.bd }
 
-// call performs one data operation RPC and normalizes the status.
-func (c *ClientWorker) call() ([]byte, error) {
-	if err := c.send(); err != nil {
+// call flushes any staged operations, performs one data-operation RPC, and
+// normalizes the status.
+func (c *ClientWorker) call(req Request) ([]byte, error) {
+	if err := c.flushPending(); err != nil {
 		return nil, err
 	}
-	switch c.resp.Status {
+	c.stage1(req)
+	if err := c.sendFrame(); err != nil {
+		c.markDead(err)
+		return nil, err
+	}
+	switch r := c.resp0(); r.Status {
 	case StatusOK:
-		return c.resp.Val, nil
+		return r.Val, nil
 	case StatusNotFound:
 		return nil, cc.ErrNotFound
 	case StatusDuplicate:
 		return nil, cc.ErrDuplicate
 	case StatusAborted:
-		c.dead = true
-		return nil, remoteAbort(c.resp.Cause)
+		err := remoteAbort(r.Cause)
+		c.markDead(err)
+		return nil, err
 	default:
-		c.dead = true
+		c.markDead(errRemoteError)
 		return nil, errRemoteError
 	}
 }
 
+// cached answers a read from the read-my-writes cache entry v.
+func cached(v []byte) ([]byte, error) {
+	if v == nil {
+		return nil, cc.ErrNotFound
+	}
+	return v, nil
+}
+
 // Read implements cc.Tx.
 func (c *ClientWorker) Read(t *cc.Table, key uint64) ([]byte, error) {
-	c.req = Request{Op: OpRead, Table: t.ID, Key: key}
-	v, err := c.call()
+	if c.batching && !c.dead {
+		if err := c.flushPending(); err != nil {
+			return nil, err
+		}
+		if v, ok := c.rmw[wkey{t.ID, key}]; ok {
+			return cached(v)
+		}
+	}
+	v, err := c.call(Request{Op: OpRead, Table: t.ID, Key: key})
 	if err != nil {
 		return nil, err
 	}
 	return c.arena.Dup(v), nil
 }
 
-// ReadForUpdate implements cc.Tx.
+// ReadForUpdate implements cc.Tx. A cache hit is safe to short-circuit:
+// the cache holds only acknowledged writes, so the server already holds
+// this row's exclusive lock.
 func (c *ClientWorker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
-	c.req = Request{Op: OpReadForUpdate, Table: t.ID, Key: key}
-	v, err := c.call()
+	if c.batching && !c.dead {
+		if err := c.flushPending(); err != nil {
+			return nil, err
+		}
+		if v, ok := c.rmw[wkey{t.ID, key}]; ok {
+			return cached(v)
+		}
+	}
+	v, err := c.call(Request{Op: OpReadForUpdate, Table: t.ID, Key: key})
 	if err != nil {
 		return nil, err
 	}
 	return c.arena.Dup(v), nil
+}
+
+// cacheWrite records an acknowledged write for read-my-writes.
+func (c *ClientWorker) cacheWrite(tab uint32, key uint64, val []byte) {
+	if c.batching {
+		c.rmw[wkey{tab, key}] = val
+	}
 }
 
 // Update implements cc.Tx.
 func (c *ClientWorker) Update(t *cc.Table, key uint64, val []byte) error {
-	c.req = Request{Op: OpUpdate, Table: t.ID, Key: key, Val: val}
-	_, err := c.call()
+	_, err := c.call(Request{Op: OpUpdate, Table: t.ID, Key: key, Val: val})
+	if err == nil && c.batching {
+		c.cacheWrite(t.ID, key, c.arena.Dup(val))
+	}
 	return err
 }
 
 // Insert implements cc.Tx.
 func (c *ClientWorker) Insert(t *cc.Table, key uint64, val []byte) error {
-	c.req = Request{Op: OpInsert, Table: t.ID, Key: key, Val: val}
-	_, err := c.call()
+	_, err := c.call(Request{Op: OpInsert, Table: t.ID, Key: key, Val: val})
+	if err == nil && c.batching {
+		c.cacheWrite(t.ID, key, c.arena.Dup(val))
+	}
 	return err
 }
 
 // Delete implements cc.Tx.
 func (c *ClientWorker) Delete(t *cc.Table, key uint64) error {
-	c.req = Request{Op: OpDelete, Table: t.ID, Key: key}
-	_, err := c.call()
+	_, err := c.call(Request{Op: OpDelete, Table: t.ID, Key: key})
+	if err == nil {
+		c.cacheWrite(t.ID, key, nil)
+	}
 	return err
 }
 
 // ReadRC implements cc.Tx.
 func (c *ClientWorker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
-	c.req = Request{Op: OpReadRC, Table: t.ID, Key: key}
-	v, err := c.call()
+	if c.batching && !c.dead {
+		if err := c.flushPending(); err != nil {
+			return nil, err
+		}
+		if v, ok := c.rmw[wkey{t.ID, key}]; ok {
+			return cached(v)
+		}
+	}
+	v, err := c.call(Request{Op: OpReadRC, Table: t.ID, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -213,11 +346,10 @@ func (c *ClientWorker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
 // ScanRC implements cc.Tx: the server returns the batch, the callback runs
 // client-side.
 func (c *ClientWorker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bool) error {
-	c.req = Request{Op: OpScanRC, Table: t.ID, Key: from, Key2: to, Limit: MaxScanRows}
-	if _, err := c.call(); err != nil {
+	if _, err := c.call(Request{Op: OpScanRC, Table: t.ID, Key: from, Key2: to, Limit: MaxScanRows}); err != nil {
 		return err
 	}
-	for _, row := range c.resp.Rows {
+	for _, row := range c.resp0().Rows {
 		if !fn(row.Key, row.Val) {
 			return nil
 		}
@@ -228,19 +360,171 @@ func (c *ClientWorker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []by
 // WID implements cc.Tx.
 func (c *ClientWorker) WID() uint16 { return c.wid }
 
+// --- deferred (batched) operations: cc.BatchTx ---
+
+// nextDef leases a handle from the per-attempt freelist.
+func (c *ClientWorker) nextDef() *cc.Deferred {
+	if c.dused == len(c.dpool) {
+		c.dpool = append(c.dpool, &cc.Deferred{})
+	}
+	d := c.dpool[c.dused]
+	c.dused++
+	*d = cc.Deferred{}
+	return d
+}
+
+// deferOp stages req for the next flush; the request's value (if any) is
+// copied into the arena so callers may reuse their buffers immediately.
+func (c *ClientWorker) deferOp(req Request) *cc.Deferred {
+	d := c.nextDef()
+	if c.dead {
+		d.Resolve(nil, c.deadError())
+		return d
+	}
+	if len(c.pend) >= MaxBatchOps {
+		if err := c.flushPending(); err != nil {
+			d.Resolve(nil, err)
+			return d
+		}
+	}
+	if len(req.Val) > 0 {
+		req.Val = c.arena.Dup(req.Val)
+	}
+	c.pend = append(c.pend, req)
+	c.defs = append(c.defs, d)
+	return d
+}
+
+// deferRead stages a read-class op, short-circuiting on a cache hit.
+func (c *ClientWorker) deferRead(op OpCode, t *cc.Table, key uint64) *cc.Deferred {
+	if c.batching && !c.dead {
+		if v, ok := c.rmw[wkey{t.ID, key}]; ok {
+			d := c.nextDef()
+			d.Resolve(cached(v))
+			return d
+		}
+	}
+	return c.deferOp(Request{Op: op, Table: t.ID, Key: key})
+}
+
+// DeferRead implements cc.BatchTx.
+func (c *ClientWorker) DeferRead(t *cc.Table, key uint64) *cc.Deferred {
+	return c.deferRead(OpRead, t, key)
+}
+
+// DeferReadForUpdate implements cc.BatchTx.
+func (c *ClientWorker) DeferReadForUpdate(t *cc.Table, key uint64) *cc.Deferred {
+	return c.deferRead(OpReadForUpdate, t, key)
+}
+
+// DeferReadRC implements cc.BatchTx.
+func (c *ClientWorker) DeferReadRC(t *cc.Table, key uint64) *cc.Deferred {
+	return c.deferRead(OpReadRC, t, key)
+}
+
+// DeferUpdate implements cc.BatchTx.
+func (c *ClientWorker) DeferUpdate(t *cc.Table, key uint64, val []byte) *cc.Deferred {
+	return c.deferOp(Request{Op: OpUpdate, Table: t.ID, Key: key, Val: val})
+}
+
+// DeferInsert implements cc.BatchTx.
+func (c *ClientWorker) DeferInsert(t *cc.Table, key uint64, val []byte) *cc.Deferred {
+	return c.deferOp(Request{Op: OpInsert, Table: t.ID, Key: key, Val: val})
+}
+
+// DeferDelete implements cc.BatchTx.
+func (c *ClientWorker) DeferDelete(t *cc.Table, key uint64) *cc.Deferred {
+	return c.deferOp(Request{Op: OpDelete, Table: t.ID, Key: key})
+}
+
+// FlushOps implements cc.BatchTx.
+func (c *ClientWorker) FlushOps() error { return c.flushPending() }
+
+// flushPending sends every staged operation as one multi-op frame and
+// resolves the handles. It returns an error only for abort-class or
+// transport failures; soft statuses land on the handles.
+func (c *ClientWorker) flushPending() error {
+	n := len(c.pend)
+	if n == 0 {
+		return nil
+	}
+	c.reqF.Batch = true
+	c.reqF.Reqs = c.pend
+	err := c.sendFrame()
+	defs := c.defs
+	if err != nil {
+		c.markDead(err)
+		for _, d := range defs {
+			d.Resolve(nil, err)
+		}
+		c.pend = c.pend[:0]
+		c.defs = c.defs[:0]
+		return err
+	}
+	if len(c.respF.Resps) != n {
+		c.markDead(errRemoteError)
+		for _, d := range defs {
+			d.Resolve(nil, errRemoteError)
+		}
+		c.pend = c.pend[:0]
+		c.defs = c.defs[:0]
+		return errRemoteError
+	}
+	var abortErr error
+	for i, d := range defs {
+		req := &c.reqF.Reqs[i]
+		r := &c.respF.Resps[i]
+		switch r.Status {
+		case StatusOK:
+			switch req.Op {
+			case OpRead, OpReadForUpdate, OpReadRC:
+				d.Resolve(c.arena.Dup(r.Val), nil)
+			case OpDelete:
+				d.Resolve(nil, nil)
+				c.cacheWrite(req.Table, req.Key, nil)
+			default: // OpUpdate, OpInsert: req.Val is already arena-backed
+				d.Resolve(nil, nil)
+				c.cacheWrite(req.Table, req.Key, req.Val)
+			}
+		case StatusNotFound:
+			d.Resolve(nil, cc.ErrNotFound)
+		case StatusDuplicate:
+			d.Resolve(nil, cc.ErrDuplicate)
+		case StatusAborted, StatusSkipped:
+			e := remoteAbort(r.Cause)
+			d.Resolve(nil, e)
+			c.markDead(e)
+			if abortErr == nil {
+				abortErr = e
+			}
+		default:
+			d.Resolve(nil, errRemoteError)
+			c.markDead(errRemoteError)
+			if abortErr == nil {
+				abortErr = errRemoteError
+			}
+		}
+	}
+	c.pend = c.pend[:0]
+	c.defs = c.defs[:0]
+	return abortErr
+}
+
 // --- channel transport (simulated network) ---
 
 // ChanTransport is an in-process transport: the server session runs in its
-// own goroutine; Call injects a busy-wait round-trip latency, modelling the
-// paper's eRPC-over-InfiniBand setup at microsecond fidelity (sleeping
-// would quantize to the scheduler tick).
+// own goroutine; Call injects a round-trip latency via the shared hybrid
+// spin/sleep wait (storage.WaitFor), modelling the paper's
+// eRPC-over-InfiniBand setup at microsecond fidelity. A multi-op frame
+// pays the round trip once — exactly the economics batching buys on a real
+// network.
 type ChanTransport struct {
 	rtt      time.Duration
 	sleepRTT bool
-	reqCh    chan *Request
-	respCh   chan *Response
+	reqCh    chan *ReqFrame
+	respCh   chan *RespFrame
 	done     chan struct{}
-	reqBuf   Request
+	reqBuf   ReqFrame
 }
 
 // NewChanTransport starts a session over engine e bound to worker wid and
@@ -248,24 +532,26 @@ type ChanTransport struct {
 func NewChanTransport(e cc.Engine, db *cc.DB, wid uint16, rtt time.Duration) *ChanTransport {
 	t := &ChanTransport{
 		rtt:    rtt,
-		reqCh:  make(chan *Request),
-		respCh: make(chan *Response),
+		reqCh:  make(chan *ReqFrame),
+		respCh: make(chan *RespFrame),
 		done:   make(chan struct{}),
 	}
 	sess := NewSession(e, db, wid)
 	go func() {
 		defer close(t.done)
 		_ = sess.Serve(
-			func(req *Request) error {
+			func(rf *ReqFrame) error {
 				r, ok := <-t.reqCh
 				if !ok {
 					return errTransportClosed
 				}
-				*req = *r
+				// Shallow copy: the client blocks in Call until the
+				// response, so sharing its Reqs backing is safe.
+				*rf = *r
 				return nil
 			},
-			func(resp *Response) error {
-				t.respCh <- resp
+			func(wf *RespFrame) error {
+				t.respCh <- wf
 				return nil
 			},
 		)
@@ -275,27 +561,28 @@ func NewChanTransport(e cc.Engine, db *cc.DB, wid uint16, rtt time.Duration) *Ch
 
 var errTransportClosed = errors.New("rpc: transport closed")
 
-// UseSleepRTT switches the RTT simulation from busy-wait to time.Sleep.
+// UseSleepRTT forces the RTT simulation to time.Sleep even below the
+// storage.SpinSleepThreshold.
 //
-// Tradeoff: spinning is accurate at microsecond scale (a sleep quantizes
-// to the scheduler tick, ~1ms on many kernels, so a 5µs RTT becomes
-// ~1000µs) but burns a core per in-flight call — with tens of workers on a
-// small machine the spinners starve the server goroutines and the
-// benchmark measures scheduler pressure, not the protocol. Sleeping frees
-// the cores at the price of RTT fidelity; prefer it for coarse RTTs
-// (≥ ~1ms) or when workers outnumber cores. Call before the first Call.
+// The default (storage.WaitFor) already sleeps for RTTs at or above the
+// threshold and spins only below it, where a sleep would quantize to the
+// scheduler tick (~1ms on many kernels, so a 5µs RTT becomes ~1000µs).
+// Forcing sleep trades that fidelity for free cores: prefer it when
+// spinning workers outnumber cores and would starve the server goroutines.
+// Call before the first Call.
 func (t *ChanTransport) UseSleepRTT(v bool) { t.sleepRTT = v }
 
-// Call implements Transport.
-func (t *ChanTransport) Call(req *Request, resp *Response) error {
+// Call implements Transport. One call — whatever its op count — pays one
+// round trip.
+func (t *ChanTransport) Call(rf *ReqFrame, wf *RespFrame) error {
 	if t.rtt > 0 {
 		if t.sleepRTT {
 			time.Sleep(t.rtt)
 		} else {
-			spinFor(t.rtt)
+			storage.WaitFor(t.rtt)
 		}
 	}
-	t.reqBuf = *req
+	t.reqBuf = *rf
 	select {
 	case t.reqCh <- &t.reqBuf:
 	case <-t.done:
@@ -303,7 +590,7 @@ func (t *ChanTransport) Call(req *Request, resp *Response) error {
 	}
 	select {
 	case r := <-t.respCh:
-		*resp = *r
+		*wf = *r
 		return nil
 	case <-t.done:
 		return errTransportClosed
@@ -315,13 +602,6 @@ func (t *ChanTransport) Close() error {
 	close(t.reqCh)
 	<-t.done
 	return nil
-}
-
-// spinFor busy-waits d (see wal.SimDevice for rationale).
-func spinFor(d time.Duration) {
-	start := time.Now()
-	for time.Since(start) < d {
-	}
 }
 
 // --- TCP transport ---
@@ -355,6 +635,16 @@ func DialTCP(addr string) (*TCPTransport, error) {
 // DialTCPRetry connects to addr under an explicit retry policy. Retries are
 // counted in obs.Metrics().DialRetries.
 func DialTCPRetry(addr string, rp RetryPolicy) (*TCPTransport, error) {
+	conn, err := dialRetry(addr, rp)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn, fr: newFramer(conn), addr: addr, retry: rp}, nil
+}
+
+// dialRetry dials addr with backoff on transient errors, tuning the
+// resulting connection (TCP_NODELAY + keepalive).
+func dialRetry(addr string, rp RetryPolicy) (net.Conn, error) {
 	attempts := rp.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -368,7 +658,8 @@ func DialTCPRetry(addr string, rp RetryPolicy) (*TCPTransport, error) {
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err == nil {
-			return &TCPTransport{conn: conn, fr: newFramer(conn), addr: addr, retry: rp}, nil
+			tuneConn(conn)
+			return conn, nil
 		}
 		lastErr = err
 		if !transientNetErr(err) {
@@ -379,13 +670,13 @@ func DialTCPRetry(addr string, rp RetryPolicy) (*TCPTransport, error) {
 }
 
 // Call implements Transport. A transient failure is retried (with a fresh
-// connection) only when the request is an OpBegin: no transaction is in
+// connection) only when the frame is an OpBegin: no transaction is in
 // flight server-side, so re-sending cannot double-apply anything. Failures
 // mid-transaction surface to the caller — the server rolls the transaction
 // back when the connection drops.
-func (t *TCPTransport) Call(req *Request, resp *Response) error {
-	err := t.call1(req, resp)
-	if err == nil || req.Op != OpBegin || !transientNetErr(err) {
+func (t *TCPTransport) Call(rf *ReqFrame, wf *RespFrame) error {
+	err := t.call1(rf, wf)
+	if err == nil || rf.Batch || rf.Reqs[0].Op != OpBegin || !transientNetErr(err) {
 		return err
 	}
 	attempts := t.retry.Attempts
@@ -404,20 +695,21 @@ func (t *TCPTransport) Call(req *Request, resp *Response) error {
 			}
 			continue
 		}
+		tuneConn(conn)
 		t.conn.Close()
 		t.conn, t.fr = conn, newFramer(conn)
-		if err = t.call1(req, resp); err == nil || !transientNetErr(err) {
+		if err = t.call1(rf, wf); err == nil || !transientNetErr(err) {
 			break
 		}
 	}
 	return err
 }
 
-func (t *TCPTransport) call1(req *Request, resp *Response) error {
-	if err := t.fr.writeRequest(req); err != nil {
+func (t *TCPTransport) call1(rf *ReqFrame, wf *RespFrame) error {
+	if err := t.fr.writeReqFrame(rf); err != nil {
 		return err
 	}
-	return t.fr.readResponse(resp)
+	return t.fr.readRespFrame(wf)
 }
 
 // Close implements Transport.

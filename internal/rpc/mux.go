@@ -1,0 +1,621 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// This file implements connection multiplexing: many client sessions share
+// one TCP connection. Frames are tagged [len][sid][seq]; a demux reader
+// goroutine routes responses to sessions, and a shared writer goroutine
+// coalesces every frame pending at wakeup into one vectored write — the
+// Treiber-stack/flusher pattern proven in internal/wal's group commit. A
+// connection announces multiplexing by leading with muxMagic.
+
+// errSessionClosed reports a server-side session close/rejection (worker
+// slots exhausted, or the session's state machine died).
+var errSessionClosed = errors.New("rpc: mux session closed by server")
+
+// --- shared coalescing writer ---
+
+// wnode is one queued outbound frame. Nodes are owned by sessions (one
+// node per session suffices: a session has at most one frame in flight,
+// and its response cannot arrive before the frame was written), so there
+// is no freelist to corrupt. inflight guards against reuse while the
+// flusher still references the buffer — for well-behaved peers it is
+// already clear by the time the owner needs the node again.
+type wnode struct {
+	next     *wnode
+	buf      []byte
+	inflight atomic.Bool
+}
+
+// waitFree spins until the flusher has released the node's buffer.
+func (n *wnode) waitFree() {
+	for i := 0; n.inflight.Load(); i++ {
+		storage.Yield(i)
+	}
+}
+
+// muxWriter coalesces frames from many goroutines into single vectored
+// writes: producers CAS-push onto a Treiber stack and wake the flusher if
+// it parked; the flusher Swap-drains the stack, restores FIFO order, and
+// issues one writev for the whole round.
+type muxWriter struct {
+	conn net.Conn
+	head atomic.Pointer[wnode]
+	idle atomic.Bool   // flusher parked (Dekker flag, see enqueue)
+	wake chan struct{} // cap 1
+	down atomic.Bool   // set (after failErr) on error or close
+	fail error
+	done chan struct{}
+}
+
+func newMuxWriter(conn net.Conn) *muxWriter {
+	w := &muxWriter{conn: conn, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+func (w *muxWriter) errOf() error {
+	if w.fail != nil {
+		return w.fail
+	}
+	return errTransportClosed
+}
+
+// enqueue queues n's buffer for the next flush round. The caller must have
+// called n.waitFree before (re)filling n.buf.
+func (w *muxWriter) enqueue(n *wnode) error {
+	if w.down.Load() {
+		return w.errOf()
+	}
+	n.inflight.Store(true)
+	for {
+		h := w.head.Load()
+		n.next = h
+		if w.head.CompareAndSwap(h, n) {
+			break
+		}
+	}
+	// The flusher may have gone down between the first check and the push;
+	// re-check so no node is stranded on the stack (it would wedge its
+	// owner's waitFree forever).
+	if w.down.Load() {
+		w.drainDown()
+		return w.errOf()
+	}
+	if w.idle.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (w *muxWriter) run() {
+	defer close(w.done)
+	var nodes []*wnode
+	var bufs net.Buffers
+	for {
+		h := w.head.Swap(nil)
+		if h == nil {
+			if w.down.Load() {
+				return
+			}
+			w.idle.Store(true)
+			// Dekker handshake: only park if nothing was pushed after the
+			// idle flag became visible (enqueue checks idle after pushing).
+			if w.head.Load() == nil && !w.down.Load() {
+				<-w.wake
+			}
+			w.idle.Store(false)
+			continue
+		}
+		// The stack pops LIFO; restore arrival order for the write.
+		nodes = nodes[:0]
+		for n := h; n != nil; n = n.next {
+			nodes = append(nodes, n)
+		}
+		bufs = bufs[:0]
+		total := 0
+		for i := len(nodes) - 1; i >= 0; i-- {
+			bufs = append(bufs, nodes[i].buf)
+			total += len(nodes[i].buf)
+		}
+		_, err := bufs.WriteTo(w.conn)
+		for _, n := range nodes {
+			n.inflight.Store(false)
+		}
+		if err != nil {
+			w.fail = err
+			w.down.Store(true)
+			w.conn.Close() // unblock the conn's reader as well
+			w.drainDown()
+			return
+		}
+		obs.Metrics().RPCBytesOut.Add(uint64(total))
+	}
+}
+
+// drainDown releases any nodes still on the stack after the flusher went
+// down. Safe to call concurrently (each caller drains a disjoint set).
+func (w *muxWriter) drainDown() {
+	for n := w.head.Swap(nil); n != nil; n = n.next {
+		n.inflight.Store(false)
+	}
+}
+
+// close flushes pending frames and stops the flusher.
+func (w *muxWriter) close() {
+	w.down.Store(true)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	<-w.done
+	w.drainDown()
+}
+
+// --- mux frame helpers ---
+
+// appendMuxFrame wraps body bytes as [len][sid][seq][body].
+func appendMuxFrame(buf []byte, sid, seq uint32, encode func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, sid)
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	if encode != nil {
+		buf = encode(buf)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// readMuxHeader reads one mux frame header, returning sid, seq, and the
+// body length.
+func readMuxHeader(r io.Reader) (sid, seq uint32, body int, err error) {
+	var hdr [12]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	if n < muxHeaderSize || n-muxHeaderSize > MaxFrameBytes {
+		return 0, 0, 0, fmt.Errorf("rpc: mux frame length %d out of range", n)
+	}
+	sid = binary.LittleEndian.Uint32(hdr[4:])
+	seq = binary.LittleEndian.Uint32(hdr[8:])
+	return sid, seq, n - muxHeaderSize, nil
+}
+
+// --- client side ---
+
+// muxDeliv is one demuxed response notification.
+type muxDeliv struct {
+	seq    uint32
+	n      int // body bytes in the session's rbuf
+	closed bool
+}
+
+// MuxConn is a client-side multiplexed connection: one TCP conn, one demux
+// reader, one coalescing writer, many sessions. Sessions survive a server
+// restart — the first OpBegin after the failure redials the shared conn
+// (the server sees the sids as brand-new sessions, which is safe because
+// no transaction was in flight).
+type MuxConn struct {
+	addr  string
+	retry RetryPolicy
+
+	mu     sync.Mutex // guards conn/w/failCh swap (redial) and closed
+	conn   net.Conn
+	w      *muxWriter
+	failCh chan struct{} // closed when the current conn's reader dies
+	errv   error         // reason, set before failCh closes
+	closed bool
+
+	smu     sync.RWMutex
+	sess    map[uint32]*MuxSession
+	nextSID uint32
+}
+
+// DialMux opens a multiplexed connection to a server at addr under
+// DefaultRetry.
+func DialMux(addr string) (*MuxConn, error) {
+	return DialMuxRetry(addr, DefaultRetry)
+}
+
+// DialMuxRetry opens a multiplexed connection under an explicit policy.
+func DialMuxRetry(addr string, rp RetryPolicy) (*MuxConn, error) {
+	mc := &MuxConn{addr: addr, retry: rp, sess: make(map[uint32]*MuxSession)}
+	conn, err := mc.dial()
+	if err != nil {
+		return nil, err
+	}
+	mc.install(conn)
+	return mc, nil
+}
+
+// dial connects and sends the mux preamble.
+func (mc *MuxConn) dial() (net.Conn, error) {
+	conn, err := dialRetry(mc.addr, mc.retry)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(muxMagic[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// install swaps in a fresh conn + writer + reader. Caller holds mc.mu or
+// is the constructor.
+func (mc *MuxConn) install(conn net.Conn) {
+	mc.conn = conn
+	mc.w = newMuxWriter(conn)
+	mc.failCh = make(chan struct{})
+	mc.errv = nil
+	go mc.readLoop(conn, mc.w, mc.failCh)
+}
+
+// current returns the live writer and its failure channel.
+func (mc *MuxConn) current() (*muxWriter, chan struct{}, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		return nil, nil, errTransportClosed
+	}
+	select {
+	case <-mc.failCh:
+		return nil, nil, mc.failErr()
+	default:
+	}
+	return mc.w, mc.failCh, nil
+}
+
+func (mc *MuxConn) failErr() error {
+	if mc.errv != nil {
+		return mc.errv
+	}
+	return errTransportClosed
+}
+
+// readLoop demuxes responses to sessions until the conn dies.
+func (mc *MuxConn) readLoop(conn net.Conn, w *muxWriter, failCh chan struct{}) {
+	defer func() {
+		// Close the conn before joining the writer: a flusher stuck in a
+		// blocking write must be kicked out or w.close would wait forever.
+		conn.Close()
+		w.close()
+		close(failCh)
+	}()
+	for {
+		sid, seq, body, err := readMuxHeader(conn)
+		if err != nil {
+			mc.mu.Lock()
+			if mc.errv == nil {
+				mc.errv = err
+			}
+			mc.mu.Unlock()
+			return
+		}
+		mc.smu.RLock()
+		s := mc.sess[sid]
+		mc.smu.RUnlock()
+		if s == nil {
+			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+				return
+			}
+			continue
+		}
+		if cap(s.rbuf) < body {
+			s.rbuf = make([]byte, body)
+		}
+		if _, err := io.ReadFull(conn, s.rbuf[:body]); err != nil {
+			mc.mu.Lock()
+			if mc.errv == nil {
+				mc.errv = err
+			}
+			mc.mu.Unlock()
+			return
+		}
+		obs.Metrics().RPCBytesIn.Add(uint64(12 + body))
+		d := muxDeliv{seq: seq, n: body, closed: seq == muxCloseSeq}
+		if d.closed {
+			// Unsolicited closes must not block the reader; a waiting
+			// call will still observe the next failure or close.
+			select {
+			case s.ch <- d:
+			default:
+			}
+			continue
+		}
+		s.ch <- d
+	}
+}
+
+// redial replaces a dead conn. Many sessions race here after a server
+// restart; the first one swaps, the rest see a live conn and return.
+func (mc *MuxConn) redial() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		return errTransportClosed
+	}
+	select {
+	case <-mc.failCh:
+	default:
+		return nil // someone else already redialed
+	}
+	conn, err := mc.dial()
+	if err != nil {
+		return err
+	}
+	mc.install(conn)
+	return nil
+}
+
+// NewSession opens one multiplexed session (a Transport).
+func (mc *MuxConn) NewSession() *MuxSession {
+	mc.smu.Lock()
+	mc.nextSID++
+	s := &MuxSession{
+		mc:   mc,
+		sid:  mc.nextSID,
+		ch:   make(chan muxDeliv, 1),
+		rbuf: make([]byte, 0, 4096),
+	}
+	mc.sess[s.sid] = s
+	mc.smu.Unlock()
+	return s
+}
+
+// Close tears down the connection. Sessions error out on their next call.
+func (mc *MuxConn) Close() error {
+	mc.mu.Lock()
+	mc.closed = true
+	conn := mc.conn
+	mc.mu.Unlock()
+	if conn != nil {
+		conn.Close() // reader notices, closes writer and failCh
+	}
+	return nil
+}
+
+// MuxSession is one session multiplexed over a MuxConn; it implements
+// Transport. Call must not be invoked concurrently (same contract as the
+// other transports).
+type MuxSession struct {
+	mc   *MuxConn
+	sid  uint32
+	seq  uint32
+	wn   wnode
+	rbuf []byte
+	ch   chan muxDeliv
+}
+
+// Call implements Transport, with the same OpBegin-only reconnect policy
+// as TCPTransport — except the redial is shared conn-wide.
+func (s *MuxSession) Call(rf *ReqFrame, wf *RespFrame) error {
+	err := s.call1(rf, wf)
+	if err == nil || rf.Batch || rf.Reqs[0].Op != OpBegin || !transientNetErr(err) {
+		return err
+	}
+	attempts := s.mc.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	bo := newBackoff(s.mc.retry)
+	for i := 1; i < attempts; i++ {
+		obs.Metrics().CallRetries.Add(1)
+		bo.sleep()
+		if rerr := s.mc.redial(); rerr != nil {
+			err = rerr
+			if !transientNetErr(rerr) {
+				break
+			}
+			continue
+		}
+		if err = s.call1(rf, wf); err == nil || !transientNetErr(err) {
+			break
+		}
+	}
+	return err
+}
+
+func (s *MuxSession) call1(rf *ReqFrame, wf *RespFrame) error {
+	w, failCh, err := s.mc.current()
+	if err != nil {
+		return err
+	}
+	// Drop any stale delivery from a previous conn generation.
+	select {
+	case <-s.ch:
+	default:
+	}
+	s.seq++
+	seq := s.seq
+	s.wn.waitFree()
+	s.wn.buf = appendMuxFrame(s.wn.buf[:0], s.sid, seq, func(b []byte) []byte {
+		return appendReqFrameBody(b, rf)
+	})
+	if err := w.enqueue(&s.wn); err != nil {
+		return err
+	}
+	select {
+	case d := <-s.ch:
+		if d.closed {
+			return errSessionClosed
+		}
+		if d.seq != seq {
+			return fmt.Errorf("rpc: mux response out of sequence (got %d want %d)", d.seq, seq)
+		}
+		return decodeRespFrame(s.rbuf[:d.n], wf)
+	case <-failCh:
+		return s.mc.failErr()
+	}
+}
+
+// Close implements Transport: it announces the session's end to the
+// server (freeing its worker slot) and detaches from the conn.
+func (s *MuxSession) Close() error {
+	s.mc.smu.Lock()
+	delete(s.mc.sess, s.sid)
+	s.mc.smu.Unlock()
+	if w, _, err := s.mc.current(); err == nil {
+		s.wn.waitFree()
+		s.wn.buf = appendMuxFrame(s.wn.buf[:0], s.sid, muxCloseSeq, nil)
+		_ = w.enqueue(&s.wn)
+	}
+	return nil
+}
+
+// --- server side ---
+
+// srvMuxSess is the reader-side handle for one multiplexed session.
+type srvMuxSess struct {
+	in   chan srvMuxReq // request bodies (cap 1)
+	back chan []byte    // buffer return path (ping-pong, cap 2)
+	done chan struct{}  // closed when the session goroutine exits
+}
+
+type srvMuxReq struct {
+	buf []byte // body bytes
+	seq uint32
+}
+
+// handleMux serves one multiplexed connection: the calling goroutine
+// demuxes request frames to per-session goroutines; a shared muxWriter
+// coalesces their responses. Each session leases a worker slot for its
+// lifetime; when no slot is free the session is rejected with a close
+// frame.
+func (s *Server) handleMux(conn net.Conn) {
+	w := newMuxWriter(conn)
+	// LIFO defers: close the conn first so a flusher stuck in a blocking
+	// write fails out before w.close joins it.
+	defer w.close()
+	defer conn.Close()
+	sessions := make(map[uint32]*srvMuxSess)
+	defer func() {
+		for _, ss := range sessions {
+			close(ss.in)
+		}
+	}()
+	for {
+		sid, seq, body, err := readMuxHeader(conn)
+		if err != nil {
+			return
+		}
+		obs.Metrics().RPCBytesIn.Add(uint64(12 + body))
+		ss := sessions[sid]
+		if seq == muxCloseSeq {
+			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+				return
+			}
+			if ss != nil {
+				close(ss.in)
+				delete(sessions, sid)
+			}
+			continue
+		}
+		if ss == nil {
+			wid, ok := s.acquireWID()
+			if !ok {
+				// Out of worker slots: reject the session.
+				if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+					return
+				}
+				n := &wnode{}
+				n.buf = appendMuxFrame(nil, sid, muxCloseSeq, nil)
+				_ = w.enqueue(n)
+				continue
+			}
+			ss = &srvMuxSess{
+				in:   make(chan srvMuxReq, 1),
+				back: make(chan []byte, 2),
+				done: make(chan struct{}),
+			}
+			ss.back <- make([]byte, 0, 4096)
+			ss.back <- make([]byte, 0, 4096)
+			sessions[sid] = ss
+			go s.serveMuxSession(sid, wid, ss, w)
+		}
+		var buf []byte
+		select {
+		case buf = <-ss.back:
+		case <-ss.done:
+			// Session state machine died with both buffers outstanding
+			// (misbehaving client); drop the session and the frame.
+			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+				return
+			}
+			delete(sessions, sid)
+			continue
+		}
+		if cap(buf) < body {
+			buf = make([]byte, body)
+		}
+		buf = buf[:body]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		select {
+		case ss.in <- srvMuxReq{buf: buf, seq: seq}:
+		case <-ss.done:
+			// Session state machine died (decode error etc.); it already
+			// sent the close frame. Forget it — a later frame with this
+			// sid starts a fresh session; the old buffers are garbage.
+			delete(sessions, sid)
+		}
+	}
+}
+
+// serveMuxSession runs one session's state machine against demuxed frames.
+func (s *Server) serveMuxSession(sid uint32, wid uint16, ss *srvMuxSess, w *muxWriter) {
+	defer s.releaseWID(wid)
+	sess := NewSession(s.Engine, s.DB, wid)
+	var node wnode
+	var cur []byte // buffer owned since the last recv
+	var seq uint32
+	err := sess.Serve(
+		func(rf *ReqFrame) error {
+			if cur != nil {
+				ss.back <- cur
+				cur = nil
+			}
+			req, ok := <-ss.in
+			if !ok {
+				return io.EOF
+			}
+			cur, seq = req.buf, req.seq
+			return decodeReqFrame(cur, rf)
+		},
+		func(wf *RespFrame) error {
+			node.waitFree()
+			node.buf = appendMuxFrame(node.buf[:0], sid, seq, func(b []byte) []byte {
+				return appendRespFrameBody(b, wf)
+			})
+			return w.enqueue(&node)
+		},
+	)
+	if err != nil {
+		// Tell the client its session is gone so a waiting call fails
+		// fast instead of hanging until the conn dies.
+		n := &wnode{}
+		n.buf = appendMuxFrame(nil, sid, muxCloseSeq, nil)
+		_ = w.enqueue(n)
+	}
+	// done closes only after the close frame is queued, so the reader
+	// cannot hand frames to a sid the client does not yet know is dead.
+	// Anything still queued in ss.in is dropped with the session.
+	close(ss.done)
+}

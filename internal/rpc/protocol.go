@@ -39,6 +39,12 @@ const (
 	OpScanRC
 	OpCommit
 	OpAbort
+	// OpBatch is not a standalone operation: it is the frame-body marker
+	// for a multi-op frame packing several independent sub-operations
+	// (and their responses) into one round trip. Only point operations
+	// (Read, ReadForUpdate, Update, Insert, Delete, ReadRC) may appear as
+	// sub-operations; Begin/Commit/Abort/Scan travel as single frames.
+	OpBatch
 )
 
 // Status codes carried in responses.
@@ -48,7 +54,20 @@ const (
 	StatusNotFound
 	StatusDuplicate
 	StatusError
+	// StatusSkipped marks a batched sub-operation that was never executed
+	// because an earlier sub-operation in the same frame aborted the
+	// transaction; Cause carries the aborting operation's cause.
+	StatusSkipped
 )
+
+// batchable reports whether op may appear as a batched sub-operation.
+func batchable(op OpCode) bool {
+	switch op {
+	case OpRead, OpReadForUpdate, OpUpdate, OpInsert, OpDelete, OpReadRC:
+		return true
+	}
+	return false
+}
 
 // Request is one client→server message.
 type Request struct {
@@ -85,12 +104,40 @@ type ScanRow struct {
 // rows).
 const MaxScanRows = 4096
 
+// MaxFrameBytes bounds a single wire frame (length prefix excluded). A
+// corrupt length prefix must not drive an unbounded allocation; the limit
+// comfortably covers the largest legal frame (a MaxBatchOps batch of
+// row-sized values, or a MaxScanRows scan of KB rows).
+const MaxFrameBytes = 16 << 20
+
+// MaxBatchOps bounds the sub-operations of one multi-op frame. Clients
+// auto-flush when a pending batch reaches it.
+const MaxBatchOps = 1024
+
+// ReqFrame is one client→server transmission: a single request, or a
+// multi-op batch. Batch preserves the wire arity so single-op frames and
+// one-op batches round-trip distinguishably.
+type ReqFrame struct {
+	Reqs  []Request
+	Batch bool
+}
+
+// RespFrame is one server→client transmission, mirroring the arity of the
+// request frame it answers.
+type RespFrame struct {
+	Resps []Response
+	Batch bool
+}
+
 // --- binary framing (TCP transport) ---
 
-// appendRequest encodes r after a 4-byte length prefix placeholder.
-func appendRequest(buf []byte, r *Request) []byte {
-	start := len(buf)
-	buf = append(buf, 0, 0, 0, 0)
+// requestBodySize is the fixed part of an encoded request body.
+const requestBodySize = 36
+
+// appendRequestBody encodes r without a length prefix. Bodies are
+// self-delimiting (the value length is in the fixed header), so batched
+// sub-requests concatenate with no per-op framing.
+func appendRequestBody(buf []byte, r *Request) []byte {
 	buf = append(buf, byte(r.Op), bool2b(r.First), bool2b(r.RO), bool2b(r.Last))
 	buf = binary.LittleEndian.AppendUint32(buf, r.Table)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Key)
@@ -98,15 +145,23 @@ func appendRequest(buf []byte, r *Request) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, r.Limit)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Hint)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Val)))
-	buf = append(buf, r.Val...)
+	return append(buf, r.Val...)
+}
+
+// appendRequest encodes r after a 4-byte length prefix.
+func appendRequest(buf []byte, r *Request) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendRequestBody(buf, r)
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
 }
 
-// decodeRequest parses a frame body (length prefix already stripped).
-func decodeRequest(b []byte, r *Request) error {
-	if len(b) < 36 {
-		return fmt.Errorf("rpc: short request frame (%d bytes)", len(b))
+// decodeRequestBody parses one request body at the start of b and returns
+// the bytes consumed. r.Val aliases b.
+func decodeRequestBody(b []byte, r *Request) (int, error) {
+	if len(b) < requestBodySize {
+		return 0, fmt.Errorf("rpc: short request frame (%d bytes)", len(b))
 	}
 	r.Op = OpCode(b[0])
 	r.First = b[1] != 0
@@ -118,17 +173,86 @@ func decodeRequest(b []byte, r *Request) error {
 	r.Limit = binary.LittleEndian.Uint32(b[24:])
 	r.Hint = binary.LittleEndian.Uint32(b[28:])
 	n := int(binary.LittleEndian.Uint32(b[32:]))
-	if len(b) < 36+n {
-		return fmt.Errorf("rpc: request value truncated")
+	if n < 0 || len(b) < requestBodySize+n {
+		return 0, fmt.Errorf("rpc: request value truncated")
 	}
-	r.Val = b[36 : 36+n]
+	r.Val = b[requestBodySize : requestBodySize+n]
+	return requestBodySize + n, nil
+}
+
+// decodeRequest parses a single-request frame body.
+func decodeRequest(b []byte, r *Request) error {
+	_, err := decodeRequestBody(b, r)
+	return err
+}
+
+// batchHeaderSize is marker(1) + pad(3) + count(4).
+const batchHeaderSize = 8
+
+// batchRespMarker is the first byte of a batched response body; it cannot
+// collide with a single response's status byte.
+const batchRespMarker = 0xB5
+
+// appendReqFrameBody encodes rf (single or batch) without a length prefix —
+// the shared body form used by plain frames and mux frames alike.
+func appendReqFrameBody(buf []byte, rf *ReqFrame) []byte {
+	if !rf.Batch {
+		return appendRequestBody(buf, &rf.Reqs[0])
+	}
+	buf = append(buf, byte(OpBatch), 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rf.Reqs)))
+	for i := range rf.Reqs {
+		buf = appendRequestBody(buf, &rf.Reqs[i])
+	}
+	return buf
+}
+
+// appendReqFrame encodes rf (single or batch) after a 4-byte length prefix.
+func appendReqFrame(buf []byte, rf *ReqFrame) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendReqFrameBody(buf, rf)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// decodeReqFrame parses a frame body into rf, reusing rf.Reqs. Request
+// values alias b.
+func decodeReqFrame(b []byte, rf *ReqFrame) error {
+	if len(b) == 0 {
+		return fmt.Errorf("rpc: empty request frame")
+	}
+	if OpCode(b[0]) != OpBatch {
+		rf.Batch = false
+		rf.Reqs = sizeReqs(rf.Reqs, 1)
+		return decodeRequest(b, &rf.Reqs[0])
+	}
+	if len(b) < batchHeaderSize {
+		return fmt.Errorf("rpc: short batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n < 1 || n > MaxBatchOps {
+		return fmt.Errorf("rpc: batch op count %d out of range", n)
+	}
+	rf.Batch = true
+	rf.Reqs = sizeReqs(rf.Reqs, n)
+	off := batchHeaderSize
+	for i := 0; i < n; i++ {
+		used, err := decodeRequestBody(b[off:], &rf.Reqs[i])
+		if err != nil {
+			return err
+		}
+		if op := rf.Reqs[i].Op; !batchable(op) {
+			return fmt.Errorf("rpc: op %d not allowed in a batch", op)
+		}
+		off += used
+	}
 	return nil
 }
 
-// appendResponse encodes resp after a 4-byte length prefix placeholder.
-func appendResponse(buf []byte, resp *Response) []byte {
-	start := len(buf)
-	buf = append(buf, 0, 0, 0, 0)
+// appendResponseBody encodes resp without a length prefix (self-delimiting,
+// like request bodies).
+func appendResponseBody(buf []byte, resp *Response) []byte {
 	buf = append(buf, resp.Status, resp.Cause)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Val)))
 	buf = append(buf, resp.Val...)
@@ -138,41 +262,147 @@ func appendResponse(buf []byte, resp *Response) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(row.Val)))
 		buf = append(buf, row.Val...)
 	}
+	return buf
+}
+
+// appendResponse encodes resp after a 4-byte length prefix.
+func appendResponse(buf []byte, resp *Response) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendResponseBody(buf, resp)
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
 }
 
-// decodeResponse parses a frame body into resp; row values alias b.
-func decodeResponse(b []byte, resp *Response) error {
+// decodeResponseBody parses one response body at the start of b and returns
+// the bytes consumed. Val and row values alias b.
+func decodeResponseBody(b []byte, resp *Response) (int, error) {
 	if len(b) < 10 {
-		return fmt.Errorf("rpc: short response frame")
+		return 0, fmt.Errorf("rpc: short response frame")
 	}
 	resp.Status = b[0]
 	resp.Cause = b[1]
 	n := int(binary.LittleEndian.Uint32(b[2:]))
-	if len(b) < 10+n {
-		return fmt.Errorf("rpc: response value truncated")
+	if n < 0 || len(b) < 10+n {
+		return 0, fmt.Errorf("rpc: response value truncated")
 	}
 	resp.Val = b[6 : 6+n]
 	off := 6 + n
 	rows := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
+	if rows < 0 || rows > MaxScanRows {
+		return 0, fmt.Errorf("rpc: scan row count %d out of range", rows)
+	}
 	resp.Rows = resp.Rows[:0]
 	for i := 0; i < rows; i++ {
 		if len(b) < off+12 {
-			return fmt.Errorf("rpc: scan row header truncated")
+			return 0, fmt.Errorf("rpc: scan row header truncated")
 		}
 		key := binary.LittleEndian.Uint64(b[off:])
 		vn := int(binary.LittleEndian.Uint32(b[off+8:]))
 		off += 12
-		if len(b) < off+vn {
-			return fmt.Errorf("rpc: scan row value truncated")
+		if vn < 0 || len(b) < off+vn {
+			return 0, fmt.Errorf("rpc: scan row value truncated")
 		}
 		resp.Rows = append(resp.Rows, ScanRow{Key: key, Val: b[off : off+vn]})
 		off += vn
 	}
+	return off, nil
+}
+
+// decodeResponse parses a single-response frame body; row values alias b.
+func decodeResponse(b []byte, resp *Response) error {
+	_, err := decodeResponseBody(b, resp)
+	return err
+}
+
+// appendRespFrameBody encodes wf (single or batch) without a length prefix.
+func appendRespFrameBody(buf []byte, wf *RespFrame) []byte {
+	if !wf.Batch {
+		return appendResponseBody(buf, &wf.Resps[0])
+	}
+	buf = append(buf, batchRespMarker, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(wf.Resps)))
+	for i := range wf.Resps {
+		buf = appendResponseBody(buf, &wf.Resps[i])
+	}
+	return buf
+}
+
+// appendRespFrame encodes wf (single or batch) after a 4-byte length
+// prefix.
+func appendRespFrame(buf []byte, wf *RespFrame) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendRespFrameBody(buf, wf)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// decodeRespFrame parses a frame body into wf, reusing wf.Resps. Values
+// alias b.
+func decodeRespFrame(b []byte, wf *RespFrame) error {
+	if len(b) == 0 {
+		return fmt.Errorf("rpc: empty response frame")
+	}
+	if b[0] != batchRespMarker {
+		wf.Batch = false
+		wf.Resps = sizeResps(wf.Resps, 1)
+		return decodeResponse(b, &wf.Resps[0])
+	}
+	if len(b) < batchHeaderSize {
+		return fmt.Errorf("rpc: short batch response header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n < 1 || n > MaxBatchOps {
+		return fmt.Errorf("rpc: batch response count %d out of range", n)
+	}
+	wf.Batch = true
+	wf.Resps = sizeResps(wf.Resps, n)
+	off := batchHeaderSize
+	for i := 0; i < n; i++ {
+		used, err := decodeResponseBody(b[off:], &wf.Resps[i])
+		if err != nil {
+			return err
+		}
+		off += used
+	}
 	return nil
 }
+
+// sizeReqs resizes s to n entries, reusing capacity.
+func sizeReqs(s []Request, n int) []Request {
+	if cap(s) < n {
+		return make([]Request, n)
+	}
+	return s[:n]
+}
+
+// sizeResps resizes s to n entries, reusing capacity.
+func sizeResps(s []Response, n int) []Response {
+	if cap(s) < n {
+		return make([]Response, n)
+	}
+	return s[:n]
+}
+
+// --- connection multiplexing wire format ---
+
+// muxMagic is the 8-byte preamble a multiplexing client writes after
+// dialing. Its first four bytes decode as an impossible frame length
+// (> MaxFrameBytes), so a server reading it as a plain length prefix
+// cannot confuse the two connection kinds.
+var muxMagic = [8]byte{0xFF, 0xFF, 0xFF, 0xFF, 'P', 'M', 'X', '1'}
+
+// Mux frames are [len u32][sid u32][seq u32][body]: len covers sid+seq+body
+// and body is a request or response frame body (possibly a batch). seq is a
+// per-session sequence number echoed in the response; a frame whose seq is
+// muxCloseSeq carries no body and closes (client→server) or rejects
+// (server→client) session sid.
+const (
+	muxHeaderSize = 8 // sid + seq, after the length prefix
+	muxCloseSeq   = 0xFFFFFFFF
+)
 
 func bool2b(b bool) byte {
 	if b {

@@ -102,8 +102,9 @@ func TestDecodeTruncatedFrames(t *testing.T) {
 	}
 }
 
-// eachTransport runs fn under both a channel transport and a TCP transport,
-// each against its own fresh server database.
+// eachTransport runs fn under a channel transport, a TCP transport, and a
+// multiplexed TCP transport (every session one tagged stream on a shared
+// conn), each against its own fresh server database.
 func eachTransport(t *testing.T, e cc.Engine, workers int,
 	fn func(t *testing.T, mk func(wid uint16) (Transport, []*cc.Table))) {
 	t.Run("chan", func(t *testing.T) {
@@ -126,6 +127,25 @@ func eachTransport(t *testing.T, e cc.Engine, workers int,
 				t.Fatal(err)
 			}
 			return tr, db.Tables()
+		})
+	})
+	t.Run("mux", func(t *testing.T) {
+		db, _ := newServerDB(e, workers)
+		srv := NewServer(e, db)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := DialMux(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			mc.Close()
+			srv.Close()
+		})
+		fn(t, func(wid uint16) (Transport, []*cc.Table) {
+			return mc.NewSession(), db.Tables()
 		})
 	})
 }
@@ -342,11 +362,12 @@ func TestServerRejectsNonBeginFirst(t *testing.T) {
 	db, _ := newServerDB(e, 2)
 	tr := NewChanTransport(e, db, 1, 0)
 	defer tr.Close()
-	var resp Response
-	if err := tr.Call(&Request{Op: OpRead, Key: 1}, &resp); err != nil {
+	rf := ReqFrame{Reqs: []Request{{Op: OpRead, Key: 1}}}
+	var wf RespFrame
+	if err := tr.Call(&rf, &wf); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Status != StatusError {
-		t.Fatalf("status = %d, want StatusError", resp.Status)
+	if wf.Resps[0].Status != StatusError {
+		t.Fatalf("status = %d, want StatusError", wf.Resps[0].Status)
 	}
 }

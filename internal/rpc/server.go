@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -22,12 +25,13 @@ var errReported = errors.New("rpc: terminal status already reported")
 
 // Session executes one client's transactions against a server-side worker.
 // It is driven by recv/send callbacks so the same state machine serves the
-// channel and TCP transports.
+// channel, TCP, and multiplexed transports.
 type Session struct {
 	db       *cc.DB
 	worker   cc.Worker
 	tables   []*cc.Table
 	rows     []ScanRow
+	arena    *cc.Arena // batch read results (see applyBatch)
 	txnStart time.Time // first-attempt Begin of the current transaction
 }
 
@@ -38,31 +42,42 @@ func NewSession(e cc.Engine, db *cc.DB, wid uint16) *Session {
 		worker: e.NewWorker(db, wid, false),
 		tables: db.Tables(),
 		rows:   make([]ScanRow, 0, 256),
+		arena:  cc.NewArena(16 << 10),
 	}
 }
 
-// Serve processes requests until recv fails (client gone). Protocol: each
-// request gets exactly one response. A transaction is bracketed by OpBegin
-// and OpCommit/OpAbort; the response to OpCommit carries the final
-// commit/abort status. An operation that aborts the transaction replies
-// StatusAborted and implicitly ends it.
-func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) error {
-	var req Request
-	var resp Response
+// setSingle makes wf a one-response non-batch frame holding r.
+func (wf *RespFrame) setSingle(r Response) {
+	wf.Batch = false
+	wf.Resps = sizeResps(wf.Resps, 1)
+	wf.Resps[0] = r
+}
+
+// Serve processes request frames until recv fails (client gone). Protocol:
+// each request frame gets exactly one response frame of matching arity. A
+// transaction is bracketed by OpBegin and OpCommit/OpAbort; the response to
+// OpCommit carries the final commit/abort status. An operation that aborts
+// the transaction replies StatusAborted and implicitly ends it; in a
+// multi-op frame the sub-operations after the aborting one are answered
+// StatusSkipped.
+func (s *Session) Serve(recv func(*ReqFrame) error, send func(*RespFrame) error) error {
+	var rf ReqFrame
+	var wf RespFrame
 	for {
-		if err := recv(&req); err != nil {
+		if err := recv(&rf); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		if req.Op != OpBegin {
-			resp = Response{Status: StatusError}
-			if err := send(&resp); err != nil {
+		if rf.Batch || len(rf.Reqs) != 1 || rf.Reqs[0].Op != OpBegin {
+			wf.setSingle(Response{Status: StatusError})
+			if err := send(&wf); err != nil {
 				return err
 			}
 			continue
 		}
+		req := &rf.Reqs[0]
 		opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint)}
 		first := req.First
 		if first {
@@ -73,22 +88,35 @@ func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) e
 
 		var commErr error
 		err := s.worker.Attempt(func(tx cc.Tx) error {
-			resp = Response{Status: StatusOK}
-			if commErr = send(&resp); commErr != nil {
+			wf.setSingle(Response{Status: StatusOK})
+			if commErr = send(&wf); commErr != nil {
 				return commErr
 			}
 			for {
-				if commErr = recv(&req); commErr != nil {
+				if commErr = recv(&rf); commErr != nil {
 					return commErr // connection lost: roll back
 				}
+				if rf.Batch {
+					abort := s.applyBatch(tx, &rf, &wf)
+					if commErr = send(&wf); commErr != nil {
+						return commErr
+					}
+					if abort != nil {
+						return abort
+					}
+					continue
+				}
+				req := &rf.Reqs[0]
 				switch req.Op {
 				case OpCommit:
 					return nil
 				case OpAbort:
 					return errClientAbort
 				default:
-					abort := s.apply(tx, &req, &resp)
-					if commErr = send(&resp); commErr != nil {
+					wf.Batch = false
+					wf.Resps = sizeResps(wf.Resps, 1)
+					abort := s.apply(tx, req, &wf.Resps[0])
+					if commErr = send(&wf); commErr != nil {
 						return commErr
 					}
 					if abort != nil {
@@ -104,27 +132,65 @@ func (s *Session) Serve(recv func(*Request) error, send func(*Response) error) e
 		switch {
 		case err == nil:
 			// Reply to the OpCommit that ended the proc.
-			resp = Response{Status: StatusOK}
+			wf.setSingle(Response{Status: StatusOK})
 			obs.Metrics().TxnCommit(time.Since(s.txnStart))
 		case errors.Is(err, errReported):
 			// The terminal status went out on the failing operation's
 			// response; loop for the next Begin.
 			continue
 		case errors.Is(err, errClientAbort):
-			resp = Response{Status: StatusAborted} // acknowledged rollback
+			wf.setSingle(Response{Status: StatusAborted}) // acknowledged rollback
 			obs.Metrics().TxnAbort(stats.CauseOther)
 		case cc.IsAborted(err):
 			// Aborted at commit; forward the engine's classification.
 			cause := cc.CauseOf(err)
-			resp = Response{Status: StatusAborted, Cause: uint8(cause)}
+			wf.setSingle(Response{Status: StatusAborted, Cause: uint8(cause)})
 			obs.Metrics().TxnAbort(cause)
 		default:
-			resp = Response{Status: StatusError}
+			wf.setSingle(Response{Status: StatusError})
 		}
-		if err := send(&resp); err != nil {
+		if err := send(&wf); err != nil {
 			return err
 		}
 	}
+}
+
+// applyBatch executes a multi-op frame's sub-operations in order. The first
+// sub-operation that aborts the transaction stops execution: its response
+// carries the abort, every later sub-operation is answered StatusSkipped
+// with the same cause, and the returned error ends the attempt with its
+// terminal status already reported (like apply). Read results are copied
+// into the session arena because in-place engines may overwrite row memory
+// when a later sub-operation in the same frame writes the row.
+func (s *Session) applyBatch(tx cc.Tx, rf *ReqFrame, wf *RespFrame) error {
+	n := len(rf.Reqs)
+	wf.Batch = true
+	wf.Resps = sizeResps(wf.Resps, n)
+	obs.Metrics().RPCBatch(n)
+	s.arena.Reset()
+	var abort error
+	var cause uint8
+	for i := range rf.Reqs {
+		if abort != nil {
+			wf.Resps[i] = Response{Status: StatusSkipped, Cause: cause}
+			continue
+		}
+		req := &rf.Reqs[i]
+		if !batchable(req.Op) {
+			// Unreachable via the wire codec (decodeReqFrame rejects these);
+			// guards in-process transports.
+			wf.Resps[i] = Response{Status: StatusError}
+			abort = errReported
+			continue
+		}
+		abort = s.apply(tx, req, &wf.Resps[i])
+		if r := &wf.Resps[i]; abort == nil && len(r.Val) > 0 {
+			r.Val = s.arena.Dup(r.Val)
+		} else if abort != nil {
+			cause = r.Cause
+		}
+	}
+	return abort
 }
 
 // apply executes one data operation; non-nil return aborts the transaction.
@@ -212,14 +278,18 @@ func (s *Session) applyScan(tx cc.Tx, t *cc.Table, req *Request, resp *Response)
 
 // --- TCP server ---
 
-// Server accepts TCP connections, binding each to a session/worker slot.
+// Server accepts TCP connections, binding each plain connection (or each
+// multiplexed session) to a worker slot.
 type Server struct {
 	Engine cc.Engine
 	DB     *cc.DB
 
 	mu      sync.Mutex
 	nextWID uint16
+	freeWID []uint16
 	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closing bool
 }
 
 // NewServer builds a TCP server over an engine and database.
@@ -228,107 +298,210 @@ func NewServer(e cc.Engine, db *cc.DB) *Server {
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:7070"). It returns the
-// bound address (useful with port 0).
+// bound address (useful with port 0). A closed server may Listen again —
+// worker-slot accounting carries over, so sessions from the previous
+// incarnation wind down safely while new ones connect.
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	// TCP clients hold locks across round trips from another process; lock
+	// waiters must sleep past their yield budget or they starve that
+	// process of the CPU it needs to send the releasing frame.
+	lock.SetRemoteHolders(true)
+	s.mu.Lock()
 	s.ln = ln
-	go s.acceptLoop()
+	s.closing = false
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and severs every live connection, so in-flight
+// sessions observe the shutdown instead of lingering on open sockets.
 func (s *Server) Close() error {
-	if s.ln != nil {
-		return s.ln.Close()
+	s.mu.Lock()
+	s.closing = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
 	}
-	return nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
-func (s *Server) acceptLoop() {
+// track registers a live connection; false means the server is closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// acquireWID leases a worker slot, reusing released slots before minting
+// new ones so a long-lived server survives any number of client
+// connect/disconnect cycles (the seed's monotonic counter exhausted the
+// registry after Workers() connections total).
+func (s *Server) acquireWID() (uint16, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.freeWID); n > 0 {
+		wid := s.freeWID[n-1]
+		s.freeWID = s.freeWID[:n-1]
+		return wid, true
+	}
+	if int(s.nextWID) >= s.DB.Reg.Workers() {
+		return 0, false
+	}
+	s.nextWID++
+	return s.nextWID, true
+}
+
+// releaseWID returns a slot to the pool. Call only after the slot's
+// session has fully stopped (Serve returned).
+func (s *Server) releaseWID(wid uint16) {
+	s.mu.Lock()
+	s.freeWID = append(s.freeWID, wid)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
-		s.nextWID++
-		wid := s.nextWID
-		s.mu.Unlock()
-		if int(wid) > s.DB.Reg.Workers() {
-			conn.Close() // out of worker slots
-			continue
+		if !s.track(conn) {
+			conn.Close()
+			return
 		}
-		go s.handle(conn, wid)
+		tuneConn(conn)
+		go func() {
+			defer s.untrack(conn)
+			s.handleConn(conn)
+		}()
 	}
 }
 
-func (s *Server) handle(conn net.Conn, wid uint16) {
+// tuneConn disables Nagle and enables keepalive. Request frames are tiny;
+// without TCP_NODELAY they queue behind the kernel's Nagle/delayed-ACK
+// timers and the benchmark measures those instead of the protocol.
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+}
+
+// handleConn sniffs the connection's first 8 bytes: a multiplexing client
+// leads with muxMagic (whose first word decodes as an impossible frame
+// length), anything else is the start of a plain session's first frame.
+func (s *Server) handleConn(conn net.Conn) {
+	var pre [8]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		conn.Close()
+		return
+	}
+	if pre == muxMagic {
+		s.handleMux(conn)
+		return
+	}
+	s.handlePlain(conn, pre)
+}
+
+func (s *Server) handlePlain(conn net.Conn, pre [8]byte) {
 	defer conn.Close()
+	wid, ok := s.acquireWID()
+	if !ok {
+		return // out of worker slots
+	}
+	defer s.releaseWID(wid)
 	sess := NewSession(s.Engine, s.DB, wid)
 	fr := newFramer(conn)
-	_ = sess.Serve(
-		func(req *Request) error { return fr.readRequest(req) },
-		func(resp *Response) error { return fr.writeResponse(resp) },
-	)
+	fr.r = io.MultiReader(bytes.NewReader(pre[:]), conn)
+	_ = sess.Serve(fr.readReqFrame, fr.writeRespFrame)
 }
 
 // framer reads/writes length-prefixed frames on a net.Conn.
 type framer struct {
-	conn net.Conn
+	r    io.Reader
+	w    io.Writer
 	rbuf []byte
 	wbuf []byte
 }
 
 func newFramer(conn net.Conn) *framer {
-	return &framer{conn: conn, rbuf: make([]byte, 0, 4096), wbuf: make([]byte, 0, 4096)}
+	return &framer{r: conn, w: conn, rbuf: make([]byte, 0, 4096), wbuf: make([]byte, 0, 4096)}
 }
 
 func (f *framer) readFrame() ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(f.conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
-	if n > 64<<20 {
-		return nil, fmt.Errorf("rpc: frame too large (%d)", n)
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("rpc: frame length %d exceeds limit %d", n, MaxFrameBytes)
 	}
 	if cap(f.rbuf) < n {
 		f.rbuf = make([]byte, n)
 	}
 	buf := f.rbuf[:n]
-	if _, err := io.ReadFull(f.conn, buf); err != nil {
+	if _, err := io.ReadFull(f.r, buf); err != nil {
 		return nil, err
 	}
+	obs.Metrics().RPCBytesIn.Add(uint64(4 + n))
 	return buf, nil
 }
 
-func (f *framer) readRequest(req *Request) error {
+func (f *framer) readReqFrame(rf *ReqFrame) error {
 	b, err := f.readFrame()
 	if err != nil {
 		return err
 	}
-	return decodeRequest(b, req)
+	return decodeReqFrame(b, rf)
 }
 
-func (f *framer) readResponse(resp *Response) error {
+func (f *framer) readRespFrame(wf *RespFrame) error {
 	b, err := f.readFrame()
 	if err != nil {
 		return err
 	}
-	return decodeResponse(b, resp)
+	return decodeRespFrame(b, wf)
 }
 
-func (f *framer) writeRequest(req *Request) error {
-	f.wbuf = appendRequest(f.wbuf[:0], req)
-	_, err := f.conn.Write(f.wbuf)
+func (f *framer) writeReqFrame(rf *ReqFrame) error {
+	f.wbuf = appendReqFrame(f.wbuf[:0], rf)
+	n, err := f.w.Write(f.wbuf)
+	obs.Metrics().RPCBytesOut.Add(uint64(n))
 	return err
 }
 
-func (f *framer) writeResponse(resp *Response) error {
-	f.wbuf = appendResponse(f.wbuf[:0], resp)
-	_, err := f.conn.Write(f.wbuf)
+func (f *framer) writeRespFrame(wf *RespFrame) error {
+	f.wbuf = appendRespFrame(f.wbuf[:0], wf)
+	n, err := f.w.Write(f.wbuf)
+	obs.Metrics().RPCBytesOut.Add(uint64(n))
 	return err
 }

@@ -1,0 +1,41 @@
+package storage
+
+import "time"
+
+// SpinSleepThreshold is the modelled-latency point where WaitFor switches
+// from busy-waiting to sleeping. Below it a sleep would quantize to the
+// scheduler tick (~1ms on many kernels) and wreck the latency model; above
+// it spinning burns a core per waiter for a delay long enough that sleep
+// precision is fine. Shared by the WAL's simulated devices and the RPC
+// layer's simulated network (both model microsecond-scale hardware).
+const SpinSleepThreshold = 20 * time.Microsecond
+
+// WaitFor models a fixed delay: busy-wait below SpinSleepThreshold for
+// nanosecond accuracy, time.Sleep above it so high simulated latencies do
+// not burn a core per waiter.
+func WaitFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= SpinSleepThreshold {
+		time.Sleep(d)
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// WaitUntil is WaitFor against an absolute deadline.
+func WaitUntil(deadline time.Time) {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return
+	}
+	if d >= SpinSleepThreshold {
+		time.Sleep(d)
+		return
+	}
+	for time.Now().Before(deadline) {
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // Device is a durable append-only byte sink. Append must be atomic with
@@ -120,42 +122,18 @@ func (d *SimDevice) Len() int {
 	return len(d.buf)
 }
 
-// spinSleepThreshold is the modelled-latency point where waitFor switches
-// from busy-waiting to sleeping. Below it a sleep would quantize to the
-// scheduler tick and wreck the latency model (the same tradeoff as
-// rpc.ChanTransport's sleep-RTT option); above it spinning burns a core
-// per waiter for a delay long enough that sleep precision is fine.
-const spinSleepThreshold = 20 * time.Microsecond
+// spinSleepThreshold aliases the shared hybrid-wait threshold; see
+// storage.SpinSleepThreshold for the rationale.
+const spinSleepThreshold = storage.SpinSleepThreshold
 
-// waitFor models a device delay: busy-wait below spinSleepThreshold for
-// nanosecond accuracy, time.Sleep above it so high simulated latencies do
-// not burn a core per worker.
-func waitFor(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	if d >= spinSleepThreshold {
-		time.Sleep(d)
-		return
-	}
-	start := time.Now()
-	for time.Since(start) < d {
-	}
-}
+// waitFor models a device delay via the shared hybrid spin/sleep wait
+// (storage.WaitFor): busy-wait below spinSleepThreshold for nanosecond
+// accuracy, time.Sleep above it so high simulated latencies do not burn a
+// core per worker.
+func waitFor(d time.Duration) { storage.WaitFor(d) }
 
 // waitUntil is waitFor against an absolute deadline.
-func waitUntil(deadline time.Time) {
-	d := time.Until(deadline)
-	if d <= 0 {
-		return
-	}
-	if d >= spinSleepThreshold {
-		time.Sleep(d)
-		return
-	}
-	for time.Now().Before(deadline) {
-	}
-}
+func waitUntil(deadline time.Time) { storage.WaitUntil(deadline) }
 
 // FileDevice appends to a real file. It exists for durability demos and
 // recovery tests; benchmarks use SimDevice. By default writes are left to

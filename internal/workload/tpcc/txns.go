@@ -31,6 +31,14 @@ func insertOrRace(tx cc.Tx, t *cc.Table, key uint64, val []byte) error {
 	return err
 }
 
+// raceErr is insertOrRace for a batched insert's handle.
+func raceErr(d *cc.Deferred) error {
+	if errors.Is(d.Err, cc.ErrDuplicate) {
+		return errInsertRace
+	}
+	return d.Err
+}
+
 // TxnType labels the five TPC-C transactions.
 type TxnType int
 
@@ -80,6 +88,9 @@ type Gen struct {
 	line  [16]orderLineReq
 	items map[uint32]struct{} // scratch for StockLevel distinct items
 	row   []byte              // scratch row buffer
+	bat   cc.Batcher
+	defs  []*cc.Deferred // scratch handles for read phases
+	wdefs []*cc.Deferred // scratch handles for write phases
 }
 
 type orderLineReq struct {
@@ -148,7 +159,16 @@ func (g *Gen) NewOrder() Txn {
 	invalid := g.w.Cfg.InvalidItemPct > 0 && g.rng.f()*100 < g.w.Cfg.InvalidItemPct
 	for i := 0; i < nLines; i++ {
 		l := &g.line[i]
+		// Items are distinct within an order so the batched per-line phases
+		// stay independent (a duplicate would make one line's stock read
+		// depend on another line's not-yet-flushed stock update).
+	redraw:
 		l.item = itemID(g.rng)
+		for j := 0; j < i; j++ {
+			if g.line[j].item == l.item {
+				goto redraw
+			}
+		}
 		l.supplyW = w
 		if g.rng.n(100) == 0 { // 1% per line: remote supply warehouse
 			l.supplyW = g.otherWarehouse(w)
@@ -160,66 +180,99 @@ func (g *Gen) NewOrder() Txn {
 	}
 	lines := g.line[:nLines]
 
+	// The procedure is phased for interactive batching: each phase's
+	// operations are mutually independent, so over a batching transport a
+	// NewOrder costs four round trips instead of 6+3·nLines. Locally the
+	// Batcher executes eagerly and the phases collapse to the serial order.
 	proc := func(tx cc.Tx) error {
-		wrow, err := tx.Read(t.Warehouse, WKey(w))
-		if err != nil {
-			return err
-		}
-		_ = DecodeWarehouse(wrow).Tax
+		g.bat.Bind(tx)
 
-		drow, err := tx.ReadForUpdate(t.District, DKey(w, d))
-		if err != nil {
+		// Phase 1: warehouse tax and the district header.
+		hWar := g.bat.Read(t.Warehouse, WKey(w))
+		hDist := g.bat.ReadForUpdate(t.District, DKey(w, d))
+		if err := g.bat.Flush(); err != nil {
 			return err
 		}
-		dist := DecodeDistrict(drow)
+		if hWar.Err != nil {
+			return hWar.Err
+		}
+		if hDist.Err != nil {
+			return hDist.Err
+		}
+		_ = DecodeWarehouse(hWar.Val).Tax
+		dist := DecodeDistrict(hDist.Val)
 		o := int(dist.NextOID)
 		dist.NextOID++
 		buf := g.row[:districtSize]
-		copy(buf, drow)
+		copy(buf, hDist.Val)
 		dist.EncodeTo(buf)
-		if err := tx.Update(t.District, DKey(w, d), buf); err != nil {
-			return err
-		}
 		g.yield()
 
-		if _, err := tx.Read(t.Customer, CKey(w, d, c)); err != nil {
-			return err
-		}
-
+		// Phase 2: district bump, customer read, and the three order-shell
+		// inserts — independent once the order id is known. (Values are
+		// captured at declaration time, so reusing g.row between
+		// declarations is safe.)
+		hDU := g.bat.Update(t.District, DKey(w, d), buf)
+		hCust := g.bat.Read(t.Customer, CKey(w, d, c))
 		or := Order{CID: uint32(c), OLCnt: uint32(len(lines)), Entry: 1}
 		obuf := g.row[:orderSize]
 		clear(obuf)
 		or.EncodeTo(obuf)
-		if err := insertOrRace(tx, t.Order, OKey(w, d, o), obuf); err != nil {
-			return err
-		}
+		hOrd := g.bat.Insert(t.Order, OKey(w, d, o), obuf)
 		ibuf := g.row[:idxRowSize]
 		putU64(ibuf, OKey(w, d, o))
-		if err := insertOrRace(tx, t.OrderByCust, OCustKey(w, d, c, o), ibuf); err != nil {
-			return err
-		}
+		hIdx := g.bat.Insert(t.OrderByCust, OCustKey(w, d, c, o), ibuf)
 		nbuf := g.row[:newOrderSize]
 		clear(nbuf)
-		if err := insertOrRace(tx, t.NewOrder, NOKey(w, d, o), nbuf); err != nil {
+		hNO := g.bat.Insert(t.NewOrder, NOKey(w, d, o), nbuf)
+		if err := g.bat.Flush(); err != nil {
+			return err
+		}
+		if hDU.Err != nil {
+			return hDU.Err
+		}
+		if hCust.Err != nil {
+			return hCust.Err
+		}
+		if err := raceErr(hOrd); err != nil {
+			return err
+		}
+		if err := raceErr(hIdx); err != nil {
+			return err
+		}
+		if err := raceErr(hNO); err != nil {
+			return err
+		}
+		g.yield()
+
+		// Phase 3: every line's item price and stock state (items are
+		// distinct, so the reads are independent).
+		g.defs = g.defs[:0]
+		for _, l := range lines {
+			g.defs = append(g.defs, g.bat.Read(t.Item, IKey(l.item)))
+			g.defs = append(g.defs, g.bat.ReadForUpdate(t.Stock, SKey(l.supplyW, l.item)))
+			g.yield()
+		}
+		if err := g.bat.Flush(); err != nil {
 			return err
 		}
 
+		// Phase 4: per-line stock updates and order-line inserts.
+		g.wdefs = g.wdefs[:0]
 		for i, l := range lines {
-			irow, err := tx.Read(t.Item, IKey(l.item))
-			if errors.Is(err, cc.ErrNotFound) {
+			hItem, hStock := g.defs[2*i], g.defs[2*i+1]
+			if errors.Is(hItem.Err, cc.ErrNotFound) {
 				return ErrRollback // spec: 1% intentional rollback
 			}
-			if err != nil {
-				return err
+			if hItem.Err != nil {
+				return hItem.Err
 			}
-			price := DecodeItem(irow).Price
+			if hStock.Err != nil {
+				return hStock.Err
+			}
+			price := DecodeItem(hItem.Val).Price
 
-			skey := SKey(l.supplyW, l.item)
-			srow, err := tx.ReadForUpdate(t.Stock, skey)
-			if err != nil {
-				return err
-			}
-			st := DecodeStock(srow)
+			st := DecodeStock(hStock.Val)
 			if st.Qty >= l.qty+10 {
 				st.Qty -= l.qty
 			} else {
@@ -231,11 +284,9 @@ func (g *Gen) NewOrder() Txn {
 				st.RemoteCnt++
 			}
 			sbuf := g.row[:stockSize]
-			copy(sbuf, srow)
+			copy(sbuf, hStock.Val)
 			st.EncodeTo(sbuf)
-			if err := tx.Update(t.Stock, skey, sbuf); err != nil {
-				return err
-			}
+			g.wdefs = append(g.wdefs, g.bat.Update(t.Stock, SKey(l.supplyW, l.item), sbuf))
 
 			olr := OrderLine{
 				ItemID:  uint32(l.item),
@@ -246,10 +297,19 @@ func (g *Gen) NewOrder() Txn {
 			olbuf := g.row[:orderLineSize]
 			clear(olbuf)
 			olr.EncodeTo(olbuf)
-			if err := insertOrRace(tx, t.OrderLine, OLKey(w, d, o, i+1), olbuf); err != nil {
+			g.wdefs = append(g.wdefs, g.bat.Insert(t.OrderLine, OLKey(w, d, o, i+1), olbuf))
+			g.yield()
+		}
+		if err := g.bat.Flush(); err != nil {
+			return err
+		}
+		for j := 0; j < len(g.wdefs); j += 2 {
+			if err := g.wdefs[j].Err; err != nil {
 				return err
 			}
-			g.yield()
+			if err := raceErr(g.wdefs[j+1]); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -528,19 +588,28 @@ func (g *Gen) StockLevel() Txn {
 		if err != nil {
 			return err
 		}
-		low := 0
+		// The distinct-item stock reads are independent: one batched round
+		// trip for the whole set (up to ~200 items) instead of one each.
+		g.bat.Bind(tx)
+		g.defs = g.defs[:0]
 		for item := range g.items {
-			srow, err := tx.ReadRC(t.Stock, SKey(w, int(item)))
-			if err != nil {
-				if errors.Is(err, cc.ErrNotFound) {
-					continue
-				}
-				return err
+			g.defs = append(g.defs, g.bat.ReadRC(t.Stock, SKey(w, int(item))))
+			g.yield()
+		}
+		if err := g.bat.Flush(); err != nil {
+			return err
+		}
+		low := 0
+		for _, h := range g.defs {
+			if errors.Is(h.Err, cc.ErrNotFound) {
+				continue
 			}
-			if DecodeStock(srow).Qty < threshold {
+			if h.Err != nil {
+				return h.Err
+			}
+			if DecodeStock(h.Val).Qty < threshold {
 				low++
 			}
-			g.yield()
 		}
 		_ = low
 		return nil

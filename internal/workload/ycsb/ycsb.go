@@ -168,10 +168,12 @@ type Txn struct {
 
 // Gen produces transactions for one worker. Not safe for concurrent use.
 type Gen struct {
-	w   *Workload
-	rng uint64
-	ops []Op
-	val []byte
+	w    *Workload
+	rng  uint64
+	ops  []Op
+	val  []byte
+	bat  cc.Batcher
+	defs []*cc.Deferred
 
 	// BigOpsOverride, when > 0, replaces Cfg.BigOps (Fig. 13 sweeps it).
 	BigOpsOverride int
@@ -226,19 +228,30 @@ func (g *Gen) Next() Txn {
 	tbl := g.w.Tbl
 	val := g.val
 	yield := cfg.Yield
+	// Every YCSB operation is independent (point reads and blind writes),
+	// so the whole transaction is declared through a Batcher: over a
+	// batching interactive transport it crosses the network as one multi-op
+	// frame; locally (and on non-batching transports) it executes eagerly
+	// with the same semantics.
 	proc := func(tx cc.Tx) error {
+		g.bat.Bind(tx)
+		g.defs = g.defs[:0]
 		for _, op := range ops {
 			if op.Kind == OpRead {
-				if _, err := tx.Read(tbl, op.Key); err != nil {
-					return err
-				}
+				g.defs = append(g.defs, g.bat.Read(tbl, op.Key))
 			} else {
-				if err := tx.Update(tbl, op.Key, val); err != nil {
-					return err
-				}
+				g.defs = append(g.defs, g.bat.Update(tbl, op.Key, val))
 			}
 			if yield {
 				runtime.Gosched()
+			}
+		}
+		if err := g.bat.Flush(); err != nil {
+			return err
+		}
+		for _, d := range g.defs {
+			if d.Err != nil {
+				return d.Err
 			}
 		}
 		return nil
