@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-wal bench-rpc
+.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/ ./internal/wal/ ./internal/rpc/
+
+# bench-mem measures the record-reclamation memory experiment: fixed
+# working-set churn with reclamation on vs off (table-MiB / heap-MiB /
+# recycled are the metrics that matter; tps must not regress).
+bench-mem:
+	$(GO) test -run=^$$ -bench=BenchmarkChurn -benchmem .
 
 # bench-wal measures the WAL commit-path disciplines (sync vs group vs
 # async) and the device-level batching effect behind them.

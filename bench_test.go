@@ -302,3 +302,33 @@ func BenchmarkFig15(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkChurn — the PR's headline memory experiment: a fixed working
+// set under insert/delete churn, reclamation on vs off. With reclamation
+// off the table footprint grows linearly with throughput; with it on,
+// table-MiB plateaus at the working set with equal-or-better tps.
+func BenchmarkChurn(b *testing.B) {
+	for _, v := range []struct {
+		name      string
+		noReclaim bool
+	}{{"reclaim", false}, {"no-reclaim", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := ycsb.ChurnDefaults()
+			cfg.Records = 20_000
+			wl := harness.NewChurn(cfg, benchWorkers)
+			hcfg := harness.Config{Protocol: db.Plor, Workers: benchWorkers,
+				Workload: wl, NoReclaim: v.noReclaim, CaptureMem: true,
+				Warmup: 100 * time.Millisecond, Measure: 700 * time.Millisecond}
+			b.ResetTimer()
+			m, err := harness.Run(hcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.Throughput(), "tps")
+			b.ReportMetric(float64(m.TableBytes)/(1<<20), "table-MiB")
+			b.ReportMetric(float64(m.HeapBytes)/(1<<20), "heap-MiB")
+			b.ReportMetric(float64(m.RecordsRecycled), "recycled")
+		})
+	}
+}

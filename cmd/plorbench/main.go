@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		protocol    = flag.String("protocol", "PLOR", "CC protocol: PLOR, PLOR+DWA, PLOR_BASE, PLOR_RT, NO_WAIT, WAIT_DIE, WOUND_WAIT, SILO, TICTOC, MOCC")
-		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc")
+		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc, churn")
 		workers     = flag.Int("workers", 8, "closed-loop worker count (1-63)")
 		measure     = flag.Duration("measure", 3*time.Second, "measurement duration")
 		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup duration")
@@ -48,6 +48,9 @@ func main() {
 		trace       = flag.Bool("trace", false, "enable the obs event tracer; prints abort causes and a per-phase latency attribution table")
 		hotlocks    = flag.Int("hotlocks", 0, "sample lock contention and print the top-K hot records")
 		rttSleep    = flag.Bool("rtt-sleep", false, "simulate the interactive RTT with time.Sleep instead of busy-waiting")
+		churnPairs  = flag.Int("churn-pairs", 4, "delete+insert pairs per churn transaction")
+		noReclaim   = flag.Bool("no-reclaim", false, "disable epoch-based record reclamation (table memory grows with churn)")
+		memReport   = flag.Bool("mem", false, "report the run's memory footprint (implied by -workload churn)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
@@ -74,6 +77,13 @@ func main() {
 		cfg := tpcc.DefaultConfig()
 		cfg.Warehouses = *warehouses
 		wl = harness.NewTPCC(cfg, *workers)
+	case "churn":
+		cfg := ycsb.ChurnDefaults()
+		cfg.Records = *records
+		cfg.RecordSize = *recSize
+		cfg.Pairs = *churnPairs
+		wl = harness.NewChurn(cfg, *workers)
+		*memReport = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -116,6 +126,8 @@ func main() {
 		Trace:            *trace,
 		ProfileLocks:     *hotlocks > 0,
 		RTTSleep:         *rttSleep,
+		NoReclaim:        *noReclaim,
+		CaptureMem:       *memReport,
 		Backoff:          proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
 		Workload:         wl,
 	}
@@ -125,6 +137,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(m.Row())
+	if *memReport {
+		fmt.Println(m.MemRow())
+	}
 	if *breakdown {
 		fmt.Println("breakdown:", m.Breakdown.String())
 	}

@@ -48,6 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 	ccdb := d.Inner()
+	ccdb.PublishTableStats() // back the /metrics per-table storage gauges
 	switch *workload {
 	case "ycsb-a":
 		cfg := ycsb.A()

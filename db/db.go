@@ -142,6 +142,11 @@ type Options struct {
 	SlackFactor uint64
 	// Instrument enables the per-worker execution-time breakdown.
 	Instrument bool
+	// NoReclaim disables epoch-based record reclamation: deleted and
+	// abort-rolled-back records are abandoned instead of recycled, so
+	// table memory grows with churn (the pre-reclamation behavior, kept
+	// for A/B measurement).
+	NoReclaim bool
 }
 
 // DB is an open database.
@@ -170,6 +175,9 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	inner := cc.NewDB(opts.Workers, engine.TableOpts())
+	if opts.NoReclaim {
+		inner.DisableReclamation()
+	}
 	if opts.Logging != LogOff {
 		mode := wal.Redo
 		if opts.Logging == LogUndo {
@@ -257,6 +265,11 @@ func (d *DB) CreateTable(name string, rowSize int, kind IndexKind, expected int)
 
 // Table looks a table up by name (nil if absent).
 func (d *DB) Table(name string) *Table { return d.inner.Table(name) }
+
+// TableBytes returns the slab-backed memory footprint (rows plus record
+// headers) across all tables. Slabs are never unmapped, so this is a
+// high-water mark; with reclamation on it plateaus under churn.
+func (d *DB) TableBytes() uint64 { return d.inner.TableBytes() }
 
 // Load inserts a record outside any transaction (bulk loading). It reports
 // whether the key was new.

@@ -107,16 +107,85 @@ type DB struct {
 	tables []*Table
 	byName map[string]*Table
 	opts   storage.TableOpts
+	recl   []Reclaimer
 }
 
 // NewDB creates a database for up to workers worker threads, allocating
 // per-record lock state according to opts (chosen by the protocol).
+// Record reclamation is on by default; DisableReclamation reverts to the
+// paper's append-only behavior.
 func NewDB(workers int, opts storage.TableOpts) *DB {
-	return &DB{
+	opts.Workers = workers
+	db := &DB{
 		Reg:    txn.NewRegistry(workers),
 		byName: make(map[string]*Table),
 		opts:   opts,
+		recl:   make([]Reclaimer, workers+1),
 	}
+	for wid := range db.recl {
+		db.recl[wid] = newReclaimer(db.Reg, uint16(wid))
+	}
+	return db
+}
+
+// Reclaimer returns worker wid's record-lifecycle endpoint. Like the worker
+// slot itself, it must be driven by at most one goroutine.
+func (db *DB) Reclaimer(wid uint16) *Reclaimer { return &db.recl[wid] }
+
+// DisableReclamation turns record recycling off for every worker (records
+// retire into nothing, the append-only seed behavior). Must be called
+// before any workers run; the churn benchmark uses it to compare the leaky
+// baseline against reclamation in one binary.
+func (db *DB) DisableReclamation() {
+	for wid := range db.recl {
+		db.recl[wid].enabled = false
+	}
+}
+
+// FlushReclaim drains every worker's limbo list (grace period permitting)
+// and pushes deferred reclaim counters to obs. Call only while no workers
+// are running — end of a benchmark run, shutdown.
+func (db *DB) FlushReclaim() {
+	for wid := range db.recl {
+		db.recl[wid].FlushLimbo()
+	}
+}
+
+// StorageStats snapshots every table's storage gauges.
+func (db *DB) StorageStats() []storage.TableStats {
+	out := make([]storage.TableStats, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Store.Stats())
+	}
+	return out
+}
+
+// TableBytes sums slab memory across all tables.
+func (db *DB) TableBytes() uint64 {
+	var n uint64
+	for _, t := range db.tables {
+		n += t.Store.MemBytes()
+	}
+	return n
+}
+
+// PublishTableStats installs this database as the provider behind the
+// /metrics per-table storage gauges.
+func (db *DB) PublishTableStats() {
+	obs.SetTableStats(func() []obs.TableStat {
+		stats := db.StorageStats()
+		out := make([]obs.TableStat, len(stats))
+		for i, s := range stats {
+			out[i] = obs.TableStat{
+				Name:      s.Name,
+				Allocated: s.Allocated,
+				Free:      s.Free,
+				Recycled:  s.Recycled,
+				Bytes:     s.Bytes,
+			}
+		}
+		return out
+	})
 }
 
 // CreateTable adds a table. expected hints the hash index size; ignored for
@@ -339,3 +408,40 @@ func (a *Arena) Dup(p []byte) []byte {
 
 // Reset discards all allocations.
 func (a *Arena) Reset() { a.off = 0 }
+
+// Shrink drops the arena's buffer back to max bytes if a past transaction
+// grew it beyond that. Called between transactions so one oversized scan
+// does not pin buffer memory for the worker's lifetime.
+func (a *Arena) Shrink(max int) {
+	if len(a.buf) > max {
+		a.buf = make([]byte, max)
+	}
+}
+
+// Scratch-slice retention policy for per-worker buffers (access sets, scan
+// staging): slices are reused across transactions for zero steady-state
+// allocation, but a single huge transaction must not pin its peak capacity
+// forever. ShrinkScratch empties s, reallocating at a small default
+// capacity when the retained capacity exceeds MaxScratchCap elements.
+const (
+	// MaxScratchCap is the largest element capacity a per-worker scratch
+	// slice keeps across transactions. It comfortably covers TPC-C's
+	// largest footprint (a Stock-Level scan staging ≤ ~200 items).
+	MaxScratchCap = 4096
+	// scratchCap is the reallocation capacity after an oversized spike.
+	scratchCap = 128
+)
+
+// ShrinkScratch returns s emptied, dropping its backing array when an
+// oversized transaction inflated it past MaxScratchCap elements.
+func ShrinkScratch[T any](s []T) []T {
+	if cap(s) > MaxScratchCap {
+		return make([]T, 0, scratchCap)
+	}
+	return s[:0]
+}
+
+// ArenaShrinkBytes caps the per-worker arena retained between transactions
+// (see Arena.Shrink); sized to hold a large transaction's row images
+// without realloc while releasing megabyte-class scan spikes.
+const ArenaShrinkBytes = 1 << 20

@@ -50,6 +50,7 @@ func (e *MOCCEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
 		hot:   e.HotThreshold,
 		arena: NewArena(64 << 10),
 		scan:  make([]ScanItem, 0, 128),
+		rcl:   db.Reclaimer(wid),
 	}
 	if instrument {
 		w.bd = &stats.Breakdown{}
@@ -77,6 +78,7 @@ type moccWorker struct {
 	scan  []ScanItem
 	wl    *LogHandle
 	bd    *stats.Breakdown
+	rcl   *Reclaimer
 }
 
 // txnCtx aliases txn.Ctx.
@@ -91,11 +93,17 @@ func (w *moccWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	w.ctx.Begin(w.wid, ts)
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: ts, BD: w.bd}
 	w.arena.Reset()
-	w.rset = w.rset[:0]
-	w.wset = w.wset[:0]
+	w.arena.Shrink(ArenaShrinkBytes)
+	w.rset = ShrinkScratch(w.rset)
+	w.wset = ShrinkScratch(w.wset)
+	w.scan = ShrinkScratch(w.scan)
 	w.wmap.Reset()
 	w.locks = w.locks[:0]
 	w.wl.BeginTxn(ts)
+	// Epoch announcement brackets every index/record access of the attempt
+	// (including abort), so retired records cannot be recycled under us.
+	w.rcl.Begin()
+	defer w.rcl.End()
 
 	if err := proc(w); err != nil {
 		w.abort(0, true, CauseOf(err))
@@ -217,6 +225,7 @@ func (w *moccWorker) commit() error {
 		case e.isDelete:
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlockFlags(true, false)
+			w.rcl.Retire(e.tbl, e.rec)
 		case e.isInsert:
 			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, true)
@@ -246,6 +255,7 @@ func (w *moccWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 		if e.isInsert {
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlock(false)
+			w.rcl.Retire(e.tbl, e.rec)
 			continue
 		}
 		if !fromProc && i < lockedUpTo {
@@ -363,10 +373,12 @@ func (w *moccWorker) Insert(t *Table, key uint64, val []byte) error {
 	if len(val) != t.Store.RowSize {
 		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
 	}
-	rec := t.Store.Alloc()
+	rec := w.rcl.Alloc(t)
 	rec.Key = key
 	rec.InitAbsent(true)
 	if !t.Idx.Insert(key, rec) {
+		rec.TIDUnlock(false)
+		w.rcl.FreeNow(t, rec) // never published; no grace period needed
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})

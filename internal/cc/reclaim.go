@@ -1,0 +1,180 @@
+package cc
+
+import (
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// reclaimDrainEvery is how many retires/frees a worker accumulates between
+// limbo-drain attempts. Draining is O(freed) plus one scan of the worker
+// registry, so amortizing it keeps the per-transaction cost negligible.
+const reclaimDrainEvery = 64
+
+// limboCompactAt bounds the dead prefix the limbo ring keeps before the
+// live tail is copied down, so the backing array stops growing once the
+// workload reaches steady state.
+const limboCompactAt = 256
+
+// limboRec is one retired record awaiting its epoch grace period.
+type limboRec struct {
+	tbl   *storage.Table
+	rec   *storage.Record
+	epoch uint64 // global epoch observed at retire; nondecreasing in FIFO order
+}
+
+// Reclaimer is one worker's record-lifecycle endpoint: it announces epochs
+// around transaction attempts, collects retired records into a limbo list,
+// and drains them to the owning table's free-lists once every in-flight
+// attempt has passed the retiring epoch (txn.Registry.ReclaimBound). A
+// Reclaimer is single-threaded, owned by its worker like the worker itself.
+//
+// Safety argument (vs. PR 2's latch-free index readers): a reader can hold
+// a *Record with no latch, so a retired record may still be read after its
+// index entry is unlinked. Every engine attempt runs inside an epoch
+// announcement (Begin/End), announcements are lower bounds on the epochs
+// the attempt can observe, and a retire is tagged with the epoch current
+// AFTER the unlink — so any attempt that could have found the record
+// announces ≤ the tag, and the drain condition tag < ReclaimBound() implies
+// all such attempts have exited. Recycled records additionally re-enter
+// Alloc absent with a monotone TID (storage.Record.ResetForRecycle), so
+// even a hypothetical stale optimistic reader would validate-fail rather
+// than see a reincarnated row.
+type Reclaimer struct {
+	reg     *txn.Registry
+	wid     uint16
+	enabled bool
+
+	limbo []limboRec
+	head  int // index of the oldest un-reclaimed limbo entry
+
+	sinceDrain int
+
+	// Deferred obs deltas, flushed at drain time to keep shared-cacheline
+	// atomics off the per-operation path.
+	retired, reclaimed, recycled uint64
+}
+
+// newReclaimer builds worker wid's reclaimer (see DB.Reclaimer).
+func newReclaimer(reg *txn.Registry, wid uint16) Reclaimer {
+	return Reclaimer{reg: reg, wid: wid, enabled: true}
+}
+
+// Enabled reports whether reclamation is active for this worker.
+func (r *Reclaimer) Enabled() bool { return r.enabled }
+
+// Begin announces the current epoch; engines call it at the top of every
+// Attempt, before the first index or record access.
+func (r *Reclaimer) Begin() {
+	if r.enabled {
+		r.reg.EpochEnter(r.wid)
+	}
+}
+
+// End clears the announcement after the attempt has dropped all record
+// pointers, then periodically drains the limbo list. Engines defer it in
+// Attempt.
+func (r *Reclaimer) End() {
+	if !r.enabled {
+		return
+	}
+	r.reg.EpochExit(r.wid)
+	if r.sinceDrain >= reclaimDrainEvery {
+		r.drain()
+	}
+}
+
+// Alloc allocates a record from t, recycling through the worker free-lists
+// when reclamation is on.
+func (r *Reclaimer) Alloc(t *Table) *storage.Record {
+	if !r.enabled {
+		return t.Store.Alloc()
+	}
+	rec, recycled := t.Store.AllocWorker(r.wid)
+	if recycled {
+		r.recycled++
+	}
+	return rec
+}
+
+// Retire hands a dead-but-published record to limbo: the caller must have
+// unlinked its index entry first (committed delete, aborted insert). The
+// record reaches a free-list only after every attempt in flight at retire
+// time has ended.
+func (r *Reclaimer) Retire(t *Table, rec *storage.Record) {
+	if !r.enabled {
+		return
+	}
+	r.limbo = append(r.limbo, limboRec{tbl: t.Store, rec: rec, epoch: r.reg.Epoch()})
+	r.retired++
+	r.sinceDrain++
+}
+
+// FreeNow recycles a record that was never published to any index (a
+// duplicate-key insert losing the publish race): no reader can hold it, so
+// it skips the grace period. The caller must have released all lock state.
+func (r *Reclaimer) FreeNow(t *Table, rec *storage.Record) {
+	if !r.enabled {
+		return
+	}
+	t.Store.Free(r.wid, rec)
+	r.retired++
+	r.reclaimed++
+	r.sinceDrain++
+}
+
+// drain frees every limbo entry older than the epoch horizon and nudges the
+// global epoch forward when a backlog remains. Called between attempts (the
+// worker's own announcement is clear, so it never blocks itself).
+func (r *Reclaimer) drain() {
+	r.sinceDrain = 0
+	bound := r.reg.ReclaimBound()
+	for r.head < len(r.limbo) && r.limbo[r.head].epoch < bound {
+		e := &r.limbo[r.head]
+		e.tbl.Free(r.wid, e.rec)
+		*e = limboRec{}
+		r.head++
+		r.reclaimed++
+	}
+	switch {
+	case r.head == len(r.limbo):
+		r.limbo = r.limbo[:0]
+		r.head = 0
+	case r.head >= limboCompactAt:
+		n := copy(r.limbo, r.limbo[r.head:])
+		for i := n; i < len(r.limbo); i++ {
+			r.limbo[i] = limboRec{}
+		}
+		r.limbo = r.limbo[:n]
+		r.head = 0
+	}
+	if r.head < len(r.limbo) {
+		// The backlog is gated on attempts announcing the oldest retired
+		// epoch; bump the global epoch so new attempts announce past it.
+		r.reg.TryAdvanceEpoch(r.limbo[r.head].epoch)
+	}
+	r.flushStats()
+}
+
+// FlushLimbo drains unconditionally — test and shutdown hook, not for the
+// hot path. Records still inside the grace period stay in limbo.
+func (r *Reclaimer) FlushLimbo() {
+	if r.enabled {
+		r.drain()
+	}
+}
+
+// LimboLen returns the number of records awaiting their grace period.
+func (r *Reclaimer) LimboLen() int { return len(r.limbo) - r.head }
+
+// flushStats batches the deferred counter deltas into obs.
+func (r *Reclaimer) flushStats() {
+	if r.retired|r.reclaimed|r.recycled == 0 {
+		return
+	}
+	l := obs.Metrics()
+	l.RecordsRetired.Add(r.retired)
+	l.RecordsReclaimed.Add(r.reclaimed)
+	l.RecordsRecycled.Add(r.recycled)
+	r.retired, r.reclaimed, r.recycled = 0, 0, 0
+}

@@ -40,6 +40,7 @@ func (e *SiloEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
 	w := &siloWorker{
 		db:    db,
 		wid:   wid,
+		rcl:   db.Reclaimer(wid),
 		arena: NewArena(64 << 10),
 		scan:  make([]ScanItem, 0, 128),
 	}
@@ -72,6 +73,7 @@ type siloWrite struct {
 type siloWorker struct {
 	db    *DB
 	wid   uint16
+	rcl   *Reclaimer
 	arena *Arena
 	rset  []siloRead
 	wset  []siloWrite
@@ -87,13 +89,17 @@ func (w *siloWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 		w.bd.Retries++
 	}
 	w.arena.Reset()
-	w.rset = w.rset[:0]
-	w.wset = w.wset[:0]
+	w.arena.Shrink(ArenaShrinkBytes)
+	w.rset = ShrinkScratch(w.rset)
+	w.wset = ShrinkScratch(w.wset)
+	w.scan = ShrinkScratch(w.scan)
 	w.wmap.Reset()
 	// Silo stamps log records with a fresh serial number every attempt —
 	// aborted attempts never reuse identity (§7, "once a transaction
 	// aborts, it must use a newer timestamp").
 	w.wl.BeginTxn(w.db.Reg.NextTS())
+	w.rcl.Begin()
+	defer w.rcl.End()
 
 	if err := proc(w); err != nil {
 		w.abort(0, true, CauseOf(err))
@@ -177,6 +183,7 @@ func (w *siloWorker) commit() error {
 		case e.isDelete:
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlockFlags(true, false)
+			w.rcl.Retire(e.tbl, e.rec)
 		case e.isInsert:
 			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, true)
@@ -200,6 +207,7 @@ func (w *siloWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 		if e.isInsert {
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TIDUnlock(false) // stays absent: readers see "not found"
+			w.rcl.Retire(e.tbl, e.rec)
 			continue
 		}
 		if !fromProc && i < lockedUpTo {
@@ -314,10 +322,12 @@ func (w *siloWorker) Insert(t *Table, key uint64, val []byte) error {
 	if len(val) != t.Store.RowSize {
 		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
 	}
-	rec := t.Store.Alloc()
+	rec := w.rcl.Alloc(t)
 	rec.Key = key
 	rec.InitAbsent(true) // absent + locked
 	if !t.Idx.Insert(key, rec) {
+		rec.TIDUnlock(false)
+		w.rcl.FreeNow(t, rec) // never published; no grace period needed
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, siloWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})

@@ -62,6 +62,7 @@ func (e *TicTocEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
 	w := &tictocWorker{
 		db:    db,
 		wid:   wid,
+		rcl:   db.Reclaimer(wid),
 		arena: NewArena(64 << 10),
 		scan:  make([]ScanItem, 0, 128),
 	}
@@ -89,6 +90,7 @@ type ttWrite struct {
 type tictocWorker struct {
 	db    *DB
 	wid   uint16
+	rcl   *Reclaimer
 	arena *Arena
 	rset  []ttRead
 	wset  []ttWrite
@@ -104,10 +106,14 @@ func (w *tictocWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 		w.bd.Retries++
 	}
 	w.arena.Reset()
-	w.rset = w.rset[:0]
-	w.wset = w.wset[:0]
+	w.arena.Shrink(ArenaShrinkBytes)
+	w.rset = ShrinkScratch(w.rset)
+	w.wset = ShrinkScratch(w.wset)
+	w.scan = ShrinkScratch(w.scan)
 	w.wmap.Reset()
 	w.wl.BeginTxn(w.db.Reg.NextTS()) // log stamp only; not a CC timestamp
+	w.rcl.Begin()
+	defer w.rcl.End()
 
 	if err := proc(w); err != nil {
 		w.abort(0, true, CauseOf(err))
@@ -234,6 +240,7 @@ func (w *tictocWorker) commit() error {
 		case e.isDelete:
 			e.tbl.Idx.Remove(e.key)
 			e.rec.TID.Store(ttPack(ct, 0, true))
+			w.rcl.Retire(e.tbl, e.rec)
 		default:
 			e.rec.InstallImage(e.val)
 			e.rec.TID.Store(ttPack(ct, 0, false))
@@ -250,7 +257,10 @@ func (w *tictocWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCau
 		e := &w.wset[i]
 		if e.isInsert {
 			e.tbl.Idx.Remove(e.key)
-			e.rec.TID.Store(ttPack(0, 0, true)) // unlock, stay absent
+			// Unlock, stay absent; wts/delta survive so a recycled record's
+			// timestamp interval never runs backwards.
+			e.rec.TID.Store(e.rec.TID.Load() &^ ttLockBit)
+			w.rcl.Retire(e.tbl, e.rec)
 			continue
 		}
 		if !fromProc && i < lockedUpTo {
@@ -365,10 +375,15 @@ func (w *tictocWorker) Insert(t *Table, key uint64, val []byte) error {
 	if len(val) != t.Store.RowSize {
 		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
 	}
-	rec := t.Store.Alloc()
+	rec := w.rcl.Alloc(t)
 	rec.Key = key
-	rec.TID.Store(ttPack(0, 0, true) | ttLockBit)
+	// Absent + locked; the wts/delta bits of a recycled record survive so
+	// its timestamp interval stays monotone across incarnations (the commit
+	// timestamp is computed above every write's rts, inserts included).
+	rec.TID.Store(rec.TID.Load()&(ttWtsMask|ttDeltaMask) | ttAbsentBit | ttLockBit)
 	if !t.Idx.Insert(key, rec) {
+		rec.TID.Store(rec.TID.Load() &^ ttLockBit)
+		w.rcl.FreeNow(t, rec) // never published; no grace period needed
 		return ErrDuplicate
 	}
 	w.wset = append(w.wset, ttWrite{tbl: t, rec: rec, key: key, val: w.arena.Dup(val), isInsert: true})

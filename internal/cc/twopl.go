@@ -48,6 +48,7 @@ func (e *TwoPLEngine) NewWorker(db *DB, wid uint16, instrument bool) Worker {
 		db:     db,
 		wid:    wid,
 		ctx:    db.Reg.Ctx(wid),
+		rcl:    db.Reclaimer(wid),
 		scheme: e.scheme,
 		arena:  NewArena(64 << 10),
 		scan:   make([]ScanItem, 0, 128),
@@ -81,6 +82,7 @@ type twoplWorker struct {
 	db     *DB
 	wid    uint16
 	ctx    *txn.Ctx
+	rcl    *Reclaimer
 	scheme lock.Scheme
 	ts     uint64
 	req    lock.Req
@@ -103,10 +105,14 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	}
 	w.ctx.Begin(w.wid, w.ts)
 	w.arena.Reset()
-	w.acc = w.acc[:0]
+	w.arena.Shrink(ArenaShrinkBytes)
+	w.acc = ShrinkScratch(w.acc)
+	w.scan = ShrinkScratch(w.scan)
 	w.accMap.Reset()
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: w.ts, BD: w.bd}
 	w.wl.BeginTxn(w.ts)
+	w.rcl.Begin()
+	defer w.rcl.End()
 
 	if err := proc(w); err != nil {
 		w.rollback(CauseOf(err))
@@ -143,6 +149,7 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 		a := &w.acc[i]
 		if a.isDelete {
 			a.tbl.Idx.Remove(a.key)
+			w.rcl.Retire(a.tbl, a.rec)
 		} else if a.isInsert {
 			a.rec.ClearAbsent()
 		}
@@ -161,6 +168,7 @@ func (w *twoplWorker) rollback(cause stats.AbortCause) {
 		switch {
 		case a.isInsert:
 			a.tbl.Idx.Remove(a.key) // record stays absent (dead)
+			w.rcl.Retire(a.tbl, a.rec)
 		default:
 			if a.undo != nil {
 				copy(a.rec.Data, a.undo)
@@ -303,7 +311,7 @@ func (w *twoplWorker) Insert(t *Table, key uint64, val []byte) error {
 	if len(val) != t.Store.RowSize {
 		return fmt.Errorf("cc: insert size %d != row size %d", len(val), t.Store.RowSize)
 	}
-	rec := t.Store.Alloc()
+	rec := w.rcl.Alloc(t)
 	rec.Key = key
 	rec.InitAbsent(false)
 	copy(rec.Data, val)
@@ -312,6 +320,7 @@ func (w *twoplWorker) Insert(t *Table, key uint64, val []byte) error {
 	}
 	if !t.Idx.Insert(key, rec) {
 		rec.PL.Release(w.wid, lock.Exclusive)
+		w.rcl.FreeNow(t, rec) // never published; no grace period needed
 		return ErrDuplicate
 	}
 	w.acc = append(w.acc, tplAccess{tbl: t, rec: rec, key: key, mode: lock.Exclusive, isInsert: true})

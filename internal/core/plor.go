@@ -120,6 +120,7 @@ func (e *Engine) NewWorker(db *cc.DB, wid uint16, instrument bool) cc.Worker {
 		db:    db,
 		wid:   wid,
 		ctx:   db.Reg.Ctx(wid),
+		rcl:   db.Reclaimer(wid),
 		opts:  e.opts,
 		arena: cc.NewArena(64 << 10),
 		scan:  make([]cc.ScanItem, 0, 128),
@@ -152,6 +153,7 @@ type worker struct {
 	db       *cc.DB
 	wid      uint16
 	ctx      *txn.Ctx
+	rcl      *cc.Reclaimer
 	opts     Options
 	ts       uint64
 	attempts int
@@ -187,9 +189,16 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	w.ctx.BeginWithPriority(w.wid, w.ts, prio)
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: prio, BD: w.bd}
 	w.arena.Reset()
-	w.acc = w.acc[:0]
+	w.arena.Shrink(cc.ArenaShrinkBytes)
+	w.acc = cc.ShrinkScratch(w.acc)
+	w.scan = cc.ShrinkScratch(w.scan)
 	w.accMap.Reset()
 	w.wl.BeginTxn(w.ts)
+
+	// Epoch announcement brackets every index/record access of the attempt
+	// (including rollback), so retired records cannot be recycled under us.
+	w.rcl.Begin()
+	defer w.rcl.End()
 
 	if err := proc(w); err != nil {
 		w.rollback(cc.CauseOf(err))
@@ -308,6 +317,8 @@ func (w *worker) install(a *access) {
 	case a.isDelete:
 		a.tbl.Idx.Remove(a.key)
 		a.rec.TIDUnlockFlags(true, false)
+		// Unlinked and absent: recycle once concurrent readers drain.
+		w.rcl.Retire(a.tbl, a.rec)
 	case a.isInsert:
 		// Data was written at insert time under exclusive mode.
 		a.rec.TIDUnlockFlags(false, true)
@@ -412,6 +423,7 @@ func (w *worker) rollback(cause stats.AbortCause) {
 		a := &w.acc[i]
 		if a.isInsert {
 			a.tbl.Idx.Remove(a.key) // record stays absent (dead)
+			w.rcl.Retire(a.tbl, a.rec)
 		}
 		if a.rlocked {
 			a.lk.ReleaseRead(w.wid)
@@ -607,7 +619,7 @@ func (w *worker) Insert(t *cc.Table, key uint64, val []byte) error {
 	if w.ctx.Aborted() {
 		return errWound
 	}
-	rec := t.Store.Alloc()
+	rec := w.rcl.Alloc(t)
 	rec.Key = key
 	rec.InitAbsent(false)
 	copy(rec.Data, val)
@@ -621,6 +633,7 @@ func (w *worker) Insert(t *cc.Table, key uint64, val []byte) error {
 	}
 	if !t.Idx.Insert(key, rec) {
 		lk.ReleaseWrite(w.wid)
+		w.rcl.FreeNow(t, rec) // never published; no grace period needed
 		return cc.ErrDuplicate
 	}
 	w.acc = append(w.acc, access{

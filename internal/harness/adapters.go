@@ -66,6 +66,40 @@ func (s ycsbSource) Next() Unit {
 	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly && s.markRO, Hint: len(t.Ops)}
 }
 
+// Churn adapts the insert/delete churn workload (the bounded-memory
+// experiment) to the harness. Workers is taken from the harness config so
+// the key-space partition matches the worker fleet.
+type Churn struct {
+	Cfg ycsb.ChurnConfig
+
+	w *ycsb.Churn
+}
+
+// NewChurn builds the adapter; workers partitions the key space.
+func NewChurn(cfg ycsb.ChurnConfig, workers int) *Churn {
+	cfg.Workers = workers
+	cfg.Yield = cfg.Yield || autoYield(workers)
+	return &Churn{Cfg: cfg}
+}
+
+// Name implements Workload.
+func (c *Churn) Name() string {
+	return fmt.Sprintf("churn(n=%d,pairs=%d)", c.Cfg.Records, c.Cfg.Pairs)
+}
+
+// Setup implements Workload.
+func (c *Churn) Setup(d *cc.DB) { c.w = ycsb.SetupChurn(d, c.Cfg) }
+
+// NewSource implements Workload.
+func (c *Churn) NewSource(wid uint16) Source { return churnSource{c.w.NewGen(wid)} }
+
+type churnSource struct{ g *ycsb.ChurnGen }
+
+func (s churnSource) Next() Unit {
+	t := s.g.Next()
+	return Unit{Proc: t.Proc, Hint: s.g.Hint()}
+}
+
 // TPCC adapts the TPC-C workload to the harness.
 type TPCC struct {
 	Cfg  tpcc.Config

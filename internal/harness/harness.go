@@ -100,6 +100,13 @@ type Config struct {
 	// RTTSleep makes the interactive transport sleep the RTT instead of
 	// busy-waiting (see rpc.ChanTransport.UseSleepRTT for the tradeoff).
 	RTTSleep bool
+	// NoReclaim disables epoch-based record reclamation for the run, so
+	// delete/insert churn grows table memory (the A/B baseline for the
+	// bounded-memory experiment).
+	NoReclaim bool
+	// CaptureMem records the run's memory footprint (table bytes, heap
+	// after a forced GC, reclaim counters) into the returned metrics.
+	CaptureMem bool
 	// Workload supplies the tables and transactions.
 	Workload Workload
 	// Label overrides the result row label.
@@ -134,6 +141,9 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		return nil, err
 	}
 	ccdb := cc.NewDB(cfg.Workers, engine.TableOpts())
+	if cfg.NoReclaim {
+		ccdb.DisableReclamation()
+	}
 	if cfg.Logging != db.LogOff {
 		mode := wal.Redo
 		if cfg.Logging == db.LogUndo {
@@ -154,6 +164,14 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		defer ccdb.Log.Close()
 	}
 	cfg.Workload.Setup(ccdb)
+
+	// Baseline for the run's reclaim-counter deltas (obs counters are
+	// process-global and other runs may have bumped them).
+	var baseReclaimed, baseRecycled uint64
+	if cfg.CaptureMem {
+		baseReclaimed = obs.Metrics().RecordsReclaimed.Load()
+		baseRecycled = obs.Metrics().RecordsRecycled.Load()
+	}
 
 	// Build executors: local workers, or interactive clients whose server
 	// sessions share the same database.
@@ -340,6 +358,19 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	}
 	if cfg.Trace {
 		m.Attribution = obs.BuildAttribution()
+	}
+	if cfg.CaptureMem {
+		ccdb.FlushReclaim()
+		m.TableBytes = ccdb.TableBytes()
+		m.RecordsReclaimed = obs.Metrics().RecordsReclaimed.Load() - baseReclaimed
+		m.RecordsRecycled = obs.Metrics().RecordsRecycled.Load() - baseRecycled
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m.HeapBytes = ms.HeapAlloc
+		// Keep the database reachable across the GC above, or HeapAlloc
+		// would exclude the very slabs TableBytes just counted.
+		runtime.KeepAlive(ccdb)
 	}
 	return m, nil
 }

@@ -138,8 +138,8 @@ func (h *rwHash) Get(key uint64) *storage.Record {
 	mu.RLock()
 	var rec *storage.Record
 	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
-		if e.key == key {
-			rec = e.rec
+		if e.key.Load() == key {
+			rec = e.rec.Load()
 			break
 		}
 	}
@@ -151,7 +151,9 @@ func (h *rwHash) Insert(key uint64, rec *storage.Record) {
 	b := h.bucket(key)
 	mu := &h.mus[b&(hashStripes-1)]
 	mu.Lock()
-	e := &hashEntry{key: key, rec: rec}
+	e := &hashEntry{}
+	e.key.Store(key)
+	e.rec.Store(rec)
 	e.next.Store(h.buckets[b].Load())
 	h.buckets[b].Store(e)
 	mu.Unlock()
@@ -164,7 +166,7 @@ func (h *rwHash) Remove(key uint64) {
 	defer mu.Unlock()
 	var prev *hashEntry
 	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
-		if e.key == key {
+		if e.key.Load() == key {
 			if prev == nil {
 				h.buckets[b].Store(e.next.Load())
 			} else {

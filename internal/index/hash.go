@@ -14,6 +14,16 @@ const hashStripes = 256 // power of two
 // back to the stripe mutex, so writer churn cannot starve a reader.
 const hashReadSpinLimit = 8
 
+// hashMaxHops bounds an optimistic chain walk. A reader standing on an
+// entry that was unlinked and recycled mid-walk can be routed through
+// free-list links into an unrelated chain, and in pathological
+// interleavings those links can form a transient cycle. Any such reader
+// is guaranteed to fail its version check (recycling implies a Remove
+// bumped the stripe version after the reader's snapshot), so the bound
+// only has to guarantee termination, not correctness; it is set well
+// above any legitimate chain length at the design load factor.
+const hashMaxHops = 4096
+
 // Hash is a chained hash table whose reads are latch-free: each stripe
 // carries a seqlock version word, bucket heads and chain links are
 // published atomically, and Get is a pair of atomic loads around an
@@ -31,12 +41,15 @@ type Hash struct {
 }
 
 // hashStripe is one seqlock: ver is odd while a writer is mutating the
-// stripe's buckets; mu serializes the writers. Padded to a cache line so
-// neighboring stripes do not false-share.
+// stripe's buckets; mu serializes the writers. free is the stripe's
+// entry free-list (linked through next, mutated only under mu), which
+// lets delete/insert churn recycle entries instead of allocating.
+// Padded to a cache line so neighboring stripes do not false-share.
 type hashStripe struct {
-	ver atomic.Uint64
-	mu  sync.Mutex
-	_   [64 - 16]byte
+	ver  atomic.Uint64
+	mu   sync.Mutex
+	free *hashEntry
+	_    [64 - 24]byte
 }
 
 // beginWrite enters the stripe's write-side critical section.
@@ -51,12 +64,16 @@ func (s *hashStripe) endWrite() {
 	s.mu.Unlock()
 }
 
-// hashEntry is immutable except for next, which writers republish
-// atomically when unlinking (readers mid-chain keep a consistent view:
-// an unlinked entry's next still points into the live chain).
+// hashEntry is a chain node. All fields are atomics because entries are
+// recycled: after Remove unlinks an entry it goes on the stripe
+// free-list, and a later Insert may rewrite key/rec/next while an
+// optimistic reader from before the unlink is still standing on it.
+// Such readers always fail their seqlock check (the unlink bumped the
+// stripe version), so they only need the loads to be tear-free, not the
+// values to be consistent.
 type hashEntry struct {
-	key  uint64
-	rec  *storage.Record
+	key  atomic.Uint64
+	rec  atomic.Pointer[storage.Record]
 	next atomic.Pointer[hashEntry]
 }
 
@@ -82,13 +99,30 @@ func (h *Hash) stripe(b uint64) *hashStripe {
 	return &h.stripes[b&(hashStripes-1)]
 }
 
-// lookup traverses bucket b for key. Safe to run concurrently with
-// writers: heads and links are atomic, entries are never mutated after
-// publication.
-func (h *Hash) lookup(b, key uint64) *storage.Record {
+// lookup traverses bucket b for key without synchronization beyond the
+// atomic loads; callers must validate the stripe version afterwards (or
+// hold the stripe mutex). The hop bound keeps the walk finite even if
+// entry recycling routes it through a transient cycle; ok=false means
+// the walk was cut short and the caller must retry.
+func (h *Hash) lookup(b, key uint64) (rec *storage.Record, ok bool) {
+	hops := 0
 	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
-		if e.key == key {
-			return e.rec
+		if e.key.Load() == key {
+			return e.rec.Load(), true
+		}
+		if hops++; hops > hashMaxHops {
+			return nil, false
+		}
+	}
+	return nil, true
+}
+
+// lookupLocked traverses bucket b for key with the stripe mutex held;
+// the chain is well-formed (finite, acyclic) so no hop bound applies.
+func (h *Hash) lookupLocked(b, key uint64) *storage.Record {
+	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
+		if e.key.Load() == key {
+			return e.rec.Load()
 		}
 	}
 	return nil
@@ -107,35 +141,44 @@ func (h *Hash) Get(key uint64) *storage.Record {
 			storage.Yield(i)
 			continue
 		}
-		rec := h.lookup(b, key)
-		if s.ver.Load() == v {
+		rec, ok := h.lookup(b, key)
+		if ok && s.ver.Load() == v {
 			return rec
 		}
 		countRestart()
 	}
 	// Starvation fallback: read under the writer mutex.
 	s.mu.Lock()
-	rec := h.lookup(b, key)
+	rec := h.lookupLocked(b, key)
 	s.mu.Unlock()
 	return rec
 }
 
-// Insert implements Index.
+// Insert implements Index. Entries come off the stripe free-list when
+// one is available, so steady-state insert/delete churn allocates
+// nothing; the heap allocation only runs while the index is growing.
 func (h *Hash) Insert(key uint64, rec *storage.Record) bool {
 	b := h.hash(key)
 	s := h.stripe(b)
 	s.mu.Lock()
-	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
-		if e.key == key {
-			s.mu.Unlock()
-			return false
-		}
+	if h.lookupLocked(b, key) != nil {
+		s.mu.Unlock()
+		return false
 	}
-	e := &hashEntry{key: key, rec: rec}
+	e := s.free
+	if e != nil {
+		s.free = e.next.Load()
+	} else {
+		e = &hashEntry{}
+	}
+	e.key.Store(key)
+	e.rec.Store(rec)
 	e.next.Store(h.buckets[b].Load())
-	// Publishing a fully built entry at the head is a single atomic
-	// store; no version bump is needed for reader safety, and skipping it
-	// keeps concurrent readers of this stripe from retrying.
+	// Publishing at the head is a single atomic store; no version bump is
+	// needed. A fresh entry is invisible until that store, and a recycled
+	// one can only be observed mid-rewrite by a reader whose snapshot
+	// predates the Remove that freed it — that reader's version check
+	// fails regardless.
 	h.buckets[b].Store(e)
 	s.mu.Unlock()
 	h.count.Add(1)
@@ -146,19 +189,26 @@ func (h *Hash) Insert(key uint64, rec *storage.Record) bool {
 // the stripe version is bumped around it: a reader that was standing on
 // the unlinked entry still sees a valid chain, but its Get revalidates
 // and retries rather than returning a just-deleted record as current.
+// The unlinked entry goes on the stripe free-list for the next Insert;
+// repointing its next at the free-list head is safe for the same reason
+// the unlink is — any reader that can still observe the entry holds a
+// pre-bump version snapshot.
 func (h *Hash) Remove(key uint64) bool {
 	b := h.hash(key)
 	s := h.stripe(b)
 	s.beginWrite()
 	var prev *hashEntry
 	for e := h.buckets[b].Load(); e != nil; e = e.next.Load() {
-		if e.key == key {
+		if e.key.Load() == key {
 			next := e.next.Load()
 			if prev == nil {
 				h.buckets[b].Store(next)
 			} else {
 				prev.next.Store(next)
 			}
+			e.rec.Store(nil)
+			e.next.Store(s.free)
+			s.free = e
 			s.endWrite()
 			h.count.Add(-1)
 			return true

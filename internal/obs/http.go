@@ -120,6 +120,36 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	}{{"0.5", 0.5}, {"0.99", 0.99}} {
 		fmt.Fprintf(w, "plor_rpc_batch_size{quantile=%q} %d\n", q.label, rpcBatch.Quantile(q.v))
 	}
+	retired, reclaimed := l.RecordsRetired.Load(), l.RecordsReclaimed.Load()
+	fmt.Fprintf(w, "# HELP plor_records_retired_total Records retired to limbo (aborted inserts, committed deletes).\n")
+	fmt.Fprintf(w, "# TYPE plor_records_retired_total counter\n")
+	fmt.Fprintf(w, "plor_records_retired_total %d\n", retired)
+	fmt.Fprintf(w, "# HELP plor_records_reclaimed_total Retired records drained to free-lists past the epoch horizon.\n")
+	fmt.Fprintf(w, "# TYPE plor_records_reclaimed_total counter\n")
+	fmt.Fprintf(w, "plor_records_reclaimed_total %d\n", reclaimed)
+	fmt.Fprintf(w, "# HELP plor_records_recycled_total Record allocations served from a free-list.\n")
+	fmt.Fprintf(w, "# TYPE plor_records_recycled_total counter\n")
+	fmt.Fprintf(w, "plor_records_recycled_total %d\n", l.RecordsRecycled.Load())
+	fmt.Fprintf(w, "# HELP plor_records_limbo Records retired but not yet reclaimable (epoch grace period).\n")
+	fmt.Fprintf(w, "# TYPE plor_records_limbo gauge\n")
+	fmt.Fprintf(w, "plor_records_limbo %d\n", retired-reclaimed)
+	if ts := TableStatsSnapshot(); ts != nil {
+		fmt.Fprintf(w, "# HELP plor_table_allocated_rows Records handed out per table (live + dead + free).\n")
+		fmt.Fprintf(w, "# TYPE plor_table_allocated_rows gauge\n")
+		for _, t := range ts {
+			fmt.Fprintf(w, "plor_table_allocated_rows{table=%q} %d\n", t.Name, t.Allocated)
+		}
+		fmt.Fprintf(w, "# HELP plor_table_free_records Records parked on per-table free-lists.\n")
+		fmt.Fprintf(w, "# TYPE plor_table_free_records gauge\n")
+		for _, t := range ts {
+			fmt.Fprintf(w, "plor_table_free_records{table=%q} %d\n", t.Name, t.Free)
+		}
+		fmt.Fprintf(w, "# HELP plor_table_bytes Slab memory per table (rows + record headers + lock state).\n")
+		fmt.Fprintf(w, "# TYPE plor_table_bytes gauge\n")
+		for _, t := range ts {
+			fmt.Fprintf(w, "plor_table_bytes{table=%q} %d\n", t.Name, t.Bytes)
+		}
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

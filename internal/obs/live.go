@@ -39,6 +39,17 @@ type Live struct {
 	RPCBytesIn    atomic.Uint64
 	RPCBytesOut   atomic.Uint64
 
+	// Record-lifecycle counters (epoch reclamation, see internal/cc's
+	// Reclaimer). Retired counts records handed to limbo (aborted inserts,
+	// committed deletes); Reclaimed counts records drained to a free-list
+	// after the epoch horizon passed; Recycled counts allocations served
+	// from a free-list. Retired-Reclaimed is the current limbo population.
+	// Reclaimers batch their updates at drain time, so these lag the hot
+	// path by up to one drain interval.
+	RecordsRetired   atomic.Uint64
+	RecordsReclaimed atomic.Uint64
+	RecordsRecycled  atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu       sync.Mutex
@@ -59,6 +70,39 @@ var live = &Live{
 
 // Metrics returns the process-wide live metrics.
 func Metrics() *Live { return live }
+
+// TableStat is a per-table storage gauge snapshot for /metrics. It mirrors
+// storage's table stats without importing it (obs sits below storage in the
+// import graph); the owner of the database installs a provider with
+// SetTableStats.
+type TableStat struct {
+	Name      string
+	Allocated int    // records handed out over the table's lifetime
+	Free      int    // records parked on free-lists
+	Recycled  uint64 // allocations served from a free-list
+	Bytes     uint64 // slab memory bytes
+}
+
+var tableStatsFn atomic.Pointer[func() []TableStat]
+
+// SetTableStats installs the provider /metrics polls for per-table storage
+// gauges. Pass nil to uninstall.
+func SetTableStats(fn func() []TableStat) {
+	if fn == nil {
+		tableStatsFn.Store(nil)
+		return
+	}
+	tableStatsFn.Store(&fn)
+}
+
+// TableStatsSnapshot polls the installed provider (nil if none).
+func TableStatsSnapshot() []TableStat {
+	fn := tableStatsFn.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)()
+}
 
 // TxnCommit records one committed transaction and its end-to-end latency.
 func (l *Live) TxnCommit(d time.Duration) {
@@ -157,6 +201,9 @@ func (l *Live) Reset() {
 	l.RPCBatchedOps.Store(0)
 	l.RPCBytesIn.Store(0)
 	l.RPCBytesOut.Store(0)
+	l.RecordsRetired.Store(0)
+	l.RecordsReclaimed.Store(0)
+	l.RecordsRecycled.Store(0)
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}

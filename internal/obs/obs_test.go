@@ -252,6 +252,46 @@ func TestHTTPMetricsScrape(t *testing.T) {
 	}
 }
 
+// TestHTTPReclaimMetrics checks the record-lifecycle counters and the
+// per-table storage gauges reach /metrics.
+func TestHTTPReclaimMetrics(t *testing.T) {
+	Metrics().Reset()
+	Metrics().RecordsRetired.Add(10)
+	Metrics().RecordsReclaimed.Add(7)
+	Metrics().RecordsRecycled.Add(5)
+	SetTableStats(func() []TableStat {
+		return []TableStat{{Name: "usertable", Allocated: 42, Free: 6, Recycled: 5, Bytes: 1 << 20}}
+	})
+	defer SetTableStats(nil)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"plor_records_retired_total 10",
+		"plor_records_reclaimed_total 7",
+		"plor_records_recycled_total 5",
+		"plor_records_limbo 3",
+		`plor_table_allocated_rows{table="usertable"} 42`,
+		`plor_table_free_records{table="usertable"} 6`,
+		`plor_table_bytes{table="usertable"} 1048576`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestHTTPTraceEndpoint checks /debug/trace round-trips events as JSON.
 func TestHTTPTraceEndpoint(t *testing.T) {
 	ResetTrace()

@@ -42,6 +42,16 @@ type Metrics struct {
 	// Attribution is the per-phase latency table derived from obs traces;
 	// nil unless the run was traced.
 	Attribution *Attribution
+
+	// TableBytes is the slab-backed table footprint (rows + record
+	// headers) at the end of the run; HeapBytes is runtime HeapAlloc
+	// after a forced GC. RecordsReclaimed/RecordsRecycled count records
+	// that completed the epoch grace period and records handed back out
+	// by Alloc. Zero unless the harness captured memory.
+	TableBytes       uint64
+	HeapBytes        uint64
+	RecordsReclaimed uint64
+	RecordsRecycled  uint64
 }
 
 // Throughput returns committed transactions per second.
@@ -75,6 +85,14 @@ func (m *Metrics) Row() string {
 	return fmt.Sprintf("%-28s workers=%-3d tput=%10.0f tps  p50=%8.1fus  p99=%8.1fus  p999=%8.1fus  abort=%5.1f%%",
 		m.Label, m.Workers, m.Throughput(), m.P50us(),
 		m.P99us(), m.P999us(), m.AbortRatio()*100)
+}
+
+// MemRow renders the memory column printed under a Row when the harness
+// captured the run's footprint (churn runs and -mem runs).
+func (m *Metrics) MemRow() string {
+	return fmt.Sprintf("%-28s table=%8.2f MiB  heap=%8.2f MiB  reclaimed=%d recycled=%d",
+		m.Label, float64(m.TableBytes)/(1<<20), float64(m.HeapBytes)/(1<<20),
+		m.RecordsReclaimed, m.RecordsRecycled)
 }
 
 // CauseSummary renders the per-cause abort counters. It prefers the harness

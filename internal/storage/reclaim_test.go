@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"testing"
+)
+
+func TestAllocWorkerRecycles(t *testing.T) {
+	tbl := NewTable("t", 64, TableOpts{Workers: 2})
+	r := tbl.Alloc()
+	r.TID.Store(7) // pretend the record lived: version 7
+	tbl.Free(1, r)
+	got, recycled := tbl.AllocWorker(1)
+	if !recycled || got != r {
+		t.Fatalf("AllocWorker = (%p, %v), want recycled %p", got, recycled, r)
+	}
+	if v := got.TID.Load(); !TIDAbsent(v) || TIDVersion(v) != 7 {
+		t.Fatalf("recycled TID = %#x, want absent with version 7", v)
+	}
+	if tbl.Recycled() != 1 {
+		t.Fatalf("Recycled() = %d, want 1", tbl.Recycled())
+	}
+	// Empty free-list falls through to the slab cursor.
+	fresh, recycled := tbl.AllocWorker(1)
+	if recycled || fresh == r {
+		t.Fatalf("second AllocWorker should be a fresh record")
+	}
+}
+
+func TestFreeOutOfRangeWorkerAbandons(t *testing.T) {
+	tbl := NewTable("t", 64, TableOpts{}) // no recycling state
+	r := tbl.Alloc()
+	tbl.Free(1, r) // must not panic; record is abandoned
+	if n := tbl.FreeCount(); n != 0 {
+		t.Fatalf("FreeCount = %d, want 0 on a table without shards", n)
+	}
+}
+
+func TestFreeSpillsToSharedPool(t *testing.T) {
+	tbl := NewTable("t", 8, TableOpts{Workers: 2})
+	n := maxShardFree + 1
+	for i := 0; i < n; i++ {
+		tbl.Free(1, tbl.Alloc())
+	}
+	if got := tbl.FreeCount(); got != n {
+		t.Fatalf("FreeCount = %d, want %d", got, n)
+	}
+	if tbl.spillLen.Load() == 0 {
+		t.Fatalf("overfull shard should have spilled to the shared pool")
+	}
+	// Worker 2's shard is empty: it must refill from the spill pool.
+	if _, recycled := tbl.AllocWorker(2); !recycled {
+		t.Fatalf("worker 2 should recycle from the spill pool")
+	}
+}
+
+func TestInitAbsentPreservesVersion(t *testing.T) {
+	var r Record
+	r.Data = make([]byte, 8)
+	r.TID.Store(41)
+	r.InitAbsent(false)
+	if v := r.TID.Load(); !TIDAbsent(v) || TIDVersion(v) != 41 {
+		t.Fatalf("InitAbsent TID = %#x, want absent version 41", v)
+	}
+	r.InitAbsent(true)
+	if v := r.TID.Load(); v&(1<<63) == 0 {
+		t.Fatalf("InitAbsent(locked) TID = %#x, want locked", v)
+	}
+}
+
+func TestResetForRecycleClearsFlagsKeepsVersion(t *testing.T) {
+	var r Record
+	r.Data = make([]byte, 8)
+	r.TID.Store(1<<63 | 99) // locked, version 99
+	r.Meta.Store(12345)
+	r.ResetForRecycle()
+	v := r.TID.Load()
+	if v&(1<<63) != 0 || !TIDAbsent(v) || TIDVersion(v) != 99 {
+		t.Fatalf("ResetForRecycle TID = %#x, want unlocked absent version 99", v)
+	}
+	if r.Meta.Load() != 0 {
+		t.Fatalf("ResetForRecycle kept Meta = %d, want 0", r.Meta.Load())
+	}
+}
+
+func TestMemBytesTracksSlabs(t *testing.T) {
+	tbl := NewTable("t", 64, TableOpts{Workers: 1})
+	tbl.Alloc() // slabs materialize lazily on first use
+	base := tbl.MemBytes()
+	if base == 0 {
+		t.Fatalf("MemBytes = 0 after first Alloc")
+	}
+	for i := 1; i < slabRecords+1; i++ { // force a second slab
+		tbl.Alloc()
+	}
+	if got := tbl.MemBytes(); got != 2*base {
+		t.Fatalf("MemBytes after second slab = %d, want %d", got, 2*base)
+	}
+	s := tbl.Stats()
+	if s.Allocated != slabRecords+1 || s.Bytes != tbl.MemBytes() {
+		t.Fatalf("Stats = %+v inconsistent with table", s)
+	}
+}
+
+// TestAllocWorkerNoAllocsWhenWarm is the hot-path guarantee the churn
+// benchmark relies on: recycling a record through Free/AllocWorker does
+// not touch the heap.
+func TestAllocWorkerNoAllocsWhenWarm(t *testing.T) {
+	tbl := NewTable("t", 64, TableOpts{Workers: 1})
+	rec := tbl.Alloc()
+	tbl.Free(1, rec)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r, _ := tbl.AllocWorker(1)
+		tbl.Free(1, r)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AllocWorker/Free = %v allocs/op, want 0", allocs)
+	}
+}

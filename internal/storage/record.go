@@ -140,13 +140,29 @@ func (r *Record) ClearAbsent() {
 
 // InitAbsent stamps a freshly allocated record as absent, optionally with
 // the TID lock held (Silo-style inserts). Safe only before the record is
-// published to an index.
+// published to an index. The version bits are preserved, not zeroed: a
+// recycled record must keep its TID monotone so an optimistic reader still
+// holding the previous incarnation's version can never validate against the
+// new one (the epoch gate already prevents that overlap; the monotone TID
+// is the belt-and-braces the reclamation design requires).
 func (r *Record) InitAbsent(locked bool) {
-	v := tidAbsentBit
+	v := r.TID.Load()&tidVerMask | tidAbsentBit
 	if locked {
 		v |= tidLockBit
 	}
 	r.TID.Store(v)
+}
+
+// ResetForRecycle scrubs protocol state before a retired record re-enters a
+// free-list: the absent bit is set and the lock bit cleared (committed
+// deletes retire with absent already set; aborted inserts never cleared
+// it), Meta (MOCC's temperature) is zeroed, and the version bits survive so
+// the next incarnation's TID continues the dead record's history. The
+// caller (the epoch reclaimer) guarantees no concurrent access.
+func (r *Record) ResetForRecycle() {
+	v := r.TID.Load()
+	r.TID.Store(v&tidVerMask | tidAbsentBit)
+	r.Meta.Store(0)
 }
 
 // StableRead copies the record image into buf with seqlock semantics: it

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/lock"
 )
@@ -31,6 +32,11 @@ type TableOpts struct {
 	// NeedTwoPL allocates a 2PL lock per record (NO_WAIT / WAIT_DIE /
 	// WOUND_WAIT schemes).
 	NeedTwoPL bool
+	// Workers sizes the per-worker record free-lists (worker IDs 1..Workers)
+	// that AllocWorker/Free recycle through. 0 leaves recycling state
+	// unallocated: Free becomes a no-op and the table is append-only, the
+	// pre-reclamation behavior.
+	Workers int
 }
 
 // slab is one allocation unit: a records array plus the backing row arena.
@@ -39,9 +45,27 @@ type slab struct {
 	arena []byte
 }
 
-// Table is a fixed-row-size, append-only row store. Rows are never freed
-// individually (aborted inserts leave a dead record in the slab, as in the
-// paper's engine); the index determines visibility.
+// freeShard is one worker's private record free-list. Each worker slot is
+// driven by at most one goroutine, so pushes and pops need no atomics; the
+// shard is cache-line padded because neighbors sit in one array.
+type freeShard struct {
+	free []*Record
+	_    [64 - unsafe.Sizeof([]*Record{})%64]byte
+}
+
+const (
+	// maxShardFree caps a worker's private free-list; past it, half the
+	// list spills to the shared pool so one delete-heavy worker feeds
+	// insert-heavy ones instead of hoarding.
+	maxShardFree = 512
+)
+
+// Table is a fixed-row-size row store allocating from append-only slabs.
+// Slabs themselves are never unmapped (profilers may scan them at any
+// time), but individual records are recycled: engines hand dead records
+// (aborted inserts, committed deletes) back through the epoch reclaimer,
+// which parks them on per-worker free-lists that AllocWorker drains before
+// touching the slab cursor. The index determines visibility throughout.
 type Table struct {
 	Name    string
 	RowSize int
@@ -50,6 +74,15 @@ type Table struct {
 	mu    sync.Mutex
 	slabs atomic.Pointer[[]*slab]
 	next  atomic.Uint64 // global row cursor: slab = next/slabRecords
+
+	// Record recycling: per-worker private shards plus a shared overflow
+	// pool exchanged in batches. spillLen gates the shared pool without
+	// taking spillMu on the (common) empty case.
+	shards   []freeShard
+	spillMu  sync.Mutex
+	spill    [][]*Record
+	spillLen atomic.Int64
+	recycled atomic.Uint64 // allocations served from a free-list
 }
 
 // NewTable creates an empty table with fixed rowSize bytes per row.
@@ -58,6 +91,9 @@ func NewTable(name string, rowSize int, opts TableOpts) *Table {
 		panic(fmt.Sprintf("storage: invalid row size %d for table %q", rowSize, name))
 	}
 	t := &Table{Name: name, RowSize: rowSize, opts: opts}
+	if opts.Workers > 0 {
+		t.shards = make([]freeShard, opts.Workers+1)
+	}
 	empty := make([]*slab, 0, 16)
 	t.slabs.Store(&empty)
 	return t
@@ -113,8 +149,128 @@ func (t *Table) grow(n int) {
 	t.slabs.Store(&next)
 }
 
+// AllocWorker returns a record for worker wid, preferring the worker's
+// free-list (then a batch from the shared spill pool) over the slab cursor.
+// Recycled records come back absent with a monotone TID (ResetForRecycle);
+// the second return value reports whether the record was recycled. Each
+// wid must be driven by at most one goroutine, the engine worker contract.
+func (t *Table) AllocWorker(wid uint16) (*Record, bool) {
+	if int(wid) < len(t.shards) {
+		s := &t.shards[wid]
+		if len(s.free) == 0 && t.spillLen.Load() > 0 {
+			t.takeSpill(s)
+		}
+		if n := len(s.free); n > 0 {
+			r := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			t.recycled.Add(1)
+			return r, true
+		}
+	}
+	return t.Alloc(), false
+}
+
+// Free returns a record to worker wid's free-list. The caller (the epoch
+// reclaimer) must guarantee the record is unreachable: unlinked from every
+// index and past the epoch horizon of all in-flight readers, or never
+// published at all. On tables without recycling state the record is simply
+// abandoned in its slab, the pre-reclamation behavior.
+func (t *Table) Free(wid uint16, rec *Record) {
+	rec.ResetForRecycle()
+	if int(wid) >= len(t.shards) {
+		return
+	}
+	s := &t.shards[wid]
+	s.free = append(s.free, rec)
+	if len(s.free) > maxShardFree {
+		t.spillHalf(s)
+	}
+}
+
+// spillHalf moves the top half of a full shard to the shared pool.
+func (t *Table) spillHalf(s *freeShard) {
+	half := len(s.free) / 2
+	batch := make([]*Record, len(s.free)-half)
+	copy(batch, s.free[half:])
+	for i := half; i < len(s.free); i++ {
+		s.free[i] = nil
+	}
+	s.free = s.free[:half]
+	t.spillMu.Lock()
+	t.spill = append(t.spill, batch)
+	t.spillMu.Unlock()
+	t.spillLen.Add(int64(len(batch)))
+}
+
+// takeSpill refills an empty shard with one batch from the shared pool.
+func (t *Table) takeSpill(s *freeShard) {
+	t.spillMu.Lock()
+	n := len(t.spill)
+	if n == 0 {
+		t.spillMu.Unlock()
+		return
+	}
+	batch := t.spill[n-1]
+	t.spill[n-1] = nil
+	t.spill = t.spill[:n-1]
+	t.spillMu.Unlock()
+	t.spillLen.Add(-int64(len(batch)))
+	s.free = append(s.free, batch...)
+}
+
 // Allocated returns the number of records handed out (live + dead).
 func (t *Table) Allocated() int { return int(t.next.Load()) }
+
+// FreeCount returns the number of records currently parked on free-lists.
+// The per-shard lengths are read without synchronization (each is owned by
+// its worker), so the result is a racy snapshot — fine for gauges, like
+// SampleLockContention.
+func (t *Table) FreeCount() int {
+	n := int(t.spillLen.Load())
+	for i := range t.shards {
+		n += len(t.shards[i].free)
+	}
+	return n
+}
+
+// Recycled returns the number of allocations served from a free-list.
+func (t *Table) Recycled() uint64 { return t.recycled.Load() }
+
+// MemBytes returns the table's slab memory: row arenas plus record headers
+// plus optional per-record lock managers. Free-list and spill bookkeeping
+// is negligible (one pointer per parked record) and excluded.
+func (t *Table) MemBytes() uint64 {
+	slabs := len(*t.slabs.Load())
+	per := uint64(t.RowSize) + uint64(unsafe.Sizeof(Record{}))
+	if t.opts.NeedMutexLocker {
+		per += uint64(unsafe.Sizeof(lock.MutexLocker{}))
+	}
+	if t.opts.NeedTwoPL {
+		per += uint64(unsafe.Sizeof(lock.TwoPL{}))
+	}
+	return uint64(slabs) * slabRecords * per
+}
+
+// TableStats is a point-in-time storage snapshot for gauges.
+type TableStats struct {
+	Name      string
+	Allocated int    // records handed out over the table's lifetime
+	Free      int    // records parked on free-lists (racy snapshot)
+	Recycled  uint64 // allocations served from a free-list
+	Bytes     uint64 // slab memory (rows + record headers + lock state)
+}
+
+// Stats returns the table's storage snapshot.
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		Name:      t.Name,
+		Allocated: t.Allocated(),
+		Free:      t.FreeCount(),
+		Recycled:  t.Recycled(),
+		Bytes:     t.MemBytes(),
+	}
+}
 
 // EachRecord calls fn for every allocated record (live + dead) until fn
 // returns false. Safe for concurrent use with Alloc; records allocated

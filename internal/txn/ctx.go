@@ -72,7 +72,12 @@ type Ctx struct {
 	// By default it equals the transaction timestamp; the Plor-RT variant
 	// stores a deadline here instead. Lower value = higher priority.
 	prio atomic.Uint64
-	_    [6]uint64 // pad to a full cache line
+	// epoch is the worker's reclamation-epoch announcement: 0 while the
+	// worker is outside any transaction attempt, otherwise the global epoch
+	// it observed at attempt begin. Reclaimers read every slot to compute
+	// the epoch horizon no in-flight reader can precede (ReclaimBound).
+	epoch atomic.Uint64
+	_     [5]uint64 // pad to a full cache line
 }
 
 // Begin activates a new (or retried) transaction on this context: it stores
@@ -129,6 +134,11 @@ func (c *Ctx) KillCurrent(ts uint64) bool {
 type Registry struct {
 	ctxs []Ctx
 	ts   atomic.Uint64
+	// epoch is the global reclamation epoch. It starts at 1 so a zero
+	// announcement slot always means "inactive", and only ever advances
+	// (TryAdvanceEpoch), so a worker's announcement is a lower bound on
+	// every epoch it can observe for the rest of its attempt.
+	epoch atomic.Uint64
 }
 
 // NewRegistry creates a registry for n workers (1 ≤ n ≤ MaxWorkers).
@@ -137,7 +147,9 @@ func NewRegistry(n int) *Registry {
 	if n < 1 || n > MaxWorkers {
 		panic(fmt.Sprintf("txn: worker count %d out of range [1,%d]", n, MaxWorkers))
 	}
-	return &Registry{ctxs: make([]Ctx, n+1)}
+	r := &Registry{ctxs: make([]Ctx, n+1)}
+	r.epoch.Store(1)
+	return r
 }
 
 // Workers returns the number of registered workers.
@@ -158,6 +170,59 @@ func (r *Registry) NextTS() uint64 {
 
 // CurrentTS returns the most recently allocated timestamp.
 func (r *Registry) CurrentTS() uint64 { return r.ts.Load() }
+
+// --- reclamation epochs ----------------------------------------------------
+//
+// The epoch machinery supports safe memory reclamation for latch-free
+// readers (Larson et al., VLDB 2012; Silo's epochs): a worker announces the
+// global epoch when an attempt begins and clears the announcement when it
+// ends, so a retired record tagged with epoch e may be recycled once every
+// active announcement exceeds e — by then no thread can still hold a record
+// pointer obtained before the retire.
+
+// Epoch returns the current global reclamation epoch (≥ 1).
+func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
+
+// TryAdvanceEpoch bumps the global epoch from seen to seen+1. The CAS makes
+// concurrent advancers collapse into one bump per generation, bounding
+// cache-line churn on the hot EpochEnter load.
+func (r *Registry) TryAdvanceEpoch(seen uint64) {
+	r.epoch.CompareAndSwap(seen, seen+1)
+}
+
+// EpochEnter announces the current global epoch for worker wid. Must be
+// called before the attempt touches any index or record, and is idempotent
+// only in the sense that re-announcing a fresher epoch mid-attempt would be
+// unsafe — call it exactly once per attempt.
+//
+// The announced value may lag the true global epoch by one advance (the
+// load and store are not atomic together); a stale (lower) announcement is
+// strictly conservative: it delays reclamation, never permits it early.
+func (r *Registry) EpochEnter(wid uint16) {
+	r.ctxs[wid].epoch.Store(r.epoch.Load())
+}
+
+// EpochExit clears worker wid's announcement after the attempt has dropped
+// every record pointer it obtained.
+func (r *Registry) EpochExit(wid uint16) {
+	r.ctxs[wid].epoch.Store(0)
+}
+
+// ReclaimBound returns the reclamation horizon: records retired in any
+// epoch < bound are unreachable from every in-flight attempt. With no
+// active announcement the bound is epoch+1 (everything retired so far is
+// reclaimable): a worker that announces after this scan began entered after
+// the retiring transactions unlinked their records, so it cannot have found
+// them through any index.
+func (r *Registry) ReclaimBound() uint64 {
+	bound := r.epoch.Load() + 1
+	for i := 1; i < len(r.ctxs); i++ {
+		if e := r.ctxs[i].epoch.Load(); e != 0 && e < bound {
+			bound = e
+		}
+	}
+	return bound
+}
 
 // PriorityOf returns the commit priority of the worker identified by the
 // packed word w, as currently published in the registry. If that worker has

@@ -1,0 +1,91 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochInitialState(t *testing.T) {
+	r := NewRegistry(4)
+	if got := r.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+	// No worker announced: everything retired in the current epoch is
+	// already reclaimable (bound must exceed the current epoch).
+	if got := r.ReclaimBound(); got != 2 {
+		t.Fatalf("idle ReclaimBound = %d, want 2", got)
+	}
+}
+
+func TestEpochEnterExitBound(t *testing.T) {
+	r := NewRegistry(4)
+	r.EpochEnter(1)
+	if got := r.ReclaimBound(); got != 1 {
+		t.Fatalf("bound with worker 1 active = %d, want 1", got)
+	}
+	r.TryAdvanceEpoch(1)
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch after advance = %d, want 2", got)
+	}
+	// Worker 1 still announces epoch 1, pinning the bound.
+	r.EpochEnter(2)
+	if got := r.ReclaimBound(); got != 1 {
+		t.Fatalf("bound with stale announcement = %d, want 1", got)
+	}
+	r.EpochExit(1)
+	if got := r.ReclaimBound(); got != 2 {
+		t.Fatalf("bound after worker 1 exit = %d, want 2", got)
+	}
+	r.EpochExit(2)
+	if got := r.ReclaimBound(); got != 3 {
+		t.Fatalf("idle bound at epoch 2 = %d, want 3", got)
+	}
+}
+
+func TestTryAdvanceEpochStaleSeen(t *testing.T) {
+	r := NewRegistry(1)
+	r.TryAdvanceEpoch(1) // 1 → 2
+	r.TryAdvanceEpoch(1) // stale: no-op
+	r.TryAdvanceEpoch(1) // stale: no-op
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2 (stale advances must not stack)", got)
+	}
+	r.TryAdvanceEpoch(2)
+	if got := r.Epoch(); got != 3 {
+		t.Fatalf("epoch = %d, want 3", got)
+	}
+}
+
+// TestEpochAnnouncementIsLowerBound checks the reclamation invariant under
+// concurrency: a worker's announcement, taken before an epoch read, never
+// exceeds any epoch value the worker observes afterwards — so a retire
+// tagged with a later-read epoch is always covered by the announcement.
+func TestEpochAnnouncementIsLowerBound(t *testing.T) {
+	r := NewRegistry(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for wid := uint16(1); wid <= 4; wid++ {
+		wg.Add(1)
+		go func(wid uint16) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.EpochEnter(wid)
+				ann := r.ctxs[wid].epoch.Load()
+				if tag := r.Epoch(); tag < ann {
+					t.Errorf("worker %d: announced %d > later epoch read %d", wid, ann, tag)
+				}
+				r.EpochExit(wid)
+			}
+		}(wid)
+	}
+	for i := uint64(1); i < 2000; i++ {
+		r.TryAdvanceEpoch(r.Epoch())
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,58 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// TestDeliveryDrainBoundsNewOrderTable runs the long-run TPC-C shape that
+// leaks without reclamation: New-Order inserts NEW_ORDER rows, Delivery
+// deletes them, and the table's slab cursor must plateau once deleted
+// records recycle — including through the B+tree index path.
+func TestDeliveryDrainBoundsNewOrderTable(t *testing.T) {
+	e := core.New(core.Options{})
+	db := cc.NewDB(1, e.TableOpts())
+	w := Setup(db, Config{Warehouses: 1, InvalidItemPct: 0})
+	g := w.NewGen(1, 42)
+	worker := e.NewWorker(db, 1, false)
+	run := func(txn Txn) {
+		first := true
+		for {
+			err := worker.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly, ResourceHint: txn.Hint})
+			if err == nil || errors.Is(err, cc.ErrIntentionalRollback) {
+				return
+			}
+			if !cc.IsAborted(err) {
+				t.Fatalf("txn: %v", err)
+			}
+			first = false
+		}
+	}
+	// One Delivery delivers the oldest pending order of each of the 10
+	// districts, balancing 10 New-Orders per round at steady state.
+	round := func() {
+		for i := 0; i < 10; i++ {
+			run(g.NewOrder())
+		}
+		run(g.Delivery())
+	}
+	for i := 0; i < 50; i++ { // drain the preloaded backlog, warm free-lists
+		round()
+	}
+	mark := w.T.NewOrder.Store.Allocated()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		round()
+	}
+	growth := w.T.NewOrder.Store.Allocated() - mark
+	if growth > 512 {
+		t.Errorf("NEW_ORDER slab cursor grew by %d records over %d rounds (%d inserts); Delivery churn is leaking",
+			growth, rounds, rounds*10)
+	}
+	if w.T.NewOrder.Store.Recycled() == 0 {
+		t.Errorf("no NEW_ORDER allocations were served from free-lists")
+	}
+}

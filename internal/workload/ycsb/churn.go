@@ -1,0 +1,140 @@
+package ycsb
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cc"
+)
+
+// ChurnConfig parameterizes the insert/delete churn workload: a fixed
+// working set where every transaction deletes its worker's oldest live
+// keys and inserts the same number of fresh ones. The live-row count is
+// constant, so the workload isolates record-lifecycle cost: without
+// reclamation, table memory grows linearly with committed transactions;
+// with it, memory plateaus at the working set.
+type ChurnConfig struct {
+	// Records is the live-key count (must be ≥ the worker count so every
+	// worker starts with keys to delete).
+	Records int
+	// RecordSize is the row size in bytes.
+	RecordSize int
+	// Pairs is the number of delete+insert pairs per transaction.
+	Pairs int
+	// Workers partitions the key space: worker wid owns keys congruent to
+	// wid-1 modulo Workers, so workers never contend on rows.
+	Workers int
+	// Yield inserts a scheduler yield after each pair (see Config.Yield).
+	Yield bool
+}
+
+// ChurnDefaults is the churn benchmark's standard shape.
+func ChurnDefaults() ChurnConfig {
+	return ChurnConfig{Records: 100_000, RecordSize: 128, Pairs: 4}
+}
+
+// ChurnTableName is the churn table's catalog name.
+const ChurnTableName = "churntable"
+
+// ChurnValue derives key's canonical payload into buf. Values are a pure
+// function of the key so concurrent readers (the reclaim race stress) can
+// detect a recycled record leaking another key's bytes.
+func ChurnValue(key uint64, buf []byte) {
+	for i := range buf {
+		buf[i] = byte(key*131 + uint64(i)*7)
+	}
+}
+
+// Churn is a loaded churn table.
+type Churn struct {
+	Cfg ChurnConfig
+	Tbl *cc.Table
+}
+
+// SetupChurn creates and preloads the churn table with keys 0..Records-1.
+func SetupChurn(db *cc.DB, cfg ChurnConfig) *Churn {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Pairs < 1 {
+		cfg.Pairs = 1
+	}
+	if cfg.Records < cfg.Workers {
+		panic(fmt.Sprintf("churn: %d records cannot seed %d workers", cfg.Records, cfg.Workers))
+	}
+	tbl := db.CreateTable(ChurnTableName, cfg.RecordSize, cc.HashIndex, cfg.Records)
+	row := make([]byte, cfg.RecordSize)
+	for k := 0; k < cfg.Records; k++ {
+		ChurnValue(uint64(k), row)
+		if db.LoadRecord(tbl, uint64(k), row) == nil {
+			panic("churn: duplicate key during load")
+		}
+	}
+	return &Churn{Cfg: cfg, Tbl: tbl}
+}
+
+// ChurnGen produces transactions for one worker. Not safe for concurrent
+// use. Each worker walks its own residue class FIFO-style: deletes consume
+// the oldest live key, inserts extend past the high-water mark, and both
+// cursors advance only on generation — a retried attempt replays the same
+// keys, so aborts do not desynchronize the stream.
+type ChurnGen struct {
+	w       *Churn
+	stride  uint64
+	nextDel uint64
+	nextIns uint64
+	keys    []uint64
+	val     []byte
+}
+
+// NewGen creates worker wid's generator (wid is 1-based, as in the
+// harness; the worker owns keys ≡ wid-1 mod Workers).
+func (w *Churn) NewGen(wid uint16) *ChurnGen {
+	stride := uint64(w.Cfg.Workers)
+	own := (uint64(wid) - 1) % stride
+	r := uint64(w.Cfg.Records)
+	g := &ChurnGen{
+		w:       w,
+		stride:  stride,
+		nextDel: own,
+		// Smallest key ≥ Records in this worker's residue class.
+		nextIns: r + (own+stride-r%stride)%stride,
+		val:     make([]byte, w.Cfg.RecordSize),
+	}
+	return g
+}
+
+// Hint returns the per-transaction operation count (the Plor-RT resource
+// hint).
+func (g *ChurnGen) Hint() int { return 2 * g.w.Cfg.Pairs }
+
+// Next generates the next transaction: Pairs deletes of the worker's
+// oldest live keys interleaved with Pairs inserts of fresh ones. The
+// returned Txn is valid until the following call to Next.
+func (g *ChurnGen) Next() Txn {
+	g.keys = g.keys[:0]
+	for p := 0; p < g.w.Cfg.Pairs; p++ {
+		g.keys = append(g.keys, g.nextDel, g.nextIns)
+		g.nextDel += g.stride
+		g.nextIns += g.stride
+	}
+	keys := g.keys
+	tbl := g.w.Tbl
+	yield := g.w.Cfg.Yield
+	proc := func(tx cc.Tx) error {
+		for i := 0; i < len(keys); i += 2 {
+			if err := tx.Delete(tbl, keys[i]); err != nil {
+				return err
+			}
+			ChurnValue(keys[i+1], g.val)
+			if err := tx.Insert(tbl, keys[i+1], g.val); err != nil {
+				return err
+			}
+			if yield {
+				runtime.Gosched()
+			}
+		}
+		return nil
+	}
+	return Txn{Proc: proc}
+}
