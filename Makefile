@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc
+.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ bench-smoke:
 # recycled are the metrics that matter; tps must not regress).
 bench-mem:
 	$(GO) test -run=^$$ -bench=BenchmarkChurn -benchmem .
+
+# bench-htap measures the MVCC snapshot-read subsystem: churn writers vs
+# paced full-range snapshot scanners (writer tps/p999 deltas against the
+# no-scan baseline, scan latency, version-node footprint) plus the raw
+# snapshot-scan primitive.
+bench-htap:
+	$(GO) test -run=^$$ -bench='BenchmarkHTAP|BenchmarkSnapshotScan' -benchmem .
 
 # bench-wal measures the WAL commit-path disciplines (sync vs group vs
 # async) and the device-level batching effect behind them.

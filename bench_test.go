@@ -332,3 +332,72 @@ func BenchmarkChurn(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHTAP is the zero-abort snapshot-scan experiment: churn writers
+// over an ordered table with paced snapshot scanners reading full-range
+// consistent cuts. The scan-free variant is the writer-impact baseline;
+// scans never abort and never take locks, so the writer columns are the
+// entire cost of HTAP here.
+func BenchmarkHTAP(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		scanners int
+	}{{"no-scan", 0}, {"scan-1", 1}, {"scan-2", 2}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := ycsb.ChurnDefaults()
+			cfg.Records = 20_000
+			cfg.RecordSize = 64
+			cfg.Ordered = true
+			wl := harness.NewChurn(cfg, 4)
+			hcfg := harness.Config{Protocol: db.Plor, Workers: 4,
+				Workload: wl, CaptureMem: true,
+				Scanners: v.scanners, ScanInterval: 100 * time.Millisecond,
+				Warmup: 100 * time.Millisecond, Measure: 700 * time.Millisecond}
+			b.ResetTimer()
+			m, err := harness.Run(hcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.Throughput(), "tps")
+			b.ReportMetric(m.P999us(), "p999-us")
+			b.ReportMetric(float64(m.SnapshotScans)/m.Elapsed.Seconds(), "scans/s")
+			b.ReportMetric(float64(m.VersionNodes), "vnodes")
+			if v.scanners > 0 && m.ScanLatency != nil {
+				b.ReportMetric(float64(m.ScanLatency.P50())/1e6, "scan-p50-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScan measures the snapshot point-read and full-scan
+// primitives themselves on a quiescent table: the per-row cost of the
+// seqlock copy plus visibility check, without writer interference.
+func BenchmarkSnapshotScan(b *testing.B) {
+	const records = 20_000
+	d, err := db.Open(db.Options{Protocol: db.Plor, Workers: 1, Scanners: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := d.CreateTable("scan", 64, db.Ordered, records)
+	row := make([]byte, 64)
+	for k := uint64(0); k < records; k++ {
+		d.Load(tbl, k, row)
+	}
+	ro := d.ReadOnly(1)
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		err := ro.View(func(tx *db.SnapTx) error {
+			return tx.Scan(tbl, 0, ^uint64(0), func(uint64, []byte) bool {
+				rows++
+				return true
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/scan")
+}

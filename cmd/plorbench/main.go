@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		protocol    = flag.String("protocol", "PLOR", "CC protocol: PLOR, PLOR+DWA, PLOR_BASE, PLOR_RT, NO_WAIT, WAIT_DIE, WOUND_WAIT, SILO, TICTOC, MOCC")
-		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc, churn")
+		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc, churn, htap")
 		workers     = flag.Int("workers", 8, "closed-loop worker count (1-63)")
 		measure     = flag.Duration("measure", 3*time.Second, "measurement duration")
 		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup duration")
@@ -51,6 +51,8 @@ func main() {
 		churnPairs  = flag.Int("churn-pairs", 4, "delete+insert pairs per churn transaction")
 		noReclaim   = flag.Bool("no-reclaim", false, "disable epoch-based record reclamation (table memory grows with churn)")
 		memReport   = flag.Bool("mem", false, "report the run's memory footprint (implied by -workload churn)")
+		scanners    = flag.Int("scanners", -1, "snapshot scanner goroutines running full-range scans against the workload (-1 = workload default: 2 for htap, 0 otherwise)")
+		scanEvery   = flag.Duration("scan-interval", 25*time.Millisecond, "pause between snapshot scans per scanner (0 = closed loop)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
@@ -84,9 +86,26 @@ func main() {
 		cfg.Pairs = *churnPairs
 		wl = harness.NewChurn(cfg, *workers)
 		*memReport = true
+	case "htap":
+		// Churn writers over an ordered table plus snapshot scanners: the
+		// zero-abort HTAP experiment. OLTP metrics come out of Row(),
+		// scanner metrics out of ScanRow(), memory plateau out of MemRow().
+		cfg := ycsb.ChurnDefaults()
+		cfg.Records = *records
+		cfg.RecordSize = *recSize
+		cfg.Pairs = *churnPairs
+		cfg.Ordered = true
+		wl = harness.NewChurn(cfg, *workers)
+		if *scanners < 0 {
+			*scanners = 2
+		}
+		*memReport = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
+	}
+	if *scanners < 0 {
+		*scanners = 0
 	}
 
 	var logMode db.LogMode
@@ -128,6 +147,8 @@ func main() {
 		RTTSleep:         *rttSleep,
 		NoReclaim:        *noReclaim,
 		CaptureMem:       *memReport,
+		Scanners:         *scanners,
+		ScanInterval:     *scanEvery,
 		Backoff:          proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
 		Workload:         wl,
 	}
@@ -137,6 +158,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(m.Row())
+	if *scanners > 0 {
+		fmt.Println(m.ScanRow())
+	}
 	if *memReport {
 		fmt.Println(m.MemRow())
 	}

@@ -39,16 +39,20 @@ func main() {
 		warehouses = flag.Int("warehouses", 1, "TPC-C warehouses")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace and /debug/hotlocks on this address (empty = off)")
 		trace      = flag.Bool("trace", false, "enable the obs event tracer (read via /debug/trace)")
+		mvcc       = flag.Bool("mvcc", false, "capture version chains on committed writes (enables the MVCC gauges on /metrics)")
 	)
 	flag.Parse()
 
-	d, err := db.Open(db.Options{Protocol: db.Protocol(*protocol), Workers: *workers})
+	d, err := db.Open(db.Options{Protocol: db.Protocol(*protocol), Workers: *workers, MVCC: *mvcc})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	ccdb := d.Inner()
 	ccdb.PublishTableStats() // back the /metrics per-table storage gauges
+	if *mvcc {
+		obs.SetMVCCStats(ccdb.MVCCStatsProvider()) // version-chain gauges
+	}
 	switch *workload {
 	case "ycsb-a":
 		cfg := ycsb.A()

@@ -147,6 +147,17 @@ type Options struct {
 	// table memory grows with churn (the pre-reclamation behavior, kept
 	// for A/B measurement).
 	NoReclaim bool
+	// MVCC enables per-record version chains: committed writes capture
+	// their pre-image so snapshot read-only transactions (see ReadOnly)
+	// can read a consistent cut with no locks and no aborts. Implied by
+	// Scanners > 0. Incompatible with NoReclaim (version GC rides the
+	// epoch reclaimer). One caveat: a committed delete keeps its key
+	// index-linked until the snapshot watermark passes it, so re-inserting
+	// a just-deleted key returns ErrDuplicate until version GC catches up.
+	MVCC bool
+	// Scanners reserves extra worker slots for snapshot readers, addressed
+	// as ReadOnly(1..Scanners). Workers+Scanners must stay ≤ MaxWorkers.
+	Scanners int
 }
 
 // DB is an open database.
@@ -170,13 +181,26 @@ func Open(opts Options) (*DB, error) {
 	if opts.Workers < 1 || opts.Workers > MaxWorkers {
 		return nil, fmt.Errorf("db: workers must be in [1,%d], got %d", MaxWorkers, opts.Workers)
 	}
+	if opts.Scanners > 0 {
+		opts.MVCC = true
+	}
+	if opts.Scanners < 0 || opts.Workers+opts.Scanners > MaxWorkers {
+		return nil, fmt.Errorf("db: workers+scanners must be in [1,%d], got %d+%d",
+			MaxWorkers, opts.Workers, opts.Scanners)
+	}
+	if opts.MVCC && opts.NoReclaim {
+		return nil, fmt.Errorf("db: MVCC requires reclamation (version GC rides the epoch reclaimer)")
+	}
 	engine, err := engineFor(opts)
 	if err != nil {
 		return nil, err
 	}
-	inner := cc.NewDB(opts.Workers, engine.TableOpts())
+	inner := cc.NewDBWithScanners(opts.Workers, opts.Scanners, engine.TableOpts())
 	if opts.NoReclaim {
 		inner.DisableReclamation()
+	}
+	if opts.MVCC {
+		inner.EnableMVCC()
 	}
 	if opts.Logging != LogOff {
 		mode := wal.Redo
@@ -362,3 +386,53 @@ func (w *Worker) Run(proc Proc, opts TxnOpts) (int, error) {
 // Breakdown returns the worker's execution-time accounting (nil unless
 // Options.Instrument was set).
 func (w *Worker) Breakdown() *stats.Breakdown { return w.inner.Breakdown() }
+
+// ReadOnly returns scanner slot's snapshot executor (slot in
+// [1, Options.Scanners]). Like Worker, each slot must be driven by at most
+// one goroutine. Snapshot transactions read the newest committed state as
+// of their begin timestamp and never conflict with writers: no locks, no
+// validation, no aborts — the HTAP read class.
+func (d *DB) ReadOnly(slot int) *ReadOnly {
+	if slot < 1 || slot > d.opts.Scanners {
+		panic(fmt.Sprintf("db: scanner slot %d out of range [1,%d]", slot, d.opts.Scanners))
+	}
+	return &ReadOnly{inner: d.inner.SnapshotWorker(uint16(d.opts.Workers + slot))}
+}
+
+// ReadOnly executes snapshot read-only transactions on one scanner slot.
+type ReadOnly struct {
+	inner *cc.SnapshotWorker
+}
+
+// View runs fn inside one snapshot transaction. fn cannot abort for
+// concurrency reasons; any error it returns is passed through verbatim.
+// Values handed to fn are only valid inside fn.
+func (r *ReadOnly) View(fn func(tx *SnapTx) error) error {
+	r.inner.Begin()
+	defer r.inner.End()
+	return fn(&SnapTx{sw: r.inner})
+}
+
+// Txns returns the number of snapshot transactions completed on this slot.
+func (r *ReadOnly) Txns() uint64 { return r.inner.Txns }
+
+// SnapTx is the operation handle View passes to a snapshot procedure.
+type SnapTx struct {
+	sw *cc.SnapshotWorker
+}
+
+// TS returns the transaction's snapshot timestamp: every commit stamped at
+// or below it is visible, everything newer is not.
+func (tx *SnapTx) TS() uint64 { return tx.sw.TS() }
+
+// Read returns key's value as of the snapshot. The slice is valid until
+// the next Read/Scan on this transaction.
+func (tx *SnapTx) Read(t *Table, key uint64) ([]byte, error) {
+	return tx.sw.Read(t, key)
+}
+
+// Scan walks [from, to] in key order at the snapshot (Ordered tables
+// only). fn returning false stops the scan; val is valid only during fn.
+func (tx *SnapTx) Scan(t *Table, from, to uint64, fn func(key uint64, val []byte) bool) error {
+	return tx.sw.SnapshotScan(t, from, to, fn)
+}

@@ -223,3 +223,108 @@ func TestSyncWALNoopWithoutLogging(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMVCCOptionValidation(t *testing.T) {
+	if _, err := db.Open(db.Options{MVCC: true, NoReclaim: true}); err == nil {
+		t.Fatal("MVCC + NoReclaim should fail (version GC rides the reclaimer)")
+	}
+	if _, err := db.Open(db.Options{Workers: 60, Scanners: 4}); err == nil {
+		t.Fatal("workers+scanners over the slot limit should fail")
+	}
+	if _, err := db.Open(db.Options{Workers: 1, Scanners: -1}); err == nil {
+		t.Fatal("negative scanners should fail")
+	}
+	// Scanners implies MVCC on the inner DB.
+	d, err := db.Open(db.Options{Workers: 2, Scanners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Inner().MVCCEnabled() {
+		t.Fatal("Scanners > 0 must enable MVCC")
+	}
+}
+
+func TestReadOnlySnapshots(t *testing.T) {
+	d, err := db.Open(db.Options{Protocol: db.Plor, Workers: 2, Scanners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := d.CreateTable("t", 8, db.Ordered, 64)
+	for k := uint64(1); k <= 5; k++ {
+		d.Load(tbl, k, u64(k*10))
+	}
+
+	ro := d.ReadOnly(1)
+	err = ro.View(func(tx *db.SnapTx) error {
+		v, err := tx.Read(tbl, 3)
+		if err != nil {
+			return err
+		}
+		if dec(v) != 30 {
+			t.Errorf("snapshot read = %d, want 30", dec(v))
+		}
+		if _, err := tx.Read(tbl, 99); err != db.ErrNotFound {
+			t.Errorf("missing key: %v, want ErrNotFound", err)
+		}
+		var sum uint64
+		if err := tx.Scan(tbl, 2, 4, func(k uint64, v []byte) bool {
+			sum += dec(v)
+			return true
+		}); err != nil {
+			return err
+		}
+		if sum != 90 {
+			t.Errorf("scan sum [2,4] = %d, want 90", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot opened before a commit does not see it; one opened after
+	// does, at a strictly higher timestamp.
+	w := d.Worker(1)
+	var before uint64
+	err = ro.View(func(tx *db.SnapTx) error {
+		before = tx.TS()
+		if _, err := w.Run(func(wtx db.Tx) error {
+			if _, err := wtx.ReadForUpdate(tbl, 3); err != nil {
+				return err
+			}
+			return wtx.Update(tbl, 3, u64(333))
+		}, db.TxnOpts{}); err != nil {
+			return err
+		}
+		v, err := tx.Read(tbl, 3)
+		if err != nil {
+			return err
+		}
+		if dec(v) != 30 {
+			t.Errorf("held snapshot saw overlapping commit: %d", dec(v))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ro.View(func(tx *db.SnapTx) error {
+		if tx.TS() <= before {
+			t.Errorf("snapshot TS not advancing: %d then %d", before, tx.TS())
+		}
+		v, err := tx.Read(tbl, 3)
+		if err != nil {
+			return err
+		}
+		if dec(v) != 333 {
+			t.Errorf("fresh snapshot read = %d, want 333", dec(v))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Txns() != 3 {
+		t.Fatalf("Txns = %d, want 3", ro.Txns())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/index"
+	"repro/internal/mvcc"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -108,6 +109,11 @@ type DB struct {
 	byName map[string]*Table
 	opts   storage.TableOpts
 	recl   []Reclaimer
+
+	// MVCC snapshot-read state (EnableMVCC): nil/false while disabled, so
+	// the single-version hot paths pay one predictable branch.
+	mvccOn bool
+	vpool  *mvcc.Pool
 }
 
 // NewDB creates a database for up to workers worker threads, allocating
@@ -115,18 +121,58 @@ type DB struct {
 // Record reclamation is on by default; DisableReclamation reverts to the
 // paper's append-only behavior.
 func NewDB(workers int, opts storage.TableOpts) *DB {
-	opts.Workers = workers
+	return NewDBWithScanners(workers, 0, opts)
+}
+
+// NewDBWithScanners is NewDB with extra registry slots for snapshot-read
+// workers: engine workers use wids 1..workers, SnapshotWorkers use wids
+// workers+1..workers+scanners. Scanner slots participate in the epoch
+// protocol (their announcements gate record reclamation) but never allocate
+// records or commit-stamp intents.
+func NewDBWithScanners(workers, scanners int, opts storage.TableOpts) *DB {
+	slots := workers + scanners
+	opts.Workers = slots
 	db := &DB{
-		Reg:    txn.NewRegistry(workers),
+		Reg:    txn.NewRegistry(slots),
 		byName: make(map[string]*Table),
 		opts:   opts,
-		recl:   make([]Reclaimer, workers+1),
+		recl:   make([]Reclaimer, slots+1),
 	}
 	for wid := range db.recl {
 		db.recl[wid] = newReclaimer(db.Reg, uint16(wid))
 	}
 	return db
 }
+
+// EnableMVCC switches the database to multi-version operation: every
+// committed write first captures the record's pre-image onto its version
+// chain (stamped by the snapshot clock), committed deletes stay
+// index-linked until no snapshot can read them, and SnapshotWorkers read
+// timestamp-consistent states without locks or aborts. Must be called
+// before any workers run and requires reclamation (version GC rides the
+// epoch reclaimer).
+func (db *DB) EnableMVCC() {
+	if db.mvccOn {
+		return
+	}
+	for wid := range db.recl {
+		if !db.recl[wid].enabled {
+			panic("cc: EnableMVCC requires record reclamation (version GC rides the reclaimer)")
+		}
+	}
+	db.mvccOn = true
+	db.vpool = mvcc.NewPool(len(db.recl) - 1)
+	for wid := range db.recl {
+		db.recl[wid].mv = true
+		db.recl[wid].pool = db.vpool
+	}
+}
+
+// MVCCEnabled reports whether snapshot versioning is on.
+func (db *DB) MVCCEnabled() bool { return db.mvccOn }
+
+// VersionPool returns the version-node allocator (nil unless EnableMVCC).
+func (db *DB) VersionPool() *mvcc.Pool { return db.vpool }
 
 // Reclaimer returns worker wid's record-lifecycle endpoint. Like the worker
 // slot itself, it must be driven by at most one goroutine.
@@ -137,6 +183,9 @@ func (db *DB) Reclaimer(wid uint16) *Reclaimer { return &db.recl[wid] }
 // before any workers run; the churn benchmark uses it to compare the leaky
 // baseline against reclamation in one binary.
 func (db *DB) DisableReclamation() {
+	if db.mvccOn {
+		panic("cc: cannot disable reclamation with MVCC enabled")
+	}
 	for wid := range db.recl {
 		db.recl[wid].enabled = false
 	}
@@ -445,3 +494,57 @@ func ShrinkScratch[T any](s []T) []T {
 // (see Arena.Shrink); sized to hold a large transaction's row images
 // without realloc while releasing megabyte-class scan spikes.
 const ArenaShrinkBytes = 1 << 20
+
+// scanRange collects the (key, record) pairs of an ordered-index range into
+// scan, so per-record work (locks, stable reads) never runs under index
+// latches. It errors on hash-indexed tables.
+func scanRange(t *Table, from, to uint64, scan *[]ScanItem) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	*scan = (*scan)[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		*scan = append(*scan, ScanItem{k, rec})
+		return true
+	})
+	return nil
+}
+
+// ScanResolved drives the range-scan loop every engine shares (exported
+// for the Plor engine in internal/core): collect the range, then resolve
+// each record first against the transaction's own buffered writes (own:
+// found=true short-circuits, skip=true drops the row), then through the
+// engine's committed-read primitive (read: nil val drops the row, err
+// aborts the scan — 2PL lock conflicts). fn returning false stops the scan
+// early.
+func ScanResolved(t *Table, from, to uint64, scan *[]ScanItem,
+	own func(rec *storage.Record) (val []byte, skip, found bool),
+	read func(rec *storage.Record) ([]byte, error),
+	fn func(key uint64, val []byte) bool) error {
+	if err := scanRange(t, from, to, scan); err != nil {
+		return err
+	}
+	for _, it := range *scan {
+		if val, skip, found := own(it.Rec); found {
+			if skip {
+				continue
+			}
+			if !fn(it.Key, val) {
+				return nil
+			}
+			continue
+		}
+		val, err := read(it.Rec)
+		if err != nil {
+			return err
+		}
+		if val == nil {
+			continue
+		}
+		if !fn(it.Key, val) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -219,20 +219,36 @@ func (w *moccWorker) commit() error {
 	} else {
 		w.wl.Commit() //nolint:errcheck
 	}
+	// Install under the TID locks; MVCC capture follows the same shape as
+	// Silo's Phase 3 (see silo.go for the ordering argument).
+	var ct uint64
+	if w.rcl.MVCCOn() {
+		ct = w.db.Reg.BeginCommitStamp(w.wid)
+	}
 	for i := range w.wset {
 		e := &w.wset[i]
 		switch {
 		case e.isDelete:
-			e.tbl.Idx.Remove(e.key)
-			e.rec.TIDUnlockFlags(true, false)
-			w.rcl.Retire(e.tbl, e.rec)
+			if ct != 0 {
+				w.rcl.CaptureDelete(e.tbl, e.rec, e.key, ct)
+				e.rec.TIDUnlockFlags(true, false)
+			} else {
+				e.tbl.Idx.Remove(e.key)
+				e.rec.TIDUnlockFlags(true, false)
+				w.rcl.Retire(e.tbl, e.rec)
+			}
 		case e.isInsert:
 			e.rec.InstallImage(e.val)
+			w.rcl.StampInsert(e.rec, ct)
 			e.rec.TIDUnlockFlags(false, true)
 		default:
+			w.rcl.CaptureUpdate(e.rec, ct)
 			e.rec.InstallImage(e.val)
 			e.rec.TIDUnlockFlags(false, false)
 		}
+	}
+	if ct != 0 {
+		w.db.Reg.EndCommitStamp(w.wid)
 	}
 	w.releaseLocks()
 	if w.bd != nil {
@@ -430,37 +446,23 @@ func (w *moccWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
 	return buf, nil
 }
 
-// ScanRC implements Tx.
+// ScanRC implements Tx via the shared scan loop.
 func (w *moccWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
-	rng := t.Ranger()
-	if rng == nil {
-		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
-	}
-	w.scan = w.scan[:0]
-	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
-		w.scan = append(w.scan, ScanItem{k, rec})
-		return true
-	})
 	buf := w.arena.Alloc(t.Store.RowSize)
-	for _, it := range w.scan {
-		if e := w.findW(it.Rec); e != nil {
-			if e.isDelete {
-				continue
+	return ScanResolved(t, from, to, &w.scan,
+		func(rec *storage.Record) ([]byte, bool, bool) {
+			if e := w.findW(rec); e != nil {
+				return e.val, e.isDelete, true
 			}
-			if !fn(it.Key, e.val) {
-				return nil
+			return nil, false, false
+		},
+		func(rec *storage.Record) ([]byte, error) {
+			if storage.TIDAbsent(rec.StableRead(buf)) {
+				return nil, nil
 			}
-			continue
-		}
-		v := it.Rec.StableRead(buf)
-		if storage.TIDAbsent(v) {
-			continue
-		}
-		if !fn(it.Key, buf) {
-			return nil
-		}
-	}
-	return nil
+			return buf, nil
+		},
+		fn)
 }
 
 // WID implements Tx.

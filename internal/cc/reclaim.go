@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"repro/internal/mvcc"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -21,6 +22,32 @@ type limboRec struct {
 	tbl   *storage.Table
 	rec   *storage.Record
 	epoch uint64 // global epoch observed at retire; nondecreasing in FIFO order
+}
+
+// limboVer is one detached version-chain segment awaiting its epoch grace
+// period: a paused chain walker may still be traversing the segment, so its
+// nodes re-enter the pool only once every attempt in flight at detach time
+// has exited. single marks a popped rollback node whose next pointer still
+// aims into the record's live chain (walkers may traverse through it until
+// the grace period ends) — only the node itself is freed.
+type limboVer struct {
+	head   *mvcc.Version
+	epoch  uint64
+	single bool
+}
+
+// pendingDel is a committed delete whose index entry must outlive the
+// snapshots that can still read the key: the record stays published (TID
+// absent, version stamp Pack(stamp, absent)) until the snapshot watermark
+// passes stamp, then it is unlinked and retired through the normal record
+// limbo. While the entry is linked, re-inserting the key reports
+// ErrDuplicate — the documented MVCC-mode trade for never making a
+// snapshot miss a row it should see.
+type pendingDel struct {
+	tbl   *Table
+	rec   *storage.Record
+	key   uint64
+	stamp uint64 // commit stamp of the delete; nondecreasing in FIFO order
 }
 
 // Reclaimer is one worker's record-lifecycle endpoint: it announces epochs
@@ -53,6 +80,26 @@ type Reclaimer struct {
 	// Deferred obs deltas, flushed at drain time to keep shared-cacheline
 	// atomics off the per-operation path.
 	retired, reclaimed, recycled uint64
+
+	// MVCC state (DB.EnableMVCC): version capture, chain trimming, and the
+	// deferred-unlink queue for committed deletes. mv gates every capture
+	// call so single-version runs pay one predictable branch.
+	mv   bool
+	pool *mvcc.Pool
+
+	vlimbo []limboVer // detached chain segments in their grace period
+	vhead  int
+
+	dels  []pendingDel // committed deletes awaiting the snapshot watermark
+	dhead int
+
+	// wm caches the snapshot watermark; trimming against a stale (smaller)
+	// watermark is strictly conservative. Refreshed every sinceWM captures
+	// and at every drain.
+	wm      uint64
+	sinceWM int
+
+	vlive int64 // captured minus freed nodes since the last stats flush
 }
 
 // newReclaimer builds worker wid's reclaimer (see DB.Reclaimer).
@@ -128,9 +175,25 @@ func (r *Reclaimer) FreeNow(t *Table, rec *storage.Record) {
 // worker's own announcement is clear, so it never blocks itself).
 func (r *Reclaimer) drain() {
 	r.sinceDrain = 0
+	if r.mv {
+		r.wm = r.reg.SnapshotWatermark()
+		r.sinceWM = 0
+		r.drainDeletes()
+	}
 	bound := r.reg.ReclaimBound()
+	if r.mv {
+		r.drainVersions(bound)
+	}
 	for r.head < len(r.limbo) && r.limbo[r.head].epoch < bound {
 		e := &r.limbo[r.head]
+		// The record's grace period covers its chain: a walker could only
+		// have reached these nodes through the record, so once no attempt
+		// from before the retire survives, the nodes are free too.
+		if r.mv {
+			if ch := e.rec.MV.TakeChain(); ch != nil {
+				r.vlive -= int64(r.pool.PutChain(r.wid, ch))
+			}
+		}
 		e.tbl.Free(r.wid, e.rec)
 		*e = limboRec{}
 		r.head++
@@ -148,10 +211,16 @@ func (r *Reclaimer) drain() {
 		r.limbo = r.limbo[:n]
 		r.head = 0
 	}
-	if r.head < len(r.limbo) {
+	switch {
+	case r.head < len(r.limbo):
 		// The backlog is gated on attempts announcing the oldest retired
 		// epoch; bump the global epoch so new attempts announce past it.
 		r.reg.TryAdvanceEpoch(r.limbo[r.head].epoch)
+	case r.vhead < len(r.vlimbo):
+		// Same for detached version segments: an update-only workload
+		// never retires records, so without this nudge the epoch would
+		// sit still and trimmed chains would pin their nodes forever.
+		r.reg.TryAdvanceEpoch(r.vlimbo[r.vhead].epoch)
 	}
 	r.flushStats()
 }
@@ -169,6 +238,10 @@ func (r *Reclaimer) LimboLen() int { return len(r.limbo) - r.head }
 
 // flushStats batches the deferred counter deltas into obs.
 func (r *Reclaimer) flushStats() {
+	if r.vlive != 0 && r.pool != nil {
+		r.pool.AddLive(r.vlive)
+		r.vlive = 0
+	}
 	if r.retired|r.reclaimed|r.recycled == 0 {
 		return
 	}
@@ -178,3 +251,224 @@ func (r *Reclaimer) flushStats() {
 	l.RecordsRecycled.Add(r.recycled)
 	r.retired, r.reclaimed, r.recycled = 0, 0, 0
 }
+
+// --- MVCC version capture and GC -------------------------------------------
+//
+// Capture happens inside the record's install exclusion (the TID lock of
+// the OCC/Plor engines, the exclusive 2PL lock of the in-place engines), so
+// there is exactly one capturer per record at a time; chain heads are
+// atomics only to publish to lock-free snapshot walkers. GC has three
+// stages matched to three hazards: (1) chains are trimmed at capture time
+// against the snapshot watermark — suffixes older than the newest
+// watermark-visible version are unreachable by any current or future
+// snapshot; (2) detached segments pass an epoch grace period in vlimbo
+// before their nodes re-enter the pool, covering walkers paused inside the
+// segment; (3) committed deletes stay index-linked until the watermark
+// passes their stamp, then retire through the ordinary record limbo.
+
+// MVCCOn reports whether this worker captures versions (DB.EnableMVCC).
+func (r *Reclaimer) MVCCOn() bool { return r.mv }
+
+// capture pushes rec's current image (stamp word and row bytes) onto its
+// version chain. Caller holds the record's install exclusion.
+func (r *Reclaimer) capture(rec *storage.Record) {
+	v := r.pool.Get(r.wid)
+	v.Set(rec.MV.Raw(), rec.Key, rec.Data)
+	rec.MV.Push(v)
+	r.vlive++
+	r.sinceDrain++
+	if r.sinceWM++; r.sinceWM >= reclaimDrainEvery {
+		r.wm = r.reg.SnapshotWatermark()
+		r.sinceWM = 0
+	}
+}
+
+// trim cuts the unreachable suffix of rec's chain: everything older than
+// the newest version visible at the cached watermark. Detached segments go
+// through vlimbo (a paused walker may hold them). Caller holds the
+// record's install exclusion.
+func (r *Reclaimer) trim(rec *storage.Record) {
+	if raw := rec.MV.Raw(); raw != mvcc.Pending && mvcc.Stamp(raw) <= r.wm {
+		// The current image itself satisfies every live snapshot; the whole
+		// chain is history no one can request.
+		if ch := rec.MV.TakeChain(); ch != nil {
+			r.retireVersions(ch)
+		}
+		return
+	}
+	for v := rec.MV.Chain(); v != nil; v = v.Next() {
+		if mvcc.Stamp(v.StampWord()) <= r.wm {
+			if tail := mvcc.CutAfter(v); tail != nil {
+				r.retireVersions(tail)
+			}
+			return
+		}
+	}
+}
+
+// retireVersions parks a detached chain segment in vlimbo for its grace
+// period.
+func (r *Reclaimer) retireVersions(head *mvcc.Version) {
+	r.vlimbo = append(r.vlimbo, limboVer{head: head, epoch: r.reg.Epoch()})
+}
+
+// CaptureUpdate brackets a committed update's install: it captures the
+// pre-image, stamps the record's current image with commit stamp ct, and
+// trims the chain. The caller must install the new row bytes AFTER this
+// call (still under the install exclusion; concurrent snapshot readers are
+// fenced off by the TID lock until the caller publishes).
+func (r *Reclaimer) CaptureUpdate(rec *storage.Record, ct uint64) {
+	if !r.mv {
+		return
+	}
+	r.capture(rec)
+	rec.MV.SetRaw(mvcc.Pack(ct, false))
+	r.trim(rec)
+}
+
+// CaptureDelete installs a committed delete in MVCC mode: the pre-image
+// joins the chain, the current image becomes an absent tombstone at stamp
+// ct, and the index unlink is deferred until the snapshot watermark passes
+// ct (drainDeletes). The caller keeps the index entry in place and must
+// NOT retire the record — the deferred queue owns its lifecycle now.
+func (r *Reclaimer) CaptureDelete(t *Table, rec *storage.Record, key uint64, ct uint64) {
+	if !r.mv {
+		return
+	}
+	r.capture(rec)
+	rec.MV.SetRaw(mvcc.Pack(ct, true))
+	r.trim(rec)
+	r.dels = append(r.dels, pendingDel{tbl: t, rec: rec, key: key, stamp: ct})
+}
+
+// StampInsert stamps a committed insert's image with ct. No pre-image
+// exists (the record was logically absent), so nothing is captured; the
+// caller must invoke it BEFORE the TID publication that makes the row
+// visible, so no reader can see the row with a stale stamp.
+func (r *Reclaimer) StampInsert(rec *storage.Record, ct uint64) {
+	if !r.mv {
+		return
+	}
+	rec.MV.SetRaw(mvcc.Pack(ct, false))
+}
+
+// CapturePending parks the pre-image of an in-place write (2PL executes
+// updates directly in the row under its exclusive lock, before the commit
+// decision). The head stamp becomes Pending, steering every snapshot
+// reader to the chain until FinalizePending or UnwindPending resolves the
+// outcome. Call once per record per transaction, before the first byte of
+// the row changes.
+func (r *Reclaimer) CapturePending(rec *storage.Record) {
+	if !r.mv {
+		return
+	}
+	r.capture(rec)
+	rec.MV.SetRaw(mvcc.Pending)
+}
+
+// FinalizePending resolves a CapturePending at commit: the in-place image
+// becomes the version at stamp ct (absent for deletes, which must also be
+// queued via DeferDelete by the caller when delete).
+func (r *Reclaimer) FinalizePending(rec *storage.Record, ct uint64, absent bool) {
+	if !r.mv {
+		return
+	}
+	rec.MV.SetRaw(mvcc.Pack(ct, absent))
+	r.trim(rec)
+}
+
+// DeferDelete queues a committed in-place delete (2PL) for watermark-gated
+// index unlink. FinalizePending(rec, ct, true) must have stamped the
+// tombstone already.
+func (r *Reclaimer) DeferDelete(t *Table, rec *storage.Record, key uint64, ct uint64) {
+	if !r.mv {
+		return
+	}
+	r.dels = append(r.dels, pendingDel{tbl: t, rec: rec, key: key, stamp: ct})
+}
+
+// UnwindPending rolls a CapturePending back: the caller must have restored
+// the pre-image bytes into the row FIRST, then the head stamp reverts to
+// the captured stamp word and the capture node detaches. The node keeps
+// its next pointer (a reader that saw Pending may be traversing through it
+// into the live chain) and passes through vlimbo as a single-node entry.
+//
+// The TID version bump defeats an ABA on the stamp word: without it, a
+// snapshot reader whose copy overlapped the dirty write AND the restore
+// would find both the TID word and the stamp word unchanged (the word
+// reverts to the exact pre-capture value) and accept a torn image. The
+// bump lands after the bytes are whole again and before the stamp word
+// reverts, so any reader that copied during the window fails its recheck.
+func (r *Reclaimer) UnwindPending(rec *storage.Record) {
+	if !r.mv {
+		return
+	}
+	v := rec.MV.Chain()
+	rec.TIDBumpVersion()
+	rec.MV.SetRaw(v.StampWord())
+	rec.MV.Pop()
+	r.vlimbo = append(r.vlimbo, limboVer{head: v, epoch: r.reg.Epoch(), single: true})
+}
+
+// drainDeletes unlinks committed deletes whose stamp the snapshot
+// watermark has passed: no live or future snapshot can read below the
+// watermark, so the key's absence is now universal and the record can
+// start the ordinary unlink → grace → recycle path.
+func (r *Reclaimer) drainDeletes() {
+	for r.dhead < len(r.dels) && r.dels[r.dhead].stamp <= r.wm {
+		e := &r.dels[r.dhead]
+		e.tbl.Idx.Remove(e.key)
+		r.limbo = append(r.limbo, limboRec{tbl: e.tbl.Store, rec: e.rec, epoch: r.reg.Epoch()})
+		r.retired++
+		*e = pendingDel{}
+		r.dhead++
+	}
+	switch {
+	case r.dhead == len(r.dels):
+		r.dels = r.dels[:0]
+		r.dhead = 0
+	case r.dhead >= limboCompactAt:
+		n := copy(r.dels, r.dels[r.dhead:])
+		for i := n; i < len(r.dels); i++ {
+			r.dels[i] = pendingDel{}
+		}
+		r.dels = r.dels[:n]
+		r.dhead = 0
+	}
+}
+
+// drainVersions frees detached chain segments older than the epoch
+// horizon.
+func (r *Reclaimer) drainVersions(bound uint64) {
+	for r.vhead < len(r.vlimbo) && r.vlimbo[r.vhead].epoch < bound {
+		e := &r.vlimbo[r.vhead]
+		if e.single {
+			r.pool.Put(r.wid, e.head) // Put severs the stale next pointer
+			r.vlive--
+		} else {
+			r.vlive -= int64(r.pool.PutChain(r.wid, e.head))
+		}
+		*e = limboVer{}
+		r.vhead++
+	}
+	switch {
+	case r.vhead == len(r.vlimbo):
+		r.vlimbo = r.vlimbo[:0]
+		r.vhead = 0
+	case r.vhead >= limboCompactAt:
+		n := copy(r.vlimbo, r.vlimbo[r.vhead:])
+		for i := n; i < len(r.vlimbo); i++ {
+			r.vlimbo[i] = limboVer{}
+		}
+		r.vlimbo = r.vlimbo[:n]
+		r.vhead = 0
+	}
+}
+
+// PendingDeletes returns the number of committed deletes still awaiting
+// their watermark (tests, gauges).
+func (r *Reclaimer) PendingDeletes() int { return len(r.dels) - r.dhead }
+
+// VersionLimboLen returns the number of detached chain segments awaiting
+// their grace period (tests, gauges).
+func (r *Reclaimer) VersionLimboLen() int { return len(r.vlimbo) - r.vhead }

@@ -1,0 +1,193 @@
+package cc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/mvcc"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// SnapshotWorker executes read-only transactions against a consistent
+// snapshot of the database: point reads and range scans resolve every key
+// to its newest version with commit stamp ≤ the snapshot timestamp, taking
+// no locks, performing no validation, and never aborting. It is the HTAP
+// read class: long analytical scans run against live OLTP writers without
+// touching their lock words or abort rates.
+//
+// A SnapshotWorker owns a worker slot (wid) exactly like an engine worker:
+// one goroutine drives it, and its slot doubles as the epoch and snapshot
+// announcement the reclaimer honors. Requires EnableMVCC.
+type SnapshotWorker struct {
+	db  *DB
+	rcl *Reclaimer
+	wid uint16
+
+	s    uint64 // snapshot stamp, valid between Begin and End
+	buf  []byte
+	scan []ScanItem
+
+	// Txns counts completed snapshot transactions (mirrored into obs at
+	// End; read by the harness for per-scanner throughput).
+	Txns uint64
+}
+
+// SnapshotWorker returns the snapshot executor bound to worker slot wid.
+// The slot must not be shared with an engine worker while snapshots are in
+// flight (the epoch and snapshot announcements are per-slot).
+func (db *DB) SnapshotWorker(wid uint16) *SnapshotWorker {
+	if !db.mvccOn {
+		panic("cc: SnapshotWorker requires EnableMVCC")
+	}
+	return &SnapshotWorker{db: db, rcl: db.Reclaimer(wid), wid: wid}
+}
+
+// Begin opens a snapshot transaction and returns its timestamp. The epoch
+// announcement (pinning record memory) goes up before the snapshot
+// announcement (pinning version chains): records must be pinned before a
+// stamp referring to them exists.
+func (sw *SnapshotWorker) Begin() uint64 {
+	sw.rcl.Begin()
+	sw.s = sw.db.Reg.SnapshotEnter(sw.wid)
+	return sw.s
+}
+
+// End closes the snapshot transaction. Snapshot transactions always
+// commit; there is no abort path.
+func (sw *SnapshotWorker) End() {
+	sw.db.Reg.SnapshotExit(sw.wid)
+	sw.rcl.End()
+	sw.Txns++
+	obs.Metrics().SnapshotTxns.Add(1)
+}
+
+// TS returns the current snapshot timestamp (valid between Begin/End).
+func (sw *SnapshotWorker) TS() uint64 { return sw.s }
+
+// Read resolves key to its value as of the snapshot. The returned slice is
+// either the worker's scratch buffer or a version node's payload; it is
+// valid until the next Read/Scan call or End, whichever comes first.
+func (sw *SnapshotWorker) Read(t *Table, key uint64) ([]byte, error) {
+	rec := t.Idx.Get(key)
+	if rec == nil {
+		return nil, ErrNotFound
+	}
+	return sw.readRec(t, rec)
+}
+
+// snapScanYieldEvery is how many rows a snapshot scan resolves between
+// voluntary scheduler yields. A long scan never blocks writers through
+// locks, but on an oversubscribed machine it can still starve them of CPU:
+// writers that yield cooperatively (the churn workload on small boxes)
+// would otherwise wait out a full preemption quantum per scanner per
+// yield. Yielding every few hundred rows bounds that to microseconds and
+// costs nothing when cores are plentiful.
+const snapScanYieldEvery = 64
+
+// SnapshotScan walks [from, to] in key order, invoking fn with each key
+// visible at the snapshot and its value (same lifetime as Read's result).
+// fn returning false stops the scan. Keys whose newest visible version is
+// a delete are skipped. The scan never blocks writers and never aborts.
+func (sw *SnapshotWorker) SnapshotScan(t *Table, from, to uint64, fn func(key uint64, val []byte) bool) error {
+	rng := t.Ranger()
+	if rng == nil {
+		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
+	}
+	sw.scan = sw.scan[:0]
+	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
+		sw.scan = append(sw.scan, ScanItem{Key: k, Rec: rec})
+		if len(sw.scan)%snapScanYieldEvery == 0 {
+			runtime.Gosched()
+		}
+		return true
+	})
+	for i := range sw.scan {
+		if i%snapScanYieldEvery == snapScanYieldEvery-1 {
+			runtime.Gosched()
+		}
+		val, err := sw.readRec(t, sw.scan[i].Rec)
+		if err == ErrNotFound {
+			continue // created after the snapshot, or deleted before it
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(sw.scan[i].Key, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// readRec resolves one record against the snapshot. Fast path: the head
+// version is committed (not Pending) and old enough — seqlock-copy the
+// in-place image. Otherwise walk the version chain, whose nodes are
+// immutable and pinned by our snapshot announcement.
+//
+// The seqlock protocol double-checks BOTH the TID word and the stamp word
+// around the copy: engines that install through the TID lock bit perturb
+// the TID word, and the 2PL engine (which writes in place under its own
+// lock table) perturbs the stamp word (Pending) before the first byte
+// changes and bumps the TID version on rollback, so every in-place byte
+// mutation is visible to the recheck.
+func (sw *SnapshotWorker) readRec(t *Table, rec *storage.Record) ([]byte, error) {
+	if cap(sw.buf) < t.Store.RowSize {
+		sw.buf = make([]byte, t.Store.RowSize)
+	}
+	buf := sw.buf[:t.Store.RowSize]
+	for spin := 0; ; spin++ {
+		v1 := rec.TIDStable()
+		raw := rec.MV.Raw()
+		if raw != mvcc.Pending && mvcc.Stamp(raw) <= sw.s {
+			rec.CopyImage(buf)
+			if rec.TID.Load() != v1 || rec.MV.Raw() != raw {
+				storage.Yield(spin)
+				continue
+			}
+			if mvcc.Absent(raw) {
+				return nil, ErrNotFound
+			}
+			return buf, nil
+		}
+		// Head too new or uncommitted: the pre-image we need is in the
+		// chain. Nodes are immutable once pushed and our announcement
+		// keeps the watermark at or below sw.s, so no node we can reach
+		// is recycled underneath us.
+		v := mvcc.Visible(rec.MV.Chain(), sw.s)
+		if v == nil || mvcc.Absent(v.StampWord()) {
+			return nil, ErrNotFound
+		}
+		return v.Data(), nil
+	}
+}
+
+// MVCCStatsProvider returns a closure for obs.SetMVCCStats: it samples the
+// version pool gauges, the snapshot watermark, and chain-length quantiles
+// from a full record walk across all tables.
+func (db *DB) MVCCStatsProvider() func() obs.MVCCStat {
+	return func() obs.MVCCStat {
+		var st obs.MVCCStat
+		if !db.mvccOn {
+			return st
+		}
+		st.NodesLive = db.vpool.Live()
+		st.NodesFree = db.vpool.FreeCount()
+		st.Watermark = db.Reg.SnapshotWatermark()
+		var lens []int
+		for _, t := range db.tables {
+			t.Store.EachRecord(func(r *storage.Record) bool {
+				lens = append(lens, r.MV.Len())
+				return true
+			})
+		}
+		if len(lens) > 0 {
+			sort.Ints(lens)
+			st.ChainP50 = lens[len(lens)/2]
+			st.ChainP99 = lens[len(lens)*99/100]
+			st.ChainMax = lens[len(lens)-1]
+		}
+		return st
+	}
+}

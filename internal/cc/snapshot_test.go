@@ -1,0 +1,302 @@
+package cc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/storage"
+)
+
+// newMVCCTestDB builds an MVCC-enabled DB with one 8-byte ordered table
+// "t", workers engine slots, and one scanner slot (wid workers+1).
+func newMVCCTestDB(e cc.Engine, workers int) (*cc.DB, *cc.Table) {
+	db := cc.NewDBWithScanners(workers, 1, e.TableOpts())
+	db.EnableMVCC()
+	t := db.CreateTable("t", 8, cc.OrderedIndex, 1024)
+	return db, t
+}
+
+// put commits a single-key write (insert-or-update) through the engine.
+func put(t *testing.T, w cc.Worker, tbl *cc.Table, key, val uint64) {
+	t.Helper()
+	err := runTxn(w, func(tx cc.Tx) error {
+		if _, err := tx.ReadForUpdate(tbl, key); err == cc.ErrNotFound {
+			return tx.Insert(tbl, key, u64(val))
+		} else if err != nil {
+			return err
+		}
+		return tx.Update(tbl, key, u64(val))
+	}, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatalf("put(%d,%d): %v", key, val, err)
+	}
+}
+
+// del commits a single-key delete through the engine.
+func del(t *testing.T, w cc.Worker, tbl *cc.Table, key uint64) {
+	t.Helper()
+	err := runTxn(w, func(tx cc.Tx) error {
+		if _, err := tx.ReadForUpdate(tbl, key); err != nil {
+			return err
+		}
+		return tx.Delete(tbl, key)
+	}, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatalf("del(%d): %v", key, err)
+	}
+}
+
+// snapRead resolves one key inside an open snapshot and checks the outcome
+// (want == 0 means ErrNotFound).
+func snapRead(t *testing.T, sw *cc.SnapshotWorker, tbl *cc.Table, key, want uint64) {
+	t.Helper()
+	v, err := sw.Read(tbl, key)
+	if want == 0 {
+		if err != cc.ErrNotFound {
+			t.Fatalf("snapshot read %d: got (%v, %v), want ErrNotFound", key, v, err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("snapshot read %d: %v", key, err)
+	}
+	if decode(v) != want {
+		t.Fatalf("snapshot read %d = %d, want %d", key, decode(v), want)
+	}
+}
+
+// TestSnapshotVisibility pins the core MVCC contract on every engine: a
+// snapshot opened before a commit keeps reading the pre-state (updates,
+// deletes, and inserts all invisible), and a snapshot opened after reads
+// the post-state.
+func TestSnapshotVisibility(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newMVCCTestDB(e, 2)
+			w := e.NewWorker(db, 1, false)
+			for k := uint64(1); k <= 10; k++ {
+				put(t, w, tbl, k, k*100)
+			}
+
+			sw := db.SnapshotWorker(3) // scanner slot
+			sw.Begin()
+			snapRead(t, sw, tbl, 5, 500)
+
+			// Overlapping commits: update 5, delete 7, insert 11.
+			put(t, w, tbl, 5, 999)
+			del(t, w, tbl, 7)
+			put(t, w, tbl, 11, 1111)
+
+			// The held snapshot still sees the old world.
+			snapRead(t, sw, tbl, 5, 500)
+			snapRead(t, sw, tbl, 7, 700)
+			snapRead(t, sw, tbl, 11, 0)
+			got := map[uint64]uint64{}
+			if err := sw.SnapshotScan(tbl, 0, ^uint64(0), func(k uint64, v []byte) bool {
+				got[k] = decode(v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("held snapshot scan saw %d rows, want 10: %v", len(got), got)
+			}
+			for k := uint64(1); k <= 10; k++ {
+				if got[k] != k*100 {
+					t.Fatalf("held snapshot scan key %d = %d, want %d", k, got[k], k*100)
+				}
+			}
+			sw.End()
+
+			// A fresh snapshot sees the post-state.
+			sw.Begin()
+			snapRead(t, sw, tbl, 5, 999)
+			snapRead(t, sw, tbl, 7, 0)
+			snapRead(t, sw, tbl, 11, 1111)
+			rows := 0
+			if err := sw.SnapshotScan(tbl, 0, ^uint64(0), func(k uint64, v []byte) bool {
+				rows++
+				if k == 7 {
+					t.Fatal("fresh snapshot scan returned the deleted key")
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if rows != 10 {
+				t.Fatalf("fresh snapshot scan saw %d rows, want 10", rows)
+			}
+			sw.End()
+		})
+	}
+}
+
+// TestSnapshotDeleteGC pins the documented MVCC delete lifecycle: a deleted
+// key stays index-linked (re-insert reports ErrDuplicate) until the
+// snapshot watermark passes the delete and version GC unlinks it, after
+// which the key is insertable again.
+func TestSnapshotDeleteGC(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newMVCCTestDB(e, 2)
+			w := e.NewWorker(db, 1, false)
+			put(t, w, tbl, 1, 100)
+			del(t, w, tbl, 1)
+
+			// No snapshot can see the key, but the tombstone is still linked.
+			err := runTxn(w, func(tx cc.Tx) error {
+				return tx.Insert(tbl, 1, u64(200))
+			}, cc.AttemptOpts{})
+			if !errors.Is(err, cc.ErrDuplicate) {
+				t.Fatalf("re-insert before GC: %v, want ErrDuplicate", err)
+			}
+
+			// Drain: pass the watermark, then the epoch grace period. Each
+			// flush advances the epoch when a backlog remains, so a few
+			// rounds complete the unlink -> limbo -> free pipeline.
+			for i := 0; i < 5; i++ {
+				db.FlushReclaim()
+			}
+			err = runTxn(w, func(tx cc.Tx) error {
+				return tx.Insert(tbl, 1, u64(200))
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Fatalf("re-insert after GC: %v", err)
+			}
+
+			sw := db.SnapshotWorker(3)
+			sw.Begin()
+			snapRead(t, sw, tbl, 1, 200)
+			sw.End()
+		})
+	}
+}
+
+// TestAbortRestoresTIDBits is the abort-path satellite: on every engine,
+// with MVCC capture armed, a rolled-back update, delete, or insert must
+// leave the record's TID word with the lock bit clear and the absent bit
+// exactly as before the attempt — and both engine readers and snapshot
+// readers must see the pre-image. (The 2PL engines may bump the TID
+// version on rollback — that is part of the seqlock contract, so flags are
+// compared, not the raw word.)
+func TestAbortRestoresTIDBits(t *testing.T) {
+	ops := []struct {
+		name string
+		proc func(tbl *cc.Table) cc.Proc
+	}{
+		{"update", func(tbl *cc.Table) cc.Proc {
+			return func(tx cc.Tx) error {
+				if _, err := tx.ReadForUpdate(tbl, 1); err != nil {
+					return err
+				}
+				if err := tx.Update(tbl, 1, u64(666)); err != nil {
+					return err
+				}
+				return cc.ErrIntentionalRollback
+			}
+		}},
+		{"delete", func(tbl *cc.Table) cc.Proc {
+			return func(tx cc.Tx) error {
+				if _, err := tx.ReadForUpdate(tbl, 1); err != nil {
+					return err
+				}
+				if err := tx.Delete(tbl, 1); err != nil {
+					return err
+				}
+				return cc.ErrIntentionalRollback
+			}
+		}},
+	}
+	for _, e := range allEngines() {
+		for _, op := range ops {
+			t.Run(fmt.Sprintf("%s/%s", e.Name(), op.name), func(t *testing.T) {
+				db, tbl := newMVCCTestDB(e, 2)
+				w := e.NewWorker(db, 1, false)
+				put(t, w, tbl, 1, 100)
+
+				rec := tbl.Idx.Get(1)
+				if rec == nil {
+					t.Fatal("record not indexed")
+				}
+				pre := rec.TID.Load()
+				preChain := rec.MV.Len()
+
+				err := runTxn(w, op.proc(tbl), cc.AttemptOpts{})
+				if !errors.Is(err, cc.ErrIntentionalRollback) {
+					t.Fatalf("rollback txn: %v", err)
+				}
+
+				post := rec.TID.Load()
+				if rec.TIDLocked() {
+					t.Fatalf("TID lock bit still set after rollback: %#x", post)
+				}
+				if storage.TIDAbsent(post) != storage.TIDAbsent(pre) {
+					t.Fatalf("absent bit changed across rollback: pre=%#x post=%#x", pre, post)
+				}
+				if storage.TIDVersion(post) < storage.TIDVersion(pre) {
+					t.Fatalf("TID version went backwards: pre=%#x post=%#x", pre, post)
+				}
+				if got := rec.MV.Len(); got > preChain+1 {
+					t.Fatalf("rollback leaked version nodes: chain %d -> %d", preChain, got)
+				}
+
+				// Engine read and snapshot read both see the pre-image.
+				err = runTxn(w, func(tx cc.Tx) error {
+					v, err := tx.Read(tbl, 1)
+					if err != nil {
+						return err
+					}
+					if decode(v) != 100 {
+						return fmt.Errorf("engine read after rollback = %d, want 100", decode(v))
+					}
+					return nil
+				}, cc.AttemptOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw := db.SnapshotWorker(3)
+				sw.Begin()
+				snapRead(t, sw, tbl, 1, 100)
+				sw.End()
+			})
+		}
+	}
+}
+
+// TestAbortedInsertInvisible checks the insert rollback path under MVCC:
+// the key must not become visible to engine reads or snapshots, and its
+// record must not stay published.
+func TestAbortedInsertInvisible(t *testing.T) {
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			db, tbl := newMVCCTestDB(e, 2)
+			w := e.NewWorker(db, 1, false)
+
+			err := runTxn(w, func(tx cc.Tx) error {
+				if err := tx.Insert(tbl, 9, u64(900)); err != nil {
+					return err
+				}
+				return cc.ErrIntentionalRollback
+			}, cc.AttemptOpts{})
+			if !errors.Is(err, cc.ErrIntentionalRollback) {
+				t.Fatalf("rollback txn: %v", err)
+			}
+
+			if rec := tbl.Idx.Get(9); rec != nil && !storage.TIDAbsent(rec.TID.Load()) {
+				t.Fatal("aborted insert left a present record in the index")
+			}
+			sw := db.SnapshotWorker(3)
+			sw.Begin()
+			snapRead(t, sw, tbl, 9, 0)
+			sw.End()
+
+			// The slot is reusable: a committed insert of the same key works.
+			put(t, w, tbl, 9, 901)
+			sw.Begin()
+			snapRead(t, sw, tbl, 9, 901)
+			sw.End()
+		})
+	}
+}

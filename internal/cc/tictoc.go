@@ -234,17 +234,37 @@ func (w *tictocWorker) commit() error {
 	} else {
 		w.wl.Commit() //nolint:errcheck
 	}
+	// The snapshot stamp is allocated from the dedicated snapshot clock,
+	// not from TicToc's lazily computed ct — snapshot visibility needs one
+	// total install order across engines, which ct does not provide.
+	var sct uint64
+	if w.rcl.MVCCOn() {
+		sct = w.db.Reg.BeginCommitStamp(w.wid)
+	}
 	for i := range w.wset {
 		e := &w.wset[i]
 		switch {
 		case e.isDelete:
-			e.tbl.Idx.Remove(e.key)
-			e.rec.TID.Store(ttPack(ct, 0, true))
-			w.rcl.Retire(e.tbl, e.rec)
+			if sct != 0 {
+				w.rcl.CaptureDelete(e.tbl, e.rec, e.key, sct)
+				e.rec.TID.Store(ttPack(ct, 0, true))
+			} else {
+				e.tbl.Idx.Remove(e.key)
+				e.rec.TID.Store(ttPack(ct, 0, true))
+				w.rcl.Retire(e.tbl, e.rec)
+			}
+		case e.isInsert:
+			e.rec.InstallImage(e.val)
+			w.rcl.StampInsert(e.rec, sct)
+			e.rec.TID.Store(ttPack(ct, 0, false))
 		default:
+			w.rcl.CaptureUpdate(e.rec, sct)
 			e.rec.InstallImage(e.val)
 			e.rec.TID.Store(ttPack(ct, 0, false))
 		}
+	}
+	if sct != 0 {
+		w.db.Reg.EndCommitStamp(w.wid)
 	}
 	if w.bd != nil {
 		w.bd.Commits++
@@ -435,37 +455,23 @@ func (w *tictocWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
 	return buf, nil
 }
 
-// ScanRC implements Tx.
+// ScanRC implements Tx via the shared scan loop.
 func (w *tictocWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
-	rng := t.Ranger()
-	if rng == nil {
-		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
-	}
-	w.scan = w.scan[:0]
-	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
-		w.scan = append(w.scan, ScanItem{k, rec})
-		return true
-	})
 	buf := w.arena.Alloc(t.Store.RowSize)
-	for _, it := range w.scan {
-		if e := w.findW(it.Rec); e != nil {
-			if e.isDelete {
-				continue
+	return ScanResolved(t, from, to, &w.scan,
+		func(rec *storage.Record) ([]byte, bool, bool) {
+			if e := w.findW(rec); e != nil {
+				return e.val, e.isDelete, true
 			}
-			if !fn(it.Key, e.val) {
-				return nil
+			return nil, false, false
+		},
+		func(rec *storage.Record) ([]byte, error) {
+			if ttIsAbsent(ttStableRead(rec, buf)) {
+				return nil, nil
 			}
-			continue
-		}
-		v := ttStableRead(it.Rec, buf)
-		if ttIsAbsent(v) {
-			continue
-		}
-		if !fn(it.Key, buf) {
-			return nil
-		}
-	}
-	return nil
+			return buf, nil
+		},
+		fn)
 }
 
 // WID implements Tx.

@@ -144,16 +144,38 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 		w.rollback(stats.CauseLog)
 		return fmt.Errorf("%w: %v", errLogIO, err)
 	}
-	// Commit point: finalize inserts/deletes, release every lock.
+	// Commit point: finalize inserts/deletes, release every lock. In MVCC
+	// mode, Pending captures resolve to the commit stamp here (the
+	// exclusive lock is still held, so the stamp and the in-place image
+	// publish together from a snapshot reader's perspective: readers that
+	// saw Pending used the chain, readers that see the stamp see settled
+	// bytes) and committed deletes keep their index entry until the
+	// snapshot watermark passes them.
+	var ct uint64
+	if w.rcl.MVCCOn() {
+		ct = w.db.Reg.BeginCommitStamp(w.wid)
+	}
 	for i := range w.acc {
 		a := &w.acc[i]
-		if a.isDelete {
-			a.tbl.Idx.Remove(a.key)
-			w.rcl.Retire(a.tbl, a.rec)
-		} else if a.isInsert {
+		switch {
+		case a.isDelete:
+			if ct != 0 {
+				w.rcl.FinalizePending(a.rec, ct, true)
+				w.rcl.DeferDelete(a.tbl, a.rec, a.key, ct)
+			} else {
+				a.tbl.Idx.Remove(a.key)
+				w.rcl.Retire(a.tbl, a.rec)
+			}
+		case a.isInsert:
+			w.rcl.StampInsert(a.rec, ct)
 			a.rec.ClearAbsent()
+		case a.undo != nil:
+			w.rcl.FinalizePending(a.rec, ct, false)
 		}
 		a.rec.PL.Release(w.wid, a.mode)
+	}
+	if ct != 0 {
+		w.db.Reg.EndCommitStamp(w.wid)
 	}
 	if w.bd != nil {
 		w.bd.Commits++
@@ -171,10 +193,16 @@ func (w *twoplWorker) rollback(cause stats.AbortCause) {
 			w.rcl.Retire(a.tbl, a.rec)
 		default:
 			if a.undo != nil {
-				copy(a.rec.Data, a.undo)
+				// Restore the bytes before unwinding the capture: once the
+				// head stamp reverts from Pending, snapshot readers read the
+				// in-place image again.
+				a.rec.InstallImage(a.undo)
 			}
 			if a.isDelete {
 				a.rec.ClearAbsent()
+			}
+			if a.undo != nil {
+				w.rcl.UnwindPending(a.rec)
 			}
 		}
 		a.rec.PL.Release(w.wid, a.mode)
@@ -300,8 +328,14 @@ func (w *twoplWorker) Update(t *Table, key uint64, val []byte) error {
 				return fmt.Errorf("%w: undo log: %v", ErrAborted, err)
 			}
 		}
+		// First in-place write of this record: park the committed pre-image
+		// on the version chain before any byte changes, so snapshot readers
+		// (who never take the 2PL lock) keep a stable image to read.
+		w.rcl.CapturePending(rec)
 	}
-	copy(rec.Data, val)
+	// InstallImage rather than a plain copy: lock-free snapshot readers
+	// CopyImage concurrently, and the race-detector shims serialize the two.
+	rec.InstallImage(val)
 	return nil
 }
 
@@ -355,6 +389,7 @@ func (w *twoplWorker) Delete(t *Table, key uint64) error {
 				return fmt.Errorf("%w: undo log: %v", ErrAborted, err)
 			}
 		}
+		w.rcl.CapturePending(rec)
 	}
 	rec.SetAbsent()
 	a.isDelete = true
@@ -386,45 +421,32 @@ func (w *twoplWorker) ReadRC(t *Table, key uint64) ([]byte, error) {
 	return out, nil
 }
 
-// ScanRC implements Tx. Key/record pairs are collected first so record
-// locks are never taken under index latches.
+// ScanRC implements Tx via the shared scan loop: each record not already
+// locked by this transaction is read under a momentary shared lock.
 func (w *twoplWorker) ScanRC(t *Table, from, to uint64, fn func(uint64, []byte) bool) error {
-	rng := t.Ranger()
-	if rng == nil {
-		return fmt.Errorf("cc: table %q has no ordered index", t.Name)
-	}
-	w.scan = w.scan[:0]
-	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
-		w.scan = append(w.scan, ScanItem{k, rec})
-		return true
-	})
 	buf := w.arena.Alloc(t.Store.RowSize)
-	for _, it := range w.scan {
-		if a := w.find(it.Rec); a != nil {
-			if storage.TIDAbsent(it.Rec.TID.Load()) && !a.isInsert {
-				continue
+	return ScanResolved(t, from, to, &w.scan,
+		func(rec *storage.Record) ([]byte, bool, bool) {
+			if a := w.find(rec); a != nil {
+				return rec.Data, storage.TIDAbsent(rec.TID.Load()) && !a.isInsert, true
 			}
-			if !fn(it.Key, it.Rec.Data) {
-				return nil
+			return nil, false, false
+		},
+		func(rec *storage.Record) ([]byte, error) {
+			if err := w.acquire(rec, lock.Shared); err != nil {
+				return nil, err
 			}
-			continue
-		}
-		if err := w.acquire(it.Rec, lock.Shared); err != nil {
-			return err
-		}
-		absent := storage.TIDAbsent(it.Rec.TID.Load())
-		if !absent {
-			copy(buf, it.Rec.Data)
-		}
-		it.Rec.PL.Release(w.wid, lock.Shared)
-		if absent {
-			continue
-		}
-		if !fn(it.Key, buf) {
-			return nil
-		}
-	}
-	return nil
+			absent := storage.TIDAbsent(rec.TID.Load())
+			if !absent {
+				copy(buf, rec.Data)
+			}
+			rec.PL.Release(w.wid, lock.Shared)
+			if absent {
+				return nil, nil
+			}
+			return buf, nil
+		},
+		fn)
 }
 
 // WID implements Tx.

@@ -275,17 +275,28 @@ func (w *worker) commit() error {
 			a.rlocked = false
 		}
 	}
-	// Phase 3: install buffered updates and release write locks.
+	// Phase 3: install buffered updates and release write locks. With MVCC
+	// on, one commit stamp covers the whole install loop: the commit-intent
+	// protocol in BeginCommitStamp keeps the stamp invisible to snapshot
+	// readers until EndCommitStamp, so the multi-record install appears
+	// atomic to every snapshot.
+	var ct uint64
+	if w.rcl.MVCCOn() {
+		ct = w.db.Reg.BeginCommitStamp(w.wid)
+	}
 	for i := range w.acc {
 		a := &w.acc[i]
 		if !a.wlocked {
 			continue
 		}
 		if a.written || a.isDelete {
-			w.install(a)
+			w.install(a, ct)
 		}
 		a.lk.ReleaseWrite(w.wid)
 		a.wlocked = false
+	}
+	if ct != 0 {
+		w.db.Reg.EndCommitStamp(w.wid)
 	}
 	if w.bd != nil {
 		w.bd.Commits++
@@ -306,7 +317,7 @@ func accCompare(a, b access) int {
 // bit serializes against optimistic (seqlock) readers; the holder is
 // another committer's short install section, so back off instead of
 // burning the CPU the holder needs to finish.
-func (w *worker) install(a *access) {
+func (w *worker) install(a *access, ct uint64) {
 	for i := 0; ; i++ {
 		if _, ok := a.rec.TIDLock(); ok {
 			break
@@ -315,14 +326,26 @@ func (w *worker) install(a *access) {
 	}
 	switch {
 	case a.isDelete:
-		a.tbl.Idx.Remove(a.key)
-		a.rec.TIDUnlockFlags(true, false)
-		// Unlinked and absent: recycle once concurrent readers drain.
-		w.rcl.Retire(a.tbl, a.rec)
+		if ct != 0 {
+			// MVCC: capture the pre-image, stamp the record absent, and
+			// leave it index-linked so older snapshots can still resolve
+			// the key; the reclaimer unlinks once the snapshot watermark
+			// passes ct.
+			w.rcl.CaptureDelete(a.tbl, a.rec, a.key, ct)
+			a.rec.TIDUnlockFlags(true, false)
+		} else {
+			a.tbl.Idx.Remove(a.key)
+			a.rec.TIDUnlockFlags(true, false)
+			// Unlinked and absent: recycle once concurrent readers drain.
+			w.rcl.Retire(a.tbl, a.rec)
+		}
 	case a.isInsert:
-		// Data was written at insert time under exclusive mode.
+		// Data was written at insert time under exclusive mode. Stamp the
+		// version word before the TID publication makes the row readable.
+		w.rcl.StampInsert(a.rec, ct)
 		a.rec.TIDUnlockFlags(false, true)
 	default:
+		w.rcl.CaptureUpdate(a.rec, ct)
 		a.rec.InstallImage(a.val)
 		a.rec.TIDUnlockFlags(false, false)
 	}
@@ -700,36 +723,23 @@ func (w *worker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
 
 // ScanRC implements cc.Tx.
 func (w *worker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bool) error {
-	rng := t.Ranger()
-	if rng == nil {
-		return fmt.Errorf("core: table %q has no ordered index", t.Name)
-	}
-	w.scan = w.scan[:0]
-	rng.Scan(from, to, func(k uint64, rec *storage.Record) bool {
-		w.scan = append(w.scan, cc.ScanItem{Key: k, Rec: rec})
-		return true
-	})
 	buf := w.arena.Alloc(t.Store.RowSize)
-	for _, it := range w.scan {
-		if a := w.find(it.Rec); a != nil {
-			img, err := readBack(a)
-			if err != nil {
-				continue // deleted or absent
+	return cc.ScanResolved(t, from, to, &w.scan,
+		func(rec *storage.Record) ([]byte, bool, bool) {
+			if a := w.find(rec); a != nil {
+				img, err := readBack(a)
+				return img, err != nil, true // err: deleted or absent
 			}
-			if !fn(it.Key, img) {
-				return nil
+			return nil, false, false
+		},
+		func(rec *storage.Record) ([]byte, error) {
+			v := rec.StableRead(buf)
+			if storage.TIDAbsent(v) {
+				return nil, nil
 			}
-			continue
-		}
-		v := it.Rec.StableRead(buf)
-		if storage.TIDAbsent(v) {
-			continue
-		}
-		if !fn(it.Key, buf) {
-			return nil
-		}
-	}
-	return nil
+			return buf, nil
+		},
+		fn)
 }
 
 // WID implements cc.Tx.

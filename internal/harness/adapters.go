@@ -93,6 +93,14 @@ func (c *Churn) Setup(d *cc.DB) { c.w = ycsb.SetupChurn(d, c.Cfg) }
 // NewSource implements Workload.
 func (c *Churn) NewSource(wid uint16) Source { return churnSource{c.w.NewGen(wid)} }
 
+// ScanSpec implements ScanTarget: full key range, and since every churn
+// transaction deletes and inserts the same number of keys, every
+// consistent snapshot holds exactly Records live rows — the count doubles
+// as the snapshot-atomicity check. (Requires Cfg.Ordered for the B+tree.)
+func (c *Churn) ScanSpec() (string, uint64, uint64, int) {
+	return ycsb.ChurnTableName, 0, ^uint64(0), c.Cfg.Records
+}
+
 type churnSource struct{ g *ycsb.ChurnGen }
 
 func (s churnSource) Next() Unit {

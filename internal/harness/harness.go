@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/db"
@@ -40,6 +41,17 @@ type Workload interface {
 // Source generates transactions for one worker.
 type Source interface {
 	Next() Unit
+}
+
+// ScanTarget is implemented by workloads that support HTAP snapshot
+// scanners. ScanSpec names the (Ordered) table to scan, the key range, and
+// the exact live-row count every consistent snapshot must observe
+// (0 = unknown, skip the check). A workload with multi-key write
+// transactions that keep the live count invariant — churn's delete+insert
+// pairs — turns the count into a snapshot-atomicity probe: any scan that
+// sees a torn transaction miscounts.
+type ScanTarget interface {
+	ScanSpec() (table string, from, to uint64, liveRows int)
 }
 
 // Unit is one generated transaction.
@@ -104,6 +116,20 @@ type Config struct {
 	// delete/insert churn grows table memory (the A/B baseline for the
 	// bounded-memory experiment).
 	NoReclaim bool
+	// Scanners runs that many snapshot read-only scanner goroutines
+	// alongside the workers (HTAP mode): each repeatedly opens a snapshot
+	// transaction and scans the workload's scan target end to end, with no
+	// locks and no aborts. Requires a workload implementing ScanTarget
+	// with an Ordered table; enables MVCC version capture on the database.
+	// Incompatible with NoReclaim.
+	Scanners int
+	// ScanInterval paces the scanners: each sleeps this long between
+	// scans (0 = closed loop, scan back to back). Closed-loop scanners
+	// measure scan bandwidth; paced scanners model an analytic cadence
+	// and keep the writer-impact comparison meaningful on small machines,
+	// where back-to-back full-table scans would saturate the CPU whatever
+	// the concurrency control does.
+	ScanInterval time.Duration
 	// CaptureMem records the run's memory footprint (table bytes, heap
 	// after a forced GC, reclaim counters) into the returned metrics.
 	CaptureMem bool
@@ -140,9 +166,15 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	ccdb := cc.NewDB(cfg.Workers, engine.TableOpts())
+	if cfg.Scanners > 0 && cfg.NoReclaim {
+		return nil, errors.New("harness: Scanners requires reclamation (version GC rides the epoch reclaimer)")
+	}
+	ccdb := cc.NewDBWithScanners(cfg.Workers, cfg.Scanners, engine.TableOpts())
 	if cfg.NoReclaim {
 		ccdb.DisableReclamation()
+	}
+	if cfg.Scanners > 0 {
+		ccdb.EnableMVCC()
 	}
 	if cfg.Logging != db.LogOff {
 		mode := wal.Redo
@@ -164,6 +196,28 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		defer ccdb.Log.Close()
 	}
 	cfg.Workload.Setup(ccdb)
+
+	// Resolve the HTAP scan target after setup (the table must exist).
+	var (
+		scanTbl          *cc.Table
+		scanFrom, scanTo uint64
+		scanLive         int
+	)
+	if cfg.Scanners > 0 {
+		target, ok := cfg.Workload.(ScanTarget)
+		if !ok {
+			return nil, fmt.Errorf("harness: workload %s does not support snapshot scanners", cfg.Workload.Name())
+		}
+		var name string
+		name, scanFrom, scanTo, scanLive = target.ScanSpec()
+		scanTbl = ccdb.Table(name)
+		if scanTbl == nil {
+			return nil, fmt.Errorf("harness: scan target %q not found", name)
+		}
+		if scanTbl.Ranger() == nil {
+			return nil, fmt.Errorf("harness: scan target %q is not an ordered table", name)
+		}
+	}
 
 	// Baseline for the run's reclaim-counter deltas (obs counters are
 	// process-global and other runs may have bumped them).
@@ -331,9 +385,62 @@ func Run(cfg Config) (*stats.Metrics, error) {
 			}
 		}(wid)
 	}
+	// HTAP snapshot scanners: slots above the worker range, each looping
+	// full-range snapshot scans until the deadline. Scans take no locks and
+	// cannot abort; the liveRows check turns each scan into a
+	// snapshot-atomicity probe (a torn multi-key churn txn miscounts).
+	var (
+		scanHists   = make([]*stats.Histogram, cfg.Scanners)
+		scanCounts  = make([]uint64, cfg.Scanners)
+		scanRows    = make([]uint64, cfg.Scanners)
+		scanViol    atomic.Uint64
+		scanViolMsg atomic.Pointer[string]
+	)
+	for i := 0; i < cfg.Scanners; i++ {
+		scanHists[i] = stats.NewHistogram()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw := ccdb.SnapshotWorker(uint16(cfg.Workers + 1 + i))
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				recording := now.After(recordAfter)
+				t0 := time.Now()
+				rows := 0
+				sw.Begin()
+				err := sw.SnapshotScan(scanTbl, scanFrom, scanTo, func(uint64, []byte) bool {
+					rows++
+					return true
+				})
+				sw.End()
+				if err != nil || (scanLive > 0 && rows != scanLive) {
+					scanViol.Add(1)
+					msg := fmt.Sprintf("scanner %d: rows=%d want=%d err=%v", i+1, rows, scanLive, err)
+					scanViolMsg.CompareAndSwap(nil, &msg)
+				}
+				if recording {
+					scanCounts[i]++
+					scanRows[i] += uint64(rows)
+					scanHists[i].Record(time.Since(t0).Nanoseconds())
+				}
+				if cfg.ScanInterval > 0 {
+					time.Sleep(cfg.ScanInterval)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(i)
+	}
+
 	// Mark the measurement window's actual start for throughput math.
 	measureStart = recordAfter
 	wg.Wait()
+	if v := scanViol.Load(); v > 0 {
+		return nil, fmt.Errorf("harness: %d inconsistent snapshot scans (first: %s)", v, *scanViolMsg.Load())
+	}
 	elapsed := time.Since(measureStart)
 	if elapsed > cfg.Measure {
 		elapsed = cfg.Measure // workers stop at the deadline
@@ -356,11 +463,22 @@ func Run(cfg Config) (*stats.Metrics, error) {
 			m.Breakdown.Merge(bd)
 		}
 	}
+	if cfg.Scanners > 0 {
+		for i := 0; i < cfg.Scanners; i++ {
+			m.SnapshotScans += scanCounts[i]
+			m.ScanRows += scanRows[i]
+		}
+		m.ScanLatency = stats.MergeAll(scanHists)
+	}
 	if cfg.Trace {
 		m.Attribution = obs.BuildAttribution()
 	}
 	if cfg.CaptureMem {
 		ccdb.FlushReclaim()
+		if ccdb.MVCCEnabled() {
+			m.VersionNodes = ccdb.VersionPool().Live()
+			m.VersionNodesFree = ccdb.VersionPool().FreeCount()
+		}
 		m.TableBytes = ccdb.TableBytes()
 		m.RecordsReclaimed = obs.Metrics().RecordsReclaimed.Load() - baseReclaimed
 		m.RecordsRecycled = obs.Metrics().RecordsRecycled.Load() - baseRecycled

@@ -163,3 +163,58 @@ func TestTPCCAdapterSmoke(t *testing.T) {
 		t.Fatal("no TPC-C commits")
 	}
 }
+
+func TestRunHTAPScanners(t *testing.T) {
+	cfg := ycsb.ChurnDefaults()
+	cfg.Records = 1000
+	cfg.RecordSize = 32
+	cfg.Ordered = true
+	m, err := Run(Config{
+		Protocol:     db.Plor,
+		Workers:      2,
+		Scanners:     1,
+		ScanInterval: 5 * time.Millisecond,
+		Measure:      300 * time.Millisecond,
+		Workload:     NewChurn(cfg, 2),
+		CaptureMem:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Fatal("no writer commits with scanners running")
+	}
+	if m.SnapshotScans == 0 {
+		t.Fatal("no snapshot scans completed")
+	}
+	// Run fails on any inconsistent scan, so reaching here means every
+	// scan saw exactly cfg.Records rows; the row count must agree.
+	if m.ScanRows != m.SnapshotScans*uint64(cfg.Records) {
+		t.Fatalf("scan rows %d != scans %d x records %d", m.ScanRows, m.SnapshotScans, cfg.Records)
+	}
+	if m.ScanLatency == nil || m.ScanLatency.Count() == 0 {
+		t.Fatal("no scan latency samples recorded")
+	}
+
+	// Scanners without a ScanTarget workload must be rejected.
+	if _, err := Run(Config{
+		Protocol: db.Plor,
+		Workers:  2,
+		Scanners: 1,
+		Measure:  50 * time.Millisecond,
+		Workload: tinyYCSB(2),
+	}); err == nil {
+		t.Fatal("Scanners over a non-ScanTarget workload should fail")
+	}
+	// Scanners with reclamation off must be rejected.
+	if _, err := Run(Config{
+		Protocol:  db.Plor,
+		Workers:   2,
+		Scanners:  1,
+		NoReclaim: true,
+		Measure:   50 * time.Millisecond,
+		Workload:  NewChurn(cfg, 2),
+	}); err == nil {
+		t.Fatal("Scanners + NoReclaim should fail")
+	}
+}

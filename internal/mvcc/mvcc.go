@@ -1,0 +1,176 @@
+// Package mvcc implements per-record version chains for snapshot reads
+// (Larson et al., VLDB 2012): every committed write captures the record's
+// pre-image into a version node stamped with the commit stamp it was valid
+// under, chained newest-first off the record header. Snapshot readers
+// traverse record-or-chain to the newest version with stamp ≤ their
+// snapshot timestamp — no locks, no validation, no aborts.
+//
+// The package is self-contained (it knows nothing about records, tables, or
+// engines): internal/storage embeds a Head per record, and internal/cc's
+// reclaimer owns the node allocator and the GC policy. Capture happens at
+// install time under the record's write exclusion, which is what makes the
+// subsystem engine-agnostic — every engine already funnels committed images
+// through a single-writer install window.
+package mvcc
+
+import "sync/atomic"
+
+// A stamp word packs a commit stamp with a logical-absence flag:
+//
+//	bit  0      absent — the version is a committed delete (or, on a record
+//	            head, a not-yet-visible insert)
+//	bits 1..63  the commit stamp the version was installed under
+//
+// The zero word is "present since stamp 0": freshly bulk-loaded records are
+// visible to every snapshot without any MVCC bookkeeping.
+const absentBit = uint64(1)
+
+// Pending is the head-stamp sentinel for an uncommitted in-place write
+// (2PL executes updates directly in the row image under its write lock).
+// Snapshot readers treat a Pending head as unreadably new and fall through
+// to the chain, where the capture that set Pending parked the pre-image.
+const Pending = ^uint64(0)
+
+// Pack builds a stamp word.
+func Pack(stamp uint64, absent bool) uint64 {
+	w := stamp << 1
+	if absent {
+		w |= absentBit
+	}
+	return w
+}
+
+// Stamp extracts the commit stamp from a stamp word.
+func Stamp(w uint64) uint64 { return w >> 1 }
+
+// Absent reports whether a stamp word carries the absence flag.
+func Absent(w uint64) bool { return w&absentBit != 0 }
+
+// Version is one superseded record image. Nodes are immutable from publish
+// (Head.Push) until reclaimed: writers only ever prepend, and GC only cuts
+// suffixes whose readers have provably drained (epoch grace, like record
+// reclamation). Data is retained and re-used across recycles.
+type Version struct {
+	next  atomic.Pointer[Version]
+	stamp uint64 // packed Pack(stamp, absent) of the image this node holds
+	key   uint64
+	data  []byte
+}
+
+// Next returns the next-older version, or nil.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// StampWord returns the node's packed stamp word.
+func (v *Version) StampWord() uint64 { return v.stamp }
+
+// Key returns the primary key the image was stored under.
+func (v *Version) Key() uint64 { return v.key }
+
+// Data returns the captured row image.
+func (v *Version) Data() []byte { return v.data }
+
+// Set fills a (recycled or fresh) node before publication. The image is
+// copied into the node's retained buffer.
+func (v *Version) Set(stampWord, key uint64, img []byte) {
+	v.stamp = stampWord
+	v.key = key
+	if cap(v.data) < len(img) {
+		v.data = make([]byte, len(img))
+	}
+	v.data = v.data[:len(img)]
+	copy(v.data, img)
+}
+
+// Head is the per-record MVCC anchor, embedded in storage.Record. The stamp
+// word describes the record's CURRENT image (the row bytes in the record
+// itself); the chain holds superseded images, newest first.
+type Head struct {
+	stamp atomic.Uint64
+	head  atomic.Pointer[Version]
+}
+
+// Raw returns the packed stamp word of the current image.
+func (h *Head) Raw() uint64 { return h.stamp.Load() }
+
+// SetRaw publishes a new stamp word for the current image. The caller must
+// hold the record's write exclusion and must have pushed the pre-image
+// first if any snapshot may still need it.
+func (h *Head) SetRaw(w uint64) { h.stamp.Store(w) }
+
+// Chain returns the newest superseded version, or nil.
+func (h *Head) Chain() *Version { return h.head.Load() }
+
+// Push prepends a filled node to the chain. Single writer (the record's
+// install exclusion); the atomic store publishes the node's fields to
+// lock-free walkers.
+func (h *Head) Push(v *Version) {
+	v.next.Store(h.head.Load())
+	h.head.Store(v)
+}
+
+// Pop removes and returns the newest chain node. Only the pushing writer
+// may call it, and only while no snapshot can have observed the node (2PL
+// rollback unwinds a capture whose Pending head made the chain the sole
+// read path — the popped pre-image is re-exposed as the current image
+// before the pop, so readers lose nothing).
+func (h *Head) Pop() *Version {
+	v := h.head.Load()
+	if v != nil {
+		h.head.Store(v.next.Load())
+	}
+	return v
+}
+
+// CutAfter unlinks everything older than v from the chain and returns the
+// detached suffix. The caller must hold the record's write exclusion and
+// must route the suffix through an epoch grace period before reuse —
+// paused walkers may still be traversing it.
+func CutAfter(v *Version) *Version {
+	tail := v.next.Load()
+	if tail != nil {
+		v.next.Store(nil)
+	}
+	return tail
+}
+
+// TakeChain detaches and returns the whole chain. Same caller obligations
+// as CutAfter.
+func (h *Head) TakeChain() *Version {
+	v := h.head.Load()
+	if v != nil {
+		h.head.Store(nil)
+	}
+	return v
+}
+
+// ResetAbsent reinitializes the head for a record entering (or re-entering)
+// service in the not-yet-visible state: stamp-0 absent, empty chain. The
+// caller must have drained the old chain (TakeChain) through reclamation
+// first; recycled records reach this via storage.ResetForRecycle after the
+// reclaimer stripped them.
+func (h *Head) ResetAbsent() {
+	h.stamp.Store(absentBit)
+	h.head.Store(nil)
+}
+
+// Len returns the chain length (racy snapshot, for gauges and tests).
+func (h *Head) Len() int {
+	n := 0
+	for v := h.head.Load(); v != nil; v = v.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Visible resolves the visibility rule against a chain: it returns the
+// newest version with stamp ≤ s, or nil if every retained version is newer
+// than s (the record did not yet exist at s). A nil result or an absent
+// version both read as "not found".
+func Visible(chain *Version, s uint64) *Version {
+	for v := chain; v != nil; v = v.next.Load() {
+		if Stamp(v.stamp) <= s {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package mvcc
+
+import "testing"
+
+func TestPackStampAbsent(t *testing.T) {
+	for _, tc := range []struct {
+		stamp  uint64
+		absent bool
+	}{{0, false}, {0, true}, {1, false}, {1, true}, {1 << 40, false}, {1<<62 - 1, true}} {
+		w := Pack(tc.stamp, tc.absent)
+		if Stamp(w) != tc.stamp {
+			t.Fatalf("Stamp(Pack(%d,%v)) = %d", tc.stamp, tc.absent, Stamp(w))
+		}
+		if Absent(w) != tc.absent {
+			t.Fatalf("Absent(Pack(%d,%v)) = %v", tc.stamp, tc.absent, Absent(w))
+		}
+	}
+	if Stamp(0) != 0 || Absent(0) {
+		t.Fatal("zero word must read as present-since-stamp-0")
+	}
+}
+
+// chainOf builds a chain with the given stamps, pushed oldest first so the
+// head ends up newest-first.
+func chainOf(h *Head, stamps ...uint64) []*Version {
+	nodes := make([]*Version, len(stamps))
+	for i, s := range stamps {
+		v := &Version{}
+		v.Set(Pack(s, false), uint64(i), []byte{byte(s)})
+		h.Push(v)
+		nodes[i] = v
+	}
+	return nodes
+}
+
+func TestPushPopChainOrder(t *testing.T) {
+	var h Head
+	nodes := chainOf(&h, 1, 2, 3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	// Newest first: 3 -> 2 -> 1.
+	want := []uint64{3, 2, 1}
+	i := 0
+	for v := h.Chain(); v != nil; v = v.Next() {
+		if Stamp(v.StampWord()) != want[i] {
+			t.Fatalf("chain[%d] stamp = %d, want %d", i, Stamp(v.StampWord()), want[i])
+		}
+		i++
+	}
+	if p := h.Pop(); p != nodes[2] {
+		t.Fatal("Pop did not return the newest node")
+	}
+	if h.Chain() != nodes[1] || h.Len() != 2 {
+		t.Fatal("Pop did not relink the chain")
+	}
+}
+
+func TestVisible(t *testing.T) {
+	var h Head
+	chainOf(&h, 2, 5, 9)
+	for _, tc := range []struct {
+		s    uint64
+		want uint64 // 0 = nil
+	}{{1, 0}, {2, 2}, {4, 2}, {5, 5}, {8, 5}, {9, 9}, {100, 9}} {
+		v := Visible(h.Chain(), tc.s)
+		switch {
+		case tc.want == 0 && v != nil:
+			t.Fatalf("Visible(s=%d) = stamp %d, want nil", tc.s, Stamp(v.StampWord()))
+		case tc.want != 0 && (v == nil || Stamp(v.StampWord()) != tc.want):
+			t.Fatalf("Visible(s=%d) = %v, want stamp %d", tc.s, v, tc.want)
+		}
+	}
+}
+
+func TestCutAfterAndTakeChain(t *testing.T) {
+	var h Head
+	nodes := chainOf(&h, 1, 2, 3) // head: 3 -> 2 -> 1
+	tail := CutAfter(nodes[2])
+	if tail != nodes[1] {
+		t.Fatal("CutAfter did not return the suffix")
+	}
+	if h.Len() != 1 || h.Chain() != nodes[2] {
+		t.Fatalf("chain after cut: len=%d", h.Len())
+	}
+	// The detached suffix stays linked (walkers may be inside it).
+	if tail.Next() != nodes[0] {
+		t.Fatal("detached suffix lost its internal links")
+	}
+	if ch := h.TakeChain(); ch != nodes[2] {
+		t.Fatal("TakeChain did not return the head")
+	}
+	if h.Chain() != nil || h.Len() != 0 {
+		t.Fatal("TakeChain left the chain attached")
+	}
+}
+
+func TestResetAbsent(t *testing.T) {
+	var h Head
+	chainOf(&h, 7)
+	h.TakeChain()
+	h.ResetAbsent()
+	if !Absent(h.Raw()) || Stamp(h.Raw()) != 0 {
+		t.Fatalf("ResetAbsent raw = %#x", h.Raw())
+	}
+	if h.Chain() != nil {
+		t.Fatal("ResetAbsent left chain nodes")
+	}
+}
+
+func TestVersionSetReusesBuffer(t *testing.T) {
+	var v Version
+	v.Set(Pack(1, false), 9, []byte{1, 2, 3, 4})
+	p := &v.Data()[0]
+	v.Set(Pack(2, false), 9, []byte{5, 6})
+	if len(v.Data()) != 2 || v.Data()[0] != 5 {
+		t.Fatalf("Set did not copy the new image: %v", v.Data())
+	}
+	if &v.Data()[0] != p {
+		t.Fatal("Set reallocated a buffer that had capacity")
+	}
+	if Stamp(v.StampWord()) != 2 || v.Key() != 9 {
+		t.Fatal("Set did not update stamp/key")
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(2)
+	v1 := p.Get(1)
+	v1.Set(Pack(1, false), 1, []byte{1})
+	p.Put(1, v1)
+	if got := p.Get(1); got != v1 {
+		t.Fatal("Put/Get did not recycle the node on the same shard")
+	}
+	// Put severs the node's next pointer at free time.
+	v2 := p.Get(2)
+	v2.next.Store(v1)
+	p.Put(2, v2)
+	if v2.Next() != nil {
+		t.Fatal("Put must sever next so freed nodes never chain into live ones")
+	}
+}
+
+func TestPutChainCountsAndLive(t *testing.T) {
+	p := NewPool(1)
+	var h Head
+	chainOf(&h, 1, 2, 3)
+	p.AddLive(3)
+	if n := p.PutChain(1, h.TakeChain()); n != 3 {
+		t.Fatalf("PutChain freed %d nodes, want 3", n)
+	}
+	p.AddLive(-3)
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", p.Live())
+	}
+	if p.FreeCount() < 3 {
+		t.Fatalf("FreeCount = %d, want >= 3", p.FreeCount())
+	}
+}

@@ -1,0 +1,133 @@
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// poolShard is one worker's private version-node free-list. Each worker
+// slot is driven by at most one goroutine (the engine worker contract), so
+// pushes and pops need no atomics; the shard is cache-line padded because
+// neighbors sit in one array.
+type poolShard struct {
+	free []*Version
+	_    [64 - unsafe.Sizeof([]*Version{})%64]byte
+}
+
+// maxShardFree caps a worker's private free-list; past it, half the list
+// spills to the shared pool so delete-heavy workers feed capture-heavy
+// ones instead of hoarding. Same policy as storage's record shards.
+const maxShardFree = 512
+
+// Pool recycles version nodes through per-worker free shards plus a shared
+// overflow pool exchanged in batches — the version-node mirror of the
+// record free-lists in internal/storage. Nodes must only be returned after
+// an epoch grace period (the cc reclaimer's version limbo); the pool itself
+// does no safety bookkeeping.
+type Pool struct {
+	shards   []poolShard
+	spillMu  sync.Mutex
+	spill    [][]*Version
+	spillLen atomic.Int64
+
+	// live is the number of nodes currently out of the pool (published on
+	// chains or in limbo). Updated in batches by the reclaimer, not per
+	// capture, so it is a lagging gauge.
+	live atomic.Int64
+}
+
+// NewPool creates a pool for worker IDs 1..workers.
+func NewPool(workers int) *Pool {
+	return &Pool{shards: make([]poolShard, workers+1)}
+}
+
+// Get returns a node for worker wid: recycled if the worker's shard (or a
+// spill batch) has one, freshly allocated otherwise.
+func (p *Pool) Get(wid uint16) *Version {
+	if int(wid) < len(p.shards) {
+		s := &p.shards[wid]
+		if len(s.free) == 0 && p.spillLen.Load() > 0 {
+			p.takeSpill(s)
+		}
+		if n := len(s.free); n > 0 {
+			v := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			return v
+		}
+	}
+	return &Version{}
+}
+
+// Put returns a node to worker wid's shard. The caller (the reclaimer)
+// guarantees no walker can still reach it.
+func (p *Pool) Put(wid uint16, v *Version) {
+	v.next.Store(nil)
+	if int(wid) >= len(p.shards) {
+		return
+	}
+	s := &p.shards[wid]
+	s.free = append(s.free, v)
+	if len(s.free) > maxShardFree {
+		p.spillHalf(s)
+	}
+}
+
+// PutChain returns a detached chain suffix to worker wid's shard, returning
+// the number of nodes freed.
+func (p *Pool) PutChain(wid uint16, v *Version) int {
+	n := 0
+	for v != nil {
+		next := v.next.Load()
+		p.Put(wid, v)
+		v = next
+		n++
+	}
+	return n
+}
+
+func (p *Pool) spillHalf(s *poolShard) {
+	half := len(s.free) / 2
+	batch := make([]*Version, len(s.free)-half)
+	copy(batch, s.free[half:])
+	for i := half; i < len(s.free); i++ {
+		s.free[i] = nil
+	}
+	s.free = s.free[:half]
+	p.spillMu.Lock()
+	p.spill = append(p.spill, batch)
+	p.spillMu.Unlock()
+	p.spillLen.Add(int64(len(batch)))
+}
+
+func (p *Pool) takeSpill(s *poolShard) {
+	p.spillMu.Lock()
+	n := len(p.spill)
+	if n == 0 {
+		p.spillMu.Unlock()
+		return
+	}
+	batch := p.spill[n-1]
+	p.spill[n-1] = nil
+	p.spill = p.spill[:n-1]
+	p.spillMu.Unlock()
+	p.spillLen.Add(-int64(len(batch)))
+	s.free = append(s.free, batch...)
+}
+
+// AddLive adjusts the live-node gauge by delta (batched by the reclaimer).
+func (p *Pool) AddLive(delta int64) { p.live.Add(delta) }
+
+// Live returns the lagging count of nodes out of the pool.
+func (p *Pool) Live() int64 { return p.live.Load() }
+
+// FreeCount returns the number of nodes parked on free-lists (racy
+// snapshot, for gauges).
+func (p *Pool) FreeCount() int {
+	n := int(p.spillLen.Load())
+	for i := range p.shards {
+		n += len(p.shards[i].free)
+	}
+	return n
+}

@@ -150,6 +150,25 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "plor_table_bytes{table=%q} %d\n", t.Name, t.Bytes)
 		}
 	}
+	fmt.Fprintf(w, "# HELP plor_snapshot_txns_total Completed snapshot (read-only MVCC) transactions; they cannot abort.\n")
+	fmt.Fprintf(w, "# TYPE plor_snapshot_txns_total counter\n")
+	fmt.Fprintf(w, "plor_snapshot_txns_total %d\n", l.SnapshotTxns.Load())
+	if mv, ok := MVCCStatsSnapshot(); ok {
+		fmt.Fprintf(w, "# HELP plor_version_nodes_live Version-chain nodes captured and not yet freed.\n")
+		fmt.Fprintf(w, "# TYPE plor_version_nodes_live gauge\n")
+		fmt.Fprintf(w, "plor_version_nodes_live %d\n", mv.NodesLive)
+		fmt.Fprintf(w, "# HELP plor_version_nodes_free Version nodes parked on pool free-lists.\n")
+		fmt.Fprintf(w, "# TYPE plor_version_nodes_free gauge\n")
+		fmt.Fprintf(w, "plor_version_nodes_free %d\n", mv.NodesFree)
+		fmt.Fprintf(w, "# HELP plor_snapshot_watermark_epoch Oldest commit stamp any live or future snapshot can need.\n")
+		fmt.Fprintf(w, "# TYPE plor_snapshot_watermark_epoch gauge\n")
+		fmt.Fprintf(w, "plor_snapshot_watermark_epoch %d\n", mv.Watermark)
+		fmt.Fprintf(w, "# HELP plor_version_chain_len Per-record version-chain length quantiles (records walk at scrape).\n")
+		fmt.Fprintf(w, "# TYPE plor_version_chain_len gauge\n")
+		fmt.Fprintf(w, "plor_version_chain_len{quantile=\"0.5\"} %d\n", mv.ChainP50)
+		fmt.Fprintf(w, "plor_version_chain_len{quantile=\"0.99\"} %d\n", mv.ChainP99)
+		fmt.Fprintf(w, "plor_version_chain_len{quantile=\"1\"} %d\n", mv.ChainMax)
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

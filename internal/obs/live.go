@@ -50,6 +50,10 @@ type Live struct {
 	RecordsReclaimed atomic.Uint64
 	RecordsRecycled  atomic.Uint64
 
+	// SnapshotTxns counts completed snapshot (read-only MVCC) transactions.
+	// They commit by construction — no abort counter exists for them.
+	SnapshotTxns atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu       sync.Mutex
@@ -102,6 +106,40 @@ func TableStatsSnapshot() []TableStat {
 		return nil
 	}
 	return (*fn)()
+}
+
+// MVCCStat is a snapshot of the version-chain subsystem for /metrics,
+// mirroring internal/cc's MVCC state without importing it (same layering
+// as TableStat). Chain-length quantiles come from a full record walk at
+// scrape time — cheap relative to scrape frequency.
+type MVCCStat struct {
+	NodesLive int64  // captured minus freed version nodes (lagging gauge)
+	NodesFree int    // nodes parked on pool free-lists
+	Watermark uint64 // oldest stamp any live or future snapshot can need
+	ChainP50  int
+	ChainP99  int
+	ChainMax  int
+}
+
+var mvccStatsFn atomic.Pointer[func() MVCCStat]
+
+// SetMVCCStats installs the provider /metrics polls for version-chain
+// gauges. Pass nil to uninstall.
+func SetMVCCStats(fn func() MVCCStat) {
+	if fn == nil {
+		mvccStatsFn.Store(nil)
+		return
+	}
+	mvccStatsFn.Store(&fn)
+}
+
+// MVCCStatsSnapshot polls the installed provider; ok is false if none.
+func MVCCStatsSnapshot() (MVCCStat, bool) {
+	fn := mvccStatsFn.Load()
+	if fn == nil {
+		return MVCCStat{}, false
+	}
+	return (*fn)(), true
 }
 
 // TxnCommit records one committed transaction and its end-to-end latency.

@@ -369,3 +369,60 @@ func TestProfilerTopK(t *testing.T) {
 		t.Fatalf("third record wrong: %+v", top[2])
 	}
 }
+
+// TestHTTPMVCCMetrics checks the snapshot-transaction counter and the
+// version-chain gauges reach /metrics when a provider is installed
+// (plorserver -mvcc wires cc.DB.MVCCStatsProvider here).
+func TestHTTPMVCCMetrics(t *testing.T) {
+	Metrics().Reset()
+	Metrics().SnapshotTxns.Add(4)
+	SetMVCCStats(func() MVCCStat {
+		return MVCCStat{NodesLive: 12, NodesFree: 3, Watermark: 99, ChainP50: 1, ChainP99: 2, ChainMax: 5}
+	})
+	defer SetMVCCStats(nil)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"plor_snapshot_txns_total 4",
+		"plor_version_nodes_live 12",
+		"plor_version_nodes_free 3",
+		"plor_snapshot_watermark_epoch 99",
+		`plor_version_chain_len{quantile="0.5"} 1`,
+		`plor_version_chain_len{quantile="0.99"} 2`,
+		`plor_version_chain_len{quantile="1"} 5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Without a provider the gauges disappear but the counter stays.
+	SetMVCCStats(nil)
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw2), "plor_version_nodes_live") {
+		t.Fatal("version gauges emitted with no provider installed")
+	}
+	if !strings.Contains(string(raw2), "plor_snapshot_txns_total") {
+		t.Fatal("snapshot counter missing without provider")
+	}
+}

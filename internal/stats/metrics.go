@@ -52,6 +52,21 @@ type Metrics struct {
 	HeapBytes        uint64
 	RecordsReclaimed uint64
 	RecordsRecycled  uint64
+
+	// VersionNodes is the live version-chain node count at the end of the
+	// run (captured minus freed); VersionNodesFree counts nodes parked on
+	// pool free-lists. Zero unless the run had MVCC on and captured memory.
+	VersionNodes     int64
+	VersionNodesFree int
+
+	// HTAP scanner results (zero unless the run had snapshot scanners).
+	// SnapshotScans counts completed full-range snapshot scans in the
+	// window, ScanRows the rows they returned, ScanLatency the per-scan
+	// wall time. Snapshot scans cannot abort, so there is no scan-abort
+	// counter — asserting that is the point of the experiment.
+	SnapshotScans uint64
+	ScanRows      uint64
+	ScanLatency   *Histogram
 }
 
 // Throughput returns committed transactions per second.
@@ -90,9 +105,25 @@ func (m *Metrics) Row() string {
 // MemRow renders the memory column printed under a Row when the harness
 // captured the run's footprint (churn runs and -mem runs).
 func (m *Metrics) MemRow() string {
-	return fmt.Sprintf("%-28s table=%8.2f MiB  heap=%8.2f MiB  reclaimed=%d recycled=%d",
+	row := fmt.Sprintf("%-28s table=%8.2f MiB  heap=%8.2f MiB  reclaimed=%d recycled=%d",
 		m.Label, float64(m.TableBytes)/(1<<20), float64(m.HeapBytes)/(1<<20),
 		m.RecordsReclaimed, m.RecordsRecycled)
+	if m.VersionNodes != 0 || m.VersionNodesFree != 0 {
+		row += fmt.Sprintf("  vnodes=%d vfree=%d", m.VersionNodes, m.VersionNodesFree)
+	}
+	return row
+}
+
+// ScanRow renders the snapshot-scanner column printed under a Row for HTAP
+// runs (zero scans renders a placeholder).
+func (m *Metrics) ScanRow() string {
+	if m.SnapshotScans == 0 {
+		return fmt.Sprintf("%-28s scans=0", m.Label)
+	}
+	secs := m.Elapsed.Seconds()
+	return fmt.Sprintf("%-28s scans=%-6d rows=%-10d scan/s=%6.1f  scan_p50=%8.1fms  scan_p99=%8.1fms  scan_aborts=0",
+		m.Label, m.SnapshotScans, m.ScanRows, float64(m.SnapshotScans)/secs,
+		float64(m.ScanLatency.P50())/1e6, float64(m.ScanLatency.P99())/1e6)
 }
 
 // CauseSummary renders the per-cause abort counters. It prefers the harness

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 )
 
 // Record is one row plus its concurrency-control state.
@@ -30,6 +31,12 @@ type Record struct {
 
 	// Meta is spare protocol state: MOCC stores the record temperature.
 	Meta atomic.Uint64
+
+	// MV anchors the record's version chain and the snapshot stamp of its
+	// current image (internal/mvcc). The zero value reads as "present since
+	// stamp 0", so bulk-loaded records need no MVCC bookkeeping; engines
+	// maintain it only when the DB runs with MVCC enabled.
+	MV mvcc.Head
 
 	// ML is the mutex-based Plor locker (Baseline Plor, Fig. 11); nil
 	// unless the table was created with NeedMutexLocker.
@@ -117,6 +124,16 @@ func (r *Record) TIDStable() uint64 {
 // TIDLocked reports whether the TID lock bit is set.
 func (r *Record) TIDLocked() bool { return r.TID.Load()&tidLockBit != 0 }
 
+// TIDBumpVersion increments the version counter in place, flags untouched.
+// For engines that write rows under an external lock (2PL) rather than the
+// TID lock bit: bumping invalidates seqlock readers whose copy overlapped
+// an in-place write the TID word would otherwise never reflect. Only valid
+// for plain version-counter layouts (not TicToc's wts|delta packing), and
+// only while the caller's external lock excludes other TID writers.
+func (r *Record) TIDBumpVersion() {
+	r.TID.Add(1)
+}
+
 // TIDVersion extracts the version counter from a TID word.
 func TIDVersion(v uint64) uint64 { return v & tidVerMask }
 
@@ -151,6 +168,11 @@ func (r *Record) InitAbsent(locked bool) {
 		v |= tidLockBit
 	}
 	r.TID.Store(v)
+	// A published-but-uncommitted insert must read as "not found" to
+	// snapshot readers at every timestamp: stamp-0 absent, no history.
+	// (Recycled records had their chain stripped before Free; fresh ones
+	// have none.)
+	r.MV.ResetAbsent()
 }
 
 // ResetForRecycle scrubs protocol state before a retired record re-enters a
@@ -163,6 +185,10 @@ func (r *Record) ResetForRecycle() {
 	v := r.TID.Load()
 	r.TID.Store(v&tidVerMask | tidAbsentBit)
 	r.Meta.Store(0)
+	// The reclaimer stripped the version chain (through its own grace
+	// period) before handing the record here; reset the head so the next
+	// incarnation starts invisible with no history.
+	r.MV.ResetAbsent()
 }
 
 // StableRead copies the record image into buf with seqlock semantics: it

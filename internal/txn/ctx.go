@@ -77,7 +77,18 @@ type Ctx struct {
 	// it observed at attempt begin. Reclaimers read every slot to compute
 	// the epoch horizon no in-flight reader can precede (ReclaimBound).
 	epoch atomic.Uint64
-	_     [5]uint64 // pad to a full cache line
+	// cstamp is the worker's commit-stamp intent: 0 outside a commit
+	// install, otherwise a lower bound on the commit stamp the install will
+	// publish. Snapshot readers subtract one from the minimum active intent
+	// so a snapshot never lands between an allocated stamp and its install
+	// (see BeginCommitStamp).
+	cstamp atomic.Uint64
+	// snap is the worker's snapshot announcement: 0 while no snapshot
+	// transaction is active, otherwise snapshot-ts+1 (offset so 0 can mean
+	// inactive). Version GC reads every slot to compute the oldest snapshot
+	// still reading (SnapshotWatermark).
+	snap atomic.Uint64
+	_    [3]uint64 // pad to a full cache line
 }
 
 // Begin activates a new (or retried) transaction on this context: it stores
@@ -139,6 +150,12 @@ type Registry struct {
 	// (TryAdvanceEpoch), so a worker's announcement is a lower bound on
 	// every epoch it can observe for the rest of its attempt.
 	epoch atomic.Uint64
+	// snapTS is the commit-stamp clock for snapshot visibility: the stamp
+	// of the most recently allocated commit install. It is separate from ts
+	// (the wound-wait priority clock) because stamps must be allocated at
+	// install time — after the commit decision — so that stamp order equals
+	// version install order on every record.
+	snapTS atomic.Uint64
 }
 
 // NewRegistry creates a registry for n workers (1 ≤ n ≤ MaxWorkers).
@@ -222,6 +239,92 @@ func (r *Registry) ReclaimBound() uint64 {
 		}
 	}
 	return bound
+}
+
+// --- snapshot commit stamps ------------------------------------------------
+//
+// The snapshot clock orders committed writes for multi-version readers
+// (internal/mvcc). A writer brackets its install phase with
+// BeginCommitStamp/EndCommitStamp; a snapshot transaction calls SnapshotTS
+// (via SnapshotEnter) to obtain a stamp s such that every commit with stamp
+// ≤ s is fully installed and every commit > s will leave the pre-image
+// reachable through a version chain. The intent slot makes this race-free:
+// a writer publishes a lower bound on its stamp BEFORE allocating it, so a
+// reader computing min(snapTS, active intents − 1) can never land between
+// an allocated stamp and the stores that install it.
+
+// BeginCommitStamp allocates worker wid's commit stamp for the install phase
+// of the current transaction. The returned stamp is unique and monotone
+// across all commits. The worker's intent slot stays published (blocking the
+// snapshot frontier just below the stamp) until EndCommitStamp.
+func (r *Registry) BeginCommitStamp(wid uint16) uint64 {
+	c := &r.ctxs[wid]
+	// Publish a lower bound before allocating: any stamp allocated after
+	// this store is ≥ the bound, so a concurrent SnapshotTS that misses the
+	// final stamp still excludes it.
+	c.cstamp.Store(r.snapTS.Load() + 1)
+	ct := r.snapTS.Add(1)
+	c.cstamp.Store(ct)
+	return ct
+}
+
+// EndCommitStamp clears worker wid's commit-stamp intent after every store
+// of the install phase (version captures and new images) has completed.
+func (r *Registry) EndCommitStamp(wid uint16) {
+	r.ctxs[wid].cstamp.Store(0)
+}
+
+// SnapshotTS returns the current snapshot frontier: the largest stamp s such
+// that every commit stamped ≤ s has finished installing. It is monotone
+// non-decreasing (a published intent is always > the snapTS value it was
+// derived from).
+func (r *Registry) SnapshotTS() uint64 {
+	s := r.snapTS.Load()
+	for i := 1; i < len(r.ctxs); i++ {
+		if v := r.ctxs[i].cstamp.Load(); v != 0 && v-1 < s {
+			s = v - 1
+		}
+	}
+	return s
+}
+
+// SnapshotEnter computes a snapshot timestamp for worker wid and announces
+// it, pinning version chains at or above it until SnapshotExit. The
+// announcement stores s+1 so a zero slot always means "no active snapshot".
+//
+// Announce first, then recompute: a provisional announcement goes up before
+// the returned stamp is chosen, so any GC watermark computed after our store
+// sees the announcement, and any GC that missed it must have scanned the
+// slots — and therefore read the frontier — before our store, which means
+// its watermark is ≤ the frontier we recompute afterwards. Either way the
+// watermark can never pass the stamp we return. (Compute-then-announce has
+// a window where GC trims chains the snapshot still needs.)
+func (r *Registry) SnapshotEnter(wid uint16) uint64 {
+	r.ctxs[wid].snap.Store(r.SnapshotTS() + 1)
+	s := r.SnapshotTS()
+	r.ctxs[wid].snap.Store(s + 1)
+	return s
+}
+
+// SnapshotExit clears worker wid's snapshot announcement.
+func (r *Registry) SnapshotExit(wid uint16) {
+	r.ctxs[wid].snap.Store(0)
+}
+
+// SnapshotWatermark returns the version-GC horizon: the oldest snapshot any
+// in-flight or future snapshot transaction can read. Versions superseded at
+// or before the watermark (except the newest such version per record) are
+// unreachable and may be trimmed. With no active snapshot the watermark is
+// the frontier itself: SnapshotTS is monotone, so a snapshot taken after
+// this scan began observes a frontier ≥ the value used here.
+func (r *Registry) SnapshotWatermark() uint64 {
+	w := r.SnapshotTS()
+	for i := 1; i < len(r.ctxs); i++ {
+		if v := r.ctxs[i].snap.Load(); v != 0 && v-1 < w {
+			w = v - 1
+		}
+	}
+	return w
 }
 
 // PriorityOf returns the commit priority of the worker identified by the

@@ -1,0 +1,142 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotTSMonotone(t *testing.T) {
+	r := NewRegistry(4)
+	if s := r.SnapshotTS(); s != 0 {
+		t.Fatalf("fresh registry SnapshotTS = %d, want 0", s)
+	}
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		ct := r.BeginCommitStamp(1)
+		if ct != prev+1 {
+			t.Fatalf("commit stamp %d after %d, want monotone +1", ct, prev)
+		}
+		r.EndCommitStamp(1)
+		if s := r.SnapshotTS(); s != ct {
+			t.Fatalf("SnapshotTS = %d after EndCommitStamp(%d)", s, ct)
+		}
+		prev = ct
+	}
+}
+
+func TestCommitIntentMasksFrontier(t *testing.T) {
+	r := NewRegistry(4)
+	// Advance the clock so the frontier is nonzero.
+	r.BeginCommitStamp(1)
+	r.EndCommitStamp(1)
+
+	ct := r.BeginCommitStamp(2)
+	if ct != 2 {
+		t.Fatalf("second stamp = %d, want 2", ct)
+	}
+	// While worker 2's intent is live, the frontier must exclude its stamp:
+	// a snapshot taken now must not see a half-installed commit.
+	if s := r.SnapshotTS(); s != ct-1 {
+		t.Fatalf("SnapshotTS = %d with intent %d live, want %d", s, ct, ct-1)
+	}
+	// Another writer stamping on top does not unmask the older intent.
+	ct3 := r.BeginCommitStamp(3)
+	r.EndCommitStamp(3)
+	if ct3 != 3 {
+		t.Fatalf("third stamp = %d, want 3", ct3)
+	}
+	if s := r.SnapshotTS(); s != ct-1 {
+		t.Fatalf("SnapshotTS = %d, want still %d (oldest intent wins)", s, ct-1)
+	}
+	r.EndCommitStamp(2)
+	if s := r.SnapshotTS(); s != ct3 {
+		t.Fatalf("SnapshotTS = %d after all intents cleared, want %d", s, ct3)
+	}
+}
+
+func TestSnapshotEnterPinsWatermark(t *testing.T) {
+	r := NewRegistry(4)
+	for i := 0; i < 5; i++ {
+		r.BeginCommitStamp(1)
+		r.EndCommitStamp(1)
+	}
+	s := r.SnapshotEnter(2)
+	if s != 5 {
+		t.Fatalf("SnapshotEnter = %d, want 5", s)
+	}
+	// Commits past the snapshot must not drag the watermark beyond it.
+	for i := 0; i < 5; i++ {
+		r.BeginCommitStamp(1)
+		r.EndCommitStamp(1)
+	}
+	if w := r.SnapshotWatermark(); w != s {
+		t.Fatalf("watermark = %d with snapshot %d active, want pinned", w, s)
+	}
+	if f := r.SnapshotTS(); f != 10 {
+		t.Fatalf("frontier = %d, want 10 (snapshots don't block writers)", f)
+	}
+	r.SnapshotExit(2)
+	if w := r.SnapshotWatermark(); w != 10 {
+		t.Fatalf("watermark = %d after exit, want frontier 10", w)
+	}
+}
+
+func TestSnapshotWatermarkOldestWins(t *testing.T) {
+	r := NewRegistry(4)
+	r.BeginCommitStamp(1)
+	r.EndCommitStamp(1)
+	s1 := r.SnapshotEnter(2) // pins at 1
+	r.BeginCommitStamp(1)
+	r.EndCommitStamp(1)
+	s2 := r.SnapshotEnter(3) // pins at 2
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("snapshots = %d, %d", s1, s2)
+	}
+	if w := r.SnapshotWatermark(); w != s1 {
+		t.Fatalf("watermark = %d, want oldest snapshot %d", w, s1)
+	}
+	r.SnapshotExit(2)
+	if w := r.SnapshotWatermark(); w != s2 {
+		t.Fatalf("watermark = %d after oldest exited, want %d", w, s2)
+	}
+	r.SnapshotExit(3)
+}
+
+// TestSnapshotNeverSeesOpenIntent hammers the commit-intent protocol: the
+// frontier observed by concurrent snapshot transactions must never reach a
+// stamp whose install bracket is still open.
+func TestSnapshotNeverSeesOpenIntent(t *testing.T) {
+	r := NewRegistry(4)
+	const iters = 20000
+	var open sync.Map // stamp -> true while bracketed
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := uint16(1); w <= 2; w++ {
+		wg.Add(1)
+		go func(wid uint16) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ct := r.BeginCommitStamp(wid)
+				open.Store(ct, true)
+				open.Delete(ct)
+				r.EndCommitStamp(wid)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		s := r.SnapshotEnter(3)
+		// Every stamp ≤ s must be fully installed: if it were still
+		// bracketed, its intent was published before allocation and
+		// SnapshotTS would have excluded it.
+		if _, stillOpen := open.Load(s); stillOpen {
+			t.Fatalf("snapshot %d taken while its commit bracket was open", s)
+		}
+		r.SnapshotExit(3)
+	}
+}

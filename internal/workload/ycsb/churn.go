@@ -26,6 +26,10 @@ type ChurnConfig struct {
 	Workers int
 	// Yield inserts a scheduler yield after each pair (see Config.Yield).
 	Yield bool
+	// Ordered backs the table with a B+tree instead of a hash index, so
+	// range scans work — required for the HTAP experiment's full-range
+	// snapshot scanners.
+	Ordered bool
 }
 
 // ChurnDefaults is the churn benchmark's standard shape.
@@ -62,7 +66,11 @@ func SetupChurn(db *cc.DB, cfg ChurnConfig) *Churn {
 	if cfg.Records < cfg.Workers {
 		panic(fmt.Sprintf("churn: %d records cannot seed %d workers", cfg.Records, cfg.Workers))
 	}
-	tbl := db.CreateTable(ChurnTableName, cfg.RecordSize, cc.HashIndex, cfg.Records)
+	kind := cc.HashIndex
+	if cfg.Ordered {
+		kind = cc.OrderedIndex
+	}
+	tbl := db.CreateTable(ChurnTableName, cfg.RecordSize, kind, cfg.Records)
 	row := make([]byte, cfg.RecordSize)
 	for k := 0; k < cfg.Records; k++ {
 		ChurnValue(uint64(k), row)
