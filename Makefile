@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap
+.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap bench-hotspot
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench-mem:
 # snapshot-scan primitive.
 bench-htap:
 	$(GO) test -run=^$$ -bench='BenchmarkHTAP|BenchmarkSnapshotScan' -benchmem .
+
+# bench-hotspot measures the hotspot suite: the θ-sweep over the skewed
+# shape plus the ultra-hot single-row point, plor-elr vs plain plor (and
+# wound-wait/Silo at θ=0.99), under redo group commit. The full-scale
+# medians and the acceptance criterion live in BENCH_PR7.json.
+bench-hotspot:
+	$(GO) test -run=^$$ -bench=BenchmarkHotspot -benchmem .
 
 # bench-wal measures the WAL commit-path disciplines (sync vs group vs
 # async) and the device-level batching effect behind them.

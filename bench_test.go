@@ -401,3 +401,49 @@ func BenchmarkSnapshotScan(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(rows)/float64(b.N), "rows/scan")
 }
+
+// BenchmarkHotspot — the hotspot suite at bench scale: the θ-sweep on the
+// default shape (8-op transactions, 50% reads, K=4 ultra-hot rows) plus the
+// ultra-hot single-row point, under redo group commit on a 15µs device —
+// the regime where the commit-time lock hold dominates and early lock
+// release (PLOR_ELR) pays off. Full-scale medians live in BENCH_PR7.json.
+func BenchmarkHotspot(b *testing.B) {
+	walCfg := func(cfg harness.Config) harness.Config {
+		cfg.Logging = db.LogRedo
+		cfg.LogDurability = db.DurGroup
+		cfg.LogFlushInterval = 20 * time.Microsecond
+		cfg.LogLatency = 15 * time.Microsecond
+		return cfg
+	}
+	for _, theta := range []float64{0.9, 0.99, 1.2} {
+		protos := []db.Protocol{db.Plor, db.PlorELR}
+		if theta == 0.99 {
+			protos = append(protos, db.WoundWait, db.Silo)
+		}
+		for _, p := range protos {
+			b.Run(fmt.Sprintf("theta=%.2f/%s", theta, p), func(b *testing.B) {
+				cfg := ycsb.HotspotDefaults()
+				cfg.Records = 20_000
+				cfg.Theta = theta
+				runPoint(b, walCfg(harness.Config{Protocol: p, Workers: benchWorkers,
+					Backoff:  backoff(p),
+					Workload: harness.NewHotspot(cfg, benchWorkers)}))
+			})
+		}
+	}
+	// The acceptance point: a single ultra-hot row hammered by 1-op RMW
+	// transactions through a θ=0.99 zipfian — a pure lock queue whose
+	// throughput is set by the commit-time hold.
+	for _, p := range []db.Protocol{db.Plor, db.PlorELR} {
+		b.Run("ultrahot/"+string(p), func(b *testing.B) {
+			cfg := ycsb.HotspotDefaults()
+			cfg.Records = 20_000
+			cfg.HotRows = 1
+			cfg.Ops = 1
+			cfg.ReadRatio = 0
+			runPoint(b, walCfg(harness.Config{Protocol: p, Workers: benchWorkers,
+				Backoff:  backoff(p),
+				Workload: harness.NewHotspot(cfg, benchWorkers)}))
+		})
+	}
+}

@@ -26,8 +26,8 @@ import (
 
 func main() {
 	var (
-		protocol    = flag.String("protocol", "PLOR", "CC protocol: PLOR, PLOR+DWA, PLOR_BASE, PLOR_RT, NO_WAIT, WAIT_DIE, WOUND_WAIT, SILO, TICTOC, MOCC")
-		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc, churn, htap")
+		protocol    = flag.String("protocol", "PLOR", "CC protocol: PLOR, PLOR+DWA, PLOR_ELR, PLOR_BASE, PLOR_RT, NO_WAIT, WAIT_DIE, WOUND_WAIT, SILO, TICTOC, MOCC")
+		workload    = flag.String("workload", "ycsb-a", "workload: ycsb-a, ycsb-b, ycsb-bprime, tpcc, tpcc-hammer, hotspot, churn, htap")
 		workers     = flag.Int("workers", 8, "closed-loop worker count (1-63)")
 		measure     = flag.Duration("measure", 3*time.Second, "measurement duration")
 		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup duration")
@@ -53,6 +53,12 @@ func main() {
 		memReport   = flag.Bool("mem", false, "report the run's memory footprint (implied by -workload churn)")
 		scanners    = flag.Int("scanners", -1, "snapshot scanner goroutines running full-range scans against the workload (-1 = workload default: 2 for htap, 0 otherwise)")
 		scanEvery   = flag.Duration("scan-interval", 25*time.Millisecond, "pause between snapshot scans per scanner (0 = closed loop)")
+		hotRows     = flag.Int("hot-rows", 4, "hotspot workload: K ultra-hot rows")
+		hotFrac     = flag.Float64("hot-frac", 0.5, "hotspot workload: fraction of operations hitting the hot rows")
+		hotLast     = flag.Bool("hot-last", false, "hotspot workload: order hot-row operations last in each transaction")
+		readRatio   = flag.Float64("read-ratio", -1, "hotspot workload: fraction of plain-read operations (-1 = default 0.5)")
+		txnOps      = flag.Int("ops", 0, "hotspot workload: operations per transaction (0 = default 8)")
+		mvcc        = flag.Bool("mvcc", false, "enable MVCC version capture (routes TPC-C Stock-Level through the snapshot read class)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
@@ -75,10 +81,28 @@ func main() {
 			cfg.Theta = *theta
 		}
 		wl = harness.NewYCSB(cfg, *workers)
-	case "tpcc":
+	case "tpcc", "tpcc-hammer":
 		cfg := tpcc.DefaultConfig()
 		cfg.Warehouses = *warehouses
+		cfg.Hammer = *workload == "tpcc-hammer"
 		wl = harness.NewTPCC(cfg, *workers)
+	case "hotspot":
+		cfg := ycsb.HotspotDefaults()
+		cfg.Records = *records
+		cfg.RecordSize = *recSize
+		if *theta >= 0 {
+			cfg.Theta = *theta
+		}
+		cfg.HotRows = *hotRows
+		cfg.HotFrac = *hotFrac
+		if *readRatio >= 0 {
+			cfg.ReadRatio = *readRatio
+		}
+		if *txnOps > 0 {
+			cfg.Ops = *txnOps
+		}
+		cfg.HotLast = *hotLast
+		wl = harness.NewHotspot(cfg, *workers)
 	case "churn":
 		cfg := ycsb.ChurnDefaults()
 		cfg.Records = *records
@@ -148,6 +172,7 @@ func main() {
 		NoReclaim:        *noReclaim,
 		CaptureMem:       *memReport,
 		Scanners:         *scanners,
+		MVCC:             *mvcc,
 		ScanInterval:     *scanEvery,
 		Backoff:          proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
 		Workload:         wl,

@@ -40,6 +40,12 @@ const (
 	Plor Protocol = "PLOR"
 	// PlorDWA is Plor with delayed write-lock acquisition (§4.1.4).
 	PlorDWA Protocol = "PLOR+DWA"
+	// PlorELR is Plor with early lock release (Bamboo-style): write locks
+	// retire at the last-write point with the dirty image installed, so the
+	// next waiter proceeds during the retirer's log flush. Dirty readers
+	// take a commit dependency on the retirer and cascade-abort if it
+	// aborts. Incompatible with MVCC and undo logging.
+	PlorELR Protocol = "PLOR_ELR"
 	// PlorBase is Plor with the mutex-based locker (Fig. 11 baseline).
 	PlorBase Protocol = "PLOR_BASE"
 	// PlorRT is Plor with real-time deadline commit priority (Fig. 15);
@@ -58,7 +64,7 @@ const (
 
 // Protocols lists every supported protocol in display order.
 func Protocols() []Protocol {
-	return []Protocol{NoWait, WaitDie, WoundWait, Silo, MOCC, TicToc, Plor}
+	return []Protocol{NoWait, WaitDie, WoundWait, Silo, MOCC, TicToc, Plor, PlorELR}
 }
 
 // LogMode selects persistent logging (Fig. 14).
@@ -188,6 +194,9 @@ func Open(opts Options) (*DB, error) {
 		return nil, fmt.Errorf("db: workers+scanners must be in [1,%d], got %d+%d",
 			MaxWorkers, opts.Workers, opts.Scanners)
 	}
+	if opts.MVCC && opts.Protocol == PlorELR {
+		return nil, fmt.Errorf("db: %s is incompatible with MVCC (snapshot stamps assume install-at-commit)", PlorELR)
+	}
 	if opts.MVCC && opts.NoReclaim {
 		return nil, fmt.Errorf("db: MVCC requires reclamation (version GC rides the epoch reclaimer)")
 	}
@@ -228,6 +237,8 @@ func engineFor(opts Options) (cc.Engine, error) {
 		return core.New(core.Options{}), nil
 	case PlorDWA:
 		return core.New(core.Options{DWA: true}), nil
+	case PlorELR:
+		return core.New(core.Options{ELR: true}), nil
 	case PlorBase:
 		return core.New(core.Options{MutexLocker: true}), nil
 	case PlorRT:

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/db"
+	"repro/internal/harness"
+	"repro/internal/workload/ycsb"
+)
+
+// TestHotspotELRGuard is the θ=0.99 hotspot regression guard: plor-elr must
+// keep a clear throughput lead over plain plor on the ultra-hot single-row
+// point (single counter row, 1-op RMW transactions, redo group commit on a
+// 15µs device). The measured advantage is ~1.6×; the 1.15× floor absorbs
+// scheduler noise while still catching a broken or disabled retire path,
+// whose ratio is ~1.0×. Skipped under -short and under the race detector
+// (instrumentation distorts the timing the guard measures).
+func TestHotspotELRGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard: needs real measurement time")
+	}
+	if raceEnabled {
+		t.Skip("timing guard: race instrumentation distorts the ratio")
+	}
+	run := func(p db.Protocol) float64 {
+		cfg := ycsb.HotspotDefaults()
+		cfg.Records = 20_000
+		cfg.HotRows = 1
+		cfg.Ops = 1
+		cfg.ReadRatio = 0
+		m, err := harness.Run(harness.Config{Protocol: p, Workers: benchWorkers,
+			Warmup: 100 * time.Millisecond, Measure: 600 * time.Millisecond,
+			Logging: db.LogRedo, LogDurability: db.DurGroup,
+			LogFlushInterval: 20 * time.Microsecond, LogLatency: 15 * time.Microsecond,
+			Workload: harness.NewHotspot(cfg, benchWorkers)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Throughput()
+	}
+	// Two reps each, best-of: the guard compares capability, not noise.
+	elr := max(run(db.PlorELR), run(db.PlorELR))
+	plor := max(run(db.Plor), run(db.Plor))
+	if elr < 1.15*plor {
+		t.Fatalf("plor-elr hotspot advantage regressed: elr=%.0f tps vs plor=%.0f tps (ratio %.2f, want >= 1.15)",
+			elr, plor, elr/plor)
+	}
+	t.Logf("plor-elr=%.0f tps plor=%.0f tps ratio=%.2f", elr, plor, elr/plor)
+}

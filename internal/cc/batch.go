@@ -177,5 +177,12 @@ func (b *Batcher) Flush() error {
 	if b.bt != nil {
 		return b.bt.FlushOps()
 	}
+	// Local mode executes eagerly, so the flush is the batch boundary
+	// itself: give an early-lock-release engine its retire point.
+	if b.err == nil {
+		if er, ok := b.tx.(EarlyReleaser); ok {
+			er.ReleaseEarly()
+		}
+	}
 	return b.err
 }

@@ -383,6 +383,17 @@ type Tx interface {
 // Proc is a stored procedure.
 type Proc func(tx Tx) error
 
+// EarlyReleaser is an optional Tx extension implemented by engines with
+// early lock release (plor-elr). ReleaseEarly retires the transaction's
+// write set acquired so far — dirty images installed, write locks handed
+// over — and is called at interactive batch (FlushOps) boundaries, the
+// closest approximation of an interactive transaction's last-write point
+// the server has. It is advisory: safe to call between any two operations,
+// a no-op for engines without early release.
+type EarlyReleaser interface {
+	ReleaseEarly()
+}
+
 // AttemptOpts parameterizes one transaction attempt.
 type AttemptOpts struct {
 	// ReadOnly enables read-only fast paths (Plor's dynamic RO mode).

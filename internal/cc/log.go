@@ -79,6 +79,23 @@ func (h *LogHandle) Commit() error {
 	return h.wl.Commit()
 }
 
+// CommitPublish forwards to the worker log (publish without waiting for
+// the flush round; see wal.WorkerLog.CommitPublish).
+func (h *LogHandle) CommitPublish() error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.CommitPublish()
+}
+
+// WaitCommitted forwards to the worker log (completes a CommitPublish).
+func (h *LogHandle) WaitCommitted() error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.WaitCommitted()
+}
+
 // Abort forwards to the worker log.
 func (h *LogHandle) Abort() {
 	if h != nil && h.wl != nil {

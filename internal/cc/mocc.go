@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -203,7 +204,7 @@ func (w *moccWorker) commit() error {
 		}
 	}
 	if w.wl.Mode() == walRedo {
-		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks held)
+		w.wl.SetTS(w.db.Reg.NextCommitTID()) // commit-order stamp (locks held)
 		for i := range w.wset {
 			e := &w.wset[i]
 			if e.isDelete {
@@ -279,6 +280,10 @@ func (w *moccWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 		}
 	}
 	w.releaseLocks()
+	switch cause {
+	case stats.CauseWounded, stats.CauseConflict, stats.CauseValidation:
+		obs.Metrics().WastedWork(len(w.rset) + len(w.wset))
+	}
 	w.wset = w.wset[:0]
 	w.rset = w.rset[:0]
 	w.wl.Abort()

@@ -160,7 +160,7 @@ func (w *siloWorker) commit() error {
 	}
 	// Persist the redo log before installing.
 	if w.wl.Mode() == walRedo {
-		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (TID locks held)
+		w.wl.SetTS(w.db.Reg.NextCommitTID()) // commit-order stamp (TID locks held)
 		for i := range w.wset {
 			e := &w.wset[i]
 			if e.isDelete {
@@ -231,6 +231,10 @@ func (w *siloWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCause
 		if !fromProc && i < lockedUpTo {
 			e.rec.TIDUnlock(false)
 		}
+	}
+	switch cause {
+	case stats.CauseWounded, stats.CauseConflict, stats.CauseValidation:
+		obs.Metrics().WastedWork(len(w.rset) + len(w.wset))
 	}
 	w.wset = w.wset[:0]
 	w.rset = w.rset[:0]

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"slices"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 )
@@ -218,7 +219,7 @@ func (w *tictocWorker) commit() error {
 	}
 	// Persist, then install at wts = rts = ct.
 	if w.wl.Mode() == walRedo {
-		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks held)
+		w.wl.SetTS(w.db.Reg.NextCommitTID()) // commit-order stamp (locks held)
 		for i := range w.wset {
 			e := &w.wset[i]
 			if e.isDelete {
@@ -291,6 +292,10 @@ func (w *tictocWorker) abort(lockedUpTo int, fromProc bool, cause stats.AbortCau
 				}
 			}
 		}
+	}
+	switch cause {
+	case stats.CauseWounded, stats.CauseConflict, stats.CauseValidation:
+		obs.Metrics().WastedWork(len(w.rset) + len(w.wset))
 	}
 	w.wset = w.wset[:0]
 	w.rset = w.rset[:0]

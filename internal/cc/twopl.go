@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -127,7 +128,7 @@ func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	// Persist before releasing locks: redo logs new images now, undo
 	// logged old images during execution and only needs the marker.
 	if w.wl.Mode() == walRedo {
-		w.wl.SetTS(w.db.Reg.NextTS()) // commit-order stamp (locks still held)
+		w.wl.SetTS(w.db.Reg.NextCommitTID()) // commit-order stamp (locks still held)
 		for i := range w.acc {
 			a := &w.acc[i]
 			if a.undo == nil && !a.isInsert && !a.isDelete {
@@ -206,6 +207,10 @@ func (w *twoplWorker) rollback(cause stats.AbortCause) {
 			}
 		}
 		a.rec.PL.Release(w.wid, a.mode)
+	}
+	switch cause {
+	case stats.CauseWounded, stats.CauseConflict:
+		obs.Metrics().WastedWork(len(w.acc))
 	}
 	w.acc = w.acc[:0]
 	w.wl.Abort()

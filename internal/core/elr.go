@@ -1,0 +1,431 @@
+// Early lock release (plor-elr): the Bamboo-style variant that retires a
+// transaction's write locks at its last-write point instead of holding them
+// through the log flush.
+//
+// Mechanics. At commit entry (stored procedures) or at an interactive batch
+// boundary (ReleaseEarly), each exclusively-held updated record is "retired":
+// the undo image is captured, the dirty image is installed under the record
+// seqlock, and the write lock is handed to the next waiter with the retirer's
+// packed context word parked in the lock's retired slot. A later accessor that
+// finds a non-zero retired slot consults wound-wait priority:
+//
+//   - older than the retirer  → wait for the slot to resolve, wounding the
+//     retirer first only if it is not yet in its final commit (the oldest
+//     transaction never takes a dependency — starvation freedom and deadlock
+//     freedom survive, because every dependency edge points from younger to
+//     older, and a final-commit retirer never waits on a lock);
+//   - younger than the retirer → register as a commit dependent in the
+//     retirer's context and proceed on the dirty image.
+//
+// A dependent delays its own commit until every retired word it consumed has
+// resolved (waitDeps). If a retirer aborts, it kills its registered
+// dependents (cascading abort), restores the undo image under the seqlock —
+// no write lock needed, since only the retirer ever installs into a retired
+// record — and clears the slot.
+//
+// Restrictions: ELR requires the latch-free locker, and is rejected with
+// MVCC (snapshot stamps assume install-at-commit) and undo logging (the
+// write-ahead rule would require logging the old image before the early
+// install).
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/lock"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// errCascade marks a dependent aborted because a retired writer it dirty-read
+// aborted first.
+var errCascade = cc.AbortReason(stats.CauseCascade, "core: aborted: cascade from aborted retired writer")
+
+// depRef is one commit dependency: the retired word this transaction consumed
+// and the lock whose slot resolves it.
+type depRef struct {
+	lf   *lock.LatchFree
+	word uint64
+}
+
+// noteDep records a commit dependency, deduplicating exact (lock, word)
+// repeats from re-reads of the same record.
+func (w *worker) noteDep(lf *lock.LatchFree, word uint64) {
+	for i := range w.deps {
+		if w.deps[i].lf == lf && w.deps[i].word == word {
+			return
+		}
+	}
+	w.deps = append(w.deps, depRef{lf: lf, word: word})
+}
+
+// hasDepWord reports whether a dependency on the transaction identified by
+// word is already recorded (possibly via a different record). regDep uses it
+// to avoid clearing a registration that an earlier record still needs.
+func (w *worker) hasDepWord(word uint64) bool {
+	for i := range w.deps {
+		if w.deps[i].word == word {
+			return true
+		}
+	}
+	return false
+}
+
+// selfAbortErr classifies an abort observed while parked on a retired slot:
+// if any recorded dependency died in place, our kill came from its cascade
+// sweep; otherwise it was an ordinary wound.
+func (w *worker) selfAbortErr() error {
+	for i := range w.deps {
+		d := &w.deps[i]
+		if w.db.Reg.Ctx(txn.WID(d.word)).Load() == txn.AbortedWord(d.word) {
+			return errCascade
+		}
+	}
+	return errWound
+}
+
+// parkRetireWait waits for lock lf's retired slot to resolve away from rw.
+// The caller's read bit (if any) is dropped while parked: an aborting
+// retirer's restore drains reader bits before overwriting the record (the
+// torn-read discipline of Phase 3 installs), and the slot being waited on is
+// exactly that retirer's. regDep re-acquires the read lock on the next loop
+// iteration.
+func (w *worker) parkRetireWait(a *access, lf *lock.LatchFree, rw uint64) error {
+	if a.rlocked {
+		a.lk.ReleaseRead(w.wid)
+		a.rlocked = false
+	}
+	for i := 0; lf.RetiredWord() == rw; i++ {
+		if w.ctx.Aborted() {
+			return w.selfAbortErr()
+		}
+		storage.Yield(i)
+	}
+	return nil
+}
+
+// regDep resolves the retired slot of a freshly locked record: it is called
+// after every successful AcquireRead/AcquireWrite in ELR mode, before the
+// caller consumes record bytes. On return either the slot is clear (or our
+// own), or a commit dependency on the retirer is registered and recorded.
+func (w *worker) regDep(a *access) error {
+	if !w.opts.ELR {
+		return nil
+	}
+	lf, ok := a.lk.(*lock.LatchFree)
+	if !ok {
+		return nil
+	}
+	hadRead := a.rlocked
+	for {
+		if hadRead && !a.rlocked {
+			// parkRetireWait dropped the read bit; re-insert before looking
+			// at the slot again.
+			if err := a.lk.AcquireRead(&w.req); err != nil {
+				return errWound
+			}
+			a.rlocked = true
+		}
+		rw := lf.RetiredWord()
+		if rw == 0 || rw == w.req.Word {
+			return nil
+		}
+		rctx := w.db.Reg.Ctx(txn.WID(rw))
+		if !(rctx.Load() == rw && rctx.Committing()) &&
+			w.req.Prio < w.db.Reg.PriorityOf(rw) {
+			// Older than a retirer that is NOT in its final commit (an
+			// interactive mid-transaction retire, or one already aborted):
+			// wound-wait applies as usual — such a retirer can still block
+			// on locks we hold, so depending on it could deadlock. Park for
+			// the restore.
+			//
+			// A retirer in its final commit is different: it will never wait
+			// on another lock (its Phase 1 is done; it only waits on slots of
+			// transactions that were already committing), so ANY transaction
+			// — even an older one — can safely consume its dirty image and
+			// take the commit dependency below. This is what keeps the hot
+			// lock pipelined under aging: wound-wait hands a freed hot lock
+			// to the OLDEST waiter, which is usually older than the retirer
+			// it follows. Dependency edges onto committers cannot form a
+			// waitDeps cycle on their own (a committer registers no new
+			// dependencies); cycles require mid-transaction retires on every
+			// edge, and the waitDeps backstop breaks those.
+			rctx.Kill(rw)
+			if err := w.parkRetireWait(a, lf, rw); err != nil {
+				return err
+			}
+			continue
+		}
+		// Younger: register as a dirty-read dependent, then re-verify both
+		// the slot and the retirer's liveness. The re-checks close the race
+		// with the retirer's abort sweep (see txn.AddDependent): the sweep
+		// runs after the abort bit is published, so a registration the sweep
+		// missed always observes the bit here and backs out.
+		rctx.AddDependent(w.wid, w.req.Word)
+		if lf.RetiredWord() != rw {
+			// Resolved while registering. Keep the registration if an earlier
+			// record already depends on this same transaction.
+			if !w.hasDepWord(rw) {
+				rctx.RemoveDependent(w.wid)
+			}
+			continue
+		}
+		if cur := rctx.Load(); cur != rw {
+			// Retirer aborted (or moved on): do not consume the dirty image.
+			if !w.hasDepWord(rw) {
+				rctx.RemoveDependent(w.wid)
+			}
+			if err := w.parkRetireWait(a, lf, rw); err != nil {
+				return err
+			}
+			continue
+		}
+		w.noteDep(lf, rw)
+		return nil
+	}
+}
+
+// retireOne retires a single exclusively-held updated record: capture the
+// undo image, publish the retired word, install the dirty image under the
+// record seqlock, and hand the write lock over. The slot is published BEFORE
+// the install so a seqlock reader whose copy spans the install necessarily
+// sees it (lock.ReserveRetire).
+func (w *worker) retireOne(a *access, lf *lock.LatchFree) {
+	if a.old == nil {
+		a.old = w.arena.Dup(a.rec.Data)
+	} else {
+		copy(a.old, a.rec.Data)
+	}
+	lf.ReserveRetire(w.req.Word)
+	w.install(a, 0)
+	lf.HandoverRetired()
+	a.retired = true
+	a.wlocked = false
+	a.excl = false
+	obs.Metrics().LockRetires.Add(1)
+}
+
+// retireWrites retires the whole write set at commit entry (after Phase 1 has
+// made it exclusive), so the log flush proceeds without holding any write
+// lock. Inserts and deletes are never retired — their index-visibility flips
+// stay atomic with commit — and a record whose slot is still occupied by a
+// previous retirer keeps its lock and installs in Phase 3 as usual.
+func (w *worker) retireWrites() {
+	if w.rcl.MVCCOn() || w.wl.Mode() == wal.Undo {
+		return
+	}
+	for i := range w.acc {
+		a := &w.acc[i]
+		if !a.wlocked || !a.excl || a.retired || a.isInsert || a.isDelete || !a.written {
+			continue
+		}
+		if lf, ok := a.lk.(*lock.LatchFree); ok && lf.RetiredWord() == 0 {
+			w.retireOne(a, lf)
+		}
+	}
+}
+
+// waitDepsBackstop bounds the dependency wait. Legitimate waits resolve in
+// flush-chain time (microseconds to low milliseconds); a wait this long means
+// a dependency cycle through interactive mid-transaction retires, which only
+// a participant's abort can break.
+const waitDepsBackstop = 100 * time.Millisecond
+
+// waitDeps blocks until every consumed retired word has resolved, so this
+// transaction's log commit is appended after the log commits of everything it
+// dirty-read (the retirer clears its slot only after persisting). A kill
+// landing during the wait aborts the transaction — cascading if the kill came
+// from a dependency's abort sweep. If a wait exceeds the backstop (a
+// dependency cycle through interactive retires), the transaction kills itself
+// to break the cycle.
+func (w *worker) waitDeps() error {
+	var deadline time.Time
+	for i := range w.deps {
+		d := &w.deps[i]
+		rctx := w.db.Reg.Ctx(txn.WID(d.word))
+		for j := 0; d.lf.RetiredWord() == d.word; j++ {
+			if rctx.LoggedWord() == d.word {
+				// The retirer's commit unit is published: it can no longer
+				// abort, and anything we publish from here lands in an epoch
+				// >= its epoch, so our commit can never survive a crash that
+				// loses its commit. No need to wait for its round to flush.
+				break
+			}
+			if w.ctx.Aborted() {
+				return w.selfAbortErr()
+			}
+			if j&0x3ff == 0x3ff {
+				now := time.Now()
+				if deadline.IsZero() {
+					deadline = now.Add(waitDepsBackstop)
+				} else if now.After(deadline) {
+					w.ctx.KillCurrent(w.ts)
+					return errCascade
+				}
+			}
+			storage.Yield(j)
+		}
+	}
+	return nil
+}
+
+// sweepDependents kills every transaction registered as a dependent of this
+// context — the cascading-abort sweep.
+func (w *worker) sweepDependents() {
+	w.ctx.TakeDependents(func(wid uint16, word uint64) {
+		if w.db.Reg.Ctx(wid).Kill(word) {
+			obs.Metrics().CascadeAborts.Add(1)
+		}
+	})
+}
+
+// restoreRetired undoes one retired install on the abort path: wait out
+// reader bits (every post-retire reader either registered — and was killed by
+// the sweep, releasing in its rollback — or parks bit-free in regDep, so the
+// wait terminates and no reader sees the restore mid-copy), then put the undo
+// image back under the record seqlock and resolve the slot. The version bump
+// in TIDUnlockFlags invalidates any optimistic snapshot of the dirty image.
+func (w *worker) restoreRetired(a *access) {
+	lf, ok := a.lk.(*lock.LatchFree)
+	if !ok {
+		return
+	}
+	for i := 0; ; i++ {
+		m := lf.ReaderBits() &^ (uint64(1) << (w.wid - 1))
+		if m == 0 {
+			break
+		}
+		if i > 512 {
+			// A lingering reader may be parked on ANOTHER slot this same
+			// aborting transaction owns (an older reader parks instead of
+			// depending on a non-committing retirer) — waiting on it here
+			// while it waits on us would deadlock. This is the abort path:
+			// wound the stragglers regardless of age so the restore always
+			// progresses; a parked reader honors the kill and releases its
+			// read locks on its own rollback.
+			for mm := m; mm != 0; {
+				b := mm & (-mm)
+				mm &^= b
+				wid := uint16(bits.TrailingZeros64(b) + 1)
+				c := w.db.Reg.Ctx(wid)
+				c.Kill(c.Load())
+			}
+		}
+		storage.Yield(i)
+	}
+	for i := 0; ; i++ {
+		if _, ok := a.rec.TIDLock(); ok {
+			break
+		}
+		storage.Yield(i)
+	}
+	a.rec.InstallImage(a.old)
+	a.rec.TIDUnlockFlags(false, false)
+	lf.ClearRetired(w.req.Word)
+	a.retired = false
+}
+
+// cascadeAbort is the retirer's abort path: publish the abort bit (so a
+// dependent registering after the sweep backs out), kill all registered
+// dependents, and restore every retired record. Dependents never install into
+// records before their own commit point, so the restores race with nothing
+// but seqlock readers.
+func (w *worker) cascadeAbort() {
+	retired := false
+	for i := range w.acc {
+		if w.acc[i].retired {
+			retired = true
+			break
+		}
+	}
+	if !retired {
+		// No retire this attempt ⇒ no registrations on our context (slots
+		// are always drained at transaction end).
+		return
+	}
+	w.ctx.KillCurrent(w.ts)
+	w.sweepDependents()
+	for i := range w.acc {
+		a := &w.acc[i]
+		if a.retired {
+			w.restoreRetired(a)
+		}
+	}
+}
+
+// unretire takes a retired record back for a later write by the same
+// transaction (interactive mode: a batch boundary retired it, a later batch
+// writes it again). The already-installed dirty image will never commit
+// as-is, so everyone who consumed it must die: sweep, re-take the write lock
+// (killed dependents release it; the sweep repeats inside the loop because a
+// dependent may register and grab the lock between sweeps), fence new readers
+// with exclusive mode, sweep stragglers, restore the pre-image, and clear the
+// slot. The transaction then proceeds as an ordinary exclusive write owner.
+func (w *worker) unretire(a *access) error {
+	lf, ok := a.lk.(*lock.LatchFree)
+	if !ok {
+		return nil
+	}
+	w.sweepDependents()
+	for i := 0; !lf.TryReacquireRetired(w.req.Word); i++ {
+		if w.ctx.Aborted() {
+			return errWound // rollback restores via cascadeAbort
+		}
+		w.sweepDependents()
+		storage.Yield(i)
+	}
+	a.wlocked = true
+	if err := lf.MakeExclusive(&w.req); err != nil {
+		return errWound // still retired; rollback restores and releases
+	}
+	a.excl = true
+	// Exclusive and write-locked: no new reader or writer can reach regDep,
+	// so this sweep is final. None of its victims can have committed — their
+	// waitDeps still sees our occupied slot.
+	w.sweepDependents()
+	for i := 0; ; i++ {
+		if _, ok := a.rec.TIDLock(); ok {
+			break
+		}
+		storage.Yield(i)
+	}
+	a.rec.InstallImage(a.old)
+	a.rec.TIDUnlockFlags(false, false)
+	lf.ClearRetired(w.req.Word)
+	a.retired = false
+	return nil
+}
+
+// ReleaseEarly implements cc.EarlyReleaser: at an interactive batch
+// (FlushOps) boundary, retire whatever the transaction has written so far —
+// the engine cannot know the last-write point of an interactive transaction,
+// so batch boundaries approximate it. Failure to upgrade a record is not an
+// error here; the wound surfaces at the next operation.
+func (w *worker) ReleaseEarly() {
+	if !w.opts.ELR || w.roMode || w.ctx.Aborted() ||
+		w.rcl.MVCCOn() || w.wl.Mode() == wal.Undo {
+		return
+	}
+	for i := range w.acc {
+		a := &w.acc[i]
+		if !a.wlocked || a.retired || a.isInsert || a.isDelete || !a.written {
+			continue
+		}
+		lf, ok := a.lk.(*lock.LatchFree)
+		if !ok || lf.RetiredWord() != 0 {
+			continue
+		}
+		if !a.excl {
+			if err := a.lk.MakeExclusive(&w.req); err != nil {
+				return
+			}
+			a.excl = true
+		}
+		w.retireOne(a, lf)
+	}
+}

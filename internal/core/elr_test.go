@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/obs"
+)
+
+// TestELRRetireDirtyReadCommit pins the happy-path ordering: a retired
+// write is dirty-readable immediately, but the dependent's commit waits for
+// the retirer's commit.
+//
+// w1 (older) updates a record and retires it mid-transaction (the
+// interactive batch-boundary hook), then parks. w2 (younger) reads the
+// record: it must observe the dirty image without blocking, register as a
+// commit dependent, and stay parked in its own commit until w1 commits.
+func TestELRRetireDirtyReadCommit(t *testing.T) {
+	e := New(Options{ELR: true})
+	d, tbl := newDB(e, 2)
+	w1 := e.NewWorker(d, 1, false)
+	w2 := e.NewWorker(d, 2, false)
+
+	retired := make(chan struct{})
+	release := make(chan struct{})
+	var order atomic.Uint64
+	var w1Seq, w2Seq uint64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := w1.Attempt(func(tx cc.Tx) error {
+			if err := tx.Update(tbl, 5, u64(100)); err != nil {
+				return err
+			}
+			tx.(cc.EarlyReleaser).ReleaseEarly()
+			if got := tbl.Idx.Get(5).LF.RetiredWord(); got == 0 {
+				t.Error("ReleaseEarly did not publish a retired word")
+			}
+			close(retired)
+			<-release
+			return nil
+		}, true, cc.AttemptOpts{})
+		if err != nil {
+			t.Errorf("w1 commit: %v", err)
+		}
+		w1Seq = order.Add(1)
+	}()
+
+	<-retired
+	var got uint64
+	done := make(chan error, 1)
+	go func() {
+		done <- w2.Attempt(func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 5)
+			if err != nil {
+				return err
+			}
+			got = dec(v)
+			return nil
+		}, true, cc.AttemptOpts{})
+	}()
+
+	// w2 must be parked in waitDeps, not committed: its only read consumed
+	// w1's retired image and w1 has not committed.
+	select {
+	case err := <-done:
+		t.Fatalf("dependent committed before its retirer (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("w2 commit: %v", err)
+	}
+	w2Seq = order.Add(1)
+	wg.Wait()
+
+	if got != 100 {
+		t.Fatalf("dirty read saw %d, want the retired image 100", got)
+	}
+	if w1Seq >= w2Seq {
+		t.Fatalf("commit order inverted: retirer=%d dependent=%d", w1Seq, w2Seq)
+	}
+	lf := &tbl.Idx.Get(5).LF
+	if lf.RetiredWord() != 0 || lf.OwnerWord() != 0 {
+		t.Fatalf("lock state leaked: retired=%x owner=%x", lf.RetiredWord(), lf.OwnerWord())
+	}
+}
+
+// TestELRRetireAbortCascades pins the unhappy path: when a retirer aborts,
+// every dependent that consumed its dirty image dies with it and the
+// pre-image comes back.
+func TestELRRetireAbortCascades(t *testing.T) {
+	e := New(Options{ELR: true})
+	d, tbl := newDB(e, 2)
+	w1 := e.NewWorker(d, 1, false)
+	w2 := e.NewWorker(d, 2, false)
+
+	cascadesBefore := obs.Metrics().CascadeAborts.Load()
+	errBoom := errors.New("boom")
+	retired := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := w1.Attempt(func(tx cc.Tx) error {
+			if err := tx.Update(tbl, 5, u64(100)); err != nil {
+				return err
+			}
+			tx.(cc.EarlyReleaser).ReleaseEarly()
+			close(retired)
+			<-release
+			return errBoom
+		}, true, cc.AttemptOpts{})
+		if !errors.Is(err, errBoom) {
+			t.Errorf("w1: got %v, want the proc error back", err)
+		}
+	}()
+
+	<-retired
+	var got uint64
+	readDone := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- w2.Attempt(func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, 5)
+			if err != nil {
+				return err
+			}
+			got = dec(v)
+			close(readDone)
+			return nil
+		}, true, cc.AttemptOpts{})
+	}()
+
+	<-readDone
+	close(release)
+	err := <-done
+	wg.Wait()
+
+	if got != 100 {
+		t.Fatalf("dirty read saw %d, want the retired image 100", got)
+	}
+	if !cc.IsAborted(err) {
+		t.Fatalf("dependent of an aborted retirer must abort, got %v", err)
+	}
+	if n := obs.Metrics().CascadeAborts.Load(); n == cascadesBefore {
+		t.Fatal("cascade sweep did not count its victim")
+	}
+	// The pre-image must be restored and the lock state fully resolved.
+	commit(t, w2, func(tx cc.Tx) error {
+		v, err := tx.Read(tbl, 5)
+		if err != nil {
+			return err
+		}
+		got = dec(v)
+		return nil
+	}, cc.AttemptOpts{})
+	if got != 5 {
+		t.Fatalf("record after cascade = %d, want restored pre-image 5", got)
+	}
+	lf := &tbl.Idx.Get(5).LF
+	if lf.RetiredWord() != 0 || lf.OwnerWord() != 0 {
+		t.Fatalf("lock state leaked: retired=%x owner=%x", lf.RetiredWord(), lf.OwnerWord())
+	}
+}
+
+// TestELRHotRowStressInvariant is the serializability probe the hotspot
+// suite's acceptance rests on: concurrent read-modify-write increments over
+// 4 ultra-hot rows, plain plor vs plor-elr. Every committed transaction
+// added exactly `incsPerTxn` to some counters; lost updates, dirty reads
+// that survive a cascade, or double-applied restores all break the final
+// sum. Run with -race.
+func TestELRHotRowStressInvariant(t *testing.T) {
+	const (
+		workers    = 8
+		txnsEach   = 200
+		hotRows    = 4
+		incsPerTxn = 2
+	)
+	for name, opts := range map[string]Options{
+		"PLOR":     {},
+		"PLOR_ELR": {ELR: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			e := New(opts)
+			d, tbl := newDB(e, workers)
+			var committed atomic.Uint64
+			var wg sync.WaitGroup
+			for wid := 1; wid <= workers; wid++ {
+				wg.Add(1)
+				go func(wid int) {
+					defer wg.Done()
+					w := e.NewWorker(d, uint16(wid), false)
+					rng := uint64(wid) * 0x9E3779B97F4A7C15
+					for n := 0; n < txnsEach; n++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						k1 := rng % hotRows
+						k2 := (k1 + 1 + (rng>>32)%(hotRows-1)) % hotRows
+						commit(t, w, func(tx cc.Tx) error {
+							for _, k := range [...]uint64{k1, k2} {
+								v, err := tx.Read(tbl, k)
+								if err != nil {
+									return err
+								}
+								if err := tx.Update(tbl, k, u64(dec(v)+1)); err != nil {
+									return err
+								}
+							}
+							return nil
+						}, cc.AttemptOpts{})
+						committed.Add(incsPerTxn)
+					}
+				}(wid)
+			}
+			wg.Wait()
+
+			var sum uint64
+			w := e.NewWorker(d, 1, true)
+			commit(t, w, func(tx cc.Tx) error {
+				sum = 0
+				for k := uint64(0); k < hotRows; k++ {
+					v, err := tx.Read(tbl, k)
+					if err != nil {
+						return err
+					}
+					sum += dec(v)
+				}
+				return nil
+			}, cc.AttemptOpts{})
+
+			// Rows loaded with value k, so the base sum is 0+1+2+3.
+			want := uint64(0+1+2+3) + committed.Load()
+			if sum != want {
+				t.Fatalf("counter sum = %d, want %d (lost or phantom updates)", sum, want)
+			}
+			for k := uint64(0); k < hotRows; k++ {
+				lf := &tbl.Idx.Get(k).LF
+				if lf.RetiredWord() != 0 || lf.OwnerWord() != 0 {
+					t.Fatalf("key %d lock state leaked: retired=%x owner=%x",
+						k, lf.RetiredWord(), lf.OwnerWord())
+				}
+			}
+		})
+	}
+}

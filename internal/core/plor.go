@@ -73,6 +73,13 @@ type Options struct {
 	// transaction gets before falling back to read locks (§4.1.3; the
 	// paper uses 3).
 	ROLockAfterAborts int
+	// ELR enables early lock release (plor-elr, after Bamboo): write locks
+	// retire at the last-write point — dirty image installed, lock handed
+	// over — instead of being held through the log flush, trading cascading
+	// aborts for shorter effective hold times on hotspots. See elr.go.
+	// Requires the latch-free locker; incompatible with MVCC and undo
+	// logging (db.Open validates).
+	ELR bool
 }
 
 // Engine builds Plor workers.
@@ -87,6 +94,9 @@ func New(opts Options) *Engine {
 	if opts.ROLockAfterAborts == 0 {
 		opts.ROLockAfterAborts = 3
 	}
+	if opts.ELR {
+		opts.MutexLocker = false // retiring needs the latch-free lock words
+	}
 	return &Engine{opts: opts}
 }
 
@@ -95,6 +105,10 @@ func (e *Engine) Name() string {
 	switch {
 	case e.opts.SlackFactor != 0:
 		return fmt.Sprintf("PLOR_RT(SF=%d)", e.opts.SlackFactor)
+	case e.opts.ELR && e.opts.DWA:
+		return "PLOR_ELR+DWA"
+	case e.opts.ELR:
+		return "PLOR_ELR"
 	case e.opts.MutexLocker && e.opts.DWA:
 		return "PLOR_BASE+DWA"
 	case e.opts.MutexLocker:
@@ -111,8 +125,10 @@ func (e *Engine) TableOpts() storage.TableOpts {
 }
 
 // SupportsUndoLogging implements cc.Engine: Plor logs old images right
-// before each Phase-3 install (Fig. 14b).
-func (e *Engine) SupportsUndoLogging() bool { return true }
+// before each Phase-3 install (Fig. 14b). With ELR the install happens
+// before persist, which would break the undo write-ahead rule, so plor-elr
+// declines.
+func (e *Engine) SupportsUndoLogging() bool { return !e.opts.ELR }
 
 // NewWorker implements cc.Engine.
 func (e *Engine) NewWorker(db *cc.DB, wid uint16, instrument bool) cc.Worker {
@@ -141,9 +157,11 @@ type access struct {
 	val      []byte // buffered new image (nil for inserts: data in place)
 	roTID    uint64 // TID snapshot on the optimistic read-only path
 	ro       bool   // entry belongs to the optimistic read-only path
+	old      []byte // undo image captured at retire time (ELR)
 	rlocked  bool
 	wlocked  bool
 	excl     bool // exclusive mode already set (inserts)
+	retired  bool // write lock retired, dirty image installed (ELR)
 	written  bool
 	isInsert bool
 	isDelete bool
@@ -160,6 +178,7 @@ type worker struct {
 	roMode   bool
 	req      lock.Req
 	acc      []access
+	deps     []depRef  // commit dependencies on retired writers (ELR)
 	accMap   cc.RecMap // rec → acc position, active past cc.RecMapThreshold
 	arena    *cc.Arena
 	scan     []cc.ScanItem
@@ -192,6 +211,7 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	w.arena.Shrink(cc.ArenaShrinkBytes)
 	w.acc = cc.ShrinkScratch(w.acc)
 	w.scan = cc.ShrinkScratch(w.scan)
+	w.deps = w.deps[:0]
 	w.accMap.Reset()
 	w.wl.BeginTxn(w.ts)
 
@@ -239,6 +259,19 @@ func (w *worker) commit() error {
 					return errUpgrade
 				}
 				a.wlocked = true
+				// Same orphan hazard as the eager path in Update: the
+				// deferred lock may only have been granted because a deleter
+				// committed and unlinked the record. Installing would
+				// resurrect the key on recovery; treat it as the commit-time
+				// write-write race it is.
+				if !a.isInsert && storage.TIDAbsent(a.rec.TID.Load()) {
+					w.rollback(stats.CauseWWUpgrade)
+					return errUpgrade
+				}
+				if err := w.regDep(a); err != nil {
+					w.rollback(cc.CauseOf(err))
+					return err
+				}
 			}
 		}
 	}
@@ -259,6 +292,21 @@ func (w *worker) commit() error {
 	}
 	if traced && upgrading {
 		obs.Emit(obs.Event{Kind: obs.EvUpgrade, WID: w.wid, Dur: time.Since(upStart).Nanoseconds()})
+	}
+	// ELR: retire the exclusively-held write set — dirty images install and
+	// the locks hand over now, so the log flush below holds nothing — then
+	// wait out our own dirty-read dependencies, which orders our log commit
+	// after the log commits of everything we consumed. The committing marker
+	// goes up before the first slot publishes: from here this transaction
+	// acquires no further locks, so an older accessor that finds a retired
+	// word waits it out instead of wounding (see txn.Ctx.SetCommitting).
+	if w.opts.ELR {
+		w.ctx.SetCommitting(true)
+		w.retireWrites()
+		if err := w.waitDeps(); err != nil {
+			w.rollback(cc.CauseOf(err))
+			return err
+		}
 	}
 	// Past Phase 1: wounds may still flip our status bit, but we ignore
 	// them — killers wait on the lock words themselves, and Begin clears
@@ -286,6 +334,16 @@ func (w *worker) commit() error {
 	}
 	for i := range w.acc {
 		a := &w.acc[i]
+		if a.retired {
+			// Dirty image installed at retire time and durable now: resolve
+			// the slot so dependents may commit and successors see a clean
+			// record.
+			if lf, ok := a.lk.(*lock.LatchFree); ok {
+				lf.ClearRetired(w.req.Word)
+			}
+			a.retired = false
+			continue
+		}
 		if !a.wlocked {
 			continue
 		}
@@ -297,6 +355,16 @@ func (w *worker) commit() error {
 	}
 	if ct != 0 {
 		w.db.Reg.EndCommitStamp(w.wid)
+	}
+	if w.opts.ELR {
+		// Drop any dependent registrations left on our context: their
+		// dependency on us is satisfied, and a stale slot would let the NEXT
+		// transaction's abort sweep kill a still-running dependent.
+		if w.ctx.HasDependents() {
+			w.ctx.TakeDependents(func(uint16, uint64) {})
+		}
+		w.ctx.SetCommitting(false)
+		w.ctx.ClearLogged()
 	}
 	if w.bd != nil {
 		w.bd.Commits++
@@ -364,10 +432,12 @@ func (w *worker) persist() error {
 	}
 	switch w.wl.Mode() {
 	case wal.Redo:
-		// Stamp with a commit-order sequence: exclusive locks are held, so
-		// per-key stamp order equals install order even though this
-		// transaction's CC timestamp may be old (retries reuse it).
-		w.wl.SetTS(w.db.Reg.NextTS())
+		// Stamp with a commit-order TID from the dedicated clock: exclusive
+		// locks are held, so per-key TID order equals install order even
+		// though this transaction's CC timestamp may be old (retries reuse
+		// it). Using NextTS here would also double-burn the 47-bit priority
+		// space.
+		w.wl.SetTS(w.db.Reg.NextCommitTID())
 		for i := range w.acc {
 			a := &w.acc[i]
 			switch {
@@ -379,7 +449,18 @@ func (w *worker) persist() error {
 				w.wl.Update(a.tbl.ID, a.key, a.val)
 			}
 		}
-		if err := w.wl.Commit(); err != nil {
+		// Publish first, then mark the log point of no return, then wait
+		// for the flush round. Dependents watching our retired slots
+		// release at the marker and publish into our round (or a later
+		// one) instead of serializing one round per dependency link; the
+		// epoch order makes that crash-safe (see WorkerLog.CommitPublish).
+		if err := w.wl.CommitPublish(); err != nil {
+			return fmt.Errorf("%w: %v", errLogIO, err)
+		}
+		if w.opts.ELR {
+			w.ctx.SetLoggedWord(w.req.Word)
+		}
+		if err := w.wl.WaitCommitted(); err != nil {
 			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	case wal.Undo:
@@ -397,6 +478,9 @@ func (w *worker) persist() error {
 		}
 	default:
 		w.wl.Commit() //nolint:errcheck // mode off
+		if w.opts.ELR {
+			w.ctx.SetLoggedWord(w.req.Word)
+		}
 	}
 	if traced {
 		obs.Emit(obs.Event{Kind: obs.EvWALAppend, WID: w.wid, Dur: time.Since(wStart).Nanoseconds()})
@@ -441,6 +525,28 @@ func (w *worker) rollback(cause stats.AbortCause) {
 	if w.roMode {
 		w.rollbackRO(cause)
 		return
+	}
+	if w.opts.ELR {
+		// Release read locks BEFORE the cascade restore. An aborting
+		// transaction ignores kills, so two aborting retirers that each
+		// hold a read bit on a row the other must restore would deadlock
+		// in the restore's reader drain — dropping the bits first makes
+		// every restore independent of this transaction's own reads.
+		for i := range w.acc {
+			a := &w.acc[i]
+			if a.rlocked {
+				a.lk.ReleaseRead(w.wid)
+				a.rlocked = false
+			}
+		}
+		w.cascadeAbort()
+		w.ctx.SetCommitting(false)
+	}
+	switch cause {
+	case stats.CauseWounded, stats.CauseWWUpgrade, stats.CauseCascade:
+		// Conflict-class abort: everything this attempt completed is thrown
+		// away. The hotspot suite attributes this per engine.
+		obs.Metrics().WastedWork(len(w.acc))
 	}
 	for i := len(w.acc) - 1; i >= 0; i-- {
 		a := &w.acc[i]
@@ -510,6 +616,13 @@ func (w *worker) Read(t *cc.Table, key uint64) ([]byte, error) {
 	if w.roMode {
 		buf := w.arena.Alloc(t.Store.RowSize)
 		v := rec.StableRead(buf)
+		if w.opts.ELR && rec.LF.RetiredWord() != 0 {
+			// The copy may be a retired writer's uncommitted image (the slot
+			// is published before the install, so a dirty copy always sees
+			// it). Fall back to the locking path, which registers the
+			// dependency properly.
+			return nil, errValidate
+		}
 		w.acc = append(w.acc, access{tbl: t, rec: rec, key: key, val: buf, roTID: v, ro: true})
 		w.noteAcc()
 		if storage.TIDAbsent(v) {
@@ -526,6 +639,9 @@ func (w *worker) Read(t *cc.Table, key uint64) ([]byte, error) {
 	}
 	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, rlocked: true})
 	w.noteAcc()
+	if err := w.regDep(&w.acc[len(w.acc)-1]); err != nil {
+		return nil, err
+	}
 	if storage.TIDAbsent(rec.TID.Load()) {
 		return nil, cc.ErrNotFound
 	}
@@ -564,11 +680,18 @@ func (w *worker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
 		return nil, cc.ErrNotFound
 	}
 	if a := w.find(rec); a != nil {
-		if !a.wlocked {
+		if a.retired {
+			if err := w.unretire(a); err != nil {
+				return nil, err
+			}
+		} else if !a.wlocked {
 			if err := a.lk.AcquireWrite(&w.req); err != nil {
 				return nil, errWound
 			}
 			a.wlocked = true
+			if err := w.regDep(a); err != nil {
+				return nil, err
+			}
 		}
 		return readBack(a)
 	}
@@ -581,6 +704,9 @@ func (w *worker) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
 	}
 	w.acc = append(w.acc, access{tbl: t, rec: rec, lk: lk, key: key, wlocked: true})
 	w.noteAcc()
+	if err := w.regDep(&w.acc[len(w.acc)-1]); err != nil {
+		return nil, err
+	}
 	if storage.TIDAbsent(rec.TID.Load()) {
 		return nil, cc.ErrNotFound
 	}
@@ -611,14 +737,35 @@ func (w *worker) Update(t *cc.Table, key uint64, val []byte) error {
 				return errWound
 			}
 			a.wlocked = true
+			if err := w.regDep(a); err != nil {
+				return err
+			}
+			// Re-check existence now that the lock is held: a blind write
+			// that queued behind a committing deleter acquires the lock of a
+			// dead, index-unlinked record. Installing into (and logging!)
+			// that orphan would resurrect the key on recovery — the log
+			// stamp outranks the delete's — while the survivor index says it
+			// is gone.
+			if storage.TIDAbsent(rec.TID.Load()) {
+				return cc.ErrNotFound
+			}
 		}
 	} else if a.isDelete {
 		return cc.ErrNotFound
+	} else if a.retired {
+		// Re-write of a record a batch boundary already retired: take it
+		// back (the retired image will never commit as-is).
+		if err := w.unretire(a); err != nil {
+			return err
+		}
 	} else if !w.opts.DWA && !a.wlocked {
 		if err := a.lk.AcquireWrite(&w.req); err != nil {
 			return errWound
 		}
 		a.wlocked = true
+		if err := w.regDep(a); err != nil {
+			return err
+		}
 	}
 	if a.isInsert {
 		a.rec.InstallImage(val) // exclusive since insertion; guard vs RO snapshots
@@ -687,14 +834,27 @@ func (w *worker) Delete(t *cc.Table, key uint64) error {
 				return errWound
 			}
 			a.wlocked = true
+			// A retired-but-unresolved writer must resolve before our
+			// delete can install: an aborting retirer restores into the
+			// record, which must not happen after we unlink and recycle it.
+			if err := w.regDep(a); err != nil {
+				return err
+			}
 		}
 	} else if a.isDelete {
 		return cc.ErrNotFound
+	} else if a.retired {
+		if err := w.unretire(a); err != nil {
+			return err
+		}
 	} else if !w.opts.DWA && !a.wlocked {
 		if err := a.lk.AcquireWrite(&w.req); err != nil {
 			return errWound
 		}
 		a.wlocked = true
+		if err := w.regDep(a); err != nil {
+			return err
+		}
 	}
 	if storage.TIDAbsent(rec.TID.Load()) && !a.isInsert {
 		return cc.ErrNotFound
@@ -715,6 +875,12 @@ func (w *worker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
 	}
 	buf := w.arena.Alloc(t.Store.RowSize)
 	v := rec.StableRead(buf)
+	// ELR: read-committed must not serve a retired writer's uncommitted
+	// image. The retirer is past Phase 1, so the slot resolves quickly.
+	for i := 0; w.opts.ELR && rec.LF.RetiredWord() != 0; i++ {
+		storage.Yield(i)
+		v = rec.StableRead(buf)
+	}
 	if storage.TIDAbsent(v) {
 		return nil, cc.ErrNotFound
 	}
@@ -734,6 +900,10 @@ func (w *worker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bo
 		},
 		func(rec *storage.Record) ([]byte, error) {
 			v := rec.StableRead(buf)
+			for i := 0; w.opts.ELR && rec.LF.RetiredWord() != 0; i++ {
+				storage.Yield(i)
+				v = rec.StableRead(buf)
+			}
 			if storage.TIDAbsent(v) {
 				return nil, nil
 			}

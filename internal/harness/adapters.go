@@ -66,6 +66,45 @@ func (s ycsbSource) Next() Unit {
 	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly && s.markRO, Hint: len(t.Ops)}
 }
 
+// Hotspot adapts the hotspot workload (skewed YCSB + K ultra-hot rows,
+// the plor-elr evaluation suite) to the harness.
+type Hotspot struct {
+	Cfg  ycsb.HotspotConfig
+	Seed int64
+
+	w *ycsb.Hotspot
+}
+
+// NewHotspot builds the adapter; workers informs the yield heuristic.
+func NewHotspot(cfg ycsb.HotspotConfig, workers int) *Hotspot {
+	cfg.Yield = cfg.Yield || autoYield(workers)
+	return &Hotspot{Cfg: cfg}
+}
+
+// Name implements Workload.
+func (h *Hotspot) Name() string {
+	return fmt.Sprintf("hotspot(θ=%.2f,K=%d)", h.Cfg.Theta, h.Cfg.HotRows)
+}
+
+// Setup implements Workload.
+func (h *Hotspot) Setup(d *cc.DB) { h.w = ycsb.SetupHotspot(d, h.Cfg) }
+
+// NewSource implements Workload.
+func (h *Hotspot) NewSource(wid uint16) Source {
+	return hotspotSource{h.w.NewGen(h.Seed*1000 + int64(wid))}
+}
+
+// Loaded returns the loaded workload (nil before Setup); tests use its
+// counter-sum invariant probe.
+func (h *Hotspot) Loaded() *ycsb.Hotspot { return h.w }
+
+type hotspotSource struct{ g *ycsb.HotspotGen }
+
+func (s hotspotSource) Next() Unit {
+	t := s.g.Next()
+	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly, Hint: len(t.Ops)}
+}
+
 // Churn adapts the insert/delete churn workload (the bounded-memory
 // experiment) to the harness. Workers is taken from the harness config so
 // the key-space partition matches the worker fleet.
@@ -138,5 +177,5 @@ type tpccSource struct{ g *tpcc.Gen }
 
 func (s tpccSource) Next() Unit {
 	t := s.g.Next()
-	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly, Hint: t.Hint}
+	return Unit{Proc: t.Proc, ReadOnly: t.ReadOnly, Hint: t.Hint, Snap: t.SnapProc}
 }

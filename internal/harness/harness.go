@@ -54,11 +54,15 @@ type ScanTarget interface {
 	ScanSpec() (table string, from, to uint64, liveRows int)
 }
 
-// Unit is one generated transaction.
+// Unit is one generated transaction. Snap, when non-nil AND the run has
+// MVCC enabled, is a lock-free snapshot variant of Proc the worker runs on
+// its SnapshotWorker instead (no locks, no aborts); without MVCC, Proc runs
+// through the engine as usual.
 type Unit struct {
 	Proc     cc.Proc
 	ReadOnly bool
 	Hint     int
+	Snap     func(sw *cc.SnapshotWorker) error
 }
 
 // Config describes one experiment run.
@@ -130,6 +134,12 @@ type Config struct {
 	// where back-to-back full-table scans would saturate the CPU whatever
 	// the concurrency control does.
 	ScanInterval time.Duration
+	// MVCC enables version capture without scanners, so workloads with
+	// snapshot-capable transactions (TPC-C Stock-Level) route them through
+	// the snapshot read class. Implied by Scanners > 0; incompatible with
+	// NoReclaim and with PLOR_ELR (whose retired dirty installs would need
+	// snapshot stamps before commit).
+	MVCC bool
 	// CaptureMem records the run's memory footprint (table bytes, heap
 	// after a forced GC, reclaim counters) into the returned metrics.
 	CaptureMem bool
@@ -166,14 +176,17 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Scanners > 0 && cfg.NoReclaim {
-		return nil, errors.New("harness: Scanners requires reclamation (version GC rides the epoch reclaimer)")
+	if (cfg.Scanners > 0 || cfg.MVCC) && cfg.NoReclaim {
+		return nil, errors.New("harness: MVCC requires reclamation (version GC rides the epoch reclaimer)")
+	}
+	if (cfg.Scanners > 0 || cfg.MVCC) && cfg.Protocol == db.PlorELR {
+		return nil, fmt.Errorf("harness: %s is incompatible with MVCC (snapshot stamps assume install-at-commit)", db.PlorELR)
 	}
 	ccdb := cc.NewDBWithScanners(cfg.Workers, cfg.Scanners, engine.TableOpts())
 	if cfg.NoReclaim {
 		ccdb.DisableReclamation()
 	}
-	if cfg.Scanners > 0 {
+	if cfg.Scanners > 0 || cfg.MVCC {
 		ccdb.EnableMVCC()
 	}
 	if cfg.Logging != db.LogOff {
@@ -297,6 +310,13 @@ func Run(cfg Config) (*stats.Metrics, error) {
 			src := cfg.Workload.NewSource(uint16(wid))
 			h := hists[wid]
 			rng := uint64(wid)*0x9E3779B97F4A7C15 + 12345
+			// Snapshot-capable units run on the worker's own slot: the
+			// goroutine alternates between engine and snapshot execution,
+			// never both at once, so sharing the wid's epoch slot is safe.
+			var snapW *cc.SnapshotWorker
+			if ccdb.MVCCEnabled() && !cfg.Interactive {
+				snapW = ccdb.SnapshotWorker(uint16(wid))
+			}
 			for {
 				now := time.Now()
 				if now.After(deadline) {
@@ -304,6 +324,26 @@ func Run(cfg Config) (*stats.Metrics, error) {
 				}
 				recording := now.After(recordAfter)
 				unit := src.Next()
+				if unit.Snap != nil && snapW != nil {
+					if admit != nil {
+						admit <- struct{}{}
+					}
+					t0 := time.Now()
+					snapW.Begin()
+					err := unit.Snap(snapW)
+					snapW.End()
+					if admit != nil {
+						<-admit
+					}
+					if err != nil {
+						panic(fmt.Sprintf("harness: worker %d: snapshot unit: %v", wid, err))
+					}
+					if recording {
+						commits[wid]++
+						h.Record(time.Since(t0).Nanoseconds())
+					}
+					continue
+				}
 				if admit != nil {
 					admit <- struct{}{}
 				}

@@ -16,10 +16,18 @@ import (
 //	       exclusive mode in commit Phase 1.
 //
 // The zero value is an unlocked lock.
+//
+// A fourth word, ret, supports the early-lock-release variant (plor-elr,
+// after Bamboo): a committing writer that has installed its dirty image may
+// "retire" — move its packed context word from w into ret and free the
+// write lock — so the next waiter proceeds during the retirer's log flush
+// instead of after it. Engines that never retire leave ret at zero and pay
+// nothing.
 type LatchFree struct {
 	w    atomic.Uint64
 	wait atomic.Uint64
 	rd   atomic.Uint64
+	ret  atomic.Uint64
 }
 
 // Locker is the per-record interface Plor's protocol code uses, satisfied
@@ -199,6 +207,61 @@ func (l *LatchFree) MakeExclusive(r *Req) error {
 		return false, nil
 	})
 }
+
+// --- early lock release (plor-elr) ---
+
+// ReserveRetire publishes the caller as this record's retired writer. The
+// caller must hold the write lock in drained exclusive mode (MakeExclusive
+// done) and must have verified the slot is free (RetiredWord() == 0 — only
+// the single write owner stores to ret, so the check cannot race with
+// another setter; a previous retirer only ever CLEARS the slot).
+//
+// Ordering: the slot is published BEFORE the dirty image installs, so any
+// seqlock reader whose copy could include dirty bytes — its version check
+// spans the install's TID bump — necessarily observes the slot when it
+// looks after the copy.
+func (l *LatchFree) ReserveRetire(word uint64) {
+	l.ret.Store(word)
+}
+
+// HandoverRetired completes the retire after the dirty image is installed:
+// exclusive mode ends and the write lock frees, so the next waiter proceeds
+// while the retirer's commit (log flush) is still in flight. New accessors
+// observe the retired word (published first) and register their commit
+// dependency before consuming the dirty image.
+func (l *LatchFree) HandoverRetired() {
+	l.rd.And(^exclSig) // leave exclusive mode; new readers may proceed
+	l.w.Store(0)       // free; waiters self-elect oldest-first
+}
+
+// RetiredWord returns the packed context word of the retired writer whose
+// uncommitted image is (or is about to be) installed in the record (0 if
+// none).
+func (l *LatchFree) RetiredWord() uint64 { return l.ret.Load() }
+
+// ClearRetired resolves the retired slot: the retirer calls it after its
+// commit is durable (dependents may now commit behind it), or after its
+// abort has restored the pre-image and swept its dependents. The CAS guards
+// against a stale double-clear.
+func (l *LatchFree) ClearRetired(word uint64) bool {
+	return l.ret.CompareAndSwap(word, 0)
+}
+
+// TryReacquireRetired attempts one grab of the freed write lock for a
+// retirer that must undo its retired install (abort restore happens under
+// the record seqlock and needs no write lock) or overwrite it (a later
+// write by the same transaction, interactive mode). It competes with
+// ordinary waiter self-election; the caller loops, polling its own death,
+// because a competing winner that observes the retired word either backs
+// off or is a registered dependent the caller has killed.
+func (l *LatchFree) TryReacquireRetired(word uint64) bool {
+	return l.w.CompareAndSwap(0, word)
+}
+
+// ReaderBits returns the reader bitmap (bit i = worker i+1, excl_sig
+// masked off). The abort-path restore uses it to wound readers that block
+// the pre-image drain.
+func (l *LatchFree) ReaderBits() uint64 { return l.rd.Load() &^ exclSig }
 
 // OwnerWord returns the current write owner's packed word (0 if free).
 // Exposed for tests and for protocol assertions.

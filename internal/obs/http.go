@@ -169,6 +169,21 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "plor_version_chain_len{quantile=\"0.99\"} %d\n", mv.ChainP99)
 		fmt.Fprintf(w, "plor_version_chain_len{quantile=\"1\"} %d\n", mv.ChainMax)
 	}
+	fmt.Fprintf(w, "# HELP plor_lock_retires_total Write locks released early (retired) before commit with the dirty image installed (plor-elr).\n")
+	fmt.Fprintf(w, "# TYPE plor_lock_retires_total counter\n")
+	fmt.Fprintf(w, "plor_lock_retires_total %d\n", l.LockRetires.Load())
+	fmt.Fprintf(w, "# HELP plor_cascade_aborts_total Dependents killed because a retired writer they dirty-read aborted (plor-elr).\n")
+	fmt.Fprintf(w, "# TYPE plor_cascade_aborts_total counter\n")
+	fmt.Fprintf(w, "plor_cascade_aborts_total %d\n", l.CascadeAborts.Load())
+	wasted := l.WastedSnapshot()
+	fmt.Fprintf(w, "# HELP plor_wasted_ops Completed operations discarded per wound/cascade abort (quantiles) — the wasted-work cost the hotspot suite attributes per engine.\n")
+	fmt.Fprintf(w, "# TYPE plor_wasted_ops gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_wasted_ops{quantile=%q} %d\n", q.label, wasted.Quantile(q.v))
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

@@ -54,6 +54,13 @@ type Live struct {
 	// They commit by construction — no abort counter exists for them.
 	SnapshotTxns atomic.Uint64
 
+	// LockRetires counts early lock releases (plor-elr): write locks handed
+	// over before commit with the dirty image installed. CascadeAborts
+	// counts dependents killed because a retired writer they dirty-read
+	// aborted.
+	LockRetires   atomic.Uint64
+	CascadeAborts atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu       sync.Mutex
@@ -61,6 +68,7 @@ type Live struct {
 	flushLat *stats.Histogram // per-round flush latency (ns)
 	batchSz  *stats.Histogram // txns coalesced per flush round
 	rpcBatch *stats.Histogram // sub-ops per multi-op rpc frame
+	wasted   *stats.Histogram // completed ops discarded per wound/cascade abort
 	start    time.Time
 }
 
@@ -69,6 +77,7 @@ var live = &Live{
 	flushLat: stats.NewHistogram(),
 	batchSz:  stats.NewHistogram(),
 	rpcBatch: stats.NewHistogram(),
+	wasted:   stats.NewHistogram(),
 	start:    time.Now(),
 }
 
@@ -180,6 +189,24 @@ func (l *Live) RPCBatch(ops int) {
 	l.mu.Unlock()
 }
 
+// WastedWork records one wound/cascade abort that discarded ops completed
+// operations — the work the paper's tail-latency story trades away and the
+// hotspot suite attributes per engine.
+func (l *Live) WastedWork(ops int) {
+	l.mu.Lock()
+	l.wasted.Record(int64(ops))
+	l.mu.Unlock()
+}
+
+// WastedSnapshot returns a copy of the discarded-ops-per-abort histogram.
+func (l *Live) WastedSnapshot() *stats.Histogram {
+	h := stats.NewHistogram()
+	l.mu.Lock()
+	h.Merge(l.wasted)
+	l.mu.Unlock()
+	return h
+}
+
 // RPCBatchSnapshot returns a copy of the ops-per-batch histogram.
 func (l *Live) RPCBatchSnapshot() *stats.Histogram {
 	h := stats.NewHistogram()
@@ -242,6 +269,9 @@ func (l *Live) Reset() {
 	l.RecordsRetired.Store(0)
 	l.RecordsReclaimed.Store(0)
 	l.RecordsRecycled.Store(0)
+	l.SnapshotTxns.Store(0)
+	l.LockRetires.Store(0)
+	l.CascadeAborts.Store(0)
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}
@@ -250,6 +280,7 @@ func (l *Live) Reset() {
 	l.flushLat.Reset()
 	l.batchSz.Reset()
 	l.rpcBatch.Reset()
+	l.wasted.Reset()
 	l.start = time.Now()
 	l.mu.Unlock()
 }

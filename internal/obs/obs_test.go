@@ -292,6 +292,42 @@ func TestHTTPReclaimMetrics(t *testing.T) {
 	}
 }
 
+// TestHTTPELRMetrics checks the early-lock-release counters and the
+// wasted-work quantiles reach /metrics.
+func TestHTTPELRMetrics(t *testing.T) {
+	Metrics().Reset()
+	Metrics().LockRetires.Add(12)
+	Metrics().CascadeAborts.Add(2)
+	for i := 0; i < 9; i++ {
+		Metrics().WastedWork(3)
+	}
+	Metrics().WastedWork(7)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"plor_lock_retires_total 12",
+		"plor_cascade_aborts_total 2",
+		`plor_wasted_ops{quantile="0.5"} 3`,
+		`plor_wasted_ops{quantile="0.999"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestHTTPTraceEndpoint checks /debug/trace round-trips events as JSON.
 func TestHTTPTraceEndpoint(t *testing.T) {
 	ResetTrace()

@@ -98,6 +98,14 @@ func (s *Session) Serve(recv func(*ReqFrame) error, send func(*RespFrame) error)
 				}
 				if rf.Batch {
 					abort := s.applyBatch(tx, &rf, &wf)
+					if abort == nil {
+						// Batch boundary = the engine's best estimate of the
+						// last-write point: let early-lock-release engines
+						// retire before the client's next round trip.
+						if er, ok := tx.(cc.EarlyReleaser); ok {
+							er.ReleaseEarly()
+						}
+					}
 					if commErr = send(&wf); commErr != nil {
 						return commErr
 					}

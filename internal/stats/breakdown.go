@@ -68,6 +68,10 @@ const (
 	CauseRPC
 	// CauseLog: WAL commit failure.
 	CauseLog
+	// CauseCascade: the transaction dirty-read a retired-but-uncommitted
+	// write (plor-elr early lock release) whose writer then aborted, so the
+	// abort cascaded onto this dependent.
+	CauseCascade
 
 	// NumAbortCauses is the number of abort-cause labels.
 	NumAbortCauses
@@ -75,7 +79,7 @@ const (
 
 var causeNames = [NumAbortCauses]string{
 	"other", "wounded", "conflict", "validation", "ro-fallback",
-	"ww-upgrade", "rpc", "log",
+	"ww-upgrade", "rpc", "log", "cascade",
 }
 
 // String returns the cause's display name.

@@ -63,6 +63,11 @@ func TS(w uint64) uint64 { return (w & tsMask) >> tsShift }
 // IsAborted reports whether the word's status bit is set.
 func IsAborted(w uint64) bool { return w&abortedBit != 0 }
 
+// AbortedWord returns w with the aborted status bit set: the exact value a
+// context holds after a kill landed on w, used to test whether an observed
+// transaction died in place (rather than moving on).
+func AbortedWord(w uint64) uint64 { return w | abortedBit }
+
 // Ctx is one worker's shared context. Other workers read and CAS the word
 // concurrently, so it is cache-line padded to avoid false sharing across
 // the registry array.
@@ -88,7 +93,26 @@ type Ctx struct {
 	// inactive). Version GC reads every slot to compute the oldest snapshot
 	// still reading (SnapshotWatermark).
 	snap atomic.Uint64
-	_    [3]uint64 // pad to a full cache line
+	// committing is the early-lock-release final-commit marker: non-zero
+	// once the current transaction will acquire no further locks (see
+	// SetCommitting).
+	committing atomic.Uint64
+	// depflag is non-zero when a dependent registration may be present in
+	// deps, letting the common commit path skip the 64-slot drain scan.
+	depflag atomic.Uint64
+	// logged holds the transaction's packed word once its commit unit has
+	// been published to the log — the log point of no return (see
+	// SetLoggedWord).
+	logged atomic.Uint64
+
+	// deps are the early-lock-release dependency slots (plor-elr): deps[w]
+	// holds the packed word of worker w's transaction that dirty-read this
+	// context's retired-but-uncommitted write (0 = none). One slot per
+	// worker suffices because a worker runs one transaction at a time. The
+	// retirer sweeps the slots on abort to cascade the kill; registration
+	// and the abort sweep synchronize through the sequentially consistent
+	// atomics (see AddDependent).
+	deps [MaxWorkers + 1]atomic.Uint64
 }
 
 // Begin activates a new (or retried) transaction on this context: it stores
@@ -140,6 +164,84 @@ func (c *Ctx) KillCurrent(ts uint64) bool {
 	return c.word.CompareAndSwap(w, w|abortedBit)
 }
 
+// SetCommitting publishes (v=true) or clears the context's final-commit
+// marker for early lock release. A retirer sets it at commit entry — before
+// its first retired slot is published — and keeps it set through an abort
+// restore, clearing it only once every slot it owned has resolved. An older
+// transaction that finds a retired slot whose owner is committing waits for
+// the slot instead of wounding the owner: past this point the retirer never
+// waits on any lock the observer could hold (its Phase 1 is complete; its
+// only waits are on strictly older committers' slots), so the wait is
+// deadlock-free and bounded by the retirer's log flush — far cheaper than a
+// cascading abort plus an image restore. Slots published mid-transaction
+// (interactive ReleaseEarly) see the marker clear and stay woundable, which
+// is what keeps wound-wait live when a retirer can still block on locks.
+func (c *Ctx) SetCommitting(v bool) {
+	if v {
+		c.committing.Store(1)
+	} else {
+		c.committing.Store(0)
+	}
+}
+
+// Committing reports the final-commit marker.
+func (c *Ctx) Committing() bool { return c.committing.Load() != 0 }
+
+// SetLoggedWord publishes the log point of no return: the transaction's
+// commit unit has been handed to the log (its flush epoch assigned, under
+// group durability), after which no code path can abort it. A dependent
+// waiting on this transaction's retired slot may stop waiting here rather
+// than at slot clearance (post-flush): any log unit the dependent publishes
+// afterwards lands in an epoch >= this transaction's, and epoch-bounded
+// recovery cuts whole epochs, so no crash can surface the dependent's
+// commit without this one's.
+func (c *Ctx) SetLoggedWord(word uint64) { c.logged.Store(word) }
+
+// ClearLogged resets the log point-of-no-return marker (transaction end).
+func (c *Ctx) ClearLogged() { c.logged.Store(0) }
+
+// LoggedWord returns the packed word stored by SetLoggedWord (0 if none).
+func (c *Ctx) LoggedWord() uint64 { return c.logged.Load() }
+
+// --- early-lock-release dependencies (plor-elr) -----------------------------
+
+// AddDependent registers worker wid's transaction (packed word) as a commit
+// dependent of this context's retired write. The registrant must re-check
+// this context's word AFTER the store: if the abort bit is visible then, the
+// retirer's kill sweep may already have run, and the registrant must back
+// out (RemoveDependent) instead of consuming the dirty image. The reverse
+// race is covered by ordering — the sweep runs after the abort bit is set,
+// so a registration the sweep misses always observes the bit.
+func (c *Ctx) AddDependent(wid uint16, word uint64) {
+	c.depflag.Store(1)
+	c.deps[wid].Store(word)
+}
+
+// RemoveDependent clears worker wid's dependency slot (commit, or a backed-
+// out registration).
+func (c *Ctx) RemoveDependent(wid uint16) {
+	c.deps[wid].Store(0)
+}
+
+// TakeDependents drains every registered dependent, clearing the slots, and
+// hands each (wid, word) pair to fn — the retirer's cascading-abort sweep.
+// Slots are swapped out atomically so a pair is delivered exactly once.
+// The flag clears before the scan: a registration landing after the clear
+// re-raises it, so the next conditional drain (HasDependents) sees it.
+func (c *Ctx) TakeDependents(fn func(wid uint16, word uint64)) {
+	c.depflag.Store(0)
+	for wid := range c.deps {
+		if w := c.deps[wid].Swap(0); w != 0 {
+			fn(uint16(wid), w)
+		}
+	}
+}
+
+// HasDependents reports whether a dependent registration may be present.
+// False negatives are impossible (the flag is raised before the slot store);
+// false positives merely cost one drain scan.
+func (c *Ctx) HasDependents() bool { return c.depflag.Load() != 0 }
+
 // Registry holds the context array shared by all workers (the paper's
 // ctx_arr[]) and the global timestamp counter.
 type Registry struct {
@@ -156,6 +258,10 @@ type Registry struct {
 	// install time — after the commit decision — so that stamp order equals
 	// version install order on every record.
 	snapTS atomic.Uint64
+	// ctid is the commit-order TID clock for WAL redo stamping (see
+	// NextCommitTID). Separate from ts for the same reason as snapTS, and
+	// from snapTS because the snapshot clock only advances when MVCC is on.
+	ctid atomic.Uint64
 }
 
 // NewRegistry creates a registry for n workers (1 ≤ n ≤ MaxWorkers).
@@ -187,6 +293,17 @@ func (r *Registry) NextTS() uint64 {
 
 // CurrentTS returns the most recently allocated timestamp.
 func (r *Registry) CurrentTS() uint64 { return r.ts.Load() }
+
+// NextCommitTID allocates the next commit-order TID, the stamp redo logging
+// attaches to a transaction's log entries. Silo derives its TIDs from
+// (epoch, in-epoch sequence); within one process a flat monotone counter
+// yields the same total order with one atomic add. The clock is deliberately
+// NOT the wound-wait timestamp clock: priority timestamps are retained
+// across retries (aging, §4.1.3), so they do not reflect commit order, and
+// recovery resolves per-key winners by the highest stamp. Engines draw the
+// TID while the write set is exclusively locked, so per-key TID order equals
+// install order.
+func (r *Registry) NextCommitTID() uint64 { return r.ctid.Add(1) }
 
 // --- reclamation epochs ----------------------------------------------------
 //

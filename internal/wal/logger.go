@@ -303,6 +303,44 @@ func (w *WorkerLog) Commit() error {
 	return err
 }
 
+// CommitPublish ends the transaction like Commit but, under group
+// durability, returns as soon as the unit is published to the flusher —
+// its flush epoch assigned — WITHOUT waiting for the round to persist.
+// The caller must invoke WaitCommitted before acknowledging the commit.
+// Under sync durability the append is inline (already durable on return)
+// and under async publication trails as usual, so in both those modes this
+// is exactly Commit.
+//
+// The split exists for early lock release: once a retirer's unit is
+// published, any dependent that publishes afterwards is assigned an epoch
+// >= the retirer's, and recovery cuts whole epochs at the min-complete
+// bound — so a dependent can release its commit-dependency wait at the
+// retirer's publish point and ride the same flush round instead of
+// serializing one round per dependency-chain link.
+func (w *WorkerLog) CommitPublish() error {
+	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, 0, nil)
+	var err error
+	if w.dur == DurGroup && w.fl != nil {
+		w.pend = append(w.pend, w.buf...)
+		w.publishPending()
+		err = w.fl.Err()
+	} else {
+		err = w.endTxn(w.dur == DurGroup)
+	}
+	w.buf = w.buf[:0]
+	return err
+}
+
+// WaitCommitted completes a CommitPublish: under group durability it
+// blocks until the published epoch is durable; a no-op otherwise.
+func (w *WorkerLog) WaitCommitted() error {
+	if w.dur == DurGroup && w.fl != nil {
+		w.fl.WaitDurable(w.lastEpoch)
+		return w.fl.Err()
+	}
+	return nil
+}
+
 // Abort ends the transaction on the abort path: Redo discards the buffer
 // (nothing was logged), Undo appends an abort marker so recovery rolls the
 // transaction back. The marker never blocks on a flush round — a missing

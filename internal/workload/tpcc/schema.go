@@ -52,6 +52,11 @@ type Config struct {
 	// operation-level interleaving on machines with fewer cores than
 	// workers (see ycsb.Config.Yield).
 	Yield bool
+	// Hammer replaces the standard mix with 100% Payment transactions:
+	// with Warehouses=1 every transaction read-modify-writes the same
+	// warehouse row's YTD — the classic single-row hotspot the hotspot
+	// suite hammers.
+	Hammer bool
 }
 
 // DefaultConfig is the paper's high-contention setup.

@@ -75,6 +75,12 @@ type Txn struct {
 	ReadOnly bool
 	Hint     int // resource estimate for Plor-RT (records touched)
 	Proc     cc.Proc
+	// SnapProc, when non-nil, is a lock-free variant of Proc that runs
+	// the whole transaction against an MVCC snapshot (currently only
+	// Stock-Level, whose read-committed isolation requirement a snapshot
+	// trivially satisfies). Harnesses route it to a SnapshotWorker when
+	// MVCC is enabled; otherwise Proc runs as usual.
+	SnapProc func(sw *cc.SnapshotWorker) error
 }
 
 // Gen produces transactions for one worker. Not safe for concurrent use.
@@ -120,8 +126,12 @@ func (g *Gen) yield() {
 }
 
 // Next draws a transaction from the standard mix: 45% NewOrder, 43%
-// Payment, 4% each Order-Status / Delivery / Stock-Level.
+// Payment, 4% each Order-Status / Delivery / Stock-Level. With Cfg.Hammer
+// set, every draw is a Payment — the warehouse-YTD hotspot hammer.
 func (g *Gen) Next() Txn {
+	if g.w.Cfg.Hammer {
+		return g.Payment()
+	}
 	switch p := g.rng.n(100); {
 	case p < 45:
 		return g.NewOrder()
@@ -614,5 +624,42 @@ func (g *Gen) StockLevel() Txn {
 		_ = low
 		return nil
 	}
-	return Txn{Type: TxnStockLevel, ReadOnly: true, Hint: 200, Proc: proc}
+	snap := func(sw *cc.SnapshotWorker) error {
+		drow, err := sw.Read(t.District, DKey(w, d))
+		if err != nil {
+			return err
+		}
+		next := DecodeDistrict(drow).NextOID
+		oLo := int64(next) - 20
+		if oLo < 1 {
+			oLo = 1
+		}
+		clear(g.items)
+		err = sw.SnapshotScan(t.OrderLine,
+			OLKey(w, d, int(oLo), 0), OLKey(w, d, int(next)-1, 15),
+			func(k uint64, v []byte) bool {
+				g.items[DecodeOrderLine(v).ItemID] = struct{}{}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		low := 0
+		for item := range g.items {
+			srow, err := sw.Read(t.Stock, SKey(w, int(item)))
+			if errors.Is(err, cc.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if DecodeStock(srow).Qty < threshold {
+				low++
+			}
+			g.yield()
+		}
+		_ = low
+		return nil
+	}
+	return Txn{Type: TxnStockLevel, ReadOnly: true, Hint: 200, Proc: proc, SnapProc: snap}
 }

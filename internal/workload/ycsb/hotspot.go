@@ -1,0 +1,237 @@
+package ycsb
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/cc"
+)
+
+// The hotspot workload family stresses lock convoys: a YCSB-style table
+// whose key popularity follows a Zipfian of tunable skew θ, overlaid with K
+// "ultra-hot" rows that attract an extra HotFrac of all operations
+// regardless of θ. Writes are read-modify-write counter increments — the
+// shape that serializes on the hot rows' write locks and makes lock hold
+// time (not CPU) the throughput ceiling. It is the evaluation workload for
+// early lock release (plor-elr): under logging, a plain committer holds the
+// hot lock across its log flush while a retirer hands it over first.
+//
+// Unlike the base YCSB generator, skew is sampled from an exact inverse-CDF
+// table rather than the Gray et al. closed form, so θ ≥ 1 (beyond-Zipf
+// hammering, e.g. θ = 1.2) is supported with the correct distribution.
+
+// HotspotConfig parameterizes the hotspot workload.
+type HotspotConfig struct {
+	// Records is the table cardinality.
+	Records int
+	// RecordSize is the row size in bytes. The first 8 bytes of every row
+	// are a little-endian counter the RMW writes increment, so the sum over
+	// all rows equals the number of committed increments — tests use this
+	// as a lost-update probe.
+	RecordSize int
+	// Theta is the Zipfian skew over the whole table. Any θ ≥ 0 works,
+	// including θ ≥ 1.
+	Theta float64
+	// ReadRatio is the fraction of operations that are plain reads; the
+	// rest are RMW increments.
+	ReadRatio float64
+	// HotRows is K, the number of ultra-hot rows (keys 0..K-1 — also the
+	// Zipfian's hottest ranks, so the overlay sharpens the same spot).
+	HotRows int
+	// HotFrac is the probability an operation targets one of the K hot
+	// rows (uniformly) instead of drawing from the Zipfian.
+	HotFrac float64
+	// Ops is the fixed transaction size.
+	Ops int
+	// HotLast moves every hot-row operation to the tail of the
+	// transaction. Acquiring contended locks as late as possible is the
+	// classic hold-time-minimizing access order (cf. QURO); it isolates
+	// the commit-time hold — lock release vs. log flush — which is
+	// exactly the window early lock release removes.
+	HotLast bool
+	// Yield inserts a scheduler yield after every operation (see
+	// Config.Yield).
+	Yield bool
+}
+
+// HotspotDefaults is the suite's base point: θ=0.99 with 4 ultra-hot rows
+// taking half the traffic, 50/50 read/RMW, 8 ops per transaction.
+func HotspotDefaults() HotspotConfig {
+	return HotspotConfig{Records: 100_000, RecordSize: 128, Theta: 0.99,
+		ReadRatio: 0.5, HotRows: 4, HotFrac: 0.5, Ops: 8}
+}
+
+// HotspotTableName is the hotspot table's catalog name.
+const HotspotTableName = "hotspot"
+
+// Hotspot is a loaded hotspot table plus its sampler state.
+type Hotspot struct {
+	Cfg HotspotConfig
+	Tbl *cc.Table
+	cum []float64 // Zipfian CDF over ranks 0..Records-1
+}
+
+// SetupHotspot creates and bulk-loads the hotspot table. Counters load as
+// zero; the rest of each row is a fixed pattern.
+func SetupHotspot(db *cc.DB, cfg HotspotConfig) *Hotspot {
+	tbl := db.CreateTable(HotspotTableName, cfg.RecordSize, cc.HashIndex, cfg.Records)
+	row := make([]byte, cfg.RecordSize)
+	for i := 8; i < len(row); i++ {
+		row[i] = byte(i * 13)
+	}
+	for k := 0; k < cfg.Records; k++ {
+		if db.LoadRecord(tbl, uint64(k), row) == nil {
+			panic("ycsb: duplicate key during hotspot load")
+		}
+	}
+	cum := make([]float64, cfg.Records)
+	var z float64
+	for i := range cum {
+		z += 1 / powTheta(float64(i+1), cfg.Theta)
+		cum[i] = z
+	}
+	for i := range cum {
+		cum[i] /= z
+	}
+	return &Hotspot{Cfg: cfg, Tbl: tbl, cum: cum}
+}
+
+// powTheta is math.Pow specialised away for θ=0 and θ=1 (exact, and the
+// common sweep endpoints).
+func powTheta(x, theta float64) float64 {
+	switch theta {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	return math.Pow(x, theta)
+}
+
+// rank maps a uniform u ∈ [0,1) to a Zipf rank by exact CDF inversion.
+func (h *Hotspot) rank(u float64) uint64 {
+	i := sort.SearchFloat64s(h.cum, u)
+	if i >= len(h.cum) {
+		i = len(h.cum) - 1
+	}
+	return uint64(i)
+}
+
+// HotspotGen produces transactions for one worker. Not safe for concurrent
+// use.
+type HotspotGen struct {
+	w   *Hotspot
+	rng uint64
+	ops []Op
+	buf []byte
+}
+
+// NewGen creates a per-worker generator with its own RNG stream.
+func (h *Hotspot) NewGen(seed int64) *HotspotGen {
+	return &HotspotGen{
+		w:   h,
+		rng: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		buf: make([]byte, h.Cfg.RecordSize),
+	}
+}
+
+func (g *HotspotGen) next64() uint64 {
+	g.rng += 0x9E3779B97F4A7C15
+	z := g.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (g *HotspotGen) uniform() float64 {
+	return float64(g.next64()>>11) / float64(1<<53)
+}
+
+// Next generates the next transaction. The returned Txn (including its Ops
+// slice) is valid until the following call to Next.
+func (g *HotspotGen) Next() Txn {
+	cfg := g.w.Cfg
+	g.ops = g.ops[:0]
+	ro := true
+	nhot := 0
+	for i := 0; i < cfg.Ops; i++ {
+		var key uint64
+		if cfg.HotRows > 0 && g.uniform() < cfg.HotFrac {
+			key = g.next64() % uint64(cfg.HotRows)
+		} else {
+			key = g.w.rank(g.uniform())
+		}
+		// Classify by KEY, not by which branch drew it: the Zipfian's top
+		// ranks are the same rows as the ultra-hot overlay, and a hot row
+		// is hot no matter how the sampler landed on it.
+		hot := cfg.HotRows > 0 && key < uint64(cfg.HotRows)
+		kind := OpRead
+		if g.uniform() >= cfg.ReadRatio {
+			kind = OpWrite
+			ro = false
+		}
+		op := Op{Kind: kind, Key: key}
+		if cfg.HotLast && hot {
+			g.ops = append(g.ops, op) // gather hot ops at the tail
+			nhot++
+			continue
+		}
+		if nhot > 0 {
+			// Keep cold ops ahead of the gathered hot tail.
+			g.ops = append(g.ops, op)
+			n := len(g.ops)
+			g.ops[n-1], g.ops[n-1-nhot] = g.ops[n-1-nhot], g.ops[n-1]
+			continue
+		}
+		g.ops = append(g.ops, op)
+	}
+	ops := g.ops
+	tbl := g.w.Tbl
+	yield := cfg.Yield
+	proc := func(tx cc.Tx) error {
+		for _, op := range ops {
+			if op.Kind == OpRead {
+				if _, err := tx.Read(tbl, op.Key); err != nil {
+					return err
+				}
+			} else {
+				v, err := tx.ReadForUpdate(tbl, op.Key)
+				if err != nil {
+					return err
+				}
+				buf := g.buf[:cfg.RecordSize]
+				copy(buf, v)
+				binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+				if err := tx.Update(tbl, op.Key, buf); err != nil {
+					return err
+				}
+			}
+			if yield {
+				runtime.Gosched()
+			}
+		}
+		return nil
+	}
+	return Txn{Ops: g.ops, ReadOnly: ro, Proc: proc}
+}
+
+// CounterSum reads every row's counter through worker w and returns the
+// total — with increments as the only writes it must equal the number of
+// committed RMW operations (the lost-update probe).
+func (h *Hotspot) CounterSum(w cc.Worker) (uint64, error) {
+	var sum uint64
+	err := w.Attempt(func(tx cc.Tx) error {
+		sum = 0
+		for k := 0; k < h.Cfg.Records; k++ {
+			v, err := tx.Read(h.Tbl, uint64(k))
+			if err != nil {
+				return err
+			}
+			sum += binary.LittleEndian.Uint64(v)
+		}
+		return nil
+	}, true, cc.AttemptOpts{})
+	return sum, err
+}

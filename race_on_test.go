@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it (instrumented atomics are ~10x slower).
+const raceEnabled = true
