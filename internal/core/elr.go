@@ -77,12 +77,27 @@ func (w *worker) hasDepWord(word uint64) bool {
 }
 
 // selfAbortErr classifies an abort observed while parked on a retired slot:
-// if any recorded dependency died in place, our kill came from its cascade
-// sweep; otherwise it was an ordinary wound.
+// if any recorded dependency died in place — or moved on to its next
+// transaction without our ever seeing its commit unit published — our kill
+// came from its cascade sweep; otherwise it was an ordinary wound.
 func (w *worker) selfAbortErr() error {
 	for i := range w.deps {
 		d := &w.deps[i]
-		if w.db.Reg.Ctx(txn.WID(d.word)).Load() == txn.AbortedWord(d.word) {
+		rctx := w.db.Reg.Ctx(txn.WID(d.word))
+		cur := rctx.Load()
+		if cur == txn.AbortedWord(d.word) {
+			return errCascade
+		}
+		if cur != d.word && rctx.LoggedWord() != d.word {
+			// The dependency's worker already runs a different transaction
+			// and the logged marker does not vouch for the one we consumed:
+			// it plausibly aborted, swept us, and restarted before this
+			// classification ran. Bias the ambiguity toward cascade — an
+			// aborted retirer is the party with a reason to kill a dirty
+			// reader. Residual window: a retirer that committed and cleared
+			// its marker before we look is misreported as cascade when the
+			// kill was really an unrelated wound; the error is stats-only
+			// (both causes abort and retry identically).
 			return errCascade
 		}
 	}
@@ -270,6 +285,16 @@ func (w *worker) waitDeps() error {
 			}
 			storage.Yield(j)
 		}
+	}
+	// A dependency's abort may have fully completed — kill sweep, restore,
+	// ClearRetired — before the first slot read above, in which case no loop
+	// body ever ran and the abort went unobserved. The sweep publishes our
+	// abort bit before the restore clears the slot, so a single check here
+	// catches every such completed cascade; without it, commit() — which
+	// deliberately ignores the status bit past this point — would persist
+	// a write set derived from the rolled-back dirty image.
+	if len(w.deps) > 0 && w.ctx.Aborted() {
+		return w.selfAbortErr()
 	}
 	return nil
 }

@@ -541,6 +541,12 @@ func (w *worker) rollback(cause stats.AbortCause) {
 		}
 		w.cascadeAbort()
 		w.ctx.SetCommitting(false)
+		// A WaitCommitted failure aborts after CommitPublish set the logged
+		// marker. The retry reuses the same packed word (wound-wait priority
+		// is retained across retries), so a stale marker would let a
+		// dependent of the NEXT attempt release its wait before that attempt
+		// actually publishes its commit unit.
+		w.ctx.ClearLogged()
 	}
 	switch cause {
 	case stats.CauseWounded, stats.CauseWWUpgrade, stats.CauseCascade:
@@ -874,17 +880,39 @@ func (w *worker) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
 		return readBack(a)
 	}
 	buf := w.arena.Alloc(t.Store.RowSize)
-	v := rec.StableRead(buf)
-	// ELR: read-committed must not serve a retired writer's uncommitted
-	// image. The retirer is past Phase 1, so the slot resolves quickly.
-	for i := 0; w.opts.ELR && rec.LF.RetiredWord() != 0; i++ {
-		storage.Yield(i)
-		v = rec.StableRead(buf)
-	}
+	v := w.stableReadRC(rec, buf)
 	if storage.TIDAbsent(v) {
 		return nil, cc.ErrNotFound
 	}
 	return buf, nil
+}
+
+// stableReadRC copies a consistent COMMITTED image of rec into buf and
+// returns its version word. Under ELR a plain StableRead is not enough:
+// read-committed must not serve a retired writer's uncommitted image, and —
+// unlike the optimistic RO path — has no commit-time TID validation to catch
+// a copy of a dirty image whose retirer aborts afterwards. The copy is
+// therefore bracketed by retired-slot checks: observe a clear slot, copy,
+// then re-check the slot and the version. A dirty image is only readable
+// while the slot is occupied (ReserveRetire precedes the install), and an
+// abort restore bumps the record version (TIDUnlockFlags) before clearing
+// the slot, so a copy that passes both re-checks is committed. The retirer
+// is past Phase 1, so an occupied slot resolves quickly.
+func (w *worker) stableReadRC(rec *storage.Record, buf []byte) uint64 {
+	if !w.opts.ELR {
+		return rec.StableRead(buf)
+	}
+	for i := 0; ; i++ {
+		if rec.LF.RetiredWord() != 0 {
+			storage.Yield(i)
+			continue
+		}
+		v := rec.StableRead(buf)
+		if rec.LF.RetiredWord() == 0 && rec.TID.Load() == v {
+			return v
+		}
+		storage.Yield(i)
+	}
 }
 
 // ScanRC implements cc.Tx.
@@ -899,11 +927,7 @@ func (w *worker) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bo
 			return nil, false, false
 		},
 		func(rec *storage.Record) ([]byte, error) {
-			v := rec.StableRead(buf)
-			for i := 0; w.opts.ELR && rec.LF.RetiredWord() != 0; i++ {
-				storage.Yield(i)
-				v = rec.StableRead(buf)
-			}
+			v := w.stableReadRC(rec, buf)
 			if storage.TIDAbsent(v) {
 				return nil, nil
 			}
