@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap bench-hotspot
+.PHONY: build test race vet verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap bench-hotspot bench-sessions
 
 build:
 	$(GO) build ./...
@@ -63,3 +63,9 @@ bench-wal:
 # zero-alloc batched call path.
 bench-rpc:
 	$(GO) test -run=^$$ -bench=BenchmarkRPC -benchmem ./internal/rpc/
+
+# bench-sessions measures the M:N serving layer: an 8-executor pool under
+# a 63 → 1k → 10k session sweep (tps must hold across the sweep; p999
+# grows with closed-loop queueing).
+bench-sessions:
+	$(GO) test -run=^$$ -bench=BenchmarkSessionScheduler -benchmem -timeout 30m .

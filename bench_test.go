@@ -447,3 +447,25 @@ func BenchmarkHotspot(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSessionScheduler — the M:N serving layer: a fixed 8-executor
+// pool serving a session sweep (63 = the 1:1 slot ceiling, then 1k and
+// 10k) of interactive batched YCSB-A sessions over the in-process
+// scheduler transport. The scaling claim under test: session count is no
+// longer bounded by worker slots, and throughput at 10k sessions holds
+// against the 63-session point at equal executors (tail latency grows with
+// queueing, as it must in a closed loop).
+func BenchmarkSessionScheduler(b *testing.B) {
+	counts := []int{63, 1000, 10000}
+	if testing.Short() {
+		counts = []int{63, 1000}
+	}
+	for _, sessions := range counts {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			runPoint(b, harness.Config{Protocol: db.Plor, Workers: benchWorkers,
+				Interactive: true, Batch: true,
+				Sessions: sessions, Executors: benchWorkers,
+				Workload: harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)})
+		})
+	}
+}

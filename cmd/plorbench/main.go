@@ -36,6 +36,8 @@ func main() {
 		theta       = flag.Float64("theta", -1, "override YCSB zipfian skew")
 		warehouses  = flag.Int("warehouses", 1, "TPC-C warehouses")
 		interactive = flag.Bool("interactive", false, "interactive client/server mode")
+		sessions    = flag.Int("sessions", 0, "client sessions multiplexed onto the M:N scheduler (interactive mode; 0 = one dedicated server goroutine per worker)")
+		executors   = flag.Int("executors", 0, "executor workers serving the sessions (0 = -workers; requires -sessions)")
 		rtt         = flag.Duration("rtt", 4*time.Microsecond, "simulated network RTT (interactive mode)")
 		batch       = flag.Bool("batch", false, "batch independent operations into multi-op frames (interactive mode)")
 		logging     = flag.String("logging", "off", "WAL mode: off, redo, undo")
@@ -163,6 +165,8 @@ func main() {
 		LogFlushInterval: *walFlush,
 		LogLatency:       *walLatency,
 		Interactive:      *interactive,
+		Sessions:         *sessions,
+		Executors:        *executors,
 		RTT:              *rtt,
 		Batch:            *batch,
 		Instrument:       *breakdown,

@@ -58,7 +58,7 @@ func main() {
 	}
 
 	hists := make([]*stats.Histogram, *sessions)
-	var commits, aborts uint64
+	var commits, aborts, sheds uint64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(*duration)
@@ -84,7 +84,8 @@ func main() {
 				w.EnableBatching()
 			}
 			gen := wl.NewGen(int64(s) + 1)
-			var localCommits, localAborts uint64
+			rng := uint64(s)*0x9E3779B97F4A7C15 + 12345
+			var localCommits, localAborts, localSheds uint64
 			for time.Now().Before(deadline) {
 				txn := gen.Next()
 				start := time.Now()
@@ -93,6 +94,21 @@ func main() {
 					err := w.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly})
 					if err == nil {
 						break
+					}
+					var busy *rpc.ErrServerBusy
+					if errors.As(err, &busy) {
+						// Overload shed: honor the server's retry-after hint
+						// with ±25% jitter, then resubmit. No transaction was
+						// started, so first stays as-is.
+						localSheds++
+						d := busy.RetryAfter
+						if d <= 0 {
+							d = time.Millisecond
+						}
+						rng = rng*6364136223846793005 + 1442695040888963407
+						d += time.Duration(int64(rng>>33)%int64(d/2+1)) - d/4
+						time.Sleep(d)
+						continue
 					}
 					if !cc.IsAborted(err) {
 						if errors.Is(err, cc.ErrNotFound) {
@@ -110,13 +126,14 @@ func main() {
 			mu.Lock()
 			commits += localCommits
 			aborts += localAborts
+			sheds += localSheds
 			mu.Unlock()
 		}(s)
 	}
 	wg.Wait()
 
 	h := stats.MergeAll(hists)
-	fmt.Printf("sessions=%d  tput=%.0f tps  p50=%.1fus  p99=%.1fus  p999=%.1fus  aborts=%d\n",
+	fmt.Printf("sessions=%d  tput=%.0f tps  p50=%.1fus  p99=%.1fus  p999=%.1fus  aborts=%d  sheds=%d\n",
 		*sessions, float64(commits)/duration.Seconds(),
-		float64(h.P50())/1e3, float64(h.P99())/1e3, float64(h.P999())/1e3, aborts)
+		float64(h.P50())/1e3, float64(h.P99())/1e3, float64(h.P999())/1e3, aborts, sheds)
 }

@@ -4,7 +4,10 @@
 // connection is sniffed: a plain connection carries one session, a
 // multiplexed one (plorclient -mux) carries many tagged sessions sharing
 // the socket; batched clients (plorclient -batch) send multi-op frames.
-// Session worker slots are drawn from the -workers pool either way.
+// Sessions no longer lease a worker slot each: all of them are multiplexed
+// onto a fixed pool of -executors workers by the M:N session scheduler,
+// with overload shed as retryable busy statuses (-max-sessions,
+// -queue-cap).
 //
 //	plorserver -addr :7070 -protocol PLOR -workload ycsb-a -workers 16
 //
@@ -24,7 +27,6 @@ import (
 	"repro/db"
 	"repro/internal/cc"
 	"repro/internal/obs"
-	"repro/internal/rpc"
 	"repro/internal/workload/tpcc"
 	"repro/internal/workload/ycsb"
 )
@@ -34,7 +36,10 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		protocol   = flag.String("protocol", "PLOR", "CC protocol")
 		workload   = flag.String("workload", "ycsb-a", "ycsb-a, ycsb-b or tpcc")
-		workers    = flag.Int("workers", 16, "max concurrent sessions (1-63)")
+		workers    = flag.Int("workers", 16, "worker slots backing the executor pool (1-63)")
+		executors  = flag.Int("executors", 0, "executor workers serving all sessions (0 = -workers)")
+		maxSess    = flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited); rejected sessions get a retryable busy status")
+		queueCap   = flag.Int("queue-cap", 0, "runnable-queue admission bound (0 = default 8192, negative = unbounded)")
 		records    = flag.Int("records", 100_000, "YCSB table size")
 		warehouses = flag.Int("warehouses", 1, "TPC-C warehouses")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace and /debug/hotlocks on this address (empty = off)")
@@ -71,14 +76,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := rpc.NewServer(d.Engine(), ccdb)
+	srv := d.NewServer(db.ServeOptions{
+		Executors:   *executors,
+		MaxSessions: *maxSess,
+		QueueCap:    *queueCap,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("plorserver: %s engine serving %s on %s (tables: %v)\n",
-		d.Engine().Name(), *workload, bound, tableNames(ccdb))
+	fmt.Printf("plorserver: %s engine serving %s on %s (%d executors, tables: %v)\n",
+		d.Engine().Name(), *workload, bound, srv.Scheduler().Executors(), tableNames(ccdb))
 
 	if *trace {
 		obs.EnableTrace()
@@ -99,7 +108,7 @@ func main() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	srv.Close()
+	srv.Shutdown()
 	if prof != nil {
 		prof.Stop()
 	}

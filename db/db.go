@@ -25,6 +25,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/lock"
+	"repro/internal/rpc"
 	"repro/internal/stats"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -397,6 +398,42 @@ func (w *Worker) Run(proc Proc, opts TxnOpts) (int, error) {
 // Breakdown returns the worker's execution-time accounting (nil unless
 // Options.Instrument was set).
 func (w *Worker) Breakdown() *stats.Breakdown { return w.inner.Breakdown() }
+
+// ServeOptions configures NewServer's M:N session scheduler.
+type ServeOptions struct {
+	// Executors is the number of executor workers pulling sessions from the
+	// runnable queue (default Options.Workers). Each owns one worker slot,
+	// so Executors must not exceed the free slots.
+	Executors int
+	// MaxSessions caps registered sessions (0 = unlimited). Rejected
+	// sessions receive a retryable busy status, never a silent drop.
+	MaxSessions int
+	// QueueCap bounds the runnable queue for newly arriving work; beyond it
+	// the frame is shed with a busy status (0 = default 8192, negative =
+	// unbounded).
+	QueueCap int
+	// SlackFactor enables deadline-infeasibility admission: a fresh
+	// transaction with resource hint h that already waited more than
+	// SlackFactor×h nanoseconds is shed instead of dispatched (0 = off).
+	SlackFactor uint64
+	// RetryAfter is the backoff hint carried on busy responses (default 2ms).
+	RetryAfter time.Duration
+}
+
+// NewServer builds an RPC server whose sessions are multiplexed onto a
+// fixed executor pool: M client sessions (plain conns, mux sessions, or
+// in-process transports) share Executors worker slots instead of leasing
+// one slot each. Call Server.Shutdown when done — it releases the
+// executor slots.
+func (d *DB) NewServer(opts ServeOptions) *rpc.Server {
+	return rpc.NewServerSched(d.engine, d.inner, rpc.SchedConfig{
+		Executors:   opts.Executors,
+		MaxSessions: opts.MaxSessions,
+		QueueCap:    opts.QueueCap,
+		SlackFactor: opts.SlackFactor,
+		RetryAfter:  opts.RetryAfter,
+	})
+}
 
 // ReadOnly returns scanner slot's snapshot executor (slot in
 // [1, Options.Scanners]). Like Worker, each slot must be driven by at most

@@ -16,6 +16,7 @@ package cc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/mvcc"
@@ -114,6 +115,21 @@ type DB struct {
 	// the single-version hot paths pay one predictable branch.
 	mvccOn bool
 	vpool  *mvcc.Pool
+
+	slotsOnce sync.Once
+	slots     *txn.SlotPool
+}
+
+// Slots returns the database's canonical worker-slot pool, covering wids
+// 1..Reg.Workers(). Serving layers (executor pools) acquire their wids
+// here so multiple front ends over one DB never double-allocate a
+// registry slot. Built lazily: purely 1:1 uses (the harness's stored-proc
+// mode) never pay for it.
+func (db *DB) Slots() *txn.SlotPool {
+	db.slotsOnce.Do(func() {
+		db.slots = txn.NewSlotPool(1, uint16(db.Reg.Workers()))
+	})
+	return db.slots
 }
 
 // NewDB creates a database for up to workers worker threads, allocating
@@ -401,6 +417,13 @@ type AttemptOpts struct {
 	// ResourceHint estimates the number of records the transaction will
 	// access; the Plor-RT deadline priority (Fig. 15) uses it.
 	ResourceHint int
+	// RetryTS, when nonzero on a retry (first=false), seeds the attempt's
+	// wound-wait timestamp instead of the worker's previous one. The M:N
+	// serving layer uses it to keep a transaction's original priority when
+	// a retry is dispatched to a different executor than its first attempt
+	// (aging must follow the transaction, not the worker slot). Engines
+	// without retry priority (Silo, TicToc, MOCC) ignore it.
+	RetryTS uint64
 }
 
 // Worker executes transactions on behalf of one worker thread. A Worker is

@@ -101,8 +101,15 @@ type twoplWorker struct {
 func (w *twoplWorker) Attempt(proc Proc, first bool, opts AttemptOpts) error {
 	if first {
 		w.ts = w.db.Reg.NextTS()
-	} else if w.bd != nil {
-		w.bd.Retries++
+	} else {
+		if opts.RetryTS != 0 {
+			// Retry migrated from another worker slot (M:N scheduling):
+			// keep the transaction's original timestamp.
+			w.ts = opts.RetryTS
+		}
+		if w.bd != nil {
+			w.bd.Retries++
+		}
 	}
 	w.ctx.Begin(w.wid, w.ts)
 	w.arena.Reset()

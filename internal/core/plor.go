@@ -192,6 +192,12 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 		w.ts = w.db.Reg.NextTS()
 		w.attempts = 0
 	} else {
+		if opts.RetryTS != 0 {
+			// The transaction's first attempt ran on a different worker
+			// slot (M:N scheduling); keep its original timestamp so aging
+			// survives the migration.
+			w.ts = opts.RetryTS
+		}
 		w.attempts++
 		if w.bd != nil {
 			w.bd.Retries++

@@ -89,6 +89,14 @@ type Config struct {
 	// network with the given round-trip time (Fig. 8).
 	Interactive bool
 	RTT         time.Duration
+	// Sessions, when > 0 with Interactive, runs that many client sessions
+	// multiplexed onto the M:N session scheduler instead of one dedicated
+	// server goroutine (and worker slot) per client. Sessions and Executors
+	// are independent knobs: 10k sessions can share 8 executors.
+	Sessions int
+	// Executors sets the scheduler's executor-pool size (default Workers).
+	// Only meaningful with Sessions > 0; must not exceed Workers.
+	Executors int
 	// Batch enables interactive operation batching: workload phases of
 	// independent operations cross the simulated network as one multi-op
 	// frame (one RTT) instead of one round trip per operation.
@@ -241,14 +249,50 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	}
 
 	// Build executors: local workers, or interactive clients whose server
-	// sessions share the same database.
-	workers := make([]cc.Worker, cfg.Workers+1)
-	transports := make([]rpc.Transport, 0, cfg.Workers)
-	for wid := 1; wid <= cfg.Workers; wid++ {
+	// sessions share the same database. With Sessions set, clients are M:N
+	// sessions onto a shared scheduler; clientN (not Workers) is then the
+	// closed-loop goroutine count.
+	clientN := cfg.Workers
+	var sched *rpc.Scheduler
+	if cfg.Interactive && cfg.Sessions > 0 {
+		clientN = cfg.Sessions
+		execN := cfg.Executors
+		if execN == 0 {
+			execN = cfg.Workers
+		}
+		if execN > cfg.Workers {
+			return nil, fmt.Errorf("harness: executors (%d) exceed worker slots (%d)", execN, cfg.Workers)
+		}
+		// QueueCap = Sessions: each session occupies at most one queue slot
+		// (single-presence invariant), so this cap admits every closed-loop
+		// client — the harness measures scheduling, not self-inflicted
+		// shedding. Overload behavior is exercised by the saturation guard
+		// and the rpc tests, which configure tighter caps explicitly.
+		sched = rpc.NewScheduler(engine, ccdb, rpc.SchedConfig{Executors: execN, QueueCap: cfg.Sessions})
+		// Registered before the transport-close defer below: LIFO order
+		// closes every session first, then tears the scheduler down.
+		defer sched.Close()
+	}
+	workers := make([]cc.Worker, clientN+1)
+	transports := make([]rpc.Transport, 0, clientN)
+	for wid := 1; wid <= clientN; wid++ {
 		if cfg.Interactive {
-			tr := rpc.NewChanTransport(engine, ccdb, uint16(wid), cfg.RTT)
-			if cfg.RTTSleep {
-				tr.UseSleepRTT(true)
+			var tr rpc.Transport
+			if sched != nil {
+				st := rpc.NewSchedChanTransport(sched, cfg.RTT)
+				if st == nil {
+					return nil, errors.New("harness: scheduler refused a session (MaxSessions)")
+				}
+				if cfg.RTTSleep {
+					st.UseSleepRTT(true)
+				}
+				tr = st
+			} else {
+				ct := rpc.NewChanTransport(engine, ccdb, uint16(wid), cfg.RTT)
+				if cfg.RTTSleep {
+					ct.UseSleepRTT(true)
+				}
+				tr = ct
 			}
 			transports = append(transports, tr)
 			cw := rpc.NewClientWorker(tr, ccdb.Tables(), uint16(wid))
@@ -288,20 +332,20 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		start        = time.Now()
 		recordAfter  = start.Add(cfg.Warmup)
 		deadline     = recordAfter.Add(cfg.Measure)
-		hists        = make([]*stats.Histogram, cfg.Workers+1)
-		commits      = make([]uint64, cfg.Workers+1)
-		aborts       = make([]uint64, cfg.Workers+1)
-		retryCounts  = make([]uint64, cfg.Workers+1)
-		causes       = make([][stats.NumAbortCauses]uint64, cfg.Workers+1)
+		hists        = make([]*stats.Histogram, clientN+1)
+		commits      = make([]uint64, clientN+1)
+		aborts       = make([]uint64, clientN+1)
+		retryCounts  = make([]uint64, clientN+1)
+		causes       = make([][stats.NumAbortCauses]uint64, clientN+1)
 		measureStart time.Time
 		wg           sync.WaitGroup
 	)
 	// Admission control: a semaphore bounding in-flight transactions.
 	var admit chan struct{}
-	if cfg.MaxActive > 0 && cfg.MaxActive < cfg.Workers {
+	if cfg.MaxActive > 0 && cfg.MaxActive < clientN {
 		admit = make(chan struct{}, cfg.MaxActive)
 	}
-	for wid := 1; wid <= cfg.Workers; wid++ {
+	for wid := 1; wid <= clientN; wid++ {
 		hists[wid] = stats.NewHistogram()
 		wg.Add(1)
 		go func(wid int) {
@@ -360,6 +404,22 @@ func Run(cfg Config) (*stats.Metrics, error) {
 					err := worker.Attempt(unit.Proc, first, opts)
 					if err == nil || errors.Is(err, cc.ErrIntentionalRollback) {
 						break
+					}
+					if rpc.IsServerBusy(err) {
+						// Shed before any transaction started: back off for
+						// the server's hint (±25% jitter) and resubmit. The
+						// attempt keeps first as-is — no timestamp was
+						// allocated, so this is not a conflict retry.
+						var busy *rpc.ErrServerBusy
+						errors.As(err, &busy)
+						rng = rng*6364136223846793005 + 1442695040888963407
+						d := busy.RetryAfter
+						if d <= 0 {
+							d = time.Millisecond
+						}
+						d += time.Duration(int64(rng>>33)%int64(d/2+1)) - d/4
+						time.Sleep(d)
+						continue
 					}
 					if !cc.IsAborted(err) {
 						panic(fmt.Sprintf("harness: worker %d: non-retryable error: %v", wid, err))
@@ -488,11 +548,11 @@ func Run(cfg Config) (*stats.Metrics, error) {
 
 	m := &stats.Metrics{
 		Label:   cfg.label() + "/" + cfg.Workload.Name(),
-		Workers: cfg.Workers,
+		Workers: clientN, // offered concurrency: sessions in M:N mode
 		Elapsed: elapsed,
 		Latency: stats.MergeAll(hists[1:]),
 	}
-	for wid := 1; wid <= cfg.Workers; wid++ {
+	for wid := 1; wid <= clientN; wid++ {
 		m.Commits += commits[wid]
 		m.Aborts += aborts[wid]
 		m.Retries += retryCounts[wid]

@@ -184,6 +184,33 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
 		fmt.Fprintf(w, "plor_wasted_ops{quantile=%q} %d\n", q.label, wasted.Quantile(q.v))
 	}
+	fmt.Fprintf(w, "# HELP plor_sessions_active Client sessions currently registered with the scheduler.\n")
+	fmt.Fprintf(w, "# TYPE plor_sessions_active gauge\n")
+	fmt.Fprintf(w, "plor_sessions_active %d\n", l.SessionsActive.Load())
+	fmt.Fprintf(w, "# HELP plor_sessions_queued Sessions waiting on the runnable queue for an executor.\n")
+	fmt.Fprintf(w, "# TYPE plor_sessions_queued gauge\n")
+	fmt.Fprintf(w, "plor_sessions_queued %d\n", l.SessionsQueued.Load())
+	if ss, ok := SchedStatsSnapshot(); ok {
+		fmt.Fprintf(w, "# HELP plor_runnable_queue_depth Runnable-queue depth at scrape.\n")
+		fmt.Fprintf(w, "# TYPE plor_runnable_queue_depth gauge\n")
+		fmt.Fprintf(w, "plor_runnable_queue_depth %d\n", ss.RunnableDepth)
+		fmt.Fprintf(w, "# HELP plor_sched_executors Executor workers pulling sessions from the runnable queue.\n")
+		fmt.Fprintf(w, "# TYPE plor_sched_executors gauge\n")
+		fmt.Fprintf(w, "plor_sched_executors %d\n", ss.Executors)
+	}
+	fmt.Fprintf(w, "# HELP plor_admission_rejects_total Frames shed by admission control, by cause.\n")
+	fmt.Fprintf(w, "# TYPE plor_admission_rejects_total counter\n")
+	fmt.Fprintf(w, "plor_admission_rejects_total{cause=\"queue-full\"} %d\n", l.AdmissionRejectsQueueFull.Load())
+	fmt.Fprintf(w, "plor_admission_rejects_total{cause=\"deadline-infeasible\"} %d\n", l.AdmissionRejectsDeadline.Load())
+	schedWait := l.SchedWaitSnapshot()
+	fmt.Fprintf(w, "# HELP plor_sched_wait_ns Runnable-queue wait before executor dispatch (quantiles, ns).\n")
+	fmt.Fprintf(w, "# TYPE plor_sched_wait_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_sched_wait_ns{quantile=%q} %d\n", q.label, schedWait.Quantile(q.v))
+	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")
 	for _, q := range []struct {

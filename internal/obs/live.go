@@ -61,24 +61,35 @@ type Live struct {
 	LockRetires   atomic.Uint64
 	CascadeAborts atomic.Uint64
 
+	// M:N serving-layer state (see internal/rpc's Scheduler).
+	// SessionsActive gauges registered client sessions; SessionsQueued
+	// gauges sessions currently staged on the runnable queue. The
+	// AdmissionRejects counters split shed transactions by cause.
+	SessionsActive            atomic.Int64
+	SessionsQueued            atomic.Int64
+	AdmissionRejectsQueueFull atomic.Uint64
+	AdmissionRejectsDeadline  atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
-	mu       sync.Mutex
-	lat      *stats.Histogram
-	flushLat *stats.Histogram // per-round flush latency (ns)
-	batchSz  *stats.Histogram // txns coalesced per flush round
-	rpcBatch *stats.Histogram // sub-ops per multi-op rpc frame
-	wasted   *stats.Histogram // completed ops discarded per wound/cascade abort
-	start    time.Time
+	mu        sync.Mutex
+	lat       *stats.Histogram
+	flushLat  *stats.Histogram // per-round flush latency (ns)
+	batchSz   *stats.Histogram // txns coalesced per flush round
+	rpcBatch  *stats.Histogram // sub-ops per multi-op rpc frame
+	wasted    *stats.Histogram // completed ops discarded per wound/cascade abort
+	schedWait *stats.Histogram // runnable-queue wait per dispatch (ns)
+	start     time.Time
 }
 
 var live = &Live{
-	lat:      stats.NewHistogram(),
-	flushLat: stats.NewHistogram(),
-	batchSz:  stats.NewHistogram(),
-	rpcBatch: stats.NewHistogram(),
-	wasted:   stats.NewHistogram(),
-	start:    time.Now(),
+	lat:       stats.NewHistogram(),
+	flushLat:  stats.NewHistogram(),
+	batchSz:   stats.NewHistogram(),
+	rpcBatch:  stats.NewHistogram(),
+	wasted:    stats.NewHistogram(),
+	schedWait: stats.NewHistogram(),
+	start:     time.Now(),
 }
 
 // Metrics returns the process-wide live metrics.
@@ -149,6 +160,51 @@ func MVCCStatsSnapshot() (MVCCStat, bool) {
 		return MVCCStat{}, false
 	}
 	return (*fn)(), true
+}
+
+// SchedStat is a snapshot of the M:N serving layer for /metrics, mirroring
+// internal/rpc's Scheduler without importing it (same layering as
+// TableStat). RunnableDepth is the instantaneous runnable-queue length.
+type SchedStat struct {
+	RunnableDepth int
+	Executors     int
+}
+
+var schedStatsFn atomic.Pointer[func() SchedStat]
+
+// SetSchedStats installs the provider /metrics polls for serving-layer
+// gauges. Pass nil to uninstall.
+func SetSchedStats(fn func() SchedStat) {
+	if fn == nil {
+		schedStatsFn.Store(nil)
+		return
+	}
+	schedStatsFn.Store(&fn)
+}
+
+// SchedStatsSnapshot polls the installed provider; ok is false if none.
+func SchedStatsSnapshot() (SchedStat, bool) {
+	fn := schedStatsFn.Load()
+	if fn == nil {
+		return SchedStat{}, false
+	}
+	return (*fn)(), true
+}
+
+// SchedWait records one dispatch's runnable-queue wait.
+func (l *Live) SchedWait(d time.Duration) {
+	l.mu.Lock()
+	l.schedWait.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+// SchedWaitSnapshot returns a copy of the scheduler wait-time histogram.
+func (l *Live) SchedWaitSnapshot() *stats.Histogram {
+	h := stats.NewHistogram()
+	l.mu.Lock()
+	h.Merge(l.schedWait)
+	l.mu.Unlock()
+	return h
 }
 
 // TxnCommit records one committed transaction and its end-to-end latency.
@@ -272,6 +328,10 @@ func (l *Live) Reset() {
 	l.SnapshotTxns.Store(0)
 	l.LockRetires.Store(0)
 	l.CascadeAborts.Store(0)
+	l.AdmissionRejectsQueueFull.Store(0)
+	l.AdmissionRejectsDeadline.Store(0)
+	// SessionsActive/SessionsQueued are live gauges owned by the serving
+	// layer, not cumulative counters; Reset leaves them alone.
 	for i := range l.causes {
 		l.causes[i].Store(0)
 	}
@@ -281,6 +341,7 @@ func (l *Live) Reset() {
 	l.batchSz.Reset()
 	l.rpcBatch.Reset()
 	l.wasted.Reset()
+	l.schedWait.Reset()
 	l.start = time.Now()
 	l.mu.Unlock()
 }

@@ -328,6 +328,52 @@ func TestHTTPELRMetrics(t *testing.T) {
 	}
 }
 
+// TestHTTPSchedMetrics checks the M:N serving-layer gauges, admission
+// counters, scheduler-provider stats, and wait quantiles reach /metrics.
+func TestHTTPSchedMetrics(t *testing.T) {
+	Metrics().Reset()
+	// Session gauges are live values owned by the serving layer (Reset
+	// leaves them alone), so pin then restore.
+	defer Metrics().SessionsActive.Store(Metrics().SessionsActive.Swap(0))
+	defer Metrics().SessionsQueued.Store(Metrics().SessionsQueued.Swap(0))
+	Metrics().SessionsActive.Store(512)
+	Metrics().SessionsQueued.Store(37)
+	Metrics().AdmissionRejectsQueueFull.Add(4)
+	Metrics().AdmissionRejectsDeadline.Add(2)
+	Metrics().SchedWait(1 * time.Millisecond)
+	Metrics().SchedWait(3 * time.Millisecond)
+	SetSchedStats(func() SchedStat { return SchedStat{RunnableDepth: 29, Executors: 8} })
+	defer SetSchedStats(nil)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"plor_sessions_active 512",
+		"plor_sessions_queued 37",
+		"plor_runnable_queue_depth 29",
+		"plor_sched_executors 8",
+		`plor_admission_rejects_total{cause="queue-full"} 4`,
+		`plor_admission_rejects_total{cause="deadline-infeasible"} 2`,
+		`plor_sched_wait_ns{quantile="0.5"}`,
+		`plor_sched_wait_ns{quantile="0.999"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestHTTPTraceEndpoint checks /debug/trace round-trips events as JSON.
 func TestHTTPTraceEndpoint(t *testing.T) {
 	ResetTrace()

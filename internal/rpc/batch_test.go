@@ -597,10 +597,10 @@ func TestMuxStressRestart(t *testing.T) {
 	}
 }
 
-// TestMuxSessionRejectedWithoutSlots: when the worker pool is exhausted a
-// new mux session is rejected with a close frame, and a freed slot makes a
-// later session admissible.
-func TestMuxSessionRejectedWithoutSlots(t *testing.T) {
+// TestMuxSessionsShareExecutor: under M:N scheduling a single worker slot
+// serves many mux sessions — the regression guarded against is the old 1:1
+// behavior where session #2 on a 1-worker server was refused outright.
+func TestMuxSessionsShareExecutor(t *testing.T) {
 	e := core.New(core.Options{})
 	db, _ := newServerDB(e, 1) // exactly one worker slot
 	srv := NewServer(e, db)
@@ -608,7 +608,41 @@ func TestMuxSessionRejectedWithoutSlots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer srv.Shutdown()
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	for i := 0; i < 4; i++ {
+		s := mc.NewSession()
+		w := NewClientWorker(s, db.Tables(), uint16(i+1))
+		if err := runClientTxn(w, func(tx cc.Tx) error {
+			_, err := tx.Read(db.Tables()[0], uint64(i+1))
+			return err
+		}, cc.AttemptOpts{}); err != nil {
+			t.Fatalf("session %d on the shared executor: %v", i, err)
+		}
+		defer s.Close()
+	}
+	if got := srv.Scheduler().Stats().Sessions; got != 4 {
+		t.Fatalf("sessions registered = %d, want 4", got)
+	}
+}
+
+// TestMuxMaxSessionsBusy: past the session cap a new mux session receives a
+// typed retryable busy status (never a silent drop), and a freed session
+// makes a later one admissible.
+func TestMuxMaxSessionsBusy(t *testing.T) {
+	e := core.New(core.Options{})
+	db, _ := newServerDB(e, 1)
+	srv := NewServerSched(e, db, SchedConfig{MaxSessions: 1})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
 	mc, err := DialMux(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -624,15 +658,22 @@ func TestMuxSessionRejectedWithoutSlots(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The slot is held for the session's lifetime: a second session fails.
+	// The cap is held for the session's lifetime: a second session is shed.
 	s2 := mc.NewSession()
 	var wf RespFrame
 	begin := ReqFrame{Reqs: []Request{{Op: OpBegin, First: true}}}
-	if err := s2.Call(&begin, &wf); !errors.Is(err, errSessionClosed) {
-		t.Fatalf("second session err = %v, want session-closed", err)
+	if err := s2.Call(&begin, &wf); err != nil {
+		t.Fatalf("busy reply should arrive as a response, got transport err %v", err)
 	}
+	if wf.Resps[0].Status != StatusBusy {
+		t.Fatalf("second session status = %d, want StatusBusy", wf.Resps[0].Status)
+	}
+	if ra := decodeRetryAfter(wf.Resps[0].Val); ra <= 0 {
+		t.Fatalf("busy reply retry-after = %v, want > 0", ra)
+	}
+	s2.Close()
 
-	// Closing the first session frees its slot (asynchronously).
+	// Closing the first session frees the cap (asynchronously).
 	s1.Close()
 	ok := false
 	for i := 0; i < 100 && !ok; i++ {
@@ -650,7 +691,7 @@ func TestMuxSessionRejectedWithoutSlots(t *testing.T) {
 		}
 	}
 	if !ok {
-		t.Fatal("slot never freed after session close")
+		t.Fatal("session cap never freed after session close")
 	}
 }
 

@@ -126,6 +126,84 @@ func BenchmarkRPCTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkRPCMuxSessions measures the M:N serving layer over the real mux
+// TCP stack: a fixed 8-executor pool serving 63 → 1k → 10k client sessions
+// multiplexed onto the same number of connections. The conn count is held
+// constant across points so the sweep isolates session count; the
+// acceptance criterion (BENCH_PR8.json) is that 10k sessions sustain
+// >= 0.9x the 63-session throughput.
+func BenchmarkRPCMuxSessions(b *testing.B) {
+	counts := []int{63, 1000, 10000}
+	if testing.Short() {
+		counts = []int{63, 1000}
+	}
+	const conns = 4
+	const executors = 8
+	for _, sessions := range counts {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			e := core.New(core.Options{})
+			db := cc.NewDB(executors+1, e.TableOpts())
+			tbl := db.CreateTable("t", 8, cc.OrderedIndex, 256)
+			for k := uint64(0); k < uint64(20+2*sessions); k++ {
+				db.LoadRecord(tbl, k, u64(k))
+			}
+			srv := NewServerSched(e, db, SchedConfig{Executors: executors, QueueCap: sessions})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Shutdown()
+			mcs := make([]*MuxConn, conns)
+			for i := range mcs {
+				if mcs[i], err = DialMux(addr); err != nil {
+					b.Fatal(err)
+				}
+				defer mcs[i].Close()
+			}
+			workers := make([]*ClientWorker, sessions)
+			for s := range workers {
+				tr := mcs[s%conns].NewSession()
+				defer tr.Close()
+				workers[s] = NewClientWorker(tr, db.Tables(), 1)
+				workers[s].EnableBatching()
+			}
+			// Warm up every session (one txn each) behind a barrier so the
+			// timed window measures steady-state serving, not the one-time
+			// cost of spawning and faulting in 10k goroutines.
+			var ready, wg sync.WaitGroup
+			start := make(chan struct{})
+			per := b.N/sessions + 1
+			for s := 0; s < sessions; s++ {
+				ready.Add(1)
+				wg.Add(1)
+				go func(s int, w *ClientWorker) {
+					defer wg.Done()
+					var bat cc.Batcher
+					proc := benchProc(&bat, tbl, s, u64(9))
+					if err := runClientTxn(w, proc, cc.AttemptOpts{}); err != nil {
+						b.Error(err)
+						ready.Done()
+						return
+					}
+					ready.Done()
+					<-start
+					for i := 0; i < per; i++ {
+						if err := runClientTxn(w, proc, cc.AttemptOpts{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s, workers[s])
+			}
+			ready.Wait()
+			b.ResetTimer()
+			close(start)
+			wg.Wait()
+			b.ReportMetric(float64(per*sessions)/b.Elapsed().Seconds(), "txn/s")
+		})
+	}
+}
+
 // BenchmarkRPCBatchedCallPath isolates the client-side batched call path
 // (staging, framing bookkeeping, handle resolution, read-my-writes cache)
 // over an in-process echo transport. The acceptance criterion is 0

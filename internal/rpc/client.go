@@ -43,6 +43,31 @@ func remoteAbort(cause uint8) error {
 	return remoteAborts[stats.CauseOther]
 }
 
+// ErrServerBusy reports overload shedding: the server refused to admit the
+// transaction (session cap, runnable-queue cap, or deadline-infeasible
+// queue wait) and suggests retrying after RetryAfter. No transaction was
+// started server-side, so the whole attempt is safe to retry. Detect with
+// IsServerBusy (or errors.As).
+type ErrServerBusy struct {
+	RetryAfter time.Duration
+	Cause      string // "queue-full" or "deadline-infeasible"
+}
+
+func (e *ErrServerBusy) Error() string {
+	return "rpc: server busy (" + e.Cause + "), retry after " + e.RetryAfter.String()
+}
+
+// IsServerBusy reports whether err is (or wraps) a shed reply.
+func IsServerBusy(err error) bool {
+	var e *ErrServerBusy
+	return errors.As(err, &e)
+}
+
+// busyError builds the typed error for a StatusBusy response.
+func busyError(r *Response) error {
+	return &ErrServerBusy{RetryAfter: decodeRetryAfter(r.Val), Cause: shedCauseString(r.Cause)}
+}
+
 // wkey identifies a row for the client-side read-my-writes cache.
 type wkey struct {
 	tab uint32
@@ -81,7 +106,9 @@ type ClientWorker struct {
 // NewClientWorker builds a worker over an established transport. tables
 // must mirror the server's creation order (IDs index into it).
 func NewClientWorker(tr Transport, tables []*cc.Table, wid uint16) *ClientWorker {
-	return &ClientWorker{tr: tr, tables: tables, wid: wid, arena: cc.NewArena(64 << 10)}
+	// The arena grows on demand, so pre-size for a typical frame, not the
+	// worst case: with 10k+ sessions the pre-size dominates resident heap.
+	return &ClientWorker{tr: tr, tables: tables, wid: wid, arena: cc.NewArena(8 << 10)}
 }
 
 // EnableBreakdown turns on per-worker commit/abort/cause accounting
@@ -166,7 +193,10 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 	if err := c.sendFrame(); err != nil {
 		return err
 	}
-	if c.resp0().Status != StatusOK {
+	if r := c.resp0(); r.Status != StatusOK {
+		if r.Status == StatusBusy {
+			return busyError(r)
+		}
 		return errRemoteError
 	}
 	err := proc(c)
@@ -240,6 +270,12 @@ func (c *ClientWorker) call(req Request) ([]byte, error) {
 		return nil, cc.ErrDuplicate
 	case StatusAborted:
 		err := remoteAbort(r.Cause)
+		c.markDead(err)
+		return nil, err
+	case StatusBusy:
+		// Defensive: sheds only answer transaction-initial Begins, but a
+		// misrouted busy must not masquerade as data.
+		err := busyError(r)
 		c.markDead(err)
 		return nil, err
 	default:
@@ -497,6 +533,13 @@ func (c *ClientWorker) flushPending() error {
 			if abortErr == nil {
 				abortErr = e
 			}
+		case StatusBusy: // defensive, as in call()
+			e := busyError(r)
+			d.Resolve(nil, e)
+			c.markDead(e)
+			if abortErr == nil {
+				abortErr = e
+			}
 		default:
 			d.Resolve(nil, errRemoteError)
 			c.markDead(errRemoteError)
@@ -602,6 +645,144 @@ func (t *ChanTransport) Close() error {
 	close(t.reqCh)
 	<-t.done
 	return nil
+}
+
+// SchedChanTransport is the in-process transport onto an M:N Scheduler:
+// where ChanTransport dedicates a server goroutine (and worker slot) per
+// client, SchedChanTransport registers a SchedSession and shares the
+// scheduler's executor pool — the harness uses it to run thousands of
+// sessions over a handful of executors without a socket.
+type SchedChanTransport struct {
+	sched    *Scheduler
+	ss       SchedSession
+	rtt      time.Duration
+	sleepRTT bool
+	in       chan *ReqFrame  // staged request (cap 1)
+	out      chan *RespFrame // executor's response handoff
+	bye      chan struct{}   // closed by Close: no more requests
+	done     chan struct{}   // closed at retire
+	reqBuf   ReqFrame
+	respBuf  RespFrame // transport-owned deep copy (see sendResp)
+}
+
+// NewSchedChanTransport registers one session with sched. rtt is the
+// modelled per-call round trip. Returns nil when the scheduler refuses the
+// session (MaxSessions).
+func NewSchedChanTransport(sched *Scheduler, rtt time.Duration) *SchedChanTransport {
+	if !sched.Register() {
+		return nil
+	}
+	t := &SchedChanTransport{
+		sched: sched,
+		rtt:   rtt,
+		in:    make(chan *ReqFrame, 1),
+		out:   make(chan *RespFrame),
+		bye:   make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	t.ss = SchedSession{recv: t.recvReq, send: t.sendResp, pending: t.hasPending, retire: t.retireSess}
+	return t
+}
+
+// UseSleepRTT mirrors ChanTransport.UseSleepRTT.
+func (t *SchedChanTransport) UseSleepRTT(v bool) { t.sleepRTT = v }
+
+func (t *SchedChanTransport) recvReq(rf *ReqFrame) error {
+	select {
+	case r := <-t.in:
+		// Shallow copy is safe: the client blocks in Call until the
+		// response arrives.
+		*rf = *r
+		return nil
+	case <-t.bye:
+		return io.EOF
+	}
+}
+
+// sendResp deep-copies the executor's response into the transport-owned
+// frame before the handoff: unlike the 1:1 ChanTransport, the executor
+// moves on to other sessions immediately and will reuse its own frame and
+// arena while this client is still reading.
+func (t *SchedChanTransport) sendResp(wf *RespFrame) error {
+	copyRespFrame(&t.respBuf, wf)
+	select {
+	case t.out <- &t.respBuf:
+		return nil
+	case <-t.bye:
+		return errTransportClosed
+	}
+}
+
+func (t *SchedChanTransport) hasPending() bool {
+	select {
+	case <-t.bye:
+		return true
+	default:
+		return len(t.in) > 0
+	}
+}
+
+func (t *SchedChanTransport) retireSess() { close(t.done) }
+
+// Call implements Transport. A shed (runnable queue full or scheduler
+// closed) is surfaced as a locally synthesized StatusBusy response, just
+// as a remote transport would receive it on the wire.
+func (t *SchedChanTransport) Call(rf *ReqFrame, wf *RespFrame) error {
+	if t.rtt > 0 {
+		if t.sleepRTT {
+			time.Sleep(t.rtt)
+		} else {
+			storage.WaitFor(t.rtt)
+		}
+	}
+	t.reqBuf = *rf
+	select {
+	case t.in <- &t.reqBuf:
+	case <-t.done:
+		return errTransportClosed
+	}
+	if !t.sched.Submit(&t.ss) {
+		// Not admitted: the session is parked and we are its only
+		// producer, so the frame is still ours to take back and shed.
+		<-t.in
+		wf.setBusy(ShedQueueFull, t.sched.RetryAfter())
+		return nil
+	}
+	select {
+	case r := <-t.out:
+		*wf = *r
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+// Close implements Transport: it stops the session and waits for the
+// scheduler to retire it (the executor finishes any open transaction
+// first).
+func (t *SchedChanTransport) Close() error {
+	close(t.bye)
+	t.sched.Disconnect(&t.ss)
+	<-t.done
+	return nil
+}
+
+// copyRespFrame deep-copies src into dst, reusing dst's buffers where
+// possible. Row values are freshly allocated — scans are rare on this
+// path.
+func copyRespFrame(dst, src *RespFrame) {
+	dst.Batch = src.Batch
+	dst.Resps = sizeResps(dst.Resps, len(src.Resps))
+	for i := range src.Resps {
+		s := &src.Resps[i]
+		d := &dst.Resps[i]
+		d.Status, d.Cause = s.Status, s.Cause
+		d.Val = append(d.Val[:0], s.Val...)
+		d.Rows = d.Rows[:0]
+		for _, row := range s.Rows {
+			d.Rows = append(d.Rows, ScanRow{Key: row.Key, Val: append([]byte(nil), row.Val...)})
+		}
+	}
 }
 
 // --- TCP transport ---

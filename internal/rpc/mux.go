@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,8 +21,9 @@ import (
 // Treiber-stack/flusher pattern proven in internal/wal's group commit. A
 // connection announces multiplexing by leading with muxMagic.
 
-// errSessionClosed reports a server-side session close/rejection (worker
-// slots exhausted, or the session's state machine died).
+// errSessionClosed reports a server-side session close (the session's
+// state machine died — decode error, server restart). Admission failures
+// no longer close sessions; they answer StatusBusy (see ErrServerBusy).
 var errSessionClosed = errors.New("rpc: mux session closed by server")
 
 // --- shared coalescing writer ---
@@ -54,8 +56,8 @@ type muxWriter struct {
 	head atomic.Pointer[wnode]
 	idle atomic.Bool   // flusher parked (Dekker flag, see enqueue)
 	wake chan struct{} // cap 1
-	down atomic.Bool   // set (after failErr) on error or close
-	fail error
+	down atomic.Bool           // set (after fail is stored) on error or close
+	fail atomic.Pointer[error] // write-error cause; read by enqueuers after down
 	done chan struct{}
 }
 
@@ -66,8 +68,8 @@ func newMuxWriter(conn net.Conn) *muxWriter {
 }
 
 func (w *muxWriter) errOf() error {
-	if w.fail != nil {
-		return w.fail
+	if p := w.fail.Load(); p != nil {
+		return *p
 	}
 	return errTransportClosed
 }
@@ -137,7 +139,7 @@ func (w *muxWriter) run() {
 			n.inflight.Store(false)
 		}
 		if err != nil {
-			w.fail = err
+			w.fail.Store(&err)
 			w.down.Store(true)
 			w.conn.Close() // unblock the conn's reader as well
 			w.drainDown()
@@ -223,7 +225,7 @@ type MuxConn struct {
 	closed bool
 
 	smu     sync.RWMutex
-	sess    map[uint32]*MuxSession
+	sess    []*MuxSession // indexed by sid; sids are allocated densely
 	nextSID uint32
 }
 
@@ -235,7 +237,7 @@ func DialMux(addr string) (*MuxConn, error) {
 
 // DialMuxRetry opens a multiplexed connection under an explicit policy.
 func DialMuxRetry(addr string, rp RetryPolicy) (*MuxConn, error) {
-	mc := &MuxConn{addr: addr, retry: rp, sess: make(map[uint32]*MuxSession)}
+	mc := &MuxConn{addr: addr, retry: rp}
 	conn, err := mc.dial()
 	if err != nil {
 		return nil, err
@@ -298,8 +300,12 @@ func (mc *MuxConn) readLoop(conn net.Conn, w *muxWriter, failCh chan struct{}) {
 		w.close()
 		close(failCh)
 	}()
+	// Buffer the demux reads: under load many response frames queue behind
+	// each other, and one read syscall then delivers a batch of them instead
+	// of two syscalls (header + body) per frame.
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		sid, seq, body, err := readMuxHeader(conn)
+		sid, seq, body, err := readMuxHeader(br)
 		if err != nil {
 			mc.mu.Lock()
 			if mc.errv == nil {
@@ -309,10 +315,13 @@ func (mc *MuxConn) readLoop(conn net.Conn, w *muxWriter, failCh chan struct{}) {
 			return
 		}
 		mc.smu.RLock()
-		s := mc.sess[sid]
+		var s *MuxSession
+		if int(sid) < len(mc.sess) {
+			s = mc.sess[sid]
+		}
 		mc.smu.RUnlock()
 		if s == nil {
-			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+			if _, err := io.CopyN(io.Discard, br, int64(body)); err != nil {
 				return
 			}
 			continue
@@ -320,7 +329,7 @@ func (mc *MuxConn) readLoop(conn net.Conn, w *muxWriter, failCh chan struct{}) {
 		if cap(s.rbuf) < body {
 			s.rbuf = make([]byte, body)
 		}
-		if _, err := io.ReadFull(conn, s.rbuf[:body]); err != nil {
+		if _, err := io.ReadFull(br, s.rbuf[:body]); err != nil {
 			mc.mu.Lock()
 			if mc.errv == nil {
 				mc.errv = err
@@ -373,6 +382,9 @@ func (mc *MuxConn) NewSession() *MuxSession {
 		sid:  mc.nextSID,
 		ch:   make(chan muxDeliv, 1),
 		rbuf: make([]byte, 0, 4096),
+	}
+	for len(mc.sess) <= int(s.sid) {
+		mc.sess = append(mc.sess, nil)
 	}
 	mc.sess[s.sid] = s
 	mc.smu.Unlock()
@@ -469,7 +481,9 @@ func (s *MuxSession) call1(rf *ReqFrame, wf *RespFrame) error {
 // server (freeing its worker slot) and detaches from the conn.
 func (s *MuxSession) Close() error {
 	s.mc.smu.Lock()
-	delete(s.mc.sess, s.sid)
+	if int(s.sid) < len(s.mc.sess) {
+		s.mc.sess[s.sid] = nil
+	}
 	s.mc.smu.Unlock()
 	if w, _, err := s.mc.current(); err == nil {
 		s.wn.waitFree()
@@ -481,11 +495,22 @@ func (s *MuxSession) Close() error {
 
 // --- server side ---
 
-// srvMuxSess is the reader-side handle for one multiplexed session.
-type srvMuxSess struct {
-	in   chan srvMuxReq // request bodies (cap 1)
+// muxSchedSess is the server-side handle for one multiplexed session under
+// the M:N scheduler: the demux loop stages frames through in/back (buffer
+// ping-pong) and the executor pool runs the session's transactions. No
+// per-session goroutine, no leased worker slot — a mux conn can carry tens
+// of thousands of sessions over an executor pool of a few dozen.
+type muxSchedSess struct {
+	ss   SchedSession
+	w    *muxWriter
+	sid  uint32
+	in   chan srvMuxReq // staged request bodies (cap 1)
 	back chan []byte    // buffer return path (ping-pong, cap 2)
-	done chan struct{}  // closed when the session goroutine exits
+	bye  chan struct{}  // closed by demux: client close frame or conn death
+	done chan struct{}  // closed at retire
+	node wnode          // response frames (executor-owned)
+	cur  []byte         // buffer owned since the last recv (executor-side)
+	seq  uint32         // seq of the frame recv delivered last
 }
 
 type srvMuxReq struct {
@@ -493,129 +518,208 @@ type srvMuxReq struct {
 	seq uint32
 }
 
+func (m *muxSchedSess) recvFrame(rf *ReqFrame) error {
+	if m.cur != nil {
+		m.back <- m.cur
+		m.cur = nil
+	}
+	select {
+	case req := <-m.in:
+		m.cur, m.seq = req.buf, req.seq
+		return decodeReqFrame(m.cur, rf)
+	case <-m.bye:
+		return io.EOF
+	}
+}
+
+func (m *muxSchedSess) sendFrame(wf *RespFrame) error {
+	m.node.waitFree()
+	m.node.buf = appendMuxFrame(m.node.buf[:0], m.sid, m.seq, func(b []byte) []byte {
+		return appendRespFrameBody(b, wf)
+	})
+	return m.w.enqueue(&m.node)
+}
+
+func (m *muxSchedSess) hasPending() bool {
+	select {
+	case <-m.bye:
+		return true
+	default:
+		return len(m.in) > 0
+	}
+}
+
+func (m *muxSchedSess) retireSess() {
+	// Tell the client the session is gone so a waiting call fails fast
+	// instead of hanging until the conn dies (enqueue on a downed writer
+	// is a harmless error). done closes only after the close frame is
+	// queued, so the demux cannot hand frames to a sid the client does not
+	// yet know is dead.
+	n := &wnode{}
+	n.buf = appendMuxFrame(nil, m.sid, muxCloseSeq, nil)
+	_ = m.w.enqueue(n)
+	close(m.done)
+}
+
+// muxSessTable maps sid → session for one conn. Our client allocates sids
+// densely, so the hot lookup is a slice index; arbitrarily large sids
+// (legal on the wire, just not produced by our client) spill to a map.
+type muxSessTable struct {
+	dense  []*muxSchedSess
+	sparse map[uint32]*muxSchedSess
+}
+
+// muxDenseSIDLimit bounds the dense table so a hostile sid cannot force a
+// multi-gigabyte allocation (2^20 sids ≈ 8 MiB of slots per conn).
+const muxDenseSIDLimit = 1 << 20
+
+func (t *muxSessTable) get(sid uint32) *muxSchedSess {
+	if int(sid) < len(t.dense) {
+		return t.dense[sid]
+	}
+	return t.sparse[sid]
+}
+
+func (t *muxSessTable) put(sid uint32, m *muxSchedSess) {
+	if sid < muxDenseSIDLimit {
+		for len(t.dense) <= int(sid) {
+			t.dense = append(t.dense, nil)
+		}
+		t.dense[sid] = m
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[uint32]*muxSchedSess)
+	}
+	t.sparse[sid] = m
+}
+
+func (t *muxSessTable) del(sid uint32) {
+	if int(sid) < len(t.dense) {
+		t.dense[sid] = nil
+		return
+	}
+	delete(t.sparse, sid)
+}
+
+func (t *muxSessTable) each(fn func(*muxSchedSess)) {
+	for _, m := range t.dense {
+		if m != nil {
+			fn(m)
+		}
+	}
+	for _, m := range t.sparse {
+		fn(m)
+	}
+}
+
 // handleMux serves one multiplexed connection: the calling goroutine
-// demuxes request frames to per-session goroutines; a shared muxWriter
-// coalesces their responses. Each session leases a worker slot for its
-// lifetime; when no slot is free the session is rejected with a close
-// frame.
+// demuxes request frames onto per-session inboxes and submits the sessions
+// to the scheduler; a shared muxWriter coalesces the executors' responses.
+// Sessions past the scheduler's caps are answered StatusBusy (the seed
+// rejected them with a close frame when out of worker slots).
 func (s *Server) handleMux(conn net.Conn) {
 	w := newMuxWriter(conn)
 	// LIFO defers: close the conn first so a flusher stuck in a blocking
 	// write fails out before w.close joins it.
 	defer w.close()
 	defer conn.Close()
-	sessions := make(map[uint32]*srvMuxSess)
-	defer func() {
-		for _, ss := range sessions {
-			close(ss.in)
-		}
-	}()
+	var sessions muxSessTable
+	defer sessions.each(func(m *muxSchedSess) {
+		close(m.bye)
+		s.sched.Disconnect(&m.ss)
+	})
+	// Buffer the demux reads: under load many request frames queue behind
+	// each other, and one read syscall then delivers a batch of them instead
+	// of two syscalls (header + body) per frame.
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		sid, seq, body, err := readMuxHeader(conn)
+		sid, seq, body, err := readMuxHeader(br)
 		if err != nil {
 			return
 		}
 		obs.Metrics().RPCBytesIn.Add(uint64(12 + body))
-		ss := sessions[sid]
+		m := sessions.get(sid)
 		if seq == muxCloseSeq {
-			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+			if _, err := io.CopyN(io.Discard, br, int64(body)); err != nil {
 				return
 			}
-			if ss != nil {
-				close(ss.in)
-				delete(sessions, sid)
+			if m != nil {
+				close(m.bye)
+				s.sched.Disconnect(&m.ss)
+				sessions.del(sid)
 			}
 			continue
 		}
-		if ss == nil {
-			wid, ok := s.acquireWID()
-			if !ok {
-				// Out of worker slots: reject the session.
-				if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+		if m == nil {
+			if !s.sched.Register() {
+				// Session cap reached: shed the bind with a typed reply.
+				if _, err := io.CopyN(io.Discard, br, int64(body)); err != nil {
 					return
 				}
-				n := &wnode{}
-				n.buf = appendMuxFrame(nil, sid, muxCloseSeq, nil)
-				_ = w.enqueue(n)
+				s.muxShedReply(w, sid, seq)
 				continue
 			}
-			ss = &srvMuxSess{
+			m = &muxSchedSess{
+				w:    w,
+				sid:  sid,
 				in:   make(chan srvMuxReq, 1),
 				back: make(chan []byte, 2),
+				bye:  make(chan struct{}),
 				done: make(chan struct{}),
 			}
-			ss.back <- make([]byte, 0, 4096)
-			ss.back <- make([]byte, 0, 4096)
-			sessions[sid] = ss
-			go s.serveMuxSession(sid, wid, ss, w)
+			m.back <- make([]byte, 0, 4096)
+			m.back <- make([]byte, 0, 4096)
+			m.ss = SchedSession{recv: m.recvFrame, send: m.sendFrame, pending: m.hasPending, retire: m.retireSess}
+			sessions.put(sid, m)
 		}
 		var buf []byte
 		select {
-		case buf = <-ss.back:
-		case <-ss.done:
-			// Session state machine died with both buffers outstanding
-			// (misbehaving client); drop the session and the frame.
-			if _, err := io.CopyN(io.Discard, conn, int64(body)); err != nil {
+		case buf = <-m.back:
+		case <-m.done:
+			// Session retired with both buffers outstanding (misbehaving
+			// client); drop the session and the frame — a later frame with
+			// this sid starts a fresh session.
+			if _, err := io.CopyN(io.Discard, br, int64(body)); err != nil {
 				return
 			}
-			delete(sessions, sid)
+			sessions.del(sid)
 			continue
 		}
 		if cap(buf) < body {
 			buf = make([]byte, body)
 		}
 		buf = buf[:body]
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
 		select {
-		case ss.in <- srvMuxReq{buf: buf, seq: seq}:
-		case <-ss.done:
-			// Session state machine died (decode error etc.); it already
-			// sent the close frame. Forget it — a later frame with this
-			// sid starts a fresh session; the old buffers are garbage.
-			delete(sessions, sid)
+		case m.in <- srvMuxReq{buf: buf, seq: seq}:
+		case <-m.done:
+			// Session retired (decode error etc.); it already sent its
+			// close frame. Forget it — the old buffers are garbage.
+			sessions.del(sid)
+			continue
+		}
+		if !s.sched.Submit(&m.ss) {
+			// Not admitted: the session is parked and the demux is its
+			// only producer, so the frame is still ours to take back and
+			// shed.
+			req := <-m.in
+			m.back <- req.buf
+			s.muxShedReply(w, sid, seq)
 		}
 	}
 }
 
-// serveMuxSession runs one session's state machine against demuxed frames.
-func (s *Server) serveMuxSession(sid uint32, wid uint16, ss *srvMuxSess, w *muxWriter) {
-	defer s.releaseWID(wid)
-	sess := NewSession(s.Engine, s.DB, wid)
-	var node wnode
-	var cur []byte // buffer owned since the last recv
-	var seq uint32
-	err := sess.Serve(
-		func(rf *ReqFrame) error {
-			if cur != nil {
-				ss.back <- cur
-				cur = nil
-			}
-			req, ok := <-ss.in
-			if !ok {
-				return io.EOF
-			}
-			cur, seq = req.buf, req.seq
-			return decodeReqFrame(cur, rf)
-		},
-		func(wf *RespFrame) error {
-			node.waitFree()
-			node.buf = appendMuxFrame(node.buf[:0], sid, seq, func(b []byte) []byte {
-				return appendRespFrameBody(b, wf)
-			})
-			return w.enqueue(&node)
-		},
-	)
-	if err != nil {
-		// Tell the client its session is gone so a waiting call fails
-		// fast instead of hanging until the conn dies.
-		n := &wnode{}
-		n.buf = appendMuxFrame(nil, sid, muxCloseSeq, nil)
-		_ = w.enqueue(n)
-	}
-	// done closes only after the close frame is queued, so the reader
-	// cannot hand frames to a sid the client does not yet know is dead.
-	// Anything still queued in ss.in is dropped with the session.
-	close(ss.done)
+// muxShedReply queues a StatusBusy response for (sid, seq) on a transient
+// node (shed paths are not hot; the allocation is fine).
+func (s *Server) muxShedReply(w *muxWriter, sid, seq uint32) {
+	var wf RespFrame
+	wf.setBusy(ShedQueueFull, s.sched.RetryAfter())
+	n := &wnode{}
+	n.buf = appendMuxFrame(nil, sid, seq, func(b []byte) []byte {
+		return appendRespFrameBody(b, &wf)
+	})
+	_ = w.enqueue(n)
 }

@@ -22,6 +22,7 @@ package rpc
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // OpCode identifies a request type.
@@ -58,7 +59,46 @@ const (
 	// because an earlier sub-operation in the same frame aborted the
 	// transaction; Cause carries the aborting operation's cause.
 	StatusSkipped
+	// StatusBusy answers an OpBegin the server refused to admit (overload
+	// shedding). Cause carries a Shed* code and Val an 8-byte retry-after
+	// hint; no transaction was started, so the client may retry the whole
+	// attempt after backing off.
+	StatusBusy
 )
+
+// Shed causes carried in Response.Cause alongside StatusBusy. They live in
+// a separate namespace from abort causes: a busy response never carries an
+// abort cause and vice versa.
+const (
+	ShedQueueFull         uint8 = iota // runnable queue or session cap hit
+	ShedDeadlineInfeasible             // queued past the txn's slack budget
+)
+
+// shedCauseString names a shed cause for errors and metrics labels.
+func shedCauseString(c uint8) string {
+	switch c {
+	case ShedQueueFull:
+		return "queue-full"
+	case ShedDeadlineInfeasible:
+		return "deadline-infeasible"
+	}
+	return "unknown"
+}
+
+// appendRetryAfter encodes a retry-after hint as the 8-byte little-endian
+// nanosecond payload of a StatusBusy response.
+func appendRetryAfter(buf []byte, d time.Duration) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(d.Nanoseconds()))
+}
+
+// decodeRetryAfter extracts the retry-after hint from a StatusBusy
+// response value; zero if the payload is missing or short.
+func decodeRetryAfter(val []byte) time.Duration {
+	if len(val) < 8 {
+		return 0
+	}
+	return time.Duration(binary.LittleEndian.Uint64(val))
+}
 
 // batchable reports whether op may appear as a batched sub-operation.
 func batchable(op OpCode) bool {

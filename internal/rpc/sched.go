@@ -1,0 +1,445 @@
+package rpc
+
+// This file implements the M:N serving layer: M client sessions scheduled
+// onto N executor workers. A session no longer leases a worker slot (a
+// txn.Registry wid) for its lifetime — the fixed executor pool owns the
+// slots, and sessions are staged on a runnable queue when a frame arrives
+// for them. An executor dequeues a session, runs exactly one transaction
+// (the Begin frame through its terminal response) and parks the session
+// until its next frame. Because the executor blocks on the session's inbox
+// for mid-transaction frames, a session with an open transaction is sticky
+// to its executor by construction: the wound-wait context word, the lock
+// table's holder identity, and the arena all stay on one wid from Begin to
+// commit/abort.
+//
+// Overload behavior (the ROADMAP's "front door at scale" item):
+//   - MaxSessions caps registered sessions; surplus binds are answered
+//     StatusBusy instead of the seed's silent connection drop.
+//   - QueueCap bounds the runnable queue. Only transaction-initial frames
+//     are ever shed (mid-transaction frames go straight to the executor
+//     blocked in recv), so a shed never aborts admitted work.
+//   - SlackFactor sheds transactions whose queue wait already exceeded
+//     their deadline slack (Plor-RT's ResourceHint-scaled budget) before
+//     wasting an executor on them.
+//   - Shed replies carry a typed retry-after hint; clients surface
+//     ErrServerBusy and retry with jittered backoff.
+//
+// Fairness: the queue is FIFO and a session that still has input after its
+// transaction completes re-enters at the tail, so a chatty session cannot
+// starve others (round-robin at transaction granularity).
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/obs"
+)
+
+// SchedConfig parameterizes a Scheduler. The zero value is usable: every
+// field has a default.
+type SchedConfig struct {
+	// Executors is the worker-slot count N (default: all registry slots).
+	// Each executor owns one wid from the database's SlotPool.
+	Executors int
+	// MaxSessions caps concurrently registered sessions (0 = unlimited).
+	MaxSessions int
+	// QueueCap bounds the runnable queue: when this many sessions are
+	// already staged, new transactions are shed with StatusBusy
+	// (cause queue-full). 0 = DefaultQueueCap; negative = unbounded.
+	QueueCap int
+	// SlackFactor is the admission deadline budget in nanoseconds per
+	// ResourceHint unit: a fresh transaction whose queue wait exceeded
+	// SlackFactor×Hint is shed (cause deadline-infeasible) instead of
+	// dispatched. 0 disables deadline admission. This is the serving-layer
+	// reuse of Plor-RT's slack machinery: the same hint that stretches a
+	// transaction's wound-wait priority bounds how stale its dispatch may
+	// be.
+	SlackFactor uint64
+	// RetryAfter is the backoff hint carried in StatusBusy responses
+	// (default DefaultRetryAfter).
+	RetryAfter time.Duration
+}
+
+// DefaultQueueCap bounds the runnable queue when SchedConfig.QueueCap is 0.
+const DefaultQueueCap = 8192
+
+// DefaultRetryAfter is the shed-reply backoff hint when
+// SchedConfig.RetryAfter is 0.
+const DefaultRetryAfter = 2 * time.Millisecond
+
+// Session scheduling states. A session is parked (no frame pending, no
+// executor), ready (staged on the runnable queue or owned by an executor),
+// or dead. Transitions: parked→ready on frame arrival (Submit), ready→
+// parked when an executor finishes its transaction and no input is
+// pending, anything→dead on client disconnect or transport failure.
+const (
+	sessParked int32 = iota
+	sessReady
+	sessDead
+)
+
+// SchedSession is the scheduler's handle on one client session. The
+// transport that owns the session fills in the callbacks; the executor
+// that dequeues it is the only goroutine invoking recv/send (ownership is
+// handed over through the runnable queue).
+type SchedSession struct {
+	// recv blocks until the session's next frame (or io.EOF when the
+	// client is gone). send writes one response frame. pending reports
+	// whether recv would return without blocking (a frame is staged or the
+	// inbox is closed). retire releases transport resources; it is called
+	// exactly once, when the session dies.
+	recv    func(*ReqFrame) error
+	send    func(*RespFrame) error
+	pending func() bool
+	retire  func()
+
+	state   atomic.Int32
+	retired atomic.Bool
+	enqNS   atomic.Int64 // UnixNano of the last enqueue (sched-wait metric)
+	retryTS uint64       // wound-wait ts carried across executors on retry
+}
+
+// sessRing is a growable FIFO of sessions (the runnable queue). A ring
+// avoids the O(n) memmove a slice pop-front would cost at 10k sessions.
+type sessRing struct {
+	buf  []*SchedSession
+	head int
+	n    int
+}
+
+func (r *sessRing) push(ss *SchedSession) {
+	if r.n == len(r.buf) {
+		grown := make([]*SchedSession, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ss
+	r.n++
+}
+
+func (r *sessRing) pop() *SchedSession {
+	ss := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return ss
+}
+
+// Scheduler multiplexes sessions onto a fixed executor pool.
+type Scheduler struct {
+	engine cc.Engine
+	db     *cc.DB
+	cfg    SchedConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      sessRing
+	closed bool
+
+	sessions atomic.Int64 // registered sessions (MaxSessions admission)
+	shed     atomic.Uint64
+	wids     []uint16
+	wg       sync.WaitGroup
+}
+
+// NewScheduler starts an executor pool over engine e and database db. Each
+// executor checks a wid out of db.Slots() for its lifetime; cfg.Executors
+// beyond the slots still free is an error the constructor reports by
+// panicking (a config bug, not a runtime condition).
+func NewScheduler(e cc.Engine, db *cc.DB, cfg SchedConfig) *Scheduler {
+	if cfg.Executors <= 0 {
+		cfg.Executors = db.Reg.Workers()
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	sc := &Scheduler{engine: e, db: db, cfg: cfg}
+	sc.cond = sync.NewCond(&sc.mu)
+	pool := db.Slots()
+	for i := 0; i < cfg.Executors; i++ {
+		wid, ok := pool.Acquire()
+		if !ok {
+			for _, w := range sc.wids {
+				pool.Release(w)
+			}
+			panic("rpc: scheduler executor count exceeds free worker slots")
+		}
+		sc.wids = append(sc.wids, wid)
+	}
+	obs.SetSchedStats(func() obs.SchedStat {
+		sc.mu.Lock()
+		depth := sc.q.n
+		sc.mu.Unlock()
+		return obs.SchedStat{RunnableDepth: depth, Executors: cfg.Executors}
+	})
+	for _, wid := range sc.wids {
+		sc.wg.Add(1)
+		go sc.executor(wid)
+	}
+	return sc
+}
+
+// Executors returns the pool size N.
+func (sc *Scheduler) Executors() int { return sc.cfg.Executors }
+
+// RetryAfter returns the backoff hint transports put in shed replies.
+func (sc *Scheduler) RetryAfter() time.Duration { return sc.cfg.RetryAfter }
+
+// SchedStats is a point-in-time scheduler snapshot for tests and tooling.
+type SchedStats struct {
+	Sessions  int64  // registered sessions
+	Runnable  int    // sessions staged on the queue
+	Shed      uint64 // transactions refused admission (all causes)
+	Executors int
+}
+
+// Stats snapshots the scheduler.
+func (sc *Scheduler) Stats() SchedStats {
+	sc.mu.Lock()
+	depth := sc.q.n
+	sc.mu.Unlock()
+	return SchedStats{
+		Sessions:  sc.sessions.Load(),
+		Runnable:  depth,
+		Shed:      sc.shed.Load(),
+		Executors: sc.cfg.Executors,
+	}
+}
+
+// Register admits a new session; false means the session cap is reached
+// (or the scheduler closed) and the transport must answer StatusBusy.
+func (sc *Scheduler) Register() bool {
+	sc.mu.Lock()
+	closed := sc.closed
+	sc.mu.Unlock()
+	if closed {
+		return false
+	}
+	if maxS := sc.cfg.MaxSessions; maxS > 0 {
+		for {
+			n := sc.sessions.Load()
+			if n >= int64(maxS) {
+				sc.shed.Add(1)
+				obs.Metrics().AdmissionRejectsQueueFull.Add(1)
+				return false
+			}
+			if sc.sessions.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		sc.sessions.Add(1)
+	}
+	obs.Metrics().SessionsActive.Add(1)
+	return true
+}
+
+// Submit stages ss for dispatch after the caller delivered a frame to its
+// inbox. It returns false when admission failed (runnable queue at
+// QueueCap, or scheduler closed): the session is back in parked state, the
+// caller still owns the delivered frame and must take it back and shed it
+// with a StatusBusy reply. A session already ready (its executor will
+// consume the frame) or dead returns true with no effect — mid-transaction
+// frames are never shed.
+func (sc *Scheduler) Submit(ss *SchedSession) bool {
+	if !ss.state.CompareAndSwap(sessParked, sessReady) {
+		return true
+	}
+	if sc.enqueue(ss, true) {
+		return true
+	}
+	// Not admitted: return to parked. The CAS loses only against a
+	// concurrent Disconnect (dead stays dead).
+	ss.state.CompareAndSwap(sessReady, sessParked)
+	sc.shed.Add(1)
+	obs.Metrics().AdmissionRejectsQueueFull.Add(1)
+	return false
+}
+
+// enqueue pushes ss onto the runnable queue. With admission it enforces
+// QueueCap and the closed flag; requeues by executors bypass both — a
+// session already holding a delivered frame is never dropped, which also
+// bounds the queue by construction (one queue presence per session).
+func (sc *Scheduler) enqueue(ss *SchedSession, admission bool) bool {
+	sc.mu.Lock()
+	if admission && (sc.closed || (sc.cfg.QueueCap > 0 && sc.q.n >= sc.cfg.QueueCap)) {
+		sc.mu.Unlock()
+		return false
+	}
+	ss.enqNS.Store(time.Now().UnixNano())
+	sc.q.push(ss)
+	sc.mu.Unlock()
+	sc.cond.Signal()
+	obs.Metrics().SessionsQueued.Add(1)
+	return true
+}
+
+// dequeue blocks for the next runnable session; nil means the scheduler
+// closed and the queue is drained.
+func (sc *Scheduler) dequeue() *SchedSession {
+	sc.mu.Lock()
+	for sc.q.n == 0 && !sc.closed {
+		sc.cond.Wait()
+	}
+	if sc.q.n == 0 {
+		sc.mu.Unlock()
+		return nil
+	}
+	ss := sc.q.pop()
+	sc.mu.Unlock()
+	obs.Metrics().SessionsQueued.Add(-1)
+	return ss
+}
+
+// Disconnect marks ss dead from the transport side (client gone). A parked
+// session is retired immediately; a ready session is retired by its
+// executor when recv/send fails or at finish.
+func (sc *Scheduler) Disconnect(ss *SchedSession) {
+	for {
+		switch ss.state.Load() {
+		case sessDead:
+			return
+		case sessParked:
+			if ss.state.CompareAndSwap(sessParked, sessDead) {
+				sc.retireSession(ss)
+				return
+			}
+		default:
+			// Ready: the executor path owns retirement. Its recv will fail
+			// (the transport closed the inbox) or finish will observe
+			// dead. A failed CAS means the executor just parked it —
+			// re-examine.
+			if ss.state.CompareAndSwap(sessReady, sessDead) {
+				return
+			}
+		}
+	}
+}
+
+// retireSession releases a dead session exactly once.
+func (sc *Scheduler) retireSession(ss *SchedSession) {
+	ss.state.Store(sessDead)
+	if !ss.retired.CompareAndSwap(false, true) {
+		return
+	}
+	sc.sessions.Add(-1)
+	obs.Metrics().SessionsActive.Add(-1)
+	if ss.retire != nil {
+		ss.retire()
+	}
+}
+
+// finish returns a session to the pool after its transaction completed.
+// Round-robin fairness: a session with more input goes to the tail of the
+// queue, behind every session that was already waiting.
+func (sc *Scheduler) finish(ss *SchedSession) {
+	if ss.pending() {
+		if ss.state.Load() == sessDead {
+			sc.retireSession(ss)
+			return
+		}
+		sc.enqueue(ss, false)
+		return
+	}
+	if !ss.state.CompareAndSwap(sessReady, sessParked) {
+		// Disconnected while we ran it.
+		sc.retireSession(ss)
+		return
+	}
+	// A frame may have arrived between the pending check and the park; its
+	// Submit saw the ready state and did nothing, so re-check ourselves.
+	if ss.pending() && ss.state.CompareAndSwap(sessParked, sessReady) {
+		sc.enqueue(ss, false)
+	}
+}
+
+// executor is one worker of the pool: it owns wid (and therefore one
+// txn.Ctx, one lock-table identity, one arena) and serves dequeued
+// sessions one transaction at a time.
+func (sc *Scheduler) executor(wid uint16) {
+	defer sc.wg.Done()
+	sess := NewSession(sc.engine, sc.db, wid)
+	var rf ReqFrame
+	var wf RespFrame
+	for {
+		ss := sc.dequeue()
+		if ss == nil {
+			return
+		}
+		wait := time.Duration(time.Now().UnixNano() - ss.enqNS.Load())
+		obs.Metrics().SchedWait(wait)
+		if err := ss.recv(&rf); err != nil {
+			sc.retireSession(ss)
+			continue
+		}
+		// Deadline admission (Plor-RT slack): shed a fresh transaction
+		// whose queue wait already blew its hint-scaled budget. This runs
+		// before the engine allocates a timestamp, so shedding never
+		// perturbs wound-wait ordering among admitted transactions.
+		if sc.cfg.SlackFactor > 0 && !rf.Batch && len(rf.Reqs) == 1 {
+			if r := &rf.Reqs[0]; r.Op == OpBegin && r.First && r.Hint > 0 &&
+				wait > time.Duration(sc.cfg.SlackFactor*uint64(r.Hint)) {
+				sc.shed.Add(1)
+				obs.Metrics().AdmissionRejectsDeadline.Add(1)
+				wf.setBusy(ShedDeadlineInfeasible, sc.cfg.RetryAfter)
+				if ss.send(&wf) != nil {
+					sc.retireSession(ss)
+					continue
+				}
+				sc.finish(ss)
+				continue
+			}
+		}
+		retryTS := uint64(0)
+		if !rf.Batch && len(rf.Reqs) == 1 && rf.Reqs[0].Op == OpBegin && !rf.Reqs[0].First {
+			// Retried transaction, possibly first-attempted on another
+			// executor: hand its original wound-wait timestamp to this
+			// wid so aging (oldest-wins) survives the migration.
+			retryTS = ss.retryTS
+		}
+		nextTS, err := sess.ServeTxn(&rf, &wf, retryTS, ss.recv, ss.send)
+		if err != nil {
+			sc.retireSession(ss)
+			continue
+		}
+		ss.retryTS = nextTS
+		sc.finish(ss)
+	}
+}
+
+// Close shuts the scheduler down: executors drain the runnable queue, then
+// exit and return their worker slots. Terminal — a closed scheduler sheds
+// every new Submit. Server.Close does NOT close its scheduler (a closed
+// server may Listen again); Server.Shutdown does.
+func (sc *Scheduler) Close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	sc.mu.Unlock()
+	sc.cond.Broadcast()
+	sc.wg.Wait()
+	pool := sc.db.Slots()
+	for _, wid := range sc.wids {
+		pool.Release(wid)
+	}
+	sc.wids = nil
+	obs.SetSchedStats(nil)
+}
+
+// setBusy makes wf a single StatusBusy response carrying a shed cause and
+// a retry-after hint.
+func (wf *RespFrame) setBusy(cause uint8, retryAfter time.Duration) {
+	wf.Batch = false
+	wf.Resps = sizeResps(wf.Resps, 1)
+	wf.Resps[0] = Response{Status: StatusBusy, Cause: cause, Val: appendRetryAfter(nil, retryAfter)}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/txn"
 )
 
 // errClientAbort signals a client-requested rollback inside a session proc.
@@ -29,6 +30,7 @@ var errReported = errors.New("rpc: terminal status already reported")
 type Session struct {
 	db       *cc.DB
 	worker   cc.Worker
+	wid      uint16
 	tables   []*cc.Table
 	rows     []ScanRow
 	arena    *cc.Arena // batch read results (see applyBatch)
@@ -40,6 +42,7 @@ func NewSession(e cc.Engine, db *cc.DB, wid uint16) *Session {
 	return &Session{
 		db:     db,
 		worker: e.NewWorker(db, wid, false),
+		wid:    wid,
 		tables: db.Tables(),
 		rows:   make([]ScanRow, 0, 256),
 		arena:  cc.NewArena(16 << 10),
@@ -70,97 +73,120 @@ func (s *Session) Serve(recv func(*ReqFrame) error, send func(*RespFrame) error)
 			}
 			return err
 		}
-		if rf.Batch || len(rf.Reqs) != 1 || rf.Reqs[0].Op != OpBegin {
-			wf.setSingle(Response{Status: StatusError})
-			if err := send(&wf); err != nil {
-				return err
-			}
-			continue
-		}
-		req := &rf.Reqs[0]
-		opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint)}
-		first := req.First
-		if first {
-			s.txnStart = time.Now()
-		} else {
-			obs.Metrics().Retries.Add(1)
-		}
-
-		var commErr error
-		err := s.worker.Attempt(func(tx cc.Tx) error {
-			wf.setSingle(Response{Status: StatusOK})
-			if commErr = send(&wf); commErr != nil {
-				return commErr
-			}
-			for {
-				if commErr = recv(&rf); commErr != nil {
-					return commErr // connection lost: roll back
-				}
-				if rf.Batch {
-					abort := s.applyBatch(tx, &rf, &wf)
-					if abort == nil {
-						// Batch boundary = the engine's best estimate of the
-						// last-write point: let early-lock-release engines
-						// retire before the client's next round trip.
-						if er, ok := tx.(cc.EarlyReleaser); ok {
-							er.ReleaseEarly()
-						}
-					}
-					if commErr = send(&wf); commErr != nil {
-						return commErr
-					}
-					if abort != nil {
-						return abort
-					}
-					continue
-				}
-				req := &rf.Reqs[0]
-				switch req.Op {
-				case OpCommit:
-					return nil
-				case OpAbort:
-					return errClientAbort
-				default:
-					wf.Batch = false
-					wf.Resps = sizeResps(wf.Resps, 1)
-					abort := s.apply(tx, req, &wf.Resps[0])
-					if commErr = send(&wf); commErr != nil {
-						return commErr
-					}
-					if abort != nil {
-						return abort
-					}
-				}
-			}
-		}, first, opts)
-
-		if commErr != nil {
-			return commErr // transport failed mid-transaction
-		}
-		switch {
-		case err == nil:
-			// Reply to the OpCommit that ended the proc.
-			wf.setSingle(Response{Status: StatusOK})
-			obs.Metrics().TxnCommit(time.Since(s.txnStart))
-		case errors.Is(err, errReported):
-			// The terminal status went out on the failing operation's
-			// response; loop for the next Begin.
-			continue
-		case errors.Is(err, errClientAbort):
-			wf.setSingle(Response{Status: StatusAborted}) // acknowledged rollback
-			obs.Metrics().TxnAbort(stats.CauseOther)
-		case cc.IsAborted(err):
-			// Aborted at commit; forward the engine's classification.
-			cause := cc.CauseOf(err)
-			wf.setSingle(Response{Status: StatusAborted, Cause: uint8(cause)})
-			obs.Metrics().TxnAbort(cause)
-		default:
-			wf.setSingle(Response{Status: StatusError})
-		}
-		if err := send(&wf); err != nil {
+		if _, err := s.ServeTxn(&rf, &wf, 0, recv, send); err != nil {
 			return err
 		}
 	}
+}
+
+// ServeTxn runs one transaction: rf must hold its opening frame (normally
+// an OpBegin; anything else is answered StatusError), and the method
+// drives recv/send through the terminal response. It is the scheduling
+// unit of the M:N serving layer — an executor dispatches a session for
+// exactly one ServeTxn, so a session holds a worker slot only while a
+// transaction is actually open.
+//
+// retryTS, when nonzero, seeds the attempt's wound-wait timestamp
+// (cc.AttemptOpts.RetryTS): a retried transaction dispatched to a
+// different executor than its first attempt keeps its original priority.
+// The returned ts is the timestamp to carry into the next retry (nonzero
+// only when the transaction ended in a retryable abort). The returned
+// error is non-nil only for transport failure — the session is dead.
+func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv func(*ReqFrame) error, send func(*RespFrame) error) (uint64, error) {
+	if rf.Batch || len(rf.Reqs) != 1 || rf.Reqs[0].Op != OpBegin {
+		wf.setSingle(Response{Status: StatusError})
+		return 0, send(wf)
+	}
+	req := &rf.Reqs[0]
+	opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint), RetryTS: retryTS}
+	first := req.First
+	if first {
+		s.txnStart = time.Now()
+	} else {
+		obs.Metrics().Retries.Add(1)
+	}
+
+	var commErr error
+	err := s.worker.Attempt(func(tx cc.Tx) error {
+		wf.setSingle(Response{Status: StatusOK})
+		if commErr = send(wf); commErr != nil {
+			return commErr
+		}
+		for {
+			if commErr = recv(rf); commErr != nil {
+				return commErr // connection lost: roll back
+			}
+			if rf.Batch {
+				abort := s.applyBatch(tx, rf, wf)
+				if abort == nil {
+					// Batch boundary = the engine's best estimate of the
+					// last-write point: let early-lock-release engines
+					// retire before the client's next round trip.
+					if er, ok := tx.(cc.EarlyReleaser); ok {
+						er.ReleaseEarly()
+					}
+				}
+				if commErr = send(wf); commErr != nil {
+					return commErr
+				}
+				if abort != nil {
+					return abort
+				}
+				continue
+			}
+			req := &rf.Reqs[0]
+			switch req.Op {
+			case OpCommit:
+				return nil
+			case OpAbort:
+				return errClientAbort
+			default:
+				wf.Batch = false
+				wf.Resps = sizeResps(wf.Resps, 1)
+				abort := s.apply(tx, req, &wf.Resps[0])
+				if commErr = send(wf); commErr != nil {
+					return commErr
+				}
+				if abort != nil {
+					return abort
+				}
+			}
+		}
+	}, first, opts)
+
+	if commErr != nil {
+		return 0, commErr // transport failed mid-transaction
+	}
+	switch {
+	case err == nil:
+		// Reply to the OpCommit that ended the proc.
+		wf.setSingle(Response{Status: StatusOK})
+		obs.Metrics().TxnCommit(time.Since(s.txnStart))
+		return 0, send(wf)
+	case errors.Is(err, errReported):
+		// The terminal status went out on the failing operation's
+		// response; nothing more to send.
+		return s.attemptTS(), nil
+	case errors.Is(err, errClientAbort):
+		wf.setSingle(Response{Status: StatusAborted}) // acknowledged rollback
+		obs.Metrics().TxnAbort(stats.CauseOther)
+	case cc.IsAborted(err):
+		// Aborted at commit; forward the engine's classification.
+		cause := cc.CauseOf(err)
+		wf.setSingle(Response{Status: StatusAborted, Cause: uint8(cause)})
+		obs.Metrics().TxnAbort(cause)
+	default:
+		wf.setSingle(Response{Status: StatusError})
+	}
+	return s.attemptTS(), send(wf)
+}
+
+// attemptTS reads the wound-wait timestamp of the attempt that just ended
+// on this session's worker slot, for carryover into a retry that may run
+// on another executor. Engines that never seed from AttemptOpts.RetryTS
+// (Silo, TicToc, MOCC) ignore the value.
+func (s *Session) attemptTS() uint64 {
+	return txn.TS(s.db.Reg.Ctx(s.wid).Load())
 }
 
 // applyBatch executes a multi-op frame's sub-operations in order. The first
@@ -286,24 +312,37 @@ func (s *Session) applyScan(tx cc.Tx, t *cc.Table, req *Request, resp *Response)
 
 // --- TCP server ---
 
-// Server accepts TCP connections, binding each plain connection (or each
-// multiplexed session) to a worker slot.
+// Server accepts TCP connections and serves their sessions — plain (one
+// session per conn) or multiplexed (many per conn) — through an M:N
+// Scheduler: sessions are admitted without leasing a worker slot, and a
+// fixed executor pool runs their transactions.
 type Server struct {
 	Engine cc.Engine
 	DB     *cc.DB
 
+	sched *Scheduler
+
 	mu      sync.Mutex
-	nextWID uint16
-	freeWID []uint16
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
 	closing bool
 }
 
-// NewServer builds a TCP server over an engine and database.
+// NewServer builds a TCP server over an engine and database with default
+// scheduling (an executor per registry slot, DefaultQueueCap, no session
+// cap).
 func NewServer(e cc.Engine, db *cc.DB) *Server {
-	return &Server{Engine: e, DB: db}
+	return NewServerSched(e, db, SchedConfig{})
 }
+
+// NewServerSched builds a TCP server with an explicit scheduler config.
+func NewServerSched(e cc.Engine, db *cc.DB, cfg SchedConfig) *Server {
+	return &Server{Engine: e, DB: db, sched: NewScheduler(e, db, cfg)}
+}
+
+// Scheduler exposes the serving layer (stats, Submit for in-process
+// transports).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:7070"). It returns the
 // bound address (useful with port 0). A closed server may Listen again —
@@ -327,7 +366,10 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Close stops the listener and severs every live connection, so in-flight
-// sessions observe the shutdown instead of lingering on open sockets.
+// sessions observe the shutdown instead of lingering on open sockets. The
+// scheduler keeps running: a closed server may Listen again and sessions
+// from the previous incarnation wind down through the executor pool while
+// new ones connect. Use Shutdown for a terminal stop.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closing = true
@@ -344,6 +386,15 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	return err
+}
+
+// Shutdown closes the server and its scheduler (terminal): conns are
+// severed, executors drain the runnable queue, exit, and return their
+// worker slots.
+func (s *Server) Shutdown() error {
+	err := s.Close()
+	s.sched.Close()
 	return err
 }
 
@@ -364,33 +415,6 @@ func (s *Server) track(conn net.Conn) bool {
 func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
-	s.mu.Unlock()
-}
-
-// acquireWID leases a worker slot, reusing released slots before minting
-// new ones so a long-lived server survives any number of client
-// connect/disconnect cycles (the seed's monotonic counter exhausted the
-// registry after Workers() connections total).
-func (s *Server) acquireWID() (uint16, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := len(s.freeWID); n > 0 {
-		wid := s.freeWID[n-1]
-		s.freeWID = s.freeWID[:n-1]
-		return wid, true
-	}
-	if int(s.nextWID) >= s.DB.Reg.Workers() {
-		return 0, false
-	}
-	s.nextWID++
-	return s.nextWID, true
-}
-
-// releaseWID returns a slot to the pool. Call only after the slot's
-// session has fully stopped (Serve returned).
-func (s *Server) releaseWID(wid uint16) {
-	s.mu.Lock()
-	s.freeWID = append(s.freeWID, wid)
 	s.mu.Unlock()
 }
 
@@ -439,17 +463,123 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.handlePlain(conn, pre)
 }
 
+// handlePlain serves one plain (non-multiplexed) connection as one
+// scheduled session. The connection's goroutine only reads frames and
+// stages them for the executor pool; the executor that dequeues the
+// session decodes, executes, and writes responses. Where the seed dropped
+// connections past the worker-slot count on the floor ("out of worker
+// slots"), admission failures now answer a typed StatusBusy frame with a
+// retry-after hint.
 func (s *Server) handlePlain(conn net.Conn, pre [8]byte) {
 	defer conn.Close()
-	wid, ok := s.acquireWID()
-	if !ok {
-		return // out of worker slots
-	}
-	defer s.releaseWID(wid)
-	sess := NewSession(s.Engine, s.DB, wid)
 	fr := newFramer(conn)
 	fr.r = io.MultiReader(bytes.NewReader(pre[:]), conn)
-	_ = sess.Serve(fr.readReqFrame, fr.writeRespFrame)
+	if !s.sched.Register() {
+		// Session cap: answer the in-flight Begin with busy, then hang up.
+		var wf RespFrame
+		wf.setBusy(ShedQueueFull, s.sched.RetryAfter())
+		_ = fr.writeRespFrame(&wf)
+		return
+	}
+	p := &plainSess{fr: fr, conn: conn, sched: s.sched,
+		in:   make(chan []byte, 1),
+		back: make(chan []byte, 2),
+		bye:  make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.back <- make([]byte, 0, 4096)
+	p.back <- make([]byte, 0, 4096)
+	p.ss = SchedSession{recv: p.recvFrame, send: p.sendFrame, pending: p.hasPending, retire: p.retireSess}
+	p.deliverLoop()
+}
+
+// plainSess adapts a plain TCP connection to a SchedSession: raw frame
+// bodies ping-pong between the conn reader (deliverLoop) and the executor
+// through in/back (two buffers, so the reader can stage the next frame
+// while the executor still decodes the previous one — same scheme as the
+// mux path).
+type plainSess struct {
+	ss    SchedSession
+	fr    *framer
+	conn  net.Conn
+	sched *Scheduler
+	in    chan []byte   // staged frame bodies (cap 1)
+	back  chan []byte   // buffer return path (cap 2)
+	bye   chan struct{} // closed by deliverLoop when the conn dies
+	done  chan struct{} // closed at retire
+	cur   []byte        // buffer owned since the last recv (executor-side)
+}
+
+func (p *plainSess) recvFrame(rf *ReqFrame) error {
+	if p.cur != nil {
+		p.back <- p.cur
+		p.cur = nil
+	}
+	select {
+	case b := <-p.in:
+		p.cur = b
+		return decodeReqFrame(b, rf)
+	case <-p.bye:
+		return io.EOF
+	}
+}
+
+// sendFrame shares the framer with deliverLoop's shed replies; the two
+// never write concurrently (the deliverer writes only while the session is
+// parked with no executor attached).
+func (p *plainSess) sendFrame(wf *RespFrame) error { return p.fr.writeRespFrame(wf) }
+
+func (p *plainSess) hasPending() bool {
+	select {
+	case <-p.bye:
+		return true
+	default:
+		return len(p.in) > 0
+	}
+}
+
+func (p *plainSess) retireSess() {
+	p.conn.Close()
+	close(p.done)
+}
+
+// deliverLoop reads frames off the connection and stages them for the
+// executor pool until the conn dies, then hands the session to the
+// scheduler for retirement and waits for it to quiesce.
+func (p *plainSess) deliverLoop() {
+	defer func() {
+		close(p.bye)
+		p.sched.Disconnect(&p.ss)
+		<-p.done
+	}()
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.back:
+		case <-p.done:
+			return
+		}
+		buf, err := p.fr.readFrameInto(buf)
+		if err != nil {
+			p.back <- buf
+			return
+		}
+		select {
+		case p.in <- buf:
+		case <-p.done:
+			return
+		}
+		if !p.sched.Submit(&p.ss) {
+			// Not admitted: the session is parked and we are its only
+			// producer, so the frame is still ours to take back and shed.
+			p.back <- <-p.in
+			var wf RespFrame
+			wf.setBusy(ShedQueueFull, p.sched.RetryAfter())
+			if p.fr.writeRespFrame(&wf) != nil {
+				return
+			}
+		}
+	}
 }
 
 // framer reads/writes length-prefixed frames on a net.Conn.
@@ -479,6 +609,29 @@ func (f *framer) readFrame() ([]byte, error) {
 	buf := f.rbuf[:n]
 	if _, err := io.ReadFull(f.r, buf); err != nil {
 		return nil, err
+	}
+	obs.Metrics().RPCBytesIn.Add(uint64(4 + n))
+	return buf, nil
+}
+
+// readFrameInto reads one length-prefixed frame body into buf (growing it
+// as needed) and returns the filled slice — readFrame with caller-owned
+// buffering, for the ping-pong delivery path.
+func (f *framer) readFrameInto(buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrameBytes {
+		return buf, fmt.Errorf("rpc: frame length %d exceeds limit %d", n, MaxFrameBytes)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		return buf, err
 	}
 	obs.Metrics().RPCBytesIn.Add(uint64(4 + n))
 	return buf, nil

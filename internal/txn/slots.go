@@ -1,0 +1,70 @@
+package txn
+
+import "sync"
+
+// SlotPool hands out worker ids (registry slots) to executors whose
+// lifetime is decoupled from client connections. The M:N serving layer
+// acquires a slot per executor at pool start and releases it at shutdown,
+// instead of leasing one per session at bind time — that is what lets a
+// 63-slot registry serve tens of thousands of sessions.
+//
+// The pool is a simple mutex-guarded free list: acquire/release happen
+// once per executor lifetime, never on a transaction path.
+type SlotPool struct {
+	mu   sync.Mutex
+	free []uint16
+	size int
+}
+
+// NewSlotPool creates a pool over the inclusive wid range [lo, hi].
+func NewSlotPool(lo, hi uint16) *SlotPool {
+	if lo < 1 || hi > MaxWorkers || lo > hi {
+		panic("txn: SlotPool range outside [1, MaxWorkers]")
+	}
+	p := &SlotPool{size: int(hi-lo) + 1}
+	p.free = make([]uint16, 0, p.size)
+	// Hand out low wids first: deterministic and matches the 1:1 layout.
+	for wid := hi; wid >= lo; wid-- {
+		p.free = append(p.free, wid)
+	}
+	return p
+}
+
+// Acquire checks out a wid; ok is false when the pool is exhausted.
+func (p *SlotPool) Acquire() (wid uint16, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	wid = p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return wid, true
+}
+
+// Release returns a wid to the pool. Releasing a wid that is already free
+// (or outside the pool) is a caller bug and panics rather than silently
+// double-allocating a registry slot.
+func (p *SlotPool) Release(wid uint16) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.size {
+		panic("txn: SlotPool release overflow (double release?)")
+	}
+	for _, w := range p.free {
+		if w == wid {
+			panic("txn: SlotPool double release")
+		}
+	}
+	p.free = append(p.free, wid)
+}
+
+// Free reports how many slots are currently available.
+func (p *SlotPool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Size reports the pool's total slot count.
+func (p *SlotPool) Size() int { return p.size }

@@ -1,0 +1,50 @@
+package txn
+
+import "testing"
+
+func TestSlotPoolAcquireRelease(t *testing.T) {
+	p := NewSlotPool(1, 4)
+	if p.Size() != 4 || p.Free() != 4 {
+		t.Fatalf("size=%d free=%d, want 4/4", p.Size(), p.Free())
+	}
+	seen := map[uint16]bool{}
+	for i := 0; i < 4; i++ {
+		wid, ok := p.Acquire()
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		if wid < 1 || wid > 4 || seen[wid] {
+			t.Fatalf("bad wid %d (seen=%v)", wid, seen)
+		}
+		seen[wid] = true
+	}
+	if _, ok := p.Acquire(); ok {
+		t.Fatal("acquire succeeded on exhausted pool")
+	}
+	p.Release(3)
+	if wid, ok := p.Acquire(); !ok || wid != 3 {
+		t.Fatalf("reacquire got %d/%v, want 3/true", wid, ok)
+	}
+}
+
+func TestSlotPoolLowWidsFirst(t *testing.T) {
+	p := NewSlotPool(1, 8)
+	for want := uint16(1); want <= 8; want++ {
+		wid, ok := p.Acquire()
+		if !ok || wid != want {
+			t.Fatalf("acquire got %d/%v, want %d", wid, ok, want)
+		}
+	}
+}
+
+func TestSlotPoolDoubleReleasePanics(t *testing.T) {
+	p := NewSlotPool(1, 2)
+	p.Acquire()
+	p.Release(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(1)
+}

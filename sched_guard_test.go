@@ -1,0 +1,173 @@
+package repro
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+func guardU64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func guardDecode(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// TestSchedSaturationGuard is the overload regression guard for the M:N
+// serving layer: far more closed-loop sessions than the runnable queue
+// admits must SHED (typed StatusBusy, counted by the client), not collapse
+// (admitted throughput stays up) and not queue without bound (admitted-txn
+// p999 stays orders of magnitude below the run length). Every admitted
+// transaction must be durable exactly once — a silent drop or a double
+// apply shows up as a per-session counter mismatch. Skipped under -short
+// and under the race detector (instrumentation distorts the timing).
+func TestSchedSaturationGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard: needs real measurement time")
+	}
+	if raceEnabled {
+		t.Skip("timing guard: race instrumentation distorts the measurement")
+	}
+	const (
+		sessions  = 48
+		executors = 2
+		queueCap  = 4
+		baseKey   = uint64(1000)
+		runFor    = 300 * time.Millisecond
+		p999Bound = 250 * time.Millisecond
+		minTxns   = 200
+	)
+	e := core.New(core.Options{})
+	ccdb := cc.NewDB(4, e.TableOpts())
+	tbl := ccdb.CreateTable("t", 8, cc.OrderedIndex, 256)
+	for s := 0; s < sessions; s++ {
+		ccdb.LoadRecord(tbl, baseKey+uint64(s), guardU64(0))
+	}
+	sched := rpc.NewScheduler(e, ccdb, rpc.SchedConfig{
+		Executors: executors, QueueCap: queueCap, RetryAfter: 500 * time.Microsecond})
+	defer sched.Close()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sheds     atomic.Int64
+	)
+	commits := make([]uint64, sessions)
+	deadline := time.Now().Add(runFor)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		tr := rpc.NewSchedChanTransport(sched, 0)
+		if tr == nil {
+			t.Fatal("register refused")
+		}
+		wg.Add(1)
+		go func(s int, tr *rpc.SchedChanTransport) {
+			defer wg.Done()
+			defer tr.Close()
+			// Interactive per-op frames: each transaction holds its executor
+			// across several round trips, so offered load far exceeds the
+			// pool's capacity and the queue-full path must engage.
+			w := rpc.NewClientWorker(tr, ccdb.Tables(), uint16(s%60+1))
+			key := baseKey + uint64(s)
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				first := true
+				for {
+					t0 := time.Now()
+					err := w.Attempt(func(tx cc.Tx) error {
+						v, err := tx.ReadForUpdate(tbl, key)
+						if err != nil {
+							return err
+						}
+						return tx.Update(tbl, key, guardU64(guardDecode(v)+1))
+					}, first, cc.AttemptOpts{})
+					if err == nil {
+						local = append(local, time.Since(t0))
+						commits[s]++
+						break
+					}
+					var busy *rpc.ErrServerBusy
+					if errors.As(err, &busy) {
+						sheds.Add(1)
+						d := busy.RetryAfter
+						if d <= 0 || d > 2*time.Millisecond {
+							d = 500 * time.Microsecond
+						}
+						time.Sleep(d)
+						continue // Begin was refused: the txn never started
+					}
+					if cc.IsAborted(err) {
+						first = false
+						continue
+					}
+					t.Errorf("session %d: unexpected error: %v", s, err)
+					return
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(s, tr)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, c := range commits {
+		total += c
+	}
+	if total < minTxns {
+		t.Fatalf("overloaded scheduler collapsed: %d admitted txns in %v (want >= %d)", total, runFor, minTxns)
+	}
+	if sheds.Load() == 0 {
+		t.Fatalf("offered load %dx the queue cap never shed: admission control is not engaging", sessions/queueCap)
+	}
+
+	// Exactly-once accounting: each session's private counter must equal its
+	// commit count — a silently dropped (or doubly applied) admitted txn
+	// breaks the equality.
+	vtr := rpc.NewSchedChanTransport(sched, 0)
+	if vtr == nil {
+		t.Fatal("verify register refused")
+	}
+	defer vtr.Close()
+	vw := rpc.NewClientWorker(vtr, ccdb.Tables(), 60)
+	for s := 0; s < sessions; s++ {
+		var got uint64
+		err := vw.Attempt(func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, baseKey+uint64(s))
+			if err != nil {
+				return err
+			}
+			got = guardDecode(v)
+			return nil
+		}, true, cc.AttemptOpts{})
+		if err != nil {
+			t.Fatalf("verify read %d: %v", s, err)
+		}
+		if got != commits[s] {
+			t.Fatalf("session %d: counter=%d but client observed %d commits (silent drop or double apply)",
+				s, got, commits[s])
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p999 := latencies[len(latencies)*999/1000]
+	if p999 > p999Bound {
+		t.Fatalf("admitted-txn p999 = %v exceeds %v: admission control is not bounding queueing", p999, p999Bound)
+	}
+	t.Logf("admitted=%d sheds=%d p999=%v", total, sheds.Load(), p999)
+}
