@@ -448,6 +448,40 @@ func BenchmarkHotspot(b *testing.B) {
 	}
 }
 
+// BenchmarkSharded — the PR 9 scale-out topology: 1-shard TCP baseline
+// vs a 2-shard cluster on partitioned YCSB-A with a 10% cross-shard
+// fraction (exercising routing, 2PC, and the warehouse of shard plumbing
+// end to end). The full 1→N curve and remote-fraction sweep live in
+// BENCH_PR9.json; this is its smoke-scale regression canary.
+func BenchmarkSharded(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchYCSB(ycsb.A())
+			if shards > 1 {
+				cfg.RemoteFrac = 0.1
+			}
+			b.ResetTimer()
+			res, err := harness.RunShardedYCSB(harness.ShardedConfig{
+				Shards:       shards,
+				Workers:      benchWorkers,
+				Coordinators: benchWorkers,
+				Warmup:       100 * time.Millisecond,
+				Measure:      700 * time.Millisecond,
+			}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			m := res.Metrics
+			b.ReportMetric(m.Throughput(), "tps")
+			b.ReportMetric(m.P999us(), "p999-us")
+			if res.CrossCommits > 0 {
+				b.ReportMetric(float64(res.Cross.Quantile(0.999))/1e3, "cross-p999-us")
+			}
+		})
+	}
+}
+
 // BenchmarkSessionScheduler — the M:N serving layer: a fixed 8-executor
 // pool serving a session sweep (63 = the 1:1 slot ceiling, then 1k and
 // 10k) of interactive batched YCSB-A sessions over the in-process

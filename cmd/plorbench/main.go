@@ -61,9 +61,18 @@ func main() {
 		readRatio   = flag.Float64("read-ratio", -1, "hotspot workload: fraction of plain-read operations (-1 = default 0.5)")
 		txnOps      = flag.Int("ops", 0, "hotspot workload: operations per transaction (0 = default 8)")
 		mvcc        = flag.Bool("mvcc", false, "enable MVCC version capture (routes TPC-C Stock-Level through the snapshot read class)")
+		shards      = flag.Int("shards", 0, "run the partitioned scale-out topology on N TCP shard servers (0 = off, 1 = unsharded TCP baseline); supports ycsb-* and tpcc")
+		remoteFrac  = flag.Float64("remote-frac", -1, "sharded mode: fraction of cross-shard transactions (-1 = workload default: 0 for YCSB, 0.15 for TPC-C)")
+		shardWk     = flag.Int("shard-workers", 0, "sharded mode: engine worker slots per shard (0 = max(workers, 4); must cover the coordinators that can pile onto one shard)")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
+
+	if *shards > 0 {
+		runSharded(*workload, *shards, *shardWk, *workers, *warmup, *measure,
+			*records, *recSize, *theta, *warehouses, *remoteFrac, *logging, *walFlush)
+		return
+	}
 
 	var wl harness.Workload
 	switch *workload {
@@ -214,5 +223,94 @@ func main() {
 	}
 	if *cdf {
 		fmt.Print(stats.FormatCDF(m.Latency, 0.99))
+	}
+}
+
+// runSharded drives the multi-shard topology: N shard servers on loopback
+// TCP, partitioned workload, epoch-coordinated 2PC for cross-shard commits.
+// It prints the standard metrics row plus the single/cross latency split.
+func runSharded(workload string, shards, shardWk, coords int, warmup, measure time.Duration,
+	records, recSize int, theta float64, warehouses int, remoteFrac float64,
+	logging string, walFlush time.Duration) {
+	if shardWk == 0 {
+		// An interactive coordinator occupies an engine worker slot for its
+		// whole open transaction, and in the worst case every coordinator is
+		// on the same shard, so provision each shard for all of them.
+		shardWk = coords
+		if shardWk < 4 {
+			shardWk = 4
+		}
+	}
+	scfg := harness.ShardedConfig{
+		Shards:           shards,
+		Workers:          shardWk,
+		Coordinators:     coords,
+		Warmup:           warmup,
+		Measure:          measure,
+		Logging:          logging == "redo",
+		LogFlushInterval: walFlush,
+	}
+	if logging != "off" && logging != "redo" {
+		fmt.Fprintf(os.Stderr, "sharded mode supports -logging off or redo, not %q\n", logging)
+		os.Exit(2)
+	}
+	var res *harness.ShardedResult
+	var err error
+	switch workload {
+	case "ycsb-a", "ycsb-b", "ycsb-bprime":
+		var cfg ycsb.Config
+		switch workload {
+		case "ycsb-a":
+			cfg = ycsb.A()
+		case "ycsb-b":
+			cfg = ycsb.B()
+		default:
+			cfg = ycsb.BPrime()
+		}
+		cfg.Records = records
+		cfg.RecordSize = recSize
+		if theta >= 0 {
+			cfg.Theta = theta
+		}
+		if remoteFrac >= 0 {
+			cfg.RemoteFrac = remoteFrac
+		}
+		res, err = harness.RunShardedYCSB(scfg, cfg)
+	case "tpcc":
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = warehouses
+		if remoteFrac >= 0 {
+			cfg.RemotePct = remoteFrac * 100
+			if cfg.RemotePct == 0 {
+				cfg.RemotePct = -1 // tpcc.Config: negative = exactly zero
+			}
+		}
+		res, err = harness.RunShardedTPCC(scfg, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "sharded mode supports ycsb-a, ycsb-b, ycsb-bprime and tpcc, not %q\n", workload)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Metrics.Row())
+	fmt.Printf("single-shard: commits=%d p50=%v p99=%v p999=%v\n",
+		res.Metrics.Commits-res.CrossCommits,
+		time.Duration(res.Single.Quantile(0.50)),
+		time.Duration(res.Single.Quantile(0.99)),
+		time.Duration(res.Single.Quantile(0.999)))
+	if res.CrossCommits > 0 {
+		fmt.Printf("cross-shard:  commits=%d p50=%v p99=%v p999=%v\n",
+			res.CrossCommits,
+			time.Duration(res.Cross.Quantile(0.50)),
+			time.Duration(res.Cross.Quantile(0.99)),
+			time.Duration(res.Cross.Quantile(0.999)))
+	}
+	if res.UnknownOutcomes > 0 {
+		fmt.Printf("unknown outcomes: %d\n", res.UnknownOutcomes)
+	}
+	if res.InvariantChecked {
+		fmt.Println("warehouse-YTD invariant: OK")
 	}
 }

@@ -97,17 +97,11 @@ func main() {
 					}
 					var busy *rpc.ErrServerBusy
 					if errors.As(err, &busy) {
-						// Overload shed: honor the server's retry-after hint
-						// with ±25% jitter, then resubmit. No transaction was
-						// started, so first stays as-is.
+						// Overload shed: the server's retry-after hint is a
+						// floor, jitter rides on top (rpc.BusyBackoff). No
+						// transaction was started, so first stays as-is.
 						localSheds++
-						d := busy.RetryAfter
-						if d <= 0 {
-							d = time.Millisecond
-						}
-						rng = rng*6364136223846793005 + 1442695040888963407
-						d += time.Duration(int64(rng>>33)%int64(d/2+1)) - d/4
-						time.Sleep(d)
+						time.Sleep(rpc.BusyBackoff(busy.RetryAfter, &rng))
 						continue
 					}
 					if !cc.IsAborted(err) {

@@ -23,10 +23,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"repro/db"
 	"repro/internal/cc"
 	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/txn"
 	"repro/internal/workload/tpcc"
 	"repro/internal/workload/ycsb"
 )
@@ -45,13 +49,35 @@ func main() {
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace and /debug/hotlocks on this address (empty = off)")
 		trace      = flag.Bool("trace", false, "enable the obs event tracer (read via /debug/trace)")
 		mvcc       = flag.Bool("mvcc", false, "capture version chains on committed writes (enables the MVCC gauges on /metrics)")
+		shardID    = flag.Int("shard-id", -1, "this server's shard id in a multi-process sharded deployment (-1 = unsharded)")
+		shardN     = flag.Int("shards", 0, "total shard count of the deployment (requires -shard-id and -peers)")
+		peers      = flag.String("peers", "", "comma-separated listen addresses of every shard, indexed by shard id; used to resolve in-doubt cross-shard decisions after a restart")
 	)
 	flag.Parse()
 
-	d, err := db.Open(db.Options{Protocol: db.Protocol(*protocol), Workers: *workers, MVCC: *mvcc})
+	opts := db.Options{Protocol: db.Protocol(*protocol), Workers: *workers, MVCC: *mvcc}
+	sharded := *shardID >= 0 || *shardN > 0
+	var peerAddrs []string
+	if sharded {
+		if *shardID < 0 || *shardN < 2 || *shardID >= *shardN {
+			fmt.Fprintf(os.Stderr, "sharded deployment needs -shard-id in [0,%d) and -shards ≥ 2\n", *shardN)
+			os.Exit(2)
+		}
+		peerAddrs = strings.Split(*peers, ",")
+		if *peers == "" || len(peerAddrs) != *shardN {
+			fmt.Fprintf(os.Stderr, "-peers must list exactly %d addresses (one per shard, ordered by shard id)\n", *shardN)
+			os.Exit(2)
+		}
+		opts.ShardID = *shardID
+		opts.ShardCount = *shardN
+	}
+	d, err := db.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if sharded {
+		d.SetDecisionResolver(peerResolver(d, *shardID, *shardN, peerAddrs))
 	}
 	ccdb := d.Inner()
 	ccdb.PublishTableStats() // back the /metrics per-table storage gauges
@@ -59,18 +85,27 @@ func main() {
 		obs.SetMVCCStats(ccdb.MVCCStatsProvider()) // version-chain gauges
 	}
 	switch *workload {
-	case "ycsb-a":
+	case "ycsb-a", "ycsb-b":
 		cfg := ycsb.A()
+		if *workload == "ycsb-b" {
+			cfg = ycsb.B()
+		}
 		cfg.Records = *records
-		ycsb.Setup(ccdb, cfg)
-	case "ycsb-b":
-		cfg := ycsb.B()
-		cfg.Records = *records
-		ycsb.Setup(ccdb, cfg)
+		if sharded {
+			cfg.Shards = *shardN
+			ycsb.SetupShard(ccdb, cfg, *shardID)
+		} else {
+			ycsb.Setup(ccdb, cfg)
+		}
 	case "tpcc":
 		cfg := tpcc.DefaultConfig()
 		cfg.Warehouses = *warehouses
-		tpcc.Setup(ccdb, cfg)
+		if sharded {
+			cfg.Shards = *shardN
+			tpcc.SetupShard(ccdb, cfg, *shardID)
+		} else {
+			tpcc.Setup(ccdb, cfg)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -88,6 +123,9 @@ func main() {
 	}
 	fmt.Printf("plorserver: %s engine serving %s on %s (%d executors, tables: %v)\n",
 		d.Engine().Name(), *workload, bound, srv.Scheduler().Executors(), tableNames(ccdb))
+	if sharded {
+		fmt.Printf("plorserver: shard %d/%d, peers %v\n", *shardID, *shardN, peerAddrs)
+	}
 
 	if *trace {
 		obs.EnableTrace()
@@ -111,6 +149,35 @@ func main() {
 	srv.Shutdown()
 	if prof != nil {
 		prof.Stop()
+	}
+}
+
+// peerResolver answers in-doubt cross-shard decisions after a recovery:
+// gtids homed on this shard resolve from the local durable decision table;
+// everything else is asked of the home shard over the wire, retrying until
+// the home answers (guessing would break atomicity; in this topology the
+// home always comes back).
+func peerResolver(d *db.DB, self, shards int, peers []string) func(gtid uint64) bool {
+	return func(gtid uint64) bool {
+		home := txn.GTIDHomeShard(gtid)
+		if home == self || home >= shards {
+			return d.Inner().Decisions.Resolve(gtid)
+		}
+		var rf rpc.ReqFrame
+		var wf rpc.RespFrame
+		rf.Reqs = []rpc.Request{{Op: rpc.OpResolve, Key: gtid}}
+		for {
+			tp, err := rpc.DialTCP(peers[home])
+			if err == nil {
+				err = tp.Call(&rf, &wf)
+				tp.Close()
+				if err == nil && len(wf.Resps) == 1 &&
+					wf.Resps[0].Status == rpc.StatusOK && len(wf.Resps[0].Val) == 1 {
+					return wf.Resps[0].Val[0] == 1
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 }
 

@@ -165,7 +165,33 @@ type Options struct {
 	// Scanners reserves extra worker slots for snapshot readers, addressed
 	// as ReadOnly(1..Scanners). Workers+Scanners must stay ≤ MaxWorkers.
 	Scanners int
+	// ShardID/ShardCount place this database in a multi-shard topology
+	// (ShardCount > 1). The shard's timestamp oracle then mints only
+	// timestamps ≡ ShardID (mod ShardCount), so wound-wait priorities drawn
+	// on different shards never collide and form a single global order —
+	// the property cross-shard transactions rely on. ShardCount must stay
+	// ≤ txn.MaxShards (gtid encoding); single-shard databases leave both 0.
+	ShardID    int
+	ShardCount int
+	// LogDevice, when non-nil, supplies the per-worker-log WAL device
+	// (default: a fresh simulated device per Open). A multi-shard cluster
+	// passes a factory that RETAINS devices across Open calls, so a shard
+	// restart recovers from the same "durable" log it wrote before.
+	LogDevice func(wid int) wal.Device
+	// LockWaitBound caps how long a lock wait may block before the waiting
+	// attempt aborts and retries (keeping its timestamp). Sharded databases
+	// REQUIRE a bound: wounds cannot cross shard registries, so unbounded
+	// waits can deadlock two cross-shard transactions forever. Zero selects
+	// the default bound when ShardCount > 1 and leaves waits unbounded
+	// otherwise. Arming is global to the process (see lock.SetWaitBound).
+	LockWaitBound time.Duration
 }
+
+// DefaultLockWaitBound is the bounded-lock-wait escape armed for sharded
+// databases when Options.LockWaitBound is zero. Generous against ordinary
+// waits (in-process waits resolve in microseconds; cross-process waits in
+// OS-scheduler timescales) so it only fires on genuine cross-shard stalls.
+const DefaultLockWaitBound = 10 * time.Millisecond
 
 // DB is an open database.
 type DB struct {
@@ -201,11 +227,36 @@ func Open(opts Options) (*DB, error) {
 	if opts.MVCC && opts.NoReclaim {
 		return nil, fmt.Errorf("db: MVCC requires reclamation (version GC rides the epoch reclaimer)")
 	}
+	if opts.ShardCount < 0 || opts.ShardCount == 1 || opts.ShardCount > txn.MaxShards {
+		return nil, fmt.Errorf("db: shard count must be 0 (unsharded) or in [2,%d], got %d",
+			txn.MaxShards, opts.ShardCount)
+	}
+	if opts.ShardCount > 1 {
+		if opts.ShardID < 0 || opts.ShardID >= opts.ShardCount {
+			return nil, fmt.Errorf("db: shard id %d out of range [0,%d)", opts.ShardID, opts.ShardCount)
+		}
+		if opts.Logging == LogUndo {
+			return nil, fmt.Errorf("db: sharded serving requires redo logging or none (prepared write sets are not in-place)")
+		}
+		if opts.Protocol == PlorELR {
+			return nil, fmt.Errorf("db: %s cannot serve a shard (early lock release conflicts with holding prepared write sets)", PlorELR)
+		}
+	}
 	engine, err := engineFor(opts)
 	if err != nil {
 		return nil, err
 	}
 	inner := cc.NewDBWithScanners(opts.Workers, opts.Scanners, engine.TableOpts())
+	if opts.ShardCount > 1 {
+		inner.Reg.SetTSShard(uint64(opts.ShardCount), uint64(opts.ShardID))
+		bound := opts.LockWaitBound
+		if bound == 0 {
+			bound = DefaultLockWaitBound
+		}
+		lock.SetWaitBound(bound)
+	} else if opts.LockWaitBound != 0 {
+		lock.SetWaitBound(opts.LockWaitBound)
+	}
 	if opts.NoReclaim {
 		inner.DisableReclamation()
 	}
@@ -224,9 +275,12 @@ func Open(opts Options) (*DB, error) {
 		if lat == 0 {
 			lat = 100 * time.Nanosecond
 		}
-		inner.Log = wal.NewLoggerOpts(mode, opts.Workers, func(int) wal.Device {
-			return wal.NewSimDevice(lat)
-		}, wal.Options{Durability: opts.LogDurability, FlushInterval: opts.LogFlushInterval})
+		mkDev := opts.LogDevice
+		if mkDev == nil {
+			mkDev = func(int) wal.Device { return wal.NewSimDevice(lat) }
+		}
+		inner.Log = wal.NewLoggerOpts(mode, opts.Workers, mkDev,
+			wal.Options{Durability: opts.LogDurability, FlushInterval: opts.LogFlushInterval})
 	}
 	return &DB{opts: opts, engine: engine, inner: inner}, nil
 }
@@ -288,6 +342,13 @@ func (d *DB) FlushWAL() error {
 
 // Engine exposes the underlying engine (for the benchmark harness).
 func (d *DB) Engine() cc.Engine { return d.engine }
+
+// SetDecisionResolver installs the cross-shard in-doubt resolver: given a
+// gtid whose home is ANOTHER shard, it must return the home shard's durable
+// commit decision (blocking until one is reachable — guessing violates
+// atomicity). The shard-cluster layer wires this to an OpResolve RPC against
+// the gtid's home; gtids homed at this shard are always answered locally.
+func (d *DB) SetDecisionResolver(f func(gtid uint64) bool) { d.inner.ResolveRemote = f }
 
 // Inner exposes the engine-level database (for the benchmark harness and
 // the interactive-mode server).

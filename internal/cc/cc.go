@@ -104,12 +104,22 @@ func (t *Table) Ranger() index.Ranger {
 // DB is a database instance: a registry of workers, a set of tables, and an
 // optional persistent log. One DB is shared by all workers of a run.
 type DB struct {
-	Reg    *txn.Registry
-	Log    *wal.Logger // nil = logging off
-	tables []*Table
-	byName map[string]*Table
-	opts   storage.TableOpts
-	recl   []Reclaimer
+	Reg *txn.Registry
+	Log *wal.Logger // nil = logging off
+	// Decisions is this shard's cross-shard commit decision table (2PC):
+	// home shards record outcomes here and participants' resolve queries
+	// are answered from it. Always non-nil; unsharded runs simply never
+	// touch it.
+	Decisions *txn.DecisionTable
+	// ResolveRemote, when set, routes a decision query for a gtid whose
+	// home is ANOTHER shard (sharded topologies install a router-aware
+	// resolver before serving). Must be set before workers run; nil means
+	// every gtid resolves against the local table.
+	ResolveRemote func(gtid uint64) bool
+	tables    []*Table
+	byName    map[string]*Table
+	opts      storage.TableOpts
+	recl      []Reclaimer
 
 	// MVCC snapshot-read state (EnableMVCC): nil/false while disabled, so
 	// the single-version hot paths pay one predictable branch.
@@ -149,15 +159,26 @@ func NewDBWithScanners(workers, scanners int, opts storage.TableOpts) *DB {
 	slots := workers + scanners
 	opts.Workers = slots
 	db := &DB{
-		Reg:    txn.NewRegistry(slots),
-		byName: make(map[string]*Table),
-		opts:   opts,
-		recl:   make([]Reclaimer, slots+1),
+		Reg:       txn.NewRegistry(slots),
+		Decisions: txn.NewDecisionTable(),
+		byName:    make(map[string]*Table),
+		opts:      opts,
+		recl:      make([]Reclaimer, slots+1),
 	}
 	for wid := range db.recl {
 		db.recl[wid] = newReclaimer(db.Reg, uint16(wid))
 	}
 	return db
+}
+
+// ResolveDecision answers whether cross-shard transaction gtid committed,
+// via the topology resolver when one is installed, else the local decision
+// table. Resolving an undecided gtid fences it to aborted (presumed abort).
+func (db *DB) ResolveDecision(gtid uint64) bool {
+	if f := db.ResolveRemote; f != nil {
+		return f(gtid)
+	}
+	return db.Decisions.Resolve(gtid)
 }
 
 // EnableMVCC switches the database to multi-version operation: every
@@ -399,6 +420,21 @@ type Tx interface {
 // Proc is a stored procedure.
 type Proc func(tx Tx) error
 
+// Preparer is an optional Tx extension implemented by engines that can act
+// as 2PC participants (the Plor family). PrepareCommit runs the first
+// commit phase — write-lock upgrade, redo images, and a prepare marker
+// published on the group-commit pipeline — and returns with the prepare
+// durable. After a nil return the transaction is unkillable and its
+// outcome belongs to the coordinator: ending the attempt normally (proc
+// returns nil) completes the commit, ending it with an abort error rolls
+// the prepared state back and logs an abort decision. SetGTID tags a
+// transaction committed in ONE phase at its home shard, making its commit
+// marker double as the 2PC decision record.
+type Preparer interface {
+	PrepareCommit(gtid uint64) error
+	SetGTID(gtid uint64)
+}
+
 // EarlyReleaser is an optional Tx extension implemented by engines with
 // early lock release (plor-elr). ReleaseEarly retires the transaction's
 // write set acquired so far — dirty images installed, write locks handed
@@ -424,6 +460,17 @@ type AttemptOpts struct {
 	// (aging must follow the transaction, not the worker slot). Engines
 	// without retry priority (Silo, TicToc, MOCC) ignore it.
 	RetryTS uint64
+	// BeginTS, when nonzero on a FIRST attempt, seeds the wound-wait
+	// timestamp with an externally minted global timestamp instead of
+	// allocating from the local clock. A cross-shard coordinator mints one
+	// timestamp (from the first participant's leased range) and carries it
+	// to every participant, so oldest-wins holds ACROSS shards; the engine
+	// also advances its local clock past it (Registry.ObserveTS) so remote
+	// priorities age correctly against local traffic. Retries of a
+	// cross-shard transaction re-send the same value (as RetryTS on warm
+	// executors or BeginTS on participants joining mid-retry), preserving
+	// the original priority everywhere.
+	BeginTS uint64
 }
 
 // Worker executes transactions on behalf of one worker thread. A Worker is

@@ -102,3 +102,29 @@ func (h *LogHandle) Abort() {
 		h.wl.Abort() //nolint:errcheck // abort markers are best-effort
 	}
 }
+
+// SetGTID forwards to the worker log (tag the commit marker as a 2PC
+// decision record; see wal.WorkerLog.SetGTID).
+func (h *LogHandle) SetGTID(gtid uint64) {
+	if h != nil && h.wl != nil {
+		h.wl.SetGTID(gtid)
+	}
+}
+
+// PreparePublish forwards to the worker log (publish the redo images plus
+// a prepare marker; see wal.WorkerLog.PreparePublish).
+func (h *LogHandle) PreparePublish(gtid uint64) error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.PreparePublish(gtid)
+}
+
+// DecisionPublish forwards to the worker log (log a prepared transaction's
+// outcome; see wal.WorkerLog.DecisionPublish).
+func (h *LogHandle) DecisionPublish(commit bool, ctid, gtid uint64) error {
+	if h == nil || h.wl == nil {
+		return nil
+	}
+	return h.wl.DecisionPublish(commit, ctid, gtid)
+}

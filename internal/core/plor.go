@@ -53,7 +53,24 @@ var (
 	// race, which the taxonomy keeps distinct from execution-time wounds.
 	errUpgrade = cc.AbortReason(stats.CauseWWUpgrade, "core: aborted: write-write upgrade conflict")
 	errLogIO   = cc.AbortReason(stats.CauseLog, "core: aborted: log commit failed")
+	// errFenced: a participant resolved this cross-shard transaction's gtid
+	// while the home commit was still in flight; the presumed-abort fence
+	// fixes the outcome to aborted (see txn.DecisionTable.Resolve).
+	errFenced = cc.AbortReason(stats.CauseWounded, "core: aborted: cross-shard commit fenced by resolver")
 )
+
+// prepareSelfAbort bounds the lock-acquisition phase of a cross-shard
+// prepare. Distributed wound-wait can deadlock where single-shard wound-wait
+// cannot: a PREPARED transaction is past its point of no return and ignores
+// wounds, so an older transaction upgrading into its locks on one shard can
+// wait forever while the prepared transaction's own home commit waits behind
+// the older transaction's locks on another shard. No shard sees the cycle, so
+// instead of cross-shard probing the preparing (still killable) side carries
+// a self-abort timer: if its lock phase stalls past this bound it wounds
+// itself and the coordinator retries with the ORIGINAL global timestamp, so
+// the retry ages into the oldest — hence never-waiting — transaction and the
+// cycle cannot reform around it (liveness by aging, as in §4.1.3).
+const prepareSelfAbort = 2 * time.Millisecond
 
 // Options selects Plor variants.
 type Options struct {
@@ -176,6 +193,9 @@ type worker struct {
 	ts       uint64
 	attempts int
 	roMode   bool
+	gtid     uint64 // non-zero: participant in a cross-shard commit
+	logTS    uint64 // commit-order TID stamped on this attempt's redo unit
+	prepared bool   // write set locked + prepare record durable (2PC)
 	req      lock.Req
 	acc      []access
 	deps     []depRef  // commit dependencies on retired writers (ELR)
@@ -189,7 +209,18 @@ type worker struct {
 // Attempt implements cc.Worker.
 func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	if first {
-		w.ts = w.db.Reg.NextTS()
+		if opts.BeginTS != 0 {
+			// Cross-shard transaction: the coordinator minted the global
+			// timestamp on the home shard and carries it to every
+			// participant, so oldest-wins holds across shards. Lamport
+			// catch-up keeps the local clock ahead of everything it has
+			// seen, or remote transactions would age artificially fast
+			// against a slow shard's younger timestamps.
+			w.ts = opts.BeginTS
+			w.db.Reg.ObserveTS(opts.BeginTS)
+		} else {
+			w.ts = w.db.Reg.NextTS()
+		}
 		w.attempts = 0
 	} else {
 		if opts.RetryTS != 0 {
@@ -197,6 +228,7 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 			// slot (M:N scheduling); keep its original timestamp so aging
 			// survives the migration.
 			w.ts = opts.RetryTS
+			w.db.Reg.ObserveTS(opts.RetryTS)
 		}
 		w.attempts++
 		if w.bd != nil {
@@ -219,6 +251,7 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	w.scan = cc.ShrinkScratch(w.scan)
 	w.deps = w.deps[:0]
 	w.accMap.Reset()
+	w.gtid, w.logTS, w.prepared = 0, 0, false
 	w.wl.BeginTxn(w.ts)
 
 	// Epoch announcement brackets every index/record access of the attempt
@@ -233,15 +266,10 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 	return w.commit()
 }
 
-// commit runs the three-phase commit of Fig. 5.
-func (w *worker) commit() error {
-	if w.roMode {
-		return w.commitReadOnly()
-	}
-	if w.ctx.Aborted() {
-		w.rollback(stats.CauseWounded)
-		return errWound
-	}
+// lockWriteSet acquires the deferred (DWA) write locks and upgrades the
+// write set to exclusive mode — commit Phase 1. The transaction is still
+// killable throughout; on error the caller owns the rollback.
+func (w *worker) lockWriteSet() error {
 	traced := obs.TraceEnabled()
 	var upStart time.Time
 	upgrading := false
@@ -261,7 +289,6 @@ func (w *worker) commit() error {
 			if (a.written || a.isDelete) && !a.wlocked {
 				upgrading = true
 				if err := a.lk.AcquireWrite(&w.req); err != nil {
-					w.rollback(stats.CauseWWUpgrade)
 					return errUpgrade
 				}
 				a.wlocked = true
@@ -271,11 +298,9 @@ func (w *worker) commit() error {
 				// resurrect the key on recovery; treat it as the commit-time
 				// write-write race it is.
 				if !a.isInsert && storage.TIDAbsent(a.rec.TID.Load()) {
-					w.rollback(stats.CauseWWUpgrade)
 					return errUpgrade
 				}
 				if err := w.regDep(a); err != nil {
-					w.rollback(cc.CauseOf(err))
 					return err
 				}
 			}
@@ -291,13 +316,31 @@ func (w *worker) commit() error {
 		}
 		upgrading = true
 		if err := a.lk.MakeExclusive(&w.req); err != nil {
-			w.rollback(stats.CauseWWUpgrade)
 			return errUpgrade
 		}
 		a.excl = true
 	}
 	if traced && upgrading {
 		obs.Emit(obs.Event{Kind: obs.EvUpgrade, WID: w.wid, Dur: time.Since(upStart).Nanoseconds()})
+	}
+	return nil
+}
+
+// commit runs the three-phase commit of Fig. 5.
+func (w *worker) commit() error {
+	if w.prepared {
+		return w.commitPrepared()
+	}
+	if w.roMode {
+		return w.commitReadOnly()
+	}
+	if w.ctx.Aborted() {
+		w.rollback(stats.CauseWounded)
+		return errWound
+	}
+	if err := w.lockWriteSet(); err != nil {
+		w.rollback(cc.CauseOf(err))
+		return err
 	}
 	// ELR: retire the exclusively-held write set — dirty images install and
 	// the locks hand over now, so the log flush below holds nothing — then
@@ -321,6 +364,17 @@ func (w *worker) commit() error {
 		w.rollback(cc.CauseOf(err))
 		return err
 	}
+	w.finishCommit()
+	if w.bd != nil {
+		w.bd.Commits++
+	}
+	return nil
+}
+
+// finishCommit runs Phases 2 and 3: release read locks, install buffered
+// updates, release write locks. The transaction is past its durability point
+// (or its outcome is otherwise fixed); nothing here can fail.
+func (w *worker) finishCommit() {
 	// Phase 2: release read locks.
 	for i := range w.acc {
 		a := &w.acc[i]
@@ -372,10 +426,6 @@ func (w *worker) commit() error {
 		w.ctx.SetCommitting(false)
 		w.ctx.ClearLogged()
 	}
-	if w.bd != nil {
-		w.bd.Commits++
-	}
-	return nil
 }
 
 // accCompare orders the write set by (table, key) for deadlock-free
@@ -444,6 +494,16 @@ func (w *worker) persist() error {
 		// it). Using NextTS here would also double-burn the 47-bit priority
 		// space.
 		w.wl.SetTS(w.db.Reg.NextCommitTID())
+		if w.gtid != 0 {
+			// Home shard of a cross-shard transaction: the commit marker
+			// below IS the global decision record. Gate against the
+			// presumed-abort fence first — a participant that resolved this
+			// gtid was told "aborted", so the outcome is already fixed.
+			if !w.db.Decisions.TryBeginCommit(w.gtid) {
+				return errFenced
+			}
+			w.wl.SetGTID(w.gtid)
+		}
 		for i := range w.acc {
 			a := &w.acc[i]
 			switch {
@@ -461,13 +521,23 @@ func (w *worker) persist() error {
 		// one) instead of serializing one round per dependency link; the
 		// epoch order makes that crash-safe (see WorkerLog.CommitPublish).
 		if err := w.wl.CommitPublish(); err != nil {
+			if w.gtid != 0 {
+				w.db.Decisions.Abort(w.gtid)
+			}
 			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 		if w.opts.ELR {
 			w.ctx.SetLoggedWord(w.req.Word)
 		}
 		if err := w.wl.WaitCommitted(); err != nil {
+			if w.gtid != 0 {
+				w.db.Decisions.Abort(w.gtid)
+			}
 			return fmt.Errorf("%w: %v", errLogIO, err)
+		}
+		if w.gtid != 0 {
+			// Durable: participants resolving this gtid now learn committed.
+			w.db.Decisions.FinishCommit(w.gtid)
 		}
 	case wal.Undo:
 		for i := range w.acc {
@@ -483,6 +553,14 @@ func (w *worker) persist() error {
 			return fmt.Errorf("%w: %v", errLogIO, err)
 		}
 	default:
+		if w.gtid != 0 {
+			// Logging off: the DecisionTable alone carries the decision (no
+			// durability, but resolve ordering still holds for live shards).
+			if !w.db.Decisions.TryBeginCommit(w.gtid) {
+				return errFenced
+			}
+			w.db.Decisions.FinishCommit(w.gtid)
+		}
 		w.wl.Commit() //nolint:errcheck // mode off
 		if w.opts.ELR {
 			w.ctx.SetLoggedWord(w.req.Word)
@@ -490,6 +568,103 @@ func (w *worker) persist() error {
 	}
 	if traced {
 		obs.Emit(obs.Event{Kind: obs.EvWALAppend, WID: w.wid, Dur: time.Since(wStart).Nanoseconds()})
+	}
+	return nil
+}
+
+// SetGTID implements cc.Preparer: mark the running transaction as the HOME
+// side of cross-shard commit gtid. Its ordinary commit then doubles as the
+// global decision record, gated through the shard's DecisionTable (see
+// persist).
+func (w *worker) SetGTID(gtid uint64) { w.gtid = gtid }
+
+// PrepareCommit implements cc.Preparer: the participant half of the
+// epoch-coordinated two-phase commit. It locks the write set (DWA
+// acquisition + Phase 1 exclusive upgrade, still killable), logs the redo
+// images under a prepare marker, and waits for the marker's flush epoch —
+// the prepare unit rides group commit exactly like a commit unit, so
+// preparing adds no fsyncs. On return the transaction holds its write set
+// exclusively and ignores wounds; only the coordinator's decision (or a
+// resolve against the home shard) settles the outcome.
+func (w *worker) PrepareCommit(gtid uint64) error {
+	if w.roMode {
+		// Cross-shard coordinators run participants with the read-only
+		// optimization off (a prepare-time validation could not pin the
+		// snapshot through the global commit point); force the locking
+		// fallback if one slips through.
+		w.rollbackRO(stats.CauseROFallback)
+		return errValidate
+	}
+	if w.ctx.Aborted() {
+		w.rollback(stats.CauseWounded)
+		return errWound
+	}
+	w.gtid = gtid
+	// Arm the distributed-deadlock breaker for the (killable) lock phase.
+	// Stopping the timer races with a late fire, but a stray kill is
+	// harmless: past this phase wounds are ignored, and Begin clears a
+	// stale abort bit (worst case one spurious retry).
+	ts := w.ts
+	timer := time.AfterFunc(prepareSelfAbort, func() { w.ctx.KillCurrent(ts) })
+	err := w.lockWriteSet()
+	timer.Stop()
+	if err != nil {
+		w.rollback(cc.CauseOf(err))
+		return err
+	}
+	if w.wl.Mode() == wal.Redo && w.hasWrites() {
+		w.logTS = w.db.Reg.NextCommitTID()
+		w.wl.SetTS(w.logTS)
+		for i := range w.acc {
+			a := &w.acc[i]
+			switch {
+			case a.isDelete:
+				w.wl.Update(a.tbl.ID, a.key, nil) //nolint:errcheck
+			case a.isInsert:
+				w.wl.Update(a.tbl.ID, a.key, a.rec.Data) //nolint:errcheck
+			case a.written:
+				w.wl.Update(a.tbl.ID, a.key, a.val) //nolint:errcheck
+			}
+		}
+		if err := w.wl.PreparePublish(gtid); err != nil {
+			w.rollback(stats.CauseLog)
+			return fmt.Errorf("%w: %v", errLogIO, err)
+		}
+		if err := w.wl.WaitCommitted(); err != nil {
+			w.rollback(stats.CauseLog)
+			return fmt.Errorf("%w: %v", errLogIO, err)
+		}
+	}
+	w.prepared = true
+	return nil
+}
+
+// hasWrites reports whether the access set contains any write-set entry.
+// A read-only participant prepares without logging: it holds its read locks
+// through the decision instead, and there is nothing to recover.
+func (w *worker) hasWrites() bool {
+	for i := range w.acc {
+		a := &w.acc[i]
+		if a.written || a.isDelete || a.isInsert {
+			return true
+		}
+	}
+	return false
+}
+
+// commitPrepared completes a prepared participant after the coordinator
+// relays the commit decision. The global outcome is already fixed by the
+// home shard's durable marker, so nothing here may fail: the local decision
+// marker is best-effort (publish without waiting — the epoch ride is free,
+// and recovery falls back to resolving against the home shard if the marker
+// is lost), and the install proceeds regardless.
+func (w *worker) commitPrepared() error {
+	if w.wl.Mode() == wal.Redo && w.logTS != 0 {
+		_ = w.wl.DecisionPublish(true, w.logTS, w.gtid)
+	}
+	w.finishCommit()
+	if w.bd != nil {
+		w.bd.Commits++
 	}
 	return nil
 }
@@ -531,6 +706,16 @@ func (w *worker) rollback(cause stats.AbortCause) {
 	if w.roMode {
 		w.rollbackRO(cause)
 		return
+	}
+	if w.prepared {
+		// Durable-prepared state is being discarded (coordinator abort or a
+		// resolve that answered aborted): log the abort decision so recovery
+		// does not hold the unit in doubt. Best-effort — presumed abort
+		// covers a lost marker.
+		if w.wl.Mode() == wal.Redo && w.logTS != 0 {
+			_ = w.wl.DecisionPublish(false, w.logTS, w.gtid)
+		}
+		w.prepared = false
 	}
 	if w.opts.ELR {
 		// Release read locks BEFORE the cascade restore. An aborting

@@ -407,18 +407,13 @@ func Run(cfg Config) (*stats.Metrics, error) {
 					}
 					if rpc.IsServerBusy(err) {
 						// Shed before any transaction started: back off for
-						// the server's hint (±25% jitter) and resubmit. The
-						// attempt keeps first as-is — no timestamp was
-						// allocated, so this is not a conflict retry.
+						// at least the server's hint (jitter on top — see
+						// rpc.BusyBackoff) and resubmit. The attempt keeps
+						// first as-is — no timestamp was allocated, so this
+						// is not a conflict retry.
 						var busy *rpc.ErrServerBusy
 						errors.As(err, &busy)
-						rng = rng*6364136223846793005 + 1442695040888963407
-						d := busy.RetryAfter
-						if d <= 0 {
-							d = time.Millisecond
-						}
-						d += time.Duration(int64(rng>>33)%int64(d/2+1)) - d/4
-						time.Sleep(d)
+						time.Sleep(rpc.BusyBackoff(busy.RetryAfter, &rng))
 						continue
 					}
 					if !cc.IsAborted(err) {

@@ -1,0 +1,428 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/db"
+	"repro/internal/cc"
+	"repro/internal/rpc"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+// ShardedConfig describes a multi-shard scale-out run: N shard servers on
+// loopback TCP (or one unsharded server when Shards == 1 — the scale
+// curve's baseline, same wire protocol, no coordinator overhead) driven by
+// a closed loop of client coordinators.
+type ShardedConfig struct {
+	// Shards is the topology size. 1 runs the unsharded TCP baseline.
+	Shards int
+	// Workers is each shard's engine worker-slot count. It must cover the
+	// coordinators concurrently holding transactions open on a shard: an
+	// interactive session occupies a slot for its whole transaction, and in
+	// the worst case every coordinator is on the same shard at once.
+	Workers int
+	// Coordinators is the closed-loop client count.
+	Coordinators int
+	// Warmup and Measure are the run phases; only Measure is recorded.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Logging enables per-shard redo WAL with group commit (the durability
+	// configuration where prepare records and commit decisions ride flush
+	// epochs); LogFlushInterval is the group-commit window.
+	Logging          bool
+	LogFlushInterval time.Duration
+}
+
+// ShardedResult is a sharded run's outcome: overall metrics plus the
+// latency split between single-shard and cross-shard transactions (the
+// cross-shard p999 is the acceptance metric for 2PC tail cost).
+type ShardedResult struct {
+	Metrics *stats.Metrics
+	// Single/Cross split committed-transaction latency by the shard count
+	// the transaction actually touched.
+	Single *stats.Histogram
+	Cross  *stats.Histogram
+	// CrossCommits counts committed transactions spanning >1 shard.
+	CrossCommits uint64
+	// UnknownOutcomes counts cross-shard commits whose decision was lost to
+	// a transport failure (possible only with failure injection; 0 in a
+	// healthy run). When nonzero, exact client-side ledgers are invalid.
+	UnknownOutcomes uint64
+	// InvariantChecked reports that the workload's money invariant was
+	// verified against the cluster after the run (TPC-C only).
+	InvariantChecked bool
+}
+
+// shardedUnit is one generated transaction plus its ledger annotations.
+type shardedUnit struct {
+	proc      cc.Proc
+	hint      int
+	payW      int
+	payAmount uint64
+}
+
+// shardedSource generates a coordinator's transaction stream.
+type shardedSource interface {
+	next() shardedUnit
+}
+
+type ycsbShardSource struct{ g *ycsb.Gen }
+
+func (s ycsbShardSource) next() shardedUnit {
+	t := s.g.Next()
+	return shardedUnit{proc: t.Proc, hint: len(t.Ops)}
+}
+
+type tpccShardSource struct{ g *tpcc.Gen }
+
+func (s tpccShardSource) next() shardedUnit {
+	t := s.g.Next()
+	return shardedUnit{proc: t.Proc, hint: t.Hint, payW: t.PayW, payAmount: t.PayAmount}
+}
+
+// RunShardedYCSB runs the partitioned YCSB workload on a Shards-node
+// cluster. cfg.Shards == 1 serves the identical (unpartitioned) workload
+// from one unsharded server over the same TCP wire protocol — the fair
+// baseline for the scale curve.
+func RunShardedYCSB(cfg ShardedConfig, ycfg ycsb.Config) (*ShardedResult, error) {
+	ycfg.Yield = ycfg.Yield || autoYield(cfg.Coordinators)
+	if cfg.Shards <= 1 {
+		ycfg.Shards = 0
+		var w *ycsb.Workload
+		return runUnsharded(cfg, fmt.Sprintf("ycsb(θ=%.2f)", ycfg.Theta),
+			func(d *cc.DB) { w = ycsb.Setup(d, ycfg) },
+			func(i int) shardedSource { return ycsbShardSource{w.NewGen(int64(i))} },
+			nil)
+	}
+	ycfg.Shards = cfg.Shards
+	var w *ycsb.Workload
+	var once sync.Once
+	c, err := shard.NewCluster(shard.ClusterOptions{
+		Shards:           cfg.Shards,
+		Workers:          cfg.Workers,
+		Logging:          cfg.Logging,
+		LogFlushInterval: cfg.LogFlushInterval,
+		Setup: func(shardID int, d *db.DB) error {
+			wl := ycsb.SetupShard(d.Inner(), ycfg, shardID)
+			once.Do(func() { w = wl })
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	label := fmt.Sprintf("ycsb(θ=%.2f,remote=%.0f%%)", ycfg.Theta, ycfg.RemoteFrac*100)
+	return runOnCluster(cfg, c, label, shard.HashRouter{Shards: cfg.Shards},
+		func(i int) shardedSource {
+			home := (i - 1) % cfg.Shards
+			return ycsbShardSource{w.NewGenShard(int64(i), home)}
+		},
+		func(i int) int { return (i - 1) % cfg.Shards },
+		nil)
+}
+
+// RunShardedTPCC runs the partitioned TPC-C workload on a Shards-node
+// cluster and, afterwards, verifies the warehouse-YTD money invariant
+// against a client-side ledger of committed Payments. cfg.Shards == 1 is
+// the unsharded TCP baseline.
+func RunShardedTPCC(cfg ShardedConfig, tcfg tpcc.Config) (*ShardedResult, error) {
+	tcfg.Yield = tcfg.Yield || autoYield(cfg.Coordinators)
+	if tcfg.Warehouses < cfg.Shards {
+		return nil, fmt.Errorf("harness: %d warehouses cannot cover %d shards", tcfg.Warehouses, cfg.Shards)
+	}
+	ledger := make([]atomic.Uint64, tcfg.Warehouses+1)
+	track := func(u shardedUnit) {
+		if u.payAmount != 0 {
+			ledger[u.payW].Add(u.payAmount)
+		}
+	}
+	if cfg.Shards <= 1 {
+		tcfg.Shards = 0
+		var w *tpcc.Workload
+		res, err := runUnsharded(cfg, fmt.Sprintf("tpcc(wh=%d)", tcfg.Warehouses),
+			func(d *cc.DB) { w = tpcc.Setup(d, tcfg) },
+			func(i int) shardedSource { return tpccShardSource{w.NewGen(uint16(i), int64(i))} },
+			track)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	tcfg.Shards = cfg.Shards
+	var w *tpcc.Workload
+	var once sync.Once
+	c, err := shard.NewCluster(shard.ClusterOptions{
+		Shards:           cfg.Shards,
+		Workers:          cfg.Workers,
+		Logging:          cfg.Logging,
+		LogFlushInterval: cfg.LogFlushInterval,
+		Setup: func(shardID int, d *db.DB) error {
+			wl := tpcc.SetupShard(d.Inner(), tcfg, shardID)
+			once.Do(func() { w = wl })
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	label := fmt.Sprintf("tpcc(wh=%d,remote=%.0f%%)", tcfg.Warehouses, tcfg.RemotePct)
+	res, err := runOnCluster(cfg, c, label, w.NewRouter(cfg.Shards),
+		func(i int) shardedSource {
+			home := (i - 1) % cfg.Shards
+			return tpccShardSource{w.NewGenShard(uint16(i), int64(i), home)}
+		},
+		func(i int) int { return (i - 1) % cfg.Shards },
+		track)
+	if err != nil {
+		return nil, err
+	}
+	// Money invariant: every warehouse's YTD must equal its load value plus
+	// exactly the committed Payments' amounts — a non-atomic cross-shard
+	// commit (or a lost/doubled payment) breaks the equality.
+	if res.UnknownOutcomes == 0 {
+		co := c.NewCoordinator(w.NewRouter(cfg.Shards), uint16(cfg.Coordinators+1))
+		defer co.Close()
+		for wh := 1; wh <= tcfg.Warehouses; wh++ {
+			var ytd uint64
+			err := runRetry(co, func(tx cc.Tx) error {
+				row, err := tx.Read(w.T.Warehouse, tpcc.WKey(wh))
+				if err != nil {
+					return err
+				}
+				ytd = tpcc.DecodeWarehouse(row).YTD
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: invariant read w%d: %w", wh, err)
+			}
+			want := 30000000 + ledger[wh].Load()
+			if ytd != want {
+				return nil, fmt.Errorf("harness: warehouse %d YTD invariant violated: have %d, want %d (Δ=%d)",
+					wh, ytd, want, int64(ytd)-int64(want))
+			}
+		}
+		res.InvariantChecked = true
+	}
+	return res, nil
+}
+
+// runRetry drives proc to commit with standard retry handling.
+func runRetry(w cc.Worker, proc cc.Proc) error {
+	first := true
+	for {
+		err := w.Attempt(proc, first, cc.AttemptOpts{})
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+		first = false
+	}
+}
+
+// runOnCluster drives the closed loop against a live cluster.
+func runOnCluster(cfg ShardedConfig, c *shard.Cluster, label string, r shard.Router,
+	mkSource func(i int) shardedSource, homeOf func(i int) int,
+	track func(shardedUnit)) (*ShardedResult, error) {
+	workers := make([]cc.Worker, cfg.Coordinators+1)
+	coords := make([]*shard.Coordinator, cfg.Coordinators+1)
+	for i := 1; i <= cfg.Coordinators; i++ {
+		co := c.NewCoordinator(r, uint16(i))
+		co.SetPreferredShard(homeOf(i))
+		defer co.Close()
+		workers[i] = co
+		coords[i] = co
+	}
+	return runShardedLoop(cfg, label, workers, mkSource,
+		func(i int) bool { return coords[i].LastTouchedShards() > 1 },
+		func(i int) bool { return coords[i].AttemptShards() > 1 }, track)
+}
+
+// runUnsharded is the Shards == 1 baseline: one unsharded server over real
+// TCP, ordinary interactive clients, same closed loop.
+func runUnsharded(cfg ShardedConfig, label string, setup func(*cc.DB),
+	mkSource func(i int) shardedSource, track func(shardedUnit)) (*ShardedResult, error) {
+	// Run the baseline under the same lock policy as the sharded points
+	// (bounded waits), so the scale curve varies topology alone.
+	dopts := db.Options{Protocol: db.Plor, Workers: cfg.Workers,
+		LockWaitBound: db.DefaultLockWaitBound}
+	if cfg.Logging {
+		dopts.Logging = db.LogRedo
+		dopts.LogDurability = db.DurGroup
+		dopts.LogFlushInterval = cfg.LogFlushInterval
+	}
+	d, err := db.Open(dopts)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	setup(d.Inner())
+	srv := d.NewServer(db.ServeOptions{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown()
+
+	workers := make([]cc.Worker, cfg.Coordinators+1)
+	for i := 1; i <= cfg.Coordinators; i++ {
+		tr, err := rpc.DialTCP(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		workers[i] = rpc.NewClientWorker(tr, d.Inner().Tables(), uint16(i))
+	}
+	never := func(int) bool { return false }
+	return runShardedLoop(cfg, label, workers, mkSource, never, never, track)
+}
+
+// runShardedLoop is the shared closed loop: a fixed fleet of client
+// goroutines, first-attempt-to-commit latency, busy backoff honoring the
+// server's retry-after floor, and a single/cross latency split. isCross
+// classifies a COMMITTED transaction (for the latency split);
+// attemptCross classifies the most recent attempt regardless of outcome
+// (for retry pacing).
+func runShardedLoop(cfg ShardedConfig, label string, workers []cc.Worker,
+	mkSource func(i int) shardedSource, isCross, attemptCross func(i int) bool,
+	track func(shardedUnit)) (*ShardedResult, error) {
+	if cfg.Coordinators < 1 {
+		return nil, errors.New("harness: sharded run needs ≥1 coordinator")
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = time.Second
+	}
+	var (
+		start       = time.Now()
+		recordAfter = start.Add(cfg.Warmup)
+		deadline    = recordAfter.Add(cfg.Measure)
+		singles     = make([]*stats.Histogram, cfg.Coordinators+1)
+		crosses     = make([]*stats.Histogram, cfg.Coordinators+1)
+		commits     = make([]uint64, cfg.Coordinators+1)
+		crossCount  = make([]uint64, cfg.Coordinators+1)
+		aborts      = make([]uint64, cfg.Coordinators+1)
+		retries     = make([]uint64, cfg.Coordinators+1)
+		unknowns    atomic.Uint64
+		loopErr     atomic.Pointer[error]
+		wg          sync.WaitGroup
+	)
+	for i := 1; i <= cfg.Coordinators; i++ {
+		singles[i] = stats.NewHistogram()
+		crosses[i] = stats.NewHistogram()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worker := workers[i]
+			src := mkSource(i)
+			rng := uint64(i)*0x9E3779B97F4A7C15 + 12345
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				recording := now.After(recordAfter)
+				unit := src.next()
+				txnStart := now
+				first := true
+				failed := 0
+				for {
+					err := worker.Attempt(unit.proc, first, cc.AttemptOpts{ResourceHint: unit.hint})
+					if err == nil || errors.Is(err, cc.ErrIntentionalRollback) {
+						break
+					}
+					if rpc.IsServerBusy(err) {
+						var busy *rpc.ErrServerBusy
+						errors.As(err, &busy)
+						time.Sleep(rpc.BusyBackoff(busy.RetryAfter, &rng))
+						continue
+					}
+					if errors.Is(err, shard.ErrOutcomeUnknown) {
+						// The transaction may or may not have committed; its
+						// timestamp is burned. Move on with a fresh one.
+						unknowns.Add(1)
+						unit = src.next()
+						txnStart = time.Now()
+						first = true
+						continue
+					}
+					if !cc.IsAborted(err) {
+						e := fmt.Errorf("coordinator %d: non-retryable: %w", i, err)
+						loopErr.CompareAndSwap(nil, &e)
+						return
+					}
+					if recording {
+						aborts[i]++
+						retries[i]++
+					}
+					first = false
+					// Plor retries with no backoff — aging via the kept
+					// timestamp resolves intra-shard contention. But an
+					// aborted CROSS-shard attempt usually lost a bounded-wait
+					// race (wounds don't reach waiters parked on other shards
+					// — see lock.SetWaitBound), and instant re-execution just
+					// re-collides; after a couple of those, back off with
+					// capped jitter to let the conflicting holder finish its
+					// round trips. ts is still the original — the aging
+					// guarantee is untouched, this only paces re-execution.
+					if attemptCross(i) {
+						failed++
+						if failed > 2 {
+							backoff := time.Duration(100<<min(failed-3, 6)) * time.Microsecond
+							rng = rng*6364136223846793005 + 1442695040888963407
+							time.Sleep(backoff/2 + time.Duration(rng>>33)%(backoff/2+1))
+						}
+					}
+				}
+				if track != nil {
+					track(unit)
+				}
+				cross := isCross(i)
+				if recording {
+					commits[i]++
+					lat := time.Since(txnStart).Nanoseconds()
+					if cross {
+						crossCount[i]++
+						crosses[i].Record(lat)
+					} else {
+						singles[i].Record(lat)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e := loopErr.Load(); e != nil {
+		return nil, *e
+	}
+	elapsed := time.Since(recordAfter)
+	if elapsed > cfg.Measure {
+		elapsed = cfg.Measure
+	}
+	res := &ShardedResult{
+		Single:          stats.MergeAll(singles[1:]),
+		Cross:           stats.MergeAll(crosses[1:]),
+		UnknownOutcomes: unknowns.Load(),
+	}
+	all := stats.MergeAll([]*stats.Histogram{res.Single, res.Cross})
+	m := &stats.Metrics{
+		Label:   fmt.Sprintf("sharded(%d)/%s", cfg.Shards, label),
+		Workers: cfg.Coordinators,
+		Elapsed: elapsed,
+		Latency: all,
+	}
+	for i := 1; i <= cfg.Coordinators; i++ {
+		m.Commits += commits[i]
+		m.Aborts += aborts[i]
+		m.Retries += retries[i]
+		res.CrossCommits += crossCount[i]
+	}
+	res.Metrics = m
+	return res, nil
+}

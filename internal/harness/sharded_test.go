@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/ycsb"
+)
+
+// TestShardedYCSBSmoke drives the sharded YCSB runner on 2 shards with a
+// cross-shard fraction and checks both latency classes are populated.
+func TestShardedYCSBSmoke(t *testing.T) {
+	ycfg := ycsb.B()
+	ycfg.Records = 4000
+	ycfg.RecordSize = 64
+	ycfg.RemoteFrac = 0.2
+	res, err := RunShardedYCSB(ShardedConfig{
+		Shards:       2,
+		Workers:      8,
+		Coordinators: 4,
+		Warmup:       50 * time.Millisecond,
+		Measure:      300 * time.Millisecond,
+	}, ycfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if res.CrossCommits == 0 {
+		t.Fatal("RemoteFrac=0.2 produced no cross-shard commits")
+	}
+	if res.UnknownOutcomes != 0 {
+		t.Fatalf("unexpected unknown outcomes: %d", res.UnknownOutcomes)
+	}
+	t.Logf("commits=%d cross=%d p999(cross)=%v",
+		res.Metrics.Commits, res.CrossCommits, time.Duration(res.Cross.Quantile(0.999)))
+}
+
+// TestShardedTPCCInvariant runs partitioned TPC-C with remote payments
+// across 2 shards and relies on the runner's built-in warehouse-YTD money
+// invariant sweep: every committed remote Payment's amount must land in the
+// remote warehouse's YTD exactly once despite crossing a 2PC boundary.
+func TestShardedTPCCInvariant(t *testing.T) {
+	tcfg := tpcc.Config{Warehouses: 4, RemotePct: 25}
+	res, err := RunShardedTPCC(ShardedConfig{
+		Shards:       2,
+		Workers:      8,
+		Coordinators: 4,
+		Warmup:       50 * time.Millisecond,
+		Measure:      400 * time.Millisecond,
+	}, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if !res.InvariantChecked {
+		t.Fatal("invariant sweep did not run")
+	}
+	if res.CrossCommits == 0 {
+		t.Fatal("RemotePct=25 produced no cross-shard commits")
+	}
+	t.Logf("commits=%d cross=%d unknown=%d", res.Metrics.Commits, res.CrossCommits, res.UnknownOutcomes)
+}
+
+// TestShardedBaseline exercises the Shards==1 TCP baseline path the scale
+// curve compares against.
+func TestShardedBaseline(t *testing.T) {
+	ycfg := ycsb.B()
+	ycfg.Records = 2000
+	ycfg.RecordSize = 64
+	res, err := RunShardedYCSB(ShardedConfig{
+		Shards:       1,
+		Workers:      4,
+		Coordinators: 2,
+		Warmup:       20 * time.Millisecond,
+		Measure:      200 * time.Millisecond,
+	}, ycfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if res.CrossCommits != 0 {
+		t.Fatal("baseline cannot have cross-shard commits")
+	}
+}

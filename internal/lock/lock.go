@@ -35,6 +35,11 @@ var ErrKilled = errors.New("lock: transaction wounded")
 // younger than an owner).
 var ErrConflict = errors.New("lock: conflict, requester must abort")
 
+// ErrWaitTimeout is returned when a bounded wait (SetWaitBound) expires
+// before the lock is granted: the requester aborts its attempt and retries
+// with its original timestamp, so wound-wait aging is preserved.
+var ErrWaitTimeout = errors.New("lock: wait exceeded bound, requester must retry")
+
 // Req carries the requesting transaction's identity through lock calls.
 // It is built once per transaction attempt and reused for every lock.
 type Req struct {
@@ -78,6 +83,49 @@ var remoteHolders atomic.Bool
 // waiter sharing the engine's cores.
 func SetRemoteHolders(on bool) { remoteHolders.Store(on) }
 
+// waitBound, when nonzero, bounds every lock wait: a waiter that blocks
+// longer than the bound abandons the acquisition with ErrWaitTimeout
+// instead of waiting for the holder to release. Single-shard Plor never
+// needs this — a lock holder's client always drives it to completion, and
+// wounds reach waiters through the shared registry. Across shards neither
+// holds: a transaction wounded on shard A can sit in a lock wait on shard
+// B forever, because kill flags live in per-shard registries and its
+// victim's sessions on other shards are idle between round trips.
+// Cross-shard wound-wait therefore needs a bounded-wait escape to be
+// deadlock-free; db.Open arms it for sharded topologies. The timeout abort
+// is retryable and the retry keeps its original timestamp, so the aging
+// guarantee survives — the oldest transaction still wounds its way through
+// eventually.
+var waitBound atomic.Int64
+
+// SetWaitBound arms (d > 0) or disarms (d == 0) bounded lock waits.
+// Sticky and global, like SetRemoteHolders.
+func SetWaitBound(d time.Duration) { waitBound.Store(int64(d)) }
+
+// waitSeed drives the per-wait jitter below. One atomic add per *blocked*
+// wait — the uncontended path never touches it.
+var waitSeed atomic.Uint64
+
+// jitterBound spreads a wait's deadline uniformly over [bound/2, bound).
+// A fixed bound livelocks symmetric cross-shard conflicts: two
+// transactions each holding one shard's hot record and waiting for the
+// other's time out after exactly the same interval, abort, retry
+// instantly, and re-collide in lockstep forever. Jitter desynchronizes
+// the cycle — one side times out first, its abort releases the record,
+// and the survivor completes. The floor stays at bound/2 so waits are
+// never spuriously cut short.
+func jitterBound(bound time.Duration) time.Duration {
+	z := waitSeed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	half := uint64(bound) / 2
+	if half == 0 {
+		return bound
+	}
+	return time.Duration(half + z%half)
+}
+
 // spinYieldBudget is the number of cooperative yields a waiter spends
 // before it may sleep: generous enough to outlast any in-process critical
 // section, small enough that a cross-process wait parks quickly.
@@ -110,36 +158,57 @@ func (s *spinner) spin() {
 // (at least one failed body iteration), so uncontended acquires stay out
 // of the trace.
 func timedWait(r *Req, cat stats.Category, body func() (bool, error)) error {
+	bound := time.Duration(waitBound.Load())
 	if r.BD == nil && !obs.TraceEnabled() {
 		var sp spinner
+		var deadline time.Time
 		for {
 			done, err := body()
 			if done || err != nil {
 				return err
 			}
+			if bound != 0 {
+				// The deadline clock starts at the first blocked iteration,
+				// keeping time.Now() off the uncontended path.
+				if deadline.IsZero() {
+					deadline = time.Now().Add(jitterBound(bound))
+				} else if time.Now().After(deadline) {
+					return ErrWaitTimeout
+				}
+			}
 			sp.spin()
 		}
 	}
 	start := time.Now()
+	if bound != 0 {
+		bound = jitterBound(bound)
+	}
 	var sp spinner
 	waited := false
+	var err error
 	for {
-		done, err := body()
+		var done bool
+		done, err = body()
 		if done || err != nil {
-			d := time.Since(start)
-			if r.BD != nil {
-				r.BD.Add(cat, d)
-			}
-			if waited && obs.TraceEnabled() {
-				kind := obs.EvLockWaitRW
-				if cat == catWW {
-					kind = obs.EvLockWaitWW
-				}
-				obs.Emit(obs.Event{Kind: kind, WID: r.WID, Dur: int64(d)})
-			}
-			return err
+			break
+		}
+		if bound != 0 && time.Since(start) > bound {
+			err = ErrWaitTimeout
+			break
 		}
 		waited = true
 		sp.spin()
 	}
+	d := time.Since(start)
+	if r.BD != nil {
+		r.BD.Add(cat, d)
+	}
+	if waited && obs.TraceEnabled() {
+		kind := obs.EvLockWaitRW
+		if cat == catWW {
+			kind = obs.EvLockWaitWW
+		}
+		obs.Emit(obs.Event{Kind: kind, WID: r.WID, Dur: int64(d)})
+	}
+	return err
 }

@@ -184,6 +184,32 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
 		fmt.Fprintf(w, "plor_wasted_ops{quantile=%q} %d\n", q.label, wasted.Quantile(q.v))
 	}
+	fmt.Fprintf(w, "# HELP plor_cross_shard_txns_total Committed transactions that spanned more than one shard.\n")
+	fmt.Fprintf(w, "# TYPE plor_cross_shard_txns_total counter\n")
+	fmt.Fprintf(w, "plor_cross_shard_txns_total %d\n", l.CrossShardTxns.Load())
+	fmt.Fprintf(w, "# HELP plor_cross_shard_prepares_total Successful participant prepares (2PC phase 1).\n")
+	fmt.Fprintf(w, "# TYPE plor_cross_shard_prepares_total counter\n")
+	fmt.Fprintf(w, "plor_cross_shard_prepares_total %d\n", l.CrossShardPrepares.Load())
+	fmt.Fprintf(w, "# HELP plor_in_doubt_resolves_total Decision-table lookups for prepared transactions whose coordinator went silent.\n")
+	fmt.Fprintf(w, "# TYPE plor_in_doubt_resolves_total counter\n")
+	fmt.Fprintf(w, "plor_in_doubt_resolves_total %d\n", l.InDoubtResolves.Load())
+	prepLat, decideLat := l.TwoPCSnapshot()
+	fmt.Fprintf(w, "# HELP plor_2pc_prepare_ns Participant prepare latency quantiles (ns, 2PC phase 1).\n")
+	fmt.Fprintf(w, "# TYPE plor_2pc_prepare_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_2pc_prepare_ns{quantile=%q} %d\n", q.label, prepLat.Quantile(q.v))
+	}
+	fmt.Fprintf(w, "# HELP plor_2pc_decide_ns Prepare-to-decision gap quantiles (ns, 2PC phase 2 lock pin time).\n")
+	fmt.Fprintf(w, "# TYPE plor_2pc_decide_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_2pc_decide_ns{quantile=%q} %d\n", q.label, decideLat.Quantile(q.v))
+	}
 	fmt.Fprintf(w, "# HELP plor_sessions_active Client sessions currently registered with the scheduler.\n")
 	fmt.Fprintf(w, "# TYPE plor_sessions_active gauge\n")
 	fmt.Fprintf(w, "plor_sessions_active %d\n", l.SessionsActive.Load())

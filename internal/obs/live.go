@@ -61,6 +61,16 @@ type Live struct {
 	LockRetires   atomic.Uint64
 	CascadeAborts atomic.Uint64
 
+	// Cross-shard 2PC counters (see internal/rpc's servePrepared and
+	// internal/shard's Coordinator). CrossShardTxns counts committed
+	// transactions that spanned more than one shard; CrossShardPrepares
+	// counts successful participant prepares; InDoubtResolves counts
+	// decision lookups a participant (or recovery) had to make against the
+	// decision table because the coordinator went silent after prepare.
+	CrossShardTxns    atomic.Uint64
+	CrossShardPrepares atomic.Uint64
+	InDoubtResolves   atomic.Uint64
+
 	// M:N serving-layer state (see internal/rpc's Scheduler).
 	// SessionsActive gauges registered client sessions; SessionsQueued
 	// gauges sessions currently staged on the runnable queue. The
@@ -79,6 +89,8 @@ type Live struct {
 	rpcBatch  *stats.Histogram // sub-ops per multi-op rpc frame
 	wasted    *stats.Histogram // completed ops discarded per wound/cascade abort
 	schedWait *stats.Histogram // runnable-queue wait per dispatch (ns)
+	prepLat   *stats.Histogram // participant prepare latency (ns, 2PC phase 1)
+	decideLat *stats.Histogram // prepare-to-decision gap (ns, 2PC phase 2)
 	start     time.Time
 }
 
@@ -89,6 +101,8 @@ var live = &Live{
 	rpcBatch:  stats.NewHistogram(),
 	wasted:    stats.NewHistogram(),
 	schedWait: stats.NewHistogram(),
+	prepLat:   stats.NewHistogram(),
+	decideLat: stats.NewHistogram(),
 	start:     time.Now(),
 }
 
@@ -189,6 +203,33 @@ func SchedStatsSnapshot() (SchedStat, bool) {
 		return SchedStat{}, false
 	}
 	return (*fn)(), true
+}
+
+// PrepareLat records one participant prepare's lock-and-persist latency
+// (2PC phase 1 as seen by the participant).
+func (l *Live) PrepareLat(d time.Duration) {
+	l.mu.Lock()
+	l.prepLat.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+// DecideLat records one prepared participant's prepare-to-decision gap
+// (2PC phase 2: how long locks were pinned waiting for the coordinator).
+func (l *Live) DecideLat(d time.Duration) {
+	l.mu.Lock()
+	l.decideLat.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+// TwoPCSnapshot returns copies of the prepare-latency and decision-gap
+// histograms (both ns).
+func (l *Live) TwoPCSnapshot() (prepare, decide *stats.Histogram) {
+	prepare, decide = stats.NewHistogram(), stats.NewHistogram()
+	l.mu.Lock()
+	prepare.Merge(l.prepLat)
+	decide.Merge(l.decideLat)
+	l.mu.Unlock()
+	return prepare, decide
 }
 
 // SchedWait records one dispatch's runnable-queue wait.
@@ -328,6 +369,9 @@ func (l *Live) Reset() {
 	l.SnapshotTxns.Store(0)
 	l.LockRetires.Store(0)
 	l.CascadeAborts.Store(0)
+	l.CrossShardTxns.Store(0)
+	l.CrossShardPrepares.Store(0)
+	l.InDoubtResolves.Store(0)
 	l.AdmissionRejectsQueueFull.Store(0)
 	l.AdmissionRejectsDeadline.Store(0)
 	// SessionsActive/SessionsQueued are live gauges owned by the serving
@@ -342,6 +386,8 @@ func (l *Live) Reset() {
 	l.rpcBatch.Reset()
 	l.wasted.Reset()
 	l.schedWait.Reset()
+	l.prepLat.Reset()
+	l.decideLat.Reset()
 	l.start = time.Now()
 	l.mu.Unlock()
 }

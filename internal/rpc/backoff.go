@@ -1,0 +1,19 @@
+package rpc
+
+import "time"
+
+// BusyBackoff computes how long a client waits before resubmitting a
+// transaction the server shed with StatusBusy. The server's RetryAfter
+// hint is a FLOOR, not a midpoint: it estimates when capacity frees up, so
+// sleeping any less than the hint guarantees arriving early and being shed
+// again. Jitter is therefore strictly additive — up to half the hint on
+// top — which decorrelates the retry stampede of simultaneously-shed
+// clients without ever undercutting the hint. A non-positive hint falls
+// back to 1ms. rng is the caller's 64-bit LCG state, advanced in place.
+func BusyBackoff(hint time.Duration, rng *uint64) time.Duration {
+	if hint <= 0 {
+		hint = time.Millisecond
+	}
+	*rng = *rng*6364136223846793005 + 1442695040888963407
+	return hint + time.Duration(int64(*rng>>33)%int64(hint/2+1))
+}

@@ -1,0 +1,46 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBusyBackoffIsFloor: the retry-after hint is a floor — the computed
+// backoff must never undercut it, and jitter lands strictly on top (at
+// most half the hint).
+func TestBusyBackoffIsFloor(t *testing.T) {
+	rng := uint64(42)
+	for _, hint := range []time.Duration{
+		time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		7 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	} {
+		for i := 0; i < 1000; i++ {
+			d := BusyBackoff(hint, &rng)
+			if d < hint {
+				t.Fatalf("BusyBackoff(%v) = %v, undercuts the hint", hint, d)
+			}
+			if d > hint+hint/2 {
+				t.Fatalf("BusyBackoff(%v) = %v, jitter exceeds hint/2", hint, d)
+			}
+		}
+	}
+}
+
+// TestBusyBackoffDefaultsAndJitter: a non-positive hint falls back to the
+// 1ms floor, and the jitter actually varies (no degenerate constant).
+func TestBusyBackoffDefaultsAndJitter(t *testing.T) {
+	rng := uint64(7)
+	for _, hint := range []time.Duration{0, -time.Millisecond} {
+		d := BusyBackoff(hint, &rng)
+		if d < time.Millisecond || d > time.Millisecond+time.Millisecond/2 {
+			t.Fatalf("BusyBackoff(%v) = %v, want within [1ms, 1.5ms]", hint, d)
+		}
+	}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		seen[BusyBackoff(time.Millisecond, &rng)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter degenerate: only %d distinct values in 100 draws", len(seen))
+	}
+}

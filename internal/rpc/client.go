@@ -63,6 +63,17 @@ func IsServerBusy(err error) bool {
 	return errors.As(err, &e)
 }
 
+// RemoteAbortError maps a StatusAborted response's cause byte to the shared
+// static abort error for that cause (cc.IsAborted true, cc.CauseOf
+// classifies it like a local abort). Exported for external coordinators
+// (internal/shard) that speak the wire protocol without a ClientWorker.
+func RemoteAbortError(cause uint8) error { return remoteAbort(cause) }
+
+// BusyErrorFrom builds the typed *ErrServerBusy for a StatusBusy response,
+// decoding the retry-after hint and shed cause. Exported for external
+// coordinators, like RemoteAbortError.
+func BusyErrorFrom(r *Response) error { return busyError(r) }
+
 // busyError builds the typed error for a StatusBusy response.
 func busyError(r *Response) error {
 	return &ErrServerBusy{RetryAfter: decodeRetryAfter(r.Val), Cause: shedCauseString(r.Cause)}

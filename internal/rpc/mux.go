@@ -225,8 +225,45 @@ type MuxConn struct {
 	closed bool
 
 	smu     sync.RWMutex
-	sess    []*MuxSession // indexed by sid; sids are allocated densely
+	sess    []*MuxSession            // sid < muxDenseSIDLimit: slice index
+	sparse  map[uint32]*MuxSession   // sid ≥ muxDenseSIDLimit: map spill
 	nextSID uint32
+}
+
+// lookupSession resolves sid → session (nil if unknown). Caller holds smu.
+func (mc *MuxConn) lookupSession(sid uint32) *MuxSession {
+	if int(sid) < len(mc.sess) {
+		return mc.sess[sid]
+	}
+	return mc.sparse[sid]
+}
+
+// putSession installs a session under its sid. Sids are allocated densely
+// so the hot path is the slice; sids past muxDenseSIDLimit (a very
+// long-lived conn that opened over a million sessions) spill to the map —
+// mirroring the server's muxSessTable so neither side allocates a
+// multi-gigabyte slice. Caller holds smu.
+func (mc *MuxConn) putSession(s *MuxSession) {
+	if s.sid < muxDenseSIDLimit {
+		for len(mc.sess) <= int(s.sid) {
+			mc.sess = append(mc.sess, nil)
+		}
+		mc.sess[s.sid] = s
+		return
+	}
+	if mc.sparse == nil {
+		mc.sparse = make(map[uint32]*MuxSession)
+	}
+	mc.sparse[s.sid] = s
+}
+
+// delSession removes sid's entry. Caller holds smu.
+func (mc *MuxConn) delSession(sid uint32) {
+	if int(sid) < len(mc.sess) {
+		mc.sess[sid] = nil
+		return
+	}
+	delete(mc.sparse, sid)
 }
 
 // DialMux opens a multiplexed connection to a server at addr under
@@ -315,10 +352,7 @@ func (mc *MuxConn) readLoop(conn net.Conn, w *muxWriter, failCh chan struct{}) {
 			return
 		}
 		mc.smu.RLock()
-		var s *MuxSession
-		if int(sid) < len(mc.sess) {
-			s = mc.sess[sid]
-		}
+		s := mc.lookupSession(sid)
 		mc.smu.RUnlock()
 		if s == nil {
 			if _, err := io.CopyN(io.Discard, br, int64(body)); err != nil {
@@ -383,10 +417,7 @@ func (mc *MuxConn) NewSession() *MuxSession {
 		ch:   make(chan muxDeliv, 1),
 		rbuf: make([]byte, 0, 4096),
 	}
-	for len(mc.sess) <= int(s.sid) {
-		mc.sess = append(mc.sess, nil)
-	}
-	mc.sess[s.sid] = s
+	mc.putSession(s)
 	mc.smu.Unlock()
 	return s
 }
@@ -481,9 +512,7 @@ func (s *MuxSession) call1(rf *ReqFrame, wf *RespFrame) error {
 // server (freeing its worker slot) and detaches from the conn.
 func (s *MuxSession) Close() error {
 	s.mc.smu.Lock()
-	if int(s.sid) < len(s.mc.sess) {
-		s.mc.sess[s.sid] = nil
-	}
+	s.mc.delSession(s.sid)
 	s.mc.smu.Unlock()
 	if w, _, err := s.mc.current(); err == nil {
 		s.wn.waitFree()

@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// TestMuxSparseSIDs: sessions whose sids straddle muxDenseSIDLimit must
+// work end to end. The server's demux table spills large sids to a map;
+// this drives the CLIENT demux table across the same boundary (a very
+// long-lived conn that allocated over a million sids) and verifies both
+// sides route frames correctly — the client-side table was dense-only
+// before this test existed, so a sid past the limit would have indexed a
+// slice the readLoop never grew and every response would be discarded,
+// hanging the session.
+func TestMuxSparseSIDs(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 8)
+	srv := NewServer(e, db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mc, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	// Jump the sid allocator to just below the dense/sparse boundary, then
+	// open sessions spanning it: two dense (limit-1, limit... the first
+	// increment lands on limit-1) and several sparse.
+	mc.smu.Lock()
+	mc.nextSID = muxDenseSIDLimit - 2
+	mc.smu.Unlock()
+
+	const nSess = 5
+	sess := make([]*MuxSession, nSess)
+	for i := range sess {
+		sess[i] = mc.NewSession()
+	}
+	if sess[0].sid != muxDenseSIDLimit-1 || sess[nSess-1].sid != muxDenseSIDLimit+3 {
+		t.Fatalf("sids = %d..%d, want %d..%d straddling the dense limit",
+			sess[0].sid, sess[nSess-1].sid, muxDenseSIDLimit-1, muxDenseSIDLimit+3)
+	}
+
+	// Every session runs real transactions: an increment on its own key,
+	// then a read-back. Misrouted or dropped responses hang or corrupt.
+	for i, s := range sess {
+		w := NewClientWorker(s, db.Tables(), uint16(i+1))
+		key := uint64(i)
+		for round := 0; round < 3; round++ {
+			if err := runClientTxn(w, func(tx cc.Tx) error {
+				v, err := tx.ReadForUpdate(tbl, key)
+				if err != nil {
+					return err
+				}
+				return tx.Update(tbl, key, u64(decode(v)+1))
+			}, cc.AttemptOpts{}); err != nil {
+				t.Fatalf("session sid=%d round %d: %v", s.sid, round, err)
+			}
+		}
+		if err := runClientTxn(w, func(tx cc.Tx) error {
+			v, err := tx.Read(tbl, key)
+			if err != nil {
+				return err
+			}
+			if decode(v) != key+3 {
+				return fmt.Errorf("key %d = %d, want %d", key, decode(v), key+3)
+			}
+			return nil
+		}, cc.AttemptOpts{}); err != nil {
+			t.Fatalf("session sid=%d read-back: %v", s.sid, err)
+		}
+	}
+
+	// Close a sparse and a dense session, then verify the table forgot
+	// them and the survivors still work (delSession must hit the right
+	// half of the split table).
+	sess[3].Close()
+	sess[0].Close()
+	mc.smu.Lock()
+	if mc.lookupSession(sess[3].sid) != nil || mc.lookupSession(sess[0].sid) != nil {
+		mc.smu.Unlock()
+		t.Fatal("closed sessions still resolvable in the demux table")
+	}
+	if mc.lookupSession(sess[4].sid) != sess[4] {
+		mc.smu.Unlock()
+		t.Fatal("surviving sparse session lost from the demux table")
+	}
+	mc.smu.Unlock()
+	w := NewClientWorker(sess[4], db.Tables(), 9)
+	if err := runClientTxn(w, func(tx cc.Tx) error {
+		_, err := tx.Read(tbl, 1)
+		return err
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatalf("survivor txn after closes: %v", err)
+	}
+}
+
+// TestMuxSessTableSparse unit-tests both halves of the client table split.
+func TestMuxSessTableSparse(t *testing.T) {
+	mc := &MuxConn{}
+	mk := func(sid uint32) *MuxSession { return &MuxSession{sid: sid} }
+	cases := []uint32{1, 7, muxDenseSIDLimit - 1, muxDenseSIDLimit, muxDenseSIDLimit + 1, 1<<31 + 5}
+	for _, sid := range cases {
+		mc.putSession(mk(sid))
+	}
+	for _, sid := range cases {
+		s := mc.lookupSession(sid)
+		if s == nil || s.sid != sid {
+			t.Fatalf("lookup(%d) = %v", sid, s)
+		}
+	}
+	if mc.lookupSession(3) != nil || mc.lookupSession(muxDenseSIDLimit+2) != nil {
+		t.Fatal("lookup of unknown sid should be nil")
+	}
+	for _, sid := range cases {
+		mc.delSession(sid)
+		if mc.lookupSession(sid) != nil {
+			t.Fatalf("sid %d still present after del", sid)
+		}
+	}
+	if len(mc.sparse) != 0 {
+		t.Fatalf("sparse map retains %d entries after deletes", len(mc.sparse))
+	}
+}

@@ -46,7 +46,32 @@ const (
 	// (Read, ReadForUpdate, Update, Insert, Delete, ReadRC) may appear as
 	// sub-operations; Begin/Commit/Abort/Scan travel as single frames.
 	OpBatch
+	// OpPrepare asks the open transaction to prepare for a cross-shard
+	// commit: lock the write set, make the redo images durable under a
+	// prepare marker, and hold everything until the decision. Key carries
+	// the gtid. StatusOK means prepared; the session then accepts only
+	// OpCommitPrepared / OpAbort (or resolves the outcome itself if the
+	// coordinator dies).
+	OpPrepare
+	// OpCommitPrepared relays the coordinator's commit decision to a
+	// prepared participant (the home shard's decision marker is already
+	// durable; see OpCommit.Key).
+	OpCommitPrepared
+	// OpResolve is a transaction-INITIAL query, not a transaction op: it
+	// asks a shard whether gtid Key committed (Val = [1]{0|1} in the
+	// response). Participants recovering in-doubt transactions send it to
+	// the gtid's home shard; an unknown gtid is fenced to aborted
+	// (presumed abort).
+	OpResolve
 )
+
+// On OpBegin, Key carries the transaction's externally minted global
+// timestamp (0 = mint locally) and the response's Val carries the 8-byte
+// timestamp the attempt runs under — the coordinator learns the global
+// ordering timestamp from its first participant and forwards it to the
+// rest. On OpCommit, a non-zero Key marks the session as the HOME shard of
+// cross-shard transaction Key (gtid): its commit marker doubles as the
+// global decision record.
 
 // Status codes carried in responses.
 const (

@@ -35,6 +35,7 @@ type Session struct {
 	rows     []ScanRow
 	arena    *cc.Arena // batch read results (see applyBatch)
 	txnStart time.Time // first-attempt Begin of the current transaction
+	tsBuf    [8]byte   // Begin-reply timestamp / OpResolve answer scratch
 }
 
 // NewSession binds worker wid of engine e to a new session.
@@ -93,6 +94,20 @@ func (s *Session) Serve(recv func(*ReqFrame) error, send func(*RespFrame) error)
 // only when the transaction ended in a retryable abort). The returned
 // error is non-nil only for transport failure — the session is dead.
 func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv func(*ReqFrame) error, send func(*RespFrame) error) (uint64, error) {
+	if !rf.Batch && len(rf.Reqs) == 1 && rf.Reqs[0].Op == OpResolve {
+		// Transaction-initial decision query from a participant shard (or a
+		// recovering peer): answer from this shard's decision table. The
+		// resolve itself fences an undecided gtid to aborted (presumed
+		// abort), so the answer is final.
+		v := byte(0)
+		if s.db.ResolveDecision(rf.Reqs[0].Key) {
+			v = 1
+		}
+		obs.Metrics().InDoubtResolves.Add(1)
+		s.tsBuf[0] = v
+		wf.setSingle(Response{Status: StatusOK, Val: s.tsBuf[:1]})
+		return 0, send(wf)
+	}
 	if rf.Batch || len(rf.Reqs) != 1 || rf.Reqs[0].Op != OpBegin {
 		wf.setSingle(Response{Status: StatusError})
 		return 0, send(wf)
@@ -100,6 +115,17 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 	req := &rf.Reqs[0]
 	opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint), RetryTS: retryTS}
 	first := req.First
+	if req.Key != 0 {
+		// Cross-shard transaction: the coordinator carries the global
+		// ordering timestamp minted by the first participant, so wound-wait
+		// priority agrees on every shard — and survives retries even when
+		// they land on a different executor or participant set.
+		if first {
+			opts.BeginTS = req.Key
+		} else {
+			opts.RetryTS = req.Key
+		}
+	}
 	if first {
 		s.txnStart = time.Now()
 	} else {
@@ -108,7 +134,12 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 
 	var commErr error
 	err := s.worker.Attempt(func(tx cc.Tx) error {
-		wf.setSingle(Response{Status: StatusOK})
+		// The Begin reply carries the attempt's wound-wait timestamp: the
+		// coordinator reads it off its first participant and forwards it to
+		// the rest (Begin.Key), making that shard's clock the transaction's
+		// global ordering source.
+		binary.LittleEndian.PutUint64(s.tsBuf[:], s.attemptTS())
+		wf.setSingle(Response{Status: StatusOK, Val: s.tsBuf[:8]})
 		if commErr = send(wf); commErr != nil {
 			return commErr
 		}
@@ -137,9 +168,27 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 			req := &rf.Reqs[0]
 			switch req.Op {
 			case OpCommit:
+				if req.Key != 0 {
+					// Home shard of a cross-shard commit: tag the engine so
+					// its commit marker doubles as the decision record.
+					p, ok := tx.(cc.Preparer)
+					if !ok {
+						wf.setSingle(Response{Status: StatusError})
+						if commErr = send(wf); commErr != nil {
+							return commErr
+						}
+						return errReported
+					}
+					p.SetGTID(req.Key)
+				}
 				return nil
 			case OpAbort:
 				return errClientAbort
+			case OpPrepare:
+				// Terminal either way: a refused prepare aborts the
+				// transaction; a successful one ends in the coordinator's
+				// decision (or a self-resolved outcome).
+				return s.servePrepared(tx, req.Key, rf, wf, recv, send, &commErr)
 			default:
 				wf.Batch = false
 				wf.Resps = sizeResps(wf.Resps, 1)
@@ -187,6 +236,77 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 // (Silo, TicToc, MOCC) ignore the value.
 func (s *Session) attemptTS() uint64 {
 	return txn.TS(s.db.Reg.Ctx(s.wid).Load())
+}
+
+// servePrepared runs the participant side of a cross-shard commit from the
+// OpPrepare onward: prepare the open transaction, then wait for the
+// coordinator's decision. The return value is terminal for the enclosing
+// Attempt proc — nil commits the prepared state, anything else rolls it
+// back. If the transport dies while prepared (coordinator or link failure),
+// the outcome is resolved against the gtid's home shard instead of guessed:
+// a prepared transaction may already be globally committed.
+func (s *Session) servePrepared(tx cc.Tx, gtid uint64, rf *ReqFrame, wf *RespFrame, recv func(*ReqFrame) error, send func(*RespFrame) error, commErr *error) error {
+	p, ok := tx.(cc.Preparer)
+	if !ok || gtid == 0 {
+		// Engine cannot participate in 2PC (or malformed gtid): refuse and
+		// abort — the coordinator aborts the other participants.
+		wf.setSingle(Response{Status: StatusError})
+		if *commErr = send(wf); *commErr != nil {
+			return *commErr
+		}
+		return errClientAbort
+	}
+	prepStart := time.Now()
+	if perr := p.PrepareCommit(gtid); perr != nil {
+		cause := cc.CauseOf(perr)
+		wf.setSingle(Response{Status: StatusAborted, Cause: uint8(cause)})
+		obs.Metrics().TxnAbort(cause)
+		if *commErr = send(wf); *commErr != nil {
+			return *commErr
+		}
+		return errReported
+	}
+	obs.Metrics().PrepareLat(time.Since(prepStart))
+	obs.Metrics().CrossShardPrepares.Add(1)
+	wf.setSingle(Response{Status: StatusOK})
+	if *commErr = send(wf); *commErr != nil {
+		// The coordinator may never learn we prepared; only the home shard
+		// knows the outcome now.
+		return s.resolveOutcome(gtid)
+	}
+	for {
+		if *commErr = recv(rf); *commErr != nil {
+			return s.resolveOutcome(gtid)
+		}
+		if !rf.Batch && len(rf.Reqs) == 1 {
+			switch rf.Reqs[0].Op {
+			case OpCommitPrepared:
+				return nil
+			case OpAbort:
+				return errClientAbort
+			}
+		}
+		// Anything else is illegal while prepared: the write set is locked
+		// and the outcome belongs to the coordinator.
+		wf.setSingle(Response{Status: StatusError})
+		if *commErr = send(wf); *commErr != nil {
+			return s.resolveOutcome(gtid)
+		}
+	}
+}
+
+// resolveOutcome settles a prepared transaction whose coordinator died, by
+// asking the gtid's home shard (via the DB's resolver hook) whether the
+// decision marker committed. The enclosing ServeTxn never sends another
+// frame on this session — the transport already failed — so the return
+// value only steers the engine: nil installs the prepared write set,
+// errClientAbort rolls it back.
+func (s *Session) resolveOutcome(gtid uint64) error {
+	obs.Metrics().InDoubtResolves.Add(1)
+	if s.db.ResolveDecision(gtid) {
+		return nil
+	}
+	return errClientAbort
 }
 
 // applyBatch executes a multi-op frame's sub-operations in order. The first

@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/db"
+	"repro/internal/rpc"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// ClusterOptions configures an in-process shard cluster.
+type ClusterOptions struct {
+	// Shards is the topology size (≥ 2).
+	Shards int
+	// Workers is each shard's engine worker-slot count (default 4).
+	Workers int
+	// Protocol selects the engine (default db.Plor; must be a 2PC-capable
+	// Plor variant — db.Open enforces this for sharded topologies).
+	Protocol db.Protocol
+	// Logging enables per-shard redo WAL with group commit: the
+	// configuration under which prepare records and commit decisions ride
+	// flush epochs, and restarts recover. Off = in-memory shards (pure
+	// throughput benchmarking).
+	Logging          bool
+	LogFlushInterval time.Duration
+	LogSimLatency    time.Duration
+	// Executors/MaxSessions/QueueCap/RetryAfter parameterize each shard's
+	// M:N session scheduler (see db.ServeOptions).
+	Executors   int
+	MaxSessions int
+	QueueCap    int
+	RetryAfter  time.Duration
+	// Setup creates the schema and loads shard shardID's partition. It runs
+	// on every fresh open INCLUDING restarts (recovery replays the WAL over
+	// the reloaded baseline), so it must be deterministic.
+	Setup func(shardID int, d *db.DB) error
+}
+
+// Cluster hosts N shard servers in one process, each a full plorserver —
+// its own engine, worker pool, WAL devices, reclamation epochs, and M:N
+// session scheduler — serving real loopback TCP. Coordinators dial the
+// shards like any remote client, so the cluster exercises exactly the
+// multi-process wire protocol; cmd/plorserver runs one such shard
+// standalone with the same wiring.
+type Cluster struct {
+	opts  ClusterOptions
+	nodes []*node
+	amu   sync.RWMutex // guards addrs: Restart rewrites a slot while coordinators dial
+	addrs []string
+}
+
+// node is one shard's serving state. mu orders Restart against accessors.
+type node struct {
+	mu   sync.Mutex
+	d    *db.DB
+	srv  *rpc.Server
+	devs []wal.Device // retained across restarts: the shard's "durable" log
+}
+
+// NewCluster builds and starts a cluster. Close releases it.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Shards < 2 {
+		return nil, fmt.Errorf("shard: cluster needs ≥2 shards, got %d", opts.Shards)
+	}
+	if opts.Protocol == "" {
+		opts.Protocol = db.Plor
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	c := &Cluster{
+		opts:  opts,
+		nodes: make([]*node, opts.Shards),
+		addrs: make([]string, opts.Shards),
+	}
+	for i := range c.nodes {
+		n := &node{}
+		if opts.Logging {
+			n.devs = c.freshDevices()
+		}
+		c.nodes[i] = n
+		if err := c.openNode(i, "127.0.0.1:0", nil); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// freshDevices allocates one simulated log device per worker log.
+func (c *Cluster) freshDevices() []wal.Device {
+	lat := c.opts.LogSimLatency
+	devs := make([]wal.Device, c.opts.Workers+1)
+	for i := range devs {
+		devs[i] = wal.NewSimDevice(lat)
+	}
+	return devs
+}
+
+// openNode opens shard i's database, loads its partition, optionally runs
+// a recovery hook (between load and serving — clients must never observe
+// pre-recovery state), and starts its server on addr.
+func (c *Cluster) openNode(i int, addr string, recoverHook func(d *db.DB) error) error {
+	n := c.nodes[i]
+	dopts := db.Options{
+		Protocol:   c.opts.Protocol,
+		Workers:    c.opts.Workers,
+		ShardID:    i,
+		ShardCount: c.opts.Shards,
+	}
+	if c.opts.Logging {
+		devs := n.devs
+		dopts.Logging = db.LogRedo
+		dopts.LogDurability = db.DurGroup
+		dopts.LogFlushInterval = c.opts.LogFlushInterval
+		dopts.LogSimLatency = c.opts.LogSimLatency
+		dopts.LogDevice = func(wid int) wal.Device { return devs[wid%len(devs)] }
+	}
+	d, err := db.Open(dopts)
+	if err != nil {
+		return err
+	}
+	if c.opts.Setup != nil {
+		if err := c.opts.Setup(i, d); err != nil {
+			d.Close()
+			return err
+		}
+	}
+	d.SetDecisionResolver(c.resolver(i, d))
+	if recoverHook != nil {
+		if err := recoverHook(d); err != nil {
+			d.Close()
+			return err
+		}
+	}
+	srv := d.NewServer(db.ServeOptions{
+		Executors:   c.opts.Executors,
+		MaxSessions: c.opts.MaxSessions,
+		QueueCap:    c.opts.QueueCap,
+		RetryAfter:  c.opts.RetryAfter,
+	})
+	got, err := srv.Listen(addr)
+	if err != nil {
+		srv.Shutdown()
+		d.Close()
+		return err
+	}
+	n.mu.Lock()
+	n.d, n.srv = d, srv
+	n.mu.Unlock()
+	c.amu.Lock()
+	c.addrs[i] = got
+	c.amu.Unlock()
+	return nil
+}
+
+// resolver builds shard self's in-doubt decision resolver: gtids homed
+// here answer from the local decision table; everything else is resolved
+// against the home shard over the wire.
+func (c *Cluster) resolver(self int, d *db.DB) func(gtid uint64) bool {
+	return func(gtid uint64) bool {
+		home := txn.GTIDHomeShard(gtid)
+		if home == self || home >= c.opts.Shards {
+			return d.Inner().Decisions.Resolve(gtid)
+		}
+		return c.resolveAt(home, gtid)
+	}
+}
+
+// resolveAt asks gtid's home shard for its durable decision, blocking
+// until the home answers. Guessing would break atomicity, and in this
+// topology the home always comes back (restart-based recovery), so
+// blocking is the correct trade.
+func (c *Cluster) resolveAt(home int, gtid uint64) bool {
+	var rf rpc.ReqFrame
+	var wf rpc.RespFrame
+	rf.Reqs = []rpc.Request{{Op: rpc.OpResolve, Key: gtid}}
+	for {
+		tp, err := rpc.DialTCP(c.Addr(home))
+		if err == nil {
+			err = tp.Call(&rf, &wf)
+			tp.Close()
+			if err == nil && len(wf.Resps) == 1 &&
+				wf.Resps[0].Status == rpc.StatusOK && len(wf.Resps[0].Val) == 1 {
+				return wf.Resps[0].Val[0] == 1
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Addr returns shard i's listen address.
+func (c *Cluster) Addr(i int) string {
+	c.amu.RLock()
+	defer c.amu.RUnlock()
+	return c.addrs[i]
+}
+
+// Addrs returns every shard's listen address, indexed by shard id.
+func (c *Cluster) Addrs() []string {
+	c.amu.RLock()
+	defer c.amu.RUnlock()
+	out := make([]string, len(c.addrs))
+	copy(out, c.addrs)
+	return out
+}
+
+// DB returns shard i's database handle (test inspection).
+func (c *Cluster) DB(i int) *db.DB {
+	n := c.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.d
+}
+
+// NewCoordinator builds a coordinator over this cluster with a dedicated
+// TCP+mux-free transport per shard (plain framed conns: one coordinator is
+// one session per shard). tables must mirror the shards' creation order —
+// use any shard's d.Inner().Tables().
+func (c *Cluster) NewCoordinator(r Router, wid uint16) *Coordinator {
+	tables := c.DB(0).Inner().Tables()
+	return NewCoordinator(r, tables, wid, func(s int) (rpc.Transport, error) {
+		return rpc.DialTCP(c.Addr(s))
+	})
+}
+
+// Restart crash-restarts shard i: stop serving, recover from the retained
+// WAL devices (baseline reload + redo replay), resolve any in-doubt
+// prepared transactions against their home shards, and resume serving on
+// the SAME address. In-flight transactions on the shard are lost exactly
+// as in a process crash; coordinators redial transparently.
+func (c *Cluster) Restart(i int) error {
+	if !c.opts.Logging {
+		return fmt.Errorf("shard: Restart requires Logging (nothing survives otherwise)")
+	}
+	n := c.nodes[i]
+	n.mu.Lock()
+	srv, d := n.srv, n.d
+	n.srv, n.d = nil, nil
+	n.mu.Unlock()
+	srv.Shutdown()
+	d.Close()
+
+	res, err := wal.RecoverFull(wal.Redo, n.devs)
+	if err != nil {
+		return err
+	}
+	// The recovered state restarts on FRESH devices: the old log's epochs
+	// are consumed by this recovery, and appending a new epoch sequence to
+	// old content would confuse a second recovery's torn-frame bound.
+	n.devs = c.freshDevices()
+
+	return c.openNode(i, c.Addr(i), func(d *db.DB) error {
+		in := d.Inner()
+		var maxTS uint64
+		// Rebuild the decision table from the gtid-tagged markers: this
+		// shard may be home to transactions whose participants have not
+		// resolved yet.
+		for gtid, committed := range res.Decisions {
+			if committed {
+				in.Decisions.SetCommitted(gtid)
+			} else {
+				in.Decisions.Abort(gtid)
+			}
+			if ts := txn.GTIDTS(gtid); ts > maxTS {
+				maxTS = ts
+			}
+		}
+		// Settle in-doubt prepared transactions before serving: ask each
+		// gtid's home (never this shard — a home's own commit is one-phase
+		// and thus never prepared-without-decision; the local branch is
+		// defensive and lands on the presumed-abort fence).
+		for _, t := range res.InDoubt {
+			if ts := txn.GTIDTS(t.GTID); ts > maxTS {
+				maxTS = ts
+			}
+			var committed bool
+			if home := txn.GTIDHomeShard(t.GTID); home == i {
+				committed = in.Decisions.Resolve(t.GTID)
+			} else {
+				committed = c.resolveAt(home, t.GTID)
+			}
+			if committed {
+				res.MergeInDoubt(t)
+				in.Decisions.SetCommitted(t.GTID)
+			} else {
+				in.Decisions.Abort(t.GTID)
+			}
+		}
+		if err := in.ApplyRecovered(res.Changes); err != nil {
+			return err
+		}
+		// Push the fresh timestamp clock past every recovered cross-shard
+		// timestamp so re-minted values cannot collide with gtids already
+		// fenced or decided. (Live remote transactions additionally
+		// re-teach the clock via Begin.Key → ObserveTS on arrival.)
+		if maxTS != 0 {
+			in.Reg.ObserveTS(maxTS)
+		}
+		return nil
+	})
+}
+
+// InDoubtAfterRecovery recovers shard i's retained WAL (without touching
+// the running shard) and reports how many prepared transactions remain
+// in-doubt on it — the acceptance probe for "no in-doubt transactions
+// after recovery". Only meaningful after the shard has quiesced.
+func (c *Cluster) InDoubtAfterRecovery(i int) (int, error) {
+	res, err := wal.RecoverFull(wal.Redo, c.nodes[i].devs)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.InDoubt), nil
+}
+
+// FlushWAL flushes every shard's WAL (quiesce helper).
+func (c *Cluster) FlushWAL() error {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		d := n.d
+		n.mu.Unlock()
+		if d != nil {
+			if err := d.FlushWAL(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts every shard down.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		srv, d := n.srv, n.d
+		n.srv, n.d = nil, nil
+		n.mu.Unlock()
+		if srv != nil {
+			srv.Shutdown()
+		}
+		if d != nil {
+			d.Close()
+		}
+	}
+}

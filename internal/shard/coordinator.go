@@ -1,0 +1,621 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/stats"
+	"repro/internal/txn"
+)
+
+var errRemote = errors.New("shard: remote error")
+
+// ErrOutcomeUnknown reports a cross-shard commit whose decision could not
+// be learned before the home shard's connection failed. The transaction is
+// NOT known aborted — the home may have made its decision marker durable,
+// and every prepared participant resolves against that marker — so callers
+// must treat the transaction as possibly committed (workload drivers start
+// a fresh transaction; they never retry this one with its old timestamp).
+var ErrOutcomeUnknown = errors.New("shard: cross-shard commit outcome unknown (home shard unreachable)")
+
+// Coordinator executes transactions across a set of shard servers. It
+// implements cc.Worker, and the cc.Tx it hands procedures routes each
+// record operation to the owning shard (per the Router) over that shard's
+// transport. Transactions touching one shard commit exactly like the
+// ordinary interactive client; transactions spanning shards run two-phase
+// commit with the first writing participant as home (see commitCross).
+//
+// A Coordinator is single-goroutine, like every cc.Worker. It deliberately
+// does not implement cc.BatchTx: cc.Batcher detects that and falls back to
+// eager per-op execution, which keeps cross-shard frames correctly ordered
+// per participant.
+//
+// AttemptOpts.ReadOnly is NOT forwarded to participants: a participant
+// cannot know at Begin whether the whole transaction stays read-only on it,
+// and the engines' read-only fast paths cannot hold prepared state.
+type Coordinator struct {
+	router Router
+	tables []*cc.Table
+	wid    uint16
+	dial   func(shard int) (rpc.Transport, error)
+	conns  []*shardConn
+	arena  *cc.Arena
+	pref   int // AnyShard target when no participant is open yet
+
+	gts   uint64 // transaction's global ordering timestamp (kept across retries)
+	salt  uint32 // attempt counter: per-attempt gtid salt
+	order []int  // participants in begin order, this attempt
+	parts []int  // commit-time scratch: open participants
+	first bool
+	hint  uint32
+	dead  bool // current attempt already ended (abort or transport death)
+	deadErr error
+
+	lastShards int // participant count of the last committed transaction
+	bd         *stats.Breakdown
+	reqF       rpc.ReqFrame
+	respF      rpc.RespFrame
+}
+
+// shardConn is the per-shard connection and per-attempt transaction state.
+type shardConn struct {
+	tp       rpc.Transport
+	active   bool // Begin accepted; transaction open on this shard
+	ended    bool // ended server-side this attempt (abort or conn death)
+	writes   bool // at least one acknowledged write this attempt
+	prepared bool // OpPrepare acknowledged this attempt
+}
+
+// NewCoordinator builds a coordinator. tables must mirror every shard's
+// creation order (table IDs index it); dial opens a transport to one shard
+// and is called lazily, at most once per shard per coordinator lifetime
+// (plus redials after a dropped connection).
+func NewCoordinator(r Router, tables []*cc.Table, wid uint16, dial func(shard int) (rpc.Transport, error)) *Coordinator {
+	return &Coordinator{
+		router: r,
+		tables: tables,
+		wid:    wid,
+		dial:   dial,
+		conns:  make([]*shardConn, r.N()),
+		arena:  cc.NewArena(8 << 10),
+	}
+}
+
+// SetPreferredShard sets the shard AnyShard accesses open when the
+// transaction has no participant yet (e.g. a TPC-C worker's home-warehouse
+// shard, so replicated Item reads never add a participant). Default 0.
+func (c *Coordinator) SetPreferredShard(s int) { c.pref = s }
+
+// EnableBreakdown turns on commit/abort/cause accounting.
+func (c *Coordinator) EnableBreakdown() {
+	if c.bd == nil {
+		c.bd = &stats.Breakdown{}
+	}
+}
+
+// Breakdown implements cc.Worker.
+func (c *Coordinator) Breakdown() *stats.Breakdown { return c.bd }
+
+// WID implements cc.Tx.
+func (c *Coordinator) WID() uint16 { return c.wid }
+
+// GTS returns the current (or last) transaction's global ordering
+// timestamp — the wound-wait priority every participant shard honors.
+func (c *Coordinator) GTS() uint64 { return c.gts }
+
+// LastTouchedShards returns how many shards the last committed transaction
+// spanned (1 = single-shard fast path, 0 = empty transaction).
+func (c *Coordinator) LastTouchedShards() int { return c.lastShards }
+
+// AttemptShards returns how many shards the current (or most recent)
+// attempt opened a transaction on, committed or not — the signal a driver
+// uses to pace retries of cross-shard attempts differently from
+// single-shard ones.
+func (c *Coordinator) AttemptShards() int { return len(c.order) }
+
+// Close closes every shard transport.
+func (c *Coordinator) Close() {
+	for _, sc := range c.conns {
+		if sc != nil && sc.tp != nil {
+			sc.tp.Close()
+			sc.tp = nil
+		}
+	}
+}
+
+func (c *Coordinator) markDead(err error) {
+	c.dead = true
+	if c.deadErr == nil {
+		c.deadErr = err
+	}
+}
+
+func (c *Coordinator) deadError() error {
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return errRemote
+}
+
+// conn returns shard s's connection, dialing if needed.
+func (c *Coordinator) conn(s int) (*shardConn, error) {
+	sc := c.conns[s]
+	if sc == nil {
+		sc = &shardConn{}
+		c.conns[s] = sc
+	}
+	if sc.tp == nil {
+		tp, err := c.dial(s)
+		if err != nil {
+			return nil, err
+		}
+		sc.tp = tp
+	}
+	return sc, nil
+}
+
+// dropConn closes shard s's transport: the server rolls back (or, if
+// prepared, self-resolves) the open transaction when the connection dies,
+// and the next transaction redials.
+func (c *Coordinator) dropConn(s int) {
+	if sc := c.conns[s]; sc != nil && sc.tp != nil {
+		sc.tp.Close()
+		sc.tp = nil
+	}
+}
+
+// send1 performs one single-op frame call on sc.
+func (c *Coordinator) send1(sc *shardConn, req rpc.Request) (*rpc.Response, error) {
+	c.reqF.Batch = false
+	if cap(c.reqF.Reqs) < 1 {
+		c.reqF.Reqs = make([]rpc.Request, 1)
+	}
+	c.reqF.Reqs = c.reqF.Reqs[:1]
+	c.reqF.Reqs[0] = req
+	if err := sc.tp.Call(&c.reqF, &c.respF); err != nil {
+		return nil, err
+	}
+	if c.respF.Batch || len(c.respF.Resps) != 1 {
+		return nil, errRemote
+	}
+	return &c.respF.Resps[0], nil
+}
+
+// begin lazily opens the transaction on shard s. The first shard of a
+// fresh attempt mints the global timestamp (returned in the Begin reply);
+// every later participant — and every participant of a retry — receives it
+// in Begin.Key, so wound-wait priority agrees across all shards and
+// retries keep the original timestamp (the aging guarantee).
+func (c *Coordinator) begin(s int) (*shardConn, error) {
+	sc, err := c.conn(s)
+	if err != nil {
+		c.markDead(err)
+		return nil, err
+	}
+	if sc.active && !sc.ended {
+		return sc, nil
+	}
+	if c.dead {
+		return nil, c.deadError()
+	}
+	r, err := c.send1(sc, rpc.Request{Op: rpc.OpBegin, First: c.first, Hint: c.hint, Key: c.gts})
+	if err != nil {
+		c.dropConn(s)
+		c.markDead(err)
+		return nil, err
+	}
+	switch r.Status {
+	case rpc.StatusOK:
+		if c.gts == 0 {
+			if len(r.Val) != 8 {
+				c.markDead(errRemote)
+				return nil, errRemote
+			}
+			c.gts = binary.LittleEndian.Uint64(r.Val)
+		}
+		sc.active, sc.ended, sc.writes, sc.prepared = true, false, false, false
+		c.order = append(c.order, s)
+		return sc, nil
+	case rpc.StatusBusy:
+		// No transaction started on s; the attempt as a whole unwinds
+		// (Attempt aborts any other open participants) and the caller may
+		// retry the entire attempt after the hinted backoff.
+		berr := rpc.BusyErrorFrom(r)
+		c.markDead(berr)
+		return nil, berr
+	default:
+		c.markDead(errRemote)
+		return nil, errRemote
+	}
+}
+
+// route resolves a record's shard, sending AnyShard accesses to an already
+// open participant when there is one.
+func (c *Coordinator) route(table uint32, key uint64) int {
+	s := c.router.Shard(table, key)
+	if s != AnyShard {
+		return s
+	}
+	if len(c.order) > 0 {
+		return c.order[0]
+	}
+	return c.pref
+}
+
+// callShard runs one data operation on shard s (opening the transaction
+// there first if needed) and normalizes the status, mirroring the ordinary
+// interactive client.
+func (c *Coordinator) callShard(s int, req rpc.Request) (*shardConn, []byte, error) {
+	sc, err := c.begin(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := c.send1(sc, req)
+	if err != nil {
+		// Connection died mid-transaction on s: the server rolls s back.
+		c.dropConn(s)
+		sc.ended = true
+		c.markDead(err)
+		return sc, nil, err
+	}
+	switch r.Status {
+	case rpc.StatusOK:
+		return sc, r.Val, nil
+	case rpc.StatusNotFound:
+		return sc, nil, cc.ErrNotFound
+	case rpc.StatusDuplicate:
+		return sc, nil, cc.ErrDuplicate
+	case rpc.StatusAborted:
+		// s ended the transaction server-side; other participants are
+		// still open and are rolled back by Attempt's error path.
+		aerr := rpc.RemoteAbortError(r.Cause)
+		sc.ended = true
+		c.markDead(aerr)
+		return sc, nil, aerr
+	default:
+		c.markDead(errRemote)
+		return sc, nil, errRemote
+	}
+}
+
+// Read implements cc.Tx.
+func (c *Coordinator) Read(t *cc.Table, key uint64) ([]byte, error) {
+	_, v, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpRead, Table: t.ID, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// ReadForUpdate implements cc.Tx.
+func (c *Coordinator) ReadForUpdate(t *cc.Table, key uint64) ([]byte, error) {
+	_, v, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpReadForUpdate, Table: t.ID, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// Update implements cc.Tx.
+func (c *Coordinator) Update(t *cc.Table, key uint64, val []byte) error {
+	sc, _, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpUpdate, Table: t.ID, Key: key, Val: val})
+	if err == nil {
+		sc.writes = true
+	}
+	return err
+}
+
+// Insert implements cc.Tx.
+func (c *Coordinator) Insert(t *cc.Table, key uint64, val []byte) error {
+	sc, _, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpInsert, Table: t.ID, Key: key, Val: val})
+	if err == nil {
+		sc.writes = true
+	}
+	return err
+}
+
+// Delete implements cc.Tx.
+func (c *Coordinator) Delete(t *cc.Table, key uint64) error {
+	sc, _, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpDelete, Table: t.ID, Key: key})
+	if err == nil {
+		sc.writes = true
+	}
+	return err
+}
+
+// ReadRC implements cc.Tx.
+func (c *Coordinator) ReadRC(t *cc.Table, key uint64) ([]byte, error) {
+	_, v, err := c.callShard(c.route(t.ID, key), rpc.Request{Op: rpc.OpReadRC, Table: t.ID, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return c.arena.Dup(v), nil
+}
+
+// ScanRC implements cc.Tx. The scan runs on the shard owning `from`:
+// range-partitioned schemas (TPC-C) keep every scanned range district-local
+// by construction, and hash-partitioned schemas have no meaningful ranges.
+func (c *Coordinator) ScanRC(t *cc.Table, from, to uint64, fn func(uint64, []byte) bool) error {
+	_, _, err := c.callShard(c.route(t.ID, from),
+		rpc.Request{Op: rpc.OpScanRC, Table: t.ID, Key: from, Key2: to, Limit: rpc.MaxScanRows})
+	if err != nil {
+		return err
+	}
+	for _, row := range c.respF.Resps[0].Rows {
+		if !fn(row.Key, row.Val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Attempt implements cc.Worker: one attempt of a distributed transaction.
+func (c *Coordinator) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
+	c.arena.Reset()
+	c.dead, c.deadErr = false, nil
+	c.order = c.order[:0]
+	c.first = first
+	c.hint = uint32(opts.ResourceHint)
+	if first {
+		c.gts = opts.BeginTS // normally 0: first participant mints
+	} else {
+		if c.bd != nil {
+			c.bd.Retries++
+		}
+		if opts.RetryTS != 0 {
+			c.gts = opts.RetryTS
+		}
+	}
+	c.salt++
+	for _, sc := range c.conns {
+		if sc != nil {
+			sc.active, sc.ended, sc.writes, sc.prepared = false, false, false, false
+		}
+	}
+	err := proc(c)
+	if err == nil && c.dead {
+		err = c.deadError() // defensive: proc swallowed a terminal failure
+	}
+	if err != nil {
+		c.abortOpen(-1)
+		if c.bd != nil {
+			c.bd.CountAbort(cc.CauseOf(err))
+		}
+		return err
+	}
+	return c.commit()
+}
+
+// abortOpen rolls back every open, not-yet-ended participant except skip.
+func (c *Coordinator) abortOpen(skip int) {
+	for _, s := range c.order {
+		if s != skip {
+			c.abortShard(s)
+		}
+	}
+}
+
+// abortShard sends a rollback to shard s if its transaction is still open
+// (including a prepared one — a coordinator abort of prepared state is
+// legal and logs a local abort record). Reply content is an ack; a
+// transport failure just drops the conn and lets the server roll back.
+func (c *Coordinator) abortShard(s int) {
+	sc := c.conns[s]
+	if sc == nil || !sc.active || sc.ended {
+		return
+	}
+	sc.active = false
+	if _, err := c.send1(sc, rpc.Request{Op: rpc.OpAbort}); err != nil {
+		c.dropConn(s)
+	}
+}
+
+// commit ends a successful procedure: route to the single-shard fast path
+// or the cross-shard protocol.
+func (c *Coordinator) commit() error {
+	c.parts = c.parts[:0]
+	for _, s := range c.order {
+		if sc := c.conns[s]; sc.active && !sc.ended {
+			c.parts = append(c.parts, s)
+		}
+	}
+	switch len(c.parts) {
+	case 0:
+		// Transaction touched nothing (or everything it touched already
+		// ended): trivially committed.
+		if c.bd != nil {
+			c.bd.Commits++
+		}
+		c.lastShards = 0
+		return nil
+	case 1:
+		return c.commitSingle(c.parts[0])
+	}
+	return c.commitCross(c.parts)
+}
+
+// commitSingle is the single-shard fast path: one ordinary OpCommit, no
+// prepare, no decision record — byte-identical to the unsharded client.
+func (c *Coordinator) commitSingle(s int) error {
+	sc := c.conns[s]
+	sc.active = false
+	r, err := c.send1(sc, rpc.Request{Op: rpc.OpCommit})
+	if err != nil {
+		c.dropConn(s)
+		return err
+	}
+	switch r.Status {
+	case rpc.StatusOK:
+		if c.bd != nil {
+			c.bd.Commits++
+		}
+		c.lastShards = 1
+		return nil
+	case rpc.StatusAborted:
+		if c.bd != nil {
+			c.bd.CountAbort(stats.AbortCause(r.Cause))
+		}
+		return rpc.RemoteAbortError(r.Cause)
+	default:
+		return errRemote
+	}
+}
+
+// commitCross runs the cross-shard commit over parts (≥2 shards, begin
+// order). Home = the FIRST participant with writes, chosen here at commit
+// time: a write-free home would log no durable commit marker, leaving
+// recovery unable to prove the decision. If nobody wrote, there is nothing
+// to make atomic and each shard's read validation commits independently.
+//
+// Phase 1 prepares every non-home participant (write-lock upgrade, redo
+// images, and a prepare marker riding the participant's group-commit flush
+// epoch). Phase 2 commits the home shard with the gtid attached: the home's
+// ordinary commit marker, tagged with the gtid, IS the 2PC decision record
+// — durable in the same flush epoch as its data, zero extra log writes.
+// Finally the prepared participants are released; if any release is lost,
+// the participant resolves the outcome against the home's durable decision
+// table on its own.
+func (c *Coordinator) commitCross(parts []int) error {
+	home := -1
+	for _, s := range parts {
+		if c.conns[s].writes {
+			home = s
+			break
+		}
+	}
+	if home == -1 {
+		return c.commitReadOnlyFanout(parts)
+	}
+	gtid := txn.MakeGTID(c.gts, c.salt, home)
+
+	for _, s := range parts {
+		if s == home {
+			continue
+		}
+		sc := c.conns[s]
+		r, err := c.send1(sc, rpc.Request{Op: rpc.OpPrepare, Key: gtid})
+		if err != nil {
+			// Whether s prepared before the conn died is unknown, but
+			// either way gtid can never commit: if s did prepare, its
+			// server resolves against home and the resolve FENCES the
+			// undecided gtid to aborted (presumed abort). Abort the rest
+			// and retry with a fresh salt.
+			c.dropConn(s)
+			sc.ended = true
+			c.abortOpen(s)
+			aerr := rpc.RemoteAbortError(uint8(stats.CauseRPC))
+			if c.bd != nil {
+				c.bd.CountAbort(stats.CauseRPC)
+			}
+			return aerr
+		}
+		switch r.Status {
+		case rpc.StatusOK:
+			sc.prepared = true
+		case rpc.StatusAborted:
+			sc.active, sc.ended = false, true
+			c.abortOpen(s)
+			if c.bd != nil {
+				c.bd.CountAbort(stats.AbortCause(r.Cause))
+			}
+			return rpc.RemoteAbortError(r.Cause)
+		default:
+			sc.active, sc.ended = false, true
+			c.abortOpen(s)
+			return errRemote
+		}
+	}
+
+	t0 := time.Now()
+	hc := c.conns[home]
+	hc.active = false
+	r, err := c.send1(hc, rpc.Request{Op: rpc.OpCommit, Key: gtid})
+	if err != nil || (r.Status != rpc.StatusOK && r.Status != rpc.StatusAborted) {
+		// Decision unknown: home may have made its marker durable before
+		// the failure. Drop every prepared participant's conn so each
+		// resolves against home's durable decision instead of trusting us.
+		c.dropConn(home)
+		for _, s := range parts {
+			if s != home && c.conns[s].prepared {
+				c.dropConn(s)
+				c.conns[s].active = false
+			}
+		}
+		return ErrOutcomeUnknown
+	}
+	if r.Status == rpc.StatusAborted {
+		// Home's commit failed (wounded, validation, or a resolver fence):
+		// release the prepared participants to abort.
+		aerr := rpc.RemoteAbortError(r.Cause)
+		c.abortOpen(home)
+		if c.bd != nil {
+			c.bd.CountAbort(stats.AbortCause(r.Cause))
+		}
+		return aerr
+	}
+	obs.Metrics().DecideLat(time.Since(t0))
+	obs.Metrics().CrossShardTxns.Add(1)
+
+	for _, s := range parts {
+		if s == home {
+			continue
+		}
+		sc := c.conns[s]
+		sc.active = false
+		if r, err := c.send1(sc, rpc.Request{Op: rpc.OpCommitPrepared}); err != nil || r.Status != rpc.StatusOK {
+			// The participant self-resolves to committed via the home's
+			// decision table; globally the transaction is committed.
+			c.dropConn(s)
+		}
+	}
+	if c.bd != nil {
+		c.bd.Commits++
+	}
+	c.lastShards = len(parts)
+	return nil
+}
+
+// commitReadOnlyFanout commits a multi-shard transaction with no writes:
+// each shard validates and commits its reads independently. No prepared
+// state, no decision record — nothing can half-apply. The read cut is
+// committed-read atomic per shard but not serializable ACROSS shards (two
+// shards may validate against states separated by a concurrent
+// cross-shard writer); see DESIGN.md for the anomaly window.
+func (c *Coordinator) commitReadOnlyFanout(parts []int) error {
+	var aerr error
+	for _, s := range parts {
+		sc := c.conns[s]
+		if aerr != nil {
+			c.abortShard(s)
+			continue
+		}
+		sc.active = false
+		r, err := c.send1(sc, rpc.Request{Op: rpc.OpCommit})
+		switch {
+		case err != nil:
+			c.dropConn(s)
+			aerr = err
+		case r.Status == rpc.StatusOK:
+		case r.Status == rpc.StatusAborted:
+			aerr = rpc.RemoteAbortError(r.Cause)
+		default:
+			aerr = errRemote
+		}
+	}
+	if aerr != nil {
+		if c.bd != nil && cc.IsAborted(aerr) {
+			c.bd.CountAbort(cc.CauseOf(aerr))
+		}
+		return aerr
+	}
+	obs.Metrics().CrossShardTxns.Add(1)
+	if c.bd != nil {
+		c.bd.Commits++
+	}
+	c.lastShards = len(parts)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package shard implements multi-shard topologies over the rpc layer:
+// tables are partitioned across N shard servers, each a full single-shard
+// plorserver (its own worker pool, indexes, WAL, and reclamation epochs).
+//
+// A Router maps records to owning shards. A Coordinator executes
+// transactions against the partitions: single-shard transactions take the
+// ordinary interactive path with no extra round trips, and cross-shard
+// transactions commit with epoch-coordinated two-phase commit — prepare
+// records ride each participant's group-commit flush epoch (no extra
+// fsyncs), and the home shard's gtid-tagged ordinary commit marker IS the
+// decision record, so the decision also costs no extra log write. A
+// Cluster hosts N shard servers over real loopback TCP in one process for
+// tests and benchmarks; cmd/plorserver serves one shard of a multi-process
+// deployment with the same wiring.
+//
+// Wound-wait priority across shards comes from the partitioned timestamp
+// space (txn.Registry.SetTSShard): every shard mints from a disjoint
+// residue class of one global clock, the first participant of a
+// transaction mints its timestamp, and the coordinator carries it to every
+// other participant in Begin.Key — oldest wins on every shard, and retries
+// keep the original timestamp exactly as in the single-shard protocol.
+package shard
+
+// AnyShard is the Router answer for replicated or unpartitioned data: the
+// coordinator may serve the access on whichever shard is most convenient
+// (an already-open participant when possible, avoiding a needless
+// cross-shard commit).
+const AnyShard = -1
+
+// Router maps a record to the shard that owns it. Implementations must be
+// pure functions of (table, key): the coordinator consults the router on
+// every operation and correctness depends on repeated answers agreeing.
+type Router interface {
+	// Shard returns the owning shard in [0, N()), or AnyShard.
+	Shard(table uint32, key uint64) int
+	// N returns the shard count.
+	N() int
+}
+
+// HashRouter partitions every table by key modulo the shard count — the
+// YCSB partitioning, where the keyspace has no locality structure worth
+// preserving.
+type HashRouter struct{ Shards int }
+
+// Shard implements Router.
+func (h HashRouter) Shard(_ uint32, key uint64) int { return int(key % uint64(h.Shards)) }
+
+// N implements Router.
+func (h HashRouter) N() int { return h.Shards }

@@ -1,0 +1,509 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/db"
+	"repro/internal/cc"
+	"repro/internal/obs"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// newKVCluster builds a logging cluster with one "kv" table of nKeys
+// 8-byte rows, each initialized to initVal, partitioned by HashRouter.
+func newKVCluster(t *testing.T, shards, nKeys int, initVal uint64) *Cluster {
+	t.Helper()
+	r := HashRouter{Shards: shards}
+	// Workers generously exceeds the number of concurrent coordinators any
+	// test runs: an interactive session occupies an executor for its whole
+	// open transaction, so a shard must provision at least as many worker
+	// slots as coordinators that may hold transactions open against it.
+	c, err := NewCluster(ClusterOptions{
+		Shards:           shards,
+		Workers:          8,
+		Logging:          true,
+		LogFlushInterval: 20 * time.Microsecond,
+		Setup: func(shardID int, d *db.DB) error {
+			tbl := d.CreateTable("kv", 8, db.Hashed, nKeys)
+			for k := 0; k < nKeys; k++ {
+				if r.Shard(0, uint64(k)) != shardID {
+					continue
+				}
+				if !d.Load(tbl, uint64(k), u64(initVal)) {
+					return fmt.Errorf("load dup key %d", k)
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// run retries an attempt until commit, giving up on non-retryable errors.
+func run(w cc.Worker, proc cc.Proc) error {
+	first := true
+	for {
+		err := w.Attempt(proc, first, cc.AttemptOpts{})
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+		first = false
+	}
+}
+
+// TestSingleAndCrossShard covers the two commit paths end to end: a
+// single-shard transaction must not touch the 2PC machinery, and a
+// cross-shard read-modify-write must commit atomically and be visible on
+// both shards.
+func TestSingleAndCrossShard(t *testing.T) {
+	const nKeys = 16
+	c := newKVCluster(t, 2, nKeys, 100)
+	co := c.NewCoordinator(HashRouter{Shards: 2}, 1)
+	defer co.Close()
+	tbl := c.DB(0).Table("kv")
+
+	base := obs.Metrics().CrossShardTxns.Load()
+
+	// Single-shard: keys 0 and 2 both live on shard 0.
+	if err := run(co, func(tx cc.Tx) error {
+		v, err := tx.ReadForUpdate(tbl, 0)
+		if err != nil {
+			return err
+		}
+		if err := tx.Update(tbl, 0, u64(dec(v)+5)); err != nil {
+			return err
+		}
+		_, err = tx.Read(tbl, 2)
+		return err
+	}); err != nil {
+		t.Fatalf("single-shard txn: %v", err)
+	}
+	if co.LastTouchedShards() != 1 {
+		t.Fatalf("single-shard txn touched %d shards", co.LastTouchedShards())
+	}
+	if got := obs.Metrics().CrossShardTxns.Load(); got != base {
+		t.Fatalf("single-shard txn incremented CrossShardTxns (%d -> %d)", base, got)
+	}
+
+	// Cross-shard transfer: key 1 is on shard 1, key 0 on shard 0.
+	if err := run(co, func(tx cc.Tx) error {
+		a, err := tx.ReadForUpdate(tbl, 0)
+		if err != nil {
+			return err
+		}
+		b, err := tx.ReadForUpdate(tbl, 1)
+		if err != nil {
+			return err
+		}
+		if err := tx.Update(tbl, 0, u64(dec(a)-10)); err != nil {
+			return err
+		}
+		return tx.Update(tbl, 1, u64(dec(b)+10))
+	}); err != nil {
+		t.Fatalf("cross-shard txn: %v", err)
+	}
+	if co.LastTouchedShards() != 2 {
+		t.Fatalf("cross-shard txn touched %d shards, want 2", co.LastTouchedShards())
+	}
+	if got := obs.Metrics().CrossShardTxns.Load(); got != base+1 {
+		t.Fatalf("CrossShardTxns = %d, want %d", got, base+1)
+	}
+
+	// Read both values back through a FRESH coordinator (no caches).
+	co2 := c.NewCoordinator(HashRouter{Shards: 2}, 2)
+	defer co2.Close()
+	var v0, v1 uint64
+	if err := run(co2, func(tx cc.Tx) error {
+		a, err := tx.Read(tbl, 0)
+		if err != nil {
+			return err
+		}
+		v0 = dec(a)
+		b, err := tx.Read(tbl, 1)
+		if err != nil {
+			return err
+		}
+		v1 = dec(b)
+		return nil
+	}); err != nil {
+		t.Fatalf("read-back: %v", err)
+	}
+	if v0 != 95 || v1 != 110 {
+		t.Fatalf("post-commit values = %d,%d, want 95,110", v0, v1)
+	}
+}
+
+// TestCrossShardAtomicity hammers random two-shard transfers from many
+// coordinators and checks conservation: if any cross-shard commit were
+// non-atomic, the total would drift.
+func TestCrossShardAtomicity(t *testing.T) {
+	const (
+		shards  = 3
+		nKeys   = 30
+		workers = 6
+		txns    = 200
+		initVal = 1000
+	)
+	c := newKVCluster(t, shards, nKeys, initVal)
+	tbl := c.DB(0).Table("kv")
+	var wg sync.WaitGroup
+	var commits atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			co := c.NewCoordinator(HashRouter{Shards: shards}, uint16(w+1))
+			defer co.Close()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			for i := 0; i < txns; i++ {
+				src := uint64(rng.Intn(nKeys))
+				dst := uint64(rng.Intn(nKeys))
+				if src%shards == dst%shards {
+					dst = (dst + 1) % nKeys // force cross-shard
+				}
+				if src == dst {
+					continue
+				}
+				err := run(co, func(tx cc.Tx) error {
+					a, err := tx.ReadForUpdate(tbl, src)
+					if err != nil {
+						return err
+					}
+					b, err := tx.ReadForUpdate(tbl, dst)
+					if err != nil {
+						return err
+					}
+					if err := tx.Update(tbl, src, u64(dec(a)-1)); err != nil {
+						return err
+					}
+					return tx.Update(tbl, dst, u64(dec(b)+1))
+				})
+				if err != nil {
+					t.Errorf("worker %d txn %d: %v", w, i, err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if commits.Load() == 0 {
+		t.Fatal("no transfers committed")
+	}
+	co := c.NewCoordinator(HashRouter{Shards: shards}, uint16(workers+1))
+	defer co.Close()
+	var total uint64
+	if err := run(co, func(tx cc.Tx) error {
+		total = 0
+		for k := 0; k < nKeys; k++ {
+			v, err := tx.Read(tbl, uint64(k))
+			if err != nil {
+				return err
+			}
+			total += dec(v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	if total != nKeys*initVal {
+		t.Fatalf("conservation violated: total = %d, want %d", total, nKeys*initVal)
+	}
+}
+
+// TestWoundRetryKeepsTS is the deterministic two-shard wound test: a
+// cross-shard transaction that aborts and retries must keep its ORIGINAL
+// wound-wait timestamp on every participant. The probe: transaction A
+// begins (minting ts_A), fails its first attempt, and while it is down a
+// younger transaction B takes a write lock on A's shard-1 key and parks.
+// A's retry hits the lock; because its retry carries ts_A (older than
+// ts_B), wound-wait kills the parked B. A wounded holder only discovers
+// the wound at its next operation, so the test unparks B after the wound
+// lands: B's commit must observe the wound and abort, releasing the lock
+// to A. If the retry had minted a fresh (younger) timestamp instead, A
+// would never wound B, B's parked attempt would commit cleanly, and both
+// the B-outcome and final-value checks below would fail.
+func TestWoundRetryKeepsTS(t *testing.T) {
+	const k0, k1 = 0, 1 // shard 0, shard 1
+	c := newKVCluster(t, 2, 4, 100)
+	tbl := c.DB(0).Table("kv")
+
+	ca := c.NewCoordinator(HashRouter{Shards: 2}, 1)
+	defer ca.Close()
+	cb := c.NewCoordinator(HashRouter{Shards: 2}, 2)
+	defer cb.Close()
+
+	// Attempt 1 of A: touch BOTH shards (minting ts_A and teaching shard 1
+	// the timestamp), then fail with a retryable abort from the proc.
+	synthetic := errors.New("synthetic first-attempt failure")
+	err := ca.Attempt(func(tx cc.Tx) error {
+		if _, err := tx.ReadForUpdate(tbl, k0); err != nil {
+			return err
+		}
+		if _, err := tx.ReadForUpdate(tbl, k1); err != nil {
+			return err
+		}
+		return synthetic
+	}, true, cc.AttemptOpts{})
+	if !errors.Is(err, synthetic) {
+		t.Fatalf("attempt 1: got %v, want synthetic failure", err)
+	}
+	tsA := ca.GTS()
+	if tsA == 0 {
+		t.Fatal("attempt 1 minted no timestamp")
+	}
+
+	// B begins AFTER A (younger), takes the write lock on k1, and parks
+	// holding it until released.
+	bHolds := make(chan struct{})
+	bRelease := make(chan struct{})
+	bDone := make(chan error, 1)
+	go func() {
+		bDone <- cb.Attempt(func(tx cc.Tx) error {
+			if _, err := tx.ReadForUpdate(tbl, k1); err != nil {
+				return err
+			}
+			if err := tx.Update(tbl, k1, u64(555)); err != nil {
+				return err
+			}
+			close(bHolds)
+			<-bRelease
+			return nil
+		}, true, cc.AttemptOpts{})
+	}()
+	<-bHolds
+	if tsB := cb.GTS(); tsB <= tsA {
+		t.Fatalf("ts_B (%d) not younger than ts_A (%d)", tsB, tsA)
+	}
+
+	// A's retry: carries ts_A to shard 1, where B holds k1's write lock.
+	// A wounds B and its bounded lock waits abort-and-retry (same ts_A)
+	// until B releases.
+	aDone := make(chan error, 1)
+	go func() {
+		aDone <- run2(ca, func(tx cc.Tx) error {
+			a, err := tx.ReadForUpdate(tbl, k0)
+			if err != nil {
+				return err
+			}
+			b, err := tx.ReadForUpdate(tbl, k1)
+			if err != nil {
+				return err
+			}
+			if err := tx.Update(tbl, k0, u64(dec(a)+1)); err != nil {
+				return err
+			}
+			return tx.Update(tbl, k1, u64(dec(b)+1))
+		})
+	}()
+	// Give A's retry ample time to reach shard 1 and deliver the wound,
+	// then unpark B. B's commit must observe the wound (retryable abort).
+	time.Sleep(200 * time.Millisecond)
+	close(bRelease)
+	select {
+	case err := <-bDone:
+		if err == nil {
+			t.Fatal("B committed despite being wounded by an older transaction's retry")
+		}
+		if !cc.IsAborted(err) {
+			t.Fatalf("B: got %v, want a retryable wound abort", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("B never returned")
+	}
+	select {
+	case err := <-aDone:
+		if err != nil {
+			t.Fatalf("A's retry: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("A's retry never committed after B released its lock")
+	}
+	if got := ca.GTS(); got != tsA {
+		t.Fatalf("retry changed A's timestamp: %d -> %d", tsA, got)
+	}
+
+	// k1 must hold A's value (101), not B's 555.
+	co := c.NewCoordinator(HashRouter{Shards: 2}, 3)
+	defer co.Close()
+	if err := run(co, func(tx cc.Tx) error {
+		v, err := tx.Read(tbl, k1)
+		if err != nil {
+			return err
+		}
+		if dec(v) != 101 {
+			return fmt.Errorf("k1 = %d, want 101", dec(v))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// run2 retries with first=false from the start (the transaction already
+// made its first attempt).
+func run2(w cc.Worker, proc cc.Proc) error {
+	for {
+		err := w.Attempt(proc, false, cc.AttemptOpts{})
+		if err == nil || !cc.IsAborted(err) {
+			return err
+		}
+	}
+}
+
+// TestRestartMid2PC crash-restarts a shard while cross-shard 2PC traffic
+// is in flight, then verifies (a) recovery leaves no in-doubt transactions
+// and (b) the money invariant held across the crash — i.e. every in-doubt
+// prepare resolved to the home shard's actual decision.
+func TestRestartMid2PC(t *testing.T) {
+	const (
+		shards  = 2
+		nKeys   = 20
+		workers = 4
+		initVal = 1000
+	)
+	c := newKVCluster(t, shards, nKeys, initVal)
+	tbl := c.DB(0).Table("kv")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var commits atomic.Uint64
+	var applied [nKeys]atomic.Int64 // per-key committed delta ledger
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			co := c.NewCoordinator(HashRouter{Shards: shards}, uint16(w+1))
+			defer co.Close()
+			rng := rand.New(rand.NewSource(int64(w)*104729 + 7))
+			first := true
+			var src, dst uint64
+			pick := func() {
+				src = uint64(rng.Intn(nKeys))
+				dst = uint64((int(src) + 1 + rng.Intn(nKeys-2)) % nKeys)
+				if src%shards == dst%shards {
+					dst = (dst + 1) % nKeys
+				}
+				if dst == src {
+					dst = (src + 1) % nKeys
+				}
+			}
+			pick()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := co.Attempt(func(tx cc.Tx) error {
+					a, err := tx.ReadForUpdate(tbl, src)
+					if err != nil {
+						return err
+					}
+					b, err := tx.ReadForUpdate(tbl, dst)
+					if err != nil {
+						return err
+					}
+					if err := tx.Update(tbl, src, u64(dec(a)-1)); err != nil {
+						return err
+					}
+					return tx.Update(tbl, dst, u64(dec(b)+1))
+				}, first, cc.AttemptOpts{})
+				switch {
+				case err == nil:
+					commits.Add(1)
+					applied[src].Add(-1)
+					applied[dst].Add(1)
+					first = true
+					pick()
+				case cc.IsAborted(err):
+					first = false // retry, same timestamp
+				default:
+					// Transport death or unknown outcome (restart window):
+					// this transaction's fate is settled by recovery; move
+					// on with a FRESH transaction. An unknown outcome means
+					// the per-key ledger may miss a committed transfer — so
+					// the invariant check below uses conservation (sum),
+					// which unknown-outcome transfers cannot disturb.
+					first = true
+					pick()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+
+	// Let traffic build, then crash-restart each shard in turn mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < shards; i++ {
+		if err := c.Restart(i); err != nil {
+			t.Fatalf("restart shard %d: %v", i, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if commits.Load() == 0 {
+		t.Fatal("no commits during the stress window")
+	}
+
+	// Quiesce, then prove recovery converges: restart every shard once
+	// more; afterwards the retained logs must recover with ZERO in-doubt
+	// transactions (every prepare has a resolved outcome).
+	for i := 0; i < shards; i++ {
+		if err := c.Restart(i); err != nil {
+			t.Fatalf("final restart shard %d: %v", i, err)
+		}
+	}
+	if err := c.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		n, err := c.InDoubtAfterRecovery(i)
+		if err != nil {
+			t.Fatalf("recovery probe shard %d: %v", i, err)
+		}
+		if n != 0 {
+			t.Fatalf("shard %d: %d transactions still in-doubt after recovery", i, n)
+		}
+	}
+
+	// Conservation across crashes: transfers move value, never create it.
+	co := c.NewCoordinator(HashRouter{Shards: shards}, uint16(workers+2))
+	defer co.Close()
+	var total uint64
+	if err := run(co, func(tx cc.Tx) error {
+		total = 0
+		for k := 0; k < nKeys; k++ {
+			v, err := tx.Read(tbl, uint64(k))
+			if err != nil {
+				return err
+			}
+			total += dec(v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	if total != nKeys*initVal {
+		t.Fatalf("conservation violated across restarts: total = %d, want %d", total, nKeys*initVal)
+	}
+}

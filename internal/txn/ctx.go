@@ -247,6 +247,13 @@ func (c *Ctx) HasDependents() bool { return c.depflag.Load() != 0 }
 type Registry struct {
 	ctxs []Ctx
 	ts   atomic.Uint64
+	// tsStride/tsOffset partition the timestamp space across shards
+	// (SetTSShard): NextTS returns seq*stride+offset, so every shard
+	// allocates from a disjoint residue class — statically leased ranges
+	// of one global ordering clock. 0 stride means unsharded (stride 1,
+	// offset 0). Written once at startup, read-only afterwards.
+	tsStride uint64
+	tsOffset uint64
 	// epoch is the global reclamation epoch. It starts at 1 so a zero
 	// announcement slot always means "inactive", and only ever advances
 	// (TryAdvanceEpoch), so a worker's announcement is a lower bound on
@@ -281,10 +288,28 @@ func (r *Registry) Workers() int { return len(r.ctxs) - 1 }
 // Ctx returns worker wid's context. wid must be in [1, Workers()].
 func (r *Registry) Ctx(wid uint16) *Ctx { return &r.ctxs[wid] }
 
+// SetTSShard leases this registry the timestamp residue class
+// seq*stride+offset (offset < stride): wound-wait priorities stay unique
+// and totally ordered ACROSS shards without any runtime coordination,
+// because no two shards can mint the same value. Call once at startup,
+// before any transaction begins.
+func (r *Registry) SetTSShard(stride, offset uint64) {
+	if stride == 0 || offset >= stride {
+		panic("txn: invalid ts shard lease")
+	}
+	r.tsStride = stride
+	r.tsOffset = offset
+}
+
 // NextTS allocates the next monotonic timestamp. Timestamps are unique
-// across the run, so priority comparisons never tie.
+// across the run — and, under a SetTSShard lease, across every shard of
+// the topology — so priority comparisons never tie.
 func (r *Registry) NextTS() uint64 {
-	ts := r.ts.Add(1)
+	seq := r.ts.Add(1)
+	ts := seq
+	if r.tsStride != 0 {
+		ts = seq*r.tsStride + r.tsOffset
+	}
 	if ts > MaxTS {
 		panic("txn: timestamp space exhausted")
 	}
@@ -292,7 +317,31 @@ func (r *Registry) NextTS() uint64 {
 }
 
 // CurrentTS returns the most recently allocated timestamp.
-func (r *Registry) CurrentTS() uint64 { return r.ts.Load() }
+func (r *Registry) CurrentTS() uint64 {
+	seq := r.ts.Load()
+	if r.tsStride != 0 && seq != 0 {
+		return seq*r.tsStride + r.tsOffset
+	}
+	return seq
+}
+
+// ObserveTS advances the local clock past a remotely minted timestamp
+// (Lamport-style catch-up): after observing g, every future local
+// allocation exceeds g. Without this, a shard whose clock lags would mint
+// "older" (higher-priority) timestamps forever and starve remote
+// transactions of the aging guarantee wound-wait's tail story rests on.
+func (r *Registry) ObserveTS(g uint64) {
+	seq := g
+	if r.tsStride != 0 {
+		seq = g / r.tsStride
+	}
+	for {
+		cur := r.ts.Load()
+		if cur >= seq || r.ts.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
 
 // NextCommitTID allocates the next commit-order TID, the stamp redo logging
 // attaches to a transaction's log entries. Silo derives its TIDs from

@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"sync"
+	"time"
+)
+
+// DecisionState is the lifecycle of one cross-shard transaction's commit
+// decision at its HOME shard. The home shard never holds prepared state
+// itself: its ordinary commit (marker tagged with the gtid) IS the decision
+// record, so the table tracks only the window around that commit plus the
+// terminal outcome participants resolve against.
+type DecisionState uint32
+
+// Decision states.
+const (
+	// DecisionUnknown: no commit for this gtid has reached the decision
+	// point. Under presumed abort, resolving an unknown gtid fences it to
+	// DecisionAborted — any commit attempt arriving later must fail.
+	DecisionUnknown DecisionState = iota
+	// DecisionCommitting: the home transaction passed its point of no
+	// return and its decision marker is being made durable. Resolvers wait
+	// this state out.
+	DecisionCommitting
+	// DecisionCommitted: the decision marker is durable; participants may
+	// apply their prepared images.
+	DecisionCommitted
+	// DecisionAborted: the transaction aborted (or was fenced by a
+	// resolver); participants must discard their prepared images.
+	DecisionAborted
+)
+
+// DecisionTable is a shard's record of cross-shard commit decisions, keyed
+// by global transaction id. The home shard writes it on the commit/abort
+// path and answers participant resolve queries from it; after a crash it is
+// rebuilt from the gtid-tagged commit markers in the WAL (absent markers
+// resolve to abort, which is exactly the presumed-abort rule: a home shard
+// that crashed before its decision marker became durable also lost the
+// volatile execution state needed to ever commit, so "no durable decision"
+// and "can never commit" coincide).
+type DecisionTable struct {
+	mu sync.Mutex
+	m  map[uint64]DecisionState
+}
+
+// NewDecisionTable builds an empty table.
+func NewDecisionTable() *DecisionTable {
+	return &DecisionTable{m: make(map[uint64]DecisionState)}
+}
+
+// TryBeginCommit moves gtid from unknown to committing — the home shard's
+// gate immediately before publishing its decision marker. It fails if a
+// resolver already fenced the gtid to aborted, in which case the caller
+// must abort the transaction (a participant has already been told
+// "aborted" and the outcome is fixed).
+func (t *DecisionTable) TryBeginCommit(gtid uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.m[gtid] {
+	case DecisionUnknown:
+		t.m[gtid] = DecisionCommitting
+		return true
+	case DecisionCommitting, DecisionCommitted:
+		// One transaction owns a gtid's commit; re-entry means the same
+		// transaction retried past its own decision, which the engine
+		// never does.
+		return false
+	default:
+		return false
+	}
+}
+
+// FinishCommit moves gtid to committed once the decision marker is durable.
+func (t *DecisionTable) FinishCommit(gtid uint64) { t.set(gtid, DecisionCommitted) }
+
+// Abort records an abort decision for gtid (commit-path failure after
+// TryBeginCommit, an explicit coordinator abort, or a recovery outcome).
+func (t *DecisionTable) Abort(gtid uint64) { t.set(gtid, DecisionAborted) }
+
+// SetCommitted loads a recovered committed decision (WAL rebuild).
+func (t *DecisionTable) SetCommitted(gtid uint64) { t.set(gtid, DecisionCommitted) }
+
+func (t *DecisionTable) set(gtid uint64, s DecisionState) {
+	t.mu.Lock()
+	t.m[gtid] = s
+	t.mu.Unlock()
+}
+
+// State returns gtid's current state without side effects.
+func (t *DecisionTable) State(gtid uint64) DecisionState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[gtid]
+}
+
+// Resolve answers a participant's in-doubt query: true if gtid committed.
+// An unknown gtid is fenced to aborted FIRST, then answered — so a commit
+// attempt racing with the resolve either reached TryBeginCommit before the
+// fence (resolver waits out the committing window and answers committed) or
+// finds the fence and aborts (resolver answers aborted). Either way the
+// answer matches the final outcome.
+func (t *DecisionTable) Resolve(gtid uint64) bool {
+	for {
+		t.mu.Lock()
+		switch t.m[gtid] {
+		case DecisionCommitted:
+			t.mu.Unlock()
+			return true
+		case DecisionAborted:
+			t.mu.Unlock()
+			return false
+		case DecisionUnknown:
+			t.m[gtid] = DecisionAborted // presumed-abort fence
+			t.mu.Unlock()
+			return false
+		case DecisionCommitting:
+			t.mu.Unlock()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// --- global transaction ids ------------------------------------------------
+
+// gtidShardBits is the width of the home-shard field packed into a gtid's
+// low bits. 255 shards is far past any topology this repo runs. Above the
+// shard field sit the 47-bit global timestamp and then gtidSaltBits of
+// per-attempt salt in the otherwise-unused high bits.
+const gtidShardBits = 8
+
+// gtidSaltBits is the width of the per-attempt salt field. Retries of a
+// wound-wait transaction reuse the ORIGINAL timestamp (that is the aging
+// guarantee), so ts alone cannot name an attempt: if attempt k's prepare
+// provokes a presumed-abort fence at the home shard, an unsalted gtid
+// would make every later attempt of the same transaction hit that fence
+// forever (TryBeginCommit permanently fails — livelock). Salting with the
+// attempt counter gives each attempt a fresh decision slot. Collisions
+// after 512 attempts are harmless in both directions: a Committed entry
+// cannot collide (commit ends the transaction, there is no attempt k+512),
+// and colliding with a stale Aborted fence costs at most one extra retry.
+const gtidSaltBits = 9
+
+// MaxShards is the largest supported shard count (gtid encoding).
+const MaxShards = 1<<gtidShardBits - 1
+
+// MakeGTID packs a global timestamp, a per-attempt salt, and the home
+// shard id into a global transaction id:
+//
+//	[salt:9][ts:47][home:8]
+//
+// gtid 0 is reserved ("not a cross-shard transaction"): ts is never 0, so
+// the encoding cannot produce it.
+func MakeGTID(ts uint64, salt uint32, homeShard int) uint64 {
+	s := uint64(salt) & (1<<gtidSaltBits - 1)
+	return (s<<tsBits|ts&MaxTS)<<gtidShardBits | uint64(homeShard)
+}
+
+// GTIDHomeShard extracts the home shard id from a gtid.
+func GTIDHomeShard(gtid uint64) int { return int(gtid & (1<<gtidShardBits - 1)) }
+
+// GTIDTS extracts the global timestamp from a gtid (salt stripped).
+func GTIDTS(gtid uint64) uint64 { return gtid >> gtidShardBits & MaxTS }

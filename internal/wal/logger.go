@@ -43,6 +43,14 @@ const (
 	// kind(1) epoch(8) len(4) payload(len). The payload is a sequence of
 	// ordinary entries; a tail torn mid-frame drops the whole frame.
 	kindBatch byte = 4
+	// kindPrepare marks a cross-shard participant's prepared transaction:
+	// its redo images are on the device but the commit decision belongs to
+	// the transaction's home shard. The entry's ts is the commit TID
+	// stamping the images and its key carries the global transaction id
+	// (gtid). A prepare with no later commit/abort marker for the same ts
+	// is IN DOUBT at recovery: its images are held aside, not applied,
+	// until the home shard's decision resolves it (presumed abort).
+	kindPrepare byte = 5
 )
 
 // frameHeaderSize is the batch-frame header length.
@@ -213,6 +221,7 @@ type WorkerLog struct {
 	buf       []byte // current transaction's entries (reset per attempt)
 	pend      []byte // committed units awaiting handoff to the flusher
 	ts        uint64
+	gtid      uint64 // global txn id tagged onto the next commit marker
 	lastEpoch uint64
 }
 
@@ -253,7 +262,15 @@ func (w *WorkerLog) SetTS(ts uint64) { w.ts = ts }
 func (w *WorkerLog) BeginTxn(ts uint64) {
 	w.buf = w.buf[:0]
 	w.ts = ts
+	w.gtid = 0
 }
+
+// SetGTID tags the current transaction's commit marker with a global
+// transaction id: a home shard committing a cross-shard transaction makes
+// its ordinary commit marker double as the 2PC decision record (key=gtid),
+// so deciding costs nothing beyond the commit the shard logs anyway.
+// Cleared by BeginTxn.
+func (w *WorkerLog) SetGTID(gtid uint64) { w.gtid = gtid }
 
 // entry layout: kind(1) ts(8) tableID(4) key(8) len(4) image(len)
 func appendEntry(buf []byte, kind byte, ts uint64, tableID uint32, key uint64, img []byte) []byte {
@@ -297,7 +314,7 @@ func (w *WorkerLog) Commit() error {
 	if w.mode == Off {
 		return nil
 	}
-	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, 0, nil)
+	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, w.gtid, nil)
 	err := w.endTxn(w.dur == DurGroup)
 	w.buf = w.buf[:0]
 	return err
@@ -318,7 +335,7 @@ func (w *WorkerLog) Commit() error {
 // retirer's publish point and ride the same flush round instead of
 // serializing one round per dependency-chain link.
 func (w *WorkerLog) CommitPublish() error {
-	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, 0, nil)
+	w.buf = appendEntry(w.buf, kindCommit, w.ts, 0, w.gtid, nil)
 	var err error
 	if w.dur == DurGroup && w.fl != nil {
 		w.pend = append(w.pend, w.buf...)
@@ -339,6 +356,50 @@ func (w *WorkerLog) WaitCommitted() error {
 		return w.fl.Err()
 	}
 	return nil
+}
+
+// PreparePublish ends the first phase of a cross-shard commit: the buffered
+// redo images plus a prepare marker carrying gtid form one unit, published
+// exactly like CommitPublish — the prepare rides an ordinary flush epoch,
+// so 2PC adds no device syncs beyond the round it joins. The caller must
+// invoke WaitCommitted before acknowledging the prepare to its coordinator;
+// once that returns, the images survive a crash and only the home shard's
+// decision (or presumed abort) determines their fate.
+func (w *WorkerLog) PreparePublish(gtid uint64) error {
+	w.buf = appendEntry(w.buf, kindPrepare, w.ts, 0, gtid, nil)
+	var err error
+	if w.dur == DurGroup && w.fl != nil {
+		w.pend = append(w.pend, w.buf...)
+		w.publishPending()
+		err = w.fl.Err()
+	} else {
+		err = w.endTxn(w.dur == DurGroup)
+	}
+	w.buf = w.buf[:0]
+	return err
+}
+
+// DecisionPublish logs the outcome of a previously prepared transaction (or
+// a home shard's decision record): a bare commit/abort marker stamped with
+// the transaction's commit TID and carrying gtid in the key field. Like
+// CommitPublish it returns at publish; WaitCommitted closes the durability
+// gap when the caller needs the decision on the device before acting on it.
+func (w *WorkerLog) DecisionPublish(commit bool, ctid, gtid uint64) error {
+	kind := kindCommit
+	if !commit {
+		kind = kindAbort
+	}
+	w.buf = appendEntry(w.buf[:0], kind, ctid, 0, gtid, nil)
+	var err error
+	if w.dur == DurGroup && w.fl != nil {
+		w.pend = append(w.pend, w.buf...)
+		w.publishPending()
+		err = w.fl.Err()
+	} else {
+		err = w.endTxn(w.dur == DurGroup)
+	}
+	w.buf = w.buf[:0]
+	return err
 }
 
 // Abort ends the transaction on the abort path: Redo discards the buffer
@@ -551,7 +612,7 @@ func parseOne(data []byte, fn func(kind byte, c Change) error) (int, error) {
 		return 0, errTruncated
 	}
 	img := data[25 : 25+n]
-	if kind != kindUpdate && kind != kindCommit && kind != kindAbort {
+	if kind != kindUpdate && kind != kindCommit && kind != kindAbort && kind != kindPrepare {
 		return 0, fmt.Errorf("wal: corrupt entry kind %d", kind)
 	}
 	if err := fn(kind, Change{TS: ts, TableID: tid, Key: key, Image: img}); err != nil {
@@ -583,10 +644,46 @@ func parseOne(data []byte, fn func(kind byte, c Change) error) (int, error) {
 // transactions for commit latency; use DurGroup when the recovered state
 // must be causally consistent.
 func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
+	r, err := RecoverFull(mode, devs)
+	if err != nil {
+		return nil, err
+	}
+	return r.Changes, nil
+}
+
+// InDoubtTxn is one prepared-but-undecided transaction surfaced by
+// RecoverFull: its redo images are durable but the commit decision belongs
+// to the home shard encoded in the gtid. The images are NOT in
+// RecoveryResult.Changes; the caller resolves the gtid and applies them
+// (or discards them) explicitly.
+type InDoubtTxn struct {
+	GTID    uint64
+	TS      uint64 // commit TID stamping the images
+	Changes []Change
+}
+
+// RecoveryResult is RecoverFull's output: the per-key images to install,
+// the in-doubt prepared transactions awaiting a decision, and every 2PC
+// decision marker found on the devices (gtid → committed), from which a
+// home shard rebuilds its decision table.
+type RecoveryResult struct {
+	Changes   map[uint32]map[uint64]Change
+	InDoubt   []InDoubtTxn
+	Decisions map[uint64]bool // gtid → true=committed, false=aborted
+}
+
+// RecoverFull is Recover extended with 2PC state: prepared transactions
+// whose decision marker is absent come back in InDoubt (their images held
+// aside, per presumed abort), and gtid-tagged commit/abort markers come
+// back in Decisions. Plain single-shard logs yield an empty InDoubt and
+// Decisions, making RecoverFull a strict superset of Recover.
+func RecoverFull(mode Mode, devs []Device) (*RecoveryResult, error) {
 	if mode != Redo && mode != Undo {
 		return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
 	}
+	res := &RecoveryResult{Decisions: make(map[uint64]bool)}
 	result := make(map[uint32]map[uint64]Change)
+	res.Changes = result
 	put := func(c Change) {
 		m := result[c.TableID]
 		if m == nil {
@@ -622,26 +719,65 @@ func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 	for _, data := range datas {
 		switch mode {
 		case Redo:
-			// Two passes per device: find committed timestamps, then apply
-			// their updates.
+			// Two passes per device: find committed timestamps (and 2PC
+			// markers), then apply committed updates and set aside in-doubt
+			// ones. A transaction's whole unit lives on its worker's device
+			// (sessions are sticky within a transaction), so matching
+			// prepare markers to decisions per device is sound; gtid-tagged
+			// decisions additionally aggregate across devices.
 			committed := make(map[uint64]bool)
+			abortedTS := make(map[uint64]bool)
+			prepared := make(map[uint64]uint64) // ts → gtid
 			err := parseCapped(data, bound, func(kind byte, c Change) error {
-				if kind == kindCommit {
+				switch kind {
+				case kindCommit:
 					committed[c.TS] = true
+					if c.Key != 0 {
+						res.Decisions[c.Key] = true
+					}
+				case kindAbort:
+					abortedTS[c.TS] = true
+					if c.Key != 0 && !res.Decisions[c.Key] {
+						res.Decisions[c.Key] = false
+					}
+				case kindPrepare:
+					prepared[c.TS] = c.Key
 				}
 				return nil
 			})
 			if err != nil && !errors.Is(err, errTruncated) {
 				return nil, err
 			}
+			var inDoubtChanges map[uint64][]Change
 			err = parseCapped(data, bound, func(kind byte, c Change) error {
-				if kind == kindUpdate && committed[c.TS] {
+				if kind != kindUpdate {
+					return nil
+				}
+				if committed[c.TS] {
 					put(c)
+					return nil
+				}
+				if _, ok := prepared[c.TS]; ok && !abortedTS[c.TS] {
+					if inDoubtChanges == nil {
+						inDoubtChanges = make(map[uint64][]Change)
+					}
+					img := make([]byte, len(c.Image))
+					copy(img, c.Image)
+					c.Image = img
+					inDoubtChanges[c.TS] = append(inDoubtChanges[c.TS], c)
 				}
 				return nil
 			})
 			if err != nil && !errors.Is(err, errTruncated) {
 				return nil, err
+			}
+			for ts, gtid := range prepared {
+				if committed[ts] || abortedTS[ts] {
+					continue
+				}
+				res.InDoubt = append(res.InDoubt, InDoubtTxn{
+					GTID: gtid, TS: ts, Changes: inDoubtChanges[ts],
+				})
 			}
 		case Undo:
 			ended := make(map[uint64]bool) // committed or aborted-and-marked
@@ -680,5 +816,22 @@ func Recover(mode Mode, devs []Device) (map[uint32]map[uint64]Change, error) {
 			return nil, fmt.Errorf("wal: cannot recover with mode %v", mode)
 		}
 	}
-	return result, nil
+	return res, nil
+}
+
+// MergeInDoubt folds a resolved-committed in-doubt transaction's images
+// into the recovery change set, with the same highest-TS-wins precedence
+// Recover applies between committed transactions — so a resolved prepare
+// neither clobbers a newer committed image nor loses to an older one.
+func (r *RecoveryResult) MergeInDoubt(t InDoubtTxn) {
+	for _, c := range t.Changes {
+		m := r.Changes[c.TableID]
+		if m == nil {
+			m = make(map[uint64]Change)
+			r.Changes[c.TableID] = m
+		}
+		if prev, ok := m[c.Key]; !ok || c.TS >= prev.TS {
+			m[c.Key] = c
+		}
+	}
 }

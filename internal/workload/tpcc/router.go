@@ -1,0 +1,62 @@
+package tpcc
+
+// Router maps TPC-C records to owning shards for the shard package's
+// coordinator (it satisfies shard.Router structurally — this package does
+// not import shard). Ownership is warehouse-major: every row keyed under
+// warehouse w lives on shard (w-1) mod Shards, so all five transactions
+// stay single-shard except for their explicitly remote accesses (Payment's
+// remote customer, NewOrder's remote supply warehouse). Item is replicated
+// on every shard (-1 = AnyShard); History rows are homed on the inserting
+// client's shard residue, keeping the append local.
+type Router struct {
+	T      *Tables
+	Shards int
+}
+
+// NewRouter builds a router over the cluster's (identical) table set.
+func (w *Workload) NewRouter(shards int) *Router {
+	return &Router{T: &w.T, Shards: shards}
+}
+
+// N implements shard.Router.
+func (r *Router) N() int { return r.Shards }
+
+// Shard implements shard.Router by inverting each table's key packing back
+// to its warehouse (see the key helpers in schema.go).
+func (r *Router) Shard(table uint32, key uint64) int {
+	t := r.T
+	var w uint64
+	switch table {
+	case t.Warehouse.ID:
+		w = key
+	case t.District.ID:
+		w = (key - 1) / DistPerWH
+	case t.Customer.ID:
+		dk := (key - 1) / CustPerDist
+		w = (dk - 1) / DistPerWH
+	case t.History.ID:
+		// hkey = clientWID<<40 | seq: home the append on the client's own
+		// shard residue (any deterministic rule works; this one is local).
+		return int((key>>40 - 1) % uint64(r.Shards))
+	case t.NewOrder.ID, t.Order.ID:
+		dk := key >> 32
+		w = (dk - 1) / DistPerWH
+	case t.OrderLine.ID:
+		dk := key >> 36
+		w = (dk - 1) / DistPerWH
+	case t.Item.ID:
+		return -1 // replicated: shard.AnyShard
+	case t.Stock.ID:
+		w = key >> 32
+	case t.CustByName.ID:
+		dk := key >> 22
+		w = (dk - 1) / DistPerWH
+	case t.OrderByCust.ID:
+		ck := key >> 24
+		dk := (ck - 1) / CustPerDist
+		w = (dk - 1) / DistPerWH
+	default:
+		return -1
+	}
+	return int((w - 1) % uint64(r.Shards))
+}

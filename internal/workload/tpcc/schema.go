@@ -57,6 +57,38 @@ type Config struct {
 	// warehouse row's YTD — the classic single-row hotspot the hotspot
 	// suite hammers.
 	Hammer bool
+	// Shards places the workload in a multi-shard topology when > 1:
+	// warehouse w (and every row keyed under it) is owned by shard
+	// (w-1) mod Shards, Item is replicated on every shard, and History
+	// rows follow the inserting client. SetupShard loads one shard's
+	// partition; Router maps keys to owners with the same rule.
+	Shards int
+	// RemotePct overrides Payment's remote-customer percentage (TPC-C's
+	// default is 15). Zero keeps the default; negative disables remote
+	// customers entirely. With warehouses spread across shards this is the
+	// knob that sets the cross-shard transaction fraction.
+	RemotePct float64
+}
+
+// remotePct resolves the effective Payment remote-customer percentage.
+func (c *Config) remotePct() float64 {
+	switch {
+	case c.RemotePct < 0:
+		return 0
+	case c.RemotePct == 0:
+		return 15
+	default:
+		return c.RemotePct
+	}
+}
+
+// OwnerShard returns the shard owning warehouse w ((w-1) mod Shards), or
+// 0 for unsharded configs.
+func (c *Config) OwnerShard(w int) int {
+	if c.Shards <= 1 {
+		return 0
+	}
+	return (w - 1) % c.Shards
 }
 
 // DefaultConfig is the paper's high-contention setup.
@@ -309,6 +341,13 @@ type Workload struct {
 
 // Setup creates and bulk-loads all nine tables plus the index tables.
 func Setup(db *cc.DB, cfg Config) *Workload {
+	w := setupTables(db, cfg)
+	w.load(db, nil)
+	return w
+}
+
+// setupTables creates the nine tables plus index tables without loading.
+func setupTables(db *cc.DB, cfg Config) *Workload {
 	if cfg.Warehouses < 1 {
 		panic("tpcc: need at least one warehouse")
 	}
@@ -326,14 +365,29 @@ func Setup(db *cc.DB, cfg Config) *Workload {
 		CustByName:  db.CreateTable("customer_by_name", idxRowSize, cc.OrderedIndex, 0),
 		OrderByCust: db.CreateTable("order_by_customer", idxRowSize, cc.OrderedIndex, 0),
 	}
-	w := &Workload{Cfg: cfg, T: t}
-	w.load(db)
+	return &Workload{Cfg: cfg, T: t}
+}
+
+// SetupShard creates the full TPC-C schema (identical on every shard —
+// table IDs must agree across the cluster) but loads ONLY shard shardID's
+// partition: the warehouses it owns plus the replicated Item table. Every
+// shard of a cluster runs this with its own id and an identical cfg.
+func SetupShard(db *cc.DB, cfg Config, shardID int) *Workload {
+	if cfg.Shards < 2 {
+		panic("tpcc: SetupShard needs Cfg.Shards > 1")
+	}
+	w := setupTables(db, cfg)
+	w.load(db, func(wid int) bool { return cfg.OwnerShard(wid) == shardID })
 	return w
 }
 
 // load populates initial data per the TPC-C spec's shapes (deterministic
 // pseudo-random content; quantities and prices in plausible ranges).
-func (w *Workload) load(db *cc.DB) {
+// owned, when non-nil, filters warehouses to this shard's partition; the
+// RNG advances identically either way so skipping a warehouse does not
+// reshuffle the ones that remain (their content matches what any other
+// shard count would load).
+func (w *Workload) load(db *cc.DB, owned func(wid int) bool) {
 	rng := newRand(42)
 	buf := make([]byte, 1024)
 
@@ -345,6 +399,13 @@ func (w *Workload) load(db *cc.DB) {
 		db.LoadRecord(w.T.Item, IKey(i), row)
 	}
 	for wid := 1; wid <= w.Cfg.Warehouses; wid++ {
+		if owned != nil && !owned(wid) {
+			continue
+		}
+		// Per-warehouse RNG stream: a warehouse's content is a function of
+		// its id alone, so a shard loads identical rows for the warehouses
+		// it owns whatever the shard count (and the unsharded load agrees).
+		rng := newRand(42 + uint64(wid)*2654435761)
 		wr := Warehouse{YTD: 30000000, Tax: rng.n(2000)}
 		row := buf[:warehouseSize]
 		clear(row)

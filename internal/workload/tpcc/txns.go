@@ -75,6 +75,12 @@ type Txn struct {
 	ReadOnly bool
 	Hint     int // resource estimate for Plor-RT (records touched)
 	Proc     cc.Proc
+	// PayW/PayAmount, for Payment transactions, record the home warehouse
+	// and amount so drivers can keep a client-side warehouse-YTD ledger
+	// and check the money invariant after a run (every committed Payment
+	// adds PayAmount to warehouse PayW's YTD; nothing else touches it).
+	PayW      int
+	PayAmount uint64
 	// SnapProc, when non-nil, is a lock-free variant of Proc that runs
 	// the whole transaction against an MVCC snapshot (currently only
 	// Stock-Level, whose read-committed isolation requirement a snapshot
@@ -116,6 +122,24 @@ func (w *Workload) NewGen(wid uint16, seed int64) *Gen {
 		items: make(map[uint32]struct{}, 64),
 		row:   make([]byte, 1024),
 	}
+}
+
+// NewGenShard creates a generator whose home warehouse is one of shard
+// shardID's owned warehouses, so its transactions are single-shard except
+// for the explicitly remote accesses. Panics if the shard owns none.
+func (w *Workload) NewGenShard(wid uint16, seed int64, shardID int) *Gen {
+	g := w.NewGen(wid, seed)
+	var owned []int
+	for wh := 1; wh <= w.Cfg.Warehouses; wh++ {
+		if w.Cfg.OwnerShard(wh) == shardID {
+			owned = append(owned, wh)
+		}
+	}
+	if len(owned) == 0 {
+		panic("tpcc: shard owns no warehouses (need Warehouses >= Shards)")
+	}
+	g.homeW = owned[int(wid-1)%len(owned)]
+	return g
 }
 
 // yield cedes the processor between record operations when configured.
@@ -332,7 +356,7 @@ func (g *Gen) Payment() Txn {
 	w := g.homeW
 	d := int(g.rng.between(1, DistPerWH))
 	cw, cd := w, d
-	if g.rng.n(100) < 15 { // 15% remote customer
+	if g.rng.f()*100 < g.w.Cfg.remotePct() { // remote customer (default 15%)
 		cw = g.otherWarehouse(w)
 		cd = int(g.rng.between(1, DistPerWH))
 	}
@@ -400,7 +424,7 @@ func (g *Gen) Payment() Txn {
 		putU64(hbuf, amount)
 		return tx.Insert(t.History, hkey, hbuf)
 	}
-	return Txn{Type: TxnPayment, Hint: 4, Proc: proc}
+	return Txn{Type: TxnPayment, Hint: 4, Proc: proc, PayW: w, PayAmount: amount}
 }
 
 // lookupByName resolves a customer id by last name: collect the matching

@@ -39,6 +39,18 @@ type Config struct {
 	// preemption points and conflicts vanish); it models per-operation
 	// application work.
 	Yield bool
+	// Shards partitions the keyspace by key mod Shards (the shard package's
+	// HashRouter partitioning) when > 1. Each generator is pinned to a home
+	// shard and draws every key from the home residue class — Zipf-skewed
+	// over the shard's slice — so a transaction is single-shard by default.
+	// Records is rounded down to a multiple of Shards so every residue
+	// class has the same cardinality.
+	Shards int
+	// RemoteFrac, with Shards > 1, is the fraction of transactions that go
+	// cross-shard: each operation of such a transaction picks a uniformly
+	// random shard's residue class instead of the home class (a multi-get
+	// spanning shards). 0 keeps every transaction on its home shard.
+	RemoteFrac float64
 }
 
 // A reads 50/50 at θ=0.99 — the paper's high-contention workload.
@@ -74,8 +86,35 @@ const TableName = "usertable"
 // rows. Remote clients use it to mirror the server's schema (table IDs and
 // key distribution) without holding the data.
 func SetupSchema(db *cc.DB, cfg Config) *Workload {
+	ranks := uint64(cfg.Records)
+	if cfg.Shards > 1 {
+		cfg.Records -= cfg.Records % cfg.Shards
+		ranks = uint64(cfg.Records / cfg.Shards)
+	}
 	tbl := db.CreateTable(TableName, cfg.RecordSize, cc.HashIndex, cfg.Records)
-	return &Workload{Cfg: cfg, Tbl: tbl, zc: newZipfConsts(uint64(cfg.Records), cfg.Theta)}
+	return &Workload{Cfg: cfg, Tbl: tbl, zc: newZipfConsts(ranks, cfg.Theta)}
+}
+
+// SetupShard creates the YCSB table and loads ONLY shard shardID's
+// partition (keys ≡ shardID mod Shards). Every shard of a cluster runs
+// this with its own id and an identical cfg, producing identical schemas
+// over disjoint row sets.
+func SetupShard(db *cc.DB, cfg Config, shardID int) *Workload {
+	w := SetupSchema(db, cfg)
+	row := make([]byte, cfg.RecordSize)
+	step := w.Cfg.Shards
+	if step < 1 {
+		step = 1
+	}
+	for k := shardID; k < w.Cfg.Records; k += step {
+		for i := range row {
+			row[i] = byte(k + i)
+		}
+		if db.LoadRecord(w.Tbl, uint64(k), row) == nil {
+			panic("ycsb: duplicate key during shard load")
+		}
+	}
+	return w
 }
 
 // Setup creates and bulk-loads the YCSB table.
@@ -170,6 +209,7 @@ type Txn struct {
 type Gen struct {
 	w    *Workload
 	rng  uint64
+	home int // home shard residue (sharded configs)
 	ops  []Op
 	val  []byte
 	bat  cc.Batcher
@@ -179,13 +219,22 @@ type Gen struct {
 	BigOpsOverride int
 }
 
-// NewGen creates a per-worker generator with its own RNG stream.
+// NewGen creates a per-worker generator with its own RNG stream. Sharded
+// configs get home shard 0; use NewGenShard to pin the home.
 func (w *Workload) NewGen(seed int64) *Gen {
 	g := &Gen{w: w, rng: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
 	g.val = make([]byte, w.Cfg.RecordSize)
 	for i := range g.val {
 		g.val[i] = byte(i * 7)
 	}
+	return g
+}
+
+// NewGenShard creates a generator whose transactions stay on home shard
+// `home` except for the RemoteFrac cross-shard fraction.
+func (w *Workload) NewGenShard(seed int64, home int) *Gen {
+	g := w.NewGen(seed)
+	g.home = home
 	return g
 }
 
@@ -216,13 +265,25 @@ func (g *Gen) Next() Txn {
 	}
 	g.ops = g.ops[:0]
 	ro := true
+	sharded := cfg.Shards > 1
+	remote := sharded && cfg.RemoteFrac > 0 && g.uniform() < cfg.RemoteFrac
 	for i := 0; i < n; i++ {
 		kind := OpRead
 		if g.uniform() >= cfg.ReadRatio {
 			kind = OpWrite
 			ro = false
 		}
-		g.ops = append(g.ops, Op{Kind: kind, Key: g.w.zc.next(g.uniform())})
+		key := g.w.zc.next(g.uniform())
+		if sharded {
+			// Zipf rank within the residue class; the hot head of every
+			// shard's slice stays hot regardless of the shard count.
+			res := g.home
+			if remote {
+				res = int(g.next64() % uint64(cfg.Shards))
+			}
+			key = key*uint64(cfg.Shards) + uint64(res)
+		}
+		g.ops = append(g.ops, Op{Kind: kind, Key: key})
 	}
 	ops := g.ops
 	tbl := g.w.Tbl
