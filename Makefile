@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet lint verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap bench-hotspot bench-sessions
+.PHONY: build test race vet lint verify bench bench-smoke bench-mem bench-wal bench-rpc bench-htap bench-hotspot bench-sessions bench-deadline
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,7 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/index/ ./internal/core/ ./internal/wal/ ./internal/rpc/
+	$(MAKE) bench-deadline BENCHTIME=1x
 
 # bench-mem measures the record-reclamation memory experiment: fixed
 # working-set churn with reclamation on vs off (table-MiB / heap-MiB /
@@ -82,3 +83,13 @@ bench-rpc:
 # grows with closed-loop queueing).
 bench-sessions:
 	$(GO) test -run=^$$ -bench=BenchmarkSessionScheduler -benchmem -timeout 30m .
+
+# bench-deadline measures the deadline-aware scheduler: the mixed-
+# criticality shape (10% of transactions declare a 2ms wire deadline, 4x
+# session oversubscription) under slack-ordered dispatch vs the FIFO
+# baseline. Critical miss-% and crit-p999 must beat FIFO's at comparable
+# total tps; the full-scale A/B lives in BENCH_PR10.json. bench-smoke
+# invokes it at one iteration as a harness canary.
+BENCHTIME ?= 1s
+bench-deadline:
+	$(GO) test -run=^$$ -bench=BenchmarkDeadlineSched -benchmem -benchtime $(BENCHTIME) .

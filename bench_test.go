@@ -503,3 +503,39 @@ func BenchmarkSessionScheduler(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDeadlineSched — PR 10's mixed-criticality serving experiment at
+// smoke scale: 10% of transactions declare a wire deadline, sessions
+// oversubscribe the executor pool 4×, and the deadline-aware scheduler
+// (slack-ordered dispatch + aging + work-stealing) is compared against the
+// FIFO baseline. The metrics that matter: critical miss-% and crit-p999
+// must be better than FIFO's at comparable total throughput.
+func BenchmarkDeadlineSched(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fifo bool
+	}{{"slack", false}, {"fifo", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := harness.Config{Protocol: db.Plor, Workers: benchWorkers,
+				Interactive: true,
+				Sessions:    4 * benchWorkers, Executors: benchWorkers,
+				Deadline: 2 * time.Millisecond, CriticalFrac: 0.1,
+				SchedFIFO: mode.fifo,
+				Workload:  harness.NewYCSB(benchYCSB(ycsb.A()), benchWorkers)}
+			cfg.Warmup = 100 * time.Millisecond
+			cfg.Measure = 700 * time.Millisecond
+			b.ResetTimer()
+			m, err := harness.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.Throughput(), "tps")
+			b.ReportMetric(m.MissRate()*100, "miss-%")
+			if m.CritLatency != nil && m.CritCommits > 0 {
+				b.ReportMetric(float64(m.CritLatency.P999())/1e3, "crit-p999-us")
+			}
+			b.ReportMetric(float64(m.SchedSteals), "steals")
+		})
+	}
+}

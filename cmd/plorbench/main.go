@@ -39,6 +39,10 @@ func main() {
 		sessions    = flag.Int("sessions", 0, "client sessions multiplexed onto the M:N scheduler (interactive mode; 0 = one dedicated server goroutine per worker)")
 		executors   = flag.Int("executors", 0, "executor workers serving the sessions (0 = -workers; requires -sessions)")
 		rtt         = flag.Duration("rtt", 4*time.Microsecond, "simulated network RTT (interactive mode)")
+		deadlineMS  = flag.Float64("deadline-ms", 0, "mixed-criticality mode: latency budget critical transactions declare on the wire, in ms (requires -sessions)")
+		critFrac    = flag.Float64("critical-frac", 0.1, "mixed-criticality mode: fraction of transactions drawn as deadline-critical")
+		schedFIFO   = flag.Bool("sched-fifo", false, "run the session scheduler in its FIFO baseline mode (A/B control for -deadline-ms)")
+		noSteal     = flag.Bool("no-steal", false, "disable executor work-stealing (steal-vs-stickiness ablation)")
 		batch       = flag.Bool("batch", false, "batch independent operations into multi-op frames (interactive mode)")
 		logging     = flag.String("logging", "off", "WAL mode: off, redo, undo")
 		walDur      = flag.String("wal-durability", "sync", "WAL commit-path durability: sync (append per commit), group (batched epoch flush, commit waits), async (ack at publish)")
@@ -188,7 +192,13 @@ func main() {
 		MVCC:             *mvcc,
 		ScanInterval:     *scanEvery,
 		Backoff:          proto == db.NoWait || proto == db.WaitDie || proto == db.Silo || proto == db.TicToc || proto == db.MOCC,
+		SchedFIFO:        *schedFIFO,
+		SchedNoSteal:     *noSteal,
 		Workload:         wl,
+	}
+	if *deadlineMS > 0 {
+		cfg.Deadline = time.Duration(*deadlineMS * float64(time.Millisecond))
+		cfg.CriticalFrac = *critFrac
 	}
 	m, err := harness.Run(cfg)
 	if err != nil {
@@ -196,6 +206,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(m.Row())
+	if *deadlineMS > 0 {
+		fmt.Println(m.DeadlineRow())
+	}
 	if *scanners > 0 {
 		fmt.Println(m.ScanRow())
 	}

@@ -28,6 +28,8 @@ func main() {
 		records  = flag.Int("records", 100_000, "YCSB table size (must match server)")
 		batch    = flag.Bool("batch", false, "batch independent operations into multi-op frames")
 		useMux   = flag.Bool("mux", false, "multiplex all sessions over one shared TCP connection")
+		dlMS     = flag.Float64("deadline-ms", 0, "mixed-criticality mode: latency budget critical transactions declare on the wire, in ms")
+		critFrac = flag.Float64("critical-frac", 0.1, "mixed-criticality mode: fraction of transactions drawn as deadline-critical")
 	)
 	flag.Parse()
 
@@ -57,13 +59,17 @@ func main() {
 		defer mc.Close()
 	}
 
+	budget := time.Duration(*dlMS * float64(time.Millisecond))
 	hists := make([]*stats.Histogram, *sessions)
+	critHists := make([]*stats.Histogram, *sessions)
 	var commits, aborts, sheds uint64
+	var critCommits, critMisses, critSheds, bgCommits uint64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	deadline := time.Now().Add(*duration)
 	for s := 0; s < *sessions; s++ {
 		hists[s] = stats.NewHistogram()
+		critHists[s] = stats.NewHistogram()
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -86,21 +92,42 @@ func main() {
 			gen := wl.NewGen(int64(s) + 1)
 			rng := uint64(s)*0x9E3779B97F4A7C15 + 12345
 			var localCommits, localAborts, localSheds uint64
+			var localCritCommits, localCritMisses, localCritSheds, localBgCommits uint64
 			for time.Now().Before(deadline) {
 				txn := gen.Next()
 				start := time.Now()
+				// Criticality draw: critical transactions declare an
+				// absolute deadline on the wire OpBegin; retries keep it.
+				opts := cc.AttemptOpts{ReadOnly: txn.ReadOnly}
+				critical := false
+				if budget > 0 {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					critical = float64(rng>>11)/(1<<53) < *critFrac
+					if critical {
+						opts.DeadlineHint = uint64(start.Add(budget).UnixNano())
+					}
+				}
+				abandoned := false
 				first := true
 				for {
-					err := w.Attempt(txn.Proc, first, cc.AttemptOpts{ReadOnly: txn.ReadOnly})
+					err := w.Attempt(txn.Proc, first, opts)
 					if err == nil {
 						break
 					}
 					var busy *rpc.ErrServerBusy
 					if errors.As(err, &busy) {
+						localSheds++
+						if critical && busy.Cause == rpc.CauseDeadlineInfeasible {
+							// The declared deadline is unreachable; retrying
+							// the same absolute value only gets shed again.
+							localCritMisses++
+							localCritSheds++
+							abandoned = true
+							break
+						}
 						// Overload shed: the server's retry-after hint is a
 						// floor, jitter rides on top (rpc.BusyBackoff). No
 						// transaction was started, so first stays as-is.
-						localSheds++
 						time.Sleep(rpc.BusyBackoff(busy.RetryAfter, &rng))
 						continue
 					}
@@ -114,13 +141,30 @@ func main() {
 					localAborts++
 					first = false
 				}
+				if abandoned {
+					continue
+				}
+				lat := time.Since(start)
 				localCommits++
-				hists[s].Record(time.Since(start).Nanoseconds())
+				hists[s].Record(lat.Nanoseconds())
+				if critical {
+					localCritCommits++
+					critHists[s].Record(lat.Nanoseconds())
+					if lat > budget {
+						localCritMisses++
+					}
+				} else if budget > 0 {
+					localBgCommits++
+				}
 			}
 			mu.Lock()
 			commits += localCommits
 			aborts += localAborts
 			sheds += localSheds
+			critCommits += localCritCommits
+			critMisses += localCritMisses
+			critSheds += localCritSheds
+			bgCommits += localBgCommits
 			mu.Unlock()
 		}(s)
 	}
@@ -130,4 +174,14 @@ func main() {
 	fmt.Printf("sessions=%d  tput=%.0f tps  p50=%.1fus  p99=%.1fus  p999=%.1fus  aborts=%d  sheds=%d\n",
 		*sessions, float64(commits)/duration.Seconds(),
 		float64(h.P50())/1e3, float64(h.P99())/1e3, float64(h.P999())/1e3, aborts, sheds)
+	if budget > 0 {
+		ch := stats.MergeAll(critHists)
+		missRate := 0.0
+		if n := critCommits + critSheds; n > 0 {
+			missRate = float64(critMisses) / float64(n) * 100
+		}
+		fmt.Printf("budget=%v  crit=%d miss=%.2f%% (late=%d shed=%d) crit_p99=%.1fus crit_p999=%.1fus  bg=%d\n",
+			budget, critCommits, missRate, critMisses-critSheds, critSheds,
+			float64(ch.P99())/1e3, float64(ch.P999())/1e3, bgCommits)
+	}
 }

@@ -44,6 +44,9 @@ func main() {
 		executors  = flag.Int("executors", 0, "executor workers serving all sessions (0 = -workers)")
 		maxSess    = flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited); rejected sessions get a retryable busy status")
 		queueCap   = flag.Int("queue-cap", 0, "runnable-queue admission bound (0 = default 8192, negative = unbounded)")
+		schedFIFO  = flag.Bool("sched-fifo", false, "arrival-order (FIFO) scheduling instead of deadline-aware least-slack dispatch")
+		noSteal    = flag.Bool("no-steal", false, "disable executor work-stealing")
+		ageAfter   = flag.Duration("age-after", 0, "anti-starvation bound: dispatch any no-deadline session waiting longer than this ahead of the slack order (0 = default 1ms)")
 		records    = flag.Int("records", 100_000, "YCSB table size")
 		warehouses = flag.Int("warehouses", 1, "TPC-C warehouses")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/trace and /debug/hotlocks on this address (empty = off)")
@@ -115,6 +118,9 @@ func main() {
 		Executors:   *executors,
 		MaxSessions: *maxSess,
 		QueueCap:    *queueCap,
+		FIFO:        *schedFIFO,
+		NoSteal:     *noSteal,
+		AgeAfter:    *ageAfter,
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {

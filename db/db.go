@@ -479,6 +479,19 @@ type ServeOptions struct {
 	SlackFactor uint64
 	// RetryAfter is the backoff hint carried on busy responses (default 2ms).
 	RetryAfter time.Duration
+	// FIFO disables deadline-aware scheduling: one arrival-ordered runnable
+	// queue, no slack ordering, no declared-deadline shedding, no stealing —
+	// the measured baseline. Transactions that declare wire deadlines still
+	// run; they just get no preferential dispatch.
+	FIFO bool
+	// NoSteal keeps slack-ordered scheduling but disables executor
+	// work-stealing (idle executors then rely on aging to rescue sessions
+	// parked behind a busy executor).
+	NoSteal bool
+	// AgeAfter bounds no-deadline sessions' queue wait under sustained
+	// deadline-class load: any session waiting longer is dispatched ahead of
+	// the slack order (default 1ms).
+	AgeAfter time.Duration
 }
 
 // NewServer builds an RPC server whose sessions are multiplexed onto a
@@ -493,6 +506,9 @@ func (d *DB) NewServer(opts ServeOptions) *rpc.Server {
 		QueueCap:    opts.QueueCap,
 		SlackFactor: opts.SlackFactor,
 		RetryAfter:  opts.RetryAfter,
+		FIFO:        opts.FIFO,
+		NoSteal:     opts.NoSteal,
+		AgeAfter:    opts.AgeAfter,
 	})
 }
 

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/db"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workload/ycsb"
+)
+
+// TestDeadlineMissGuard is the deadline-scheduling regression guard: the
+// mixed-criticality serving shape (10% of transactions declare a 2ms wire
+// deadline, sessions oversubscribe the executor pool 4x) runs under the FIFO
+// baseline and under the slack-ordered scheduler, and the slack side must
+// keep protecting the critical class. Runs are short and the miss counts
+// small, so the relative check only fails when the slack scheduler loses on
+// BOTH miss rate and critical p999 — a real regression shows on both, noise
+// rarely flips both — backed by a generous absolute miss-rate ceiling and
+// the background-starvation check. Skipped under -short and under the race
+// detector (instrumentation distorts the timing).
+func TestDeadlineMissGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard: needs real measurement time")
+	}
+	if raceEnabled {
+		t.Skip("timing guard: race instrumentation distorts the measurement")
+	}
+	const workers = 8
+	run := func(fifo bool) *stats.Metrics {
+		cfg := harness.Config{Protocol: db.Plor, Workers: workers,
+			Interactive: true,
+			Sessions:    4 * workers, Executors: workers,
+			Deadline: 2 * time.Millisecond, CriticalFrac: 0.1,
+			SchedFIFO: fifo,
+			Workload:  harness.NewYCSB(benchYCSB(ycsb.A()), workers)}
+		cfg.Warmup = 100 * time.Millisecond
+		cfg.Measure = 500 * time.Millisecond
+		m, err := harness.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	fifo := run(true)
+	slack := run(false)
+	t.Logf("fifo:  %s", fifo.DeadlineRow())
+	t.Logf("slack: %s", slack.DeadlineRow())
+
+	if slack.CritCommits == 0 || fifo.CritCommits == 0 {
+		t.Fatalf("no critical commits (fifo=%d slack=%d): the mixed-criticality shape is broken",
+			fifo.CritCommits, slack.CritCommits)
+	}
+	// Starvation bound: aging must keep the background class moving while
+	// criticals jump the queue.
+	if slack.BgCommits == 0 {
+		t.Fatal("background class starved under slack scheduling")
+	}
+	// Absolute ceiling: this shape historically runs ~0.2% critical misses
+	// under slack ordering (FIFO ~0.5-1%). 5% is ~25x headroom — a scheduler
+	// that stops honoring deadlines lands far above it.
+	if r := slack.MissRate(); r > 0.05 {
+		t.Fatalf("slack scheduler critical miss rate %.2f%% exceeds the 5%% ceiling", 100*r)
+	}
+	// Relative check: regression only when slack loses to FIFO on both
+	// deadline metrics.
+	slackP999 := time.Duration(slack.CritLatency.P999())
+	fifoP999 := time.Duration(fifo.CritLatency.P999())
+	if slack.MissRate() > fifo.MissRate() && slackP999 > fifoP999 {
+		t.Fatalf("slack scheduler lost to FIFO on miss rate (%.2f%% vs %.2f%%) AND crit p999 (%v vs %v): deadline scheduling regressed",
+			100*slack.MissRate(), 100*fifo.MissRate(), slackP999, fifoP999)
+	}
+}

@@ -471,6 +471,13 @@ type AttemptOpts struct {
 	// executors or BeginTS on participants joining mid-retry), preserving
 	// the original priority everywhere.
 	BeginTS uint64
+	// DeadlineHint is the transaction's absolute deadline (UnixNano,
+	// 0 = none). Clients declare it on the wire OpBegin; the serving layer
+	// orders the runnable queue by remaining slack against it, and engines
+	// with Plor-RT priority (SlackFactor set) fold the remaining slack into
+	// the lock priority in place of ResourceHint, so the lock manager and
+	// the scheduler agree on urgency. Retries keep the same absolute value.
+	DeadlineHint uint64
 }
 
 // Worker executes transactions on behalf of one worker thread. A Worker is

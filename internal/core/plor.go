@@ -241,7 +241,22 @@ func (w *worker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) error {
 
 	prio := w.ts
 	if w.opts.SlackFactor != 0 {
-		prio = w.ts + w.opts.SlackFactor*uint64(opts.ResourceHint)
+		// Plor-RT deadline priority (Fig. 15): prio = AT + SF·RT. RT is the
+		// resource estimate, or — when the client declared a wire-level
+		// deadline — the remaining slack quantized to µs, so the lock
+		// manager sees the same urgency the scheduler ordered the runnable
+		// queue by. The µs quantization keeps the addend inside the 47-bit
+		// priority space that raw UnixNano would overflow; an expired
+		// deadline contributes zero, i.e. maximum urgency for its arrival
+		// time.
+		rt := uint64(opts.ResourceHint)
+		if opts.DeadlineHint != 0 {
+			rt = 0
+			if rem := int64(opts.DeadlineHint) - time.Now().UnixNano(); rem > 0 {
+				rt = uint64(rem) / 1000
+			}
+		}
+		prio = w.ts + w.opts.SlackFactor*rt
 	}
 	w.ctx.BeginWithPriority(w.wid, w.ts, prio)
 	w.req = lock.Req{Reg: w.db.Reg, Ctx: w.ctx, WID: w.wid, Word: w.ctx.Load(), Prio: prio, BD: w.bd}

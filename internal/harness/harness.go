@@ -97,6 +97,25 @@ type Config struct {
 	// Executors sets the scheduler's executor-pool size (default Workers).
 	// Only meaningful with Sessions > 0; must not exceed Workers.
 	Executors int
+	// Deadline, with CriticalFrac > 0, is the latency budget critical
+	// transactions declare on the wire: each critical transaction carries an
+	// absolute deadline of first-attempt-start + Deadline, so retries race
+	// the same clock. A critical transaction misses when it commits past its
+	// deadline or the server sheds it as deadline-infeasible (the harness
+	// abandons it rather than retrying a hopeless budget). Requires
+	// Interactive + Sessions.
+	Deadline time.Duration
+	// CriticalFrac is the fraction of transactions drawn (per transaction,
+	// not per worker) as deadline-critical; the rest run as background with
+	// no declared deadline.
+	CriticalFrac float64
+	// SchedFIFO runs the session scheduler in its FIFO baseline mode:
+	// one arrival-ordered queue, no slack ordering, no deadline shedding,
+	// no stealing. The A/B control for the deadline experiments.
+	SchedFIFO bool
+	// SchedNoSteal keeps slack ordering but disables executor work-stealing
+	// (the steal-vs-stickiness ablation).
+	SchedNoSteal bool
 	// Batch enables interactive operation batching: workload phases of
 	// independent operations cross the simulated network as one multi-op
 	// frame (one RTT) instead of one round trip per operation.
@@ -184,6 +203,14 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CriticalFrac > 0 || cfg.Deadline > 0 {
+		if cfg.CriticalFrac <= 0 || cfg.Deadline <= 0 {
+			return nil, errors.New("harness: Deadline and CriticalFrac must be set together")
+		}
+		if !cfg.Interactive || cfg.Sessions <= 0 {
+			return nil, errors.New("harness: deadline mode requires Interactive sessions (the deadline travels on the wire)")
+		}
+	}
 	if (cfg.Scanners > 0 || cfg.MVCC) && cfg.NoReclaim {
 		return nil, errors.New("harness: MVCC requires reclamation (version GC rides the epoch reclaimer)")
 	}
@@ -268,7 +295,12 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		// client — the harness measures scheduling, not self-inflicted
 		// shedding. Overload behavior is exercised by the saturation guard
 		// and the rpc tests, which configure tighter caps explicitly.
-		sched = rpc.NewScheduler(engine, ccdb, rpc.SchedConfig{Executors: execN, QueueCap: cfg.Sessions})
+		sched = rpc.NewScheduler(engine, ccdb, rpc.SchedConfig{
+			Executors: execN,
+			QueueCap:  cfg.Sessions,
+			FIFO:      cfg.SchedFIFO,
+			NoSteal:   cfg.SchedNoSteal,
+		})
 		// Registered before the transport-close defer below: LIFO order
 		// closes every session first, then tears the scheduler down.
 		defer sched.Close()
@@ -340,6 +372,25 @@ func Run(cfg Config) (*stats.Metrics, error) {
 		measureStart time.Time
 		wg           sync.WaitGroup
 	)
+	// Mixed-criticality accounting (Deadline/CriticalFrac mode): per-class
+	// commit counts, latency histograms, and deadline misses, per worker.
+	deadlineMode := cfg.Deadline > 0
+	var (
+		critHists   []*stats.Histogram
+		bgHists     []*stats.Histogram
+		critCommits []uint64
+		critMisses  []uint64
+		critSheds   []uint64
+		bgCommits   []uint64
+	)
+	if deadlineMode {
+		critHists = make([]*stats.Histogram, clientN+1)
+		bgHists = make([]*stats.Histogram, clientN+1)
+		critCommits = make([]uint64, clientN+1)
+		critMisses = make([]uint64, clientN+1)
+		critSheds = make([]uint64, clientN+1)
+		bgCommits = make([]uint64, clientN+1)
+	}
 	// Admission control: a semaphore bounding in-flight transactions.
 	var admit chan struct{}
 	if cfg.MaxActive > 0 && cfg.MaxActive < clientN {
@@ -347,6 +398,10 @@ func Run(cfg Config) (*stats.Metrics, error) {
 	}
 	for wid := 1; wid <= clientN; wid++ {
 		hists[wid] = stats.NewHistogram()
+		if deadlineMode {
+			critHists[wid] = stats.NewHistogram()
+			bgHists[wid] = stats.NewHistogram()
+		}
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
@@ -393,6 +448,19 @@ func Run(cfg Config) (*stats.Metrics, error) {
 				}
 				opts := cc.AttemptOpts{ReadOnly: unit.ReadOnly, ResourceHint: unit.Hint}
 				txnStart := now
+				// Criticality draw: a critical transaction declares an
+				// absolute deadline (first-attempt start + budget) on the
+				// wire, so conflict retries race the same clock rather than
+				// resetting it.
+				critical := false
+				if deadlineMode {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					critical = float64(rng>>11)/(1<<53) < cfg.CriticalFrac
+					if critical {
+						opts.DeadlineHint = uint64(txnStart.Add(cfg.Deadline).UnixNano())
+					}
+				}
+				abandoned := false
 				traced := obs.TraceEnabled()
 				if traced {
 					obs.Emit(obs.Event{Kind: obs.EvBegin, WID: uint16(wid)})
@@ -413,6 +481,18 @@ func Run(cfg Config) (*stats.Metrics, error) {
 						// is not a conflict retry.
 						var busy *rpc.ErrServerBusy
 						errors.As(err, &busy)
+						if critical && busy.Cause == rpc.CauseDeadlineInfeasible {
+							// The server judged the declared deadline
+							// unreachable. Retrying the same absolute
+							// deadline can only be shed again (it is even
+							// later now), so count the miss and move on.
+							if recording {
+								critMisses[wid]++
+								critSheds[wid]++
+							}
+							abandoned = true
+							break
+						}
 						time.Sleep(rpc.BusyBackoff(busy.RetryAfter, &rng))
 						continue
 					}
@@ -470,12 +550,30 @@ func Run(cfg Config) (*stats.Metrics, error) {
 				if admit != nil {
 					<-admit
 				}
+				if abandoned {
+					continue
+				}
+				lat := time.Since(txnStart)
 				if recording {
 					commits[wid]++
-					h.Record(time.Since(txnStart).Nanoseconds())
+					h.Record(lat.Nanoseconds())
+					if deadlineMode {
+						if critical {
+							critCommits[wid]++
+							critHists[wid].Record(lat.Nanoseconds())
+							if lat > cfg.Deadline {
+								// Committed, but past the declared budget:
+								// still a miss from the client's view.
+								critMisses[wid]++
+							}
+						} else {
+							bgCommits[wid]++
+							bgHists[wid].Record(lat.Nanoseconds())
+						}
+					}
 				}
 				if traced {
-					obs.Emit(obs.Event{Kind: obs.EvCommit, WID: uint16(wid), Dur: time.Since(txnStart).Nanoseconds()})
+					obs.Emit(obs.Event{Kind: obs.EvCommit, WID: uint16(wid), Dur: lat.Nanoseconds()})
 				}
 			}
 		}(wid)
@@ -564,6 +662,22 @@ func Run(cfg Config) (*stats.Metrics, error) {
 			m.ScanRows += scanRows[i]
 		}
 		m.ScanLatency = stats.MergeAll(scanHists)
+	}
+	if deadlineMode {
+		m.DeadlineBudget = cfg.Deadline
+		m.CritLatency = stats.MergeAll(critHists[1:])
+		m.BgLatency = stats.MergeAll(bgHists[1:])
+		for wid := 1; wid <= clientN; wid++ {
+			m.CritCommits += critCommits[wid]
+			m.CritMisses += critMisses[wid]
+			m.CritSheds += critSheds[wid]
+			m.BgCommits += bgCommits[wid]
+		}
+		if sched != nil {
+			st := sched.Stats()
+			m.SchedSteals = st.Steals
+			m.SchedAged = st.Aged
+		}
 	}
 	if cfg.Trace {
 		m.Attribution = obs.BuildAttribution()

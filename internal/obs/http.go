@@ -220,6 +220,10 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# HELP plor_runnable_queue_depth Runnable-queue depth at scrape.\n")
 		fmt.Fprintf(w, "# TYPE plor_runnable_queue_depth gauge\n")
 		fmt.Fprintf(w, "plor_runnable_queue_depth %d\n", ss.RunnableDepth)
+		fmt.Fprintf(w, "# HELP plor_queue_depth Runnable-queue depth by scheduling class (declared wire deadline vs none).\n")
+		fmt.Fprintf(w, "# TYPE plor_queue_depth gauge\n")
+		fmt.Fprintf(w, "plor_queue_depth{class=\"critical\"} %d\n", ss.DeadlineDepth)
+		fmt.Fprintf(w, "plor_queue_depth{class=\"background\"} %d\n", ss.BackgroundDepth)
 		fmt.Fprintf(w, "# HELP plor_sched_executors Executor workers pulling sessions from the runnable queue.\n")
 		fmt.Fprintf(w, "# TYPE plor_sched_executors gauge\n")
 		fmt.Fprintf(w, "plor_sched_executors %d\n", ss.Executors)
@@ -228,6 +232,16 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE plor_admission_rejects_total counter\n")
 	fmt.Fprintf(w, "plor_admission_rejects_total{cause=\"queue-full\"} %d\n", l.AdmissionRejectsQueueFull.Load())
 	fmt.Fprintf(w, "plor_admission_rejects_total{cause=\"deadline-infeasible\"} %d\n", l.AdmissionRejectsDeadline.Load())
+	fmt.Fprintf(w, "# HELP plor_deadline_misses_total Deadline misses by class: critical = declared wire deadlines (infeasible sheds + late commits), background = legacy hint-budget sheds.\n")
+	fmt.Fprintf(w, "# TYPE plor_deadline_misses_total counter\n")
+	fmt.Fprintf(w, "plor_deadline_misses_total{class=\"critical\"} %d\n", l.DeadlineMissCritical.Load())
+	fmt.Fprintf(w, "plor_deadline_misses_total{class=\"background\"} %d\n", l.DeadlineMissBackground.Load())
+	fmt.Fprintf(w, "# HELP plor_sched_steals_total Steal-half events between executor-local runnable rings.\n")
+	fmt.Fprintf(w, "# TYPE plor_sched_steals_total counter\n")
+	fmt.Fprintf(w, "plor_sched_steals_total %d\n", l.SchedSteals.Load())
+	fmt.Fprintf(w, "# HELP plor_sched_aged_total No-deadline dispatches forced ahead of the slack order by the aging bound.\n")
+	fmt.Fprintf(w, "# TYPE plor_sched_aged_total counter\n")
+	fmt.Fprintf(w, "plor_sched_aged_total %d\n", l.SchedAged.Load())
 	schedWait := l.SchedWaitSnapshot()
 	fmt.Fprintf(w, "# HELP plor_sched_wait_ns Runnable-queue wait before executor dispatch (quantiles, ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_sched_wait_ns gauge\n")
@@ -236,6 +250,15 @@ func (h *httpState) metrics(w http.ResponseWriter, _ *http.Request) {
 		v     float64
 	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
 		fmt.Fprintf(w, "plor_sched_wait_ns{quantile=%q} %d\n", q.label, schedWait.Quantile(q.v))
+	}
+	schedSlack := l.SchedSlackSnapshot()
+	fmt.Fprintf(w, "# HELP plor_sched_slack_ns Remaining slack at dispatch for deadline-class transactions judged feasible (quantiles, ns).\n")
+	fmt.Fprintf(w, "# TYPE plor_sched_slack_ns gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+		fmt.Fprintf(w, "plor_sched_slack_ns{quantile=%q} %d\n", q.label, schedSlack.Quantile(q.v))
 	}
 	fmt.Fprintf(w, "# HELP plor_txn_latency_ns Committed-transaction latency quantiles (ns).\n")
 	fmt.Fprintf(w, "# TYPE plor_txn_latency_ns gauge\n")

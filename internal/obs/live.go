@@ -80,6 +80,17 @@ type Live struct {
 	AdmissionRejectsQueueFull atomic.Uint64
 	AdmissionRejectsDeadline  atomic.Uint64
 
+	// Deadline-scheduling counters. DeadlineMissCritical counts declared
+	// wire-deadline misses (infeasible dispatch sheds plus commits that
+	// finished past their deadline); DeadlineMissBackground counts legacy
+	// hint-budget sheds (no declared deadline, SlackFactor admission).
+	// SchedSteals counts steal-half events between executor rings;
+	// SchedAged counts no-deadline dispatches forced by the aging bound.
+	DeadlineMissCritical   atomic.Uint64
+	DeadlineMissBackground atomic.Uint64
+	SchedSteals            atomic.Uint64
+	SchedAged              atomic.Uint64
+
 	causes [stats.NumAbortCauses]atomic.Uint64
 
 	mu        sync.Mutex
@@ -89,6 +100,7 @@ type Live struct {
 	rpcBatch  *stats.Histogram // sub-ops per multi-op rpc frame
 	wasted    *stats.Histogram // completed ops discarded per wound/cascade abort
 	schedWait *stats.Histogram // runnable-queue wait per dispatch (ns)
+	schedSlk  *stats.Histogram // remaining slack at dispatch, deadline class (ns)
 	prepLat   *stats.Histogram // participant prepare latency (ns, 2PC phase 1)
 	decideLat *stats.Histogram // prepare-to-decision gap (ns, 2PC phase 2)
 	start     time.Time
@@ -101,6 +113,7 @@ var live = &Live{
 	rpcBatch:  stats.NewHistogram(),
 	wasted:    stats.NewHistogram(),
 	schedWait: stats.NewHistogram(),
+	schedSlk:  stats.NewHistogram(),
 	prepLat:   stats.NewHistogram(),
 	decideLat: stats.NewHistogram(),
 	start:     time.Now(),
@@ -178,10 +191,14 @@ func MVCCStatsSnapshot() (MVCCStat, bool) {
 
 // SchedStat is a snapshot of the M:N serving layer for /metrics, mirroring
 // internal/rpc's Scheduler without importing it (same layering as
-// TableStat). RunnableDepth is the instantaneous runnable-queue length.
+// TableStat). RunnableDepth is the instantaneous runnable-queue length;
+// DeadlineDepth and BackgroundDepth split it by scheduling class (sessions
+// with a declared wire deadline vs without).
 type SchedStat struct {
-	RunnableDepth int
-	Executors     int
+	RunnableDepth   int
+	DeadlineDepth   int
+	BackgroundDepth int
+	Executors       int
 }
 
 var schedStatsFn atomic.Pointer[func() SchedStat]
@@ -244,6 +261,24 @@ func (l *Live) SchedWaitSnapshot() *stats.Histogram {
 	h := stats.NewHistogram()
 	l.mu.Lock()
 	h.Merge(l.schedWait)
+	l.mu.Unlock()
+	return h
+}
+
+// SchedSlack records the remaining slack (deadline minus now minus the
+// service estimate) of one deadline-class dispatch that was judged
+// feasible.
+func (l *Live) SchedSlack(d time.Duration) {
+	l.mu.Lock()
+	l.schedSlk.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+// SchedSlackSnapshot returns a copy of the slack-at-dispatch histogram.
+func (l *Live) SchedSlackSnapshot() *stats.Histogram {
+	h := stats.NewHistogram()
+	l.mu.Lock()
+	h.Merge(l.schedSlk)
 	l.mu.Unlock()
 	return h
 }
@@ -374,6 +409,10 @@ func (l *Live) Reset() {
 	l.InDoubtResolves.Store(0)
 	l.AdmissionRejectsQueueFull.Store(0)
 	l.AdmissionRejectsDeadline.Store(0)
+	l.DeadlineMissCritical.Store(0)
+	l.DeadlineMissBackground.Store(0)
+	l.SchedSteals.Store(0)
+	l.SchedAged.Store(0)
 	// SessionsActive/SessionsQueued are live gauges owned by the serving
 	// layer, not cumulative counters; Reset leaves them alone.
 	for i := range l.causes {
@@ -386,6 +425,7 @@ func (l *Live) Reset() {
 	l.rpcBatch.Reset()
 	l.wasted.Reset()
 	l.schedWait.Reset()
+	l.schedSlk.Reset()
 	l.prepLat.Reset()
 	l.decideLat.Reset()
 	l.start = time.Now()

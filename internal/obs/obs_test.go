@@ -342,7 +342,14 @@ func TestHTTPSchedMetrics(t *testing.T) {
 	Metrics().AdmissionRejectsDeadline.Add(2)
 	Metrics().SchedWait(1 * time.Millisecond)
 	Metrics().SchedWait(3 * time.Millisecond)
-	SetSchedStats(func() SchedStat { return SchedStat{RunnableDepth: 29, Executors: 8} })
+	Metrics().DeadlineMissCritical.Add(5)
+	Metrics().DeadlineMissBackground.Add(3)
+	Metrics().SchedSteals.Add(7)
+	Metrics().SchedAged.Add(11)
+	Metrics().SchedSlack(2 * time.Millisecond)
+	SetSchedStats(func() SchedStat {
+		return SchedStat{RunnableDepth: 29, DeadlineDepth: 9, BackgroundDepth: 20, Executors: 8}
+	})
 	defer SetSchedStats(nil)
 
 	srv := httptest.NewServer(Handler())
@@ -367,6 +374,13 @@ func TestHTTPSchedMetrics(t *testing.T) {
 		`plor_admission_rejects_total{cause="deadline-infeasible"} 2`,
 		`plor_sched_wait_ns{quantile="0.5"}`,
 		`plor_sched_wait_ns{quantile="0.999"}`,
+		`plor_queue_depth{class="critical"} 9`,
+		`plor_queue_depth{class="background"} 20`,
+		`plor_deadline_misses_total{class="critical"} 5`,
+		`plor_deadline_misses_total{class="background"} 3`,
+		"plor_sched_steals_total 7",
+		"plor_sched_aged_total 11",
+		`plor_sched_slack_ns{quantile="0.99"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

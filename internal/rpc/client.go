@@ -200,7 +200,8 @@ func (c *ClientWorker) Attempt(proc cc.Proc, first bool, opts cc.AttemptOpts) er
 	if len(c.rmw) > 0 {
 		clear(c.rmw)
 	}
-	c.stage1(Request{Op: OpBegin, First: first, RO: opts.ReadOnly, Hint: uint32(opts.ResourceHint)})
+	c.stage1(Request{Op: OpBegin, First: first, RO: opts.ReadOnly,
+		Hint: uint32(opts.ResourceHint), Deadline: opts.DeadlineHint})
 	if err := c.sendFrame(); err != nil {
 		return err
 	}
@@ -745,6 +746,12 @@ func (t *SchedChanTransport) Call(rf *ReqFrame, wf *RespFrame) error {
 		} else {
 			storage.WaitFor(t.rtt)
 		}
+	}
+	if len(rf.Reqs) > 0 && rf.Reqs[0].Op == OpBegin {
+		// Stored before the frame is staged, so the scheduler classifies
+		// the session by this Begin's declared deadline (0 clears a stale
+		// one).
+		t.ss.deadline.Store(int64(rf.Reqs[0].Deadline))
 	}
 	t.reqBuf = *rf
 	select {

@@ -722,6 +722,11 @@ func (s *Server) handleMux(conn net.Conn) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
+		if d, ok := frameBeginDeadline(buf); ok {
+			// Stored before the frame is staged, so the scheduler classifies
+			// the session by this Begin's declared deadline.
+			m.ss.deadline.Store(d)
+		}
 		select {
 		case m.in <- srvMuxReq{buf: buf, seq: seq}:
 		case <-m.done:

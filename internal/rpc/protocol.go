@@ -99,13 +99,21 @@ const (
 	ShedDeadlineInfeasible             // queued past the txn's slack budget
 )
 
+// Shed cause strings as carried in ErrServerBusy.Cause, exported so callers
+// can distinguish a transient queue-full refusal (worth retrying) from a
+// deadline-infeasible one (hopeless for the declared deadline).
+const (
+	CauseQueueFull          = "queue-full"
+	CauseDeadlineInfeasible = "deadline-infeasible"
+)
+
 // shedCauseString names a shed cause for errors and metrics labels.
 func shedCauseString(c uint8) string {
 	switch c {
 	case ShedQueueFull:
-		return "queue-full"
+		return CauseQueueFull
 	case ShedDeadlineInfeasible:
-		return "deadline-infeasible"
+		return CauseDeadlineInfeasible
 	}
 	return "unknown"
 }
@@ -145,7 +153,14 @@ type Request struct {
 	First bool   // Begin: fresh transaction vs retry
 	RO    bool   // Begin: read-only hint
 	Hint  uint32 // Begin: resource hint
-	Val   []byte
+	// Deadline is the transaction's absolute deadline (UnixNano, 0 = none),
+	// declared on OpBegin. Retries of the same transaction carry the same
+	// absolute value, so the budget shrinks as wall time passes. The
+	// scheduler orders the runnable queue by remaining slack against it and
+	// sheds frames that can no longer meet it; the engine folds the same
+	// value into the Plor-RT lock priority.
+	Deadline uint64
+	Val      []byte
 }
 
 // Response is one server→client message. Rows is used by scans: pairs of
@@ -197,7 +212,7 @@ type RespFrame struct {
 // --- binary framing (TCP transport) ---
 
 // requestBodySize is the fixed part of an encoded request body.
-const requestBodySize = 36
+const requestBodySize = 44
 
 // appendRequestBody encodes r without a length prefix. Bodies are
 // self-delimiting (the value length is in the fixed header), so batched
@@ -209,6 +224,7 @@ func appendRequestBody(buf []byte, r *Request) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Key2)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Limit)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Hint)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Deadline)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Val)))
 	return append(buf, r.Val...)
 }
@@ -237,7 +253,8 @@ func decodeRequestBody(b []byte, r *Request) (int, error) {
 	r.Key2 = binary.LittleEndian.Uint64(b[16:])
 	r.Limit = binary.LittleEndian.Uint32(b[24:])
 	r.Hint = binary.LittleEndian.Uint32(b[28:])
-	n := int(binary.LittleEndian.Uint32(b[32:]))
+	r.Deadline = binary.LittleEndian.Uint64(b[32:])
+	n := int(binary.LittleEndian.Uint32(b[40:]))
 	if n < 0 || len(b) < requestBodySize+n {
 		return 0, fmt.Errorf("rpc: request value truncated")
 	}
@@ -249,6 +266,18 @@ func decodeRequestBody(b []byte, r *Request) (int, error) {
 func decodeRequest(b []byte, r *Request) error {
 	_, err := decodeRequestBody(b, r)
 	return err
+}
+
+// frameBeginDeadline peeks at a raw frame body and, when its head request
+// is an OpBegin (single frames only — Begin never travels inside a batch on
+// the wire), returns the declared absolute deadline. Transports call it at
+// staging time, before Submit, so the scheduler can order the session in
+// the runnable queue by slack without decoding the whole frame.
+func frameBeginDeadline(b []byte) (int64, bool) {
+	if len(b) < requestBodySize || OpCode(b[0]) != OpBegin {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(b[32:])), true
 }
 
 // batchHeaderSize is marker(1) + pad(3) + count(4).

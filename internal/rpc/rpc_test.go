@@ -44,10 +44,11 @@ func runClientTxn(w cc.Worker, proc cc.Proc, opts cc.AttemptOpts) error {
 }
 
 func TestRequestResponseCodecs(t *testing.T) {
-	f := func(op byte, table uint32, key, key2 uint64, limit, hint uint32, first, ro, last bool, val []byte) bool {
+	f := func(op byte, table uint32, key, key2 uint64, limit, hint uint32, deadline uint64, first, ro, last bool, val []byte) bool {
 		req := Request{
 			Op: OpCode(op), Table: table, Key: key, Key2: key2,
-			Limit: limit, Hint: hint, First: first, RO: ro, Last: last, Val: val,
+			Limit: limit, Hint: hint, Deadline: deadline,
+			First: first, RO: ro, Last: last, Val: val,
 		}
 		buf := appendRequest(nil, &req)
 		var got Request
@@ -56,6 +57,7 @@ func TestRequestResponseCodecs(t *testing.T) {
 		}
 		return got.Op == req.Op && got.Table == req.Table && got.Key == req.Key &&
 			got.Key2 == req.Key2 && got.Limit == req.Limit && got.Hint == req.Hint &&
+			got.Deadline == req.Deadline &&
 			got.First == req.First && got.RO == req.RO && got.Last == req.Last &&
 			string(got.Val) == string(req.Val)
 	}

@@ -12,21 +12,51 @@ package rpc
 // table's holder identity, and the arena all stay on one wid from Begin to
 // commit/abort.
 //
+// Dispatch order (the ROADMAP's "serving layer, part 2" item) is no longer
+// FIFO. The runnable set is split by class:
+//
+//   - Sessions whose staged Begin declares a wire deadline go on a
+//     least-slack-first heap (slack = deadline − estimated service time at
+//     enqueue; EDF with a service-time correction). The most urgent
+//     transaction dispatches first regardless of arrival order.
+//   - Sessions without a deadline go on per-executor affinity rings (FIFO
+//     within a ring): each session sticks to the executor that last ran it
+//     (round-robin on first contact), so its arena-warm state stays where
+//     its last transaction ran.
+//
+// Two mechanisms bound the unfairness this ordering introduces:
+//
+//   - Aging: a no-deadline session that has waited longer than AgeAfter
+//     dispatches ahead of everything — rate-limited to one aged dispatch
+//     per AgeAfter window, so sustained critical load cannot starve the
+//     background class (amortized floor of 1/AgeAfter dispatches) without
+//     the inverse failure where every long-waited background session
+//     outranks declared deadlines. A local ring stranded by an executor
+//     blocked in a long interactive recv still drains through it.
+//   - Work-stealing: an executor with nothing else runnable steals half of
+//     the deepest peer ring (oldest first) instead of sleeping. Only parked
+//     between-transaction sessions are ever staged, so stealing never
+//     migrates an in-flight transaction — the wound-wait RetryTS carryover
+//     is untouched.
+//
+// SchedConfig.FIFO restores the PR 8 single-queue behavior (the baseline
+// the mixed-criticality benchmarks compare against); NoSteal disables
+// stealing only (aging still rescues stranded rings, on its slower cadence).
+//
 // Overload behavior (the ROADMAP's "front door at scale" item):
 //   - MaxSessions caps registered sessions; surplus binds are answered
 //     StatusBusy instead of the seed's silent connection drop.
-//   - QueueCap bounds the runnable queue. Only transaction-initial frames
+//   - QueueCap bounds the runnable set. Only transaction-initial frames
 //     are ever shed (mid-transaction frames go straight to the executor
 //     blocked in recv), so a shed never aborts admitted work.
 //   - SlackFactor sheds transactions whose queue wait already exceeded
 //     their deadline slack (Plor-RT's ResourceHint-scaled budget) before
 //     wasting an executor on them.
+//   - A declared wire deadline is re-checked at dispatch: a transaction
+//     that can no longer commit in time (now + smoothed service estimate
+//     past its deadline) is shed before it burns the executor slot.
 //   - Shed replies carry a typed retry-after hint; clients surface
 //     ErrServerBusy and retry with jittered backoff.
-//
-// Fairness: the queue is FIFO and a session that still has input after its
-// transaction completes re-enters at the tail, so a chatty session cannot
-// starve others (round-robin at transaction granularity).
 
 import (
 	"sync"
@@ -55,11 +85,28 @@ type SchedConfig struct {
 	// dispatched. 0 disables deadline admission. This is the serving-layer
 	// reuse of Plor-RT's slack machinery: the same hint that stretches a
 	// transaction's wound-wait priority bounds how stale its dispatch may
-	// be.
+	// be. Transactions that declare a wire deadline are judged against that
+	// deadline instead — it is strictly better information than the hint.
 	SlackFactor uint64
 	// RetryAfter is the backoff hint carried in StatusBusy responses
 	// (default DefaultRetryAfter).
 	RetryAfter time.Duration
+	// AgeAfter bounds how long a no-deadline session may wait behind the
+	// slack order before it dispatches ahead of it (0 = DefaultAgeAfter;
+	// negative disables aging). It is the background class's starvation
+	// guarantee under sustained critical load: aged dispatches are
+	// rate-limited to one per AgeAfter window, an amortized floor of
+	// 1/AgeAfter background dispatches per second.
+	AgeAfter time.Duration
+	// FIFO restores the PR 8 dispatch policy — one shared FIFO queue, no
+	// slack ordering, no aging, no stealing, no declared-deadline dispatch
+	// shed. It exists as the measured baseline for the deadline-scheduling
+	// benchmarks.
+	FIFO bool
+	// NoSteal disables work-stealing between executor-local rings. Stranded
+	// rings then drain only via aging or their owner — the measured
+	// "stickiness-only" comparison point.
+	NoSteal bool
 }
 
 // DefaultQueueCap bounds the runnable queue when SchedConfig.QueueCap is 0.
@@ -68,6 +115,11 @@ const DefaultQueueCap = 8192
 // DefaultRetryAfter is the shed-reply backoff hint when
 // SchedConfig.RetryAfter is 0.
 const DefaultRetryAfter = 2 * time.Millisecond
+
+// DefaultAgeAfter is the no-deadline aging threshold when
+// SchedConfig.AgeAfter is 0: long enough that slack order governs under
+// bursts, short enough that background work is never parked noticeably.
+const DefaultAgeAfter = time.Millisecond
 
 // Session scheduling states. A session is parked (no frame pending, no
 // executor), ready (staged on the runnable queue or owned by an executor),
@@ -98,7 +150,18 @@ type SchedSession struct {
 	state   atomic.Int32
 	retired atomic.Bool
 	enqNS   atomic.Int64 // UnixNano of the last enqueue (sched-wait metric)
-	retryTS uint64       // wound-wait ts carried across executors on retry
+	// deadline is the absolute UnixNano deadline declared on the staged
+	// frame's Begin (0 = none). Transports store it before staging the
+	// frame, so the scheduler classifies and ranks the session without
+	// decoding the frame.
+	deadline atomic.Int64
+	// affinity is 1 + the index of the executor that last ran this session
+	// (0 = not yet assigned). No-deadline submissions enqueue onto that
+	// executor's local ring, keeping a session where its cache state is warm
+	// — and concentrating runnable sessions behind an executor that parks in
+	// a long interactive recv, which is the queue work-stealing drains.
+	affinity atomic.Int32
+	retryTS  uint64 // wound-wait ts carried across executors on retry
 }
 
 // sessRing is a growable FIFO of sessions (the runnable queue). A ring
@@ -129,6 +192,66 @@ func (r *sessRing) pop() *SchedSession {
 	return ss
 }
 
+// slackEnt is one deadline-class queue entry. rank is the session's slack
+// key captured at enqueue (deadline minus the service estimate at the
+// time); seq breaks rank ties in arrival order, making the dispatch order
+// deterministic for equal deadlines.
+type slackEnt struct {
+	ss   *SchedSession
+	rank int64
+	seq  uint64
+}
+
+// slackHeap is a binary min-heap of deadline-class sessions, least slack
+// first. Hand-rolled (not container/heap) so push/pop stay inline-friendly
+// and allocation-free on the scheduler's hot path.
+type slackHeap []slackEnt
+
+func (h slackHeap) less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *slackHeap) push(e slackEnt) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *slackHeap) pop() *SchedSession {
+	old := *h
+	ss := old[0].ss
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = slackEnt{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return ss
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+}
+
 // Scheduler multiplexes sessions onto a fixed executor pool.
 type Scheduler struct {
 	engine cc.Engine
@@ -137,11 +260,25 @@ type Scheduler struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      sessRing
+	dq     slackHeap  // deadline class, least slack first
+	bq     sessRing   // no-deadline class, FIFO-mode queue
+	local  []sessRing // no-deadline class, per-executor affinity rings (steal targets)
+	depth  int        // total staged sessions across all structures
+	seq    uint64     // slack-heap tie-break counter
+	steals uint64     // steal-half events
+	aged   uint64     // aged dispatches (no-deadline sessions past AgeAfter)
+	agedNS int64      // last aged dispatch (UnixNano): rate-limits aging to one per AgeAfter
 	closed bool
+
+	// svcEWMA is the smoothed ServeTxn wall time (ns): the service estimate
+	// behind slack ranks and the dispatch-time feasibility shed. Interactive
+	// client think time inflates it, which errs toward shedding late — the
+	// conservative direction.
+	svcEWMA atomic.Int64
 
 	sessions atomic.Int64 // registered sessions (MaxSessions admission)
 	shed     atomic.Uint64
+	rr       atomic.Uint32 // round-robin initial-affinity counter
 	wids     []uint16
 	wg       sync.WaitGroup
 }
@@ -160,8 +297,12 @@ func NewScheduler(e cc.Engine, db *cc.DB, cfg SchedConfig) *Scheduler {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.AgeAfter == 0 {
+		cfg.AgeAfter = DefaultAgeAfter
+	}
 	sc := &Scheduler{engine: e, db: db, cfg: cfg}
 	sc.cond = sync.NewCond(&sc.mu)
+	sc.local = make([]sessRing, cfg.Executors)
 	pool := db.Slots()
 	for i := 0; i < cfg.Executors; i++ {
 		wid, ok := pool.Acquire()
@@ -175,13 +316,18 @@ func NewScheduler(e cc.Engine, db *cc.DB, cfg SchedConfig) *Scheduler {
 	}
 	obs.SetSchedStats(func() obs.SchedStat {
 		sc.mu.Lock()
-		depth := sc.q.n
+		depth, dn := sc.depth, len(sc.dq)
 		sc.mu.Unlock()
-		return obs.SchedStat{RunnableDepth: depth, Executors: cfg.Executors}
+		return obs.SchedStat{
+			RunnableDepth:   depth,
+			DeadlineDepth:   dn,
+			BackgroundDepth: depth - dn,
+			Executors:       cfg.Executors,
+		}
 	})
-	for _, wid := range sc.wids {
+	for i, wid := range sc.wids {
 		sc.wg.Add(1)
-		go sc.executor(wid)
+		go sc.executor(i, wid)
 	}
 	return sc
 }
@@ -194,22 +340,31 @@ func (sc *Scheduler) RetryAfter() time.Duration { return sc.cfg.RetryAfter }
 
 // SchedStats is a point-in-time scheduler snapshot for tests and tooling.
 type SchedStats struct {
-	Sessions  int64  // registered sessions
-	Runnable  int    // sessions staged on the queue
-	Shed      uint64 // transactions refused admission (all causes)
-	Executors int
+	Sessions   int64  // registered sessions
+	Runnable   int    // sessions staged on the runnable structures (all)
+	Deadline   int    // of Runnable: staged on the slack heap
+	Background int    // of Runnable: staged on the FIFO structures
+	Shed       uint64 // transactions refused admission (all causes)
+	Steals     uint64 // steal-half events between executor rings
+	Aged       uint64 // no-deadline dispatches forced by AgeAfter
+	Executors  int
 }
 
 // Stats snapshots the scheduler.
 func (sc *Scheduler) Stats() SchedStats {
 	sc.mu.Lock()
-	depth := sc.q.n
+	depth, dn := sc.depth, len(sc.dq)
+	steals, aged := sc.steals, sc.aged
 	sc.mu.Unlock()
 	return SchedStats{
-		Sessions:  sc.sessions.Load(),
-		Runnable:  depth,
-		Shed:      sc.shed.Load(),
-		Executors: sc.cfg.Executors,
+		Sessions:   sc.sessions.Load(),
+		Runnable:   depth,
+		Deadline:   dn,
+		Background: depth - dn,
+		Shed:       sc.shed.Load(),
+		Steals:     steals,
+		Aged:       aged,
+		Executors:  sc.cfg.Executors,
 	}
 }
 
@@ -252,7 +407,7 @@ func (sc *Scheduler) Submit(ss *SchedSession) bool {
 	if !ss.state.CompareAndSwap(sessParked, sessReady) {
 		return true
 	}
-	if sc.enqueue(ss, true) {
+	if sc.enqueue(ss, true, -1) {
 		return true
 	}
 	// Not admitted: return to parked. The CAS loses only against a
@@ -263,38 +418,182 @@ func (sc *Scheduler) Submit(ss *SchedSession) bool {
 	return false
 }
 
-// enqueue pushes ss onto the runnable queue. With admission it enforces
-// QueueCap and the closed flag; requeues by executors bypass both — a
-// session already holding a delivered frame is never dropped, which also
-// bounds the queue by construction (one queue presence per session).
-func (sc *Scheduler) enqueue(ss *SchedSession, admission bool) bool {
+// enqueue stages ss on the runnable structure its class selects. With
+// admission it enforces QueueCap and the closed flag; requeues by executors
+// bypass both — a session already holding a delivered frame is never
+// dropped, which also bounds the queue by construction (one queue presence
+// per session). owner is the requeueing executor's index (-1 for transport
+// submissions). No-deadline sessions land on their affinity executor's
+// local ring — the executor that last ran them (owner on a requeue), or a
+// round-robin pick on first contact — so a session keeps running where its
+// state is warm; that locality is also what concentrates runnable sessions
+// behind an executor that parks in a long interactive recv, the queue
+// work-stealing exists to drain.
+func (sc *Scheduler) enqueue(ss *SchedSession, admission bool, owner int) bool {
+	now := time.Now().UnixNano()
 	sc.mu.Lock()
-	if admission && (sc.closed || (sc.cfg.QueueCap > 0 && sc.q.n >= sc.cfg.QueueCap)) {
+	if admission && (sc.closed || (sc.cfg.QueueCap > 0 && sc.depth >= sc.cfg.QueueCap)) {
 		sc.mu.Unlock()
 		return false
 	}
-	ss.enqNS.Store(time.Now().UnixNano())
-	sc.q.push(ss)
+	ss.enqNS.Store(now)
+	d := ss.deadline.Load()
+	switch {
+	case sc.cfg.FIFO:
+		sc.bq.push(ss)
+	case d == 0:
+		ring := owner
+		if ring < 0 {
+			if a := ss.affinity.Load(); a > 0 {
+				ring = int(a - 1)
+			} else {
+				ring = int(sc.rr.Add(1)) % len(sc.local)
+				ss.affinity.Store(int32(ring) + 1)
+			}
+		}
+		sc.local[ring].push(ss)
+	default:
+		sc.seq++
+		sc.dq.push(slackEnt{ss: ss, rank: d - sc.svcEWMA.Load(), seq: sc.seq})
+	}
+	sc.depth++
 	sc.mu.Unlock()
 	sc.cond.Signal()
 	obs.Metrics().SessionsQueued.Add(1)
 	return true
 }
 
-// dequeue blocks for the next runnable session; nil means the scheduler
-// closed and the queue is drained.
-func (sc *Scheduler) dequeue() *SchedSession {
+// dequeue blocks for executor self's next runnable session; nil means the
+// scheduler closed and every structure drained.
+func (sc *Scheduler) dequeue(self int) *SchedSession {
 	sc.mu.Lock()
-	for sc.q.n == 0 && !sc.closed {
+	for {
+		if ss := sc.pickLocked(self, sc.closed); ss != nil {
+			sc.depth--
+			sc.mu.Unlock()
+			obs.Metrics().SessionsQueued.Add(-1)
+			return ss
+		}
+		if sc.closed && sc.depth == 0 {
+			sc.mu.Unlock()
+			return nil
+		}
+		if sc.depth > 0 && sc.cfg.NoSteal && sc.cfg.AgeAfter > 0 {
+			// Work exists, but only on a peer's ring and stealing is off:
+			// no enqueue may ever come to signal us, so poll on the aging
+			// cadence until the stranded head crosses AgeAfter.
+			sc.mu.Unlock()
+			time.Sleep(sc.cfg.AgeAfter / 4)
+			sc.mu.Lock()
+			continue
+		}
 		sc.cond.Wait()
 	}
-	if sc.q.n == 0 {
-		sc.mu.Unlock()
+}
+
+// pickLocked selects the next session for executor self, or nil if nothing
+// this executor may run is staged. Order: aged background work (starvation
+// bound), the slack heap (most urgent deadline), the executor's own requeue
+// ring (locality), fresh background arrivals, then stealing from the
+// deepest peer ring. drain (set while closing) steals even under NoSteal,
+// so Close never hangs on a ring whose owner already exited.
+func (sc *Scheduler) pickLocked(self int, drain bool) *SchedSession {
+	if sc.cfg.FIFO {
+		if sc.bq.n > 0 {
+			return sc.bq.pop()
+		}
 		return nil
 	}
-	ss := sc.q.pop()
-	sc.mu.Unlock()
-	obs.Metrics().SessionsQueued.Add(-1)
+	if sc.cfg.AgeAfter > 0 && sc.depth > 0 {
+		// Rate limit: at most one aged dispatch per AgeAfter window. Aging is
+		// a starvation bound, not a priority: once queueing delay exceeds
+		// AgeAfter, every background session qualifies, and taking the aged
+		// path on every pick would invert the slack order and hand the
+		// background class strict priority over declared deadlines.
+		if now := time.Now().UnixNano(); now-sc.agedNS >= int64(sc.cfg.AgeAfter) {
+			if ss := sc.popAgedLocked(now - int64(sc.cfg.AgeAfter)); ss != nil {
+				sc.agedNS = now
+				sc.aged++
+				obs.Metrics().SchedAged.Add(1)
+				return ss
+			}
+		}
+	}
+	if len(sc.dq) > 0 {
+		return sc.dq.pop()
+	}
+	if r := &sc.local[self]; r.n > 0 {
+		return r.pop()
+	}
+	if sc.bq.n > 0 {
+		return sc.bq.pop()
+	}
+	if !sc.cfg.NoSteal || drain {
+		return sc.stealLocked(self)
+	}
+	return nil
+}
+
+// popAgedLocked pops the oldest no-deadline session that has been staged
+// since before cut, scanning the background ring's head and every local
+// ring's head (rings are FIFO, so heads are their oldest entries). Deadline
+// sessions never age: the slack order is already their urgency.
+func (sc *Scheduler) popAgedLocked(cut int64) *SchedSession {
+	const none = -2
+	best, bestNS := none, int64(0)
+	if sc.bq.n > 0 {
+		if ns := sc.bq.buf[sc.bq.head].enqNS.Load(); ns < cut {
+			best, bestNS = -1, ns
+		}
+	}
+	for i := range sc.local {
+		r := &sc.local[i]
+		if r.n == 0 {
+			continue
+		}
+		if ns := r.buf[r.head].enqNS.Load(); ns < cut && (best == none || ns < bestNS) {
+			best, bestNS = i, ns
+		}
+	}
+	switch best {
+	case none:
+		return nil
+	case -1:
+		return sc.bq.pop()
+	default:
+		return sc.local[best].pop()
+	}
+}
+
+// stealLocked moves half of the deepest peer ring (oldest first) onto
+// self's ring and returns the first moved session. Everything staged is a
+// parked between-transaction session, so no in-flight transaction ever
+// migrates. If moved work remains, one more waiter is signaled — stealing
+// chains until the stranded backlog is spread.
+func (sc *Scheduler) stealLocked(self int) *SchedSession {
+	victim := -1
+	for i := range sc.local {
+		if i == self || sc.local[i].n == 0 {
+			continue
+		}
+		if victim == -1 || sc.local[i].n > sc.local[victim].n {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return nil
+	}
+	v := &sc.local[victim]
+	take := (v.n + 1) / 2
+	for i := 0; i < take; i++ {
+		sc.local[self].push(v.pop())
+	}
+	sc.steals++
+	obs.Metrics().SchedSteals.Add(1)
+	ss := sc.local[self].pop()
+	if sc.local[self].n > 0 {
+		sc.cond.Signal()
+	}
 	return ss
 }
 
@@ -336,16 +635,18 @@ func (sc *Scheduler) retireSession(ss *SchedSession) {
 	}
 }
 
-// finish returns a session to the pool after its transaction completed.
-// Round-robin fairness: a session with more input goes to the tail of the
-// queue, behind every session that was already waiting.
-func (sc *Scheduler) finish(ss *SchedSession) {
+// finish returns a session to the pool after its transaction completed. A
+// session with more input re-enters the runnable set: deadline sessions
+// into the global slack order, background sessions onto executor self's
+// local ring (behind everything already aged, so a chatty session cannot
+// starve the rest).
+func (sc *Scheduler) finish(ss *SchedSession, self int) {
 	if ss.pending() {
 		if ss.state.Load() == sessDead {
 			sc.retireSession(ss)
 			return
 		}
-		sc.enqueue(ss, false)
+		sc.enqueue(ss, false, self)
 		return
 	}
 	if !ss.state.CompareAndSwap(sessReady, sessParked) {
@@ -356,36 +657,78 @@ func (sc *Scheduler) finish(ss *SchedSession) {
 	// A frame may have arrived between the pending check and the park; its
 	// Submit saw the ready state and did nothing, so re-check ourselves.
 	if ss.pending() && ss.state.CompareAndSwap(sessParked, sessReady) {
-		sc.enqueue(ss, false)
+		sc.enqueue(ss, false, self)
+	}
+}
+
+// observeService folds one ServeTxn wall time into the smoothed service
+// estimate (EWMA, α = 1/8).
+func (sc *Scheduler) observeService(d time.Duration) {
+	for {
+		old := sc.svcEWMA.Load()
+		nw := old + (int64(d)-old)/8
+		if old == 0 {
+			nw = int64(d)
+		}
+		if sc.svcEWMA.CompareAndSwap(old, nw) {
+			return
+		}
 	}
 }
 
 // executor is one worker of the pool: it owns wid (and therefore one
 // txn.Ctx, one lock-table identity, one arena) and serves dequeued
-// sessions one transaction at a time.
-func (sc *Scheduler) executor(wid uint16) {
+// sessions one transaction at a time. self is its index into the
+// local-ring array.
+func (sc *Scheduler) executor(self int, wid uint16) {
 	defer sc.wg.Done()
 	sess := NewSession(sc.engine, sc.db, wid)
 	var rf ReqFrame
 	var wf RespFrame
 	for {
-		ss := sc.dequeue()
+		ss := sc.dequeue(self)
 		if ss == nil {
 			return
 		}
+		// The session now runs here: future submissions follow (stolen and
+		// aged sessions rebalance onto their rescuer's ring).
+		ss.affinity.Store(int32(self) + 1)
 		wait := time.Duration(time.Now().UnixNano() - ss.enqNS.Load())
 		obs.Metrics().SchedWait(wait)
 		if err := ss.recv(&rf); err != nil {
 			sc.retireSession(ss)
 			continue
 		}
-		// Deadline admission (Plor-RT slack): shed a fresh transaction
-		// whose queue wait already blew its hint-scaled budget. This runs
-		// before the engine allocates a timestamp, so shedding never
-		// perturbs wound-wait ordering among admitted transactions.
-		if sc.cfg.SlackFactor > 0 && !rf.Batch && len(rf.Reqs) == 1 {
-			if r := &rf.Reqs[0]; r.Op == OpBegin && r.First && r.Hint > 0 &&
+		// Dispatch-time shed (Plor-RT slack): refuse a transaction that can
+		// no longer meet its budget before the engine allocates a timestamp,
+		// so shedding never perturbs wound-wait ordering among admitted
+		// transactions. Both checks key off the frame's HEAD request being
+		// the transaction's Begin — single frames and batch frames alike, so
+		// pipelined clients staging batches get the same protection.
+		if len(rf.Reqs) > 0 && rf.Reqs[0].Op == OpBegin {
+			r := &rf.Reqs[0]
+			shed := false
+			if r.Deadline != 0 && !sc.cfg.FIFO {
+				// Declared wire deadline: re-check feasibility with the
+				// smoothed service estimate. Retries are judged too — the
+				// deadline is absolute, and no transaction is open
+				// server-side at a Begin frame, so the shed is always safe.
+				now := time.Now().UnixNano()
+				est := sc.svcEWMA.Load()
+				if rem := int64(r.Deadline) - now - est; rem < 0 {
+					shed = true
+					obs.Metrics().DeadlineMissCritical.Add(1)
+				} else {
+					obs.Metrics().SchedSlack(time.Duration(rem))
+				}
+			} else if sc.cfg.SlackFactor > 0 && r.First && r.Hint > 0 &&
 				wait > time.Duration(sc.cfg.SlackFactor*uint64(r.Hint)) {
+				// Legacy hint budget: queue wait already blew
+				// SlackFactor×Hint.
+				shed = true
+				obs.Metrics().DeadlineMissBackground.Add(1)
+			}
+			if shed {
 				sc.shed.Add(1)
 				obs.Metrics().AdmissionRejectsDeadline.Add(1)
 				wf.setBusy(ShedDeadlineInfeasible, sc.cfg.RetryAfter)
@@ -393,31 +736,33 @@ func (sc *Scheduler) executor(wid uint16) {
 					sc.retireSession(ss)
 					continue
 				}
-				sc.finish(ss)
+				sc.finish(ss, self)
 				continue
 			}
 		}
 		retryTS := uint64(0)
-		if !rf.Batch && len(rf.Reqs) == 1 && rf.Reqs[0].Op == OpBegin && !rf.Reqs[0].First {
+		if len(rf.Reqs) > 0 && rf.Reqs[0].Op == OpBegin && !rf.Reqs[0].First {
 			// Retried transaction, possibly first-attempted on another
 			// executor: hand its original wound-wait timestamp to this
 			// wid so aging (oldest-wins) survives the migration.
 			retryTS = ss.retryTS
 		}
+		start := time.Now()
 		nextTS, err := sess.ServeTxn(&rf, &wf, retryTS, ss.recv, ss.send)
+		sc.observeService(time.Since(start))
 		if err != nil {
 			sc.retireSession(ss)
 			continue
 		}
 		ss.retryTS = nextTS
-		sc.finish(ss)
+		sc.finish(ss, self)
 	}
 }
 
-// Close shuts the scheduler down: executors drain the runnable queue, then
-// exit and return their worker slots. Terminal — a closed scheduler sheds
-// every new Submit. Server.Close does NOT close its scheduler (a closed
-// server may Listen again); Server.Shutdown does.
+// Close shuts the scheduler down: executors drain the runnable structures,
+// then exit and return their worker slots. Terminal — a closed scheduler
+// sheds every new Submit. Server.Close does NOT close its scheduler (a
+// closed server may Listen again); Server.Shutdown does.
 func (sc *Scheduler) Close() {
 	sc.mu.Lock()
 	if sc.closed {

@@ -1,0 +1,628 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// --- slack-ordered dispatch ---
+
+// TestSlackHeapOrder: the runnable heap pops least rank first, and equal
+// ranks pop in submission (seq) order — the determinism the dispatch-order
+// test below builds on.
+func TestSlackHeapOrder(t *testing.T) {
+	var h slackHeap
+	sessions := make([]*SchedSession, 64)
+	ranks := make([]int64, 64)
+	rng := rand.New(rand.NewSource(42))
+	for i := range sessions {
+		sessions[i] = &SchedSession{}
+		ranks[i] = int64(rng.Intn(16)) // duplicates on purpose
+		h.push(slackEnt{ss: sessions[i], rank: ranks[i], seq: uint64(i)})
+	}
+	lastRank, lastSeq := int64(-1<<62), uint64(0)
+	for i := 0; i < len(sessions); i++ {
+		ss := h.pop()
+		var idx int
+		for j, s := range sessions {
+			if s == ss {
+				idx = j
+				break
+			}
+		}
+		if ranks[idx] < lastRank {
+			t.Fatalf("pop %d: rank %d after rank %d (not least-slack-first)", i, ranks[idx], lastRank)
+		}
+		if ranks[idx] == lastRank && uint64(idx) < lastSeq {
+			t.Fatalf("pop %d: seq %d after seq %d at equal rank (tie-break broken)", i, idx, lastSeq)
+		}
+		lastRank, lastSeq = ranks[idx], uint64(idx)
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}
+
+// TestSchedLeastSlackDispatchOrder: with a single executor parked inside a
+// sticky interactive transaction, sessions submitted in REVERSE deadline
+// order must nonetheless dispatch tightest-deadline-first once the executor
+// frees up. The single executor serializes dispatch, so the commit order
+// observed by the procs IS the dispatch order — deterministic, no timing
+// tolerance needed.
+func TestSchedLeastSlackDispatchOrder(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 2)
+	sched := NewScheduler(e, db, SchedConfig{Executors: 1})
+	defer sched.Close()
+
+	// Blocker: opens an interactive txn and parks mid-txn, pinning the one
+	// executor in its recv until released.
+	blockTr := NewSchedChanTransport(sched, 0)
+	defer blockTr.Close()
+	blockW := NewClientWorker(blockTr, db.Tables(), 1)
+	inTxn := make(chan struct{})
+	release := make(chan struct{})
+	var blockErr error
+	var blockWG sync.WaitGroup
+	blockWG.Add(1)
+	go func() {
+		defer blockWG.Done()
+		blockErr = runClientTxn(blockW, func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 1); err != nil {
+				return err
+			}
+			close(inTxn)
+			<-release
+			return nil
+		}, cc.AttemptOpts{})
+	}()
+	<-inTxn
+
+	// Submit sessions with deadlines in REVERSE order (loosest first), so
+	// FIFO would dispatch them exactly backwards.
+	const n = 5
+	base := time.Now().Add(time.Hour)
+	var (
+		mu    sync.Mutex
+		order []int
+		wg    sync.WaitGroup
+	)
+	for i := n - 1; i >= 0; i-- {
+		tr := NewSchedChanTransport(sched, 0)
+		defer tr.Close()
+		w := NewClientWorker(tr, db.Tables(), uint16(i+2))
+		deadline := uint64(base.Add(time.Duration(i) * time.Minute).UnixNano())
+		wg.Add(1)
+		go func(i int, w *ClientWorker, deadline uint64) {
+			defer wg.Done()
+			err := runClientTxn(w, func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, uint64(i)); err != nil {
+					return err
+				}
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				return nil
+			}, cc.AttemptOpts{DeadlineHint: deadline})
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+			}
+		}(i, w, deadline)
+		// Wait until this session's Begin frame is queued before submitting
+		// the next, so arrival order is exactly loosest-deadline-first.
+		want := n - i
+		waitFor(t, func() bool { return sched.Stats().Deadline == want })
+	}
+
+	close(release)
+	blockWG.Wait()
+	if blockErr != nil {
+		t.Fatalf("blocker: %v", blockErr)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("dispatch order = %v, want tightest-deadline-first [0 1 2 ... %d]", order, n-1)
+		}
+	}
+}
+
+// TestSchedBatchOpenerDeadlineShed: satellite coverage for the dispatch
+// shed on batched traffic. A batching client's opening frame still leads
+// with OpBegin; when its declared deadline is already infeasible at
+// dispatch the server must answer a typed busy with the
+// deadline-infeasible cause — it previously only checked single-op frames.
+func TestSchedBatchOpenerDeadlineShed(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 2)
+	sched := NewScheduler(e, db, SchedConfig{Executors: 1})
+	defer sched.Close()
+
+	// Seed the service estimate so the feasibility check has a floor.
+	tr0 := NewSchedChanTransport(sched, 0)
+	w0 := NewClientWorker(tr0, db.Tables(), 1)
+	if err := runClientTxn(w0, func(tx cc.Tx) error {
+		_, err := tx.Read(tbl, 1)
+		return err
+	}, cc.AttemptOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	tr0.Close()
+
+	tr := NewSchedChanTransport(sched, 0)
+	defer tr.Close()
+	w := NewClientWorker(tr, db.Tables(), 2)
+	w.EnableBatching()
+	var bat cc.Batcher
+	past := uint64(time.Now().Add(-time.Second).UnixNano())
+	err := w.Attempt(func(tx cc.Tx) error {
+		bat.Bind(tx)
+		bat.Read(tbl, 1)
+		bat.Read(tbl, 2)
+		return bat.Flush()
+	}, true, cc.AttemptOpts{DeadlineHint: past})
+	var busy *ErrServerBusy
+	if !errors.As(err, &busy) {
+		t.Fatalf("expired-deadline batch txn: err = %v, want ErrServerBusy", err)
+	}
+	if busy.Cause != CauseDeadlineInfeasible {
+		t.Fatalf("cause = %q, want %q", busy.Cause, CauseDeadlineInfeasible)
+	}
+	if sched.Stats().Shed == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+// TestSchedBackgroundAgingProgress is the starvation guard: under a
+// sustained stream of deadline-class transactions saturating the executor,
+// a no-deadline (background) session must keep making monotone progress —
+// the aging bound dispatches it ahead of the slack order instead of letting
+// critical arrivals starve it forever.
+func TestSchedBackgroundAgingProgress(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 4)
+	sched := NewScheduler(e, db, SchedConfig{Executors: 1, AgeAfter: 200 * time.Microsecond})
+	defer sched.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Critical flood: 4 closed-loop sessions that always declare a far
+	// (feasible) deadline, so the slack heap is never empty.
+	for i := 0; i < 4; i++ {
+		tr := NewSchedChanTransport(sched, 0)
+		defer tr.Close()
+		wg.Add(1)
+		go func(i int, tr *SchedChanTransport) {
+			defer wg.Done()
+			w := NewClientWorker(tr, db.Tables(), uint16(i+1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				deadline := uint64(time.Now().Add(time.Hour).UnixNano())
+				err := runClientTxn(w, func(tx cc.Tx) error {
+					_, err := tx.Read(tbl, uint64(i))
+					return err
+				}, cc.AttemptOpts{DeadlineHint: deadline})
+				if err != nil && !IsServerBusy(err) {
+					t.Errorf("critical %d: %v", i, err)
+					return
+				}
+			}
+		}(i, tr)
+	}
+
+	// Background session: no deadline, must advance anyway.
+	btr := NewSchedChanTransport(sched, 0)
+	defer btr.Close()
+	bw := NewClientWorker(btr, db.Tables(), 5)
+	var progress atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := runClientTxn(bw, func(tx cc.Tx) error {
+				_, err := tx.Read(tbl, 9)
+				return err
+			}, cc.AttemptOpts{})
+			if err != nil && !IsServerBusy(err) {
+				t.Errorf("background: %v", err)
+				return
+			}
+			if err == nil {
+				progress.Add(1)
+			}
+		}
+	}()
+
+	// Monotone progress: sample twice mid-flood; the second sample must
+	// strictly exceed the first (the background session is not parked
+	// behind an unbounded critical stream).
+	waitFor(t, func() bool { return progress.Load() >= 3 })
+	first := progress.Load()
+	waitFor(t, func() bool { return progress.Load() > first })
+	close(stop)
+	wg.Wait()
+}
+
+// TestSchedAgingRescuesBackground pins the anti-starvation mechanism
+// deterministically: with the one executor parked, a background session
+// left waiting past AgeAfter behind a full slack heap must dispatch FIRST
+// when the executor frees up (aging outranks the deadline class), and the
+// aging counter must record the rescue.
+func TestSchedAgingRescuesBackground(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 2)
+	const ageAfter = time.Millisecond
+	sched := NewScheduler(e, db, SchedConfig{Executors: 1, AgeAfter: ageAfter})
+	defer sched.Close()
+
+	// Park the executor inside a sticky interactive txn.
+	blockTr := NewSchedChanTransport(sched, 0)
+	defer blockTr.Close()
+	blockW := NewClientWorker(blockTr, db.Tables(), 1)
+	inTxn := make(chan struct{})
+	release := make(chan struct{})
+	var blockWG sync.WaitGroup
+	blockWG.Add(1)
+	go func() {
+		defer blockWG.Done()
+		err := runClientTxn(blockW, func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 1); err != nil {
+				return err
+			}
+			close(inTxn)
+			<-release
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-inTxn
+
+	var (
+		mu    sync.Mutex
+		order []string
+		wg    sync.WaitGroup
+	)
+	run := func(label string, wid uint16, deadline uint64) {
+		tr := NewSchedChanTransport(sched, 0)
+		w := NewClientWorker(tr, db.Tables(), wid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer tr.Close()
+			err := runClientTxn(w, func(tx cc.Tx) error {
+				if _, err := tx.Read(tbl, 2); err != nil {
+					return err
+				}
+				mu.Lock()
+				order = append(order, label)
+				mu.Unlock()
+				return nil
+			}, cc.AttemptOpts{DeadlineHint: deadline})
+			if err != nil {
+				t.Errorf("%s: %v", label, err)
+			}
+		}()
+	}
+	far := time.Now().Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		run(fmt.Sprintf("critical-%d", i), uint16(i+2), uint64(far.UnixNano()))
+	}
+	waitFor(t, func() bool { return sched.Stats().Deadline == 3 })
+	run("background", 5, 0)
+	waitFor(t, func() bool { return sched.Stats().Background == 1 })
+
+	// Let the background session's queue wait cross the aging bound, then
+	// free the executor.
+	time.Sleep(4 * ageAfter)
+	close(release)
+	blockWG.Wait()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if order[0] != "background" {
+		t.Fatalf("dispatch order = %v, want the aged background session first", order)
+	}
+	if sched.Stats().Aged == 0 {
+		t.Fatal("aging counter never moved")
+	}
+}
+
+// --- work-stealing ---
+
+// TestStealLockedMechanics unit-tests the steal operation on a bare
+// scheduler (no executors running): the thief takes half the deepest peer
+// ring rounded up, oldest entries first, returns the oldest to run
+// immediately, keeps the rest on its own ring, and bumps the counter.
+func TestStealLockedMechanics(t *testing.T) {
+	sc := &Scheduler{
+		cfg:   SchedConfig{Executors: 3},
+		local: make([]sessRing, 3),
+	}
+	sc.cond = sync.NewCond(&sc.mu)
+	victims := make([]*SchedSession, 5)
+	for i := range victims {
+		victims[i] = &SchedSession{}
+		sc.local[1].push(victims[i]) // ring 1: depth 5 (deepest)
+	}
+	shallow := &SchedSession{}
+	sc.local[2].push(shallow) // ring 2: depth 1
+
+	sc.mu.Lock()
+	got := sc.stealLocked(0)
+	sc.mu.Unlock()
+
+	if got != victims[0] {
+		t.Fatal("thief must run the victim ring's oldest session first")
+	}
+	if sc.steals != 1 {
+		t.Fatalf("steals = %d, want 1", sc.steals)
+	}
+	// ceil(5/2) = 3 taken from ring 1: one returned, two parked on ring 0
+	// in age order; ring 1 keeps its two newest; ring 2 untouched.
+	if n := sc.local[0].n; n != 2 {
+		t.Fatalf("thief ring depth = %d, want 2", n)
+	}
+	if a, b := sc.local[0].pop(), sc.local[0].pop(); a != victims[1] || b != victims[2] {
+		t.Fatal("thief ring must hold the stolen sessions oldest-first")
+	}
+	if n := sc.local[1].n; n != 2 {
+		t.Fatalf("victim ring depth = %d, want 2", n)
+	}
+	if a, b := sc.local[1].pop(), sc.local[1].pop(); a != victims[3] || b != victims[4] {
+		t.Fatal("victim ring must keep its newest sessions")
+	}
+	if sc.local[2].n != 1 {
+		t.Fatal("non-deepest ring must not be raided")
+	}
+}
+
+// TestSchedStealRescuesStrandedRing is the deterministic end-to-end steal
+// test: sessions pinned to the affinity ring of an executor that is parked
+// in a long interactive recv can only run if the idle peer steals them —
+// aging is configured far out of reach. All of them must commit while the
+// owner is still parked, through at least two steal-half rounds.
+func TestSchedStealRescuesStrandedRing(t *testing.T) {
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 3)
+	// Aging out of reach: the steal path is the only rescue for a ring
+	// whose owner is blocked.
+	sched := NewScheduler(e, db, SchedConfig{Executors: 2, AgeAfter: time.Minute})
+	defer sched.Close()
+
+	// Blocker: parks one executor inside its open transaction.
+	blockTr := NewSchedChanTransport(sched, 0)
+	defer blockTr.Close()
+	blockW := NewClientWorker(blockTr, db.Tables(), 1)
+	inTxn := make(chan struct{})
+	release := make(chan struct{})
+	var blockWG sync.WaitGroup
+	blockWG.Add(1)
+	go func() {
+		defer blockWG.Done()
+		err := runClientTxn(blockW, func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 1); err != nil {
+				return err
+			}
+			close(inTxn)
+			<-release
+			return nil
+		}, cc.AttemptOpts{})
+		if err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-inTxn
+	// The executor serving the blocker recorded itself as the session's
+	// affinity at dispatch; strand every worker session on ITS ring.
+	parked := blockTr.ss.affinity.Load()
+	if parked == 0 {
+		t.Fatal("blocker session has no affinity after dispatch")
+	}
+
+	const n = 6
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tr := NewSchedChanTransport(sched, 0)
+		defer tr.Close()
+		tr.ss.affinity.Store(parked)
+		w := NewClientWorker(tr, db.Tables(), uint16(i+2))
+		wg.Add(1)
+		go func(i int, w *ClientWorker) {
+			defer wg.Done()
+			err := runClientTxn(w, func(tx cc.Tx) error {
+				_, err := tx.Read(tbl, uint64(i))
+				return err
+			}, cc.AttemptOpts{})
+			if err != nil {
+				t.Errorf("stranded session %d: %v", i, err)
+				return
+			}
+			done.Add(1)
+		}(i, w)
+	}
+	// Every stranded transaction must commit while the ring's owner is
+	// still parked — only the thief can have run them.
+	waitFor(t, func() bool { return done.Load() == n })
+	if got := sched.Stats().Steals; got < 2 {
+		t.Fatalf("steals = %d, want ≥ 2 (steal-half over %d stranded sessions)", got, n)
+	}
+	if got := sched.Stats().Aged; got != 0 {
+		t.Fatalf("aged = %d, want 0 (aging must not have been the rescue here)", got)
+	}
+	close(release)
+	blockWG.Wait()
+	wg.Wait()
+}
+
+// TestSchedStealStressRestart: 512 sessions over TCP mux against an
+// 8-executor pool with affinity rings, stealing, aging, and the slack heap
+// all live (half the sessions declare deadlines), interactive multi-op
+// transactions (so executors park mid-txn), a designated blocker session
+// that pins one executor in a long recv, and a full server restart
+// mid-stream. Every session must reach its quota with exactly-once effects
+// and the scheduler must quiesce. Run with -race this is the deadline
+// scheduler's data-race gauntlet; the deterministic steal coverage lives in
+// TestSchedStealRescuesStrandedRing above.
+func TestSchedStealStressRestart(t *testing.T) {
+	sessions, per := 512, 4
+	if testing.Short() {
+		sessions, per = 48, 3
+	}
+	e := core.New(core.Options{})
+	db, tbl := newServerDB(e, 8)
+	freeBefore := db.Slots().Free()
+	srv := NewServerSched(e, db, SchedConfig{Executors: 8})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := RetryPolicy{Attempts: 30, Base: time.Millisecond, Max: 20 * time.Millisecond}
+	mc, err := DialMuxRetry(addr, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var wg sync.WaitGroup
+	for sidx := 0; sidx < sessions; sidx++ {
+		wg.Add(1)
+		go func(sidx int) {
+			defer wg.Done()
+			tr := mc.NewSession()
+			defer tr.Close()
+			w := NewClientWorker(tr, db.Tables(), uint16(sidx%60+1))
+			key := uint64(sidx % 100)
+			// Half the sessions declare feasible deadlines so both queue
+			// classes flow through the steal machinery.
+			critical := sidx%2 == 0
+			confirmed := 0
+			for confirmed < per {
+				if time.Now().After(deadline) {
+					t.Errorf("session %d: deadline with %d/%d commits", sidx, confirmed, per)
+					return
+				}
+				opts := cc.AttemptOpts{}
+				if critical {
+					opts.DeadlineHint = uint64(time.Now().Add(time.Minute).UnixNano())
+				}
+				first := true
+				var err error
+				for {
+					err = w.Attempt(func(tx cc.Tx) error {
+						v, err := tx.ReadForUpdate(tbl, key)
+						if err != nil {
+							return err
+						}
+						return tx.Update(tbl, key, u64(decode(v)+1))
+					}, first, opts)
+					if err == nil || !cc.IsAborted(err) {
+						break
+					}
+					first = false
+				}
+				if err == nil {
+					confirmed++
+					continue
+				}
+				if IsServerBusy(err) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				// Transport error around the restart: rerun the whole txn
+				// (rolled back, or committed with a lost ack — both keep
+				// the counter ≥ confirmed).
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(sidx)
+	}
+
+	// Blocker: pins one executor inside a sticky interactive recv for a
+	// while, leaving its local ring to be drained by thieves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr := mc.NewSession()
+		defer tr.Close()
+		w := NewClientWorker(tr, db.Tables(), 61)
+		_ = w.Attempt(func(tx cc.Tx) error {
+			if _, err := tx.Read(tbl, 1); err != nil {
+				return err
+			}
+			time.Sleep(40 * time.Millisecond)
+			_, err := tx.Read(tbl, 2)
+			return err
+		}, true, cc.AttemptOpts{})
+	}()
+
+	// Restart mid-stream.
+	time.Sleep(100 * time.Millisecond)
+	srv.Close()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	mc.Close()
+
+	waitFor(t, func() bool { return srv.Scheduler().Stats().Sessions == 0 })
+
+	// Exactly-once: each key's counter must show at least its sessions'
+	// confirmed increments (ack-lost commits may add extra, never fewer).
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewClientWorker(tr, db.Tables(), 62)
+	perKey := make(map[uint64]uint64)
+	for i := 0; i < sessions; i++ {
+		perKey[uint64(i%100)] += uint64(per)
+	}
+	err = runClientTxn(w, func(tx cc.Tx) error {
+		for k, want := range perKey {
+			v, err := tx.Read(tbl, k)
+			if err != nil {
+				return err
+			}
+			if got := decode(v) - k; got < want {
+				return fmt.Errorf("key %d: +%d, want ≥ +%d (lost update)", k, got, want)
+			}
+		}
+		return nil
+	}, cc.AttemptOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+
+	srv.Shutdown()
+	if got := db.Slots().Free(); got != freeBefore {
+		t.Fatalf("free slots = %d, want %d (leaked executor slot)", got, freeBefore)
+	}
+}

@@ -113,8 +113,10 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 		return 0, send(wf)
 	}
 	req := &rf.Reqs[0]
-	opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint), RetryTS: retryTS}
+	opts := cc.AttemptOpts{ReadOnly: req.RO, ResourceHint: int(req.Hint),
+		RetryTS: retryTS, DeadlineHint: req.Deadline}
 	first := req.First
+	deadline := int64(req.Deadline)
 	if req.Key != 0 {
 		// Cross-shard transaction: the coordinator carries the global
 		// ordering timestamp minted by the first participant, so wound-wait
@@ -211,6 +213,11 @@ func (s *Session) ServeTxn(rf *ReqFrame, wf *RespFrame, retryTS uint64, recv fun
 		// Reply to the OpCommit that ended the proc.
 		wf.setSingle(Response{Status: StatusOK})
 		obs.Metrics().TxnCommit(time.Since(s.txnStart))
+		if deadline != 0 && time.Now().UnixNano() > deadline {
+			// Committed, but past the declared deadline: a miss the client
+			// cannot see from the commit status alone.
+			obs.Metrics().DeadlineMissCritical.Add(1)
+		}
 		return 0, send(wf)
 	case errors.Is(err, errReported):
 		// The terminal status went out on the failing operation's
@@ -683,6 +690,12 @@ func (p *plainSess) deliverLoop() {
 		if err != nil {
 			p.back <- buf
 			return
+		}
+		if d, ok := frameBeginDeadline(buf); ok {
+			// Stored before the frame is staged, so the scheduler (and a
+			// concurrent executor requeue) classifies the session by this
+			// Begin's declared deadline.
+			p.ss.deadline.Store(d)
 		}
 		select {
 		case p.in <- buf:

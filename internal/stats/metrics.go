@@ -67,6 +67,25 @@ type Metrics struct {
 	SnapshotScans uint64
 	ScanRows      uint64
 	ScanLatency   *Histogram
+
+	// Mixed-criticality results (zero/nil unless the run declared deadlines).
+	// DeadlineBudget echoes the per-transaction latency budget critical
+	// transactions declared on the wire. CritMisses counts critical
+	// transactions that missed their deadline either way: committed past the
+	// budget, or shed by the server as deadline-infeasible and abandoned.
+	// CritSheds counts just the shed-and-abandoned subset, so the critical
+	// population is CritCommits + CritSheds and MissRate() is
+	// CritMisses / (CritCommits + CritSheds). SchedSteals/SchedAged echo the
+	// scheduler's work-steal and anti-starvation-aging counters for the run.
+	DeadlineBudget time.Duration
+	CritCommits    uint64
+	CritMisses     uint64
+	CritSheds      uint64
+	CritLatency    *Histogram
+	BgCommits      uint64
+	BgLatency      *Histogram
+	SchedSteals    uint64
+	SchedAged      uint64
 }
 
 // Throughput returns committed transactions per second.
@@ -124,6 +143,35 @@ func (m *Metrics) ScanRow() string {
 	return fmt.Sprintf("%-28s scans=%-6d rows=%-10d scan/s=%6.1f  scan_p50=%8.1fms  scan_p99=%8.1fms  scan_aborts=0",
 		m.Label, m.SnapshotScans, m.ScanRows, float64(m.SnapshotScans)/secs,
 		float64(m.ScanLatency.P50())/1e6, float64(m.ScanLatency.P99())/1e6)
+}
+
+// MissRate returns the fraction of critical transactions that missed their
+// deadline (late commits plus infeasible sheds over the critical population).
+func (m *Metrics) MissRate() float64 {
+	n := m.CritCommits + m.CritSheds
+	if n == 0 {
+		return 0
+	}
+	return float64(m.CritMisses) / float64(n)
+}
+
+// DeadlineRow renders the mixed-criticality column printed under a Row for
+// deadline runs: per-class commit counts and tail latency, the critical
+// miss rate, and the scheduler's steal/aging counters.
+func (m *Metrics) DeadlineRow() string {
+	row := fmt.Sprintf("%-28s budget=%-8s crit=%-8d miss=%5.2f%% (late=%d shed=%d)",
+		m.Label, m.DeadlineBudget, m.CritCommits, m.MissRate()*100,
+		m.CritMisses-m.CritSheds, m.CritSheds)
+	if m.CritLatency != nil && m.CritCommits > 0 {
+		row += fmt.Sprintf("  crit_p99=%8.1fus crit_p999=%8.1fus",
+			float64(m.CritLatency.P99())/1e3, float64(m.CritLatency.P999())/1e3)
+	}
+	if m.BgLatency != nil && m.BgCommits > 0 {
+		row += fmt.Sprintf("  bg=%-8d bg_p99=%8.1fus bg_p999=%8.1fus",
+			m.BgCommits, float64(m.BgLatency.P99())/1e3, float64(m.BgLatency.P999())/1e3)
+	}
+	row += fmt.Sprintf("  steals=%d aged=%d", m.SchedSteals, m.SchedAged)
+	return row
 }
 
 // CauseSummary renders the per-cause abort counters. It prefers the harness
